@@ -1,0 +1,112 @@
+#include "bench/common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace bench
+{
+
+vpsim::CpuConfig
+cpuConfig()
+{
+    return vpsim::CpuConfig{16u << 20, 200'000'000};
+}
+
+ProfiledRun
+profileWorkload(const workloads::Workload &w, const std::string &dataset,
+                Target target, const core::InstProfilerConfig &cfg)
+{
+    const vpsim::Program &prog = w.program();
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    vpsim::Cpu cpu(prog, cpuConfig());
+    core::InstructionProfiler prof(img, cfg);
+    if (target == Target::Loads)
+        prof.profileLoads(mgr);
+    else
+        prof.profileAllWrites(mgr);
+    mgr.attach(cpu);
+
+    ProfiledRun out;
+    out.run = workloads::runToCompletion(cpu, w, dataset);
+    out.snapshot = core::ProfileSnapshot::fromInstructionProfiler(prof);
+    out.fractionProfiled = prof.fractionProfiled();
+    out.invTop = prof.weightedMetric(&core::ValueProfile::invTop);
+    out.invAll = prof.weightedMetric(&core::ValueProfile::invAll);
+    out.lvp = prof.weightedMetric(&core::ValueProfile::lvp);
+    out.zeroFraction =
+        prof.weightedMetric(&core::ValueProfile::zeroFraction);
+    double distinct_sum = 0.0;
+    std::size_t executed = 0;
+    for (const auto &rec : prof.records()) {
+        if (rec.totalExecutions == 0)
+            continue;
+        distinct_sum += static_cast<double>(rec.profile.distinct());
+        ++executed;
+    }
+    out.meanDistinct = executed ? distinct_sum / executed : 0.0;
+    out.staticInsts = executed;
+    return out;
+}
+
+double
+OracleProfiler::PcStats::invTop() const
+{
+    if (total == 0)
+        return 0.0;
+    std::uint64_t best = 0;
+    for (const auto &[v, c] : counts)
+        best = std::max(best, c);
+    return static_cast<double>(best) / static_cast<double>(total);
+}
+
+std::uint64_t
+OracleProfiler::PcStats::topValue() const
+{
+    std::uint64_t best_v = 0, best_c = 0;
+    for (const auto &[v, c] : counts) {
+        if (c > best_c || (c == best_c && v < best_v)) {
+            best_c = c;
+            best_v = v;
+        }
+    }
+    return best_v;
+}
+
+double
+invTopErrorVsOracle(const core::ProfileSnapshot &snap,
+                    const OracleProfiler &oracle)
+{
+    double num = 0.0, den = 0.0;
+    for (const auto &[pc, exact] : oracle.all()) {
+        auto it = snap.entities.find(pc);
+        if (it == snap.entities.end())
+            continue;
+        const auto w = static_cast<double>(exact.total);
+        num += w * std::abs(it->second.invTop - exact.invTop());
+        den += w;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+double
+topValueAgreementVsOracle(const core::ProfileSnapshot &snap,
+                          const OracleProfiler &oracle)
+{
+    double num = 0.0, den = 0.0;
+    for (const auto &[pc, exact] : oracle.all()) {
+        auto it = snap.entities.find(pc);
+        if (it == snap.entities.end())
+            continue;
+        const auto w = static_cast<double>(exact.total);
+        den += w;
+        if (!it->second.topValues.empty() &&
+            it->second.topValue() == exact.topValue())
+            num += w;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace bench

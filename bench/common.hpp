@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared driver helpers for the experiment binaries. Each bench binary
+ * regenerates one table or figure from the paper (see DESIGN.md's
+ * per-experiment index); this header holds the profiling drivers they
+ * share so that every experiment measures the same way.
+ */
+
+#ifndef VP_BENCH_COMMON_HPP
+#define VP_BENCH_COMMON_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instruction_profiler.hpp"
+#include "core/memory_profiler.hpp"
+#include "core/parameter_profiler.hpp"
+#include "core/snapshot.hpp"
+#include "instrument/manager.hpp"
+#include "workloads/workload.hpp"
+
+namespace bench
+{
+
+/** Cpu configuration used by every experiment. */
+vpsim::CpuConfig cpuConfig();
+
+/** What to instrument. */
+enum class Target
+{
+    Loads,      ///< load instructions only
+    AllWrites,  ///< every register-writing instruction
+};
+
+/** Result of one profiled workload run. */
+struct ProfiledRun
+{
+    core::ProfileSnapshot snapshot;
+    vpsim::RunResult run;
+    double fractionProfiled = 1.0;
+    /** Execution-weighted means over all profiled instructions. */
+    double invTop = 0.0;
+    double invAll = 0.0;
+    double lvp = 0.0;
+    double zeroFraction = 0.0;
+    /** Mean distinct-value count per static instruction. */
+    double meanDistinct = 0.0;
+    std::size_t staticInsts = 0;
+};
+
+/** Run one workload under the instruction profiler. */
+ProfiledRun profileWorkload(const workloads::Workload &w,
+                            const std::string &dataset, Target target,
+                            const core::InstProfilerConfig &cfg = {});
+
+/**
+ * Oracle profiler: exact per-pc value histograms (unbounded memory),
+ * used by the TNV ablation to measure estimation error.
+ */
+class OracleProfiler : public instr::Tool
+{
+  public:
+    struct PcStats
+    {
+        std::unordered_map<std::uint64_t, std::uint64_t> counts;
+        std::uint64_t total = 0;
+
+        /** Exact invariance of the most frequent value. */
+        double invTop() const;
+        /** The exact most frequent value. */
+        std::uint64_t topValue() const;
+    };
+
+    void
+    onInstValue(std::uint32_t pc, const vpsim::Inst &,
+                std::uint64_t value) override
+    {
+        auto &s = stats[pc];
+        ++s.counts[value];
+        ++s.total;
+    }
+
+    const std::unordered_map<std::uint32_t, PcStats> &
+    all() const
+    {
+        return stats;
+    }
+
+  private:
+    std::unordered_map<std::uint32_t, PcStats> stats;
+};
+
+/** Mean of per-entity |invTop(snapshot) - invTop(oracle)|, weighted. */
+double invTopErrorVsOracle(const core::ProfileSnapshot &snap,
+                           const OracleProfiler &oracle);
+
+/** Weighted fraction of entities whose TNV top == oracle top value. */
+double topValueAgreementVsOracle(const core::ProfileSnapshot &snap,
+                                 const OracleProfiler &oracle);
+
+} // namespace bench
+
+#endif // VP_BENCH_COMMON_HPP

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * E1 — thesis Table III.A.1: the benchmark suite, its data sets and
+ * dynamic instruction counts; plus the thesis Table IV.1 flavour of
+ * basic-block concentration (how few static instructions cover 90% and
+ * 99% of dynamic execution), which motivates profiling hot code only.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "support/table.hpp"
+
+namespace
+{
+
+/** Static instructions needed to cover `quantile` of execution. */
+std::size_t
+staticCover(const std::vector<std::uint64_t> &exec_counts,
+            double quantile)
+{
+    std::vector<std::uint64_t> sorted = exec_counts;
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::uint64_t total = 0;
+    for (auto c : sorted)
+        total += c;
+    const double want = quantile * static_cast<double>(total);
+    double have = 0;
+    std::size_t n = 0;
+    for (auto c : sorted) {
+        if (have >= want)
+            break;
+        have += static_cast<double>(c);
+        ++n;
+    }
+    return n;
+}
+
+struct ExecCounter : instr::Tool
+{
+    std::vector<std::uint64_t> counts;
+
+    explicit ExecCounter(std::size_t n) : counts(n, 0) {}
+
+    void
+    onInstValue(std::uint32_t pc, const vpsim::Inst &,
+                std::uint64_t) override
+    {
+        ++counts[pc];
+    }
+
+    void
+    onInstNoValue(std::uint32_t pc, const vpsim::Inst &) override
+    {
+        ++counts[pc];
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    vp::TextTable table({"program", "description", "dataset",
+                         "insts(M)", "loads(M)", "stores(M)",
+                         "static", "cover90", "cover99"});
+
+    for (const auto *w : workloads::allWorkloads()) {
+        for (const auto &dataset : w->datasets()) {
+            const vpsim::Program &prog = w->program();
+            instr::Image img(prog);
+            instr::InstrumentManager mgr(img);
+            vpsim::Cpu cpu(prog, bench::cpuConfig());
+            ExecCounter counter(prog.numInsts());
+            std::vector<std::uint32_t> all_pcs;
+            for (std::uint32_t pc = 0; pc < prog.numInsts(); ++pc)
+                all_pcs.push_back(pc);
+            mgr.instrumentInsts(all_pcs, &counter);
+            mgr.attach(cpu);
+            const auto res =
+                workloads::runToCompletion(cpu, *w, dataset);
+
+            table.row()
+                .cell(dataset == "train" ? w->name() : std::string(""))
+                .cell(dataset == "train" ? w->description()
+                                         : std::string(""))
+                .cell(dataset)
+                .cell(static_cast<double>(res.dynamicInsts) / 1e6, 2)
+                .cell(static_cast<double>(res.dynamicLoads) / 1e6, 2)
+                .cell(static_cast<double>(res.dynamicStores) / 1e6, 2)
+                .cell(static_cast<std::uint64_t>(prog.numInsts()))
+                .cell(static_cast<std::uint64_t>(
+                    staticCover(counter.counts, 0.90)))
+                .cell(static_cast<std::uint64_t>(
+                    staticCover(counter.counts, 0.99)));
+        }
+    }
+
+    table.print(std::cout,
+                "E1 (Table III.A.1): benchmarks, data sets, dynamic "
+                "counts, and static-instruction execution coverage");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * E4 — thesis Table V.3: invariance broken down by instruction class,
+ * aggregated over the whole suite (execution weighted).
+ *
+ * Paper shape: loads and ALU ops differ markedly; multiplies and
+ * shifts often show high invariance (constant operands), compares are
+ * the most invariant (mostly 0/1 with one side dominant).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+#include "core/instruction_profiler.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    struct ClassAgg
+    {
+        double weight = 0;
+        double invTop = 0, invAll = 0, lvp = 0, zero = 0;
+    };
+    std::map<vpsim::InstClass, ClassAgg> agg;
+
+    for (const auto *w : workloads::allWorkloads()) {
+        const vpsim::Program &prog = w->program();
+        instr::Image img(prog);
+        instr::InstrumentManager mgr(img);
+        vpsim::Cpu cpu(prog, bench::cpuConfig());
+        core::InstructionProfiler prof(img);
+        prof.profileAllWrites(mgr);
+        mgr.attach(cpu);
+        workloads::runToCompletion(cpu, *w, "train");
+
+        for (const auto &rec : prof.records()) {
+            if (rec.totalExecutions == 0)
+                continue;
+            const auto cls = vpsim::opcodeClass(prog.code[rec.pc].op);
+            auto &a = agg[cls];
+            const auto weight =
+                static_cast<double>(rec.totalExecutions);
+            a.weight += weight;
+            a.invTop += weight * rec.profile.invTop();
+            a.invAll += weight * rec.profile.invAll();
+            a.lvp += weight * rec.profile.lvp();
+            a.zero += weight * rec.profile.zeroFraction();
+        }
+    }
+
+    vp::TextTable table({"class", "execs(M)", "LVP%", "InvTop%",
+                         "InvAll%", "Zero%"});
+    for (const auto &[cls, a] : agg) {
+        if (a.weight == 0)
+            continue;
+        table.row()
+            .cell(vpsim::instClassName(cls))
+            .cell(a.weight / 1e6, 2)
+            .percent(a.lvp / a.weight)
+            .percent(a.invTop / a.weight)
+            .percent(a.invAll / a.weight)
+            .percent(a.zero / a.weight);
+    }
+    table.print(std::cout,
+                "E4 (Table V.3): invariance by instruction class, "
+                "all benchmarks, train inputs, execution weighted");
+    return 0;
+}

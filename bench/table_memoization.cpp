@@ -1,0 +1,62 @@
+/**
+ * @file
+ * E16 (extension; Richardson [32], thesis §IV.C.4) — memoization
+ * potential. For the hottest procedures of every benchmark: the
+ * static purity verdict (is caching the result even legal?), the
+ * number of distinct argument tuples, and the hit rate a memoization
+ * cache would achieve (unbounded upper bound and a 256-entry
+ * direct-mapped cache).
+ *
+ * Expected shape: a handful of procedures are both pure and highly
+ * repetitive (the profitable candidates the thesis's discussion
+ * anticipates); most hot procedures are either impure (touch memory)
+ * or see mostly-fresh argument tuples.
+ */
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/memo_profiler.hpp"
+#include "specialize/purity.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    vp::TextTable table({"program", "procedure", "calls", "purity",
+                         "tuples", "hit%(inf)", "hit%(256)"});
+
+    for (const auto *w : workloads::allWorkloads()) {
+        const vpsim::Program &prog = w->program();
+        instr::Image img(prog);
+        instr::InstrumentManager mgr(img);
+        vpsim::Cpu cpu(prog, bench::cpuConfig());
+        core::MemoProfiler memo;
+        memo.instrument(mgr);
+        mgr.attach(cpu);
+        workloads::runToCompletion(cpu, *w, "train");
+
+        const specialize::PurityAnalysis purity(prog);
+        bool first = true;
+        std::size_t shown = 0;
+        for (const auto *stats : memo.byCallCount()) {
+            if (shown++ >= 3)
+                break;
+            table.row()
+                .cell(first ? w->name() : std::string(""))
+                .cell(stats->proc->name)
+                .cell(stats->calls)
+                .cell(specialize::purityName(
+                    purity.verdict(stats->proc->name)))
+                .cell(stats->distinctTuples)
+                .percent(stats->unboundedHitRate())
+                .percent(stats->cacheHitRate());
+            first = false;
+        }
+    }
+
+    table.print(std::cout,
+                "E16 (extension): memoization potential — purity and "
+                "argument-tuple repetition of hot procedures (train)");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * E8 — profiling overhead (the paper's Table on instrumentation
+ * slowdown). Uses google-benchmark to time the same workload run
+ * four ways:
+ *
+ *   native    — no listener attached (the uninstrumented binary);
+ *   attached  — instrumentation manager attached but nothing routed
+ *               (ATOM's empty-analysis baseline);
+ *   full      — full value profiling of every register write;
+ *   sampled   — convergent sampling of every register write.
+ *
+ * Paper shape: full value profiling costs an order of magnitude;
+ * convergent sampling recovers most of that.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+
+namespace
+{
+
+const workloads::Workload &
+benchWorkload()
+{
+    return workloads::findWorkload("crc");
+}
+
+void
+BM_Native(benchmark::State &state)
+{
+    const auto &w = benchWorkload();
+    vpsim::Cpu cpu(w.program(), bench::cpuConfig());
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        const auto res = workloads::runToCompletion(cpu, w, "train");
+        insts = res.dynamicInsts;
+        benchmark::DoNotOptimize(res.exitCode);
+    }
+    state.counters["insts"] = static_cast<double>(insts);
+}
+
+void
+BM_AttachedEmpty(benchmark::State &state)
+{
+    const auto &w = benchWorkload();
+    const vpsim::Program &prog = w.program();
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    vpsim::Cpu cpu(prog, bench::cpuConfig());
+    mgr.attach(cpu);
+    for (auto _ : state) {
+        const auto res = workloads::runToCompletion(cpu, w, "train");
+        benchmark::DoNotOptimize(res.exitCode);
+    }
+}
+
+void
+profiledRun(benchmark::State &state, core::ProfileMode mode)
+{
+    const auto &w = benchWorkload();
+    const vpsim::Program &prog = w.program();
+    for (auto _ : state) {
+        // Rebuild the profiler each iteration so every run pays the
+        // same (cold-table) cost, like a fresh profiling run would.
+        instr::Image img(prog);
+        instr::InstrumentManager mgr(img);
+        vpsim::Cpu cpu(prog, bench::cpuConfig());
+        core::InstProfilerConfig cfg;
+        cfg.mode = mode;
+        core::InstructionProfiler prof(img, cfg);
+        prof.profileAllWrites(mgr);
+        mgr.attach(cpu);
+        const auto res = workloads::runToCompletion(cpu, w, "train");
+        benchmark::DoNotOptimize(res.exitCode);
+        state.counters["profiled%"] = prof.fractionProfiled() * 100.0;
+    }
+}
+
+void
+BM_FullProfile(benchmark::State &state)
+{
+    profiledRun(state, core::ProfileMode::Full);
+}
+
+void
+BM_SampledProfile(benchmark::State &state)
+{
+    profiledRun(state, core::ProfileMode::Sampled);
+}
+
+void
+BM_RandomProfile(benchmark::State &state)
+{
+    profiledRun(state, core::ProfileMode::Random);
+}
+
+} // namespace
+
+BENCHMARK(BM_Native)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AttachedEmpty)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullProfile)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SampledProfile)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomProfile)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    std::printf("E8: profiling overhead — compare BM_FullProfile and "
+                "BM_SampledProfile times against BM_Native\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

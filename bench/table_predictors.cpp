@@ -1,0 +1,173 @@
+/**
+ * @file
+ * E11 — thesis chapter II context ([17, 18, 34, 39]): value-predictor
+ * comparison over the suite's instruction streams, plus the
+ * profile-guided filter of Gabbay & Mendelson [18].
+ *
+ * Paper shape (Wang & Franklin report ~42/52/52/60/69% for
+ * LVP/stride/2-level/hybrid/hybrid2 on SPEC92): stride >= LVP,
+ * hybrids >= components; profile-guided filtering keeps accuracy
+ * while sharply cutting mispredictions and table pressure.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "predict/harness.hpp"
+#include "support/table.hpp"
+
+namespace
+{
+
+struct Maker
+{
+    const char *name;
+    std::unique_ptr<predict::ValuePredictor> (*make)();
+};
+
+std::unique_ptr<predict::ValuePredictor>
+makeLvp()
+{
+    return predict::makeLastValuePredictor();
+}
+
+std::unique_ptr<predict::ValuePredictor>
+makeStride()
+{
+    return predict::makeStridePredictor();
+}
+
+std::unique_ptr<predict::ValuePredictor>
+makeTwoLevel()
+{
+    return predict::makeTwoLevelPredictor();
+}
+
+std::unique_ptr<predict::ValuePredictor>
+makeHybridLvpStride()
+{
+    return predict::makeHybridPredictor(
+        predict::makeLastValuePredictor(),
+        predict::makeStridePredictor());
+}
+
+std::unique_ptr<predict::ValuePredictor>
+makeHybridStride2Level()
+{
+    return predict::makeHybridPredictor(
+        predict::makeStridePredictor(),
+        predict::makeTwoLevelPredictor());
+}
+
+} // namespace
+
+int
+main()
+{
+    const Maker makers[] = {
+        {"lvp", makeLvp},
+        {"stride", makeStride},
+        {"2level", makeTwoLevel},
+        {"hybrid(lvp+stride)", makeHybridLvpStride},
+        {"hybrid(stride+2level)", makeHybridStride2Level},
+    };
+
+    vp::TextTable table({"predictor", "accuracy%", "coverage%",
+                         "precision%", "mispred(K)"});
+
+    for (const auto &maker : makers) {
+        predict::PredictorStats total;
+        for (const auto *w : workloads::allWorkloads()) {
+            auto pred = maker.make();
+            const vpsim::Program &prog = w->program();
+            instr::Image img(prog);
+            instr::InstrumentManager mgr(img);
+            vpsim::Cpu cpu(prog, bench::cpuConfig());
+            predict::PredictionHarness harness;
+            harness.addPredictor(pred.get());
+            harness.instrument(mgr, img.regWritingInsts());
+            mgr.attach(cpu);
+            workloads::runToCompletion(cpu, *w, "train");
+            total.executions += pred->stats().executions;
+            total.predictions += pred->stats().predictions;
+            total.correct += pred->stats().correct;
+        }
+        table.row()
+            .cell(maker.name)
+            .percent(total.accuracy())
+            .percent(total.coverage())
+            .percent(total.precision())
+            .cell(static_cast<double>(total.mispredictions()) / 1e3,
+                  1);
+    }
+
+    // Profile-guided filtering: profile on train, predict on test.
+    {
+        predict::PredictorStats plain_total, guided_total;
+        std::size_t admitted = 0, all_writes = 0;
+        for (const auto *w : workloads::allWorkloads()) {
+            const auto profile = bench::profileWorkload(
+                *w, "train", bench::Target::AllWrites);
+
+            predict::LvpConfig lcfg;
+            lcfg.confidenceBits = 0;
+            auto plain = predict::makeLastValuePredictor(lcfg);
+            predict::ProfileGuidedPredictor guided(
+                predict::makeLastValuePredictor(lcfg),
+                profile.snapshot);
+
+            const vpsim::Program &prog = w->program();
+            instr::Image img(prog);
+            instr::InstrumentManager mgr(img);
+            vpsim::Cpu cpu(prog, bench::cpuConfig());
+            predict::PredictionHarness harness;
+            harness.addPredictor(plain.get());
+            harness.addPredictor(&guided);
+            harness.instrument(mgr, img.regWritingInsts());
+            mgr.attach(cpu);
+            workloads::runToCompletion(cpu, *w, "test");
+
+            auto accumulate = [](predict::PredictorStats &into,
+                                 const predict::PredictorStats &from) {
+                into.executions += from.executions;
+                into.predictions += from.predictions;
+                into.correct += from.correct;
+            };
+            accumulate(plain_total, plain->stats());
+            accumulate(guided_total, guided.stats());
+            admitted += guided.admitted();
+            all_writes += img.regWritingInsts().size();
+        }
+
+        vp::TextTable guided_table({"predictor", "accuracy%",
+                                    "precision%", "mispred(K)",
+                                    "static insts"});
+        guided_table.row()
+            .cell("lvp (unfiltered, no confidence)")
+            .percent(plain_total.accuracy())
+            .percent(plain_total.precision())
+            .cell(static_cast<double>(plain_total.mispredictions()) /
+                      1e3,
+                  1)
+            .cell(static_cast<std::uint64_t>(all_writes));
+        guided_table.row()
+            .cell("lvp (profile-guided [18])")
+            .percent(guided_total.accuracy())
+            .percent(guided_total.precision())
+            .cell(static_cast<double>(guided_total.mispredictions()) /
+                      1e3,
+                  1)
+            .cell(static_cast<std::uint64_t>(admitted));
+
+        table.print(std::cout,
+                    "E11a: value-predictor comparison, all register "
+                    "writes, suite aggregate, train inputs");
+        std::cout << "\n";
+        guided_table.print(
+            std::cout,
+            "E11b: profile-guided prediction (profile on train, "
+            "predict on test)");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * E17 (extension; thesis ch. II context, Gabbay [17]) — register-file
+ * value profile: for each architectural register, aggregated over the
+ * suite, how invariant is the stream of values written to it?
+ *
+ * Expected shape: the stack pointer and link register are highly
+ * value-local (few distinct values, high Inv-All), argument registers
+ * are semi-invariant, temporaries are the most variant — the ordering
+ * that makes register-file prediction attractive for some registers
+ * and hopeless for others.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/register_profiler.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    struct Agg
+    {
+        std::uint64_t writes = 0;
+        double invTop = 0, invAll = 0, lvp = 0;
+    };
+    std::vector<Agg> agg(vpsim::numRegs);
+
+    for (const auto *w : workloads::allWorkloads()) {
+        const vpsim::Program &prog = w->program();
+        instr::Image img(prog);
+        instr::InstrumentManager mgr(img);
+        vpsim::Cpu cpu(prog, bench::cpuConfig());
+        core::RegisterProfiler rprof;
+        rprof.instrument(mgr);
+        mgr.attach(cpu);
+        workloads::runToCompletion(cpu, *w, "train");
+
+        for (unsigned r = 0; r < vpsim::numRegs; ++r) {
+            const auto &prof = rprof.profileFor(r);
+            const auto writes = prof.executions();
+            if (writes == 0)
+                continue;
+            agg[r].writes += writes;
+            const auto weight = static_cast<double>(writes);
+            agg[r].invTop += prof.invTop() * weight;
+            agg[r].invAll += prof.invAll() * weight;
+            agg[r].lvp += prof.lvp() * weight;
+        }
+    }
+
+    vp::TextTable table({"register", "writes(M)", "LVP%", "InvTop%",
+                         "InvAll%"});
+    for (unsigned r = 0; r < vpsim::numRegs; ++r) {
+        if (agg[r].writes == 0)
+            continue;
+        const auto weight = static_cast<double>(agg[r].writes);
+        table.row()
+            .cell(vpsim::regName(r))
+            .cell(weight / 1e6, 2)
+            .percent(agg[r].lvp / weight)
+            .percent(agg[r].invTop / weight)
+            .percent(agg[r].invAll / weight);
+    }
+    table.print(std::cout,
+                "E17 (extension): value profile per architectural "
+                "register, suite aggregate, train inputs");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * E14 (extension; thesis future work) — stride profiling. The thesis
+ * observes that "a load instruction or an add instruction is likely
+ * to increment by a constant amount, hence for instructions like that
+ * we would use some sort of a stride predictor". This experiment
+ * profiles successive-value deltas alongside values and classifies
+ * each instruction class's executions into:
+ *
+ *   value-invariant  (Inv-Top >= 80%),
+ *   stride-only      (stride Inv-Top >= 80% with nonzero top stride,
+ *                     but not value-invariant),
+ *   variant          (neither).
+ *
+ * This is the profile a compiler needs to tell the hardware which
+ * predictor (LVP vs stride) to use per instruction — connecting E2's
+ * invariance numbers with E11's predictor ranking.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+#include "core/instruction_profiler.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    struct Agg
+    {
+        double weight = 0;
+        double valueInv = 0;
+        double strideOnly = 0;
+    };
+    std::map<vpsim::InstClass, Agg> agg;
+    Agg total;
+
+    for (const auto *w : workloads::allWorkloads()) {
+        const vpsim::Program &prog = w->program();
+        instr::Image img(prog);
+        instr::InstrumentManager mgr(img);
+        vpsim::Cpu cpu(prog, bench::cpuConfig());
+
+        core::InstProfilerConfig cfg;
+        cfg.profile.trackStrides = true;
+        core::InstructionProfiler prof(img, cfg);
+        prof.profileAllWrites(mgr);
+        mgr.attach(cpu);
+        workloads::runToCompletion(cpu, *w, "train");
+
+        for (const auto &rec : prof.records()) {
+            if (rec.totalExecutions == 0)
+                continue;
+            const auto weight =
+                static_cast<double>(rec.totalExecutions);
+            const bool value_inv = rec.profile.invTop() >= 0.8;
+            const bool stride_only =
+                !value_inv && rec.profile.strideInvTop() >= 0.8 &&
+                rec.profile.topStride() != 0;
+            const auto cls = vpsim::opcodeClass(prog.code[rec.pc].op);
+            for (Agg *a : {&agg[cls], &total}) {
+                a->weight += weight;
+                a->valueInv += value_inv ? weight : 0;
+                a->strideOnly += stride_only ? weight : 0;
+            }
+        }
+    }
+
+    vp::TextTable table({"class", "execs(M)", "valueInv%",
+                         "strideOnly%", "variant%"});
+    auto add_row = [&table](const std::string &name, const Agg &a) {
+        if (a.weight == 0)
+            return;
+        const double vi = a.valueInv / a.weight;
+        const double so = a.strideOnly / a.weight;
+        table.row()
+            .cell(name)
+            .cell(a.weight / 1e6, 2)
+            .percent(vi)
+            .percent(so)
+            .percent(1.0 - vi - so);
+    };
+    for (const auto &[cls, a] : agg)
+        add_row(vpsim::instClassName(cls), a);
+    add_row("total", total);
+
+    table.print(std::cout,
+                "E14 (extension): value-invariant vs stride-"
+                "predictable executions per instruction class "
+                "(thresholds 80%, train inputs)");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * E13 — design ablation of the TNV table (DESIGN.md): table size N,
+ * clear interval, and replacement policy, measured against an exact
+ * oracle (full per-pc value histograms) on the suite's load streams.
+ *
+ * Expected shape: the paper's steady/clear policy at N=8,
+ * clear=2048 tracks the oracle closely; pure LFU suffers on phased
+ * streams; tiny tables and very short clear intervals lose accuracy.
+ */
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "support/table.hpp"
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    core::TnvConfig tnv;
+};
+
+std::vector<Variant>
+variants()
+{
+    using Policy = core::TnvConfig::Policy;
+    std::vector<Variant> out;
+    auto add = [&out](const char *name, unsigned cap,
+                      std::uint64_t clear, Policy policy) {
+        core::TnvConfig cfg;
+        cfg.capacity = cap;
+        cfg.clearInterval = clear;
+        cfg.policy = policy;
+        out.push_back({name, cfg});
+    };
+    add("paper: N=8 clear=2048", 8, 2048, Policy::SteadyClear);
+    add("N=4 clear=2048", 4, 2048, Policy::SteadyClear);
+    add("N=16 clear=2048", 16, 2048, Policy::SteadyClear);
+    add("N=8 clear=256", 8, 256, Policy::SteadyClear);
+    add("N=8 clear=8192", 8, 8192, Policy::SteadyClear);
+    add("N=8 pure LFU", 8, 2048, Policy::PureLfu);
+    add("N=8 LRU", 8, 2048, Policy::Lru);
+    add("N=1 clear=2048", 1, 2048, Policy::SteadyClear);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    vp::TextTable table({"variant", "|dInvTop|%", "topValueAgree%"});
+
+    for (const auto &variant : variants()) {
+        double err_sum = 0, agree_sum = 0;
+        int n = 0;
+        for (const auto *w : workloads::allWorkloads()) {
+            const vpsim::Program &prog = w->program();
+            instr::Image img(prog);
+            instr::InstrumentManager mgr(img);
+            vpsim::Cpu cpu(prog, bench::cpuConfig());
+
+            core::InstProfilerConfig cfg;
+            cfg.profile.tnv = variant.tnv;
+            core::InstructionProfiler prof(img, cfg);
+            prof.profileLoads(mgr);
+
+            bench::OracleProfiler oracle;
+            mgr.instrumentInsts(img.loadInsts(), &oracle);
+            mgr.attach(cpu);
+            workloads::runToCompletion(cpu, *w, "train");
+
+            const auto snap =
+                core::ProfileSnapshot::fromInstructionProfiler(prof);
+            err_sum += bench::invTopErrorVsOracle(snap, oracle);
+            agree_sum += bench::topValueAgreementVsOracle(snap, oracle);
+            ++n;
+        }
+        table.row()
+            .cell(variant.name)
+            .percent(err_sum / n, 2)
+            .percent(agree_sum / n);
+    }
+
+    table.print(std::cout,
+                "E13: TNV design ablation vs exact oracle (load "
+                "streams, suite averages, train inputs)");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The full adaptive-execution pipeline the paper motivates (thesis
+ * chapters II.B and X), on a real workload:
+ *
+ *   1. value-profile procedure parameters at run time;
+ *   2. pick the hottest procedure with a semi-invariant argument;
+ *   3. specialize it on the profiled value (guarded clone);
+ *   4. re-run and verify identical behaviour plus the dynamic win.
+ *
+ * Usage:  ./examples/adaptive_specialize [workload] [procedure]
+ *         (defaults: matmul scale)
+ */
+
+#include <iostream>
+
+#include "core/parameter_profiler.hpp"
+#include "specialize/specializer.hpp"
+#include "vpsim/disasm.hpp"
+#include "workloads/workload.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "matmul";
+    const std::string proc_name = argc > 2 ? argv[2] : "scale";
+
+    const workloads::Workload &w = workloads::findWorkload(name);
+    const vpsim::Program &prog = w.program();
+    const vpsim::CpuConfig cpu_cfg{16u << 20, 200'000'000};
+
+    // --- 1. profile parameters ---------------------------------------
+    instr::Image image(prog);
+    instr::InstrumentManager manager(image);
+    core::ParameterProfiler pprof;
+    pprof.instrument(manager);
+    vpsim::Cpu profile_cpu(prog, cpu_cfg);
+    manager.attach(profile_cpu);
+    workloads::runToCompletion(profile_cpu, w, "train");
+
+    const auto *record = pprof.recordFor(proc_name);
+    if (!record) {
+        std::cerr << "procedure '" << proc_name
+                  << "' was never called\n";
+        return 1;
+    }
+
+    // --- 2. pick the most invariant argument -------------------------
+    int best_arg = -1;
+    double best_inv = 0.0;
+    for (std::size_t i = 0; i < record->args.size(); ++i) {
+        const double inv = record->args[i].invTop();
+        std::cout << proc_name << " a" << i << ": InvTop "
+                  << inv * 100 << "%, top value "
+                  << record->args[i].tnv().top()->value << "\n";
+        if (inv > best_inv) {
+            best_inv = inv;
+            best_arg = static_cast<int>(i);
+        }
+    }
+    if (best_arg < 0 || best_inv < 0.5) {
+        std::cout << "no semi-invariant argument (threshold 50%); "
+                     "not specializing\n";
+        return 0;
+    }
+    const std::uint64_t bound_value =
+        record->args[static_cast<std::size_t>(best_arg)]
+            .tnv()
+            .top()
+            ->value;
+    std::cout << "\nspecializing " << proc_name << " on a" << best_arg
+              << " == " << bound_value << " (" << record->calls
+              << " profiled calls)\n\n";
+
+    // --- 3. specialize ------------------------------------------------
+    const auto spec = specialize::specializeProcedure(
+        prog, proc_name,
+        {{static_cast<std::uint8_t>(vpsim::regA0 + best_arg),
+          bound_value}});
+    std::cout << "optimizer: " << spec.stats.foldedToConst
+              << " folded, " << spec.stats.branchesFolded
+              << " branches decided, " << spec.stats.removedDead
+              << " dead, " << spec.stats.nopsCompacted
+              << " compacted\n\n";
+    std::cout << "specialized body:\n"
+              << vpsim::disassembleRange(spec.program,
+                                         spec.specializedEntry,
+                                         spec.specializedEnd)
+              << "\n";
+
+    // --- 4. verify ------------------------------------------------------
+    vpsim::Cpu orig_cpu(prog, cpu_cfg);
+    orig_cpu.reset();
+    w.inject(orig_cpu, "train");
+    vpsim::Cpu spec_cpu(spec.program, cpu_cfg);
+    spec_cpu.reset();
+    w.inject(spec_cpu, "train");
+    const auto report = specialize::compareRuns(orig_cpu, spec_cpu);
+
+    std::cout << "original:    " << report.originalInsts
+              << " dynamic instructions\n";
+    std::cout << "specialized: " << report.specializedInsts
+              << " dynamic instructions\n";
+    std::cout << "outputs "
+              << (report.outputsMatch ? "match" : "MISMATCH") << ", "
+              << (report.speedup() - 1.0) * 100.0 << "% saving\n";
+    return report.outputsMatch ? 0 : 1;
+}

@@ -1,0 +1,131 @@
+#include "core/instruction_profiler.hpp"
+
+#include "support/logging.hpp"
+
+namespace core
+{
+
+InstructionProfiler::InstructionProfiler(const instr::Image &image,
+                                         const InstProfilerConfig &config)
+    : img(image), cfg(config), slotOf(image.numInsts(), -1),
+      randomDraw(config.randomSeed)
+{
+    vp_assert(cfg.randomRate > 0.0 && cfg.randomRate <= 1.0,
+              "randomRate must be in (0,1]");
+}
+
+InstructionProfiler::Record &
+InstructionProfiler::ensureRecord(std::uint32_t pc)
+{
+    vp_assert(pc < slotOf.size(), "pc %u out of range", pc);
+    std::int32_t slot = slotOf[pc];
+    if (slot < 0) {
+        slot = static_cast<std::int32_t>(slots.size());
+        slots.emplace_back(pc, cfg.profile, cfg.sampler);
+        slotOf[pc] = slot;
+    }
+    return slots[static_cast<std::size_t>(slot)];
+}
+
+void
+InstructionProfiler::profileInsts(instr::InstrumentManager &mgr,
+                                  const std::vector<std::uint32_t> &pcs)
+{
+    for (auto pc : pcs) {
+        ensureRecord(pc);
+        mgr.instrumentInst(pc, this);
+    }
+}
+
+void
+InstructionProfiler::profileAllWrites(instr::InstrumentManager &mgr)
+{
+    profileInsts(mgr, img.regWritingInsts());
+}
+
+void
+InstructionProfiler::profileLoads(instr::InstrumentManager &mgr)
+{
+    profileInsts(mgr, img.loadInsts());
+}
+
+void
+InstructionProfiler::onInstValue(std::uint32_t pc,
+                                 const vpsim::Inst &inst,
+                                 std::uint64_t value)
+{
+    (void)inst;
+    const std::int32_t slot = slotOf[pc];
+    vp_assert(slot >= 0, "uninstrumented pc %u reached profiler", pc);
+    Record &rec = slots[static_cast<std::size_t>(slot)];
+    ++rec.totalExecutions;
+
+    switch (cfg.mode) {
+      case ProfileMode::Full:
+        rec.profile.record(value);
+        break;
+      case ProfileMode::Random:
+        if (randomDraw.chance(cfg.randomRate))
+            rec.profile.record(value);
+        break;
+      case ProfileMode::Sampled:
+        // Convergent sampling: the per-execution check is cheap;
+        // only sampled executions pay the TNV update.
+        if (rec.sampler.step()) {
+            rec.profile.record(value);
+            if (rec.sampler.burstJustEnded())
+                rec.sampler.noteBurstEnd(rec.profile.invTop());
+        }
+        break;
+    }
+}
+
+const InstructionProfiler::Record *
+InstructionProfiler::recordFor(std::uint32_t pc) const
+{
+    if (pc >= slotOf.size() || slotOf[pc] < 0)
+        return nullptr;
+    return &slots[static_cast<std::size_t>(slotOf[pc])];
+}
+
+std::uint64_t
+InstructionProfiler::totalExecutions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &rec : slots)
+        sum += rec.totalExecutions;
+    return sum;
+}
+
+std::uint64_t
+InstructionProfiler::profiledExecutions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &rec : slots)
+        sum += rec.profile.executions();
+    return sum;
+}
+
+double
+InstructionProfiler::fractionProfiled() const
+{
+    const std::uint64_t total = totalExecutions();
+    return total ? static_cast<double>(profiledExecutions()) /
+                       static_cast<double>(total)
+                 : 1.0;
+}
+
+double
+InstructionProfiler::weightedMetric(
+    double (ValueProfile::*metric)() const) const
+{
+    double num = 0.0, den = 0.0;
+    for (const auto &rec : slots) {
+        const auto w = static_cast<double>(rec.totalExecutions);
+        num += (rec.profile.*metric)() * w;
+        den += w;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace core

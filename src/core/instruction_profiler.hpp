@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Instruction value profiler (thesis section III.E).
+ *
+ * Profiles the destination-register values of a chosen set of static
+ * instructions. In Full mode every execution is recorded; in Sampled
+ * mode each instruction runs the paper's convergent sampler and only
+ * sampled executions are recorded, while total execution counts are
+ * still maintained (the cheap "check" the paper leaves inlined).
+ */
+
+#ifndef VP_CORE_INSTRUCTION_PROFILER_HPP
+#define VP_CORE_INSTRUCTION_PROFILER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "core/value_profile.hpp"
+#include "instrument/manager.hpp"
+#include "support/rng.hpp"
+
+namespace core
+{
+
+/** InstructionProfiler configuration. */
+struct InstProfilerConfig
+{
+    ProfileConfig profile;
+    ProfileMode mode = ProfileMode::Full;
+    SamplerConfig sampler;
+    /** Probability a given execution is profiled in Random mode. */
+    double randomRate = 1.0 / 64.0;
+    /** Seed for the Random mode's deterministic draw. */
+    std::uint64_t randomSeed = 0xC0FFEE;
+};
+
+/** Value profiler over static instructions. */
+class InstructionProfiler : public instr::Tool
+{
+  public:
+    /** Per-instruction profiling record. */
+    struct Record
+    {
+        std::uint32_t pc = 0;
+        ValueProfile profile;
+        SamplerState sampler;
+        std::uint64_t totalExecutions = 0;
+
+        Record(std::uint32_t pc_, const ProfileConfig &pcfg,
+               const SamplerConfig &scfg)
+            : pc(pc_), profile(pcfg), sampler(scfg)
+        {}
+    };
+
+    InstructionProfiler(const instr::Image &image,
+                        const InstProfilerConfig &config = {});
+
+    /** Instrument a specific set of static instructions. */
+    void profileInsts(instr::InstrumentManager &mgr,
+                      const std::vector<std::uint32_t> &pcs);
+
+    /** Instrument every register-writing instruction. */
+    void profileAllWrites(instr::InstrumentManager &mgr);
+
+    /** Instrument every load instruction (result values). */
+    void profileLoads(instr::InstrumentManager &mgr);
+
+    // Tool interface ---------------------------------------------------
+    void onInstValue(std::uint32_t pc, const vpsim::Inst &inst,
+                     std::uint64_t value) override;
+
+    // Results ----------------------------------------------------------
+
+    /** Record for a pc, or nullptr if it was never instrumented. */
+    const Record *recordFor(std::uint32_t pc) const;
+
+    /** All records, in pc order. */
+    const std::vector<Record> &records() const { return slots; }
+
+    /** Sum of total executions over all profiled instructions. */
+    std::uint64_t totalExecutions() const;
+
+    /** Sum of profiled (recorded) executions. */
+    std::uint64_t profiledExecutions() const;
+
+    /**
+     * Overall fraction of executions that paid full profiling cost —
+     * the paper's sampling-overhead metric.
+     */
+    double fractionProfiled() const;
+
+    /**
+     * Execution-weighted mean of a per-record metric, e.g.
+     * weightedMean(&ValueProfile::invTop). Weighting by execution
+     * frequency matches the paper's benchmark-level numbers.
+     */
+    double weightedMetric(double (ValueProfile::*metric)() const) const;
+
+    const instr::Image &image() const { return img; }
+
+  private:
+    Record &ensureRecord(std::uint32_t pc);
+
+    const instr::Image &img;
+    InstProfilerConfig cfg;
+    std::vector<std::int32_t> slotOf;  ///< pc -> slot index or -1
+    std::vector<Record> slots;
+    vp::Rng randomDraw;  ///< Random-mode sampling source
+};
+
+} // namespace core
+
+#endif // VP_CORE_INSTRUCTION_PROFILER_HPP

@@ -1,0 +1,104 @@
+#include "core/memo_profiler.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace core
+{
+
+namespace
+{
+
+/** FNV-1a over the argument tuple. */
+std::uint64_t
+tupleHash(const std::uint64_t *args, unsigned n)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= (args[i] >> (8 * b)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+MemoProfiler::MemoProfiler(const MemoProfilerConfig &config)
+    : cfg(config)
+{
+    vp_assert(cfg.cacheIndexBits >= 1 && cfg.cacheIndexBits <= 30,
+              "cacheIndexBits out of range");
+}
+
+void
+MemoProfiler::instrument(instr::InstrumentManager &mgr)
+{
+    mgr.instrumentCalls(this);
+}
+
+void
+MemoProfiler::onProcCall(const vpsim::Procedure &proc,
+                         const std::uint64_t *args,
+                         std::uint32_t caller_pc)
+{
+    (void)caller_pc;
+    ProcState &state = states[proc.name];
+    if (state.stats.proc == nullptr) {
+        state.stats.proc = &proc;
+        state.cacheTags.assign(std::size_t(1) << cfg.cacheIndexBits, 0);
+        state.cacheValid.assign(std::size_t(1) << cfg.cacheIndexBits,
+                                false);
+    }
+    ++state.stats.calls;
+
+    const std::uint64_t h = tupleHash(args, proc.numArgs);
+
+    // Unbounded history.
+    if (!state.stats.distinctSaturated) {
+        if (state.seen.insert(h).second) {
+            ++state.stats.distinctTuples;
+            if (state.seen.size() >= cfg.maxDistinctTuples)
+                state.stats.distinctSaturated = true;
+        } else {
+            ++state.stats.unboundedHits;
+        }
+    }
+
+    // Direct-mapped cache of tuple tags.
+    const std::size_t idx = static_cast<std::size_t>(
+        h >> (64 - cfg.cacheIndexBits));
+    if (state.cacheValid[idx] && state.cacheTags[idx] == h) {
+        ++state.stats.cacheHits;
+    } else {
+        state.cacheTags[idx] = h;
+        state.cacheValid[idx] = true;
+    }
+}
+
+const MemoProfiler::ProcStats *
+MemoProfiler::statsFor(const std::string &proc_name) const
+{
+    auto it = states.find(proc_name);
+    return it == states.end() ? nullptr : &it->second.stats;
+}
+
+std::vector<const MemoProfiler::ProcStats *>
+MemoProfiler::byCallCount() const
+{
+    std::vector<const ProcStats *> out;
+    out.reserve(states.size());
+    for (const auto &[name, state] : states)
+        out.push_back(&state.stats);
+    std::sort(out.begin(), out.end(),
+              [](const ProcStats *a, const ProcStats *b) {
+                  if (a->calls != b->calls)
+                      return a->calls > b->calls;
+                  return a->proc->name < b->proc->name;
+              });
+    return out;
+}
+
+} // namespace core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Memoization-potential profiler (Richardson [32], thesis §IV.C.4:
+ * "keeping a memoization cache of recently executed function results
+ * with their inputs").
+ *
+ * For each procedure, hashes the full argument tuple of every call
+ * and measures how often a tuple repeats — against an unbounded
+ * history (the upper bound on memoization hit rate) and against a
+ * direct-mapped cache of configurable size (what a realistic software
+ * cache would achieve). Combined with the purity analysis
+ * (specialize/purity.hpp) this yields the legal, profitable
+ * memoization candidates.
+ */
+
+#ifndef VP_CORE_MEMO_PROFILER_HPP
+#define VP_CORE_MEMO_PROFILER_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "instrument/manager.hpp"
+
+namespace core
+{
+
+/** MemoProfiler configuration. */
+struct MemoProfilerConfig
+{
+    /** Direct-mapped tuple-cache size = 2^cacheIndexBits entries. */
+    unsigned cacheIndexBits = 8;
+    /** Cap on the distinct-tuple set per procedure. */
+    std::size_t maxDistinctTuples = 1u << 20;
+};
+
+/** Argument-tuple repetition profiler. */
+class MemoProfiler : public instr::Tool
+{
+  public:
+    /** Per-procedure tuple statistics. */
+    struct ProcStats
+    {
+        const vpsim::Procedure *proc = nullptr;
+        std::uint64_t calls = 0;
+        std::uint64_t distinctTuples = 0;
+        bool distinctSaturated = false;
+        std::uint64_t unboundedHits = 0;  ///< tuple seen before (ever)
+        std::uint64_t cacheHits = 0;      ///< direct-mapped cache hit
+
+        double
+        unboundedHitRate() const
+        {
+            return calls ? static_cast<double>(unboundedHits) /
+                               static_cast<double>(calls)
+                         : 0.0;
+        }
+
+        double
+        cacheHitRate() const
+        {
+            return calls ? static_cast<double>(cacheHits) /
+                               static_cast<double>(calls)
+                         : 0.0;
+        }
+    };
+
+    explicit MemoProfiler(const MemoProfilerConfig &config = {});
+
+    /** Register interest with the instrumentation manager. */
+    void instrument(instr::InstrumentManager &mgr);
+
+    // Tool interface ---------------------------------------------------
+    void onProcCall(const vpsim::Procedure &proc,
+                    const std::uint64_t *args,
+                    std::uint32_t caller_pc) override;
+
+    // Results ----------------------------------------------------------
+
+    /** Stats for a procedure name, or nullptr. */
+    const ProcStats *statsFor(const std::string &proc_name) const;
+
+    /** Procedures ordered by descending call count. */
+    std::vector<const ProcStats *> byCallCount() const;
+
+  private:
+    struct ProcState
+    {
+        ProcStats stats;
+        std::unordered_set<std::uint64_t> seen;
+        std::vector<std::uint64_t> cacheTags;
+        std::vector<bool> cacheValid;
+    };
+
+    MemoProfilerConfig cfg;
+    std::unordered_map<std::string, ProcState> states;
+};
+
+} // namespace core
+
+#endif // VP_CORE_MEMO_PROFILER_HPP

@@ -1,0 +1,141 @@
+#include "core/memory_profiler.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace core
+{
+
+MemoryProfiler::MemoryProfiler(const MemProfilerConfig &config)
+    : cfg(config), randomDraw(config.randomSeed)
+{
+    vp_assert(cfg.granularity > 0 &&
+                  (cfg.granularity & (cfg.granularity - 1)) == 0,
+              "granularity must be a power of two");
+    vp_assert(cfg.randomRate > 0.0 && cfg.randomRate <= 1.0,
+              "randomRate must be in (0,1]");
+}
+
+void
+MemoryProfiler::instrument(instr::InstrumentManager &mgr)
+{
+    if (cfg.profileStores)
+        mgr.instrumentStores(this);
+    if (cfg.profileLoads)
+        mgr.instrumentLoads(this);
+}
+
+MemoryProfiler::Location *
+MemoryProfiler::ensureLocation(std::uint64_t bucket_addr)
+{
+    auto it = locations.find(bucket_addr);
+    if (it != locations.end())
+        return &it->second;
+    if (cfg.maxLocations && locations.size() >= cfg.maxLocations) {
+        sawOverflow = true;
+        return nullptr;
+    }
+    it = locations
+             .emplace(bucket_addr, Location(cfg.profile, cfg.sampler))
+             .first;
+    it->second.address = bucket_addr;
+    return &it->second;
+}
+
+void
+MemoryProfiler::onStoreValue(std::uint32_t pc, std::uint64_t addr,
+                             unsigned size, std::uint64_t value)
+{
+    (void)pc;
+    (void)size;
+    if (!cfg.profileStores || !inWindow(addr))
+        return;
+    ++storeCount;
+    Location *loc = ensureLocation(bucket(addr));
+    if (!loc)
+        return;
+    ++loc->totalWrites;
+    switch (cfg.mode) {
+      case ProfileMode::Full:
+        loc->writes.record(value);
+        break;
+      case ProfileMode::Random:
+        if (randomDraw.chance(cfg.randomRate))
+            loc->writes.record(value);
+        break;
+      case ProfileMode::Sampled:
+        if (loc->sampler.step()) {
+            loc->writes.record(value);
+            if (loc->sampler.burstJustEnded())
+                loc->sampler.noteBurstEnd(loc->writes.invTop());
+        }
+        break;
+    }
+}
+
+void
+MemoryProfiler::onLoadValue(std::uint32_t pc, std::uint64_t addr,
+                            unsigned size, std::uint64_t value)
+{
+    (void)pc;
+    (void)size;
+    if (!cfg.profileLoads || !inWindow(addr))
+        return;
+    ++loadCount;
+    if (Location *loc = ensureLocation(bucket(addr)))
+        loc->reads.record(value);
+}
+
+const MemoryProfiler::Location *
+MemoryProfiler::locationFor(std::uint64_t addr) const
+{
+    auto it = locations.find(bucket(addr));
+    return it == locations.end() ? nullptr : &it->second;
+}
+
+std::vector<const MemoryProfiler::Location *>
+MemoryProfiler::topLocationsByWrites(std::size_t n) const
+{
+    std::vector<const Location *> all;
+    all.reserve(locations.size());
+    for (const auto &[addr, loc] : locations)
+        all.push_back(&loc);
+    std::sort(all.begin(), all.end(),
+              [](const Location *a, const Location *b) {
+                  if (a->totalWrites != b->totalWrites)
+                      return a->totalWrites > b->totalWrites;
+                  return a->address < b->address;
+              });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+double
+MemoryProfiler::fractionProfiled() const
+{
+    std::uint64_t recorded = 0;
+    for (const auto &[addr, loc] : locations)
+        recorded += loc.writes.executions();
+    return storeCount ? static_cast<double>(recorded) /
+                            static_cast<double>(storeCount)
+                      : 1.0;
+}
+
+double
+MemoryProfiler::weightedWriteMetric(
+    double (ValueProfile::*metric)() const) const
+{
+    double num = 0.0, den = 0.0;
+    for (const auto &[addr, loc] : locations) {
+        // Weight by true write counts so sampled profiles keep the
+        // same weighting as full ones.
+        const auto w = static_cast<double>(loc.totalWrites);
+        num += (loc.writes.*metric)() * w;
+        den += w;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace core

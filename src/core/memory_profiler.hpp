@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Memory-location value profiler (thesis chapter on profiling memory).
+ *
+ * Where the instruction profiler asks "what does this *instruction*
+ * produce", the memory profiler asks "what does this *location* hold":
+ * every store to an address updates that location's TNV table, so a
+ * location's invariance says how stable its contents are — the signal
+ * used for data specialization and speculative load reordering [29].
+ * Load values can optionally be profiled per location as well.
+ *
+ * Addresses are bucketed at a configurable granularity (default 8
+ * bytes, the natural word size) and can be restricted to an address
+ * window (e.g. the data segment only, excluding the stack).
+ */
+
+#ifndef VP_CORE_MEMORY_PROFILER_HPP
+#define VP_CORE_MEMORY_PROFILER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "core/value_profile.hpp"
+#include "instrument/manager.hpp"
+#include "support/rng.hpp"
+
+namespace core
+{
+
+/** MemoryProfiler configuration. */
+struct MemProfilerConfig
+{
+    ProfileConfig profile;
+    /**
+     * Full, convergent-sampled, or random-sampled recording of
+     * *writes* (loads, when enabled, are always fully recorded — they
+     * are off by default and usually windowed).
+     */
+    ProfileMode mode = ProfileMode::Full;
+    SamplerConfig sampler;
+    double randomRate = 1.0 / 64.0;
+    std::uint64_t randomSeed = 0xC0FFEE;
+    /** Address-bucket size in bytes (power of two). */
+    unsigned granularity = 8;
+    /** Record values written by stores (location contents). */
+    bool profileStores = true;
+    /** Record values observed by loads. */
+    bool profileLoads = false;
+    /** Inclusive lower bound of the profiled address window. */
+    std::uint64_t windowBegin = 0;
+    /** Exclusive upper bound (0 means "no limit"). */
+    std::uint64_t windowEnd = 0;
+    /** Stop creating new locations past this many (0 = unlimited). */
+    std::size_t maxLocations = 1u << 22;
+};
+
+/** Value profiler over memory locations. */
+class MemoryProfiler : public instr::Tool
+{
+  public:
+    explicit MemoryProfiler(const MemProfilerConfig &config = {});
+
+    /** Register interest with the instrumentation manager. */
+    void instrument(instr::InstrumentManager &mgr);
+
+    // Tool interface ---------------------------------------------------
+    void onStoreValue(std::uint32_t pc, std::uint64_t addr,
+                      unsigned size, std::uint64_t value) override;
+    void onLoadValue(std::uint32_t pc, std::uint64_t addr,
+                     unsigned size, std::uint64_t value) override;
+
+    // Results ----------------------------------------------------------
+
+    /** A profiled location. */
+    struct Location
+    {
+        std::uint64_t address = 0;  ///< bucket base address
+        std::uint64_t totalWrites = 0;  ///< including unsampled ones
+        ValueProfile writes;
+        ValueProfile reads;
+        SamplerState sampler;
+
+        Location(const ProfileConfig &pcfg, const SamplerConfig &scfg)
+            : writes(pcfg), reads(pcfg), sampler(scfg)
+        {}
+    };
+
+    /** Number of distinct locations touched. */
+    std::size_t numLocations() const { return locations.size(); }
+
+    /** Location record for an address (bucketed), or nullptr. */
+    const Location *locationFor(std::uint64_t addr) const;
+
+    /**
+     * The n locations with the most profiled writes, ordered by
+     * descending write count — the paper's "top locations" table.
+     */
+    std::vector<const Location *> topLocationsByWrites(std::size_t n) const;
+
+    /** Execution-weighted mean write metric over all locations. */
+    double weightedWriteMetric(double (ValueProfile::*metric)() const)
+        const;
+
+    /** Total in-window stores / loads (profiled or not). */
+    std::uint64_t totalStores() const { return storeCount; }
+    std::uint64_t totalLoads() const { return loadCount; }
+
+    /** Fraction of in-window stores actually recorded. */
+    double fractionProfiled() const;
+
+    /** True if maxLocations stopped new buckets from being created. */
+    bool overflowed() const { return sawOverflow; }
+
+  private:
+    std::uint64_t bucket(std::uint64_t addr) const
+    {
+        return addr & ~static_cast<std::uint64_t>(cfg.granularity - 1);
+    }
+
+    bool
+    inWindow(std::uint64_t addr) const
+    {
+        if (addr < cfg.windowBegin)
+            return false;
+        return cfg.windowEnd == 0 || addr < cfg.windowEnd;
+    }
+
+    Location *ensureLocation(std::uint64_t bucket_addr);
+
+    MemProfilerConfig cfg;
+    std::unordered_map<std::uint64_t, Location> locations;
+    std::uint64_t storeCount = 0;
+    std::uint64_t loadCount = 0;
+    bool sawOverflow = false;
+    vp::Rng randomDraw{0xC0FFEE};
+};
+
+} // namespace core
+
+#endif // VP_CORE_MEMORY_PROFILER_HPP

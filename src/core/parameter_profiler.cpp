@@ -1,0 +1,161 @@
+#include "core/parameter_profiler.hpp"
+
+#include <algorithm>
+
+namespace core
+{
+
+ParameterProfiler::ParameterProfiler(const ParamProfilerConfig &config)
+    : cfg(config)
+{
+}
+
+ParameterProfiler::ParameterProfiler(const ProfileConfig &profile_config)
+    : cfg{profile_config, false}
+{
+}
+
+void
+ParameterProfiler::instrument(instr::InstrumentManager &mgr)
+{
+    mgr.instrumentCalls(this);
+}
+
+void
+ParameterProfiler::onProcCall(const vpsim::Procedure &proc,
+                              const std::uint64_t *args,
+                              std::uint32_t caller_pc)
+{
+    ProcRecord &rec = procRecords[proc.name];
+    if (rec.proc == nullptr) {
+        rec.proc = &proc;
+        rec.args.reserve(proc.numArgs);
+        for (unsigned i = 0; i < proc.numArgs; ++i)
+            rec.args.emplace_back(cfg.profile);
+    }
+    ++rec.calls;
+    for (unsigned i = 0; i < proc.numArgs; ++i)
+        rec.args[i].record(args[i]);
+
+    if (!cfg.contextSensitive)
+        return;
+    SiteRecord &site = siteRecords[{proc.name, caller_pc}];
+    if (site.proc == nullptr) {
+        site.proc = &proc;
+        site.callerPc = caller_pc;
+        site.args.reserve(proc.numArgs);
+        for (unsigned i = 0; i < proc.numArgs; ++i)
+            site.args.emplace_back(cfg.profile);
+    }
+    ++site.calls;
+    for (unsigned i = 0; i < proc.numArgs; ++i)
+        site.args[i].record(args[i]);
+}
+
+const ParameterProfiler::ProcRecord *
+ParameterProfiler::recordFor(const std::string &proc_name) const
+{
+    auto it = procRecords.find(proc_name);
+    return it == procRecords.end() ? nullptr : &it->second;
+}
+
+std::vector<const ParameterProfiler::ProcRecord *>
+ParameterProfiler::byCallCount() const
+{
+    std::vector<const ProcRecord *> out;
+    out.reserve(procRecords.size());
+    for (const auto &[name, rec] : procRecords)
+        out.push_back(&rec);
+    std::sort(out.begin(), out.end(),
+              [](const ProcRecord *a, const ProcRecord *b) {
+                  if (a->calls != b->calls)
+                      return a->calls > b->calls;
+                  return a->proc->name < b->proc->name;
+              });
+    return out;
+}
+
+std::uint64_t
+ParameterProfiler::totalCalls() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[name, rec] : procRecords)
+        sum += rec.calls;
+    return sum;
+}
+
+double
+ParameterProfiler::weightedArgMetric(
+    double (ValueProfile::*metric)() const) const
+{
+    double num = 0.0, den = 0.0;
+    for (const auto &[name, rec] : procRecords) {
+        for (const auto &arg : rec.args) {
+            const auto w = static_cast<double>(rec.calls);
+            num += (arg.*metric)() * w;
+            den += w;
+        }
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+std::vector<const ParameterProfiler::SiteRecord *>
+ParameterProfiler::sitesFor(const std::string &proc_name) const
+{
+    std::vector<const SiteRecord *> out;
+    for (const auto &[key, site] : siteRecords)
+        if (key.first == proc_name)
+            out.push_back(&site);
+    return out;
+}
+
+std::vector<const ParameterProfiler::SiteRecord *>
+ParameterProfiler::allSites() const
+{
+    std::vector<const SiteRecord *> out;
+    out.reserve(siteRecords.size());
+    for (const auto &[key, site] : siteRecords)
+        out.push_back(&site);
+    std::sort(out.begin(), out.end(),
+              [](const SiteRecord *a, const SiteRecord *b) {
+                  if (a->calls != b->calls)
+                      return a->calls > b->calls;
+                  if (a->proc->name != b->proc->name)
+                      return a->proc->name < b->proc->name;
+                  return a->callerPc < b->callerPc;
+              });
+    return out;
+}
+
+double
+ParameterProfiler::semiInvariantArgFraction(double threshold) const
+{
+    double num = 0.0, den = 0.0;
+    for (const auto &[name, rec] : procRecords) {
+        for (const auto &arg : rec.args) {
+            const auto w = static_cast<double>(rec.calls);
+            den += w;
+            if (arg.invTop() >= threshold)
+                num += w;
+        }
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+double
+ParameterProfiler::semiInvariantArgFractionPerSite(double threshold)
+    const
+{
+    double num = 0.0, den = 0.0;
+    for (const auto &[key, site] : siteRecords) {
+        for (const auto &arg : site.args) {
+            const auto w = static_cast<double>(site.calls);
+            den += w;
+            if (arg.invTop() >= threshold)
+                num += w;
+        }
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace core

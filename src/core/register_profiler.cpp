@@ -1,0 +1,61 @@
+#include "core/register_profiler.hpp"
+
+#include "support/logging.hpp"
+
+namespace core
+{
+
+namespace
+{
+
+std::array<ValueProfile, vpsim::numRegs>
+makeProfiles(const ProfileConfig &cfg)
+{
+    std::array<ValueProfile, vpsim::numRegs> out;
+    out.fill(ValueProfile(cfg));
+    return out;
+}
+
+} // namespace
+
+RegisterProfiler::RegisterProfiler(const ProfileConfig &config)
+    : profiles(makeProfiles(config))
+{
+}
+
+void
+RegisterProfiler::instrument(instr::InstrumentManager &mgr)
+{
+    mgr.instrumentInsts(mgr.image().regWritingInsts(), this);
+}
+
+void
+RegisterProfiler::onInstValue(std::uint32_t pc, const vpsim::Inst &inst,
+                              std::uint64_t value)
+{
+    (void)pc;
+    profiles[inst.rd].record(value);
+    ++writes;
+}
+
+const ValueProfile &
+RegisterProfiler::profileFor(unsigned reg) const
+{
+    vp_assert(reg < vpsim::numRegs, "register %u out of range", reg);
+    return profiles[reg];
+}
+
+double
+RegisterProfiler::weightedMetric(
+    double (ValueProfile::*metric)() const) const
+{
+    double num = 0.0, den = 0.0;
+    for (const auto &prof : profiles) {
+        const auto w = static_cast<double>(prof.executions());
+        num += (prof.*metric)() * w;
+        den += w;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Architectural-register value profiler.
+ *
+ * Where the instruction profiler asks "what does this static
+ * instruction produce", this asks "what does architectural register r
+ * hold over time" — the register-file view behind Gabbay's register
+ * value prediction (thesis ch. II context: "by predicting register
+ * values one could achieve some of the benefit that register windows
+ * offer"). Stack/global pointers are expected to be near-invariant,
+ * argument registers semi-invariant, temporaries variant — a profile
+ * that tells hardware which registers are worth predicting across
+ * calls.
+ */
+
+#ifndef VP_CORE_REGISTER_PROFILER_HPP
+#define VP_CORE_REGISTER_PROFILER_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "core/value_profile.hpp"
+#include "instrument/manager.hpp"
+
+namespace core
+{
+
+/** Value profiler keyed by destination register. */
+class RegisterProfiler : public instr::Tool
+{
+  public:
+    explicit RegisterProfiler(const ProfileConfig &config = {});
+
+    /**
+     * Route every register-writing instruction of the image through
+     * this tool.
+     */
+    void instrument(instr::InstrumentManager &mgr);
+
+    // Tool interface ---------------------------------------------------
+    void onInstValue(std::uint32_t pc, const vpsim::Inst &inst,
+                     std::uint64_t value) override;
+
+    // Results ----------------------------------------------------------
+
+    /** Profile of writes to architectural register r. */
+    const ValueProfile &profileFor(unsigned reg) const;
+
+    /** Total profiled register writes. */
+    std::uint64_t totalWrites() const { return writes; }
+
+    /** Write-weighted mean of a metric over all registers. */
+    double weightedMetric(double (ValueProfile::*metric)() const) const;
+
+  private:
+    std::array<ValueProfile, vpsim::numRegs> profiles;
+    std::uint64_t writes = 0;
+};
+
+} // namespace core
+
+#endif // VP_CORE_REGISTER_PROFILER_HPP

@@ -1,0 +1,144 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "vpsim/disasm.hpp"
+
+namespace core
+{
+
+namespace
+{
+
+/** Records sorted by descending execution count. */
+std::vector<const InstructionProfiler::Record *>
+recordsByExecutions(const InstructionProfiler &prof)
+{
+    std::vector<const InstructionProfiler::Record *> recs;
+    recs.reserve(prof.records().size());
+    for (const auto &rec : prof.records())
+        recs.push_back(&rec);
+    std::sort(recs.begin(), recs.end(),
+              [](const auto *a, const auto *b) {
+                  if (a->totalExecutions != b->totalExecutions)
+                      return a->totalExecutions > b->totalExecutions;
+                  return a->pc < b->pc;
+              });
+    return recs;
+}
+
+void
+addInstRow(vp::TextTable &table, const InstructionProfiler &prof,
+           const InstructionProfiler::Record &rec)
+{
+    const auto &p = rec.profile;
+    const auto top = p.tnv().top();
+    table.row()
+        .cell(static_cast<std::uint64_t>(rec.pc))
+        .cell(vpsim::disassemble(prof.image().program(), rec.pc))
+        .cell(rec.totalExecutions)
+        .percent(p.invTop())
+        .percent(p.invAll())
+        .percent(p.lvp())
+        .cell(p.distinct())
+        .cell(top ? vp::format("%llu",
+                               static_cast<unsigned long long>(
+                                   top->value))
+                  : std::string("-"));
+}
+
+} // namespace
+
+vp::TextTable
+instructionReport(const InstructionProfiler &prof, std::size_t limit)
+{
+    vp::TextTable table({"pc", "instruction", "execs", "InvTop%",
+                         "InvAll%", "LVP%", "Diff", "top value"});
+    auto recs = recordsByExecutions(prof);
+    if (recs.size() > limit)
+        recs.resize(limit);
+    for (const auto *rec : recs)
+        addInstRow(table, prof, *rec);
+    return table;
+}
+
+vp::TextTable
+semiInvariantReport(const InstructionProfiler &prof, double min_inv,
+                    std::uint64_t min_execs, std::size_t limit)
+{
+    vp::TextTable table({"pc", "instruction", "execs", "InvTop%",
+                         "InvAll%", "LVP%", "Diff", "top value"});
+    for (const auto *rec : recordsByExecutions(prof)) {
+        if (table.numRows() >= limit)
+            break;
+        if (rec->totalExecutions < min_execs)
+            continue;
+        if (rec->profile.invTop() < min_inv)
+            continue;
+        addInstRow(table, prof, *rec);
+    }
+    return table;
+}
+
+vp::TextTable
+memoryReport(const MemoryProfiler &prof, std::size_t limit)
+{
+    vp::TextTable table({"address", "writes", "InvTop%", "InvAll%",
+                         "LVP%", "Zero%", "Diff", "top value"});
+    for (const auto *loc : prof.topLocationsByWrites(limit)) {
+        const auto &w = loc->writes;
+        const auto top = w.tnv().top();
+        table.row()
+            .cell(vp::hex64(loc->address))
+            .cell(loc->totalWrites)
+            .percent(w.invTop())
+            .percent(w.invAll())
+            .percent(w.lvp())
+            .percent(w.zeroFraction())
+            .cell(w.distinct())
+            .cell(top ? vp::format("%llu",
+                                   static_cast<unsigned long long>(
+                                       top->value))
+                      : std::string("-"));
+    }
+    return table;
+}
+
+vp::TextTable
+parameterReport(const ParameterProfiler &prof, std::size_t limit)
+{
+    vp::TextTable table({"procedure", "calls", "arg", "InvTop%",
+                         "InvAll%", "LVP%", "Diff", "top value"});
+    std::size_t procs = 0;
+    for (const auto *rec : prof.byCallCount()) {
+        if (procs++ >= limit)
+            break;
+        if (rec->args.empty()) {
+            table.row()
+                .cell(rec->proc->name)
+                .cell(rec->calls)
+                .cell("-");
+            continue;
+        }
+        for (std::size_t i = 0; i < rec->args.size(); ++i) {
+            const auto &arg = rec->args[i];
+            const auto top = arg.tnv().top();
+            table.row()
+                .cell(i == 0 ? rec->proc->name : std::string(""))
+                .cell(rec->calls)
+                .cell(vp::format("a%zu", i))
+                .percent(arg.invTop())
+                .percent(arg.invAll())
+                .percent(arg.lvp())
+                .cell(arg.distinct())
+                .cell(top ? vp::format("%llu",
+                                       static_cast<unsigned long long>(
+                                           top->value))
+                          : std::string("-"));
+        }
+    }
+    return table;
+}
+
+} // namespace core

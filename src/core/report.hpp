@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Human-readable profile reports, built on vp::TextTable.
+ *
+ * These are the views a compiler writer (or one of the examples)
+ * inspects: per-instruction metrics with disassembly, the hottest
+ * semi-invariant instructions, top memory locations, and procedure
+ * parameter summaries.
+ */
+
+#ifndef VP_CORE_REPORT_HPP
+#define VP_CORE_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/instruction_profiler.hpp"
+#include "core/memory_profiler.hpp"
+#include "core/parameter_profiler.hpp"
+#include "support/table.hpp"
+
+namespace core
+{
+
+/**
+ * Table of the `limit` most-executed profiled instructions:
+ * pc, disassembly, executions, Inv-Top, Inv-All, LVP, Diff, top value.
+ */
+vp::TextTable instructionReport(const InstructionProfiler &prof,
+                                std::size_t limit = 20);
+
+/**
+ * Table of instructions that are candidates for specialization: at
+ * least `min_execs` executions and Inv-Top >= `min_inv`, ordered by
+ * executions. The paper calls these semi-invariant instructions.
+ */
+vp::TextTable semiInvariantReport(const InstructionProfiler &prof,
+                                  double min_inv = 0.5,
+                                  std::uint64_t min_execs = 100,
+                                  std::size_t limit = 20);
+
+/** Table of the top memory locations by profiled writes. */
+vp::TextTable memoryReport(const MemoryProfiler &prof,
+                           std::size_t limit = 20);
+
+/** Table of procedures by call count with per-argument invariance. */
+vp::TextTable parameterReport(const ParameterProfiler &prof,
+                              std::size_t limit = 20);
+
+} // namespace core
+
+#endif // VP_CORE_REPORT_HPP

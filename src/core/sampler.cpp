@@ -1,0 +1,86 @@
+#include "core/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace core
+{
+
+SamplerState::SamplerState(const SamplerConfig &config)
+    : cfg(config), phaseLeft(config.burstSize),
+      curSkip(config.initialSkip)
+{
+    vp_assert(cfg.burstSize >= 1, "burst size must be positive");
+    vp_assert(cfg.backoffFactor >= 1.0, "backoff must be >= 1");
+}
+
+bool
+SamplerState::step()
+{
+    vp_assert(!burstEnded,
+              "noteBurstEnd() must be called before the next step()");
+    ++total;
+    if (inBurst) {
+        ++profiled;
+        if (--phaseLeft == 0)
+            burstEnded = true; // caller reports invariance next
+        return true;
+    }
+    if (--phaseLeft == 0) {
+        inBurst = true;
+        phaseLeft = cfg.burstSize;
+    }
+    return false;
+}
+
+void
+SamplerState::noteBurstEnd(double inv_estimate)
+{
+    vp_assert(burstEnded, "no burst has just ended");
+    burstEnded = false;
+
+    if (lastInv >= 0.0) {
+        const double delta = std::fabs(inv_estimate - lastInv);
+        if (isConverged) {
+            // Wake-up burst: large shifts mean a phase change.
+            if (delta >= cfg.retriggerDelta) {
+                isConverged = false;
+                stableRounds = 0;
+                curSkip = cfg.initialSkip;
+            } else {
+                // Still converged: keep backing off.
+                curSkip = std::min<std::uint64_t>(
+                    cfg.maxSkip,
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(curSkip) *
+                        cfg.backoffFactor));
+            }
+        } else if (delta < cfg.convergenceDelta) {
+            if (++stableRounds >= cfg.convergeRounds) {
+                isConverged = true;
+                curSkip = std::min<std::uint64_t>(
+                    cfg.maxSkip,
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(curSkip) *
+                        cfg.backoffFactor));
+            }
+        } else {
+            stableRounds = 0;
+            curSkip = cfg.initialSkip;
+        }
+    }
+    lastInv = inv_estimate;
+
+    // Enter the skip phase (possibly zero-length).
+    if (curSkip == 0) {
+        inBurst = true;
+        phaseLeft = cfg.burstSize;
+    } else {
+        inBurst = false;
+        phaseLeft = curSkip;
+    }
+}
+
+} // namespace core

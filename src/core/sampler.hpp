@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Convergent ("intelligent") sampling — the paper's second
+ * contribution (thesis chapter on efficient value profiling).
+ *
+ * Full value profiling slows programs down by an order of magnitude,
+ * so the profiler samples: each instruction is profiled in periodic
+ * bursts, and once its estimated invariance stops changing between
+ * bursts the instruction is declared *converged* and its sampling
+ * interval backs off geometrically. Periodic wake-up bursts still
+ * occur so a phase change (invariance shift) re-triggers full-rate
+ * sampling.
+ *
+ * SamplerState is a per-entity state machine driven by one call per
+ * dynamic execution; it decides whether that execution is profiled.
+ */
+
+#ifndef VP_CORE_SAMPLER_HPP
+#define VP_CORE_SAMPLER_HPP
+
+#include <cstdint>
+
+namespace core
+{
+
+/** How a profiler decides which executions to record. */
+enum class ProfileMode
+{
+    Full,     ///< profile every execution
+    Sampled,  ///< convergent sampling (the paper's scheme)
+    Random,   ///< uniform random sampling (the CPI [1] question the
+              ///< thesis raises: is random sampling good enough?)
+};
+
+/** Convergent-sampling parameters. */
+struct SamplerConfig
+{
+    /** Executions profiled per burst. */
+    std::uint64_t burstSize = 64;
+    /** Executions skipped between bursts before convergence. */
+    std::uint64_t initialSkip = 448;
+    /**
+     * A burst whose invariance estimate moved less than this (absolute)
+     * counts toward convergence.
+     */
+    double convergenceDelta = 0.02;
+    /** Consecutive stable bursts required to declare convergence. */
+    unsigned convergeRounds = 3;
+    /** Skip-interval multiplier applied after convergence. */
+    double backoffFactor = 2.0;
+    /** Upper bound on the skip interval (the wake-up period). */
+    std::uint64_t maxSkip = 64 * 1024;
+    /**
+     * An invariance shift of at least this much at a wake-up burst
+     * resets the state machine to full-rate sampling (phase change).
+     */
+    double retriggerDelta = 0.08;
+};
+
+/** Per-entity sampling state machine. */
+class SamplerState
+{
+  public:
+    explicit SamplerState(const SamplerConfig &config = {});
+
+    /**
+     * Advance by one dynamic execution.
+     * @return true if this execution should be profiled.
+     */
+    bool step();
+
+    /**
+     * True right after a step() that completed a burst; the caller
+     * must then report the current invariance estimate through
+     * noteBurstEnd() before the next step().
+     */
+    bool burstJustEnded() const { return burstEnded; }
+
+    /** Report the invariance estimate at the end of a burst. */
+    void noteBurstEnd(double inv_estimate);
+
+    bool converged() const { return isConverged; }
+    std::uint64_t totalExecutions() const { return total; }
+    std::uint64_t profiledExecutions() const { return profiled; }
+
+    /** Fraction of executions profiled so far (1 if none seen). */
+    double
+    fractionProfiled() const
+    {
+        return total ? static_cast<double>(profiled) /
+                           static_cast<double>(total)
+                     : 1.0;
+    }
+
+    /** Current skip interval (grows after convergence). */
+    std::uint64_t currentSkip() const { return curSkip; }
+
+  private:
+    SamplerConfig cfg;
+    bool inBurst = true;
+    bool burstEnded = false;
+    std::uint64_t phaseLeft;      ///< executions left in current phase
+    std::uint64_t curSkip;
+    std::uint64_t total = 0;
+    std::uint64_t profiled = 0;
+    double lastInv = -1.0;        ///< estimate at previous burst end
+    unsigned stableRounds = 0;
+    bool isConverged = false;
+};
+
+} // namespace core
+
+#endif // VP_CORE_SAMPLER_HPP

@@ -1,0 +1,166 @@
+#include "core/snapshot.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+
+namespace core
+{
+
+EntitySummary
+ProfileSnapshot::summarize(const ValueProfile &prof,
+                           std::uint64_t total_executions)
+{
+    EntitySummary s;
+    s.totalExecutions = total_executions;
+    s.profiledExecutions = prof.executions();
+    s.invTop = prof.invTop();
+    s.invAll = prof.invAll();
+    s.lvp = prof.lvp();
+    s.zeroFraction = prof.zeroFraction();
+    s.distinct = prof.distinct();
+    for (const auto &e : prof.tnv().sortedByCount())
+        s.topValues.emplace_back(e.value, e.count);
+    return s;
+}
+
+ProfileSnapshot
+ProfileSnapshot::fromInstructionProfiler(const InstructionProfiler &prof)
+{
+    ProfileSnapshot snap;
+    for (const auto &rec : prof.records())
+        snap.entities[rec.pc] =
+            summarize(rec.profile, rec.totalExecutions);
+    return snap;
+}
+
+ProfileSnapshot
+ProfileSnapshot::fromMemoryProfiler(const MemoryProfiler &prof)
+{
+    ProfileSnapshot snap;
+    for (const auto *loc :
+         prof.topLocationsByWrites(prof.numLocations())) {
+        snap.entities[loc->address] =
+            summarize(loc->writes, loc->totalWrites);
+    }
+    return snap;
+}
+
+ProfileSnapshot
+ProfileSnapshot::fromParameterProfiler(const ParameterProfiler &prof)
+{
+    auto name_hash = [](const std::string &s) {
+        std::uint64_t h = 1469598103934665603ull;
+        for (char ch : s) {
+            h ^= static_cast<std::uint8_t>(ch);
+            h *= 1099511628211ull;
+        }
+        return h;
+    };
+    ProfileSnapshot snap;
+    for (const auto *rec : prof.byCallCount()) {
+        const std::uint64_t base =
+            name_hash(rec->proc->name) * vpsim::maxArgRegs;
+        for (std::size_t i = 0; i < rec->args.size(); ++i)
+            snap.entities[base + i] =
+                summarize(rec->args[i], rec->calls);
+    }
+    return snap;
+}
+
+void
+ProfileSnapshot::save(std::ostream &os) const
+{
+    // Full round-trip precision for the stored metrics.
+    os.precision(17);
+    os << "valueprof-snapshot v1\n";
+    os << entities.size() << "\n";
+    for (const auto &[key, s] : entities) {
+        os << key << ' ' << s.totalExecutions << ' '
+           << s.profiledExecutions << ' ' << s.invTop << ' ' << s.invAll
+           << ' ' << s.lvp << ' ' << s.zeroFraction << ' ' << s.distinct
+           << ' ' << s.topValues.size();
+        for (const auto &[v, c] : s.topValues)
+            os << ' ' << v << ' ' << c;
+        os << '\n';
+    }
+}
+
+ProfileSnapshot
+ProfileSnapshot::load(std::istream &is)
+{
+    std::string header;
+    std::getline(is, header);
+    if (header != "valueprof-snapshot v1")
+        vp_fatal("bad snapshot header '%s'", header.c_str());
+    std::size_t count = 0;
+    is >> count;
+    ProfileSnapshot snap;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t key = 0;
+        EntitySummary s;
+        std::size_t ntop = 0;
+        is >> key >> s.totalExecutions >> s.profiledExecutions >>
+            s.invTop >> s.invAll >> s.lvp >> s.zeroFraction >>
+            s.distinct >> ntop;
+        if (!is)
+            vp_fatal("truncated snapshot at entity %zu", i);
+        s.topValues.reserve(ntop);
+        for (std::size_t j = 0; j < ntop; ++j) {
+            std::uint64_t v = 0, c = 0;
+            is >> v >> c;
+            s.topValues.emplace_back(v, c);
+        }
+        if (!is)
+            vp_fatal("truncated snapshot values at entity %zu", i);
+        snap.entities[key] = std::move(s);
+    }
+    return snap;
+}
+
+SnapshotComparison
+compareSnapshots(const ProfileSnapshot &a, const ProfileSnapshot &b)
+{
+    SnapshotComparison cmp;
+    std::vector<double> inv_a, inv_b;
+    double delta_num = 0.0, transfer_num = 0.0, weight_sum = 0.0;
+    double inv_transfer_num = 0.0, inv_weight_sum = 0.0;
+
+    for (const auto &[key, sa] : a.entities) {
+        auto it = b.entities.find(key);
+        if (it == b.entities.end())
+            continue;
+        const EntitySummary &sb = it->second;
+        ++cmp.commonEntities;
+        inv_a.push_back(sa.invTop);
+        inv_b.push_back(sb.invTop);
+        const auto w = static_cast<double>(sa.totalExecutions);
+        weight_sum += w;
+        delta_num += w * std::abs(sa.invTop - sb.invTop);
+        const bool transfers =
+            !sa.topValues.empty() && sb.hasTopValue(sa.topValue());
+        if (transfers)
+            transfer_num += w;
+        if (sa.invTop >= 0.5) {
+            ++cmp.invariantEntities;
+            inv_weight_sum += w;
+            if (transfers)
+                inv_transfer_num += w;
+        }
+    }
+
+    cmp.invTopCorrelation = vp::pearsonCorrelation(inv_a, inv_b);
+    if (weight_sum > 0.0) {
+        cmp.meanAbsInvTopDelta = delta_num / weight_sum;
+        cmp.topValueTransfer = transfer_num / weight_sum;
+    }
+    if (inv_weight_sum > 0.0)
+        cmp.topValueTransferInvariant = inv_transfer_num / inv_weight_sum;
+    return cmp;
+}
+
+} // namespace core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Serializable profile summaries.
+ *
+ * A ProfileSnapshot captures, per profiled entity, the metrics and top
+ * values a compiler client would consume — without the live TNV
+ * machinery. Snapshots can be saved/loaded (simple line format) and
+ * compared across runs, which is how the paper's train-vs-test
+ * experiment (E6) is expressed.
+ */
+
+#ifndef VP_CORE_SNAPSHOT_HPP
+#define VP_CORE_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instruction_profiler.hpp"
+#include "core/memory_profiler.hpp"
+#include "core/parameter_profiler.hpp"
+
+namespace core
+{
+
+/** Metrics and top values of one profiled entity. */
+struct EntitySummary
+{
+    std::uint64_t totalExecutions = 0;
+    std::uint64_t profiledExecutions = 0;
+    double invTop = 0.0;
+    double invAll = 0.0;
+    double lvp = 0.0;
+    double zeroFraction = 0.0;
+    std::uint64_t distinct = 0;
+    /** (value, count) pairs, descending count. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> topValues;
+
+    /** The most frequent value (0 if none was recorded). */
+    std::uint64_t
+    topValue() const
+    {
+        return topValues.empty() ? 0 : topValues.front().first;
+    }
+
+    bool
+    hasTopValue(std::uint64_t v) const
+    {
+        for (const auto &[val, cnt] : topValues)
+            if (val == v)
+                return true;
+        return false;
+    }
+};
+
+/** Snapshot of a whole profiling run, keyed by entity id (e.g. pc). */
+class ProfileSnapshot
+{
+  public:
+    std::map<std::uint64_t, EntitySummary> entities;
+
+    /** Build a summary from a live ValueProfile. */
+    static EntitySummary summarize(const ValueProfile &prof,
+                                   std::uint64_t total_executions);
+
+    /** Build a snapshot of an instruction profiler (key = pc). */
+    static ProfileSnapshot fromInstructionProfiler(
+        const InstructionProfiler &prof);
+
+    /** Build a snapshot of a memory profiler (key = bucket address,
+     *  write profiles). */
+    static ProfileSnapshot fromMemoryProfiler(const MemoryProfiler &prof);
+
+    /**
+     * Build a snapshot of a parameter profiler. Keys are opaque but
+     * stable: hash(procedure name) * maxArgRegs + argument index, so
+     * snapshots of the same program are comparable across runs.
+     */
+    static ProfileSnapshot fromParameterProfiler(
+        const ParameterProfiler &prof);
+
+    /** Entity count. */
+    std::size_t size() const { return entities.size(); }
+
+    /** Persist as a line-oriented text format. */
+    void save(std::ostream &os) const;
+
+    /** Load a snapshot saved by save(); fatal() on malformed input. */
+    static ProfileSnapshot load(std::istream &is);
+};
+
+/** Result of comparing two snapshots (thesis Table V.5 flavour). */
+struct SnapshotComparison
+{
+    std::size_t commonEntities = 0;
+    /** Pearson correlation of per-entity Inv-Top (unweighted). */
+    double invTopCorrelation = 0.0;
+    /** Execution-weighted mean |invTop_a - invTop_b|. */
+    double meanAbsInvTopDelta = 0.0;
+    /**
+     * Execution-weighted fraction of entities whose run-A top value
+     * appears among run-B's top values — "does the profile transfer".
+     */
+    double topValueTransfer = 0.0;
+    /**
+     * The same transfer rate restricted to entities that are at least
+     * semi-invariant in run A (Inv-Top >= 0.5). This is the figure
+     * that matters for the paper's clients: a variant instruction's
+     * "top value" is an arbitrary sample, so its transfer is noise.
+     */
+    double topValueTransferInvariant = 0.0;
+    /** Number of common entities with run-A Inv-Top >= 0.5. */
+    std::size_t invariantEntities = 0;
+};
+
+/** Compare two snapshots over their common entities, weighted by A. */
+SnapshotComparison compareSnapshots(const ProfileSnapshot &a,
+                                    const ProfileSnapshot &b);
+
+} // namespace core
+
+#endif // VP_CORE_SNAPSHOT_HPP

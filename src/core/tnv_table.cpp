@@ -1,0 +1,136 @@
+#include "core/tnv_table.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace core
+{
+
+TnvTable::TnvTable(const TnvConfig &config) : cfg(config)
+{
+    vp_assert(cfg.capacity >= 1, "TNV capacity must be positive");
+    vp_assert(cfg.clearInterval >= 1, "clear interval must be positive");
+    entries.reserve(cfg.capacity);
+}
+
+void
+TnvTable::record(std::uint64_t value)
+{
+    ++records;
+
+    // Hit: bump the count.
+    for (auto &e : entries) {
+        if (e.value == value) {
+            ++e.count;
+            e.lastUse = records;
+            goto maybe_clear;
+        }
+    }
+
+    // Miss with a free slot: insert.
+    if (entries.size() < cfg.capacity) {
+        entries.push_back({value, 1, records});
+    } else {
+        // Miss with a full table: replace the policy's victim.
+        TnvEntry &victim = entries[victimIndex()];
+        victim = {value, 1, records};
+    }
+
+  maybe_clear:
+    if (cfg.policy == TnvConfig::Policy::SteadyClear) {
+        if (++sinceClear >= cfg.clearInterval) {
+            sinceClear = 0;
+            clearBottomHalf();
+        }
+    }
+}
+
+std::size_t
+TnvTable::victimIndex() const
+{
+    vp_assert(!entries.empty(), "victim of an empty table");
+    std::size_t best = 0;
+    if (cfg.policy == TnvConfig::Policy::Lru) {
+        for (std::size_t i = 1; i < entries.size(); ++i)
+            if (entries[i].lastUse < entries[best].lastUse)
+                best = i;
+    } else {
+        // LFU for both PureLfu and SteadyClear. Ties broken by age so
+        // stale entries leave first.
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            if (entries[i].count < entries[best].count ||
+                (entries[i].count == entries[best].count &&
+                 entries[i].lastUse < entries[best].lastUse))
+                best = i;
+        }
+    }
+    return best;
+}
+
+std::vector<TnvEntry>
+TnvTable::sortedByCount() const
+{
+    std::vector<TnvEntry> out = entries;
+    std::sort(out.begin(), out.end(),
+              [](const TnvEntry &a, const TnvEntry &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.lastUse < b.lastUse;
+              });
+    return out;
+}
+
+std::optional<TnvEntry>
+TnvTable::top() const
+{
+    if (entries.empty())
+        return std::nullopt;
+    const TnvEntry *best = &entries[0];
+    for (const auto &e : entries)
+        if (e.count > best->count ||
+            (e.count == best->count && e.lastUse < best->lastUse))
+            best = &e;
+    return *best;
+}
+
+std::uint64_t
+TnvTable::coveredCount() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &e : entries)
+        sum += e.count;
+    return sum;
+}
+
+std::uint64_t
+TnvTable::countFor(std::uint64_t value) const
+{
+    for (const auto &e : entries)
+        if (e.value == value)
+            return e.count;
+    return 0;
+}
+
+void
+TnvTable::clearBottomHalf()
+{
+    if (entries.size() <= 1)
+        return;
+    // Keep the ceil(capacity/2) highest-count entries; evict the rest.
+    auto sorted = sortedByCount();
+    const std::size_t keep =
+        std::min<std::size_t>(sorted.size(), (cfg.capacity + 1) / 2);
+    sorted.resize(keep);
+    entries = std::move(sorted);
+}
+
+void
+TnvTable::reset()
+{
+    entries.clear();
+    records = 0;
+    sinceClear = 0;
+}
+
+} // namespace core

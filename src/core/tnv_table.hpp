@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Top-N-Value (TNV) table — the paper's central data structure.
+ *
+ * A TNV table accumulates the N most frequent result values of one
+ * profiled entity (instruction, memory location, or parameter) as
+ * (value, count) pairs. The paper's replacement policy is LFU with
+ * periodic clearing: the table is conceptually split into a steady top
+ * half and a replaceable bottom half; new values displace the
+ * least-frequent bottom-half entry, and every `clearInterval` recorded
+ * values the bottom half is evicted outright so newly-hot values can
+ * establish themselves without perturbing the steady top half
+ * (thesis section III.B).
+ *
+ * Pure LFU (no clearing) and LRU policies are provided for the design
+ * ablation (experiment E13).
+ */
+
+#ifndef VP_CORE_TNV_TABLE_HPP
+#define VP_CORE_TNV_TABLE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace core
+{
+
+/** TNV table configuration. */
+struct TnvConfig
+{
+    /** Replacement policy variants (paper default: SteadyClear). */
+    enum class Policy
+    {
+        SteadyClear,  ///< LFU + periodic bottom-half clearing (paper)
+        PureLfu,      ///< LFU, never cleared
+        Lru,          ///< least-recently-seen replacement
+    };
+
+    unsigned capacity = 8;             ///< N, the paper uses 8
+    std::uint64_t clearInterval = 2048; ///< records between clears
+    Policy policy = Policy::SteadyClear;
+};
+
+/** One accumulated value. */
+struct TnvEntry
+{
+    std::uint64_t value = 0;
+    std::uint64_t count = 0;
+    std::uint64_t lastUse = 0;  ///< record index of last hit (for LRU)
+};
+
+/** The Top-N-Value table. */
+class TnvTable
+{
+  public:
+    explicit TnvTable(const TnvConfig &config = {});
+
+    /** Accumulate one observed value. */
+    void record(std::uint64_t value);
+
+    /** Number of record() calls since construction/reset(). */
+    std::uint64_t recordCount() const { return records; }
+
+    /** Current number of occupied entries (<= capacity). */
+    std::size_t size() const { return entries.size(); }
+    unsigned capacity() const { return cfg.capacity; }
+
+    /** Occupied entries, unordered. */
+    const std::vector<TnvEntry> &raw() const { return entries; }
+
+    /** Entries sorted by descending count (ties: older lastUse first). */
+    std::vector<TnvEntry> sortedByCount() const;
+
+    /** The most frequent entry, if any value was ever recorded. */
+    std::optional<TnvEntry> top() const;
+
+    /** Sum of all entry counts (executions covered by the table). */
+    std::uint64_t coveredCount() const;
+
+    /** Count recorded for a specific value (0 if absent). */
+    std::uint64_t countFor(std::uint64_t value) const;
+
+    /**
+     * Evict the bottom half (by count) of the table immediately.
+     * Exposed for tests; record() invokes it automatically under the
+     * SteadyClear policy.
+     */
+    void clearBottomHalf();
+
+    /** Forget everything. */
+    void reset();
+
+  private:
+    std::size_t victimIndex() const;
+
+    TnvConfig cfg;
+    std::vector<TnvEntry> entries;
+    std::uint64_t records = 0;
+    std::uint64_t sinceClear = 0;
+};
+
+} // namespace core
+
+#endif // VP_CORE_TNV_TABLE_HPP

@@ -1,0 +1,106 @@
+#include "core/value_profile.hpp"
+
+namespace core
+{
+
+ValueProfile::ValueProfile(const ProfileConfig &config)
+    : cfg(config), table(config.tnv), strides(config.strideTnv)
+{
+}
+
+void
+ValueProfile::record(std::uint64_t value)
+{
+    table.record(value);
+    if (value == 0)
+        ++zeros;
+    if (cfg.trackLastValue || cfg.trackStrides) {
+        if (cfg.trackLastValue && hasLast && value == lastValue)
+            ++lastHits;
+        if (cfg.trackStrides && hasLast)
+            strides.record(value - lastValue);
+        lastValue = value;
+        hasLast = true;
+    }
+    if (cfg.trackDistinct && !saturated) {
+        if (seen.insert(value).second) {
+            ++distinctCount;
+            if (seen.size() >= cfg.maxDistinct)
+                saturated = true;
+        }
+    }
+}
+
+double
+ValueProfile::invTop() const
+{
+    const std::uint64_t n = table.recordCount();
+    if (n == 0)
+        return 0.0;
+    const auto best = table.top();
+    return best ? static_cast<double>(best->count) /
+                      static_cast<double>(n)
+                : 0.0;
+}
+
+double
+ValueProfile::invAll() const
+{
+    const std::uint64_t n = table.recordCount();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(table.coveredCount()) /
+           static_cast<double>(n);
+}
+
+double
+ValueProfile::lvp() const
+{
+    const std::uint64_t n = table.recordCount();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(lastHits) / static_cast<double>(n);
+}
+
+double
+ValueProfile::zeroFraction() const
+{
+    const std::uint64_t n = table.recordCount();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(zeros) / static_cast<double>(n);
+}
+
+double
+ValueProfile::strideInvTop() const
+{
+    const std::uint64_t n = strides.recordCount();
+    if (n == 0)
+        return 0.0;
+    const auto best = strides.top();
+    return best ? static_cast<double>(best->count) /
+                      static_cast<double>(n)
+                : 0.0;
+}
+
+std::int64_t
+ValueProfile::topStride() const
+{
+    const auto best = strides.top();
+    return best ? static_cast<std::int64_t>(best->value) : 0;
+}
+
+void
+ValueProfile::reset()
+{
+    table.reset();
+    strides.reset();
+    zeros = 0;
+    lastHits = 0;
+    hasLast = false;
+    seen.clear();
+    distinctCount = 0;
+    saturated = false;
+}
+
+} // namespace core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Per-entity value profile: a TNV table plus the running counters
+ * needed for the paper's metrics (thesis section III.C):
+ *
+ *  - Inv-Top : fraction of profiled executions that produced the most
+ *              frequent value in the final TNV table;
+ *  - Inv-All : fraction covered by all values in the final TNV table;
+ *  - LVP     : last-value predictability — fraction of executions whose
+ *              value equalled the immediately preceding one;
+ *  - Diff    : number of distinct values seen;
+ *  - %Zero   : fraction of executions producing zero.
+ *
+ * Inv-Top/Inv-All are computed from TNV counts, so (faithful to the
+ * paper) they slightly underestimate true frequencies when a hot value
+ * was evicted and re-entered the table.
+ */
+
+#ifndef VP_CORE_VALUE_PROFILE_HPP
+#define VP_CORE_VALUE_PROFILE_HPP
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/tnv_table.hpp"
+
+namespace core
+{
+
+/** Configuration for a ValueProfile. */
+struct ProfileConfig
+{
+    TnvConfig tnv;
+
+    /** Track last-value hits (LVP metric). */
+    bool trackLastValue = true;
+
+    /**
+     * Track the exact number of distinct values (Diff metric). The
+     * paper's profiler counted these exactly; we cap the set size to
+     * bound memory and report saturation.
+     */
+    bool trackDistinct = true;
+    std::size_t maxDistinct = 1u << 20;
+
+    /**
+     * Also keep a TNV table of successive-value *deltas* (stride
+     * profiling — the thesis's future-work hook for driving stride
+     * predictors from profiles: an instruction whose delta stream is
+     * invariant is stride-predictable even when its values are not).
+     */
+    bool trackStrides = false;
+    TnvConfig strideTnv;
+};
+
+/** Value profile of a single entity. */
+class ValueProfile
+{
+  public:
+    explicit ValueProfile(const ProfileConfig &config = {});
+
+    /** Record one observed value. */
+    void record(std::uint64_t value);
+
+    /** Profiled executions (record() calls). */
+    std::uint64_t executions() const { return table.recordCount(); }
+
+    /** Inv-Top in [0,1]; 0 when nothing was profiled. */
+    double invTop() const;
+
+    /** Inv-All in [0,1]; 0 when nothing was profiled. */
+    double invAll() const;
+
+    /** LVP in [0,1]; the first execution always misses. */
+    double lvp() const;
+
+    /** Fraction of executions that produced zero. */
+    double zeroFraction() const;
+
+    /** Number of distinct values seen (saturating). */
+    std::uint64_t distinct() const { return distinctCount; }
+    /** True if the distinct-value set hit its cap. */
+    bool distinctSaturated() const { return saturated; }
+
+    std::uint64_t zeroCount() const { return zeros; }
+    std::uint64_t lvpHits() const { return lastHits; }
+
+    const TnvTable &tnv() const { return table; }
+
+    /**
+     * Fraction of deltas equal to the most frequent delta (0 unless
+     * trackStrides is enabled and at least two values were recorded).
+     * A high strideInvTop with a nonzero top delta marks an
+     * instruction a stride predictor will capture.
+     */
+    double strideInvTop() const;
+
+    /** Most frequent successive delta (0 when unavailable). */
+    std::int64_t topStride() const;
+
+    /** The delta TNV table (empty unless trackStrides). */
+    const TnvTable &strideTnvTable() const { return strides; }
+
+    /** Forget everything (used between sampling epochs in tests). */
+    void reset();
+
+  private:
+    ProfileConfig cfg;
+    TnvTable table;
+    TnvTable strides;
+    std::uint64_t zeros = 0;
+    std::uint64_t lastHits = 0;
+    std::uint64_t lastValue = 0;
+    bool hasLast = false;
+    std::unordered_set<std::uint64_t> seen;
+    std::uint64_t distinctCount = 0;
+    bool saturated = false;
+};
+
+} // namespace core
+
+#endif // VP_CORE_VALUE_PROFILE_HPP

@@ -1,0 +1,61 @@
+#include "instrument/image.hpp"
+
+namespace instr
+{
+
+Image::Image(const vpsim::Program &program) : prog(program)
+{
+    for (const auto &p : prog.procs)
+        entryToProc[p.entry] = &p;
+}
+
+const vpsim::Procedure *
+Image::procAtEntry(std::uint32_t pc) const
+{
+    auto it = entryToProc.find(pc);
+    return it == entryToProc.end() ? nullptr : it->second;
+}
+
+const vpsim::Cfg &
+Image::cfg(const vpsim::Procedure &proc) const
+{
+    auto it = cfgCache.find(proc.entry);
+    if (it == cfgCache.end()) {
+        it = cfgCache
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(proc.entry),
+                          std::forward_as_tuple(prog, proc))
+                 .first;
+    }
+    return it->second;
+}
+
+std::vector<std::uint32_t>
+Image::instsWhere(const std::function<bool(std::uint32_t,
+                                           const vpsim::Inst &)> &pred)
+    const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t pc = 0; pc < prog.code.size(); ++pc)
+        if (pred(pc, prog.code[pc]))
+            out.push_back(pc);
+    return out;
+}
+
+std::vector<std::uint32_t>
+Image::regWritingInsts() const
+{
+    return instsWhere([](std::uint32_t, const vpsim::Inst &inst) {
+        return vpsim::writesDest(inst);
+    });
+}
+
+std::vector<std::uint32_t>
+Image::loadInsts() const
+{
+    return instsWhere([](std::uint32_t, const vpsim::Inst &inst) {
+        return vpsim::isLoad(inst.op);
+    });
+}
+
+} // namespace instr

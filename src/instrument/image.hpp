@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Static program-query interface in the style of ATOM [35].
+ *
+ * ATOM exposes an executable as Obj -> Proc -> Block -> Inst and lets
+ * an instrumentation tool iterate those elements to decide where to
+ * insert analysis calls. Image provides the same navigation over a
+ * VPSim Program: procedures, basic blocks (computed per procedure),
+ * and instructions with class predicates.
+ */
+
+#ifndef VP_INSTRUMENT_IMAGE_HPP
+#define VP_INSTRUMENT_IMAGE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "vpsim/cfg.hpp"
+#include "vpsim/program.hpp"
+
+namespace instr
+{
+
+/** Static view of a program for instrumentation-time queries. */
+class Image
+{
+  public:
+    explicit Image(const vpsim::Program &prog);
+
+    const vpsim::Program &program() const { return prog; }
+
+    /** All procedures in the image. */
+    const std::vector<vpsim::Procedure> &procedures() const
+    {
+        return prog.procs;
+    }
+
+    /** The procedure whose entry is exactly `pc`, or nullptr. */
+    const vpsim::Procedure *procAtEntry(std::uint32_t pc) const;
+
+    /** The procedure containing `pc`, or nullptr. */
+    const vpsim::Procedure *procContaining(std::uint32_t pc) const
+    {
+        return prog.procContaining(pc);
+    }
+
+    /** Lazily-built CFG of a procedure. */
+    const vpsim::Cfg &cfg(const vpsim::Procedure &proc) const;
+
+    /**
+     * Instruction indices satisfying a predicate — the ATOM idiom of
+     * "for each instruction in the image, if interesting, instrument".
+     */
+    std::vector<std::uint32_t>
+    instsWhere(const std::function<bool(std::uint32_t,
+                                        const vpsim::Inst &)> &pred) const;
+
+    /** All instructions that write a destination register. */
+    std::vector<std::uint32_t> regWritingInsts() const;
+
+    /** All load instructions. */
+    std::vector<std::uint32_t> loadInsts() const;
+
+    /** Static count of instructions in the image. */
+    std::size_t numInsts() const { return prog.code.size(); }
+
+  private:
+    const vpsim::Program &prog;
+    std::unordered_map<std::uint32_t, const vpsim::Procedure *>
+        entryToProc;
+    // Cache keyed by procedure entry pc.
+    mutable std::unordered_map<std::uint32_t, vpsim::Cfg> cfgCache;
+};
+
+} // namespace instr
+
+#endif // VP_INSTRUMENT_IMAGE_HPP

@@ -1,0 +1,111 @@
+#include "instrument/manager.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace instr
+{
+
+InstrumentManager::InstrumentManager(const Image &image)
+    : img(image), instTools(image.numInsts())
+{
+}
+
+void
+InstrumentManager::instrumentInst(std::uint32_t pc, Tool *tool)
+{
+    vp_assert(pc < instTools.size(), "pc %u out of range", pc);
+    vp_assert(tool != nullptr, "null tool");
+    instTools[pc].push_back(tool);
+}
+
+void
+InstrumentManager::instrumentInsts(const std::vector<std::uint32_t> &pcs,
+                                   Tool *tool)
+{
+    for (auto pc : pcs)
+        instrumentInst(pc, tool);
+}
+
+void
+InstrumentManager::instrumentLoads(Tool *tool)
+{
+    vp_assert(tool != nullptr, "null tool");
+    loadTools.push_back(tool);
+}
+
+void
+InstrumentManager::instrumentStores(Tool *tool)
+{
+    vp_assert(tool != nullptr, "null tool");
+    storeTools.push_back(tool);
+}
+
+void
+InstrumentManager::instrumentCalls(Tool *tool)
+{
+    vp_assert(tool != nullptr, "null tool");
+    callTools.push_back(tool);
+}
+
+void
+InstrumentManager::removeTool(Tool *tool)
+{
+    auto scrub = [tool](std::vector<Tool *> &v) {
+        v.erase(std::remove(v.begin(), v.end(), tool), v.end());
+    };
+    for (auto &v : instTools)
+        scrub(v);
+    scrub(loadTools);
+    scrub(storeTools);
+    scrub(callTools);
+}
+
+void
+InstrumentManager::onInst(std::uint32_t pc, const vpsim::Inst &inst,
+                          bool wrote, std::uint64_t value)
+{
+    const auto &tools = instTools[pc];
+    if (tools.empty())
+        return;
+    if (wrote) {
+        for (auto *t : tools)
+            t->onInstValue(pc, inst, value);
+    } else {
+        for (auto *t : tools)
+            t->onInstNoValue(pc, inst);
+    }
+}
+
+void
+InstrumentManager::onLoad(std::uint32_t pc, std::uint64_t addr,
+                          unsigned size, std::uint64_t value)
+{
+    for (auto *t : loadTools)
+        t->onLoadValue(pc, addr, size, value);
+}
+
+void
+InstrumentManager::onStore(std::uint32_t pc, std::uint64_t addr,
+                           unsigned size, std::uint64_t value)
+{
+    for (auto *t : storeTools)
+        t->onStoreValue(pc, addr, size, value);
+}
+
+void
+InstrumentManager::onCall(std::uint32_t caller_pc,
+                          std::uint32_t callee_entry,
+                          const std::uint64_t *arg_regs)
+{
+    if (callTools.empty())
+        return;
+    const vpsim::Procedure *proc = img.procAtEntry(callee_entry);
+    if (!proc)
+        return;
+    for (auto *t : callTools)
+        t->onProcCall(*proc, arg_regs, caller_pc);
+}
+
+} // namespace instr

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Analysis-tool dispatch, modelled on ATOM's instrumentation phase.
+ *
+ * A Tool is an analysis object (e.g. a value profiler). At
+ * instrumentation time the tool asks the InstrumentManager to route
+ * events to it: per-instruction result values (routed per pc, so
+ * uninstrumented instructions cost only an empty-slot check, like
+ * ATOM's selective insertion), loads, stores, and procedure calls.
+ * At run time the manager is the single ExecListener on the Cpu and
+ * fans events out to the registered tools.
+ */
+
+#ifndef VP_INSTRUMENT_MANAGER_HPP
+#define VP_INSTRUMENT_MANAGER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/image.hpp"
+#include "vpsim/cpu.hpp"
+
+namespace instr
+{
+
+/** Analysis callback interface; override what you need. */
+class Tool
+{
+  public:
+    virtual ~Tool() = default;
+
+    /** A routed instruction retired and wrote `value` to its dest. */
+    virtual void
+    onInstValue(std::uint32_t pc, const vpsim::Inst &inst,
+                std::uint64_t value)
+    {
+        (void)pc; (void)inst; (void)value;
+    }
+
+    /** A routed instruction retired without writing a register. */
+    virtual void
+    onInstNoValue(std::uint32_t pc, const vpsim::Inst &inst)
+    {
+        (void)pc; (void)inst;
+    }
+
+    /** Any load retired (global routing). */
+    virtual void
+    onLoadValue(std::uint32_t pc, std::uint64_t addr, unsigned size,
+                std::uint64_t value)
+    {
+        (void)pc; (void)addr; (void)size; (void)value;
+    }
+
+    /** Any store retired (global routing). */
+    virtual void
+    onStoreValue(std::uint32_t pc, std::uint64_t addr, unsigned size,
+                 std::uint64_t value)
+    {
+        (void)pc; (void)addr; (void)size; (void)value;
+    }
+
+    /**
+     * A call reached a known procedure entry (global routing).
+     * @param caller_pc  the call instruction's address — lets tools
+     *                   profile per call site (context sensitivity)
+     */
+    virtual void
+    onProcCall(const vpsim::Procedure &proc, const std::uint64_t *args,
+               std::uint32_t caller_pc)
+    {
+        (void)proc; (void)args; (void)caller_pc;
+    }
+};
+
+/** Routes Cpu events to registered tools. */
+class InstrumentManager : public vpsim::ExecListener
+{
+  public:
+    explicit InstrumentManager(const Image &image);
+
+    /** Route result values of one static instruction to a tool. */
+    void instrumentInst(std::uint32_t pc, Tool *tool);
+    /** Route result values of many instructions to a tool. */
+    void instrumentInsts(const std::vector<std::uint32_t> &pcs,
+                         Tool *tool);
+    /** Route all loads (dynamic) to a tool. */
+    void instrumentLoads(Tool *tool);
+    /** Route all stores (dynamic) to a tool. */
+    void instrumentStores(Tool *tool);
+    /** Route calls to declared procedures to a tool. */
+    void instrumentCalls(Tool *tool);
+
+    /** Remove a tool from every routing table. */
+    void removeTool(Tool *tool);
+
+    /** Attach to / detach from a Cpu as its listener. */
+    void attach(vpsim::Cpu &cpu) { cpu.addListener(this); }
+    void detach(vpsim::Cpu &cpu) { cpu.removeListener(this); }
+
+    const Image &image() const { return img; }
+
+    // ExecListener interface ------------------------------------------
+    void onInst(std::uint32_t pc, const vpsim::Inst &inst, bool wrote,
+                std::uint64_t value) override;
+    void onLoad(std::uint32_t pc, std::uint64_t addr, unsigned size,
+                std::uint64_t value) override;
+    void onStore(std::uint32_t pc, std::uint64_t addr, unsigned size,
+                 std::uint64_t value) override;
+    void onCall(std::uint32_t caller_pc, std::uint32_t callee_entry,
+                const std::uint64_t *arg_regs) override;
+
+  private:
+    const Image &img;
+    /** Per-pc tool lists; empty vectors for uninstrumented pcs. */
+    std::vector<std::vector<Tool *>> instTools;
+    std::vector<Tool *> loadTools;
+    std::vector<Tool *> storeTools;
+    std::vector<Tool *> callTools;
+};
+
+} // namespace instr
+
+#endif // VP_INSTRUMENT_MANAGER_HPP

@@ -1,0 +1,52 @@
+#include "predict/harness.hpp"
+
+namespace predict
+{
+
+ProfileGuidedPredictor::ProfileGuidedPredictor(
+    std::unique_ptr<ValuePredictor> inner_pred,
+    const core::ProfileSnapshot &profile, const FilterConfig &cfg)
+    : inner(std::move(inner_pred))
+{
+    for (const auto &[pc, summary] : profile.entities) {
+        if (summary.profiledExecutions < cfg.minExecutions)
+            continue;
+        if (summary.invTop < cfg.minInvTop)
+            continue;
+        if (summary.lvp < cfg.minLvp)
+            continue;
+        allowed.insert(static_cast<std::uint32_t>(pc));
+    }
+}
+
+std::string
+ProfileGuidedPredictor::name() const
+{
+    return "guided(" + inner->name() + ")";
+}
+
+bool
+ProfileGuidedPredictor::predict(std::uint32_t pc,
+                                std::uint64_t &prediction)
+{
+    if (!allowed.count(pc))
+        return false;
+    return inner->predict(pc, prediction);
+}
+
+void
+ProfileGuidedPredictor::update(std::uint32_t pc, std::uint64_t actual)
+{
+    if (!allowed.count(pc))
+        return;
+    inner->update(pc, actual);
+}
+
+void
+ProfileGuidedPredictor::reset()
+{
+    inner->reset();
+    statsData = {};
+}
+
+} // namespace predict

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Drives value predictors from a live instruction stream, and the
+ * profile-guided filter of Gabbay & Mendelson [18]: use a value
+ * profile to decide which static instructions are worth predicting at
+ * all, keeping variant instructions out of the prediction table.
+ */
+
+#ifndef VP_PREDICT_HARNESS_HPP
+#define VP_PREDICT_HARNESS_HPP
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "instrument/manager.hpp"
+#include "predict/predictor.hpp"
+
+namespace predict
+{
+
+/**
+ * Instrumentation tool feeding every routed instruction's result to a
+ * set of predictors (each sees the identical stream).
+ */
+class PredictionHarness : public instr::Tool
+{
+  public:
+    /** Attach a predictor (not owned). */
+    void
+    addPredictor(ValuePredictor *pred)
+    {
+        predictors.push_back(pred);
+    }
+
+    /** Route the chosen instructions through the manager. */
+    void
+    instrument(instr::InstrumentManager &mgr,
+               const std::vector<std::uint32_t> &pcs)
+    {
+        mgr.instrumentInsts(pcs, this);
+    }
+
+    void
+    onInstValue(std::uint32_t pc, const vpsim::Inst &inst,
+                std::uint64_t value) override
+    {
+        (void)inst;
+        for (auto *p : predictors)
+            p->see(pc, value);
+    }
+
+  private:
+    std::vector<ValuePredictor *> predictors;
+};
+
+/** How the profile-guided filter selects predictable instructions. */
+struct FilterConfig
+{
+    /** Minimum profiled Inv-Top (use 0 to filter on LVP only). */
+    double minInvTop = 0.0;
+    /** Minimum profiled LVP. */
+    double minLvp = 0.5;
+    /** Ignore instructions profiled fewer times than this. */
+    std::uint64_t minExecutions = 50;
+};
+
+/**
+ * A filtering wrapper: only the pcs classified predictable by the
+ * profile reach the inner predictor; everything else is never
+ * predicted and never pollutes the inner tables. Executions of
+ * filtered-out instructions still count in stats().executions so
+ * accuracies stay comparable with the unfiltered predictor.
+ */
+class ProfileGuidedPredictor final : public ValuePredictor
+{
+  public:
+    ProfileGuidedPredictor(std::unique_ptr<ValuePredictor> inner_pred,
+                           const core::ProfileSnapshot &profile,
+                           const FilterConfig &cfg = {});
+
+    std::string name() const override;
+    bool predict(std::uint32_t pc, std::uint64_t &prediction) override;
+    void update(std::uint32_t pc, std::uint64_t actual) override;
+    void reset() override;
+
+    /** Number of static instructions admitted by the filter. */
+    std::size_t admitted() const { return allowed.size(); }
+
+  private:
+    std::unique_ptr<ValuePredictor> inner;
+    std::unordered_set<std::uint32_t> allowed;
+};
+
+} // namespace predict
+
+#endif // VP_PREDICT_HARNESS_HPP

@@ -1,0 +1,388 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace predict
+{
+
+void
+ValuePredictor::see(std::uint32_t pc, std::uint64_t actual)
+{
+    ++statsData.executions;
+    std::uint64_t guess = 0;
+    if (predict(pc, guess)) {
+        ++statsData.predictions;
+        if (guess == actual)
+            ++statsData.correct;
+    }
+    update(pc, actual);
+}
+
+namespace
+{
+
+/** Hash a pc into a table index. */
+inline std::size_t
+tableIndex(std::uint32_t pc, unsigned bits)
+{
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(pc) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> (64 - bits));
+}
+
+// ---------------------------------------------------------------------
+// Last-value predictor
+// ---------------------------------------------------------------------
+
+class LastValuePredictor final : public ValuePredictor
+{
+  public:
+    explicit LastValuePredictor(const LvpConfig &config) : cfg(config)
+    {
+        entries.resize(std::size_t(1) << cfg.table.indexBits);
+    }
+
+    std::string name() const override { return "lvp"; }
+
+    bool
+    predict(std::uint32_t pc, std::uint64_t &prediction) override
+    {
+        const Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
+        if (!e.valid || (cfg.table.tagged && e.tag != pc))
+            return false;
+        if (cfg.confidenceBits && e.confidence < cfg.confidenceThreshold)
+            return false;
+        prediction = e.value;
+        return true;
+    }
+
+    void
+    update(std::uint32_t pc, std::uint64_t actual) override
+    {
+        Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
+        const bool owner = e.valid && (!cfg.table.tagged || e.tag == pc);
+        if (!owner) {
+            e = Entry{true, pc, actual, 0};
+            return;
+        }
+        const unsigned max_conf = (1u << cfg.confidenceBits) - 1;
+        if (e.value == actual) {
+            e.confidence = std::min(e.confidence + 1, max_conf);
+        } else {
+            e.value = actual;
+            e.confidence = e.confidence ? e.confidence - 1 : 0;
+        }
+    }
+
+    void
+    reset() override
+    {
+        std::fill(entries.begin(), entries.end(), Entry{});
+        statsData = {};
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint64_t value = 0;
+        unsigned confidence = 0;
+    };
+
+    LvpConfig cfg;
+    std::vector<Entry> entries;
+};
+
+// ---------------------------------------------------------------------
+// Stride predictor (two-delta)
+// ---------------------------------------------------------------------
+
+class StridePredictor final : public ValuePredictor
+{
+  public:
+    explicit StridePredictor(const StrideConfig &config) : cfg(config)
+    {
+        entries.resize(std::size_t(1) << cfg.table.indexBits);
+    }
+
+    std::string name() const override { return "stride"; }
+
+    bool
+    predict(std::uint32_t pc, std::uint64_t &prediction) override
+    {
+        const Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
+        if (!e.valid || (cfg.table.tagged && e.tag != pc))
+            return false;
+        if (!e.steady)
+            return false;
+        prediction = e.last + static_cast<std::uint64_t>(e.stride);
+        return true;
+    }
+
+    void
+    update(std::uint32_t pc, std::uint64_t actual) override
+    {
+        Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
+        const bool owner = e.valid && (!cfg.table.tagged || e.tag == pc);
+        if (!owner) {
+            e = Entry{true, pc, actual, 0, false, false};
+            return;
+        }
+        const auto new_stride = static_cast<std::int64_t>(actual - e.last);
+        if (e.haveStride && new_stride == e.stride) {
+            // Two-delta: a stride confirmed twice becomes steady.
+            e.steady = true;
+        } else {
+            e.steady = false;
+        }
+        e.stride = new_stride;
+        e.haveStride = true;
+        e.last = actual;
+    }
+
+    void
+    reset() override
+    {
+        std::fill(entries.begin(), entries.end(), Entry{});
+        statsData = {};
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint64_t last = 0;
+        std::int64_t stride = 0;
+        bool haveStride = false;
+        bool steady = false;
+    };
+
+    StrideConfig cfg;
+    std::vector<Entry> entries;
+};
+
+// ---------------------------------------------------------------------
+// Two-level context predictor (Wang & Franklin style)
+// ---------------------------------------------------------------------
+
+class TwoLevelPredictor final : public ValuePredictor
+{
+  public:
+    explicit TwoLevelPredictor(const TwoLevelConfig &config)
+        : cfg(config)
+    {
+        vp_assert(cfg.valuesPerEntry >= 2 && cfg.valuesPerEntry <= 8,
+                  "valuesPerEntry out of range");
+        vp_assert(cfg.historyLength >= 1 && cfg.historyLength <= 4,
+                  "historyLength out of range");
+        entries.resize(std::size_t(1) << cfg.table.indexBits);
+        patternCount = 1;
+        for (unsigned i = 0; i < cfg.historyLength; ++i)
+            patternCount *= cfg.valuesPerEntry;
+        for (auto &e : entries)
+            e.counters.assign(patternCount * cfg.valuesPerEntry, 0);
+    }
+
+    std::string name() const override { return "2level"; }
+
+    bool
+    predict(std::uint32_t pc, std::uint64_t &prediction) override
+    {
+        const Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
+        if (!e.valid || (cfg.table.tagged && e.tag != pc))
+            return false;
+        const unsigned base = e.history * cfg.valuesPerEntry;
+        unsigned best = 0;
+        for (unsigned i = 1; i < e.numValues; ++i)
+            if (e.counters[base + i] > e.counters[base + best])
+                best = i;
+        if (e.numValues == 0 ||
+            e.counters[base + best] < cfg.predictThreshold)
+            return false;
+        prediction = e.values[best];
+        return true;
+    }
+
+    void
+    update(std::uint32_t pc, std::uint64_t actual) override
+    {
+        Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
+        const bool owner = e.valid && (!cfg.table.tagged || e.tag == pc);
+        if (!owner) {
+            e.valid = true;
+            e.tag = pc;
+            e.numValues = 0;
+            e.history = 0;
+            std::fill(e.counters.begin(), e.counters.end(), 0u);
+        }
+        // Find (or allocate) the slot of this value.
+        unsigned slot = e.numValues;
+        for (unsigned i = 0; i < e.numValues; ++i) {
+            if (e.values[i] == actual) {
+                slot = i;
+                break;
+            }
+        }
+        if (slot == e.numValues) {
+            if (e.numValues < cfg.valuesPerEntry) {
+                e.values[e.numValues++] = actual;
+            } else {
+                // Replace the value with the lowest total counter mass.
+                std::vector<std::uint64_t> mass(cfg.valuesPerEntry, 0);
+                for (unsigned p = 0; p < patternCount; ++p)
+                    for (unsigned i = 0; i < cfg.valuesPerEntry; ++i)
+                        mass[i] += e.counters[p * cfg.valuesPerEntry + i];
+                slot = 0;
+                for (unsigned i = 1; i < cfg.valuesPerEntry; ++i)
+                    if (mass[i] < mass[slot])
+                        slot = i;
+                e.values[slot] = actual;
+                for (unsigned p = 0; p < patternCount; ++p)
+                    e.counters[p * cfg.valuesPerEntry + slot] = 0;
+            }
+        }
+        // Train the pattern counter for the current history.
+        const unsigned base = e.history * cfg.valuesPerEntry;
+        for (unsigned i = 0; i < cfg.valuesPerEntry; ++i) {
+            auto &c = e.counters[base + i];
+            if (i == slot)
+                c = std::min(c + 1, cfg.counterMax);
+            else if (c > 0)
+                --c;
+        }
+        // Shift the outer history.
+        e.history = (e.history * cfg.valuesPerEntry + slot) %
+                    patternCount;
+    }
+
+    void
+    reset() override
+    {
+        for (auto &e : entries) {
+            e.valid = false;
+            e.numValues = 0;
+            e.history = 0;
+            std::fill(e.counters.begin(), e.counters.end(), 0u);
+        }
+        statsData = {};
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        unsigned numValues = 0;
+        unsigned history = 0;
+        std::uint64_t values[8] = {};
+        std::vector<unsigned> counters;  ///< [pattern][value slot]
+    };
+
+    TwoLevelConfig cfg;
+    unsigned patternCount = 1;
+    std::vector<Entry> entries;
+};
+
+// ---------------------------------------------------------------------
+// Hybrid predictor with per-entry chooser
+// ---------------------------------------------------------------------
+
+class HybridPredictor final : public ValuePredictor
+{
+  public:
+    HybridPredictor(std::unique_ptr<ValuePredictor> first,
+                    std::unique_ptr<ValuePredictor> second,
+                    const TableConfig &chooser_cfg)
+        : a(std::move(first)), b(std::move(second)), cfg(chooser_cfg)
+    {
+        chooser.assign(std::size_t(1) << cfg.indexBits, 1);
+    }
+
+    std::string
+    name() const override
+    {
+        return "hybrid(" + a->name() + "+" + b->name() + ")";
+    }
+
+    bool
+    predict(std::uint32_t pc, std::uint64_t &prediction) override
+    {
+        std::uint64_t pa = 0, pb = 0;
+        const bool ha = a->predict(pc, pa);
+        const bool hb = b->predict(pc, pb);
+        if (!ha && !hb)
+            return false;
+        const unsigned sel = chooser[tableIndex(pc, cfg.indexBits)];
+        const bool use_b = hb && (!ha || sel >= 2);
+        prediction = use_b ? pb : pa;
+        return true;
+    }
+
+    void
+    update(std::uint32_t pc, std::uint64_t actual) override
+    {
+        // Re-query components to train the chooser on who was right.
+        std::uint64_t pa = 0, pb = 0;
+        const bool ha = a->predict(pc, pa);
+        const bool hb = b->predict(pc, pb);
+        const bool a_right = ha && pa == actual;
+        const bool b_right = hb && pb == actual;
+        auto &sel = chooser[tableIndex(pc, cfg.indexBits)];
+        if (b_right && !a_right && sel < 3)
+            ++sel;
+        else if (a_right && !b_right && sel > 0)
+            --sel;
+        a->update(pc, actual);
+        b->update(pc, actual);
+    }
+
+    void
+    reset() override
+    {
+        a->reset();
+        b->reset();
+        std::fill(chooser.begin(), chooser.end(), 1u);
+        statsData = {};
+    }
+
+  private:
+    std::unique_ptr<ValuePredictor> a;
+    std::unique_ptr<ValuePredictor> b;
+    TableConfig cfg;
+    std::vector<unsigned> chooser;
+};
+
+} // namespace
+
+std::unique_ptr<ValuePredictor>
+makeLastValuePredictor(const LvpConfig &cfg)
+{
+    return std::make_unique<LastValuePredictor>(cfg);
+}
+
+std::unique_ptr<ValuePredictor>
+makeStridePredictor(const StrideConfig &cfg)
+{
+    return std::make_unique<StridePredictor>(cfg);
+}
+
+std::unique_ptr<ValuePredictor>
+makeTwoLevelPredictor(const TwoLevelConfig &cfg)
+{
+    return std::make_unique<TwoLevelPredictor>(cfg);
+}
+
+std::unique_ptr<ValuePredictor>
+makeHybridPredictor(std::unique_ptr<ValuePredictor> first,
+                    std::unique_ptr<ValuePredictor> second,
+                    const TableConfig &chooser)
+{
+    return std::make_unique<HybridPredictor>(std::move(first),
+                                             std::move(second), chooser);
+}
+
+} // namespace predict

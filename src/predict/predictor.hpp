@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Value predictors (thesis chapter II context).
+ *
+ * The paper motivates value profiling partly through hardware value
+ * prediction [17, 27, 28]: a profile that classifies instructions as
+ * invariant/semi-invariant/variant lets the compiler tell the hardware
+ * which instructions are worth predicting (Gabbay & Mendelson [18]),
+ * raising prediction-table utilization and cutting mispredictions.
+ *
+ * This module implements the predictor families the thesis surveys —
+ * last-value (VHT), stride, two-level context (Wang & Franklin [39]),
+ * and hybrids — plus the profile-guided filter, so experiment E11 can
+ * regenerate the comparison's shape.
+ */
+
+#ifndef VP_PREDICT_PREDICTOR_HPP
+#define VP_PREDICT_PREDICTOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace predict
+{
+
+/** Outcome counters for one predictor run. */
+struct PredictorStats
+{
+    std::uint64_t executions = 0;   ///< values offered to the predictor
+    std::uint64_t predictions = 0;  ///< times it ventured a prediction
+    std::uint64_t correct = 0;      ///< predictions that matched
+
+    /** Fraction of executions predicted correctly (the paper's rate). */
+    double
+    accuracy() const
+    {
+        return executions
+                   ? static_cast<double>(correct) /
+                         static_cast<double>(executions)
+                   : 0.0;
+    }
+
+    /** Fraction of ventured predictions that were correct. */
+    double
+    precision() const
+    {
+        return predictions
+                   ? static_cast<double>(correct) /
+                         static_cast<double>(predictions)
+                   : 0.0;
+    }
+
+    /** Fraction of executions on which a prediction was ventured. */
+    double
+    coverage() const
+    {
+        return executions
+                   ? static_cast<double>(predictions) /
+                         static_cast<double>(executions)
+                   : 0.0;
+    }
+
+    std::uint64_t
+    mispredictions() const
+    {
+        return predictions - correct;
+    }
+};
+
+/**
+ * Abstract value predictor. Drive with predict() before each value
+ * retires and update() after; see() bundles both and keeps stats.
+ */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Predict the next value produced by static instruction `pc`.
+     * @return true if a prediction is ventured (stored in prediction).
+     */
+    virtual bool predict(std::uint32_t pc, std::uint64_t &prediction) = 0;
+
+    /** Train with the actual retired value. */
+    virtual void update(std::uint32_t pc, std::uint64_t actual) = 0;
+
+    /** Clear all tables and statistics. */
+    virtual void reset() = 0;
+
+    /** Predict + update + account one execution. */
+    void see(std::uint32_t pc, std::uint64_t actual);
+
+    const PredictorStats &stats() const { return statsData; }
+
+  protected:
+    PredictorStats statsData;
+};
+
+/** Common table-shape configuration. */
+struct TableConfig
+{
+    unsigned indexBits = 12;  ///< 2^indexBits entries
+    bool tagged = true;       ///< verify full pc match before predicting
+};
+
+/** Last-value predictor (the VHT of [17]). */
+struct LvpConfig
+{
+    TableConfig table;
+    /** Saturating-counter bits gating prediction (0 = always). */
+    unsigned confidenceBits = 2;
+    /** Counter value required to venture a prediction. */
+    unsigned confidenceThreshold = 2;
+};
+
+std::unique_ptr<ValuePredictor> makeLastValuePredictor(
+    const LvpConfig &cfg = {});
+
+/** Stride predictor (two-delta). */
+struct StrideConfig
+{
+    TableConfig table;
+};
+
+std::unique_ptr<ValuePredictor> makeStridePredictor(
+    const StrideConfig &cfg = {});
+
+/** Two-level context predictor after Wang & Franklin [39]. */
+struct TwoLevelConfig
+{
+    TableConfig table;
+    unsigned valuesPerEntry = 4;   ///< distinct values tracked
+    unsigned historyLength = 2;    ///< outer history (occurrences)
+    unsigned counterMax = 3;       ///< saturating pattern counters
+    unsigned predictThreshold = 2; ///< counter needed to predict
+};
+
+std::unique_ptr<ValuePredictor> makeTwoLevelPredictor(
+    const TwoLevelConfig &cfg = {});
+
+/**
+ * Hybrid of two component predictors with a per-entry chooser
+ * (2-bit selector trained toward whichever component was correct).
+ */
+std::unique_ptr<ValuePredictor> makeHybridPredictor(
+    std::unique_ptr<ValuePredictor> first,
+    std::unique_ptr<ValuePredictor> second,
+    const TableConfig &chooser = {});
+
+} // namespace predict
+
+#endif // VP_PREDICT_PREDICTOR_HPP

@@ -1,0 +1,588 @@
+#include "specialize/passes.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hpp"
+#include "vpsim/cfg.hpp"
+#include "vpsim/eval.hpp"
+
+namespace specialize
+{
+
+using vpsim::Inst;
+using vpsim::Opcode;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Constant lattice
+// ---------------------------------------------------------------------
+
+/** Lattice value for one register. */
+struct Lat
+{
+    enum Kind : std::uint8_t { Unknown, Const, Varying };
+    Kind kind = Unknown;
+    std::uint64_t value = 0;
+
+    static Lat varying() { return {Varying, 0}; }
+    static Lat constant(std::uint64_t v) { return {Const, v}; }
+
+    bool
+    operator==(const Lat &o) const
+    {
+        return kind == o.kind && (kind != Const || value == o.value);
+    }
+};
+
+/** Register-file abstract state. */
+struct RegState
+{
+    Lat regs[vpsim::numRegs];
+
+    bool
+    meetWith(const RegState &other)
+    {
+        bool changed = false;
+        for (unsigned r = 0; r < vpsim::numRegs; ++r) {
+            Lat &mine = regs[r];
+            const Lat &theirs = other.regs[r];
+            Lat merged = mine;
+            if (mine.kind == Lat::Unknown)
+                merged = theirs;
+            else if (theirs.kind == Lat::Unknown)
+                merged = mine;
+            else if (mine.kind == Lat::Const &&
+                     theirs.kind == Lat::Const &&
+                     mine.value == theirs.value)
+                merged = mine;
+            else
+                merged = Lat::varying();
+            if (!(merged == mine)) {
+                mine = merged;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+};
+
+/** True when the opcode reads inst.ra as a register operand. */
+bool
+readsRa(Opcode op)
+{
+    switch (op) {
+      case Opcode::LI:
+      case Opcode::JMP:
+      case Opcode::JAL:
+      case Opcode::SYSCALL:
+      case Opcode::NOP:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** True when the opcode reads inst.rb as a register operand. */
+bool
+readsRb(Opcode op)
+{
+    switch (vpsim::opcodeClass(op)) {
+      case vpsim::InstClass::Store:
+      case vpsim::InstClass::Branch:
+        return true;
+      default:
+        break;
+    }
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::SEQ: case Opcode::SNE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for call-like instructions (clobber the world, minus sp). */
+bool
+isCall(const Inst &inst)
+{
+    return inst.op == Opcode::JAL ||
+           (inst.op == Opcode::JALR && inst.rd != vpsim::regZero);
+}
+
+Lat
+readReg(const RegState &st, unsigned r)
+{
+    if (r == vpsim::regZero)
+        return Lat::constant(0);
+    return st.regs[r];
+}
+
+/** Abstract transfer of one instruction. */
+void
+transfer(const Inst &inst, RegState &st)
+{
+    if (isCall(inst)) {
+        // ABI: a call may clobber anything except the stack pointer
+        // (which every procedure in this repository restores).
+        for (unsigned r = 0; r < vpsim::numRegs; ++r)
+            if (r != vpsim::regSp && r != vpsim::regZero)
+                st.regs[r] = Lat::varying();
+        return;
+    }
+    if (!vpsim::writesDest(inst))
+        return;
+    Lat result = Lat::varying();
+    if (vpsim::isPureCompute(inst.op)) {
+        const Lat va = readReg(st, inst.ra);
+        const Lat vb = readReg(st, inst.rb);
+        const bool need_a = readsRa(inst.op);
+        const bool need_b = readsRb(inst.op);
+        if ((!need_a || va.kind == Lat::Const) &&
+            (!need_b || vb.kind == Lat::Const)) {
+            std::uint64_t out = 0;
+            if (vpsim::evalPure(inst, va.value, vb.value, out))
+                result = Lat::constant(out);
+        }
+    }
+    st.regs[inst.rd] = result;
+}
+
+/** Immediate-form twin of a reg-reg ALU opcode (NOP if none). */
+Opcode
+immediateForm(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return Opcode::ADDI;
+      case Opcode::MUL: return Opcode::MULI;
+      case Opcode::AND: return Opcode::ANDI;
+      case Opcode::OR: return Opcode::ORI;
+      case Opcode::XOR: return Opcode::XORI;
+      case Opcode::SLL: return Opcode::SLLI;
+      case Opcode::SRL: return Opcode::SRLI;
+      case Opcode::SRA: return Opcode::SRAI;
+      case Opcode::SLT: return Opcode::SLTI;
+      case Opcode::SEQ: return Opcode::SEQI;
+      case Opcode::SNE: return Opcode::SNEI;
+      default: return Opcode::NOP;
+    }
+}
+
+bool
+isCommutative(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::MUL: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SEQ:
+      case Opcode::SNE:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Constant propagation + folding
+// ---------------------------------------------------------------------
+
+PassStats
+constantFold(vpsim::Program &prog, std::uint32_t begin, std::uint32_t end,
+             const std::vector<Binding> &bindings)
+{
+    PassStats stats;
+    if (begin >= end)
+        return stats;
+    const vpsim::Cfg cfg(prog, begin, end);
+    const auto &blocks = cfg.blocks();
+
+    // Dataflow to fixpoint over block entry states.
+    std::vector<RegState> in(blocks.size());
+    RegState entry;
+    for (auto &lat : entry.regs)
+        lat = Lat::varying();
+    for (const auto &b : bindings) {
+        vp_assert(b.reg < vpsim::numRegs, "bad binding register %u",
+                  b.reg);
+        entry.regs[b.reg] = Lat::constant(b.value);
+    }
+    const std::uint32_t entry_block = cfg.blockOf(begin);
+    in[entry_block] = entry;
+
+    std::deque<std::uint32_t> work;
+    std::vector<bool> queued(blocks.size(), false);
+    work.push_back(entry_block);
+    queued[entry_block] = true;
+    while (!work.empty()) {
+        const std::uint32_t id = work.front();
+        work.pop_front();
+        queued[id] = false;
+        RegState st = in[id];
+        for (std::uint32_t pc = blocks[id].begin; pc < blocks[id].end;
+             ++pc)
+            transfer(prog.code[pc], st);
+        for (std::uint32_t succ : blocks[id].succs) {
+            if (in[succ].meetWith(st) && !queued[succ]) {
+                work.push_back(succ);
+                queued[succ] = true;
+            }
+        }
+    }
+
+    // Rewrite walk: recompute states per instruction inside each block.
+    for (std::uint32_t id = 0; id < blocks.size(); ++id) {
+        // Unreached blocks keep Unknown states; skip them (they are
+        // dead anyway and folding on Unknown would be unsound).
+        bool reached = id == entry_block;
+        if (!reached) {
+            for (unsigned r = 1; r < vpsim::numRegs && !reached; ++r)
+                reached = in[id].regs[r].kind != Lat::Unknown;
+        }
+        if (!reached)
+            continue;
+        RegState st = in[id];
+        for (std::uint32_t pc = blocks[id].begin; pc < blocks[id].end;
+             ++pc) {
+            Inst &inst = prog.code[pc];
+            const Lat va = readReg(st, inst.ra);
+            const Lat vb = readReg(st, inst.rb);
+
+            if (vpsim::isCondBranch(inst.op) &&
+                va.kind == Lat::Const && vb.kind == Lat::Const) {
+                bool taken = false;
+                const bool ok = vpsim::evalBranch(inst.op, va.value,
+                                                  vb.value, taken);
+                vp_assert(ok, "branch eval failed");
+                inst = taken ? Inst{Opcode::JMP, 0, 0, 0, inst.imm}
+                             : Inst{Opcode::NOP, 0, 0, 0, 0};
+                ++stats.branchesFolded;
+                transfer(inst, st);
+                continue;
+            }
+
+            if (vpsim::isPureCompute(inst.op) &&
+                inst.rd != vpsim::regZero) {
+                const bool need_a = readsRa(inst.op);
+                const bool need_b = readsRb(inst.op);
+                std::uint64_t out = 0;
+                if ((!need_a || va.kind == Lat::Const) &&
+                    (!need_b || vb.kind == Lat::Const) &&
+                    vpsim::evalPure(inst, va.value, vb.value, out)) {
+                    if (inst.op != Opcode::LI) {
+                        inst = Inst{Opcode::LI, inst.rd, 0, 0,
+                                    static_cast<std::int64_t>(out)};
+                        ++stats.foldedToConst;
+                    }
+                } else if (need_a && need_b) {
+                    // One known operand: prefer an immediate form.
+                    Lat known = vb;
+                    bool known_is_b = true;
+                    if (known.kind != Lat::Const &&
+                        isCommutative(inst.op)) {
+                        known = va;
+                        known_is_b = false;
+                    }
+                    const Opcode imm_op = immediateForm(inst.op);
+                    if (known.kind == Lat::Const &&
+                        imm_op != Opcode::NOP &&
+                        !(inst.op == Opcode::SLT && !known_is_b)) {
+                        const std::uint8_t src =
+                            known_is_b ? inst.ra : inst.rb;
+                        inst = Inst{imm_op, inst.rd, src, 0,
+                                    static_cast<std::int64_t>(
+                                        known.value)};
+                        ++stats.immediated;
+                    } else if (inst.op == Opcode::SUB &&
+                               vb.kind == Lat::Const) {
+                        inst = Inst{Opcode::ADDI, inst.rd, inst.ra, 0,
+                                    -static_cast<std::int64_t>(
+                                        vb.value)};
+                        ++stats.immediated;
+                    }
+                }
+            }
+            transfer(prog.code[pc], st);
+        }
+    }
+    return stats;
+}
+
+// ---------------------------------------------------------------------
+// Liveness + dead-code elimination
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+using LiveSet = std::uint32_t; // bit per register
+
+constexpr LiveSet
+bit(unsigned r)
+{
+    return LiveSet(1) << r;
+}
+
+/** Registers the caller may observe after the region exits. */
+LiveSet
+exitLiveSet()
+{
+    LiveSet s = 0;
+    for (unsigned r = vpsim::regA0; r <= vpsim::regA5; ++r)
+        s |= bit(r);
+    for (unsigned r = vpsim::regS0; r < vpsim::regGp; ++r)
+        s |= bit(r);
+    s |= bit(vpsim::regGp) | bit(vpsim::regSp) | bit(vpsim::regFp) |
+         bit(vpsim::regRa);
+    return s;
+}
+
+/** Caller-saved registers a call may clobber. */
+LiveSet
+callClobberSet()
+{
+    LiveSet s = bit(vpsim::regRa);
+    for (unsigned r = vpsim::regA0; r <= vpsim::regA5; ++r)
+        s |= bit(r);
+    for (unsigned r = vpsim::regT0; r < vpsim::regS0; ++r)
+        s |= bit(r);
+    return s;
+}
+
+/** use/def sets of one instruction for liveness purposes. */
+void
+useDef(const Inst &inst, LiveSet &use, LiveSet &def)
+{
+    use = def = 0;
+    if (isCall(inst)) {
+        // The callee reads its arguments and everything it is required
+        // to preserve; it clobbers the caller-saved set.
+        use = exitLiveSet() & ~bit(vpsim::regRa);
+        if (inst.op == Opcode::JALR)
+            use |= bit(inst.ra);
+        def = callClobberSet() | bit(inst.rd);
+        return;
+    }
+    if (readsRa(inst.op))
+        use |= bit(inst.ra);
+    if (readsRb(inst.op))
+        use |= bit(inst.rb);
+    if (inst.op == Opcode::SYSCALL)
+        use |= bit(vpsim::regA0);
+    if (vpsim::writesDest(inst))
+        def |= bit(inst.rd);
+}
+
+} // namespace
+
+PassStats
+deadCodeEliminate(vpsim::Program &prog, std::uint32_t begin,
+                  std::uint32_t end)
+{
+    PassStats stats;
+    if (begin >= end)
+        return stats;
+    const vpsim::Cfg cfg(prog, begin, end);
+    const auto &blocks = cfg.blocks();
+    const LiveSet exit_live = exitLiveSet();
+    const LiveSet all_live = ~LiveSet(0);
+
+    // Backward liveness to fixpoint at block granularity.
+    std::vector<LiveSet> live_in(blocks.size(), 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = blocks.size(); i-- > 0;) {
+            const auto &bb = blocks[i];
+            const Inst &last = prog.code[bb.end - 1];
+            LiveSet live = exit_live;
+            if (last.op == Opcode::JALR &&
+                last.rd == vpsim::regZero &&
+                last.ra != vpsim::regRa) {
+                // Computed jump: be fully conservative.
+                live = all_live;
+            }
+            for (std::uint32_t succ : bb.succs)
+                live |= live_in[succ];
+            for (std::uint32_t pc = bb.end; pc-- > bb.begin;) {
+                LiveSet use = 0, def = 0;
+                useDef(prog.code[pc], use, def);
+                live = (live & ~def) | use;
+            }
+            if (live != live_in[i]) {
+                live_in[i] = live;
+                changed = true;
+            }
+        }
+    }
+
+    // Removal walk: recompute per-instruction live-out backwards.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const auto &bb = blocks[i];
+        const Inst &last = prog.code[bb.end - 1];
+        LiveSet live = exit_live;
+        if (last.op == Opcode::JALR && last.rd == vpsim::regZero &&
+            last.ra != vpsim::regRa)
+            live = all_live;
+        for (std::uint32_t succ : bb.succs)
+            live |= live_in[succ];
+        for (std::uint32_t pc = bb.end; pc-- > bb.begin;) {
+            Inst &inst = prog.code[pc];
+            if (vpsim::isPureCompute(inst.op) &&
+                inst.rd != vpsim::regZero &&
+                (live & bit(inst.rd)) == 0) {
+                inst = Inst{Opcode::NOP, 0, 0, 0, 0};
+                ++stats.removedDead;
+                continue; // a NOP neither uses nor defines
+            }
+            LiveSet use = 0, def = 0;
+            useDef(inst, use, def);
+            live = (live & ~def) | use;
+        }
+    }
+    return stats;
+}
+
+// ---------------------------------------------------------------------
+// Unreachable-code elimination (single-entry regions only)
+// ---------------------------------------------------------------------
+
+PassStats
+removeUnreachable(vpsim::Program &prog, std::uint32_t begin,
+                  std::uint32_t end)
+{
+    PassStats stats;
+    if (begin >= end)
+        return stats;
+    const vpsim::Cfg cfg(prog, begin, end);
+    const auto &blocks = cfg.blocks();
+
+    std::vector<bool> reachable(blocks.size(), false);
+    std::vector<std::uint32_t> work{cfg.blockOf(begin)};
+    reachable[work.front()] = true;
+    while (!work.empty()) {
+        const std::uint32_t id = work.back();
+        work.pop_back();
+        for (std::uint32_t succ : blocks[id].succs) {
+            if (!reachable[succ]) {
+                reachable[succ] = true;
+                work.push_back(succ);
+            }
+        }
+    }
+
+    for (std::uint32_t id = 0; id < blocks.size(); ++id) {
+        if (reachable[id])
+            continue;
+        for (std::uint32_t pc = blocks[id].begin; pc < blocks[id].end;
+             ++pc) {
+            if (prog.code[pc].op != Opcode::NOP) {
+                prog.code[pc] = Inst{Opcode::NOP, 0, 0, 0, 0};
+                ++stats.removedDead;
+            }
+        }
+    }
+    return stats;
+}
+
+// ---------------------------------------------------------------------
+// NOP compaction
+// ---------------------------------------------------------------------
+
+PassStats
+compactNops(vpsim::Program &prog, std::uint32_t begin, std::uint32_t end)
+{
+    PassStats stats;
+    vp_assert(begin <= end && end <= prog.code.size(),
+              "bad region [%u,%u)", begin, end);
+
+    // survivors_before[i]: surviving region instructions before index
+    // begin+i; plus a final entry for "all of them".
+    std::vector<std::uint32_t> survivors_before(end - begin + 1, 0);
+    std::uint32_t kept = 0;
+    for (std::uint32_t pc = begin; pc < end; ++pc) {
+        survivors_before[pc - begin] = kept;
+        if (prog.code[pc].op != Opcode::NOP)
+            ++kept;
+    }
+    survivors_before[end - begin] = kept;
+    const std::uint32_t removed = (end - begin) - kept;
+    if (removed == 0)
+        return stats;
+    stats.nopsCompacted = removed;
+
+    auto remap = [&](std::int64_t target) -> std::int64_t {
+        const auto t = static_cast<std::uint64_t>(target);
+        if (t < begin)
+            return target;
+        if (t >= end)
+            return target - removed;
+        // Targets that landed on a removed NOP slide to the next
+        // surviving instruction.
+        return static_cast<std::int64_t>(begin +
+                                         survivors_before[t - begin]);
+    };
+
+    // Rewrite control-flow targets program-wide (before moving code).
+    for (auto &inst : prog.code) {
+        if (vpsim::isControl(inst.op) && inst.op != Opcode::JALR)
+            inst.imm = remap(inst.imm);
+    }
+
+    // Compact the instruction vector.
+    std::vector<Inst> code;
+    code.reserve(prog.code.size() - removed);
+    for (std::uint32_t pc = 0; pc < prog.code.size(); ++pc) {
+        if (pc >= begin && pc < end && prog.code[pc].op == Opcode::NOP)
+            continue;
+        code.push_back(prog.code[pc]);
+    }
+    prog.code = std::move(code);
+
+    // Fix symbol tables, procedures, and the entry point.
+    for (auto &[name, idx] : prog.codeLabels)
+        idx = static_cast<std::uint32_t>(remap(idx));
+    for (auto &proc : prog.procs) {
+        proc.entry = static_cast<std::uint32_t>(remap(proc.entry));
+        // `end` is one-past: remap as an exclusive bound.
+        proc.end = static_cast<std::uint32_t>(
+            proc.end >= end ? proc.end - removed
+            : proc.end <= begin
+                ? proc.end
+                : begin + survivors_before[proc.end - begin]);
+    }
+    prog.entryPoint = static_cast<std::uint32_t>(remap(prog.entryPoint));
+    return stats;
+}
+
+PassStats
+optimizeRegion(vpsim::Program &prog, std::uint32_t begin,
+               std::uint32_t end, const std::vector<Binding> &bindings,
+               bool single_entry)
+{
+    PassStats total;
+    for (int iter = 0; iter < 10; ++iter) {
+        const PassStats cf = constantFold(prog, begin, end, bindings);
+        const PassStats dce = deadCodeEliminate(prog, begin, end);
+        total.foldedToConst += cf.foldedToConst;
+        total.immediated += cf.immediated;
+        total.branchesFolded += cf.branchesFolded;
+        total.removedDead += dce.removedDead;
+        if (cf.total() + dce.total() == 0)
+            break;
+    }
+    if (single_entry)
+        total.removedDead +=
+            removeUnreachable(prog, begin, end).removedDead;
+    const PassStats compact = compactNops(prog, begin, end);
+    total.nopsCompacted = compact.nopsCompacted;
+    return total;
+}
+
+} // namespace specialize

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Optimization passes used by the profile-guided specializer: sparse
+ * constant propagation/folding (seeded with profiled values), branch
+ * folding, ABI-based liveness with dead-code elimination, and NOP
+ * compaction. All passes operate on a contiguous instruction region —
+ * in practice the freshly-cloned copy of the procedure being
+ * specialized — and keep indices stable except compactNops(), which is
+ * only safe on a region nothing external jumps into (other than its
+ * entry, which it remaps for the caller).
+ */
+
+#ifndef VP_SPECIALIZE_PASSES_HPP
+#define VP_SPECIALIZE_PASSES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "vpsim/program.hpp"
+
+namespace specialize
+{
+
+/** A register known to hold a constant at region entry. */
+struct Binding
+{
+    std::uint8_t reg = 0;
+    std::uint64_t value = 0;
+};
+
+/** Counters reported by the rewriting passes. */
+struct PassStats
+{
+    unsigned foldedToConst = 0;   ///< instructions rewritten to LI
+    unsigned immediated = 0;      ///< reg-reg ops rewritten to reg-imm
+    unsigned branchesFolded = 0;  ///< conditional branches decided
+    unsigned removedDead = 0;     ///< instructions NOPed by DCE
+    unsigned nopsCompacted = 0;   ///< NOPs deleted by compaction
+
+    unsigned
+    total() const
+    {
+        return foldedToConst + immediated + branchesFolded +
+               removedDead + nopsCompacted;
+    }
+};
+
+/**
+ * Constant propagation + folding over [begin, end) of prog.
+ *
+ * Seeds the region entry with `bindings` (and r0 = 0 everywhere),
+ * runs a forward dataflow to fixpoint, then rewrites:
+ *  - pure computations with fully-known inputs  -> LI rd, value
+ *  - reg-reg ALU ops with one known input       -> immediate form
+ *  - conditional branches with a known outcome  -> JMP or NOP
+ *
+ * Calls (JAL, linking JALR) conservatively invalidate every register
+ * except sp. Loads always produce unknown values (memory is not
+ * tracked). Computed jumps (non-linking JALR) end constant tracking
+ * for their block.
+ */
+PassStats constantFold(vpsim::Program &prog, std::uint32_t begin,
+                       std::uint32_t end,
+                       const std::vector<Binding> &bindings);
+
+/**
+ * Dead-code elimination over [begin, end).
+ *
+ * Backward liveness under the documented ABI: at region exits
+ * (returns, jumps leaving the region, falling off the end) the
+ * caller-visible registers {a0-a5, s0-s7, gp, sp, fp, ra} are live and
+ * temporaries are dead. Pure computations whose destination is dead
+ * are replaced with NOP.
+ */
+PassStats deadCodeEliminate(vpsim::Program &prog, std::uint32_t begin,
+                            std::uint32_t end);
+
+/**
+ * Replace instructions unreachable from the region entry (via static
+ * control flow) with NOPs. Only sound for single-entry regions that
+ * nothing jumps into from outside and that contain no computed-jump
+ * *targets* — true for freshly cloned procedure bodies, whose interior
+ * cannot be addressed by jump tables (those keep pointing at the
+ * original code). Branch folding creates exactly such dead arms.
+ */
+PassStats removeUnreachable(vpsim::Program &prog, std::uint32_t begin,
+                            std::uint32_t end);
+
+/**
+ * Delete NOPs from [begin, end), shifting the tail of the region and
+ * remapping all control-flow targets that point into it (from inside
+ * and outside the region). Also rewrites prog.procs/codeLabels and
+ * shrinks prog.code. Only correct when nothing jumps into the interior
+ * of the compacted region from outside — true for freshly appended
+ * clones. Returns the number of instructions removed.
+ */
+PassStats compactNops(vpsim::Program &prog, std::uint32_t begin,
+                      std::uint32_t end);
+
+/**
+ * Run constantFold + deadCodeEliminate (iterated to fixpoint), then —
+ * when `single_entry` asserts the region is a fresh clone nothing
+ * external jumps into — removeUnreachable, and finally compactNops.
+ * The convenience used by the Specializer.
+ */
+PassStats optimizeRegion(vpsim::Program &prog, std::uint32_t begin,
+                         std::uint32_t end,
+                         const std::vector<Binding> &bindings,
+                         bool single_entry = false);
+
+} // namespace specialize
+
+#endif // VP_SPECIALIZE_PASSES_HPP

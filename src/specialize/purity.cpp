@@ -1,0 +1,99 @@
+#include "specialize/purity.hpp"
+
+#include "support/logging.hpp"
+
+namespace specialize
+{
+
+using vpsim::Inst;
+using vpsim::Opcode;
+
+const char *
+purityName(Purity purity)
+{
+    switch (purity) {
+      case Purity::Pure: return "pure";
+      case Purity::HasLoad: return "loads memory";
+      case Purity::HasStore: return "stores memory";
+      case Purity::HasSyscall: return "makes syscalls";
+      case Purity::HasComputedJump: return "computed jump";
+      case Purity::CallsImpure: return "calls impure";
+      case Purity::EscapesBody: return "escapes body";
+      default: vp_panic("bad purity %d", static_cast<int>(purity));
+    }
+}
+
+PurityAnalysis::PurityAnalysis(const vpsim::Program &prog)
+{
+    // Pass 1: local verdicts, treating every call as potentially pure.
+    struct Local
+    {
+        Purity purity = Purity::Pure;
+        std::vector<const vpsim::Procedure *> callees;
+    };
+    std::unordered_map<std::string, Local> locals;
+
+    for (const auto &proc : prog.procs) {
+        Local local;
+        for (std::uint32_t pc = proc.entry;
+             pc < proc.end && local.purity == Purity::Pure; ++pc) {
+            const Inst &inst = prog.code[pc];
+            if (vpsim::isLoad(inst.op)) {
+                local.purity = Purity::HasLoad;
+            } else if (vpsim::isStore(inst.op)) {
+                local.purity = Purity::HasStore;
+            } else if (inst.op == Opcode::SYSCALL) {
+                local.purity = Purity::HasSyscall;
+            } else if (inst.op == Opcode::JALR) {
+                // A non-linking JALR through ra is a return; anything
+                // else is a computed jump or indirect call.
+                if (!(inst.rd == vpsim::regZero &&
+                      inst.ra == vpsim::regRa))
+                    local.purity = Purity::HasComputedJump;
+            } else if (inst.op == Opcode::JAL) {
+                const auto target =
+                    static_cast<std::uint32_t>(inst.imm);
+                const vpsim::Procedure *callee =
+                    prog.procContaining(target);
+                if (!callee || callee->entry != target)
+                    local.purity = Purity::EscapesBody;
+                else
+                    local.callees.push_back(callee);
+            } else if (vpsim::isControl(inst.op)) {
+                const auto target =
+                    static_cast<std::uint32_t>(inst.imm);
+                if (target < proc.entry || target >= proc.end)
+                    local.purity = Purity::EscapesBody;
+            }
+        }
+        locals[proc.name] = std::move(local);
+        verdicts[proc.name] = locals[proc.name].purity;
+    }
+
+    // Pass 2: propagate impurity through calls to fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &proc : prog.procs) {
+            Purity &verdict = verdicts[proc.name];
+            if (verdict != Purity::Pure)
+                continue;
+            for (const auto *callee : locals[proc.name].callees) {
+                if (verdicts[callee->name] != Purity::Pure) {
+                    verdict = Purity::CallsImpure;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+Purity
+PurityAnalysis::verdict(const std::string &proc_name) const
+{
+    auto it = verdicts.find(proc_name);
+    return it == verdicts.end() ? Purity::EscapesBody : it->second;
+}
+
+} // namespace specialize

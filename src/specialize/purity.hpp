@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Static purity analysis over procedures.
+ *
+ * A procedure is *pure* when its result depends only on its register
+ * arguments and it has no side effects: no stores, no syscalls, no
+ * computed jumps, no loads (memory may change between calls), and
+ * only calls to procedures already known pure. Pure procedures are
+ * the legal targets for memoization (Richardson [32], thesis §IV.C.4)
+ * and can be constant-folded away entirely when all arguments are
+ * profiled invariant.
+ *
+ * The analysis is a fixpoint over the call graph: procedures start
+ * optimistically pure and are demoted by offending instructions or by
+ * calling an impure/unknown target.
+ */
+
+#ifndef VP_SPECIALIZE_PURITY_HPP
+#define VP_SPECIALIZE_PURITY_HPP
+
+#include <string>
+#include <unordered_map>
+
+#include "vpsim/program.hpp"
+
+namespace specialize
+{
+
+/** Why a procedure is impure (Pure if none). */
+enum class Purity
+{
+    Pure,
+    HasLoad,
+    HasStore,
+    HasSyscall,
+    HasComputedJump,
+    CallsImpure,
+    EscapesBody,  ///< branches outside its own range
+};
+
+/** Printable name for a purity verdict. */
+const char *purityName(Purity purity);
+
+/** Per-procedure purity verdicts for a whole program. */
+class PurityAnalysis
+{
+  public:
+    explicit PurityAnalysis(const vpsim::Program &prog);
+
+    /** Verdict for a procedure (EscapesBody if unknown name). */
+    Purity verdict(const std::string &proc_name) const;
+
+    bool
+    isPure(const std::string &proc_name) const
+    {
+        return verdict(proc_name) == Purity::Pure;
+    }
+
+    const std::unordered_map<std::string, Purity> &
+    all() const
+    {
+        return verdicts;
+    }
+
+  private:
+    std::unordered_map<std::string, Purity> verdicts;
+};
+
+} // namespace specialize
+
+#endif // VP_SPECIALIZE_PURITY_HPP

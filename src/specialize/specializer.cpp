@@ -1,0 +1,136 @@
+#include "specialize/specializer.hpp"
+
+#include "support/logging.hpp"
+
+namespace specialize
+{
+
+using vpsim::Inst;
+using vpsim::Opcode;
+
+SpecializeResult
+specializeProcedure(const vpsim::Program &prog,
+                    const std::string &proc_name,
+                    const std::vector<Binding> &bindings)
+{
+    const vpsim::Procedure *proc = prog.findProc(proc_name);
+    if (!proc)
+        vp_fatal("cannot specialize unknown procedure '%s'",
+                 proc_name.c_str());
+    if (proc->entry >= proc->end)
+        vp_fatal("procedure '%s' has an empty body", proc_name.c_str());
+    if (bindings.empty())
+        vp_fatal("specializing '%s' with no bindings", proc_name.c_str());
+    for (const auto &b : bindings) {
+        if (b.reg == vpsim::regZero || b.reg >= vpsim::numRegs)
+            vp_fatal("binding register r%u is not specializable", b.reg);
+    }
+
+    SpecializeResult result;
+    vpsim::Program &out = result.program;
+    out = prog;
+
+    // ------------------------------------------------------------------
+    // 1. Clone the body to the end of the program.
+    //
+    // Intra-procedure branches and plain jumps are remapped into the
+    // clone. Calls (JAL) are deliberately NOT remapped, even
+    // self-recursive ones: a recursive call's arguments need not
+    // satisfy the bindings, so recursion must re-enter through the
+    // guard, which step 3 arranges by retargeting every call to the
+    // procedure.
+    // ------------------------------------------------------------------
+    const auto clone_begin = static_cast<std::uint32_t>(out.code.size());
+    const std::uint32_t body_len = proc->end - proc->entry;
+    for (std::uint32_t pc = proc->entry; pc < proc->end; ++pc) {
+        Inst inst = out.code[pc];
+        if (vpsim::isControl(inst.op) && inst.op != Opcode::JALR &&
+            inst.op != Opcode::JAL) {
+            const auto target = static_cast<std::uint32_t>(inst.imm);
+            if (target >= proc->entry && target < proc->end)
+                inst.imm = clone_begin + (target - proc->entry);
+        }
+        out.code.push_back(inst);
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Optimize the clone under the bindings.
+    // ------------------------------------------------------------------
+    // The clone is single-entry: nothing outside jumps into it (jump
+    // tables keep addressing the original body), so unreachable arms
+    // cut off by branch folding can be deleted outright.
+    result.stats = optimizeRegion(out, clone_begin,
+                                  clone_begin + body_len, bindings,
+                                  /*single_entry=*/true);
+    const auto clone_end = static_cast<std::uint32_t>(out.code.size());
+
+    // ------------------------------------------------------------------
+    // 3. Append the guard and retarget call sites.
+    //
+    // The guard tests each bound register and falls back to the
+    // untouched original entry on any mismatch. It clobbers only t9,
+    // which the ABI leaves dead at procedure entry (temporaries are
+    // caller-saved).
+    // ------------------------------------------------------------------
+    const auto guard_begin = static_cast<std::uint32_t>(out.code.size());
+    for (const auto &b : bindings) {
+        out.code.push_back(Inst{Opcode::LI, vpsim::regT0 + 9, 0, 0,
+                                static_cast<std::int64_t>(b.value)});
+        out.code.push_back(
+            Inst{Opcode::BNE, 0, b.reg, vpsim::regT0 + 9,
+                 static_cast<std::int64_t>(proc->entry)});
+    }
+    out.code.push_back(
+        Inst{Opcode::JMP, 0, 0, 0,
+             static_cast<std::int64_t>(clone_begin)});
+    const auto guard_end = static_cast<std::uint32_t>(out.code.size());
+
+    // Retarget every direct call to the procedure (the original code,
+    // other procedures, the clone's own recursion). Indirect calls and
+    // function-pointer tables keep reaching the original entry, which
+    // stays fully functional.
+    for (std::uint32_t pc = 0; pc < guard_begin; ++pc) {
+        Inst &inst = out.code[pc];
+        if (inst.op == Opcode::JAL &&
+            static_cast<std::uint32_t>(inst.imm) == proc->entry)
+            inst.imm = guard_begin;
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Bookkeeping: procedure records and labels for the new code.
+    // ------------------------------------------------------------------
+    vpsim::Procedure spec_proc;
+    spec_proc.name = proc_name + "$spec";
+    spec_proc.entry = clone_begin;
+    spec_proc.end = clone_end;
+    spec_proc.numArgs = proc->numArgs;
+    out.procs.push_back(spec_proc);
+    out.codeLabels[proc_name + "$spec"] = clone_begin;
+    out.codeLabels[proc_name + "$guard"] = guard_begin;
+
+    result.guardEntry = guard_begin;
+    result.specializedEntry = clone_begin;
+    result.specializedEnd = clone_end;
+    result.guardLength = guard_end - guard_begin;
+
+    const std::string err = out.validate();
+    if (!err.empty())
+        vp_fatal("specialized program invalid: %s", err.c_str());
+    return result;
+}
+
+SpeedupReport
+compareRuns(vpsim::Cpu &original, vpsim::Cpu &specialized)
+{
+    SpeedupReport report;
+    const vpsim::RunResult orig = original.run();
+    const vpsim::RunResult spec = specialized.run();
+    report.originalInsts = orig.dynamicInsts;
+    report.specializedInsts = spec.dynamicInsts;
+    report.outputsMatch = orig.exited() && spec.exited() &&
+                          orig.exitCode == spec.exitCode &&
+                          original.output() == specialized.output();
+    return report;
+}
+
+} // namespace specialize

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Profile-guided code specialization (thesis chapter X).
+ *
+ * Given a procedure and a set of register->constant bindings (found by
+ * the value/parameter profilers), the specializer:
+ *
+ *  1. clones the procedure body to the end of the program, remapping
+ *     intra-procedure control flow;
+ *  2. optimizes the clone with the bindings seeded as constants
+ *     (constant folding, branch folding, ABI-based DCE, compaction);
+ *  3. appends a guard block that tests each bound register against its
+ *     profiled value, dispatching to the specialized clone on a full
+ *     match and to the untouched original body otherwise — and then
+ *     retargets every direct call site (including the clone's own
+ *     recursive calls, whose arguments need not satisfy the bindings)
+ *     at the guard.
+ *
+ * Because the guard re-tests on every call, the transformation is
+ * semantically transparent whatever values arrive at run time — the
+ * paper's requirement that specialization on *semi*-invariant values
+ * must keep a general path. Indirect calls through function pointers
+ * are not retargeted; they keep using the original body.
+ */
+
+#ifndef VP_SPECIALIZE_SPECIALIZER_HPP
+#define VP_SPECIALIZE_SPECIALIZER_HPP
+
+#include <string>
+#include <vector>
+
+#include "specialize/passes.hpp"
+#include "vpsim/cpu.hpp"
+#include "vpsim/program.hpp"
+
+namespace specialize
+{
+
+/** Outcome of specializing one procedure. */
+struct SpecializeResult
+{
+    vpsim::Program program;          ///< the rewritten program
+    std::uint32_t guardEntry = 0;    ///< first instruction of the guard
+    std::uint32_t specializedEntry = 0; ///< entry of the optimized clone
+    std::uint32_t specializedEnd = 0;   ///< one past the clone
+    PassStats stats;                 ///< optimization counters
+    std::uint32_t guardLength = 0;   ///< instructions in the guard block
+};
+
+/**
+ * Specialize `proc_name` in `prog` under `bindings`.
+ *
+ * Bindings refer to register contents at procedure entry (argument
+ * registers for parameter-profile-driven specialization). fatal() if
+ * the procedure does not exist or has an empty body.
+ */
+SpecializeResult specializeProcedure(const vpsim::Program &prog,
+                                     const std::string &proc_name,
+                                     const std::vector<Binding> &bindings);
+
+/** Dynamic-cost comparison of original vs specialized program. */
+struct SpeedupReport
+{
+    std::uint64_t originalInsts = 0;
+    std::uint64_t specializedInsts = 0;
+    bool outputsMatch = false;
+
+    double
+    speedup() const
+    {
+        return specializedInsts
+                   ? static_cast<double>(originalInsts) /
+                         static_cast<double>(specializedInsts)
+                   : 0.0;
+    }
+};
+
+/**
+ * Run both programs with identical initial memory contents (prepared
+ * by the caller via the two Cpus) and compare outputs and dynamic
+ * instruction counts.
+ */
+SpeedupReport compareRuns(vpsim::Cpu &original, vpsim::Cpu &specialized);
+
+} // namespace specialize
+
+#endif // VP_SPECIALIZE_SPECIALIZER_HPP

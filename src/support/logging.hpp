@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger or core dump can capture state.
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            malformed assembly, missing workload); exits cleanly.
+ * warn()   — something is suspicious but execution can continue.
+ * inform() — plain status output for the user.
+ */
+
+#ifndef VP_SUPPORT_LOGGING_HPP
+#define VP_SUPPORT_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace vp
+{
+
+/** Print "panic: ..." with source location and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "panic: assertion 'cond' failed: ..." and abort(). */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** Print "fatal: ..." and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print "warn: ..." to stderr. */
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+} // namespace vp
+
+#define vp_panic(...) ::vp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define vp_fatal(...) ::vp::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define vp_warn(...) ::vp::warnImpl(__VA_ARGS__)
+#define vp_inform(...) ::vp::informImpl(__VA_ARGS__)
+
+/**
+ * Internal invariant check that is kept in release builds. Use for
+ * conditions that indicate library bugs, not user errors.
+ */
+#define vp_assert(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::vp::assertFailImpl(__FILE__, __LINE__, #cond, __VA_ARGS__);    \
+    } while (0)
+
+#endif // VP_SUPPORT_LOGGING_HPP

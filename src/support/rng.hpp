@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the repository (input-set generators,
+ * synthetic value streams for tests) draws from this generator so that
+ * experiments are exactly reproducible across runs and machines.
+ */
+
+#ifndef VP_SUPPORT_RNG_HPP
+#define VP_SUPPORT_RNG_HPP
+
+#include <cstdint>
+
+namespace vp
+{
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256** seeded via splitmix64).
+ *
+ * Not cryptographic; statistically solid for workload generation.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the four state words.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next uniformly distributed 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for the bounds used here.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_RNG_HPP

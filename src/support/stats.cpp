@@ -1,0 +1,139 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hpp"
+
+namespace vp
+{
+
+void
+RunningStat::add(double x)
+{
+    addWeighted(x, 1.0);
+}
+
+void
+RunningStat::addWeighted(double x, double weight)
+{
+    vp_assert(weight >= 0.0, "negative weight %f", weight);
+    if (weight == 0.0)
+        return;
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    // Weighted Welford update (West 1979).
+    wsum += weight;
+    const double delta = x - mu;
+    mu += (weight / wsum) * delta;
+    m2 += weight * delta * (x - mu);
+}
+
+double
+RunningStat::variance() const
+{
+    return wsum > 0.0 ? m2 / wsum : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+UnitHistogram::UnitHistogram(std::size_t num_buckets)
+    : weights(num_buckets, 0.0)
+{
+    vp_assert(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+UnitHistogram::add(double x, double weight)
+{
+    x = std::clamp(x, 0.0, 1.0);
+    std::size_t idx = static_cast<std::size_t>(x * weights.size());
+    if (idx == weights.size())
+        idx = weights.size() - 1; // x == 1.0 lands in the top bucket
+    weights[idx] += weight;
+    totalWeight += weight;
+}
+
+double
+UnitHistogram::bucketWeight(std::size_t i) const
+{
+    vp_assert(i < weights.size(), "bucket %zu out of range", i);
+    return weights[i];
+}
+
+double
+UnitHistogram::bucketFraction(std::size_t i) const
+{
+    return totalWeight > 0.0 ? bucketWeight(i) / totalWeight : 0.0;
+}
+
+std::string
+UnitHistogram::bucketLabel(std::size_t i) const
+{
+    vp_assert(i < weights.size(), "bucket %zu out of range", i);
+    const double width = 100.0 / static_cast<double>(weights.size());
+    char buf[48];
+    if (i + 1 == weights.size()) {
+        std::snprintf(buf, sizeof(buf), "[%.0f,100]", width * i);
+    } else {
+        std::snprintf(buf, sizeof(buf), "[%.0f,%.0f)", width * i,
+                      width * (i + 1));
+    }
+    return buf;
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    vp_assert(xs.size() == ys.size(), "series length mismatch %zu vs %zu",
+              xs.size(), ys.size());
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= n;
+    my /= n;
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+weightedMean(const std::vector<double> &values,
+             const std::vector<double> &weights)
+{
+    vp_assert(values.size() == weights.size(),
+              "series length mismatch %zu vs %zu", values.size(),
+              weights.size());
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        num += values[i] * weights[i];
+        den += weights[i];
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace vp

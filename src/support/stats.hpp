@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the profilers and benches:
+ * running summaries, fixed-bucket histograms, and correlation.
+ */
+
+#ifndef VP_SUPPORT_STATS_HPP
+#define VP_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vp
+{
+
+/**
+ * Running univariate summary: count, mean, min, max, variance
+ * (Welford's online algorithm, numerically stable).
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+    /** Add one observation with a nonnegative weight. */
+    void addWeighted(double x, double weight);
+
+    std::uint64_t count() const { return n; }
+    double totalWeight() const { return wsum; }
+    double mean() const { return n ? mu : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    /** Population variance of the (weighted) observations. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t n = 0;
+    double wsum = 0.0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Histogram over [0, 1] with a fixed number of equal-width buckets.
+ *
+ * Used for the paper's execution-weighted invariance distribution
+ * figures (thesis section III.D): each profiled entity contributes its
+ * invariance, weighted by how often it executed.
+ */
+class UnitHistogram
+{
+  public:
+    explicit UnitHistogram(std::size_t num_buckets = 10);
+
+    /** Add a sample x in [0,1] with the given weight. */
+    void add(double x, double weight = 1.0);
+
+    std::size_t numBuckets() const { return weights.size(); }
+    /** Raw weight accumulated in bucket i. */
+    double bucketWeight(std::size_t i) const;
+    /** Bucket weight as a fraction of total weight (0 if empty). */
+    double bucketFraction(std::size_t i) const;
+    double total() const { return totalWeight; }
+
+    /** Label like "[20,30)" for bucket i (percent). */
+    std::string bucketLabel(std::size_t i) const;
+
+  private:
+    std::vector<double> weights;
+    double totalWeight = 0.0;
+};
+
+/** Pearson correlation coefficient of two equal-length series. */
+double pearsonCorrelation(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+/** Weighted arithmetic mean; returns 0 when the total weight is 0. */
+double weightedMean(const std::vector<double> &values,
+                    const std::vector<double> &weights);
+
+} // namespace vp
+
+#endif // VP_SUPPORT_STATS_HPP

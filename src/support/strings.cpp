@@ -1,0 +1,165 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vp
+{
+
+std::string_view
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    std::size_t e = s.size();
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string_view>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string_view>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.push_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+namespace
+{
+
+bool
+parseCharLiteral(std::string_view s, std::int64_t &out)
+{
+    // Forms: 'a'  '\n'  '\t'  '\0'  '\\'  '\''
+    if (s.size() < 3 || s.front() != '\'' || s.back() != '\'')
+        return false;
+    std::string_view body = s.substr(1, s.size() - 2);
+    if (body.size() == 1) {
+        out = static_cast<unsigned char>(body[0]);
+        return true;
+    }
+    if (body.size() == 2 && body[0] == '\\') {
+        switch (body[1]) {
+          case 'n': out = '\n'; return true;
+          case 't': out = '\t'; return true;
+          case 'r': out = '\r'; return true;
+          case '0': out = '\0'; return true;
+          case '\\': out = '\\'; return true;
+          case '\'': out = '\''; return true;
+          default: return false;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+parseInt(std::string_view s, std::int64_t &out)
+{
+    s = trim(s);
+    if (s.empty())
+        return false;
+    if (s.front() == '\'')
+        return parseCharLiteral(s, out);
+
+    bool negative = false;
+    if (s.front() == '-' || s.front() == '+') {
+        negative = s.front() == '-';
+        s.remove_prefix(1);
+        if (s.empty())
+            return false;
+    }
+
+    int base = 10;
+    if (startsWith(s, "0x") || startsWith(s, "0X")) {
+        base = 16;
+        s.remove_prefix(2);
+    } else if (startsWith(s, "0b") || startsWith(s, "0B")) {
+        base = 2;
+        s.remove_prefix(2);
+    }
+    if (s.empty())
+        return false;
+
+    std::uint64_t acc = 0;
+    for (char ch : s) {
+        int digit;
+        if (ch >= '0' && ch <= '9')
+            digit = ch - '0';
+        else if (ch >= 'a' && ch <= 'f')
+            digit = ch - 'a' + 10;
+        else if (ch >= 'A' && ch <= 'F')
+            digit = ch - 'A' + 10;
+        else if (ch == '_')
+            continue; // digit separators allowed
+        else
+            return false;
+        if (digit >= base)
+            return false;
+        acc = acc * static_cast<std::uint64_t>(base) +
+              static_cast<std::uint64_t>(digit);
+    }
+    out = negative ? -static_cast<std::int64_t>(acc)
+                   : static_cast<std::int64_t>(acc);
+    return true;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int len = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(static_cast<std::size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    return format("0x%016llx", static_cast<unsigned long long>(v));
+}
+
+} // namespace vp

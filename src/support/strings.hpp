@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string utilities used by the assembler and report writers.
+ */
+
+#ifndef VP_SUPPORT_STRINGS_HPP
+#define VP_SUPPORT_STRINGS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vp
+{
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string_view> splitWhitespace(std::string_view s);
+
+/** True if s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/**
+ * Parse a signed 64-bit integer. Accepts decimal, 0x hex, 0b binary,
+ * a leading '-', and character literals like 'a' or '\n'.
+ * @return true on success, storing the value in out.
+ */
+bool parseInt(std::string_view s, std::int64_t &out);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Render a value as 0x%016llx. */
+std::string hex64(std::uint64_t v);
+
+} // namespace vp
+
+#endif // VP_SUPPORT_STRINGS_HPP

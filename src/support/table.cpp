@@ -1,0 +1,152 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/logging.hpp"
+
+namespace vp
+{
+
+TextTable::TextTable(std::vector<std::string> hdrs)
+    : headers(std::move(hdrs))
+{
+    vp_assert(!headers.empty(), "table needs at least one column");
+}
+
+TextTable &
+TextTable::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+void
+TextTable::push(Cell cell)
+{
+    vp_assert(!rows.empty(), "cell() before row()");
+    vp_assert(rows.back().size() < headers.size(),
+              "too many cells in row %zu", rows.size() - 1);
+    rows.back().push_back(std::move(cell));
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    push({text, false});
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const char *text)
+{
+    push({std::string(text), false});
+    return *this;
+}
+
+TextTable &
+TextTable::cell(std::int64_t v)
+{
+    push({std::to_string(v), true});
+    return *this;
+}
+
+TextTable &
+TextTable::cell(std::uint64_t v)
+{
+    push({std::to_string(v), true});
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    push({buf, true});
+    return *this;
+}
+
+TextTable &
+TextTable::percent(double fraction, int precision)
+{
+    return cell(fraction * 100.0, precision);
+}
+
+void
+TextTable::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> width(headers.size(), 0);
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].text.size());
+
+    if (!title.empty())
+        os << title << "\n";
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            for (std::size_t i = 0; i < width[c] + 2; ++i)
+                os << '-';
+        }
+        os << "\n";
+    };
+
+    rule();
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        os << headers[c];
+        for (std::size_t i = headers[c].size(); i < width[c] + 2; ++i)
+            os << ' ';
+    }
+    os << "\n";
+    rule();
+
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            const std::string text = c < r.size() ? r[c].text : "";
+            const bool right = c < r.size() && r[c].rightAlign;
+            if (right) {
+                for (std::size_t i = text.size(); i < width[c]; ++i)
+                    os << ' ';
+                os << text << "  ";
+            } else {
+                os << text;
+                for (std::size_t i = text.size(); i < width[c] + 2; ++i)
+                    os << ' ';
+            }
+        }
+        os << "\n";
+    }
+    rule();
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::string &s, bool last) {
+        const bool quote = s.find_first_of(",\"\n") != std::string::npos;
+        if (quote) {
+            os << '"';
+            for (char ch : s) {
+                if (ch == '"')
+                    os << '"';
+                os << ch;
+            }
+            os << '"';
+        } else {
+            os << s;
+        }
+        os << (last ? "\n" : ",");
+    };
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        emit(headers[c], c + 1 == headers.size());
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < headers.size(); ++c)
+            emit(c < r.size() ? r[c].text : "", c + 1 == headers.size());
+    }
+}
+
+} // namespace vp

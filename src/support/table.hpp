@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-width text table and CSV emission.
+ *
+ * Every bench binary prints its table/figure through this class so the
+ * output format matches across experiments and can be diffed against
+ * EXPERIMENTS.md. Columns are sized to their widest cell; numeric cells
+ * are right-aligned, text cells left-aligned.
+ */
+
+#ifndef VP_SUPPORT_TABLE_HPP
+#define VP_SUPPORT_TABLE_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vp
+{
+
+/** A simple column-aligned table builder. */
+class TextTable
+{
+  public:
+    /** Start a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    TextTable &row();
+
+    /** Append a text cell (left aligned). */
+    TextTable &cell(const std::string &text);
+    TextTable &cell(const char *text);
+    /** Append an integer cell (right aligned). */
+    TextTable &cell(std::int64_t v);
+    TextTable &cell(std::uint64_t v);
+    /** Append a fixed-precision floating cell (right aligned). */
+    TextTable &cell(double v, int precision = 2);
+    /** Append a percentage cell rendered as "12.3" (right aligned). */
+    TextTable &percent(double fraction, int precision = 1);
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return rows.size(); }
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    struct Cell
+    {
+        std::string text;
+        bool rightAlign = false;
+    };
+
+    void push(Cell cell);
+
+    std::vector<std::string> headers;
+    std::vector<std::vector<Cell>> rows;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_TABLE_HPP

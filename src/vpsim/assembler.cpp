@@ -1,0 +1,712 @@
+#include "vpsim/assembler.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+/** Operand shapes an instruction mnemonic can take. */
+enum class Form
+{
+    RRR,      ///< op rd, ra, rb
+    RRI,      ///< op rd, ra, imm
+    RI,       ///< op rd, imm            (li / la)
+    LoadMem,  ///< op rd, imm(ra)
+    StoreMem, ///< op rb, imm(ra)
+    BrRRL,    ///< op ra, rb, label
+    BrRL,     ///< op ra, label          (beqz/bnez)
+    Label,    ///< op label              (jmp/jal/call/b)
+    RegOnly,  ///< op ra                 (jalr r)
+    None,     ///< op                    (nop/ret)
+    Sys,      ///< syscall name-or-number
+};
+
+struct MnemonicInfo
+{
+    Opcode op;
+    Form form;
+};
+
+const std::unordered_map<std::string, MnemonicInfo> &
+mnemonicTable()
+{
+    static const std::unordered_map<std::string, MnemonicInfo> table = {
+        {"add", {Opcode::ADD, Form::RRR}},
+        {"sub", {Opcode::SUB, Form::RRR}},
+        {"mul", {Opcode::MUL, Form::RRR}},
+        {"div", {Opcode::DIV, Form::RRR}},
+        {"rem", {Opcode::REM, Form::RRR}},
+        {"and", {Opcode::AND, Form::RRR}},
+        {"or", {Opcode::OR, Form::RRR}},
+        {"xor", {Opcode::XOR, Form::RRR}},
+        {"sll", {Opcode::SLL, Form::RRR}},
+        {"srl", {Opcode::SRL, Form::RRR}},
+        {"sra", {Opcode::SRA, Form::RRR}},
+        {"slt", {Opcode::SLT, Form::RRR}},
+        {"sltu", {Opcode::SLTU, Form::RRR}},
+        {"seq", {Opcode::SEQ, Form::RRR}},
+        {"sne", {Opcode::SNE, Form::RRR}},
+        {"addi", {Opcode::ADDI, Form::RRI}},
+        {"muli", {Opcode::MULI, Form::RRI}},
+        {"andi", {Opcode::ANDI, Form::RRI}},
+        {"ori", {Opcode::ORI, Form::RRI}},
+        {"xori", {Opcode::XORI, Form::RRI}},
+        {"slli", {Opcode::SLLI, Form::RRI}},
+        {"srli", {Opcode::SRLI, Form::RRI}},
+        {"srai", {Opcode::SRAI, Form::RRI}},
+        {"slti", {Opcode::SLTI, Form::RRI}},
+        {"seqi", {Opcode::SEQI, Form::RRI}},
+        {"snei", {Opcode::SNEI, Form::RRI}},
+        {"li", {Opcode::LI, Form::RI}},
+        {"la", {Opcode::LI, Form::RI}},
+        {"ld", {Opcode::LD, Form::LoadMem}},
+        {"lw", {Opcode::LW, Form::LoadMem}},
+        {"lwu", {Opcode::LWU, Form::LoadMem}},
+        {"lh", {Opcode::LH, Form::LoadMem}},
+        {"lhu", {Opcode::LHU, Form::LoadMem}},
+        {"lb", {Opcode::LB, Form::LoadMem}},
+        {"lbu", {Opcode::LBU, Form::LoadMem}},
+        {"st", {Opcode::ST, Form::StoreMem}},
+        {"sw", {Opcode::SW, Form::StoreMem}},
+        {"sh", {Opcode::SH, Form::StoreMem}},
+        {"sb", {Opcode::SB, Form::StoreMem}},
+        {"beq", {Opcode::BEQ, Form::BrRRL}},
+        {"bne", {Opcode::BNE, Form::BrRRL}},
+        {"blt", {Opcode::BLT, Form::BrRRL}},
+        {"bge", {Opcode::BGE, Form::BrRRL}},
+        {"bltu", {Opcode::BLTU, Form::BrRRL}},
+        {"bgeu", {Opcode::BGEU, Form::BrRRL}},
+        {"beqz", {Opcode::BEQ, Form::BrRL}},
+        {"bnez", {Opcode::BNE, Form::BrRL}},
+        {"jmp", {Opcode::JMP, Form::Label}},
+        {"b", {Opcode::JMP, Form::Label}},
+        {"jal", {Opcode::JAL, Form::Label}},
+        {"call", {Opcode::JAL, Form::Label}},
+        {"jalr", {Opcode::JALR, Form::RegOnly}},
+        {"ret", {Opcode::JALR, Form::None}},
+        {"nop", {Opcode::NOP, Form::None}},
+        {"syscall", {Opcode::SYSCALL, Form::Sys}},
+        // Single-instruction pseudo-ops.
+        {"mov", {Opcode::ADD, Form::RRI}},   // handled specially
+        {"neg", {Opcode::SUB, Form::RRI}},   // handled specially
+        {"not", {Opcode::XORI, Form::RRI}},  // handled specially
+    };
+    return table;
+}
+
+/** A symbol reference awaiting resolution after all labels are known. */
+struct Fixup
+{
+    std::size_t instIndex;
+    std::string symbol;
+    int line;
+};
+
+class AssemblerImpl
+{
+  public:
+    bool
+    run(const std::string &source, Program &out, std::string &error)
+    {
+        prog = Program{};
+        errorOut = &error;
+
+        const auto lines = vp::split(source, '\n');
+        int line_no = 0;
+        for (auto raw : lines) {
+            ++line_no;
+            curLine = line_no;
+            if (!parseLine(raw))
+                return false;
+        }
+        if (inProc)
+            return fail("missing .endp for procedure '%s'",
+                        curProcName.c_str());
+        if (!resolveFixups())
+            return false;
+
+        if (const auto *main_proc = prog.findProc("main"))
+            prog.entryPoint = main_proc->entry;
+        else if (auto it = prog.codeLabels.find("main");
+                 it != prog.codeLabels.end())
+            prog.entryPoint = it->second;
+        else
+            prog.entryPoint = 0;
+
+        const std::string verr = prog.validate();
+        if (!verr.empty())
+            return fail("validation failed: %s", verr.c_str());
+        out = std::move(prog);
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *fmt, ...) __attribute__((format(printf, 2, 3)))
+    {
+        va_list ap;
+        va_start(ap, fmt);
+        char buf[512];
+        std::vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        *errorOut = vp::format("line %d: %s", curLine, buf);
+        return false;
+    }
+
+    static std::string_view
+    stripComment(std::string_view s)
+    {
+        // Comments start at '#' or ';' outside of quotes.
+        bool in_str = false;
+        bool in_chr = false;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            const char ch = s[i];
+            if (in_str) {
+                if (ch == '\\')
+                    ++i;
+                else if (ch == '"')
+                    in_str = false;
+            } else if (in_chr) {
+                if (ch == '\\')
+                    ++i;
+                else if (ch == '\'')
+                    in_chr = false;
+            } else if (ch == '"') {
+                in_str = true;
+            } else if (ch == '\'') {
+                in_chr = true;
+            } else if (ch == '#' || ch == ';') {
+                return s.substr(0, i);
+            }
+        }
+        return s;
+    }
+
+    bool
+    parseLine(std::string_view raw)
+    {
+        std::string_view s = vp::trim(stripComment(raw));
+        if (s.empty())
+            return true;
+
+        // Leading labels (possibly several on one line).
+        while (true) {
+            std::size_t colon = std::string_view::npos;
+            for (std::size_t i = 0; i < s.size(); ++i) {
+                const char ch = s[i];
+                if (ch == ':') {
+                    colon = i;
+                    break;
+                }
+                if (!std::isalnum(static_cast<unsigned char>(ch)) &&
+                    ch != '_' && ch != '.')
+                    break;
+            }
+            if (colon == std::string_view::npos || colon == 0)
+                break;
+            std::string label(vp::trim(s.substr(0, colon)));
+            if (!defineLabel(label))
+                return false;
+            s = vp::trim(s.substr(colon + 1));
+            if (s.empty())
+                return true;
+        }
+
+        if (s.front() == '.')
+            return parseDirective(s);
+        return parseInstruction(s);
+    }
+
+    bool
+    defineLabel(const std::string &label)
+    {
+        if (inData) {
+            if (prog.dataSymbols.count(label) ||
+                prog.codeLabels.count(label))
+                return fail("duplicate label '%s'", label.c_str());
+            prog.dataSymbols[label] =
+                prog.dataBase + prog.dataInit.size();
+        } else {
+            const auto here =
+                static_cast<std::uint32_t>(prog.code.size());
+            if (prog.dataSymbols.count(label))
+                return fail("duplicate label '%s'", label.c_str());
+            // A `.proc name` directive pre-registers its name at the
+            // procedure entry; the conventional `name:` on the next
+            // line is the same definition, not a duplicate.
+            if (auto it = prog.codeLabels.find(label);
+                it != prog.codeLabels.end()) {
+                if (it->second == here)
+                    return true;
+                return fail("duplicate label '%s'", label.c_str());
+            }
+            prog.codeLabels[label] = here;
+        }
+        return true;
+    }
+
+    bool
+    parseDirective(std::string_view s)
+    {
+        const std::size_t sp = s.find_first_of(" \t");
+        std::string name(s.substr(0, sp));
+        std::string_view rest =
+            sp == std::string_view::npos ? std::string_view{}
+                                         : vp::trim(s.substr(sp));
+
+        if (name == ".data") { inData = true; return true; }
+        if (name == ".text") { inData = false; return true; }
+
+        if (name == ".proc") {
+            if (inData)
+                return fail(".proc inside .data");
+            if (inProc)
+                return fail("nested .proc");
+            auto parts = vp::splitWhitespace(rest);
+            if (parts.empty())
+                return fail(".proc needs a name");
+            curProcName = std::string(parts[0]);
+            curProcArgs = 0;
+            for (std::size_t i = 1; i < parts.size(); ++i) {
+                std::string_view p = parts[i];
+                if (vp::startsWith(p, "args=")) {
+                    std::int64_t v;
+                    if (!vp::parseInt(p.substr(5), v) || v < 0 ||
+                        v > static_cast<std::int64_t>(maxArgRegs))
+                        return fail("bad args= in .proc");
+                    curProcArgs = static_cast<unsigned>(v);
+                } else {
+                    return fail("unknown .proc attribute '%.*s'",
+                                static_cast<int>(p.size()), p.data());
+                }
+            }
+            curProcEntry = static_cast<std::uint32_t>(prog.code.size());
+            inProc = true;
+            // The procedure name doubles as a code label if not
+            // separately defined.
+            if (!prog.codeLabels.count(curProcName) &&
+                !prog.dataSymbols.count(curProcName))
+                prog.codeLabels[curProcName] = curProcEntry;
+            return true;
+        }
+
+        if (name == ".endp") {
+            if (!inProc)
+                return fail(".endp without .proc");
+            Procedure p;
+            p.name = curProcName;
+            p.entry = curProcEntry;
+            p.end = static_cast<std::uint32_t>(prog.code.size());
+            p.numArgs = curProcArgs;
+            prog.procs.push_back(std::move(p));
+            inProc = false;
+            return true;
+        }
+
+        if (!inData)
+            return fail("data directive '%s' outside .data",
+                        name.c_str());
+
+        if (name == ".word" || name == ".byte") {
+            const unsigned width = name == ".word" ? 8 : 1;
+            for (auto field : vp::split(rest, ',')) {
+                field = vp::trim(field);
+                if (field.empty())
+                    return fail("empty %s operand", name.c_str());
+                std::int64_t v = 0;
+                if (!vp::parseInt(field, v)) {
+                    // Could be a (possibly forward) symbol: only legal
+                    // at word width. Record a data fixup.
+                    if (width != 8)
+                        return fail("symbol operand needs .word");
+                    dataFixups.push_back(
+                        {prog.dataInit.size(), std::string(field),
+                         curLine});
+                }
+                for (unsigned b = 0; b < width; ++b) {
+                    prog.dataInit.push_back(
+                        static_cast<std::uint8_t>(
+                            (static_cast<std::uint64_t>(v) >> (8 * b)) &
+                            0xff));
+                }
+            }
+            return true;
+        }
+
+        if (name == ".space") {
+            std::int64_t v = 0;
+            if (!vp::parseInt(rest, v) || v < 0)
+                return fail("bad .space size");
+            prog.dataInit.insert(prog.dataInit.end(),
+                                 static_cast<std::size_t>(v), 0);
+            return true;
+        }
+
+        if (name == ".align") {
+            std::int64_t v = 0;
+            if (!vp::parseInt(rest, v) || v <= 0 || (v & (v - 1)))
+                return fail("bad .align (need a power of two)");
+            while ((prog.dataBase + prog.dataInit.size()) %
+                   static_cast<std::uint64_t>(v))
+                prog.dataInit.push_back(0);
+            return true;
+        }
+
+        if (name == ".asciiz") {
+            std::string text;
+            if (!parseStringLiteral(rest, text))
+                return fail("bad string literal");
+            for (char ch : text)
+                prog.dataInit.push_back(static_cast<std::uint8_t>(ch));
+            prog.dataInit.push_back(0);
+            return true;
+        }
+
+        return fail("unknown directive '%s'", name.c_str());
+    }
+
+    static bool
+    parseStringLiteral(std::string_view s, std::string &out)
+    {
+        s = vp::trim(s);
+        if (s.size() < 2 || s.front() != '"' || s.back() != '"')
+            return false;
+        s = s.substr(1, s.size() - 2);
+        out.clear();
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            char ch = s[i];
+            if (ch == '\\' && i + 1 < s.size()) {
+                ++i;
+                switch (s[i]) {
+                  case 'n': ch = '\n'; break;
+                  case 't': ch = '\t'; break;
+                  case 'r': ch = '\r'; break;
+                  case '0': ch = '\0'; break;
+                  case '\\': ch = '\\'; break;
+                  case '"': ch = '"'; break;
+                  default: return false;
+                }
+            }
+            out.push_back(ch);
+        }
+        return true;
+    }
+
+    bool
+    parseReg(std::string_view token, std::uint8_t &out)
+    {
+        if (!parseRegName(std::string(vp::trim(token)), out))
+            return fail("bad register '%.*s'",
+                        static_cast<int>(token.size()), token.data());
+        return true;
+    }
+
+    /**
+     * Parse an immediate operand: integer literal, or symbol (deferred
+     * to fixup resolution). instIndex is where the fixup applies.
+     */
+    bool
+    parseImmOperand(std::string_view token, Inst &inst, bool &symbolic)
+    {
+        token = vp::trim(token);
+        std::int64_t v = 0;
+        if (vp::parseInt(token, v)) {
+            inst.imm = v;
+            symbolic = false;
+            return true;
+        }
+        if (token.empty())
+            return fail("missing immediate operand");
+        instFixups.push_back({prog.code.size(), std::string(token),
+                              curLine});
+        symbolic = true;
+        return true;
+    }
+
+    bool
+    parseMemOperand(std::string_view token, Inst &inst)
+    {
+        // Forms: imm(reg), (reg), sym(reg), imm, sym  (absolute).
+        token = vp::trim(token);
+        const std::size_t open = token.rfind('(');
+        std::string_view off = token;
+        std::string_view reg;
+        if (open != std::string_view::npos) {
+            if (token.back() != ')')
+                return fail("bad memory operand '%.*s'",
+                            static_cast<int>(token.size()), token.data());
+            off = vp::trim(token.substr(0, open));
+            reg = vp::trim(
+                token.substr(open + 1, token.size() - open - 2));
+        }
+        if (reg.empty()) {
+            inst.ra = regZero;
+        } else if (!parseReg(reg, inst.ra)) {
+            return false;
+        }
+        if (off.empty()) {
+            inst.imm = 0;
+            return true;
+        }
+        bool symbolic = false;
+        return parseImmOperand(off, inst, symbolic);
+    }
+
+    bool
+    parseInstruction(std::string_view s)
+    {
+        if (inData)
+            return fail("instruction inside .data");
+        const std::size_t sp = s.find_first_of(" \t");
+        std::string mnemonic(s.substr(0, sp));
+        std::string_view rest =
+            sp == std::string_view::npos ? std::string_view{}
+                                         : vp::trim(s.substr(sp));
+
+        const auto &table = mnemonicTable();
+        auto it = table.find(mnemonic);
+        if (it == table.end())
+            return fail("unknown mnemonic '%s'", mnemonic.c_str());
+        const MnemonicInfo info = it->second;
+
+        Inst inst;
+        inst.op = info.op;
+        auto ops = vp::split(rest, ',');
+        if (rest.empty())
+            ops.clear();
+
+        auto expect = [&](std::size_t n) {
+            if (ops.size() != n)
+                return fail("'%s' expects %zu operands, got %zu",
+                            mnemonic.c_str(), n, ops.size());
+            return true;
+        };
+
+        // The three register pseudo-ops share forms with real
+        // instructions but take two operands.
+        if (mnemonic == "mov" || mnemonic == "neg" || mnemonic == "not") {
+            if (!expect(2))
+                return false;
+            if (!parseReg(ops[0], inst.rd))
+                return false;
+            std::uint8_t rs;
+            if (!parseReg(ops[1], rs))
+                return false;
+            if (mnemonic == "mov") {
+                inst.op = Opcode::ADD;
+                inst.ra = rs;
+                inst.rb = regZero;
+            } else if (mnemonic == "neg") {
+                inst.op = Opcode::SUB;
+                inst.ra = regZero;
+                inst.rb = rs;
+            } else {
+                inst.op = Opcode::XORI;
+                inst.ra = rs;
+                inst.imm = -1;
+            }
+            prog.code.push_back(inst);
+            return true;
+        }
+
+        switch (info.form) {
+          case Form::RRR:
+            if (!expect(3) || !parseReg(ops[0], inst.rd) ||
+                !parseReg(ops[1], inst.ra) || !parseReg(ops[2], inst.rb))
+                return false;
+            break;
+          case Form::RRI: {
+            if (!expect(3) || !parseReg(ops[0], inst.rd) ||
+                !parseReg(ops[1], inst.ra))
+                return false;
+            bool symbolic = false;
+            if (!parseImmOperand(ops[2], inst, symbolic))
+                return false;
+            break;
+          }
+          case Form::RI: {
+            if (!expect(2) || !parseReg(ops[0], inst.rd))
+                return false;
+            bool symbolic = false;
+            if (!parseImmOperand(ops[1], inst, symbolic))
+                return false;
+            break;
+          }
+          case Form::LoadMem:
+            if (!expect(2) || !parseReg(ops[0], inst.rd) ||
+                !parseMemOperand(ops[1], inst))
+                return false;
+            break;
+          case Form::StoreMem:
+            if (!expect(2) || !parseReg(ops[0], inst.rb) ||
+                !parseMemOperand(ops[1], inst))
+                return false;
+            break;
+          case Form::BrRRL: {
+            if (!expect(3) || !parseReg(ops[0], inst.ra) ||
+                !parseReg(ops[1], inst.rb))
+                return false;
+            bool symbolic = false;
+            if (!parseImmOperand(ops[2], inst, symbolic))
+                return false;
+            break;
+          }
+          case Form::BrRL: {
+            if (!expect(2) || !parseReg(ops[0], inst.ra))
+                return false;
+            inst.rb = regZero;
+            bool symbolic = false;
+            if (!parseImmOperand(ops[1], inst, symbolic))
+                return false;
+            break;
+          }
+          case Form::Label: {
+            // jal/call link to ra unless an explicit rd is given:
+            //   jal label | jal rd, label | jmp label
+            if (inst.op == Opcode::JAL) {
+                if (ops.size() == 2) {
+                    if (!parseReg(ops[0], inst.rd))
+                        return false;
+                    ops.erase(ops.begin());
+                } else {
+                    inst.rd = regRa;
+                }
+            }
+            if (!expect(1))
+                return false;
+            bool symbolic = false;
+            if (!parseImmOperand(ops[0], inst, symbolic))
+                return false;
+            break;
+          }
+          case Form::RegOnly:
+            // jalr target | jalr rd, target
+            if (ops.size() == 2) {
+                if (!parseReg(ops[0], inst.rd) ||
+                    !parseReg(ops[1], inst.ra))
+                    return false;
+            } else {
+                if (!expect(1))
+                    return false;
+                inst.rd = regRa;
+                if (!parseReg(ops[0], inst.ra))
+                    return false;
+            }
+            break;
+          case Form::None:
+            if (!expect(0))
+                return false;
+            if (mnemonic == "ret") {
+                inst.rd = regZero;
+                inst.ra = regRa;
+            }
+            break;
+          case Form::Sys: {
+            auto parts = vp::splitWhitespace(rest);
+            if (parts.size() != 1)
+                return fail("syscall expects one operand");
+            std::string which(parts[0]);
+            if (which == "exit")
+                inst.imm = static_cast<std::int64_t>(Syscall::Exit);
+            else if (which == "putc")
+                inst.imm = static_cast<std::int64_t>(Syscall::Putc);
+            else if (which == "puti")
+                inst.imm = static_cast<std::int64_t>(Syscall::Puti);
+            else if (std::int64_t v; vp::parseInt(which, v))
+                inst.imm = v;
+            else
+                return fail("unknown syscall '%s'", which.c_str());
+            break;
+          }
+          default:
+            vp_panic("unhandled operand form");
+        }
+
+        prog.code.push_back(inst);
+        return true;
+    }
+
+    bool
+    lookupSymbol(const std::string &symbol, std::uint64_t &value) const
+    {
+        if (auto it = prog.dataSymbols.find(symbol);
+            it != prog.dataSymbols.end()) {
+            value = it->second;
+            return true;
+        }
+        if (auto it = prog.codeLabels.find(symbol);
+            it != prog.codeLabels.end()) {
+            value = it->second;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    resolveFixups()
+    {
+        for (const auto &fx : instFixups) {
+            std::uint64_t v = 0;
+            if (!lookupSymbol(fx.symbol, v)) {
+                curLine = fx.line;
+                return fail("undefined symbol '%s'", fx.symbol.c_str());
+            }
+            prog.code[fx.instIndex].imm = static_cast<std::int64_t>(v);
+        }
+        for (const auto &fx : dataFixups) {
+            std::uint64_t v = 0;
+            if (!lookupSymbol(fx.symbol, v)) {
+                curLine = fx.line;
+                return fail("undefined symbol '%s'", fx.symbol.c_str());
+            }
+            for (unsigned b = 0; b < 8; ++b)
+                prog.dataInit[fx.instIndex + b] =
+                    static_cast<std::uint8_t>((v >> (8 * b)) & 0xff);
+        }
+        return true;
+    }
+
+    Program prog;
+    std::string *errorOut = nullptr;
+    int curLine = 0;
+    bool inData = false;
+    bool inProc = false;
+    std::string curProcName;
+    unsigned curProcArgs = 0;
+    std::uint32_t curProcEntry = 0;
+    std::vector<Fixup> instFixups;
+    /// For data fixups, instIndex is the byte offset in dataInit.
+    std::vector<Fixup> dataFixups;
+};
+
+} // namespace
+
+bool
+tryAssemble(const std::string &source, Program &out, std::string &error)
+{
+    AssemblerImpl impl;
+    return impl.run(source, out, error);
+}
+
+Program
+assemble(const std::string &source)
+{
+    Program prog;
+    std::string error;
+    if (!tryAssemble(source, prog, error))
+        vp_fatal("assembly failed: %s", error.c_str());
+    return prog;
+}
+
+} // namespace vpsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Two-phase textual assembler for VPSim programs.
+ *
+ * Syntax overview (see tests/vpsim/assembler_test.cpp for examples):
+ *
+ *     # comment                ; comment
+ *     .data
+ *     tbl:    .word 1, 2, 3       # 64-bit words
+ *             .byte 0x41, 'b'
+ *             .space 128          # zero-filled
+ *             .asciiz "text"
+ *             .align 8
+ *     .text
+ *     .proc main args=0
+ *     main:
+ *         li   t0, 5
+ *     loop:
+ *         addi t0, t0, -1
+ *         bne  t0, zero, loop
+ *         li   a0, 0
+ *         syscall exit
+ *     .endp
+ *
+ * Pseudo-instructions (each expands to exactly one instruction):
+ *     la rd, sym      -> li rd, <address of sym>
+ *     mov rd, rs      -> add rd, rs, zero
+ *     neg rd, rs      -> sub rd, zero, rs
+ *     not rd, rs      -> xori rd, rs, -1
+ *     call label      -> jal ra, label
+ *     ret             -> jalr zero, ra
+ *     b label         -> jmp label
+ *     beqz/bnez r, l  -> beq/bne r, zero, l
+ *
+ * Immediates accept decimal, 0x/0b literals, character literals, data
+ * symbols (resolved to addresses) and code labels (resolved to
+ * instruction indices).
+ */
+
+#ifndef VP_VPSIM_ASSEMBLER_HPP
+#define VP_VPSIM_ASSEMBLER_HPP
+
+#include <string>
+
+#include "vpsim/program.hpp"
+
+namespace vpsim
+{
+
+/**
+ * Assemble source text into a Program.
+ * @return true on success; on failure `error` describes the first
+ *         problem with its line number.
+ */
+bool tryAssemble(const std::string &source, Program &out,
+                 std::string &error);
+
+/** Assemble or die: fatal() with the error on malformed source. */
+Program assemble(const std::string &source);
+
+} // namespace vpsim
+
+#endif // VP_VPSIM_ASSEMBLER_HPP

@@ -1,0 +1,99 @@
+#include "vpsim/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.hpp"
+
+namespace vpsim
+{
+
+Cfg::Cfg(const Program &prog, std::uint32_t begin, std::uint32_t end)
+    : lo(begin), hi(end)
+{
+    vp_assert(begin <= end && end <= prog.code.size(),
+              "bad CFG range [%u,%u)", begin, end);
+    if (begin == end)
+        return;
+
+    // Leaders: the range entry, every in-range control-flow target,
+    // and every instruction following a control transfer.
+    std::set<std::uint32_t> leaders;
+    leaders.insert(begin);
+    for (std::uint32_t pc = begin; pc < end; ++pc) {
+        const Inst &inst = prog.code[pc];
+        if (!isControl(inst.op))
+            continue;
+        if (inst.op != Opcode::JALR && inst.op != Opcode::JAL) {
+            const auto target = static_cast<std::uint32_t>(inst.imm);
+            if (target >= begin && target < end)
+                leaders.insert(target);
+        }
+        if (pc + 1 < end)
+            leaders.insert(pc + 1);
+    }
+
+    // Carve blocks in address order.
+    blockIndex.assign(end - begin, 0);
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        auto next = std::next(it);
+        BasicBlock bb;
+        bb.begin = *it;
+        bb.end = next == leaders.end() ? end : *next;
+        const auto id = static_cast<std::uint32_t>(blockList.size());
+        for (std::uint32_t pc = bb.begin; pc < bb.end; ++pc)
+            blockIndex[pc - lo] = id;
+        blockList.push_back(std::move(bb));
+    }
+
+    // Wire successors/predecessors.
+    for (std::uint32_t id = 0; id < blockList.size(); ++id) {
+        BasicBlock &bb = blockList[id];
+        const Inst &last = prog.code[bb.end - 1];
+        auto link = [&](std::uint32_t target_pc) {
+            if (target_pc < begin || target_pc >= end)
+                return; // leaves the region (e.g. a return path)
+            const std::uint32_t succ = blockIndex[target_pc - lo];
+            bb.succs.push_back(succ);
+            blockList[succ].preds.push_back(id);
+        };
+        switch (last.op) {
+          case Opcode::JMP:
+            link(static_cast<std::uint32_t>(last.imm));
+            break;
+          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+          case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+            link(static_cast<std::uint32_t>(last.imm));
+            link(bb.end);
+            break;
+          case Opcode::JALR:
+            // Computed jump or return: no static successors, except
+            // that a linking JALR (a call) falls through on return.
+            if (last.rd != regZero)
+                link(bb.end);
+            break;
+          case Opcode::JAL:
+            // A call within the region: control returns to the next
+            // instruction.
+            link(bb.end);
+            break;
+          case Opcode::SYSCALL:
+            // exit never falls through; other syscalls do. Be
+            // conservative and link the fall-through.
+            link(bb.end);
+            break;
+          default:
+            link(bb.end);
+            break;
+        }
+    }
+}
+
+std::uint32_t
+Cfg::blockOf(std::uint32_t pc) const
+{
+    vp_assert(pc >= lo && pc < hi, "pc %u outside CFG range", pc);
+    return blockIndex[pc - lo];
+}
+
+} // namespace vpsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Basic-block discovery and control-flow graphs over a Program.
+ *
+ * Used by the ATOM-like Image interface (block iteration) and by the
+ * specializer's dataflow passes.
+ */
+
+#ifndef VP_VPSIM_CFG_HPP
+#define VP_VPSIM_CFG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "vpsim/program.hpp"
+
+namespace vpsim
+{
+
+/** A maximal straight-line instruction sequence. */
+struct BasicBlock
+{
+    std::uint32_t begin = 0;  ///< first instruction index
+    std::uint32_t end = 0;    ///< one past the last instruction
+    std::vector<std::uint32_t> succs;  ///< successor block ids
+    std::vector<std::uint32_t> preds;  ///< predecessor block ids
+
+    std::uint32_t size() const { return end - begin; }
+};
+
+/**
+ * Control-flow graph over a contiguous instruction range (usually a
+ * procedure). Blocks are numbered in address order.
+ *
+ * Indirect jumps (JALR used as a computed jump) get no static
+ * successors; clients must treat blocks ending in JALR conservatively.
+ * JAL calls are treated as fall-through (call returns), matching how
+ * ATOM iterates blocks within a procedure.
+ */
+class Cfg
+{
+  public:
+    /** Build the CFG for instructions [begin, end) of prog. */
+    Cfg(const Program &prog, std::uint32_t begin, std::uint32_t end);
+
+    /** Build the CFG for a whole procedure. */
+    Cfg(const Program &prog, const Procedure &proc)
+        : Cfg(prog, proc.entry, proc.end)
+    {}
+
+    const std::vector<BasicBlock> &blocks() const { return blockList; }
+    std::uint32_t rangeBegin() const { return lo; }
+    std::uint32_t rangeEnd() const { return hi; }
+
+    /** Block id containing instruction index pc (must be in range). */
+    std::uint32_t blockOf(std::uint32_t pc) const;
+
+  private:
+    std::uint32_t lo, hi;
+    std::vector<BasicBlock> blockList;
+    std::vector<std::uint32_t> blockIndex;  ///< pc-lo -> block id
+};
+
+} // namespace vpsim
+
+#endif // VP_VPSIM_CFG_HPP

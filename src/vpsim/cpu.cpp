@@ -1,0 +1,288 @@
+#include "vpsim/cpu.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace vpsim
+{
+
+Cpu::Cpu(const Program &program, CpuConfig config)
+    : prog(program), cfg(config), mem(config.memBytes)
+{
+    const std::string err = prog.validate();
+    if (!err.empty())
+        vp_fatal("invalid program: %s", err.c_str());
+    if (!prog.dataInit.empty() &&
+        prog.dataBase + prog.dataInit.size() > mem.size())
+        vp_fatal("data segment does not fit in %zu bytes of memory",
+                 mem.size());
+    reset();
+}
+
+void
+Cpu::reset()
+{
+    regs.fill(0);
+    mem.clear();
+    if (!prog.dataInit.empty())
+        mem.writeBlock(prog.dataBase, prog.dataInit.data(),
+                       prog.dataInit.size());
+    // Stack grows down from the top of memory, 16-byte aligned.
+    regs[regSp] = mem.size() & ~std::uint64_t(15);
+    pcReg = prog.entryPoint;
+    icount = loadCount = storeCount = 0;
+    exitCode = 0;
+    haltReason.reset();
+    outputText.clear();
+    outputInts.clear();
+}
+
+void
+Cpu::addListener(ExecListener *listener)
+{
+    vp_assert(listener != nullptr, "null listener");
+    listeners.push_back(listener);
+}
+
+void
+Cpu::removeListener(ExecListener *listener)
+{
+    listeners.erase(
+        std::remove(listeners.begin(), listeners.end(), listener),
+        listeners.end());
+}
+
+void
+Cpu::halt(StopReason reason)
+{
+    haltReason = reason;
+}
+
+void
+Cpu::notifyCall(std::uint32_t caller_pc, std::uint32_t callee)
+{
+    for (auto *l : listeners)
+        l->onCall(caller_pc, callee, &regs[regA0]);
+}
+
+void
+Cpu::step()
+{
+    if (halted())
+        return;
+    if (pcReg >= prog.code.size()) {
+        halt(StopReason::BadInst);
+        return;
+    }
+    if (icount >= cfg.maxInsts) {
+        halt(StopReason::MaxInsts);
+        return;
+    }
+    exec(prog.code[pcReg]);
+}
+
+RunResult
+Cpu::run()
+{
+    // Hot loop: keep the per-instruction work minimal; the listener
+    // fan-out below models the instrumentation overhead the paper
+    // measures, so it must only be paid when observers are attached.
+    while (!halted()) {
+        if (pcReg >= prog.code.size()) {
+            halt(StopReason::BadInst);
+            break;
+        }
+        if (icount >= cfg.maxInsts) {
+            halt(StopReason::MaxInsts);
+            break;
+        }
+        exec(prog.code[pcReg]);
+    }
+    RunResult res;
+    res.reason = *haltReason;
+    res.exitCode = exitCode;
+    res.dynamicInsts = icount;
+    res.dynamicLoads = loadCount;
+    res.dynamicStores = storeCount;
+    return res;
+}
+
+void
+Cpu::exec(const Inst &inst)
+{
+    const std::uint32_t cur_pc = pcReg;
+    std::uint32_t next_pc = cur_pc + 1;
+    bool wrote = false;
+    std::uint64_t result = 0;
+
+    auto setRd = [&](std::uint64_t v) {
+        if (inst.rd != regZero) {
+            regs[inst.rd] = v;
+            wrote = true;
+            result = v;
+        }
+    };
+
+    const std::uint64_t a = regs[inst.ra];
+    const std::uint64_t b = regs[inst.rb];
+    const std::int64_t sa = static_cast<std::int64_t>(a);
+    const std::int64_t sb = static_cast<std::int64_t>(b);
+    const std::int64_t imm = inst.imm;
+
+    switch (inst.op) {
+      case Opcode::ADD: setRd(a + b); break;
+      case Opcode::SUB: setRd(a - b); break;
+      case Opcode::MUL: setRd(a * b); break;
+      case Opcode::DIV:
+        if (b == 0) { halt(StopReason::BadInst); return; }
+        setRd(static_cast<std::uint64_t>(sa / sb));
+        break;
+      case Opcode::REM:
+        if (b == 0) { halt(StopReason::BadInst); return; }
+        setRd(static_cast<std::uint64_t>(sa % sb));
+        break;
+      case Opcode::AND: setRd(a & b); break;
+      case Opcode::OR: setRd(a | b); break;
+      case Opcode::XOR: setRd(a ^ b); break;
+      case Opcode::SLL: setRd(a << (b & 63)); break;
+      case Opcode::SRL: setRd(a >> (b & 63)); break;
+      case Opcode::SRA: setRd(static_cast<std::uint64_t>(sa >> (b & 63)));
+        break;
+      case Opcode::SLT: setRd(sa < sb ? 1 : 0); break;
+      case Opcode::SLTU: setRd(a < b ? 1 : 0); break;
+      case Opcode::SEQ: setRd(a == b ? 1 : 0); break;
+      case Opcode::SNE: setRd(a != b ? 1 : 0); break;
+
+      case Opcode::ADDI: setRd(a + static_cast<std::uint64_t>(imm)); break;
+      case Opcode::MULI: setRd(a * static_cast<std::uint64_t>(imm)); break;
+      case Opcode::ANDI: setRd(a & static_cast<std::uint64_t>(imm)); break;
+      case Opcode::ORI: setRd(a | static_cast<std::uint64_t>(imm)); break;
+      case Opcode::XORI: setRd(a ^ static_cast<std::uint64_t>(imm)); break;
+      case Opcode::SLLI: setRd(a << (imm & 63)); break;
+      case Opcode::SRLI: setRd(a >> (imm & 63)); break;
+      case Opcode::SRAI: setRd(static_cast<std::uint64_t>(sa >> (imm & 63)));
+        break;
+      case Opcode::SLTI: setRd(sa < imm ? 1 : 0); break;
+      case Opcode::SEQI: setRd(sa == imm ? 1 : 0); break;
+      case Opcode::SNEI: setRd(sa != imm ? 1 : 0); break;
+
+      case Opcode::LI: setRd(static_cast<std::uint64_t>(imm)); break;
+
+      case Opcode::LD: case Opcode::LW: case Opcode::LWU:
+      case Opcode::LH: case Opcode::LHU: case Opcode::LB:
+      case Opcode::LBU: {
+        const std::uint64_t addr = a + static_cast<std::uint64_t>(imm);
+        const unsigned size = memAccessSize(inst.op);
+        std::uint64_t v = mem.load(addr, size);
+        if (mem.hasFault()) { halt(StopReason::MemFault); return; }
+        // Sign extension for the signed narrow loads.
+        switch (inst.op) {
+          case Opcode::LW:
+            v = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+            break;
+          case Opcode::LH:
+            v = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(static_cast<std::int16_t>(v)));
+            break;
+          case Opcode::LB:
+            v = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(static_cast<std::int8_t>(v)));
+            break;
+          default:
+            break;
+        }
+        setRd(v);
+        ++loadCount;
+        for (auto *l : listeners)
+            l->onLoad(cur_pc, addr, size, v);
+        break;
+      }
+
+      case Opcode::ST: case Opcode::SW: case Opcode::SH:
+      case Opcode::SB: {
+        const std::uint64_t addr = a + static_cast<std::uint64_t>(imm);
+        const unsigned size = memAccessSize(inst.op);
+        const std::uint64_t mask =
+            size == 8 ? ~std::uint64_t(0)
+                      : ((std::uint64_t(1) << (size * 8)) - 1);
+        const std::uint64_t v = b & mask;
+        mem.store(addr, size, v);
+        if (mem.hasFault()) { halt(StopReason::MemFault); return; }
+        ++storeCount;
+        for (auto *l : listeners)
+            l->onStore(cur_pc, addr, size, v);
+        break;
+      }
+
+      case Opcode::BEQ: if (a == b) next_pc = std::uint32_t(imm); break;
+      case Opcode::BNE: if (a != b) next_pc = std::uint32_t(imm); break;
+      case Opcode::BLT: if (sa < sb) next_pc = std::uint32_t(imm); break;
+      case Opcode::BGE: if (sa >= sb) next_pc = std::uint32_t(imm); break;
+      case Opcode::BLTU: if (a < b) next_pc = std::uint32_t(imm); break;
+      case Opcode::BGEU: if (a >= b) next_pc = std::uint32_t(imm); break;
+
+      case Opcode::JMP: next_pc = std::uint32_t(imm); break;
+      case Opcode::JAL:
+        setRd(next_pc);
+        next_pc = std::uint32_t(imm);
+        break;
+      case Opcode::JALR: {
+        const std::uint64_t target = a;
+        setRd(next_pc);
+        if (target >= prog.code.size()) {
+            halt(StopReason::BadInst);
+            return;
+        }
+        next_pc = static_cast<std::uint32_t>(target);
+        break;
+      }
+
+      case Opcode::SYSCALL:
+        switch (static_cast<Syscall>(imm)) {
+          case Syscall::Exit:
+            exitCode = static_cast<std::int64_t>(regs[regA0]);
+            halt(StopReason::Exited);
+            break;
+          case Syscall::Putc:
+            outputText.push_back(static_cast<char>(regs[regA0]));
+            break;
+          case Syscall::Puti: {
+            const auto v = static_cast<std::int64_t>(regs[regA0]);
+            outputText += vp::format("%lld", static_cast<long long>(v));
+            outputInts.push_back(v);
+            break;
+          }
+          default:
+            halt(StopReason::BadInst);
+            return;
+        }
+        break;
+
+      case Opcode::NOP:
+        break;
+
+      default:
+        vp_panic("unhandled opcode %d", static_cast<int>(inst.op));
+    }
+
+    ++icount;
+    if (!listeners.empty()) {
+        for (auto *l : listeners)
+            l->onInst(cur_pc, inst, wrote, result);
+        // Calls are reported after the linking jump retires so argument
+        // registers are architecturally final. A JALR with rd == zero
+        // is a return (the `ret` pseudo-op), not a call.
+        const bool is_call =
+            inst.op == Opcode::JAL ||
+            (inst.op == Opcode::JALR && inst.rd != regZero);
+        if (is_call && !halted())
+            notifyCall(cur_pc, next_pc);
+    }
+    if (!halted())
+        pcReg = next_pc;
+}
+
+} // namespace vpsim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The VPSim interpreter.
+ *
+ * Executes a Program over a flat data Memory. Observers register an
+ * ExecListener to receive per-instruction, per-memory-access, and
+ * call/return events — the hook points the instrumentation layer (and
+ * through it the value profilers) attach to, mirroring how ATOM-
+ * instrumented binaries call analysis routines.
+ */
+
+#ifndef VP_VPSIM_CPU_HPP
+#define VP_VPSIM_CPU_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vpsim/isa.hpp"
+#include "vpsim/memory.hpp"
+#include "vpsim/program.hpp"
+
+namespace vpsim
+{
+
+/**
+ * Observer of architectural events during interpretation.
+ *
+ * All callbacks fire *after* the instruction has executed, so result
+ * values are architected state — exactly what the paper's "after"
+ * instrumentation point sees (thesis section III.E).
+ */
+class ExecListener
+{
+  public:
+    virtual ~ExecListener() = default;
+
+    /**
+     * An instruction retired.
+     * @param pc       instruction index
+     * @param inst     the decoded instruction
+     * @param wrote    true if a destination register was written
+     * @param value    the written value (undefined when !wrote)
+     */
+    virtual void
+    onInst(std::uint32_t pc, const Inst &inst, bool wrote,
+           std::uint64_t value)
+    {
+        (void)pc; (void)inst; (void)wrote; (void)value;
+    }
+
+    /** A load retired: value read from [addr, addr+size). */
+    virtual void
+    onLoad(std::uint32_t pc, std::uint64_t addr, unsigned size,
+           std::uint64_t value)
+    {
+        (void)pc; (void)addr; (void)size; (void)value;
+    }
+
+    /** A store retired: value written to [addr, addr+size). */
+    virtual void
+    onStore(std::uint32_t pc, std::uint64_t addr, unsigned size,
+            std::uint64_t value)
+    {
+        (void)pc; (void)addr; (void)size; (void)value;
+    }
+
+    /**
+     * A call (JAL/JALR used as a call) transferred control to a
+     * procedure entry. Argument registers hold the arguments.
+     */
+    virtual void
+    onCall(std::uint32_t caller_pc, std::uint32_t callee_entry,
+           const std::uint64_t *arg_regs)
+    {
+        (void)caller_pc; (void)callee_entry; (void)arg_regs;
+    }
+};
+
+/** Why run() stopped. */
+enum class StopReason
+{
+    Exited,       ///< guest executed syscall exit
+    MaxInsts,     ///< instruction budget exhausted
+    MemFault,     ///< out-of-bounds data access
+    BadInst,      ///< divide by zero or malformed instruction
+};
+
+/** Execution summary returned by Cpu::run(). */
+struct RunResult
+{
+    StopReason reason = StopReason::Exited;
+    std::int64_t exitCode = 0;
+    std::uint64_t dynamicInsts = 0;
+    std::uint64_t dynamicLoads = 0;
+    std::uint64_t dynamicStores = 0;
+
+    bool exited() const { return reason == StopReason::Exited; }
+};
+
+/** Cpu construction parameters. */
+struct CpuConfig
+{
+    std::size_t memBytes = 16u << 20;          ///< guest memory size
+    std::uint64_t maxInsts = 4'000'000'000ull; ///< runaway budget
+};
+
+/** The interpreter. */
+class Cpu
+{
+  public:
+    /**
+     * Bind a program. The program must outlive the Cpu. reset() is
+     * called implicitly.
+     */
+    explicit Cpu(const Program &prog, CpuConfig cfg = {});
+
+    /**
+     * Reload architectural state: zero the registers, clear memory,
+     * reload the data image, point sp at the top of memory and pc at
+     * the entry point. Guest input must be re-injected after reset.
+     */
+    void reset();
+
+    /** Run until exit, fault, or the instruction budget. */
+    RunResult run();
+
+    /** Execute exactly one instruction (for tests and debuggers). */
+    void step();
+
+    /** True once the guest has exited or trapped. */
+    bool halted() const { return haltReason.has_value(); }
+
+    /** Attach an observer (not owned). */
+    void addListener(ExecListener *listener);
+    /** Detach a previously attached observer. */
+    void removeListener(ExecListener *listener);
+
+    // --- host access to guest state -----------------------------------
+
+    std::uint64_t readReg(unsigned r) const { return regs[r]; }
+    void
+    writeReg(unsigned r, std::uint64_t v)
+    {
+        if (r != regZero)
+            regs[r] = v;
+    }
+    std::uint32_t pc() const { return pcReg; }
+    Memory &memory() { return mem; }
+    const Memory &memory() const { return mem; }
+    const Program &program() const { return prog; }
+
+    /** Output accumulated via putc/puti syscalls. */
+    const std::string &output() const { return outputText; }
+    /** Values emitted via puti, in order (convenient for tests). */
+    const std::vector<std::int64_t> &outputValues() const
+    {
+        return outputInts;
+    }
+
+    std::uint64_t dynamicInsts() const { return icount; }
+
+  private:
+    void exec(const Inst &inst);
+    void notifyCall(std::uint32_t caller_pc, std::uint32_t callee);
+    void halt(StopReason reason);
+
+    const Program &prog;
+    CpuConfig cfg;
+    Memory mem;
+    std::array<std::uint64_t, numRegs> regs{};
+    std::uint32_t pcReg = 0;
+    std::uint64_t icount = 0;
+    std::uint64_t loadCount = 0;
+    std::uint64_t storeCount = 0;
+    std::int64_t exitCode = 0;
+    std::optional<StopReason> haltReason;
+
+    std::string outputText;
+    std::vector<std::int64_t> outputInts;
+
+    std::vector<ExecListener *> listeners;
+};
+
+} // namespace vpsim
+
+#endif // VP_VPSIM_CPU_HPP

@@ -1,0 +1,104 @@
+#include "vpsim/disasm.hpp"
+
+#include "support/strings.hpp"
+
+namespace vpsim
+{
+
+namespace
+{
+
+std::string
+targetText(const Program *prog, std::int64_t target)
+{
+    if (prog) {
+        for (const auto &[name, idx] : prog->codeLabels)
+            if (idx == static_cast<std::uint64_t>(target))
+                return name;
+    }
+    return vp::format("%lld", static_cast<long long>(target));
+}
+
+std::string
+disasmImpl(const Inst &inst, const Program *prog)
+{
+    const char *name = opcodeName(inst.op);
+    const std::string rd = regName(inst.rd);
+    const std::string ra = regName(inst.ra);
+    const std::string rb = regName(inst.rb);
+    const long long imm = static_cast<long long>(inst.imm);
+
+    switch (opcodeClass(inst.op)) {
+      case InstClass::Load:
+        return vp::format("%-6s %s, %lld(%s)", name, rd.c_str(), imm,
+                          ra.c_str());
+      case InstClass::Store:
+        return vp::format("%-6s %s, %lld(%s)", name, rb.c_str(), imm,
+                          ra.c_str());
+      case InstClass::Branch:
+        return vp::format("%-6s %s, %s, %s", name, ra.c_str(),
+                          rb.c_str(), targetText(prog, inst.imm).c_str());
+      case InstClass::Jump:
+        if (inst.op == Opcode::JMP)
+            return vp::format("%-6s %s", name,
+                              targetText(prog, inst.imm).c_str());
+        if (inst.op == Opcode::JAL)
+            return vp::format("%-6s %s, %s", name, rd.c_str(),
+                              targetText(prog, inst.imm).c_str());
+        return vp::format("%-6s %s, %s", name, rd.c_str(), ra.c_str());
+      case InstClass::System:
+        return vp::format("%-6s %lld", name, imm);
+      case InstClass::Nop:
+        return name;
+      default:
+        break;
+    }
+
+    switch (inst.op) {
+      case Opcode::LI:
+        return vp::format("%-6s %s, %lld", name, rd.c_str(), imm);
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::SEQ: case Opcode::SNE:
+        return vp::format("%-6s %s, %s, %s", name, rd.c_str(),
+                          ra.c_str(), rb.c_str());
+      default:
+        // Remaining ALU-immediate forms.
+        return vp::format("%-6s %s, %s, %lld", name, rd.c_str(),
+                          ra.c_str(), imm);
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    return disasmImpl(inst, nullptr);
+}
+
+std::string
+disassemble(const Program &prog, std::uint32_t pc)
+{
+    return disasmImpl(prog.code[pc], &prog);
+}
+
+std::string
+disassembleRange(const Program &prog, std::uint32_t begin,
+                 std::uint32_t end)
+{
+    std::string out;
+    for (std::uint32_t pc = begin; pc < end && pc < prog.code.size();
+         ++pc) {
+        for (const auto &[name, idx] : prog.codeLabels)
+            if (idx == pc)
+                out += vp::format("%s:\n", name.c_str());
+        out += vp::format("  %4u: %s\n", pc,
+                          disassemble(prog, pc).c_str());
+    }
+    return out;
+}
+
+} // namespace vpsim

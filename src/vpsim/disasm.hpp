@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Instruction and program pretty-printing (for reports and examples).
+ */
+
+#ifndef VP_VPSIM_DISASM_HPP
+#define VP_VPSIM_DISASM_HPP
+
+#include <string>
+
+#include "vpsim/program.hpp"
+
+namespace vpsim
+{
+
+/** Render one instruction as assembly text, e.g. "addi t0, t0, -1". */
+std::string disassemble(const Inst &inst);
+
+/**
+ * Render one instruction with label-aware branch targets when the
+ * owning program is supplied.
+ */
+std::string disassemble(const Program &prog, std::uint32_t pc);
+
+/** Render an instruction range, one line per instruction. */
+std::string disassembleRange(const Program &prog, std::uint32_t begin,
+                             std::uint32_t end);
+
+} // namespace vpsim
+
+#endif // VP_VPSIM_DISASM_HPP

@@ -1,0 +1,106 @@
+#include "vpsim/eval.hpp"
+
+namespace vpsim
+{
+
+bool
+isPureCompute(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::SEQ: case Opcode::SNE:
+      case Opcode::ADDI: case Opcode::MULI: case Opcode::ANDI:
+      case Opcode::ORI: case Opcode::XORI: case Opcode::SLLI:
+      case Opcode::SRLI: case Opcode::SRAI: case Opcode::SLTI:
+      case Opcode::SEQI: case Opcode::SNEI: case Opcode::LI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+evalPure(const Inst &inst, std::uint64_t a, std::uint64_t b,
+         std::uint64_t &out)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    const std::int64_t imm = inst.imm;
+
+    switch (inst.op) {
+      case Opcode::ADD: out = a + b; return true;
+      case Opcode::SUB: out = a - b; return true;
+      case Opcode::MUL: out = a * b; return true;
+      case Opcode::DIV:
+        if (b == 0)
+            return false;
+        out = static_cast<std::uint64_t>(sa / sb);
+        return true;
+      case Opcode::REM:
+        if (b == 0)
+            return false;
+        out = static_cast<std::uint64_t>(sa % sb);
+        return true;
+      case Opcode::AND: out = a & b; return true;
+      case Opcode::OR: out = a | b; return true;
+      case Opcode::XOR: out = a ^ b; return true;
+      case Opcode::SLL: out = a << (b & 63); return true;
+      case Opcode::SRL: out = a >> (b & 63); return true;
+      case Opcode::SRA:
+        out = static_cast<std::uint64_t>(sa >> (b & 63));
+        return true;
+      case Opcode::SLT: out = sa < sb ? 1 : 0; return true;
+      case Opcode::SLTU: out = a < b ? 1 : 0; return true;
+      case Opcode::SEQ: out = a == b ? 1 : 0; return true;
+      case Opcode::SNE: out = a != b ? 1 : 0; return true;
+      case Opcode::ADDI:
+        out = a + static_cast<std::uint64_t>(imm);
+        return true;
+      case Opcode::MULI:
+        out = a * static_cast<std::uint64_t>(imm);
+        return true;
+      case Opcode::ANDI:
+        out = a & static_cast<std::uint64_t>(imm);
+        return true;
+      case Opcode::ORI:
+        out = a | static_cast<std::uint64_t>(imm);
+        return true;
+      case Opcode::XORI:
+        out = a ^ static_cast<std::uint64_t>(imm);
+        return true;
+      case Opcode::SLLI: out = a << (imm & 63); return true;
+      case Opcode::SRLI: out = a >> (imm & 63); return true;
+      case Opcode::SRAI:
+        out = static_cast<std::uint64_t>(sa >> (imm & 63));
+        return true;
+      case Opcode::SLTI: out = sa < imm ? 1 : 0; return true;
+      case Opcode::SEQI: out = sa == imm ? 1 : 0; return true;
+      case Opcode::SNEI: out = sa != imm ? 1 : 0; return true;
+      case Opcode::LI:
+        out = static_cast<std::uint64_t>(imm);
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+evalBranch(Opcode op, std::uint64_t a, std::uint64_t b, bool &taken)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    switch (op) {
+      case Opcode::BEQ: taken = a == b; return true;
+      case Opcode::BNE: taken = a != b; return true;
+      case Opcode::BLT: taken = sa < sb; return true;
+      case Opcode::BGE: taken = sa >= sb; return true;
+      case Opcode::BLTU: taken = a < b; return true;
+      case Opcode::BGEU: taken = a >= b; return true;
+      default: return false;
+    }
+}
+
+} // namespace vpsim

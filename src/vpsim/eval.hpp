@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Side-effect-free evaluation of pure register-computing instructions.
+ *
+ * Used by the specializer's constant folder. Semantics must match
+ * Cpu::exec() exactly; tests/vpsim/cpu_test.cpp contains a property
+ * test that cross-checks the two on random instructions.
+ */
+
+#ifndef VP_VPSIM_EVAL_HPP
+#define VP_VPSIM_EVAL_HPP
+
+#include <cstdint>
+
+#include "vpsim/isa.hpp"
+
+namespace vpsim
+{
+
+/**
+ * True if the instruction computes its destination purely from its
+ * register/immediate inputs (no memory, control, or system effects).
+ * DIV/REM with a constant zero divisor are excluded (they trap).
+ */
+bool isPureCompute(Opcode op);
+
+/**
+ * Evaluate a pure compute instruction.
+ * @param inst  the instruction (op + imm are used)
+ * @param a     value of inst.ra
+ * @param b     value of inst.rb
+ * @param out   receives the destination value
+ * @return false if the instruction is not pure or would trap
+ *         (divide/remainder by zero).
+ */
+bool evalPure(const Inst &inst, std::uint64_t a, std::uint64_t b,
+              std::uint64_t &out);
+
+/**
+ * Evaluate a conditional branch's predicate.
+ * @return false if the opcode is not a conditional branch; otherwise
+ *         sets `taken`.
+ */
+bool evalBranch(Opcode op, std::uint64_t a, std::uint64_t b,
+                bool &taken);
+
+} // namespace vpsim
+
+#endif // VP_VPSIM_EVAL_HPP

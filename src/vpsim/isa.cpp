@@ -1,0 +1,243 @@
+#include "vpsim/isa.hpp"
+
+#include <cctype>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace vpsim
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::REM: return "rem";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::SLT: return "slt";
+      case Opcode::SLTU: return "sltu";
+      case Opcode::SEQ: return "seq";
+      case Opcode::SNE: return "sne";
+      case Opcode::ADDI: return "addi";
+      case Opcode::MULI: return "muli";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLLI: return "slli";
+      case Opcode::SRLI: return "srli";
+      case Opcode::SRAI: return "srai";
+      case Opcode::SLTI: return "slti";
+      case Opcode::SEQI: return "seqi";
+      case Opcode::SNEI: return "snei";
+      case Opcode::LI: return "li";
+      case Opcode::LD: return "ld";
+      case Opcode::LW: return "lw";
+      case Opcode::LWU: return "lwu";
+      case Opcode::LH: return "lh";
+      case Opcode::LHU: return "lhu";
+      case Opcode::LB: return "lb";
+      case Opcode::LBU: return "lbu";
+      case Opcode::ST: return "st";
+      case Opcode::SW: return "sw";
+      case Opcode::SH: return "sh";
+      case Opcode::SB: return "sb";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLT: return "blt";
+      case Opcode::BGE: return "bge";
+      case Opcode::BLTU: return "bltu";
+      case Opcode::BGEU: return "bgeu";
+      case Opcode::JMP: return "jmp";
+      case Opcode::JAL: return "jal";
+      case Opcode::JALR: return "jalr";
+      case Opcode::SYSCALL: return "syscall";
+      case Opcode::NOP: return "nop";
+      default: vp_panic("bad opcode %d", static_cast<int>(op));
+    }
+}
+
+InstClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD: case Opcode::LW: case Opcode::LWU:
+      case Opcode::LH: case Opcode::LHU: case Opcode::LB:
+      case Opcode::LBU:
+        return InstClass::Load;
+      case Opcode::ST: case Opcode::SW: case Opcode::SH:
+      case Opcode::SB:
+        return InstClass::Store;
+      case Opcode::MUL: case Opcode::MULI:
+        return InstClass::IntMul;
+      case Opcode::DIV: case Opcode::REM:
+        return InstClass::IntDiv;
+      case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::SLLI: case Opcode::SRLI: case Opcode::SRAI:
+        return InstClass::Shift;
+      case Opcode::SLT: case Opcode::SLTU: case Opcode::SEQ:
+      case Opcode::SNE: case Opcode::SLTI: case Opcode::SEQI:
+      case Opcode::SNEI:
+        return InstClass::Compare;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        return InstClass::Branch;
+      case Opcode::JMP: case Opcode::JAL: case Opcode::JALR:
+        return InstClass::Jump;
+      case Opcode::SYSCALL:
+        return InstClass::System;
+      case Opcode::NOP:
+        return InstClass::Nop;
+      default:
+        return InstClass::IntAlu;
+    }
+}
+
+const char *
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::Load: return "Load";
+      case InstClass::Store: return "Store";
+      case InstClass::IntAlu: return "IntAlu";
+      case InstClass::IntMul: return "IntMul";
+      case InstClass::IntDiv: return "IntDiv";
+      case InstClass::Shift: return "Shift";
+      case InstClass::Compare: return "Compare";
+      case InstClass::Branch: return "Branch";
+      case InstClass::Jump: return "Jump";
+      case InstClass::System: return "System";
+      case InstClass::Nop: return "Nop";
+      default: vp_panic("bad class %d", static_cast<int>(cls));
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return opcodeClass(op) == InstClass::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return opcodeClass(op) == InstClass::Store;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return opcodeClass(op) == InstClass::Branch;
+}
+
+bool
+isControl(Opcode op)
+{
+    const InstClass cls = opcodeClass(op);
+    return cls == InstClass::Branch || cls == InstClass::Jump;
+}
+
+unsigned
+memAccessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LD: case Opcode::ST: return 8;
+      case Opcode::LW: case Opcode::LWU: case Opcode::SW: return 4;
+      case Opcode::LH: case Opcode::LHU: case Opcode::SH: return 2;
+      case Opcode::LB: case Opcode::LBU: case Opcode::SB: return 1;
+      default: vp_panic("%s is not a memory opcode", opcodeName(op));
+    }
+}
+
+bool
+writesDest(const Inst &inst)
+{
+    if (inst.rd == regZero)
+        return false;
+    switch (opcodeClass(inst.op)) {
+      case InstClass::Store:
+      case InstClass::Branch:
+      case InstClass::System:
+      case InstClass::Nop:
+        return false;
+      case InstClass::Jump:
+        // Only linking jumps write a register.
+        return inst.op == Opcode::JAL || inst.op == Opcode::JALR;
+      default:
+        return true;
+    }
+}
+
+std::string
+regName(unsigned reg)
+{
+    vp_assert(reg < numRegs, "register %u out of range", reg);
+    switch (reg) {
+      case regZero: return "zero";
+      case regGp: return "gp";
+      case regSp: return "sp";
+      case regFp: return "fp";
+      case regRa: return "ra";
+      default: break;
+    }
+    if (reg >= regA0 && reg <= regA5)
+        return vp::format("a%u", reg - regA0);
+    if (reg >= regT0 && reg < regS0)
+        return vp::format("t%u", reg - regT0);
+    if (reg >= regS0 && reg < regGp)
+        return vp::format("s%u", reg - regS0);
+    return vp::format("r%u", reg);
+}
+
+bool
+parseRegName(const std::string &name, std::uint8_t &out)
+{
+    if (name == "zero") { out = regZero; return true; }
+    if (name == "gp") { out = regGp; return true; }
+    if (name == "sp") { out = regSp; return true; }
+    if (name == "fp") { out = regFp; return true; }
+    if (name == "ra") { out = regRa; return true; }
+    if (name.size() < 2)
+        return false;
+    const char kind = name[0];
+    unsigned idx = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(name[i])))
+            return false;
+        idx = idx * 10 + static_cast<unsigned>(name[i] - '0');
+    }
+    switch (kind) {
+      case 'r':
+        if (idx >= numRegs)
+            return false;
+        out = static_cast<std::uint8_t>(idx);
+        return true;
+      case 'a':
+        if (idx >= maxArgRegs)
+            return false;
+        out = static_cast<std::uint8_t>(regA0 + idx);
+        return true;
+      case 't':
+        if (idx >= 10)
+            return false;
+        out = static_cast<std::uint8_t>(regT0 + idx);
+        return true;
+      case 's':
+        if (idx >= 8)
+            return false;
+        out = static_cast<std::uint8_t>(regS0 + idx);
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace vpsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Instruction-set definition for VPSim, the RISC virtual machine that
+ * stands in for the paper's DEC Alpha substrate.
+ *
+ * The ISA is a conventional 64-bit load/store design: 32 integer
+ * registers (r0 hardwired to zero), three-operand ALU instructions,
+ * immediate forms, sized loads and stores, compare-and-branch, and
+ * jump-and-link. Instructions are held decoded (no bit-level encoding)
+ * since value profiling only observes architected state.
+ */
+
+#ifndef VP_VPSIM_ISA_HPP
+#define VP_VPSIM_ISA_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace vpsim
+{
+
+/** Number of architected integer registers. */
+constexpr unsigned numRegs = 32;
+
+/** ABI register assignments (by convention only; nothing is enforced). */
+enum AbiReg : std::uint8_t
+{
+    regZero = 0,  ///< hardwired zero
+    regA0 = 4,    ///< first argument / return value
+    regA1 = 5,
+    regA2 = 6,
+    regA3 = 7,
+    regA4 = 8,
+    regA5 = 9,    ///< last argument register
+    regT0 = 10,   ///< first caller-saved temporary (t0..t9 = r10..r19)
+    regS0 = 20,   ///< first callee-saved register (s0..s7 = r20..r27)
+    regGp = 28,   ///< global pointer
+    regSp = 29,   ///< stack pointer
+    regFp = 30,   ///< frame pointer
+    regRa = 31,   ///< return address
+};
+
+/** Maximum number of register arguments in the calling convention. */
+constexpr unsigned maxArgRegs = 6;
+
+/** VPSim opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // ALU register-register
+    ADD, SUB, MUL, DIV, REM, AND, OR, XOR,
+    SLL, SRL, SRA,
+    SLT, SLTU, SEQ, SNE,
+    // ALU register-immediate
+    ADDI, MULI, ANDI, ORI, XORI,
+    SLLI, SRLI, SRAI,
+    SLTI, SEQI, SNEI,
+    // Load full immediate (64-bit)
+    LI,
+    // Memory: rd <- mem[ra + imm] / mem[ra + imm] <- rb
+    LD, LW, LWU, LH, LHU, LB, LBU,
+    ST, SW, SH, SB,
+    // Control: compare-and-branch on (ra, rb), target in imm
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    JMP,   ///< unconditional jump to imm
+    JAL,   ///< jump to imm, link in rd
+    JALR,  ///< jump to register ra, link in rd
+    // System
+    SYSCALL,
+    NOP,
+    NumOpcodes,
+};
+
+/** System-call numbers (held in the SYSCALL immediate). */
+enum class Syscall : std::int64_t
+{
+    Exit = 0,  ///< terminate; exit code in a0
+    Putc = 1,  ///< append char a0 to the program output
+    Puti = 2,  ///< append decimal a0 to the program output
+};
+
+/**
+ * Coarse instruction classes used by the per-class invariance
+ * experiment (E4) and the predictors.
+ */
+enum class InstClass : std::uint8_t
+{
+    Load, Store, IntAlu, IntMul, IntDiv, Shift, Compare,
+    Branch, Jump, System, Nop,
+    NumClasses,
+};
+
+/**
+ * One decoded instruction.
+ *
+ * The imm field holds, depending on the opcode: an ALU immediate, a
+ * memory displacement, a branch/jump target (instruction index), or a
+ * syscall number.
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0;  ///< destination register
+    std::uint8_t ra = 0;  ///< first source register
+    std::uint8_t rb = 0;  ///< second source register
+    std::int64_t imm = 0;
+};
+
+/** Mnemonic for an opcode, e.g. "add". */
+const char *opcodeName(Opcode op);
+
+/** Class of an opcode for the per-class breakdowns. */
+InstClass opcodeClass(Opcode op);
+
+/** Printable name of an instruction class, e.g. "IntAlu". */
+const char *instClassName(InstClass cls);
+
+/** True if the opcode is a memory load. */
+bool isLoad(Opcode op);
+/** True if the opcode is a memory store. */
+bool isStore(Opcode op);
+/** True if the opcode is a conditional branch. */
+bool isCondBranch(Opcode op);
+/** True for any instruction that may transfer control (branch/jump). */
+bool isControl(Opcode op);
+
+/** Access width in bytes for a load/store opcode. */
+unsigned memAccessSize(Opcode op);
+
+/**
+ * True if the instruction architecturally writes its destination
+ * register (and the destination is not r0). These are the instructions
+ * the paper value-profiles (thesis section III.E).
+ */
+bool writesDest(const Inst &inst);
+
+/** Canonical ABI name of a register, e.g. "a0", "sp", "r3". */
+std::string regName(unsigned reg);
+
+/** Parse a register name ("r7", "a0", "sp", ...); returns false on error. */
+bool parseRegName(const std::string &name, std::uint8_t &out);
+
+} // namespace vpsim
+
+#endif // VP_VPSIM_ISA_HPP

@@ -1,0 +1,26 @@
+#include "vpsim/memory.hpp"
+
+#include "support/logging.hpp"
+
+namespace vpsim
+{
+
+void
+Memory::writeBlock(std::uint64_t addr, const void *src, std::size_t len)
+{
+    if (!inBounds(addr, 0) || addr + len > data.size())
+        vp_fatal("host writeBlock out of bounds: addr=0x%llx len=%zu",
+                 static_cast<unsigned long long>(addr), len);
+    std::memcpy(data.data() + addr, src, len);
+}
+
+void
+Memory::readBlock(std::uint64_t addr, void *dst, std::size_t len) const
+{
+    if (addr + len > data.size() || addr + len < addr)
+        vp_fatal("host readBlock out of bounds: addr=0x%llx len=%zu",
+                 static_cast<unsigned long long>(addr), len);
+    std::memcpy(dst, data.data() + addr, len);
+}
+
+} // namespace vpsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Flat little-endian byte-addressed data memory for the VM.
+ *
+ * Accessors are bounds-checked; out-of-range accesses set a sticky
+ * fault flag that the Cpu turns into a trap, so buggy guest programs
+ * cannot corrupt host state.
+ */
+
+#ifndef VP_VPSIM_MEMORY_HPP
+#define VP_VPSIM_MEMORY_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace vpsim
+{
+
+/** Flat guest data memory. */
+class Memory
+{
+  public:
+    explicit Memory(std::size_t bytes) : data(bytes, 0) {}
+
+    std::size_t size() const { return data.size(); }
+
+    /** Clear contents (to zero) without resizing. */
+    void
+    clear()
+    {
+        std::memset(data.data(), 0, data.size());
+        faulted = false;
+    }
+
+    /** True once any access has gone out of bounds. */
+    bool hasFault() const { return faulted; }
+    std::uint64_t faultAddress() const { return faultAddr; }
+
+    /** Load an unsigned little-endian value of 1/2/4/8 bytes. */
+    std::uint64_t
+    load(std::uint64_t addr, unsigned bytes)
+    {
+        if (!inBounds(addr, bytes)) {
+            fault(addr);
+            return 0;
+        }
+        std::uint64_t v = 0;
+        std::memcpy(&v, data.data() + addr, bytes);
+        return v;
+    }
+
+    /** Store the low `bytes` bytes of value, little-endian. */
+    void
+    store(std::uint64_t addr, unsigned bytes, std::uint64_t value)
+    {
+        if (!inBounds(addr, bytes)) {
+            fault(addr);
+            return;
+        }
+        std::memcpy(data.data() + addr, &value, bytes);
+    }
+
+    /** Host-side bulk write (input injection); fatal on overflow. */
+    void writeBlock(std::uint64_t addr, const void *src, std::size_t len);
+
+    /** Host-side bulk read (output extraction); fatal on overflow. */
+    void readBlock(std::uint64_t addr, void *dst, std::size_t len) const;
+
+  private:
+    bool
+    inBounds(std::uint64_t addr, unsigned bytes) const
+    {
+        return addr + bytes <= data.size() && addr + bytes >= addr;
+    }
+
+    void
+    fault(std::uint64_t addr)
+    {
+        if (!faulted) {
+            faulted = true;
+            faultAddr = addr;
+        }
+    }
+
+    std::vector<std::uint8_t> data;
+    bool faulted = false;
+    std::uint64_t faultAddr = 0;
+};
+
+} // namespace vpsim
+
+#endif // VP_VPSIM_MEMORY_HPP

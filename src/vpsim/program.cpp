@@ -1,0 +1,75 @@
+#include "vpsim/program.hpp"
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace vpsim
+{
+
+std::uint64_t
+Program::dataAddress(const std::string &symbol) const
+{
+    auto it = dataSymbols.find(symbol);
+    if (it == dataSymbols.end())
+        vp_fatal("unknown data symbol '%s'", symbol.c_str());
+    return it->second;
+}
+
+std::uint32_t
+Program::codeAddress(const std::string &label) const
+{
+    auto it = codeLabels.find(label);
+    if (it == codeLabels.end())
+        vp_fatal("unknown code label '%s'", label.c_str());
+    return it->second;
+}
+
+const Procedure *
+Program::findProc(const std::string &name) const
+{
+    for (const auto &p : procs)
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+const Procedure *
+Program::procContaining(std::uint32_t pc) const
+{
+    for (const auto &p : procs)
+        if (pc >= p.entry && pc < p.end)
+            return &p;
+    return nullptr;
+}
+
+std::string
+Program::validate() const
+{
+    const std::size_t n = code.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Inst &inst = code[i];
+        if (inst.rd >= numRegs || inst.ra >= numRegs || inst.rb >= numRegs)
+            return vp::format("inst %zu: register out of range", i);
+        if (isControl(inst.op) && inst.op != Opcode::JALR) {
+            if (inst.imm < 0 ||
+                static_cast<std::uint64_t>(inst.imm) >= n) {
+                return vp::format("inst %zu (%s): target %lld out of "
+                                  "range", i, opcodeName(inst.op),
+                                  static_cast<long long>(inst.imm));
+            }
+        }
+    }
+    for (const auto &p : procs) {
+        if (p.entry > p.end || p.end > n)
+            return vp::format("proc '%s': bad range [%u,%u)",
+                              p.name.c_str(), p.entry, p.end);
+        if (p.numArgs > maxArgRegs)
+            return vp::format("proc '%s': %u args exceeds ABI limit",
+                              p.name.c_str(), p.numArgs);
+    }
+    if (entryPoint >= n && n > 0)
+        return "entry point out of range";
+    return "";
+}
+
+} // namespace vpsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Program container: decoded instructions, procedure table, data
+ * segment image and symbols. Produced by the Assembler (or by the
+ * Specializer, which clones and rewrites programs).
+ */
+
+#ifndef VP_VPSIM_PROGRAM_HPP
+#define VP_VPSIM_PROGRAM_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vpsim/isa.hpp"
+
+namespace vpsim
+{
+
+/** A procedure (contiguous instruction range) with ABI metadata. */
+struct Procedure
+{
+    std::string name;
+    std::uint32_t entry = 0;  ///< index of the first instruction
+    std::uint32_t end = 0;    ///< one past the last instruction
+    unsigned numArgs = 0;     ///< declared register arguments (a0..)
+};
+
+/**
+ * A complete VPSim program.
+ *
+ * Code addresses are instruction indices (Harvard-style instruction
+ * memory); data addresses are byte offsets into the flat data/stack
+ * memory, with the initialized data image loaded at dataBase.
+ */
+class Program
+{
+  public:
+    /** Default base address of the initialized data segment (the
+     *  region below it acts as a null-pointer guard). */
+    static constexpr std::uint64_t defaultDataBase = 0x1000;
+
+    std::vector<Inst> code;
+    std::vector<Procedure> procs;
+
+    /** Initialized data image, loaded at dataBase before execution. */
+    std::vector<std::uint8_t> dataInit;
+    std::uint64_t dataBase = defaultDataBase;
+
+    /** Data labels: symbol name -> absolute byte address. */
+    std::unordered_map<std::string, std::uint64_t> dataSymbols;
+    /** Code labels: symbol name -> instruction index. */
+    std::unordered_map<std::string, std::uint32_t> codeLabels;
+
+    /** Instruction index where execution starts ("main" if present). */
+    std::uint32_t entryPoint = 0;
+
+    std::size_t numInsts() const { return code.size(); }
+
+    /** Look up a data symbol's address; fatal() if missing. */
+    std::uint64_t dataAddress(const std::string &symbol) const;
+
+    /** Look up a code label; fatal() if missing. */
+    std::uint32_t codeAddress(const std::string &label) const;
+
+    /** Find a procedure by name (nullptr if absent). */
+    const Procedure *findProc(const std::string &name) const;
+
+    /** Procedure containing the given instruction (nullptr if none). */
+    const Procedure *procContaining(std::uint32_t pc) const;
+
+    /**
+     * Validate structural invariants: branch targets in range,
+     * registers in range, procedures non-overlapping and in bounds.
+     * Returns an error description, or empty if valid.
+     */
+    std::string validate() const;
+};
+
+} // namespace vpsim
+
+#endif // VP_VPSIM_PROGRAM_HPP

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * "anagram" workload — word tokenizing and hash-bucket counting over
+ * text, standing in for dictionary-driven integer codes (134.perl /
+ * 147.vortex flavour). Exercises byte loads over text, a hash inner
+ * loop with a semi-invariant multiplier, and histogram updates whose
+ * store addresses concentrate on a few hot buckets.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+namespace
+{
+
+const char *const anagramAsm = R"(
+# anagram: tokenize words, hash them, count buckets
+    .data
+iterations:  .word 0
+input_len:   .word 0
+nqueries:    .word 0
+input:       .space 32768
+histogram:   .space 2048           # 256 x 8-byte buckets
+hist_ptr:    .word histogram       # global pointer, reloaded per word
+hash_mult:   .word 33              # hash multiplier (a global)
+probe_a:     .asciiz "value "
+probe_b:     .asciiz "profile "
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    la   t0, iterations
+    ld   s0, 0(t0)
+ana_pass:
+    beqz s0, ana_done
+    call scan_words
+    addi s0, s0, -1
+    jmp  ana_pass
+ana_done:
+    # Query phase: look up two fixed keywords repeatedly. Each call
+    # site passes a constant pointer — variant globally, invariant
+    # per call site (the context-sensitivity showcase).
+    la   t0, nqueries
+    ld   s3, 0(t0)
+    li   s4, 0
+query_loop:
+    beqz s3, query_done
+    la   a0, probe_a
+    addi a1, a0, 6
+    call hash_word            # site A: always probe_a
+    xor  s4, s4, a0
+    la   a0, probe_b
+    addi a1, a0, 8
+    call hash_word            # site B: always probe_b
+    add  s4, s4, a0
+    addi s3, s3, -1
+    jmp  query_loop
+query_done:
+    call best_bucket          # a0 = index of max bucket
+    mov  s1, a0
+    call hist_checksum        # a0 = checksum over histogram
+    xor  a0, a0, s1
+    xor  a0, a0, s4
+    syscall puti
+    li   a0, 0
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+
+# scan_words: walk the input, hash each word, bump its bucket
+    .proc scan_words args=0
+scan_words:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s1, 8(sp)
+    la   s1, input
+    la   t0, input_len
+    ld   t0, 0(t0)
+    add  s2, s1, t0           # end
+sw_loop:
+    bgeu s1, s2, sw_done
+    lbu  t1, 0(s1)
+    li   t2, 32               # space separates words
+    beq  t1, t2, sw_skip
+    mov  a0, s1
+    mov  a1, s2
+    call hash_word            # a0 = hash, a1 = chars consumed
+    add  s1, s1, a1
+    andi t3, a0, 0xff
+    ld   t4, hist_ptr(zero)   # global reload (invariant load)
+    slli t3, t3, 3
+    add  t4, t4, t3
+    ld   t5, 0(t4)
+    addi t5, t5, 1
+    st   t5, 0(t4)
+    jmp  sw_loop
+sw_skip:
+    addi s1, s1, 1
+    jmp  sw_loop
+sw_done:
+    ld   s1, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    ret
+    .endp
+
+# hash_word(ptr, end) -> a0 = hash, a1 = length consumed
+    .proc hash_word args=2
+hash_word:
+    li   t0, 5381             # djb2 seed (invariant)
+    mov  t1, a0
+hw_loop:
+    bgeu t1, a1, hw_done
+    lbu  t2, 0(t1)
+    li   t3, 32
+    beq  t2, t3, hw_done
+    ld   t4, hash_mult(zero)  # global reload (invariant load)
+    mul  t0, t0, t4
+    xor  t0, t0, t2
+    addi t1, t1, 1
+    jmp  hw_loop
+hw_done:
+    sub  a1, t1, a0
+    mov  a0, t0
+    ret
+    .endp
+
+# best_bucket() -> index of the largest histogram bucket
+    .proc best_bucket args=0
+best_bucket:
+    la   t0, histogram
+    li   t1, 0                # index
+    li   t2, 0                # best value
+    li   t3, 0                # best index
+bb_loop:
+    li   t4, 256
+    bge  t1, t4, bb_done
+    slli t5, t1, 3
+    add  t5, t0, t5
+    ld   t6, 0(t5)
+    bge  t2, t6, bb_next
+    mov  t2, t6
+    mov  t3, t1
+bb_next:
+    addi t1, t1, 1
+    jmp  bb_loop
+bb_done:
+    mov  a0, t3
+    ret
+    .endp
+
+# hist_checksum() -> xor-rotate over all buckets
+    .proc hist_checksum args=0
+hist_checksum:
+    la   t0, histogram
+    li   t1, 0
+    li   t2, 0
+hc_loop:
+    li   t4, 256
+    bge  t1, t4, hc_done
+    slli t5, t1, 3
+    add  t5, t0, t5
+    ld   t6, 0(t5)
+    slli t3, t2, 5
+    srli t2, t2, 59
+    or   t2, t3, t2
+    xor  t2, t2, t6
+    addi t1, t1, 1
+    jmp  hc_loop
+hc_done:
+    mov  a0, t2
+    ret
+    .endp
+)";
+
+/** Space-separated words drawn from a Zipf-ish dictionary. */
+std::vector<std::uint8_t>
+makeText(std::uint64_t seed, std::size_t len)
+{
+    vp::Rng rng(seed);
+    static const char *const dict[] = {
+        "the",   "of",     "and",   "value", "profile", "cache",
+        "table", "branch", "load",  "store", "run",     "time",
+        "code",  "spec",   "data",  "word",  "hash",    "loop",
+        "invariant", "register",
+    };
+    constexpr std::size_t dict_size = sizeof(dict) / sizeof(dict[0]);
+    std::vector<std::uint8_t> out;
+    out.reserve(len);
+    while (out.size() < len) {
+        // Zipf-like pick: prefer early dictionary entries.
+        std::size_t idx = rng.below(dict_size);
+        idx = std::min(idx, rng.below(dict_size));
+        for (const char *p = dict[idx]; *p && out.size() < len; ++p)
+            out.push_back(static_cast<std::uint8_t>(*p));
+        if (out.size() < len)
+            out.push_back(' ');
+    }
+    // Terminate cleanly on a separator.
+    out.back() = ' ';
+    return out;
+}
+
+class AnagramWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "anagram"; }
+
+    std::string
+    description() const override
+    {
+        return "word hashing and bucket counts (text-processing "
+               "stand-in)";
+    }
+
+    std::string source() const override { return anagramAsm; }
+
+    void
+    inject(vpsim::Cpu &cpu, const std::string &dataset) const override
+    {
+        const bool train = dataset == "train";
+        const auto text = makeText(datasetSeed(name(), dataset),
+                                   train ? 24000 : 17000);
+        pokeBytes(cpu, "input", text);
+        pokeWord(cpu, "input_len", text.size());
+        pokeWord(cpu, "iterations", train ? 5 : 4);
+        pokeWord(cpu, "nqueries", train ? 1200 : 800);
+    }
+};
+
+} // namespace
+
+const Workload &
+anagramWorkload()
+{
+    static const AnagramWorkload instance;
+    return instance;
+}
+
+} // namespace workloads

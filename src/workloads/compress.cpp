@@ -1,0 +1,203 @@
+/**
+ * @file
+ * "compress" workload — a run-length encoder over text-like input,
+ * standing in for SPEC95 129.compress. Structure: an outer pass loop,
+ * a run-scanning inner loop, a per-run emit() procedure (whose run-
+ * length argument is heavily semi-invariant — most runs have length
+ * 1), and an Adler-style checksum over the compressed output.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+namespace
+{
+
+const char *const compressAsm = R"(
+# compress: run-length encoding benchmark
+    .data
+iterations:  .word 0
+input_len:   .word 0
+out_len:     .word 0
+modulus:     .word 65521          # checksum modulus (a global)
+input:       .space 32768
+outbuf:      .space 65536
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    la   t0, iterations
+    ld   s0, 0(t0)          # pass counter
+    li   s1, 0              # checksum accumulator
+pass_loop:
+    beqz s0, passes_done
+    la   a0, input
+    la   t0, input_len
+    ld   a1, 0(t0)
+    la   a2, outbuf
+    call rle_encode         # a0 = compressed length
+    la   t0, out_len
+    st   a0, 0(t0)
+    mov  a1, a0
+    la   a0, outbuf
+    call checksum           # a0 = checksum of compressed data
+    xor  s1, s1, a0
+    addi s1, s1, 13
+    addi s0, s0, -1
+    jmp  pass_loop
+passes_done:
+    mov  a0, s1
+    syscall puti
+    li   a0, 0
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+
+# rle_encode(src, len, dst) -> compressed length
+    .proc rle_encode args=3
+rle_encode:
+    addi sp, sp, -48
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    st   s1, 16(sp)
+    st   s2, 24(sp)
+    st   s3, 32(sp)
+    st   s4, 40(sp)
+    mov  s0, a0             # src cursor
+    add  s1, a0, a1         # src end
+    mov  s2, a2             # dst cursor
+    mov  s3, a2             # dst base
+enc_loop:
+    bgeu s0, s1, enc_done
+    lbu  t3, 0(s0)          # current byte
+    li   t4, 1              # run length
+run_loop:
+    add  t5, s0, t4
+    bgeu t5, s1, run_end
+    lbu  t6, 0(t5)
+    bne  t6, t3, run_end
+    addi t4, t4, 1
+    li   t7, 255
+    blt  t4, t7, run_loop
+run_end:
+    mov  s4, t4             # keep the run length across the call
+    mov  a0, t4             # emit(run, byte, dst) -> new dst
+    mov  a1, t3
+    mov  a2, s2
+    call emit
+    mov  s2, a0
+    add  s0, s0, s4
+    jmp  enc_loop
+enc_done:
+    sub  a0, s2, s3
+    ld   s4, 40(sp)
+    ld   s3, 32(sp)
+    ld   s2, 24(sp)
+    ld   s1, 16(sp)
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 48
+    ret
+    .endp
+
+# emit(run, byte, dst) -> new dst cursor
+    .proc emit args=3
+emit:
+    sb   a0, 0(a2)
+    sb   a1, 1(a2)
+    addi a0, a2, 2
+    ret
+    .endp
+
+# checksum(buf, len) -> a0 (Adler-style mod 65521)
+    .proc checksum args=2
+checksum:
+    li   t0, 1              # low word
+    li   t1, 0              # high word
+    mov  t2, a0
+    add  t3, a0, a1
+ck_loop:
+    bgeu t2, t3, ck_done
+    ld   t5, modulus(zero)  # global reload (invariant load)
+    lbu  t4, 0(t2)
+    add  t0, t0, t4
+    rem  t0, t0, t5
+    add  t1, t1, t0
+    rem  t1, t1, t5
+    addi t2, t2, 1
+    jmp  ck_loop
+ck_done:
+    slli a0, t1, 16
+    or   a0, a0, t0
+    ret
+    .endp
+)";
+
+/** Text-like bytes with embedded runs (spaces, repeated letters). */
+std::vector<std::uint8_t>
+makeInput(std::uint64_t seed, std::size_t len, double run_bias)
+{
+    vp::Rng rng(seed);
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(len);
+    static const char alphabet[] =
+        "etaoinshrdlucmfw ypvbgkjqxz  ETAOIN.,;:\n";
+    while (bytes.size() < len) {
+        const std::uint8_t ch = static_cast<std::uint8_t>(
+            alphabet[rng.below(sizeof(alphabet) - 1)]);
+        std::size_t run = 1;
+        if (rng.chance(run_bias))
+            run = 2 + rng.below(30); // an embedded run
+        for (std::size_t i = 0; i < run && bytes.size() < len; ++i)
+            bytes.push_back(ch);
+    }
+    return bytes;
+}
+
+class CompressWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "compress"; }
+
+    std::string
+    description() const override
+    {
+        return "run-length encoder + checksum (129.compress stand-in)";
+    }
+
+    std::string source() const override { return compressAsm; }
+
+    void
+    inject(vpsim::Cpu &cpu, const std::string &dataset) const override
+    {
+        const std::uint64_t seed = datasetSeed(name(), dataset);
+        const bool train = dataset == "train";
+        const std::size_t len = train ? 20000 : 14000;
+        const double bias = train ? 0.08 : 0.15;
+        const auto bytes = makeInput(seed, len, bias);
+        pokeBytes(cpu, "input", bytes);
+        pokeWord(cpu, "input_len", bytes.size());
+        pokeWord(cpu, "iterations", train ? 4 : 3);
+    }
+};
+
+} // namespace
+
+const Workload &
+compressWorkload()
+{
+    static const CompressWorkload instance;
+    return instance;
+}
+
+} // namespace workloads

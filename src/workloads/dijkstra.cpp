@@ -1,0 +1,247 @@
+/**
+ * @file
+ * "dijkstra" workload — repeated single-source shortest paths over a
+ * dense adjacency matrix (O(V^2) linear-scan priority selection),
+ * standing in for pointer/graph integer codes. The relax() procedure's
+ * weight argument distribution is skewed (a few edge weights dominate),
+ * and the visited-flag loads are mostly 1 late in each pass.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+namespace
+{
+
+const char *const dijkstraAsm = R"(
+# dijkstra: dense-graph single-source shortest paths
+    .data
+nverts:      .word 0
+nsources:    .word 0
+adj:         .space 32768          # nverts*nverts bytes (255 = no edge)
+dist:        .space 512            # per-vertex distance words
+visited:     .space 64             # per-vertex visited bytes
+result:      .word 0
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    la   t0, nsources
+    ld   s0, 0(t0)
+    li   s5, 0                 # source vertex cursor
+src_loop:
+    beqz s0, src_done
+    mov  a0, s5
+    call sssp                  # a0 = sum of distances from source
+    la   t0, result
+    ld   t1, 0(t0)
+    add  t1, t1, a0
+    st   t1, 0(t0)
+    addi s5, s5, 1
+    la   t2, nverts
+    ld   t2, 0(t2)
+    blt  s5, t2, src_next
+    li   s5, 0
+src_next:
+    addi s0, s0, -1
+    jmp  src_loop
+src_done:
+    la   t0, result
+    ld   a0, 0(t0)
+    syscall puti
+    li   a0, 0
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+
+# sssp(source) -> sum of finite distances
+    .proc sssp args=1
+sssp:
+    addi sp, sp, -8
+    st   ra, 0(sp)
+    la   s1, nverts
+    ld   s1, 0(s1)             # V
+    # init dist = INF, visited = 0
+    li   t0, 0
+    la   t1, dist
+    la   t2, visited
+    li   t3, 1000000000
+init_loop:
+    bge  t0, s1, init_done
+    slli t4, t0, 3
+    add  t4, t1, t4
+    st   t3, 0(t4)
+    add  t4, t2, t0
+    sb   zero, 0(t4)
+    addi t0, t0, 1
+    jmp  init_loop
+init_done:
+    la   t1, dist
+    slli t4, a0, 3
+    add  t4, t1, t4
+    st   zero, 0(t4)           # dist[src] = 0
+    li   s2, 0                 # iteration count
+outer_loop:
+    bge  s2, s1, outer_done
+    call pick_min              # a0 = unvisited vertex with min dist
+    blt  a0, zero, outer_done  # none left
+    mov  s3, a0
+    # mark visited
+    la   t2, visited
+    add  t2, t2, s3
+    li   t3, 1
+    sb   t3, 0(t2)
+    # relax all neighbors
+    li   s4, 0                 # v
+relax_loop:
+    bge  s4, s1, relax_done
+    # w = adj[u*V + v]
+    mul  t4, s3, s1
+    add  t4, t4, s4
+    la   t5, adj
+    add  t5, t5, t4
+    lbu  t6, 0(t5)
+    li   t7, 255
+    beq  t6, t7, relax_next    # no edge
+    mov  a0, s3
+    mov  a1, s4
+    mov  a2, t6
+    call relax
+relax_next:
+    addi s4, s4, 1
+    jmp  relax_loop
+relax_done:
+    addi s2, s2, 1
+    jmp  outer_loop
+outer_done:
+    # sum distances
+    li   t0, 0
+    li   t1, 0
+    la   t2, dist
+    li   t3, 1000000000
+sum_loop:
+    bge  t0, s1, sum_done
+    slli t4, t0, 3
+    add  t4, t2, t4
+    ld   t5, 0(t4)
+    bge  t5, t3, sum_next
+    add  t1, t1, t5
+sum_next:
+    addi t0, t0, 1
+    jmp  sum_loop
+sum_done:
+    mov  a0, t1
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    ret
+    .endp
+
+# pick_min() -> unvisited vertex with smallest dist, or -1
+# (uses s1 = V from caller)
+    .proc pick_min args=0
+pick_min:
+    li   t0, 0                 # v
+    li   t1, -1                # best vertex
+    li   t2, 1000000001        # best dist
+    la   t3, dist
+    la   t4, visited
+pm_loop:
+    bge  t0, s1, pm_done
+    add  t5, t4, t0
+    lbu  t5, 0(t5)             # visited flag load
+    bnez t5, pm_next
+    slli t6, t0, 3
+    add  t6, t3, t6
+    ld   t6, 0(t6)
+    bge  t6, t2, pm_next
+    mov  t2, t6
+    mov  t1, t0
+pm_next:
+    addi t0, t0, 1
+    jmp  pm_loop
+pm_done:
+    mov  a0, t1
+    ret
+    .endp
+
+# relax(u, v, w): dist[v] = min(dist[v], dist[u] + w)
+    .proc relax args=3
+relax:
+    la   t0, dist
+    slli t1, a0, 3
+    add  t1, t0, t1
+    ld   t2, 0(t1)             # dist[u]
+    add  t2, t2, a2
+    slli t3, a1, 3
+    add  t3, t0, t3
+    ld   t4, 0(t3)             # dist[v]
+    bge  t2, t4, relax_skip
+    st   t2, 0(t3)
+relax_skip:
+    ret
+    .endp
+)";
+
+class DijkstraWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "dijkstra"; }
+
+    std::string
+    description() const override
+    {
+        return "dense-graph shortest paths (graph-traversal stand-in)";
+    }
+
+    std::string source() const override { return dijkstraAsm; }
+
+    void
+    inject(vpsim::Cpu &cpu, const std::string &dataset) const override
+    {
+        vp::Rng rng(datasetSeed(name(), dataset));
+        const bool train = dataset == "train";
+        const std::uint64_t v = train ? 48 : 40;
+        std::vector<std::uint8_t> adj(v * v, 255);
+        // Sparse-ish graph with a skewed weight distribution: most
+        // edges weigh 1 or 2, a few are heavy.
+        const double p = train ? 0.22 : 0.30;
+        for (std::uint64_t i = 0; i < v; ++i) {
+            for (std::uint64_t j = 0; j < v; ++j) {
+                if (i == j || !rng.chance(p))
+                    continue;
+                std::uint8_t w;
+                if (rng.chance(0.6))
+                    w = 1;
+                else if (rng.chance(0.5))
+                    w = 2;
+                else
+                    w = static_cast<std::uint8_t>(3 + rng.below(60));
+                adj[i * v + j] = w;
+            }
+        }
+        pokeBytes(cpu, "adj", adj);
+        pokeWord(cpu, "nverts", v);
+        pokeWord(cpu, "nsources", train ? 40 : 28);
+    }
+};
+
+} // namespace
+
+const Workload &
+dijkstraWorkload()
+{
+    static const DijkstraWorkload instance;
+    return instance;
+}
+
+} // namespace workloads

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * "huffman" workload — frequency counting, array-based Huffman tree
+ * construction, and encode-length computation, standing in for
+ * table/pointer-heavy integer codes (147.vortex flavour). The
+ * tree-build phase repeatedly scans for the two lightest active
+ * nodes (argmin loops over mostly-stable weights) and the encode
+ * phase walks parent links leaf-to-root — loads over a structure
+ * that is perfectly invariant once built.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+namespace
+{
+
+const char *const huffmanAsm = R"(
+# huffman: frequency count + tree build + encode length
+    .data
+input_len:   .word 0
+input:       .space 16384
+freq:        .space 2048           # 256 x 8-byte counts
+weight:      .space 4096           # 512 x 8-byte node weights
+parent:      .space 4096           # 512 x 8-byte parent ids (+1; 0 = none)
+active:      .space 512            # 512 x 1-byte "in heap" flags
+nnodes:      .word 0
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -8
+    st   ra, 0(sp)
+    call count_freqs
+    call init_leaves
+    call build_tree
+    call encode_length         # a0 = total encoded bits
+    mov  s0, a0
+    call freq_checksum
+    xor  a0, a0, s0
+    syscall puti
+    li   a0, 0
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    syscall exit
+    .endp
+
+# count_freqs: freq[b]++ for every input byte
+    .proc count_freqs args=0
+count_freqs:
+    la   t0, input
+    la   t1, input_len
+    ld   t1, 0(t1)
+    add  t1, t0, t1
+    la   t2, freq
+cf_loop:
+    bgeu t0, t1, cf_done
+    lbu  t3, 0(t0)
+    slli t3, t3, 3
+    add  t3, t2, t3
+    ld   t4, 0(t3)
+    addi t4, t4, 1
+    st   t4, 0(t3)
+    addi t0, t0, 1
+    jmp  cf_loop
+cf_done:
+    ret
+    .endp
+
+# init_leaves: activate leaves with nonzero frequency
+    .proc init_leaves args=0
+init_leaves:
+    li   t0, 0                 # symbol
+    la   t1, freq
+    la   t2, weight
+    la   t3, active
+    li   t4, 0                 # active count
+il_loop:
+    li   t5, 256
+    bge  t0, t5, il_done
+    slli t5, t0, 3
+    add  t6, t1, t5
+    ld   t6, 0(t6)             # freq[s]
+    beqz t6, il_next
+    add  t7, t2, t5
+    st   t6, 0(t7)             # weight[s] = freq[s]
+    add  t7, t3, t0
+    li   t8, 1
+    sb   t8, 0(t7)             # active[s] = 1
+    addi t4, t4, 1
+il_next:
+    addi t0, t0, 1
+    jmp  il_loop
+il_done:
+    la   t5, nnodes
+    li   t6, 256               # next internal node id
+    st   t6, 0(t5)
+    mov  a0, t4
+    ret
+    .endp
+
+# find_min() -> a0 = active node with smallest weight, or -1
+    .proc find_min args=0
+find_min:
+    la   t0, active
+    la   t1, weight
+    la   t2, nnodes
+    ld   t2, 0(t2)             # scan 0..nnodes-1
+    li   t3, 0                 # index
+    li   t4, -1                # best id
+    li   t5, 0x7fffffffffffffff
+fm_loop:
+    bge  t3, t2, fm_done
+    add  t6, t0, t3
+    lbu  t6, 0(t6)             # active flag (mostly 0 late on)
+    beqz t6, fm_next
+    slli t6, t3, 3
+    add  t6, t1, t6
+    ld   t6, 0(t6)
+    bge  t6, t5, fm_next
+    mov  t5, t6
+    mov  t4, t3
+fm_next:
+    addi t3, t3, 1
+    jmp  fm_loop
+fm_done:
+    mov  a0, t4
+    ret
+    .endp
+
+# build_tree: classic two-min merge until one node remains
+    .proc build_tree args=0
+build_tree:
+    addi sp, sp, -24
+    st   ra, 0(sp)
+    st   s1, 8(sp)
+    st   s2, 16(sp)
+bt_loop:
+    call find_min
+    blt  a0, zero, bt_done
+    mov  s1, a0
+    # deactivate first min
+    la   t0, active
+    add  t0, t0, s1
+    sb   zero, 0(t0)
+    call find_min
+    blt  a0, zero, bt_single
+    mov  s2, a0
+    la   t0, active
+    add  t0, t0, s2
+    sb   zero, 0(t0)
+    # create internal node id = nnodes
+    la   t0, nnodes
+    ld   t1, 0(t0)
+    la   t2, weight
+    slli t3, s1, 3
+    add  t3, t2, t3
+    ld   t4, 0(t3)
+    slli t3, s2, 3
+    add  t3, t2, t3
+    ld   t5, 0(t3)
+    add  t4, t4, t5            # combined weight
+    slli t3, t1, 3
+    add  t3, t2, t3
+    st   t4, 0(t3)
+    # parents (stored +1 so 0 means "root/none")
+    la   t2, parent
+    addi t5, t1, 1
+    slli t3, s1, 3
+    add  t3, t2, t3
+    st   t5, 0(t3)
+    slli t3, s2, 3
+    add  t3, t2, t3
+    st   t5, 0(t3)
+    # activate the new node, bump nnodes
+    la   t2, active
+    add  t2, t2, t1
+    li   t3, 1
+    sb   t3, 0(t2)
+    addi t1, t1, 1
+    st   t1, 0(t0)
+    jmp  bt_loop
+bt_single:
+    # s1 was the root; leave it deactivated
+bt_done:
+    ld   s2, 16(sp)
+    ld   s1, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 24
+    ret
+    .endp
+
+# depth(symbol) -> code length by walking parent links
+    .proc depth args=1
+depth:
+    li   t0, 0
+    mov  t1, a0
+    la   t2, parent
+dp_loop:
+    slli t3, t1, 3
+    add  t3, t2, t3
+    ld   t3, 0(t3)             # parent+1 (invariant once built)
+    beqz t3, dp_done
+    addi t0, t0, 1
+    addi t1, t3, -1
+    jmp  dp_loop
+dp_done:
+    mov  a0, t0
+    ret
+    .endp
+
+# encode_length: sum of code lengths over the input -> a0
+    .proc encode_length args=0
+encode_length:
+    addi sp, sp, -32
+    st   ra, 0(sp)
+    st   s1, 8(sp)
+    st   s2, 16(sp)
+    st   s3, 24(sp)
+    la   s1, input
+    la   t0, input_len
+    ld   t0, 0(t0)
+    add  s2, s1, t0
+    li   t9, 0                 # total bits (t9 preserved by depth)
+el_loop:
+    bgeu s1, s2, el_done
+    lbu  a0, 0(s1)
+    mov  s3, t9                # save across call (s3 scratch here)
+    call depth
+    add  t9, s3, a0
+    addi s1, s1, 1
+    jmp  el_loop
+el_done:
+    mov  a0, t9
+    ld   s3, 24(sp)
+    ld   s2, 16(sp)
+    ld   s1, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 32
+    ret
+    .endp
+
+# freq_checksum: rotating xor over the frequency table
+    .proc freq_checksum args=0
+freq_checksum:
+    la   t0, freq
+    li   t1, 0
+    li   t2, 0
+fc_loop:
+    li   t4, 256
+    bge  t1, t4, fc_done
+    slli t5, t1, 3
+    add  t5, t0, t5
+    ld   t6, 0(t5)
+    slli t3, t2, 11
+    srli t2, t2, 53
+    or   t2, t3, t2
+    add  t2, t2, t6
+    addi t1, t1, 1
+    jmp  fc_loop
+fc_done:
+    mov  a0, t2
+    ret
+    .endp
+)";
+
+/** Zipf-ish text so the Huffman tree is deep and skewed. */
+std::vector<std::uint8_t>
+makeInput(std::uint64_t seed, std::size_t len)
+{
+    vp::Rng rng(seed);
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(len);
+    static const char common[] = "eeeettaaoinshrdlu ";
+    while (bytes.size() < len) {
+        if (rng.chance(0.75)) {
+            bytes.push_back(static_cast<std::uint8_t>(
+                common[rng.below(sizeof(common) - 1)]));
+        } else {
+            bytes.push_back(
+                static_cast<std::uint8_t>(33 + rng.below(90)));
+        }
+    }
+    return bytes;
+}
+
+class HuffmanWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "huffman"; }
+
+    std::string
+    description() const override
+    {
+        return "Huffman tree build + encode length (table/pointer "
+               "stand-in)";
+    }
+
+    std::string source() const override { return huffmanAsm; }
+
+    void
+    inject(vpsim::Cpu &cpu, const std::string &dataset) const override
+    {
+        const bool train = dataset == "train";
+        const auto bytes = makeInput(datasetSeed(name(), dataset),
+                                     train ? 12000 : 8500);
+        pokeBytes(cpu, "input", bytes);
+        pokeWord(cpu, "input_len", bytes.size());
+    }
+};
+
+} // namespace
+
+const Workload &
+huffmanWorkload()
+{
+    static const HuffmanWorkload instance;
+    return instance;
+}
+
+} // namespace workloads

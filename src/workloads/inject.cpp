@@ -1,0 +1,54 @@
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+void
+pokeWord(vpsim::Cpu &cpu, const std::string &symbol, std::uint64_t value,
+         std::uint64_t index)
+{
+    const std::uint64_t addr =
+        cpu.program().dataAddress(symbol) + index * 8;
+    cpu.memory().writeBlock(addr, &value, 8);
+}
+
+void
+pokeBytes(vpsim::Cpu &cpu, const std::string &symbol,
+          const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return;
+    cpu.memory().writeBlock(cpu.program().dataAddress(symbol),
+                            bytes.data(), bytes.size());
+}
+
+void
+pokeWords(vpsim::Cpu &cpu, const std::string &symbol,
+          const std::vector<std::uint64_t> &words)
+{
+    if (words.empty())
+        return;
+    cpu.memory().writeBlock(cpu.program().dataAddress(symbol),
+                            words.data(), words.size() * 8);
+}
+
+std::uint64_t
+datasetSeed(const std::string &workload, const std::string &dataset)
+{
+    // FNV-1a over "workload/dataset" so every pair gets a stable,
+    // distinct seed.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::string &s) {
+        for (char ch : s) {
+            h ^= static_cast<std::uint8_t>(ch);
+            h *= 1099511628211ull;
+        }
+    };
+    mix(workload);
+    h ^= '/';
+    h *= 1099511628211ull;
+    mix(dataset);
+    return h;
+}
+
+} // namespace workloads

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Helpers for writing workload inputs into guest memory via data
+ * symbols.
+ */
+
+#ifndef VP_WORKLOADS_INJECT_HPP
+#define VP_WORKLOADS_INJECT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vpsim/cpu.hpp"
+
+namespace workloads
+{
+
+/** Store a 64-bit word at symbol + index*8. */
+void pokeWord(vpsim::Cpu &cpu, const std::string &symbol,
+              std::uint64_t value, std::uint64_t index = 0);
+
+/** Copy a byte buffer to the symbol's address. */
+void pokeBytes(vpsim::Cpu &cpu, const std::string &symbol,
+               const std::vector<std::uint8_t> &bytes);
+
+/** Copy 64-bit words to the symbol's address. */
+void pokeWords(vpsim::Cpu &cpu, const std::string &symbol,
+               const std::vector<std::uint64_t> &words);
+
+/** Deterministic per-(workload,dataset) RNG seed. */
+std::uint64_t datasetSeed(const std::string &workload,
+                          const std::string &dataset);
+
+} // namespace workloads
+
+#endif // VP_WORKLOADS_INJECT_HPP

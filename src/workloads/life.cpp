@@ -1,0 +1,243 @@
+/**
+ * @file
+ * "life" workload — Conway's Game of Life on a byte grid, standing in
+ * for stencil/array integer codes (099.go flavour: grid scans with
+ * mostly-dead cells). Neighbor-count loads are heavily zero-valued,
+ * reproducing the paper's observation that a large share of load
+ * values are zero.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+namespace
+{
+
+const char *const lifeAsm = R"(
+# life: Conway's Game of Life generations over a byte grid
+    .data
+width:       .word 0
+height:      .word 0
+generations: .word 0
+grid:        .space 4096
+next:        .space 4096
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    la   t0, generations
+    ld   s0, 0(t0)
+gen_loop:
+    beqz s0, gen_done
+    call step_grid
+    call copy_back
+    addi s0, s0, -1
+    jmp  gen_loop
+gen_done:
+    call grid_checksum
+    syscall puti
+    li   a0, 0
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+
+# step_grid: compute one generation from grid into next
+    .proc step_grid args=0
+step_grid:
+    addi sp, sp, -8
+    st   ra, 0(sp)
+    la   t8, width
+    ld   t8, 0(t8)
+    la   t9, height
+    ld   t9, 0(t9)
+    li   s1, 0                # y
+sg_row:
+    bge  s1, t9, sg_done
+    li   s2, 0                # x
+sg_col:
+    bge  s2, t8, sg_row_next
+    mov  a0, s2
+    mov  a1, s1
+    call count_neighbors      # a0 = live neighbor count
+    mov  s4, a0
+    # current cell
+    mul  t0, s1, t8
+    add  t0, t0, s2
+    la   t1, grid
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    # rule: alive if (n == 3) or (alive and n == 2)
+    li   t3, 0
+    li   t4, 3
+    beq  s4, t4, sg_alive
+    beqz t2, sg_write
+    li   t4, 2
+    bne  s4, t4, sg_write
+sg_alive:
+    li   t3, 1
+sg_write:
+    la   t4, next
+    add  t4, t4, t0
+    sb   t3, 0(t4)
+    addi s2, s2, 1
+    jmp  sg_col
+sg_row_next:
+    addi s1, s1, 1
+    jmp  sg_row
+sg_done:
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    ret
+    .endp
+
+# count_neighbors(x, y) -> live neighbors (torus wraparound)
+    .proc count_neighbors args=2
+count_neighbors:
+    la   t8, width
+    ld   t8, 0(t8)
+    la   t9, height
+    ld   t9, 0(t9)
+    li   t0, 0                # count
+    li   t1, -1               # dy
+cn_dy:
+    li   t5, 2
+    bge  t1, t5, cn_done
+    li   t2, -1               # dx
+cn_dx:
+    bge  t2, t5, cn_dy_next
+    or   t3, t1, t2
+    beqz t3, cn_dx_next       # skip (0,0)
+    add  t3, a1, t1           # ny
+    add  t4, a0, t2           # nx
+    # wrap ny
+    bge  t3, zero, cn_ny_lo
+    add  t3, t3, t9
+cn_ny_lo:
+    blt  t3, t9, cn_ny_ok
+    sub  t3, t3, t9
+cn_ny_ok:
+    # wrap nx
+    bge  t4, zero, cn_nx_lo
+    add  t4, t4, t8
+cn_nx_lo:
+    blt  t4, t8, cn_nx_ok
+    sub  t4, t4, t8
+cn_nx_ok:
+    mul  t6, t3, t8
+    add  t6, t6, t4
+    la   t7, grid
+    add  t7, t7, t6
+    lbu  t6, 0(t7)            # neighbor cell (mostly zero)
+    add  t0, t0, t6
+cn_dx_next:
+    addi t2, t2, 1
+    jmp  cn_dx
+cn_dy_next:
+    addi t1, t1, 1
+    jmp  cn_dy
+cn_done:
+    mov  a0, t0
+    ret
+    .endp
+
+# copy_back: next -> grid
+    .proc copy_back args=0
+copy_back:
+    la   t8, width
+    ld   t8, 0(t8)
+    la   t9, height
+    ld   t9, 0(t9)
+    mul  t0, t8, t9           # cells
+    la   t1, grid
+    la   t2, next
+    li   t3, 0
+cb_loop:
+    bge  t3, t0, cb_done
+    add  t4, t2, t3
+    lbu  t5, 0(t4)
+    add  t4, t1, t3
+    sb   t5, 0(t4)
+    addi t3, t3, 1
+    jmp  cb_loop
+cb_done:
+    ret
+    .endp
+
+# grid_checksum: rotating xor over all cells -> a0
+    .proc grid_checksum args=0
+grid_checksum:
+    la   t8, width
+    ld   t8, 0(t8)
+    la   t9, height
+    ld   t9, 0(t9)
+    mul  t0, t8, t9
+    la   t1, grid
+    li   t2, 0
+    li   t3, 0
+gc_loop:
+    bge  t3, t0, gc_done
+    add  t4, t1, t3
+    lbu  t5, 0(t4)
+    slli t6, t2, 7
+    srli t2, t2, 57
+    or   t2, t6, t2
+    add  t2, t2, t5
+    addi t3, t3, 1
+    jmp  gc_loop
+gc_done:
+    mov  a0, t2
+    ret
+    .endp
+)";
+
+class LifeWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "life"; }
+
+    std::string
+    description() const override
+    {
+        return "Game of Life stencil generations (grid-scan stand-in)";
+    }
+
+    std::string source() const override { return lifeAsm; }
+
+    void
+    inject(vpsim::Cpu &cpu, const std::string &dataset) const override
+    {
+        vp::Rng rng(datasetSeed(name(), dataset));
+        const bool train = dataset == "train";
+        const std::uint64_t w = train ? 32 : 28;
+        const std::uint64_t h = train ? 32 : 28;
+        std::vector<std::uint8_t> cells(w * h, 0);
+        const double density = train ? 0.18 : 0.28;
+        for (auto &c : cells)
+            c = rng.chance(density) ? 1 : 0;
+        pokeBytes(cpu, "grid", cells);
+        pokeWord(cpu, "width", w);
+        pokeWord(cpu, "height", h);
+        pokeWord(cpu, "generations", train ? 16 : 12);
+    }
+};
+
+} // namespace
+
+const Workload &
+lifeWorkload()
+{
+    static const LifeWorkload instance;
+    return instance;
+}
+
+} // namespace workloads

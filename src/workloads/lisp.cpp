@@ -1,0 +1,247 @@
+/**
+ * @file
+ * "lisp" workload — a stack-machine bytecode interpreter, standing in
+ * for SPEC95 130.li. This is the paper's canonical value-profiling
+ * target: the opcode-fetch load and the dispatch-table load are
+ * heavily semi-invariant (a few opcodes dominate), which is exactly
+ * the structure dynamic compilation exploits.
+ *
+ * The host compiles a small bytecode program (a multiply-accumulate
+ * hash over the input stream) and the guest interprets it once per
+ * input element, dispatching through a jump table of handler
+ * addresses held in the data segment.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+namespace
+{
+
+// Bytecode opcodes understood by the guest interpreter.
+enum Bytecode : std::uint8_t
+{
+    BC_HALT = 0,
+    BC_PUSH = 1,   ///< push next byte as immediate
+    BC_NEXT = 2,   ///< push next input element (cursor advances)
+    BC_ADD = 3,
+    BC_MUL = 4,
+    BC_XOR = 5,
+    BC_DUP = 6,
+    BC_DROP = 7,
+    BC_LOADA = 8,  ///< push accumulator variable
+    BC_STOREA = 9, ///< pop into accumulator variable
+    BC_AND = 10,
+};
+
+const char *const lispAsm = R"(
+# lisp: stack-machine bytecode interpreter
+    .data
+input_len:   .word 0
+input:       .space 163840         # up to 20480 64-bit input elements
+bytecode:    .space 256
+accum:       .word 0
+cursor:      .word 0
+vmstack:     .space 2048
+dispatch:    .word op_halt, op_push, op_next, op_add, op_mul
+             .word op_xor, op_dup, op_drop, op_loada, op_storea
+             .word op_and
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    la   t0, input_len
+    ld   s0, 0(t0)          # elements remaining
+main_loop:
+    beqz s0, main_done
+    call interp             # run the bytecode program once
+    addi s0, s0, -1
+    jmp  main_loop
+main_done:
+    la   t0, accum
+    ld   a0, 0(t0)
+    syscall puti
+    li   a0, 0
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+
+# interp: run the bytecode program until HALT.
+# Interpreter registers:
+#   s2 = bytecode pc, s3 = vm stack pointer (grows up), s4 = dispatch base
+    .proc interp args=0
+interp:
+    addi sp, sp, -8
+    st   ra, 0(sp)
+    la   s2, bytecode
+    la   s3, vmstack
+    la   s4, dispatch
+interp_loop:
+    lbu  t0, 0(s2)          # opcode fetch (semi-invariant load)
+    addi s2, s2, 1
+    slli t1, t0, 3
+    add  t1, s4, t1
+    ld   t2, 0(t1)          # dispatch-table load (semi-invariant)
+    jalr zero, t2           # computed jump to the handler
+
+op_halt:
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    ret
+
+op_push:
+    lbu  t3, 0(s2)
+    addi s2, s2, 1
+    st   t3, 0(s3)
+    addi s3, s3, 8
+    jmp  interp_loop
+
+op_next:
+    la   t3, cursor
+    ld   t4, 0(t3)
+    la   t5, input
+    slli t6, t4, 3
+    add  t5, t5, t6
+    ld   t6, 0(t5)          # input element
+    addi t4, t4, 1
+    st   t4, 0(t3)
+    st   t6, 0(s3)
+    addi s3, s3, 8
+    jmp  interp_loop
+
+op_add:
+    addi s3, s3, -16
+    ld   t3, 0(s3)
+    ld   t4, 8(s3)
+    add  t3, t3, t4
+    st   t3, 0(s3)
+    addi s3, s3, 8
+    jmp  interp_loop
+
+op_mul:
+    addi s3, s3, -16
+    ld   t3, 0(s3)
+    ld   t4, 8(s3)
+    mul  t3, t3, t4
+    st   t3, 0(s3)
+    addi s3, s3, 8
+    jmp  interp_loop
+
+op_xor:
+    addi s3, s3, -16
+    ld   t3, 0(s3)
+    ld   t4, 8(s3)
+    xor  t3, t3, t4
+    st   t3, 0(s3)
+    addi s3, s3, 8
+    jmp  interp_loop
+
+op_and:
+    addi s3, s3, -16
+    ld   t3, 0(s3)
+    ld   t4, 8(s3)
+    and  t3, t3, t4
+    st   t3, 0(s3)
+    addi s3, s3, 8
+    jmp  interp_loop
+
+op_dup:
+    ld   t3, -8(s3)
+    st   t3, 0(s3)
+    addi s3, s3, 8
+    jmp  interp_loop
+
+op_drop:
+    addi s3, s3, -8
+    jmp  interp_loop
+
+op_loada:
+    la   t3, accum
+    ld   t4, 0(t3)
+    st   t4, 0(s3)
+    addi s3, s3, 8
+    jmp  interp_loop
+
+op_storea:
+    addi s3, s3, -8
+    ld   t4, 0(s3)
+    la   t3, accum
+    st   t4, 0(t3)
+    jmp  interp_loop
+    .endp
+)";
+
+/** The bytecode program: acc = ((acc * 33) ^ next) + (next & 0xff). */
+std::vector<std::uint8_t>
+makeBytecode()
+{
+    return {
+        BC_LOADA,
+        BC_PUSH, 33,
+        BC_MUL,
+        BC_NEXT,
+        BC_XOR,
+        BC_NEXT,
+        BC_PUSH, 255,
+        BC_AND,
+        BC_ADD,
+        BC_STOREA,
+        BC_HALT,
+    };
+}
+
+class LispWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "lisp"; }
+
+    std::string
+    description() const override
+    {
+        return "bytecode interpreter with table dispatch (130.li "
+               "stand-in)";
+    }
+
+    std::string source() const override { return lispAsm; }
+
+    void
+    inject(vpsim::Cpu &cpu, const std::string &dataset) const override
+    {
+        vp::Rng rng(datasetSeed(name(), dataset));
+        const bool train = dataset == "train";
+        // Each bytecode run consumes two input elements (two BC_NEXT).
+        const std::size_t runs = train ? 9000 : 6500;
+        std::vector<std::uint64_t> elems(runs * 2);
+        for (auto &e : elems) {
+            // Small-magnitude values with repeats, as list cells in an
+            // interpreter would hold.
+            e = rng.chance(0.4) ? rng.below(8) : rng.below(4096);
+        }
+        pokeWords(cpu, "input", elems);
+        pokeWord(cpu, "input_len", runs);
+        pokeBytes(cpu, "bytecode", makeBytecode());
+        pokeWord(cpu, "cursor", 0);
+        pokeWord(cpu, "accum", train ? 7 : 11);
+    }
+};
+
+} // namespace
+
+const Workload &
+lispWorkload()
+{
+    static const LispWorkload instance;
+    return instance;
+}
+
+} // namespace workloads

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * "nqueens" workload — backtracking N-queens solver, standing in for
+ * search-tree integer codes (099.go flavour). Deep recursion with a
+ * row argument, conflict-flag loads that are overwhelmingly zero, and
+ * a call graph whose parameter profiles are variant — the counterpoint
+ * to matmul's invariant factor.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+namespace
+{
+
+const char *const nqueensAsm = R"(
+# nqueens: count all solutions by backtracking
+    .data
+nsize:       .word 0
+solutions:   .word 0
+cols:        .space 16             # column-occupied flags
+diag1:       .space 32             # (row+col) diagonal flags
+diag2:       .space 32             # (row-col+N-1) diagonal flags
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -8
+    st   ra, 0(sp)
+    li   a0, 0                 # start at row 0
+    call place
+    la   t0, solutions
+    ld   a0, 0(t0)
+    syscall puti
+    li   a0, 0
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    syscall exit
+    .endp
+
+# place(row): try every column in this row, recurse
+    .proc place args=1
+place:
+    la   t0, nsize
+    ld   t0, 0(t0)
+    blt  a0, t0, pl_work
+    # row == N: found a solution
+    la   t1, solutions
+    ld   t2, 0(t1)
+    addi t2, t2, 1
+    st   t2, 0(t1)
+    ret
+pl_work:
+    addi sp, sp, -24
+    st   ra, 0(sp)
+    st   s1, 8(sp)             # row
+    st   s2, 16(sp)            # col
+    mov  s1, a0
+    li   s2, 0
+pl_col:
+    la   t0, nsize
+    ld   t0, 0(t0)
+    bge  s2, t0, pl_done
+    mov  a0, s1
+    mov  a1, s2
+    call safe                  # a0 = 1 if (row,col) is free
+    beqz a0, pl_next
+    mov  a0, s1
+    mov  a1, s2
+    li   a2, 1
+    call set_flags             # occupy
+    addi a0, s1, 1
+    call place
+    mov  a0, s1
+    mov  a1, s2
+    li   a2, 0
+    call set_flags             # release
+pl_next:
+    addi s2, s2, 1
+    jmp  pl_col
+pl_done:
+    ld   s2, 16(sp)
+    ld   s1, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 24
+    ret
+    .endp
+
+# safe(row, col) -> 1 if no conflicting flag is set
+    .proc safe args=2
+safe:
+    la   t0, cols
+    add  t1, t0, a1
+    lbu  t1, 0(t1)             # column flag (mostly zero)
+    bnez t1, sf_no
+    add  t2, a0, a1
+    la   t0, diag1
+    add  t2, t0, t2
+    lbu  t2, 0(t2)
+    bnez t2, sf_no
+    la   t0, nsize
+    ld   t0, 0(t0)
+    sub  t3, a0, a1
+    add  t3, t3, t0
+    addi t3, t3, -1
+    la   t0, diag2
+    add  t3, t0, t3
+    lbu  t3, 0(t3)
+    bnez t3, sf_no
+    li   a0, 1
+    ret
+sf_no:
+    li   a0, 0
+    ret
+    .endp
+
+# set_flags(row, col, value): set/clear the three conflict flags
+    .proc set_flags args=3
+set_flags:
+    la   t0, cols
+    add  t1, t0, a1
+    sb   a2, 0(t1)
+    add  t2, a0, a1
+    la   t0, diag1
+    add  t2, t0, t2
+    sb   a2, 0(t2)
+    la   t0, nsize
+    ld   t0, 0(t0)
+    sub  t3, a0, a1
+    add  t3, t3, t0
+    addi t3, t3, -1
+    la   t0, diag2
+    add  t3, t0, t3
+    sb   a2, 0(t3)
+    ret
+    .endp
+)";
+
+class NqueensWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "nqueens"; }
+
+    std::string
+    description() const override
+    {
+        return "N-queens backtracking search (search-tree stand-in)";
+    }
+
+    std::string source() const override { return nqueensAsm; }
+
+    void
+    inject(vpsim::Cpu &cpu, const std::string &dataset) const override
+    {
+        // The board size IS the data set.
+        pokeWord(cpu, "nsize", dataset == "train" ? 9 : 8);
+    }
+};
+
+} // namespace
+
+const Workload &
+nqueensWorkload()
+{
+    static const NqueensWorkload instance;
+    return instance;
+}
+
+} // namespace workloads

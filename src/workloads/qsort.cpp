@@ -1,0 +1,234 @@
+/**
+ * @file
+ * "qsort" workload — recursive quicksort plus a batch of binary
+ * searches, standing in for sort/search integer codes. Exercises deep
+ * call recursion (partition bounds as parameters), compare-heavy inner
+ * loops, and — after sorting — binary-search mid-point loads whose
+ * early probes are perfectly invariant across queries.
+ */
+
+#include "workloads/workload.hpp"
+
+#include "support/rng.hpp"
+#include "workloads/inject.hpp"
+
+namespace workloads
+{
+
+namespace
+{
+
+const char *const qsortAsm = R"(
+# qsort: recursive quicksort + binary searches
+    .data
+count:       .word 0
+nqueries:    .word 0
+array:       .space 65536          # 64-bit keys
+queries:     .space 16384          # 64-bit query keys
+arr_ptr:     .word array           # global pointer, reloaded per probe
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    la   t0, count
+    ld   t0, 0(t0)
+    li   a0, 0
+    addi a1, t0, -1
+    call quicksort
+    # run the queries
+    la   t0, nqueries
+    ld   s0, 0(t0)
+    li   s1, 0                 # query index
+    li   s2, 0                 # hit accumulator
+q_loop:
+    beqz s0, q_done
+    la   t1, queries
+    slli t2, s1, 3
+    add  t1, t1, t2
+    ld   a0, 0(t1)
+    call bsearch               # a0 = index or -1
+    slli t3, s2, 1
+    xor  s2, t3, a0
+    addi s1, s1, 1
+    addi s0, s0, -1
+    jmp  q_loop
+q_done:
+    call array_checksum
+    xor  a0, a0, s2
+    syscall puti
+    li   a0, 0
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+
+# quicksort(lo, hi): sort array[lo..hi] in place
+    .proc quicksort args=2
+quicksort:
+    bge  a0, a1, qs_return
+    addi sp, sp, -32
+    st   ra, 0(sp)
+    st   s3, 8(sp)
+    st   s4, 16(sp)
+    st   s5, 24(sp)
+    mov  s3, a0                # lo
+    mov  s4, a1                # hi
+    call partition             # a0 = pivot index (args still lo/hi)
+    mov  s5, a0
+    mov  a0, s3
+    addi a1, s5, -1
+    call quicksort
+    addi a0, s5, 1
+    mov  a1, s4
+    call quicksort
+    ld   s5, 24(sp)
+    ld   s4, 16(sp)
+    ld   s3, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 32
+qs_return:
+    ret
+    .endp
+
+# partition(lo, hi) -> final pivot index (Lomuto, pivot = array[hi])
+    .proc partition args=2
+partition:
+    la   t0, array
+    slli t1, a1, 3
+    add  t1, t0, t1
+    ld   t2, 0(t1)             # pivot value
+    mov  t3, a0                # i (store slot)
+    mov  t4, a0                # j (scan)
+pt_loop:
+    bge  t4, a1, pt_done
+    slli t5, t4, 3
+    add  t5, t0, t5
+    ld   t6, 0(t5)
+    bge  t6, t2, pt_next       # array[j] >= pivot: leave
+    # swap array[i], array[j]
+    slli t7, t3, 3
+    add  t7, t0, t7
+    ld   t8, 0(t7)
+    st   t6, 0(t7)
+    st   t8, 0(t5)
+    addi t3, t3, 1
+pt_next:
+    addi t4, t4, 1
+    jmp  pt_loop
+pt_done:
+    # swap array[i], array[hi]
+    slli t5, t3, 3
+    add  t5, t0, t5
+    ld   t6, 0(t5)
+    st   t2, 0(t5)
+    st   t6, 0(t1)
+    mov  a0, t3
+    ret
+    .endp
+
+# bsearch(key) -> index or -1
+    .proc bsearch args=1
+bsearch:
+    la   t1, count
+    ld   t1, 0(t1)
+    li   t2, 0                 # lo
+    addi t3, t1, -1            # hi
+bs_loop:
+    blt  t3, t2, bs_miss
+    ld   t0, arr_ptr(zero)     # global reload (invariant load)
+    add  t4, t2, t3
+    srai t4, t4, 1             # mid
+    slli t5, t4, 3
+    add  t5, t0, t5
+    ld   t6, 0(t5)             # array[mid] (early probes invariant)
+    beq  t6, a0, bs_hit
+    blt  t6, a0, bs_right
+    addi t3, t4, -1
+    jmp  bs_loop
+bs_right:
+    addi t2, t4, 1
+    jmp  bs_loop
+bs_hit:
+    mov  a0, t4
+    ret
+bs_miss:
+    li   a0, -1
+    ret
+    .endp
+
+# array_checksum() -> rotating sum over sorted array
+    .proc array_checksum args=0
+array_checksum:
+    la   t0, array
+    la   t1, count
+    ld   t1, 0(t1)
+    li   t2, 0
+    li   t3, 0
+ac_loop:
+    bge  t3, t1, ac_done
+    slli t4, t3, 3
+    add  t4, t0, t4
+    ld   t5, 0(t4)
+    slli t6, t2, 3
+    srli t2, t2, 61
+    or   t2, t6, t2
+    add  t2, t2, t5
+    addi t3, t3, 1
+    jmp  ac_loop
+ac_done:
+    mov  a0, t2
+    ret
+    .endp
+)";
+
+class QsortWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "qsort"; }
+
+    std::string
+    description() const override
+    {
+        return "recursive quicksort + binary searches (sort/search "
+               "stand-in)";
+    }
+
+    std::string source() const override { return qsortAsm; }
+
+    void
+    inject(vpsim::Cpu &cpu, const std::string &dataset) const override
+    {
+        vp::Rng rng(datasetSeed(name(), dataset));
+        const bool train = dataset == "train";
+        const std::size_t n = train ? 6000 : 4200;
+        std::vector<std::uint64_t> keys(n);
+        for (auto &k : keys)
+            k = rng.below(1u << 20);
+        const std::size_t nq = train ? 1500 : 1000;
+        std::vector<std::uint64_t> queries(nq);
+        for (std::size_t i = 0; i < nq; ++i) {
+            // Half the queries hit existing keys, half are random.
+            queries[i] = rng.chance(0.5) ? keys[rng.below(n)]
+                                         : rng.below(1u << 20);
+        }
+        pokeWords(cpu, "array", keys);
+        pokeWord(cpu, "count", n);
+        pokeWords(cpu, "queries", queries);
+        pokeWord(cpu, "nqueries", nq);
+    }
+};
+
+} // namespace
+
+const Workload &
+qsortWorkload()
+{
+    static const QsortWorkload instance;
+    return instance;
+}
+
+} // namespace workloads

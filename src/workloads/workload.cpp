@@ -1,0 +1,75 @@
+#include "workloads/workload.hpp"
+
+#include "support/logging.hpp"
+#include "vpsim/assembler.hpp"
+
+namespace workloads
+{
+
+// Factories defined one per workload translation unit. Explicit
+// enumeration (rather than self-registration) keeps the list immune to
+// static-library dead-stripping and fixes the canonical order used by
+// every experiment table.
+const Workload &compressWorkload();
+const Workload &crcWorkload();
+const Workload &lispWorkload();
+const Workload &anagramWorkload();
+const Workload &lifeWorkload();
+const Workload &dijkstraWorkload();
+const Workload &qsortWorkload();
+const Workload &matmulWorkload();
+const Workload &huffmanWorkload();
+const Workload &nqueensWorkload();
+
+const vpsim::Program &
+Workload::program() const
+{
+    if (!cachedProgram) {
+        cachedProgram =
+            std::make_unique<vpsim::Program>(vpsim::assemble(source()));
+    }
+    return *cachedProgram;
+}
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const std::vector<const Workload *> list = {
+        &compressWorkload(), &crcWorkload(),      &lispWorkload(),
+        &anagramWorkload(),  &lifeWorkload(),     &dijkstraWorkload(),
+        &qsortWorkload(),    &matmulWorkload(),   &huffmanWorkload(),
+        &nqueensWorkload(),
+    };
+    return list;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const auto *w : allWorkloads())
+        if (w->name() == name)
+            return *w;
+    vp_fatal("unknown workload '%s'", name.c_str());
+}
+
+vpsim::RunResult
+runToCompletion(vpsim::Cpu &cpu, const Workload &workload,
+                const std::string &dataset)
+{
+    cpu.reset();
+    workload.inject(cpu, dataset);
+    const vpsim::RunResult res = cpu.run();
+    if (!res.exited())
+        vp_fatal("workload '%s' (%s) did not exit cleanly (reason %d, "
+                 "pc %u, %llu insts)",
+                 workload.name().c_str(), dataset.c_str(),
+                 static_cast<int>(res.reason), cpu.pc(),
+                 static_cast<unsigned long long>(res.dynamicInsts));
+    if (res.exitCode != 0)
+        vp_fatal("workload '%s' (%s) exited with code %lld",
+                 workload.name().c_str(), dataset.c_str(),
+                 static_cast<long long>(res.exitCode));
+    return res;
+}
+
+} // namespace workloads

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The benchmark-workload suite — this repository's stand-in for the
+ * paper's SPEC95 programs (see DESIGN.md, substitution table).
+ *
+ * A Workload bundles a VPSim assembly program with deterministic input
+ * generators for the paper's two data sets ("train" and "test"). Every
+ * program reads its input from data-segment symbols the host fills in
+ * via inject(), runs, emits a checksum through the puti syscall, and
+ * exits with code 0 — so tests can assert correctness and the
+ * specializer can prove semantic equivalence.
+ */
+
+#ifndef VP_WORKLOADS_WORKLOAD_HPP
+#define VP_WORKLOADS_WORKLOAD_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vpsim/cpu.hpp"
+#include "vpsim/program.hpp"
+
+namespace workloads
+{
+
+/** One benchmark program plus its input-set generators. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name, e.g. "compress". */
+    virtual std::string name() const = 0;
+
+    /** One-line description for the benchmark table. */
+    virtual std::string description() const = 0;
+
+    /** The VPSim assembly source. */
+    virtual std::string source() const = 0;
+
+    /**
+     * Write the named data set's input into guest memory. Called after
+     * Cpu::reset(); uses the program's data symbols.
+     */
+    virtual void inject(vpsim::Cpu &cpu,
+                        const std::string &dataset) const = 0;
+
+    /** Available data sets (the paper uses train and test). */
+    virtual std::vector<std::string>
+    datasets() const
+    {
+        return {"train", "test"};
+    }
+
+    /**
+     * The assembled program (cached; assembled on first use). The
+     * reference stays valid for the lifetime of the Workload.
+     */
+    const vpsim::Program &program() const;
+
+  private:
+    mutable std::unique_ptr<vpsim::Program> cachedProgram;
+};
+
+/** All registered workloads, in canonical order. */
+const std::vector<const Workload *> &allWorkloads();
+
+/** Find a workload by name; fatal() if unknown. */
+const Workload &findWorkload(const std::string &name);
+
+/**
+ * Convenience: reset the cpu, inject the data set, and run to
+ * completion; fatal() if the program does not exit cleanly.
+ */
+vpsim::RunResult runToCompletion(vpsim::Cpu &cpu,
+                                 const Workload &workload,
+                                 const std::string &dataset);
+
+} // namespace workloads
+
+#endif // VP_WORKLOADS_WORKLOAD_HPP

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the instruction value profiler in full and sampled modes,
+ * driven through the real instrumentation stack on small programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instruction_profiler.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace core;
+using namespace vpsim;
+
+namespace
+{
+
+// t0 counts down 100..1; t1 toggles 0/1; t2 is always 7.
+const char *const src = R"(
+    .proc main args=0
+main:
+    li   t0, 100
+loop:
+    li   t2, 7
+    xori t1, t1, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    syscall exit
+    .endp
+)";
+
+struct Env
+{
+    Program prog;
+    instr::Image img;
+    instr::InstrumentManager mgr;
+    Cpu cpu;
+
+    explicit Env(const InstProfilerConfig &cfg = {})
+        : prog(assemble(src)), img(prog), mgr(img),
+          cpu(prog, CpuConfig{1u << 16, 10'000'000}), profiler(img, cfg)
+    {
+    }
+
+    InstructionProfiler profiler;
+
+    void
+    runAllWrites()
+    {
+        profiler.profileAllWrites(mgr);
+        mgr.attach(cpu);
+        cpu.run();
+    }
+};
+
+TEST(InstructionProfiler, FullModeCountsEveryExecution)
+{
+    Env env;
+    env.runAllWrites();
+    // pc1 = li t2, 7 runs 100 times.
+    const auto *rec = env.profiler.recordFor(1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->totalExecutions, 100u);
+    EXPECT_EQ(rec->profile.executions(), 100u);
+    EXPECT_DOUBLE_EQ(rec->profile.invTop(), 1.0);
+    EXPECT_EQ(rec->profile.tnv().top()->value, 7u);
+}
+
+TEST(InstructionProfiler, CountdownIsVariant)
+{
+    Env env;
+    env.runAllWrites();
+    // pc3 = addi t0, t0, -1 produces 99..0: 100 distinct values.
+    const auto *rec = env.profiler.recordFor(3);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->profile.distinct(), 100u);
+    EXPECT_LT(rec->profile.invTop(), 0.1);
+    EXPECT_EQ(rec->profile.lvp(), 0.0);
+}
+
+TEST(InstructionProfiler, ToggleHasTwoValues)
+{
+    Env env;
+    env.runAllWrites();
+    const auto *rec = env.profiler.recordFor(2);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->profile.distinct(), 2u);
+    EXPECT_DOUBLE_EQ(rec->profile.invAll(), 1.0);
+    EXPECT_NEAR(rec->profile.invTop(), 0.5, 0.01);
+}
+
+TEST(InstructionProfiler, UninstrumentedPcHasNoRecord)
+{
+    Env env;
+    env.runAllWrites();
+    EXPECT_EQ(env.profiler.recordFor(4), nullptr); // bnez writes nothing
+    EXPECT_EQ(env.profiler.recordFor(9999), nullptr);
+}
+
+TEST(InstructionProfiler, ProfileLoadsSelectsOnlyLoads)
+{
+    Program prog = assemble(R"(
+    .data
+w:  .word 5
+    .text
+    la  t0, w
+    ld  t1, 0(t0)
+    li  a0, 0
+    syscall exit
+)");
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(prog, CpuConfig{1u << 16, 1000});
+    InstructionProfiler prof(img);
+    prof.profileLoads(mgr);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_EQ(prof.records().size(), 1u);
+    EXPECT_EQ(prof.records()[0].pc, 1u);
+    EXPECT_EQ(prof.records()[0].profile.tnv().top()->value, 5u);
+}
+
+TEST(InstructionProfiler, WeightedMetricWeighsByExecutions)
+{
+    Env env;
+    env.runAllWrites();
+    // Hand-computed: records are li(1x inv 1), li t2 (100x inv 1),
+    // xori (100x inv ~.5), addi (100x inv .01), li a0 (1x inv 1),
+    // plus nothing else. Weighted Inv-Top must sit strictly between
+    // the countdown's and the constant's.
+    const double w = env.profiler.weightedMetric(&ValueProfile::invTop);
+    EXPECT_GT(w, 0.3);
+    EXPECT_LT(w, 0.9);
+}
+
+TEST(InstructionProfiler, FractionProfiledIsOneInFullMode)
+{
+    Env env;
+    env.runAllWrites();
+    EXPECT_DOUBLE_EQ(env.profiler.fractionProfiled(), 1.0);
+    EXPECT_EQ(env.profiler.totalExecutions(),
+              env.profiler.profiledExecutions());
+}
+
+TEST(InstructionProfiler, SampledModeProfilesSubset)
+{
+    InstProfilerConfig cfg;
+    cfg.mode = ProfileMode::Sampled;
+    cfg.sampler.burstSize = 8;
+    cfg.sampler.initialSkip = 32;
+    cfg.sampler.convergeRounds = 2;
+    Env env(cfg);
+    env.runAllWrites();
+    const auto *rec = env.profiler.recordFor(1);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->totalExecutions, 100u);
+    EXPECT_LT(rec->profile.executions(), 100u);
+    EXPECT_GT(rec->profile.executions(), 0u);
+    // The estimate on a constant stream is still exact.
+    EXPECT_DOUBLE_EQ(rec->profile.invTop(), 1.0);
+    EXPECT_LT(env.profiler.fractionProfiled(), 1.0);
+}
+
+TEST(InstructionProfiler, RandomModeSamplesAtConfiguredRate)
+{
+    InstProfilerConfig cfg;
+    cfg.mode = ProfileMode::Random;
+    cfg.randomRate = 0.25;
+    Env env(cfg);
+    env.runAllWrites();
+    // 301 profiled-instruction executions total; expect ~25% sampled.
+    const double fraction = env.profiler.fractionProfiled();
+    EXPECT_GT(fraction, 0.10);
+    EXPECT_LT(fraction, 0.45);
+    // The constant instruction's estimate stays exact.
+    const auto *rec = env.profiler.recordFor(1);
+    ASSERT_NE(rec, nullptr);
+    if (rec->profile.executions() > 0) {
+        EXPECT_DOUBLE_EQ(rec->profile.invTop(), 1.0);
+    }
+}
+
+TEST(InstructionProfiler, RandomModeIsDeterministicPerSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        InstProfilerConfig cfg;
+        cfg.mode = ProfileMode::Random;
+        cfg.randomRate = 0.3;
+        cfg.randomSeed = seed;
+        Env env(cfg);
+        env.runAllWrites();
+        return env.profiler.profiledExecutions();
+    };
+    EXPECT_EQ(run(7), run(7));
+}
+
+TEST(InstructionProfilerDeath, BadRandomRatePanics)
+{
+    Program prog = assemble("li a0, 0\nsyscall exit\n");
+    instr::Image img(prog);
+    InstProfilerConfig cfg;
+    cfg.mode = ProfileMode::Random;
+    cfg.randomRate = 0.0;
+    EXPECT_DEATH(InstructionProfiler prof(img, cfg), "randomRate");
+}
+
+TEST(InstructionProfiler, RecordsKeepPcAssociation)
+{
+    Env env;
+    env.runAllWrites();
+    for (const auto &rec : env.profiler.records())
+        EXPECT_EQ(env.profiler.recordFor(rec.pc), &rec);
+}
+
+} // namespace

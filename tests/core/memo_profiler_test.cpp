@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the memoization-potential profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/memo_profiler.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace core;
+using namespace vpsim;
+
+namespace
+{
+
+// f is called 30 times with tuples cycling over 3 distinct pairs;
+// g is called 10 times with always-fresh arguments.
+const char *const src = R"(
+    .proc main args=0
+main:
+    li   s0, 10
+loop:
+    li   a0, 1
+    li   a1, 2
+    call f
+    li   a0, 3
+    li   a1, 4
+    call f
+    li   a0, 5
+    li   a1, 6
+    call f
+    mov  a0, s0
+    slli a1, s0, 4
+    call g
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc f args=2
+f:
+    add  a0, a0, a1
+    ret
+    .endp
+    .proc g args=2
+g:
+    xor  a0, a0, a1
+    ret
+    .endp
+)";
+
+class MemoTest : public ::testing::Test
+{
+  protected:
+    MemoTest()
+        : prog(assemble(src)), img(prog), mgr(img),
+          cpu(prog, CpuConfig{1u << 16, 100000})
+    {
+        memo.instrument(mgr);
+        mgr.attach(cpu);
+        cpu.run();
+    }
+
+    Program prog;
+    instr::Image img;
+    instr::InstrumentManager mgr;
+    Cpu cpu;
+    MemoProfiler memo;
+};
+
+TEST_F(MemoTest, RepetitiveTuplesAreDetected)
+{
+    const auto *f = memo.statsFor("f");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->calls, 30u);
+    EXPECT_EQ(f->distinctTuples, 3u);
+    // 27 of 30 calls repeat a tuple.
+    EXPECT_DOUBLE_EQ(f->unboundedHitRate(), 0.9);
+    // 3 tuples fit any cache: same hit rate (modulo index conflicts).
+    EXPECT_GE(f->cacheHitRate(), 0.8);
+}
+
+TEST_F(MemoTest, FreshTuplesNeverHit)
+{
+    const auto *g = memo.statsFor("g");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->calls, 10u);
+    EXPECT_EQ(g->distinctTuples, 10u);
+    EXPECT_DOUBLE_EQ(g->unboundedHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(g->cacheHitRate(), 0.0);
+}
+
+TEST_F(MemoTest, UnknownProcedure)
+{
+    EXPECT_EQ(memo.statsFor("nope"), nullptr);
+}
+
+TEST_F(MemoTest, ByCallCountOrdering)
+{
+    const auto order = memo.byCallCount();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0]->proc->name, "f");
+    EXPECT_EQ(order[1]->proc->name, "g");
+}
+
+TEST(MemoProfilerStandalone, CacheSmallerThanWorkingSetMissesMore)
+{
+    // 64 distinct tuples cycling: an unbounded history hits on every
+    // repeat pass, a 2^2-entry cache thrashes.
+    Procedure proc;
+    proc.name = "p";
+    proc.numArgs = 2;
+
+    MemoProfilerConfig small_cfg;
+    small_cfg.cacheIndexBits = 2;
+    MemoProfiler small(small_cfg);
+    MemoProfiler big; // 256 entries
+
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t t = 0; t < 64; ++t) {
+            const std::uint64_t args[6] = {t, t * 7, 0, 0, 0, 0};
+            small.onProcCall(proc, args, 0);
+            big.onProcCall(proc, args, 0);
+        }
+    }
+    const auto *ss = small.statsFor("p");
+    const auto *bs = big.statsFor("p");
+    ASSERT_NE(ss, nullptr);
+    ASSERT_NE(bs, nullptr);
+    EXPECT_DOUBLE_EQ(ss->unboundedHitRate(), 0.75); // 192/256
+    EXPECT_DOUBLE_EQ(bs->unboundedHitRate(), 0.75);
+    EXPECT_LT(ss->cacheHitRate(), bs->cacheHitRate());
+    EXPECT_GT(bs->cacheHitRate(), 0.6);
+}
+
+TEST(MemoProfilerDeath, BadCacheBitsPanics)
+{
+    MemoProfilerConfig cfg;
+    cfg.cacheIndexBits = 0;
+    EXPECT_DEATH(MemoProfiler memo(cfg), "cacheIndexBits");
+}
+
+} // namespace

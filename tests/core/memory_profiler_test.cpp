@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the memory-location value profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/memory_profiler.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace core;
+using namespace vpsim;
+
+namespace
+{
+
+// Writes: addr A gets 7 ten times; addr B gets 0..9; addr C once.
+const char *const src = R"(
+    .data
+a:  .space 8
+b:  .space 8
+c:  .space 8
+    .text
+main:
+    li   t0, 10
+    li   t3, 0
+loop:
+    la   t1, a
+    li   t2, 7
+    st   t2, 0(t1)
+    la   t1, b
+    st   t3, 0(t1)
+    ld   t4, 0(t1)
+    addi t3, t3, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    la   t1, c
+    st   t0, 0(t1)
+    li   a0, 0
+    syscall exit
+)";
+
+struct Env
+{
+    Program prog;
+    instr::Image img;
+    instr::InstrumentManager mgr;
+    Cpu cpu;
+
+    explicit Env(MemProfilerConfig cfg = {})
+        : prog(assemble(src)), img(prog), mgr(img),
+          cpu(prog, CpuConfig{1u << 16, 100000}), profiler(cfg)
+    {
+        profiler.instrument(mgr);
+        mgr.attach(cpu);
+        cpu.run();
+    }
+
+    MemoryProfiler profiler;
+};
+
+TEST(MemoryProfiler, TracksPerLocationWrites)
+{
+    Env env;
+    const auto addr_a = env.prog.dataAddress("a");
+    const auto *loc = env.profiler.locationFor(addr_a);
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->writes.executions(), 10u);
+    EXPECT_DOUBLE_EQ(loc->writes.invTop(), 1.0);
+    EXPECT_EQ(loc->writes.tnv().top()->value, 7u);
+}
+
+TEST(MemoryProfiler, VariantLocation)
+{
+    Env env;
+    const auto *loc =
+        env.profiler.locationFor(env.prog.dataAddress("b"));
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->writes.executions(), 10u);
+    EXPECT_EQ(loc->writes.distinct(), 10u);
+    EXPECT_DOUBLE_EQ(loc->writes.invTop(), 0.1);
+}
+
+TEST(MemoryProfiler, CountsAndTopLocations)
+{
+    Env env;
+    EXPECT_EQ(env.profiler.totalStores(), 21u);
+    EXPECT_EQ(env.profiler.numLocations(), 3u);
+    const auto top = env.profiler.topLocationsByWrites(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0]->writes.executions(), 10u);
+    EXPECT_EQ(top[1]->writes.executions(), 10u);
+}
+
+TEST(MemoryProfiler, LoadsNotProfiledByDefault)
+{
+    Env env;
+    EXPECT_EQ(env.profiler.totalLoads(), 0u);
+}
+
+TEST(MemoryProfiler, LoadProfilingWhenEnabled)
+{
+    MemProfilerConfig cfg;
+    cfg.profileLoads = true;
+    Env env(cfg);
+    EXPECT_EQ(env.profiler.totalLoads(), 10u);
+    const auto *loc =
+        env.profiler.locationFor(env.prog.dataAddress("b"));
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->reads.executions(), 10u);
+}
+
+TEST(MemoryProfiler, AddressWindowFilters)
+{
+    MemProfilerConfig cfg;
+    // Window covering only location "a" (first 8 data bytes).
+    cfg.windowBegin = Program::defaultDataBase;
+    cfg.windowEnd = Program::defaultDataBase + 8;
+    Env env(cfg);
+    EXPECT_EQ(env.profiler.numLocations(), 1u);
+    EXPECT_EQ(env.profiler.totalStores(), 10u);
+}
+
+TEST(MemoryProfiler, GranularityBucketsNeighbors)
+{
+    MemProfilerConfig cfg;
+    cfg.granularity = 16; // a and b fall into one bucket
+    Env env(cfg);
+    const auto *loc =
+        env.profiler.locationFor(env.prog.dataAddress("a"));
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->writes.executions(), 20u);
+    EXPECT_EQ(env.profiler.locationFor(env.prog.dataAddress("a")),
+              env.profiler.locationFor(env.prog.dataAddress("b")));
+}
+
+TEST(MemoryProfiler, MaxLocationsOverflow)
+{
+    MemProfilerConfig cfg;
+    cfg.maxLocations = 2;
+    Env env(cfg);
+    EXPECT_EQ(env.profiler.numLocations(), 2u);
+    EXPECT_TRUE(env.profiler.overflowed());
+}
+
+TEST(MemoryProfiler, WeightedWriteMetric)
+{
+    Env env;
+    // a: inv 1 (10 writes), b: inv .1 (10), c: inv 1 (1 write).
+    const double w =
+        env.profiler.weightedWriteMetric(&ValueProfile::invTop);
+    EXPECT_NEAR(w, (10 * 1.0 + 10 * 0.1 + 1 * 1.0) / 21.0, 1e-9);
+}
+
+TEST(MemoryProfiler, TotalWritesCountedEvenWhenSampling)
+{
+    MemProfilerConfig cfg;
+    cfg.mode = ProfileMode::Random;
+    cfg.randomRate = 0.3;
+    Env env(cfg);
+    const auto *loc =
+        env.profiler.locationFor(env.prog.dataAddress("a"));
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->totalWrites, 10u);
+    EXPECT_LE(loc->writes.executions(), 10u);
+    EXPECT_LE(env.profiler.fractionProfiled(), 1.0);
+}
+
+TEST(MemoryProfiler, FullModeProfilesEverything)
+{
+    Env env;
+    EXPECT_DOUBLE_EQ(env.profiler.fractionProfiled(), 1.0);
+}
+
+TEST(MemoryProfiler, ConvergentSamplingOnHotLocation)
+{
+    // A location written many times with a constant: the sampler
+    // converges and skips most writes while the estimate stays exact.
+    MemProfilerConfig cfg;
+    cfg.mode = ProfileMode::Sampled;
+    cfg.sampler.burstSize = 8;
+    cfg.sampler.initialSkip = 24;
+    cfg.sampler.convergeRounds = 2;
+
+    Program prog = assemble(R"(
+    .data
+hot:    .space 8
+    .text
+    li   t0, 5000
+loop:
+    la   t1, hot
+    li   t2, 77
+    st   t2, 0(t1)
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    syscall exit
+)");
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(prog, CpuConfig{1u << 16, 1'000'000});
+    MemoryProfiler prof(cfg);
+    prof.instrument(mgr);
+    mgr.attach(cpu);
+    cpu.run();
+
+    const auto *loc = prof.locationFor(prog.dataAddress("hot"));
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->totalWrites, 5000u);
+    EXPECT_LT(loc->writes.executions(), 2000u);
+    EXPECT_DOUBLE_EQ(loc->writes.invTop(), 1.0);
+    EXPECT_TRUE(loc->sampler.converged());
+    EXPECT_LT(prof.fractionProfiled(), 0.5);
+}
+
+TEST(MemoryProfilerDeath, BadGranularityPanics)
+{
+    MemProfilerConfig cfg;
+    cfg.granularity = 12;
+    EXPECT_DEATH(MemoryProfiler prof(cfg), "power of two");
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the procedure-parameter value profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/parameter_profiler.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace core;
+using namespace vpsim;
+
+namespace
+{
+
+// f(a0=constant 5, a1=loop counter); g(a0=counter parity); h no args.
+const char *const src = R"(
+    .proc main args=0
+main:
+    li   s0, 20
+loop:
+    li   a0, 5
+    mov  a1, s0
+    call f
+    andi a0, s0, 1
+    call g
+    call h
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc f args=2
+f:
+    add  a0, a0, a1
+    ret
+    .endp
+    .proc g args=1
+g:
+    ret
+    .endp
+    .proc h args=0
+h:
+    ret
+    .endp
+)";
+
+class ParamTest : public ::testing::Test
+{
+  protected:
+    ParamTest()
+        : prog(assemble(src)), img(prog), mgr(img),
+          cpu(prog, CpuConfig{1u << 16, 100000})
+    {
+        profiler.instrument(mgr);
+        mgr.attach(cpu);
+        cpu.run();
+    }
+
+    Program prog;
+    instr::Image img;
+    instr::InstrumentManager mgr;
+    Cpu cpu;
+    ParameterProfiler profiler;
+};
+
+TEST_F(ParamTest, CallCountsPerProcedure)
+{
+    ASSERT_NE(profiler.recordFor("f"), nullptr);
+    EXPECT_EQ(profiler.recordFor("f")->calls, 20u);
+    EXPECT_EQ(profiler.recordFor("g")->calls, 20u);
+    EXPECT_EQ(profiler.recordFor("h")->calls, 20u);
+    EXPECT_EQ(profiler.recordFor("main"), nullptr); // never called
+    EXPECT_EQ(profiler.totalCalls(), 60u);
+}
+
+TEST_F(ParamTest, InvariantParameterDetected)
+{
+    const auto *f = profiler.recordFor("f");
+    ASSERT_EQ(f->args.size(), 2u);
+    EXPECT_DOUBLE_EQ(f->args[0].invTop(), 1.0);
+    EXPECT_EQ(f->args[0].tnv().top()->value, 5u);
+    // a1 is the countdown: fully variant.
+    EXPECT_EQ(f->args[1].distinct(), 20u);
+    EXPECT_DOUBLE_EQ(f->args[1].invTop(), 0.05);
+}
+
+TEST_F(ParamTest, SemiInvariantParameter)
+{
+    const auto *g = profiler.recordFor("g");
+    ASSERT_EQ(g->args.size(), 1u);
+    EXPECT_EQ(g->args[0].distinct(), 2u);
+    EXPECT_DOUBLE_EQ(g->args[0].invAll(), 1.0);
+    EXPECT_NEAR(g->args[0].invTop(), 0.5, 0.01);
+}
+
+TEST_F(ParamTest, NoArgProcedureHasNoArgProfiles)
+{
+    const auto *h = profiler.recordFor("h");
+    EXPECT_TRUE(h->args.empty());
+}
+
+TEST_F(ParamTest, ByCallCountOrdering)
+{
+    const auto order = profiler.byCallCount();
+    ASSERT_EQ(order.size(), 3u);
+    // Equal counts break ties by name: f, g, h.
+    EXPECT_EQ(order[0]->proc->name, "f");
+    EXPECT_EQ(order[1]->proc->name, "g");
+    EXPECT_EQ(order[2]->proc->name, "h");
+}
+
+TEST_F(ParamTest, WeightedArgMetric)
+{
+    // args: f.a0 (inv 1), f.a1 (.05), g.a0 (.5); each weighted 20.
+    const double w = profiler.weightedArgMetric(&ValueProfile::invTop);
+    EXPECT_NEAR(w, (1.0 + 0.05 + 0.5) / 3.0, 0.01);
+}
+
+TEST_F(ParamTest, ContextInsensitiveByDefault)
+{
+    EXPECT_TRUE(profiler.allSites().empty());
+    EXPECT_TRUE(profiler.sitesFor("f").empty());
+}
+
+// ---------------------------------------------------------------------
+// Context-sensitive mode: h(x) is called from two sites, each passing
+// a different constant — variant globally, invariant per site.
+// ---------------------------------------------------------------------
+
+const char *const ctxSrc = R"(
+    .proc main args=0
+main:
+    li   s0, 16
+ctx_loop:
+    li   a0, 111
+    call h                 # site A: always 111
+    li   a0, 222
+    call h                 # site B: always 222
+    addi s0, s0, -1
+    bnez s0, ctx_loop
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc h args=1
+h:
+    ret
+    .endp
+)";
+
+class ContextParamTest : public ::testing::Test
+{
+  protected:
+    ContextParamTest()
+        : prog(assemble(ctxSrc)), img(prog), mgr(img),
+          cpu(prog, CpuConfig{1u << 16, 100000}),
+          profiler(ParamProfilerConfig{{}, true})
+    {
+        profiler.instrument(mgr);
+        mgr.attach(cpu);
+        cpu.run();
+    }
+
+    Program prog;
+    instr::Image img;
+    instr::InstrumentManager mgr;
+    Cpu cpu;
+    ParameterProfiler profiler;
+};
+
+TEST_F(ContextParamTest, GloballyVariantButPerSiteInvariant)
+{
+    // Global view: two values alternating -> InvTop ~= 0.5.
+    const auto *h = profiler.recordFor("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->calls, 32u);
+    EXPECT_NEAR(h->args[0].invTop(), 0.5, 0.01);
+
+    // Per-site view: each of the two sites is perfectly invariant.
+    const auto sites = profiler.sitesFor("h");
+    ASSERT_EQ(sites.size(), 2u);
+    for (const auto *site : sites) {
+        EXPECT_EQ(site->calls, 16u);
+        ASSERT_EQ(site->args.size(), 1u);
+        EXPECT_DOUBLE_EQ(site->args[0].invTop(), 1.0);
+    }
+    // The two sites saw different constants.
+    EXPECT_NE(sites[0]->args[0].tnv().top()->value,
+              sites[1]->args[0].tnv().top()->value);
+    EXPECT_NE(sites[0]->callerPc, sites[1]->callerPc);
+}
+
+TEST_F(ContextParamTest, SemiInvariantFractionsQuantifyTheGain)
+{
+    // At a 90% threshold: 0% of argument mass is semi-invariant
+    // globally, 100% per call site.
+    EXPECT_DOUBLE_EQ(profiler.semiInvariantArgFraction(0.9), 0.0);
+    EXPECT_DOUBLE_EQ(profiler.semiInvariantArgFractionPerSite(0.9),
+                     1.0);
+}
+
+TEST_F(ContextParamTest, AllSitesOrderedByCalls)
+{
+    const auto sites = profiler.allSites();
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_GE(sites[0]->calls, sites[1]->calls);
+}
+
+} // namespace

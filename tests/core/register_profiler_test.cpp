@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the architectural-register value profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/register_profiler.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace core;
+using namespace vpsim;
+
+namespace
+{
+
+const char *const src = R"(
+    .proc main args=0
+main:
+    li   s0, 25
+loop:
+    li   t0, 7              # t0: constant writes
+    mov  t1, s0             # t1: countdown values
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a0, 0
+    syscall exit
+    .endp
+)";
+
+class RegProfTest : public ::testing::Test
+{
+  protected:
+    RegProfTest()
+        : prog(assemble(src)), img(prog), mgr(img),
+          cpu(prog, CpuConfig{1u << 16, 100000})
+    {
+        profiler.instrument(mgr);
+        mgr.attach(cpu);
+        cpu.run();
+    }
+
+    Program prog;
+    instr::Image img;
+    instr::InstrumentManager mgr;
+    Cpu cpu;
+    RegisterProfiler profiler;
+};
+
+TEST_F(RegProfTest, PerRegisterStreamsAreSeparated)
+{
+    // t0 sees the constant 7 on all 25 writes.
+    const auto &t0 = profiler.profileFor(regT0);
+    EXPECT_EQ(t0.executions(), 25u);
+    EXPECT_DOUBLE_EQ(t0.invTop(), 1.0);
+    EXPECT_EQ(t0.tnv().top()->value, 7u);
+
+    // t1 sees 25 distinct countdown values.
+    const auto &t1 = profiler.profileFor(regT0 + 1);
+    EXPECT_EQ(t1.executions(), 25u);
+    EXPECT_EQ(t1.distinct(), 25u);
+}
+
+TEST_F(RegProfTest, S0AccumulatesInitAndDecrements)
+{
+    // s0: one li + 25 addi results.
+    const auto &s0 = profiler.profileFor(regS0);
+    EXPECT_EQ(s0.executions(), 26u);
+}
+
+TEST_F(RegProfTest, UnwrittenRegistersStayEmpty)
+{
+    EXPECT_EQ(profiler.profileFor(regSp).executions(), 0u);
+    EXPECT_EQ(profiler.profileFor(regZero).executions(), 0u);
+}
+
+TEST_F(RegProfTest, TotalsAndWeightedMetric)
+{
+    // writes: s0 26 + t0 25 + t1 25 + a0 1 = 77
+    EXPECT_EQ(profiler.totalWrites(), 77u);
+    const double w = profiler.weightedMetric(&ValueProfile::invTop);
+    EXPECT_GT(w, 0.3); // t0 and a0 fully invariant
+    EXPECT_LT(w, 0.8);
+}
+
+TEST_F(RegProfTest, OutOfRangeRegisterPanics)
+{
+    EXPECT_DEATH(profiler.profileFor(32), "out of range");
+}
+
+} // namespace

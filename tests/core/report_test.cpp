@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the human-readable report tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace core;
+using namespace vpsim;
+
+namespace
+{
+
+const char *const src = R"(
+    .data
+buf:    .space 8
+    .text
+    .proc main args=0
+main:
+    li   s0, 50
+loop:
+    li   t0, 123          # invariant, hot
+    mov  a1, s0
+    li   a0, 4
+    call f
+    la   t1, buf
+    st   a0, 0(t1)
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc f args=2
+f:
+    add  a0, a0, a1
+    ret
+    .endp
+)";
+
+struct Env
+{
+    Program prog = assemble(src);
+    instr::Image img{prog};
+    instr::InstrumentManager mgr{img};
+    Cpu cpu{prog, CpuConfig{1u << 16, 1'000'000}};
+    InstructionProfiler iprof{img};
+    MemoryProfiler mprof;
+    ParameterProfiler pprof;
+
+    Env()
+    {
+        iprof.profileAllWrites(mgr);
+        mprof.instrument(mgr);
+        pprof.instrument(mgr);
+        mgr.attach(cpu);
+        cpu.run();
+    }
+
+    static std::string
+    render(const vp::TextTable &t)
+    {
+        std::ostringstream os;
+        t.print(os);
+        return os.str();
+    }
+};
+
+TEST(Report, InstructionReportShowsHotInstructions)
+{
+    Env env;
+    const auto table = instructionReport(env.iprof, 5);
+    EXPECT_EQ(table.numRows(), 5u);
+    const std::string text = Env::render(table);
+    EXPECT_NE(text.find("li"), std::string::npos);
+    EXPECT_NE(text.find("123"), std::string::npos);
+}
+
+TEST(Report, InstructionReportLimitRespected)
+{
+    Env env;
+    EXPECT_LE(instructionReport(env.iprof, 2).numRows(), 2u);
+}
+
+TEST(Report, SemiInvariantFilters)
+{
+    Env env;
+    // Only instructions with >= 10 executions and InvTop >= 0.9.
+    const auto table = semiInvariantReport(env.iprof, 0.9, 10, 100);
+    EXPECT_GE(table.numRows(), 1u);
+    const std::string text = Env::render(table);
+    // The countdown (addi s0) must not appear: variant.
+    EXPECT_EQ(text.find("addi   s0"), std::string::npos);
+    // The hot constant must appear.
+    EXPECT_NE(text.find("123"), std::string::npos);
+}
+
+TEST(Report, MemoryReportListsLocations)
+{
+    Env env;
+    const auto table = memoryReport(env.mprof, 10);
+    EXPECT_EQ(table.numRows(), 1u);
+    const std::string text = Env::render(table);
+    EXPECT_NE(text.find("0x"), std::string::npos);
+}
+
+TEST(Report, ParameterReportListsProcArgs)
+{
+    Env env;
+    const auto table = parameterReport(env.pprof, 10);
+    const std::string text = Env::render(table);
+    EXPECT_NE(text.find("f"), std::string::npos);
+    EXPECT_NE(text.find("a0"), std::string::npos);
+    EXPECT_NE(text.find("a1"), std::string::npos);
+}
+
+TEST(Report, EmptyProfilersProduceEmptyTables)
+{
+    Program prog = assemble("li a0, 0\nsyscall exit\n");
+    instr::Image img(prog);
+    InstructionProfiler iprof(img);
+    MemoryProfiler mprof;
+    ParameterProfiler pprof;
+    EXPECT_EQ(instructionReport(iprof).numRows(), 0u);
+    EXPECT_EQ(memoryReport(mprof).numRows(), 0u);
+    EXPECT_EQ(parameterReport(pprof).numRows(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the convergent-sampling state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.hpp"
+#include "core/value_profile.hpp"
+#include "support/rng.hpp"
+
+using core::SamplerConfig;
+using core::SamplerState;
+
+namespace
+{
+
+SamplerConfig
+smallConfig()
+{
+    SamplerConfig cfg;
+    cfg.burstSize = 10;
+    cfg.initialSkip = 40;
+    cfg.convergenceDelta = 0.05;
+    cfg.convergeRounds = 2;
+    cfg.backoffFactor = 2.0;
+    cfg.maxSkip = 640;
+    cfg.retriggerDelta = 0.2;
+    return cfg;
+}
+
+TEST(Sampler, StartsInBurst)
+{
+    SamplerState s(smallConfig());
+    for (int i = 0; i < 9; ++i) {
+        EXPECT_TRUE(s.step());
+        EXPECT_FALSE(s.burstJustEnded());
+    }
+    EXPECT_TRUE(s.step()); // 10th profiled execution ends the burst
+    EXPECT_TRUE(s.burstJustEnded());
+    EXPECT_EQ(s.profiledExecutions(), 10u);
+    EXPECT_EQ(s.totalExecutions(), 10u);
+}
+
+TEST(Sampler, SkipsBetweenBursts)
+{
+    SamplerState s(smallConfig());
+    for (int i = 0; i < 10; ++i)
+        s.step();
+    s.noteBurstEnd(0.5);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_FALSE(s.step());
+    EXPECT_TRUE(s.step()); // next burst begins
+    EXPECT_EQ(s.profiledExecutions(), 11u);
+}
+
+TEST(Sampler, ConvergesAfterStableBursts)
+{
+    SamplerState s(smallConfig());
+    auto run_burst = [&](double inv) {
+        while (true) {
+            s.step();
+            if (s.burstJustEnded())
+                break;
+        }
+        s.noteBurstEnd(inv);
+    };
+    run_burst(0.80);          // baseline
+    EXPECT_FALSE(s.converged());
+    run_burst(0.81);          // stable round 1
+    EXPECT_FALSE(s.converged());
+    run_burst(0.82);          // stable round 2 -> converged
+    EXPECT_TRUE(s.converged());
+    EXPECT_GT(s.currentSkip(), smallConfig().initialSkip);
+}
+
+TEST(Sampler, UnstableEstimateResetsProgress)
+{
+    SamplerState s(smallConfig());
+    auto run_burst = [&](double inv) {
+        while (true) {
+            s.step();
+            if (s.burstJustEnded())
+                break;
+        }
+        s.noteBurstEnd(inv);
+    };
+    run_burst(0.8);
+    run_burst(0.81); // stable round 1
+    run_burst(0.5);  // jump: progress reset
+    run_burst(0.51); // stable round 1 again
+    EXPECT_FALSE(s.converged());
+    run_burst(0.52); // stable round 2
+    EXPECT_TRUE(s.converged());
+}
+
+TEST(Sampler, BackoffIsCappedAtMaxSkip)
+{
+    SamplerState s(smallConfig());
+    auto run_burst = [&](double inv) {
+        while (true) {
+            s.step();
+            if (s.burstJustEnded())
+                break;
+        }
+        s.noteBurstEnd(inv);
+    };
+    for (int i = 0; i < 20; ++i)
+        run_burst(0.9);
+    EXPECT_TRUE(s.converged());
+    EXPECT_LE(s.currentSkip(), smallConfig().maxSkip);
+    EXPECT_EQ(s.currentSkip(), smallConfig().maxSkip);
+}
+
+TEST(Sampler, PhaseChangeRetriggersFullRateSampling)
+{
+    SamplerState s(smallConfig());
+    auto run_burst = [&](double inv) {
+        while (true) {
+            s.step();
+            if (s.burstJustEnded())
+                break;
+        }
+        s.noteBurstEnd(inv);
+    };
+    run_burst(0.9);
+    run_burst(0.9);
+    run_burst(0.9);
+    ASSERT_TRUE(s.converged());
+    // Wake-up burst sees a very different invariance.
+    run_burst(0.3);
+    EXPECT_FALSE(s.converged());
+    EXPECT_EQ(s.currentSkip(), smallConfig().initialSkip);
+}
+
+TEST(Sampler, FractionProfiledDropsAfterConvergence)
+{
+    SamplerState s(smallConfig());
+    core::ValueProfile prof;
+    vp::Rng rng(17);
+    for (int i = 0; i < 200000; ++i) {
+        if (s.step()) {
+            prof.record(rng.chance(0.9) ? 1 : 2);
+            if (s.burstJustEnded())
+                s.noteBurstEnd(prof.invTop());
+        }
+    }
+    EXPECT_TRUE(s.converged());
+    // Far fewer than the pre-convergence rate of 10/50 = 20%.
+    EXPECT_LT(s.fractionProfiled(), 0.05);
+    // Yet the estimate is accurate.
+    EXPECT_NEAR(prof.invTop(), 0.9, 0.05);
+}
+
+TEST(SamplerDeath, MissingNoteBurstEndPanics)
+{
+    SamplerState s(smallConfig());
+    for (int i = 0; i < 10; ++i)
+        s.step();
+    ASSERT_TRUE(s.burstJustEnded());
+    EXPECT_DEATH(s.step(), "noteBurstEnd");
+}
+
+TEST(SamplerDeath, SpuriousNoteBurstEndPanics)
+{
+    SamplerState s(smallConfig());
+    s.step();
+    EXPECT_DEATH(s.noteBurstEnd(0.5), "no burst");
+}
+
+TEST(Sampler, WakeupsTrackPhaseChangesFrozenSamplersMiss)
+{
+    // A phased stream: constant A for the first half, constant B for
+    // the second. True Inv-Top ~= 0.5. A sampler with bounded wake-up
+    // period keeps tracking; a sampler whose back-off is effectively
+    // unbounded freezes on the phase-1 estimate (~1.0).
+    auto run = [](std::uint64_t max_skip, double backoff,
+                  double retrigger) {
+        SamplerConfig cfg;
+        cfg.burstSize = 32;
+        cfg.initialSkip = 224;
+        cfg.maxSkip = max_skip;
+        cfg.backoffFactor = backoff;
+        cfg.retriggerDelta = retrigger;
+        SamplerState s(cfg);
+        core::ValueProfile prof;
+        const int n = 400000;
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t v = i < n / 2 ? 111 : 222;
+            if (s.step()) {
+                prof.record(v);
+                if (s.burstJustEnded())
+                    s.noteBurstEnd(prof.invTop());
+            }
+        }
+        return prof.invTop();
+    };
+    const double tracking = run(4096, 2.0, 0.08);
+    // "Frozen": unbounded back-off and retriggering disabled — the
+    // degenerate sampler that stops once converged.
+    const double frozen = run(1u << 30, 8.0, 1.1);
+    EXPECT_NEAR(tracking, 0.5, 0.15);
+    EXPECT_GT(frozen, tracking + 0.25);
+}
+
+// Accuracy property: on stationary streams the sampled estimate of
+// Inv-Top lands near the true invariance across a parameter sweep.
+struct AccuracyParam
+{
+    double q;
+    std::uint64_t seed;
+};
+
+class SamplerAccuracy : public ::testing::TestWithParam<AccuracyParam>
+{
+};
+
+TEST_P(SamplerAccuracy, EstimateTracksTrueInvariance)
+{
+    SamplerState s; // default (paper-like) config
+    core::ValueProfile sampled;
+    core::ValueProfile full;
+    vp::Rng rng(GetParam().seed);
+    for (int i = 0; i < 300000; ++i) {
+        const std::uint64_t v =
+            rng.chance(GetParam().q) ? 5 : rng.below(100);
+        full.record(v);
+        if (s.step()) {
+            sampled.record(v);
+            if (s.burstJustEnded())
+                s.noteBurstEnd(sampled.invTop());
+        }
+    }
+    EXPECT_NEAR(sampled.invTop(), full.invTop(), 0.05);
+    EXPECT_LT(s.fractionProfiled(), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Q, SamplerAccuracy,
+                         ::testing::Values(AccuracyParam{0.95, 1},
+                                           AccuracyParam{0.8, 2},
+                                           AccuracyParam{0.5, 3},
+                                           AccuracyParam{0.99, 4}));
+
+} // namespace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for profile snapshots: summarization, serialization round
+ * trips, and cross-run comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/snapshot.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace core;
+
+namespace
+{
+
+ValueProfile
+makeProfile(std::initializer_list<std::uint64_t> values)
+{
+    ValueProfile p;
+    for (auto v : values)
+        p.record(v);
+    return p;
+}
+
+TEST(Snapshot, SummarizeCapturesMetrics)
+{
+    const ValueProfile p = makeProfile({7, 7, 7, 0});
+    const EntitySummary s = ProfileSnapshot::summarize(p, 4);
+    EXPECT_EQ(s.totalExecutions, 4u);
+    EXPECT_EQ(s.profiledExecutions, 4u);
+    EXPECT_DOUBLE_EQ(s.invTop, 0.75);
+    EXPECT_DOUBLE_EQ(s.invAll, 1.0);
+    EXPECT_DOUBLE_EQ(s.zeroFraction, 0.25);
+    EXPECT_EQ(s.distinct, 2u);
+    ASSERT_EQ(s.topValues.size(), 2u);
+    EXPECT_EQ(s.topValues[0].first, 7u);
+    EXPECT_EQ(s.topValues[0].second, 3u);
+    EXPECT_EQ(s.topValue(), 7u);
+    EXPECT_TRUE(s.hasTopValue(0));
+    EXPECT_FALSE(s.hasTopValue(42));
+}
+
+TEST(Snapshot, SaveLoadRoundTrip)
+{
+    ProfileSnapshot snap;
+    snap.entities[3] =
+        ProfileSnapshot::summarize(makeProfile({1, 1, 2}), 3);
+    snap.entities[9] =
+        ProfileSnapshot::summarize(makeProfile({5}), 10);
+
+    std::stringstream ss;
+    snap.save(ss);
+    const ProfileSnapshot loaded = ProfileSnapshot::load(ss);
+
+    ASSERT_EQ(loaded.size(), 2u);
+    const auto &e3 = loaded.entities.at(3);
+    EXPECT_EQ(e3.totalExecutions, 3u);
+    EXPECT_NEAR(e3.invTop, 2.0 / 3.0, 1e-9);
+    ASSERT_EQ(e3.topValues.size(), 2u);
+    EXPECT_EQ(e3.topValues[0].first, 1u);
+    const auto &e9 = loaded.entities.at(9);
+    EXPECT_EQ(e9.totalExecutions, 10u);
+    EXPECT_EQ(e9.profiledExecutions, 1u);
+}
+
+TEST(SnapshotDeath, LoadRejectsBadHeader)
+{
+    std::stringstream ss("not a snapshot\n");
+    EXPECT_EXIT(ProfileSnapshot::load(ss),
+                ::testing::ExitedWithCode(1), "bad snapshot header");
+}
+
+TEST(SnapshotDeath, LoadRejectsTruncation)
+{
+    ProfileSnapshot snap;
+    snap.entities[1] =
+        ProfileSnapshot::summarize(makeProfile({1, 2}), 2);
+    std::stringstream ss;
+    snap.save(ss);
+    std::string text = ss.str();
+    text.resize(text.size() / 2);
+    std::stringstream cut(text);
+    EXPECT_EXIT(ProfileSnapshot::load(cut),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(Snapshot, CompareIdenticalSnapshots)
+{
+    ProfileSnapshot snap;
+    snap.entities[1] =
+        ProfileSnapshot::summarize(makeProfile({7, 7, 8}), 3);
+    snap.entities[2] =
+        ProfileSnapshot::summarize(makeProfile({1, 2, 3}), 3);
+    const SnapshotComparison cmp = compareSnapshots(snap, snap);
+    EXPECT_EQ(cmp.commonEntities, 2u);
+    EXPECT_NEAR(cmp.invTopCorrelation, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(cmp.meanAbsInvTopDelta, 0.0);
+    EXPECT_DOUBLE_EQ(cmp.topValueTransfer, 1.0);
+}
+
+TEST(Snapshot, CompareDisjointSnapshots)
+{
+    ProfileSnapshot a, b;
+    a.entities[1] = ProfileSnapshot::summarize(makeProfile({1}), 1);
+    b.entities[2] = ProfileSnapshot::summarize(makeProfile({1}), 1);
+    const SnapshotComparison cmp = compareSnapshots(a, b);
+    EXPECT_EQ(cmp.commonEntities, 0u);
+    EXPECT_DOUBLE_EQ(cmp.topValueTransfer, 0.0);
+}
+
+TEST(Snapshot, CompareDetectsShiftedValues)
+{
+    ProfileSnapshot a, b;
+    // Same entity, completely different top values.
+    a.entities[1] =
+        ProfileSnapshot::summarize(makeProfile({5, 5, 5, 5}), 4);
+    b.entities[1] =
+        ProfileSnapshot::summarize(makeProfile({9, 9, 1, 2}), 4);
+    const SnapshotComparison cmp = compareSnapshots(a, b);
+    EXPECT_EQ(cmp.commonEntities, 1u);
+    EXPECT_DOUBLE_EQ(cmp.topValueTransfer, 0.0); // 5 absent from b
+    EXPECT_NEAR(cmp.meanAbsInvTopDelta, 0.5, 1e-9);
+}
+
+TEST(Snapshot, CompareWeightsByExecutionCount)
+{
+    ProfileSnapshot a, b;
+    // Hot entity agrees; cold entity disagrees.
+    a.entities[1] =
+        ProfileSnapshot::summarize(makeProfile({3, 3, 3, 3}), 1000);
+    b.entities[1] =
+        ProfileSnapshot::summarize(makeProfile({3, 3, 3, 3}), 1000);
+    a.entities[2] = ProfileSnapshot::summarize(makeProfile({4}), 1);
+    b.entities[2] = ProfileSnapshot::summarize(makeProfile({8}), 1);
+    const SnapshotComparison cmp = compareSnapshots(a, b);
+    EXPECT_GT(cmp.topValueTransfer, 0.99);
+}
+
+TEST(Snapshot, FromMemoryAndParameterProfilers)
+{
+    vpsim::Program prog = vpsim::assemble(R"(
+    .data
+cell:   .space 8
+    .text
+    .proc main args=0
+main:
+    la   t0, cell
+    li   t1, 9
+    st   t1, 0(t0)
+    li   a0, 4
+    call f
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc f args=1
+f:
+    ret
+    .endp
+)");
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    vpsim::Cpu cpu(prog, vpsim::CpuConfig{1u << 16, 1000});
+    MemoryProfiler mprof;
+    ParameterProfiler pprof;
+    mprof.instrument(mgr);
+    pprof.instrument(mgr);
+    mgr.attach(cpu);
+    cpu.run();
+
+    const auto msnap = ProfileSnapshot::fromMemoryProfiler(mprof);
+    ASSERT_EQ(msnap.size(), 1u);
+    EXPECT_EQ(msnap.entities.begin()->first,
+              prog.dataAddress("cell"));
+    EXPECT_EQ(msnap.entities.begin()->second.topValue(), 9u);
+
+    const auto psnap = ProfileSnapshot::fromParameterProfiler(pprof);
+    ASSERT_EQ(psnap.size(), 1u);
+    EXPECT_EQ(psnap.entities.begin()->second.topValue(), 4u);
+    EXPECT_EQ(psnap.entities.begin()->second.totalExecutions, 1u);
+}
+
+TEST(Snapshot, FromInstructionProfilerKeysByPc)
+{
+    vpsim::Program prog = vpsim::assemble(R"(
+    li   t0, 9
+    li   a0, 0
+    syscall exit
+)");
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    vpsim::Cpu cpu(prog, vpsim::CpuConfig{1u << 16, 1000});
+    InstructionProfiler prof(img);
+    prof.profileAllWrites(mgr);
+    mgr.attach(cpu);
+    cpu.run();
+    const ProfileSnapshot snap =
+        ProfileSnapshot::fromInstructionProfiler(prof);
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap.entities.at(0).topValue(), 9u);
+    EXPECT_EQ(snap.entities.at(1).topValue(), 0u);
+}
+
+} // namespace

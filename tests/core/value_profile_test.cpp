@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for ValueProfile metric math (thesis section III.C), including
+ * parameterized closed-form property checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/value_profile.hpp"
+#include "support/rng.hpp"
+
+using core::ProfileConfig;
+using core::ValueProfile;
+
+namespace
+{
+
+TEST(ValueProfile, EmptyProfileIsAllZero)
+{
+    ValueProfile p;
+    EXPECT_EQ(p.executions(), 0u);
+    EXPECT_EQ(p.invTop(), 0.0);
+    EXPECT_EQ(p.invAll(), 0.0);
+    EXPECT_EQ(p.lvp(), 0.0);
+    EXPECT_EQ(p.zeroFraction(), 0.0);
+    EXPECT_EQ(p.distinct(), 0u);
+}
+
+TEST(ValueProfile, ConstantStream)
+{
+    ValueProfile p;
+    for (int i = 0; i < 100; ++i)
+        p.record(42);
+    EXPECT_EQ(p.executions(), 100u);
+    EXPECT_DOUBLE_EQ(p.invTop(), 1.0);
+    EXPECT_DOUBLE_EQ(p.invAll(), 1.0);
+    // first execution cannot be last-value predicted
+    EXPECT_DOUBLE_EQ(p.lvp(), 0.99);
+    EXPECT_EQ(p.distinct(), 1u);
+    EXPECT_EQ(p.zeroFraction(), 0.0);
+}
+
+TEST(ValueProfile, ZeroFraction)
+{
+    ValueProfile p;
+    p.record(0);
+    p.record(0);
+    p.record(0);
+    p.record(5);
+    EXPECT_DOUBLE_EQ(p.zeroFraction(), 0.75);
+    EXPECT_EQ(p.zeroCount(), 3u);
+}
+
+TEST(ValueProfile, AlternatingStreamHasZeroLvp)
+{
+    ValueProfile p;
+    for (int i = 0; i < 50; ++i)
+        p.record(i & 1);
+    EXPECT_DOUBLE_EQ(p.lvp(), 0.0);
+    // Both values are in the TNV table -> InvAll = 1, InvTop = 0.5.
+    EXPECT_DOUBLE_EQ(p.invAll(), 1.0);
+    EXPECT_DOUBLE_EQ(p.invTop(), 0.5);
+    EXPECT_EQ(p.distinct(), 2u);
+}
+
+TEST(ValueProfile, RunsGiveHighLvpButLowInvariance)
+{
+    // Long runs of distinct values: LVP high, Inv-Top low — the
+    // paper's key distinction between value locality and invariance.
+    ValueProfile p;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        for (int r = 0; r < 16; ++r)
+            p.record(v + 100);
+    EXPECT_GT(p.lvp(), 0.9);
+    EXPECT_LT(p.invTop(), 0.1);
+    EXPECT_EQ(p.distinct(), 64u);
+}
+
+TEST(ValueProfile, DistinctSaturatesAtCap)
+{
+    ProfileConfig cfg;
+    cfg.maxDistinct = 16;
+    ValueProfile p(cfg);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        p.record(v);
+    EXPECT_TRUE(p.distinctSaturated());
+    EXPECT_EQ(p.distinct(), 16u);
+}
+
+TEST(ValueProfile, TrackingCanBeDisabled)
+{
+    ProfileConfig cfg;
+    cfg.trackLastValue = false;
+    cfg.trackDistinct = false;
+    ValueProfile p(cfg);
+    for (int i = 0; i < 10; ++i)
+        p.record(7);
+    EXPECT_EQ(p.lvp(), 0.0);
+    EXPECT_EQ(p.distinct(), 0u);
+    EXPECT_DOUBLE_EQ(p.invTop(), 1.0); // TNV still works
+}
+
+TEST(ValueProfile, ResetClearsEverything)
+{
+    ValueProfile p;
+    p.record(0);
+    p.record(1);
+    p.reset();
+    EXPECT_EQ(p.executions(), 0u);
+    EXPECT_EQ(p.distinct(), 0u);
+    EXPECT_EQ(p.zeroCount(), 0u);
+    p.record(5);
+    EXPECT_DOUBLE_EQ(p.invTop(), 1.0);
+}
+
+TEST(ValueProfile, StrideTrackingDisabledByDefault)
+{
+    ValueProfile p;
+    for (int i = 0; i < 10; ++i)
+        p.record(static_cast<std::uint64_t>(3 * i));
+    EXPECT_EQ(p.strideInvTop(), 0.0);
+    EXPECT_EQ(p.topStride(), 0);
+}
+
+TEST(ValueProfile, StrideTrackingFindsConstantStride)
+{
+    ProfileConfig cfg;
+    cfg.trackStrides = true;
+    ValueProfile p(cfg);
+    for (int i = 0; i < 100; ++i)
+        p.record(static_cast<std::uint64_t>(1000 + 3 * i));
+    // All 99 deltas equal 3; values themselves are fully variant.
+    EXPECT_DOUBLE_EQ(p.strideInvTop(), 1.0);
+    EXPECT_EQ(p.topStride(), 3);
+    EXPECT_LT(p.invTop(), 0.05);
+}
+
+TEST(ValueProfile, StrideTrackingHandlesNegativeStride)
+{
+    ProfileConfig cfg;
+    cfg.trackStrides = true;
+    ValueProfile p(cfg);
+    for (int i = 0; i < 50; ++i)
+        p.record(static_cast<std::uint64_t>(5000 - 7 * i));
+    EXPECT_DOUBLE_EQ(p.strideInvTop(), 1.0);
+    EXPECT_EQ(p.topStride(), -7);
+}
+
+TEST(ValueProfile, ConstantStreamHasZeroTopStride)
+{
+    ProfileConfig cfg;
+    cfg.trackStrides = true;
+    ValueProfile p(cfg);
+    for (int i = 0; i < 50; ++i)
+        p.record(42);
+    EXPECT_DOUBLE_EQ(p.strideInvTop(), 1.0);
+    EXPECT_EQ(p.topStride(), 0);
+}
+
+TEST(ValueProfile, StridesWorkWithoutLastValueTracking)
+{
+    ProfileConfig cfg;
+    cfg.trackStrides = true;
+    cfg.trackLastValue = false;
+    ValueProfile p(cfg);
+    for (int i = 0; i < 20; ++i)
+        p.record(static_cast<std::uint64_t>(2 * i));
+    EXPECT_DOUBLE_EQ(p.strideInvTop(), 1.0);
+    EXPECT_EQ(p.topStride(), 2);
+    EXPECT_EQ(p.lvp(), 0.0); // LVP still off
+}
+
+// ---------------------------------------------------------------------
+// Parameterized closed-form checks: a two-valued stream with dominant
+// fraction q has Inv-Top ~= q, Inv-All = 1, LVP ~= q^2 + (1-q)^2.
+// ---------------------------------------------------------------------
+
+class TwoValuedStream : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TwoValuedStream, MetricsMatchClosedForm)
+{
+    const double q = GetParam();
+    ValueProfile p;
+    vp::Rng rng(static_cast<std::uint64_t>(q * 1000) + 3);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        p.record(rng.chance(q) ? 11 : 22);
+    EXPECT_NEAR(p.invTop(), std::max(q, 1 - q), 0.01);
+    EXPECT_DOUBLE_EQ(p.invAll(), 1.0);
+    const double lvp_expect = q * q + (1 - q) * (1 - q);
+    EXPECT_NEAR(p.lvp(), lvp_expect, 0.01);
+    EXPECT_EQ(p.distinct(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Q, TwoValuedStream,
+                         ::testing::Values(0.5, 0.7, 0.9, 0.99));
+
+// InvTop <= InvAll <= 1 must hold for arbitrary streams.
+class MetricOrdering : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MetricOrdering, InvTopNeverExceedsInvAll)
+{
+    ValueProfile p;
+    vp::Rng rng(GetParam());
+    for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t v = rng.chance(0.5)
+                                    ? rng.below(4)
+                                    : rng.next();
+        p.record(v);
+        if (i % 1000 == 999) {
+            ASSERT_LE(p.invTop(), p.invAll() + 1e-12);
+            ASSERT_LE(p.invAll(), 1.0 + 1e-12);
+            ASSERT_LE(p.lvp(), 1.0);
+            ASSERT_LE(p.zeroFraction(), 1.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricOrdering,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the ATOM-like Image queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "instrument/image.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace vpsim;
+
+namespace
+{
+
+const char *const sampleSrc = R"(
+    .data
+buf:    .space 16
+    .text
+    .proc main args=0
+main:
+    la   t0, buf
+    ld   t1, 0(t0)
+    addi t1, t1, 1
+    st   t1, 0(t0)
+    call f
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc f args=2
+f:
+    add  a0, a0, a1
+    ret
+    .endp
+)";
+
+class ImageTest : public ::testing::Test
+{
+  protected:
+    ImageTest() : prog(assemble(sampleSrc)), img(prog) {}
+    Program prog;
+    instr::Image img;
+};
+
+TEST_F(ImageTest, ProceduresListed)
+{
+    ASSERT_EQ(img.procedures().size(), 2u);
+    EXPECT_EQ(img.procedures()[0].name, "main");
+    EXPECT_EQ(img.procedures()[1].name, "f");
+    EXPECT_EQ(img.procedures()[1].numArgs, 2u);
+}
+
+TEST_F(ImageTest, ProcAtEntry)
+{
+    const Procedure *f = prog.findProc("f");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(img.procAtEntry(f->entry), f);
+    EXPECT_EQ(img.procAtEntry(f->entry + 1), nullptr);
+}
+
+TEST_F(ImageTest, ProcContaining)
+{
+    const Procedure *f = prog.findProc("f");
+    EXPECT_EQ(img.procContaining(f->entry + 1), f);
+}
+
+TEST_F(ImageTest, CfgCachedPerProcedure)
+{
+    const Procedure *main_proc = prog.findProc("main");
+    const Cfg &a = img.cfg(*main_proc);
+    const Cfg &b = img.cfg(*main_proc);
+    EXPECT_EQ(&a, &b); // same cached object
+    EXPECT_GE(a.blocks().size(), 2u);
+}
+
+TEST_F(ImageTest, RegWritingInsts)
+{
+    const auto pcs = img.regWritingInsts();
+    // la, ld, addi, call (jal links ra), li a0, add in f
+    EXPECT_EQ(pcs.size(), 6u);
+    for (auto pc : pcs)
+        EXPECT_TRUE(writesDest(prog.code[pc]));
+}
+
+TEST_F(ImageTest, LoadInsts)
+{
+    const auto pcs = img.loadInsts();
+    ASSERT_EQ(pcs.size(), 1u);
+    EXPECT_EQ(prog.code[pcs[0]].op, Opcode::LD);
+}
+
+TEST_F(ImageTest, InstsWherePredicate)
+{
+    const auto stores = img.instsWhere(
+        [](std::uint32_t, const Inst &inst) {
+            return isStore(inst.op);
+        });
+    EXPECT_EQ(stores.size(), 1u);
+}
+
+} // namespace

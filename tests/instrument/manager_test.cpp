@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the instrumentation manager's event routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "instrument/manager.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace vpsim;
+
+namespace
+{
+
+struct CountingTool : instr::Tool
+{
+    std::uint64_t instValues = 0, instNoValues = 0;
+    std::uint64_t loads = 0, stores = 0, calls = 0;
+    std::uint64_t lastValue = 0;
+    std::string lastProc;
+    std::uint64_t lastArg0 = 0;
+    std::uint32_t lastCaller = 0;
+
+    void
+    onInstValue(std::uint32_t, const Inst &, std::uint64_t v) override
+    {
+        ++instValues;
+        lastValue = v;
+    }
+
+    void
+    onInstNoValue(std::uint32_t, const Inst &) override
+    {
+        ++instNoValues;
+    }
+
+    void
+    onLoadValue(std::uint32_t, std::uint64_t, unsigned,
+                std::uint64_t) override
+    {
+        ++loads;
+    }
+
+    void
+    onStoreValue(std::uint32_t, std::uint64_t, unsigned,
+                 std::uint64_t) override
+    {
+        ++stores;
+    }
+
+    void
+    onProcCall(const Procedure &proc, const std::uint64_t *args,
+               std::uint32_t caller_pc) override
+    {
+        ++calls;
+        lastProc = proc.name;
+        lastArg0 = args[0];
+        lastCaller = caller_pc;
+    }
+};
+
+const char *const src = R"(
+    .data
+b:      .space 8
+    .text
+    .proc main args=0
+main:
+    li   t0, 3
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    la   t1, b
+    st   t0, 0(t1)
+    ld   t2, 0(t1)
+    li   a0, 9
+    call f
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc f args=1
+f:
+    addi a0, a0, 1
+    ret
+    .endp
+)";
+
+class ManagerTest : public ::testing::Test
+{
+  protected:
+    ManagerTest()
+        : prog(assemble(src)), img(prog), mgr(img),
+          cpu(prog, CpuConfig{1u << 16, 100000})
+    {
+    }
+
+    Program prog;
+    instr::Image img;
+    instr::InstrumentManager mgr;
+    Cpu cpu;
+    CountingTool tool;
+};
+
+TEST_F(ManagerTest, PerPcRoutingOnlyFiresForRoutedPc)
+{
+    // Instrument only the addi in the loop (pc 1).
+    mgr.instrumentInst(1, &tool);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_EQ(tool.instValues, 3u); // loop ran 3 times
+    EXPECT_EQ(tool.loads, 0u);
+    EXPECT_EQ(tool.stores, 0u);
+}
+
+TEST_F(ManagerTest, NoValueCallbackForNonWritingInst)
+{
+    // Instrument the bnez (pc 2): it never writes a register.
+    mgr.instrumentInst(2, &tool);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_EQ(tool.instValues, 0u);
+    EXPECT_EQ(tool.instNoValues, 3u);
+}
+
+TEST_F(ManagerTest, GlobalLoadStoreRouting)
+{
+    mgr.instrumentLoads(&tool);
+    mgr.instrumentStores(&tool);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_EQ(tool.loads, 1u);
+    EXPECT_EQ(tool.stores, 1u);
+}
+
+TEST_F(ManagerTest, CallRoutingResolvesProcedureAndArgs)
+{
+    mgr.instrumentCalls(&tool);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_EQ(tool.calls, 1u);
+    EXPECT_EQ(tool.lastProc, "f");
+    EXPECT_EQ(tool.lastArg0, 9u);
+    EXPECT_EQ(tool.lastCaller, 7u); // the `call f` instruction
+}
+
+TEST_F(ManagerTest, RemoveToolSilencesEverything)
+{
+    mgr.instrumentInst(1, &tool);
+    mgr.instrumentLoads(&tool);
+    mgr.instrumentStores(&tool);
+    mgr.instrumentCalls(&tool);
+    mgr.removeTool(&tool);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_EQ(tool.instValues + tool.loads + tool.stores + tool.calls,
+              0u);
+}
+
+TEST_F(ManagerTest, MultipleToolsEachSeeEvents)
+{
+    CountingTool second;
+    mgr.instrumentInst(1, &tool);
+    mgr.instrumentInst(1, &second);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_EQ(tool.instValues, 3u);
+    EXPECT_EQ(second.instValues, 3u);
+}
+
+TEST_F(ManagerTest, InstrumentInstsBatch)
+{
+    mgr.instrumentInsts(img.regWritingInsts(), &tool);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_GT(tool.instValues, 5u);
+}
+
+TEST_F(ManagerTest, DetachStopsEvents)
+{
+    mgr.instrumentInst(1, &tool);
+    mgr.attach(cpu);
+    mgr.detach(cpu);
+    cpu.run();
+    EXPECT_EQ(tool.instValues, 0u);
+}
+
+TEST_F(ManagerTest, ValuePassedIsArchitecturalResult)
+{
+    // pc 0 is li t0, 3
+    mgr.instrumentInst(0, &tool);
+    mgr.attach(cpu);
+    cpu.run();
+    EXPECT_EQ(tool.instValues, 1u);
+    EXPECT_EQ(tool.lastValue, 3u);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Cross-module integration tests: full profiling pipelines over the
+ * real workloads, validating the paper's qualitative claims end to
+ * end — semi-invariant loads exist, sampled profiles approximate full
+ * profiles at a fraction of the events, train/test profiles
+ * correlate, parameter profiles drive a semantics-preserving
+ * specialization with a dynamic win.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instruction_profiler.hpp"
+#include "core/memory_profiler.hpp"
+#include "core/parameter_profiler.hpp"
+#include "core/snapshot.hpp"
+#include "predict/harness.hpp"
+#include "specialize/specializer.hpp"
+#include "workloads/workload.hpp"
+
+using namespace core;
+using namespace vpsim;
+using workloads::findWorkload;
+using workloads::runToCompletion;
+
+namespace
+{
+
+CpuConfig
+bigConfig()
+{
+    return CpuConfig{16u << 20, 100'000'000};
+}
+
+ProfileSnapshot
+profileRun(const workloads::Workload &w, const std::string &dataset,
+           const InstProfilerConfig &cfg, bool loads_only,
+           double *fraction_profiled = nullptr)
+{
+    const Program &prog = w.program();
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(prog, bigConfig());
+    InstructionProfiler prof(img, cfg);
+    if (loads_only)
+        prof.profileLoads(mgr);
+    else
+        prof.profileAllWrites(mgr);
+    mgr.attach(cpu);
+    runToCompletion(cpu, w, dataset);
+    if (fraction_profiled)
+        *fraction_profiled = prof.fractionProfiled();
+    return ProfileSnapshot::fromInstructionProfiler(prof);
+}
+
+double
+weightedInvTop(const ProfileSnapshot &snap)
+{
+    double num = 0, den = 0;
+    for (const auto &[pc, s] : snap.entities) {
+        num += s.invTop * static_cast<double>(s.totalExecutions);
+        den += static_cast<double>(s.totalExecutions);
+    }
+    return den > 0 ? num / den : 0;
+}
+
+TEST(EndToEnd, LispDispatchLoadsAreSemiInvariant)
+{
+    // The interpreter's opcode fetch must show high Inv-All with a
+    // small set of values — the paper's canonical observation.
+    const auto snap = profileRun(findWorkload("lisp"), "train",
+                                 InstProfilerConfig{}, true);
+    bool found_semi_invariant_load = false;
+    for (const auto &[pc, s] : snap.entities) {
+        if (s.totalExecutions > 10000 && s.invAll > 0.95 &&
+            s.distinct <= 16)
+            found_semi_invariant_load = true;
+    }
+    EXPECT_TRUE(found_semi_invariant_load);
+}
+
+TEST(EndToEnd, LoadsShowSubstantialInvariance)
+{
+    // Across workloads, execution-weighted load Inv-Top must be
+    // substantial (the paper reports ~50% for loads).
+    double total = 0;
+    int n = 0;
+    for (const char *name : {"compress", "crc", "lisp", "qsort"}) {
+        const auto snap = profileRun(findWorkload(name), "train",
+                                     InstProfilerConfig{}, true);
+        total += weightedInvTop(snap);
+        ++n;
+    }
+    EXPECT_GT(total / n, 0.25);
+}
+
+TEST(EndToEnd, SampledProfileApproximatesFullProfile)
+{
+    const auto &w = findWorkload("crc");
+    const auto full = profileRun(w, "train", InstProfilerConfig{}, false);
+
+    InstProfilerConfig sampled_cfg;
+    sampled_cfg.mode = ProfileMode::Sampled;
+    double fraction = 1.0;
+    const auto sampled =
+        profileRun(w, "train", sampled_cfg, false, &fraction);
+
+    EXPECT_LT(fraction, 0.35) << "sampling must skip most executions";
+
+    // Execution-weighted invariance estimates agree closely.
+    const auto cmp = compareSnapshots(full, sampled);
+    EXPECT_EQ(cmp.commonEntities, full.size());
+    EXPECT_LT(cmp.meanAbsInvTopDelta, 0.08);
+    // Semi-invariant instructions must keep their top values; for
+    // variant instructions the "top value" is an arbitrary sample and
+    // says nothing.
+    EXPECT_GT(cmp.invariantEntities, 0u);
+    EXPECT_GT(cmp.topValueTransferInvariant, 0.85);
+}
+
+TEST(EndToEnd, TrainTestProfilesCorrelate)
+{
+    // The paper's cross-input result: value profiles transfer between
+    // data sets (David Wall's observation, thesis Table V.5).
+    const auto &w = findWorkload("compress");
+    const auto train =
+        profileRun(w, "train", InstProfilerConfig{}, false);
+    const auto test = profileRun(w, "test", InstProfilerConfig{}, false);
+    const auto cmp = compareSnapshots(train, test);
+    EXPECT_GT(cmp.commonEntities, 20u);
+    EXPECT_GT(cmp.invTopCorrelation, 0.7);
+    EXPECT_GT(cmp.topValueTransferInvariant, 0.6);
+    EXPECT_LT(cmp.meanAbsInvTopDelta, 0.2);
+}
+
+TEST(EndToEnd, MemoryLocationsIncludeInvariantOnes)
+{
+    const auto &w = findWorkload("crc");
+    const Program &prog = w.program();
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(prog, bigConfig());
+    MemoryProfiler mprof;
+    mprof.instrument(mgr);
+    mgr.attach(cpu);
+    runToCompletion(cpu, w, "train");
+
+    // The CRC table locations are written once: perfectly invariant.
+    std::size_t invariant_locations = 0;
+    for (const auto *loc : mprof.topLocationsByWrites(1000)) {
+        if (loc->writes.invTop() == 1.0)
+            ++invariant_locations;
+    }
+    EXPECT_GE(invariant_locations, 250u);
+}
+
+TEST(EndToEnd, ParameterProfileFindsMatmulFactor)
+{
+    const auto &w = findWorkload("matmul");
+    const Program &prog = w.program();
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(prog, bigConfig());
+    ParameterProfiler pprof;
+    pprof.instrument(mgr);
+    mgr.attach(cpu);
+    runToCompletion(cpu, w, "train");
+
+    const auto *scale = pprof.recordFor("scale");
+    ASSERT_NE(scale, nullptr);
+    ASSERT_EQ(scale->args.size(), 2u);
+    // arg1 (the factor) is perfectly invariant and equals 3 on train.
+    EXPECT_DOUBLE_EQ(scale->args[1].invTop(), 1.0);
+    EXPECT_EQ(scale->args[1].tnv().top()->value, 3u);
+    // arg0 (the data) is variant.
+    EXPECT_LT(scale->args[0].invTop(), 0.9);
+}
+
+TEST(EndToEnd, ProfileGuidedSpecializationOfMatmulScale)
+{
+    // The full chapter-X pipeline: profile parameters, bind the
+    // semi-invariant one, specialize, verify identical output and a
+    // dynamic instruction reduction.
+    const auto &w = findWorkload("matmul");
+    const Program &prog = w.program();
+
+    // 1. Profile.
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu pcpu(prog, bigConfig());
+    ParameterProfiler pprof;
+    pprof.instrument(mgr);
+    mgr.attach(pcpu);
+    runToCompletion(pcpu, w, "train");
+    const auto *scale = pprof.recordFor("scale");
+    ASSERT_NE(scale, nullptr);
+    const std::uint64_t factor = scale->args[1].tnv().top()->value;
+
+    // 2. Specialize on the profiled value.
+    const auto spec = specialize::specializeProcedure(
+        prog, "scale",
+        {{static_cast<std::uint8_t>(regA0 + 1), factor}});
+
+    // 3. Same input, both programs.
+    Cpu orig_cpu(prog, bigConfig());
+    orig_cpu.reset();
+    w.inject(orig_cpu, "train");
+    Cpu spec_cpu(spec.program, bigConfig());
+    spec_cpu.reset();
+    w.inject(spec_cpu, "train");
+
+    const auto report = specialize::compareRuns(orig_cpu, spec_cpu);
+    EXPECT_TRUE(report.outputsMatch);
+    EXPECT_LT(report.specializedInsts, report.originalInsts);
+    EXPECT_GT(report.speedup(), 1.0);
+}
+
+TEST(EndToEnd, ProfileGuidedPredictionImprovesPrecision)
+{
+    // Gabbay-style E11 pipeline: profile a run, then use the profile
+    // to filter which instructions a last-value predictor handles.
+    const auto &w = findWorkload("lisp");
+    const Program &prog = w.program();
+    const auto profile =
+        profileRun(w, "train", InstProfilerConfig{}, false);
+
+    auto run_predictor = [&](predict::ValuePredictor &pred) {
+        instr::Image img(prog);
+        instr::InstrumentManager mgr(img);
+        Cpu cpu(prog, bigConfig());
+        predict::PredictionHarness harness;
+        harness.addPredictor(&pred);
+        harness.instrument(mgr, img.regWritingInsts());
+        mgr.attach(cpu);
+        runToCompletion(cpu, w, "test");
+    };
+
+    predict::LvpConfig lcfg;
+    lcfg.confidenceBits = 0;
+    auto plain = predict::makeLastValuePredictor(lcfg);
+    run_predictor(*plain);
+
+    predict::ProfileGuidedPredictor guided(
+        predict::makeLastValuePredictor(lcfg), profile);
+    run_predictor(guided);
+
+    EXPECT_GT(guided.stats().precision(), plain->stats().precision());
+    EXPECT_LT(guided.stats().mispredictions(),
+              plain->stats().mispredictions());
+}
+
+} // namespace

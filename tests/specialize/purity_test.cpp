@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the static purity analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "specialize/purity.hpp"
+#include "vpsim/assembler.hpp"
+#include "workloads/workload.hpp"
+
+using namespace specialize;
+using namespace vpsim;
+
+namespace
+{
+
+const char *const src = R"(
+    .data
+g:  .word 0
+    .text
+    .proc main args=0
+main:
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc pure_alu args=2
+pure_alu:
+    add  a0, a0, a1
+    muli a0, a0, 3
+    ret
+    .endp
+    .proc pure_branchy args=1
+pure_branchy:
+    beqz a0, pb_zero
+    addi a0, a0, -1
+pb_zero:
+    ret
+    .endp
+    .proc pure_caller args=2
+pure_caller:
+    addi sp, sp, -8
+    st   ra, 0(sp)      # note: stack traffic makes this impure
+    call pure_alu
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    ret
+    .endp
+    .proc leaf_caller args=2
+leaf_caller:
+    jal  t0, pure_alu   # leaf-style call, no stack traffic
+    jalr zero, t0
+    .endp
+    .proc loader args=0
+loader:
+    lb   a0, g
+    ret
+    .endp
+    .proc storer args=1
+storer:
+    sb   a0, g(zero)
+    ret
+    .endp
+    .proc printer args=1
+printer:
+    syscall puti
+    ret
+    .endp
+    .proc calls_impure args=1
+calls_impure:
+    mov  s7, ra         # keep ra in a callee-saved reg: no stores
+    addi a0, a0, 1
+    call storer
+    mov  ra, s7
+    ret
+    .endp
+    .proc calls_pure args=2
+calls_pure:
+    mov  s7, ra
+    call pure_alu
+    mov  ra, s7
+    ret
+    .endp
+)";
+
+class PurityTest : public ::testing::Test
+{
+  protected:
+    PurityTest() : prog(assemble(src)), analysis(prog) {}
+    Program prog;
+    PurityAnalysis analysis;
+};
+
+TEST_F(PurityTest, PureAluProcedure)
+{
+    EXPECT_EQ(analysis.verdict("pure_alu"), Purity::Pure);
+    EXPECT_TRUE(analysis.isPure("pure_alu"));
+}
+
+TEST_F(PurityTest, PureWithBranches)
+{
+    EXPECT_EQ(analysis.verdict("pure_branchy"), Purity::Pure);
+}
+
+TEST_F(PurityTest, StackTrafficIsImpure)
+{
+    // Conservative: spilling ra to the stack is a store.
+    EXPECT_EQ(analysis.verdict("pure_caller"), Purity::HasStore);
+}
+
+TEST_F(PurityTest, LoadIsImpure)
+{
+    EXPECT_EQ(analysis.verdict("loader"), Purity::HasLoad);
+}
+
+TEST_F(PurityTest, StoreIsImpure)
+{
+    EXPECT_EQ(analysis.verdict("storer"), Purity::HasStore);
+}
+
+TEST_F(PurityTest, SyscallIsImpure)
+{
+    EXPECT_EQ(analysis.verdict("printer"), Purity::HasSyscall);
+}
+
+TEST_F(PurityTest, ImpurityPropagatesThroughCalls)
+{
+    EXPECT_EQ(analysis.verdict("calls_impure"), Purity::CallsImpure);
+}
+
+TEST_F(PurityTest, PurityPropagatesThroughPureCalls)
+{
+    EXPECT_EQ(analysis.verdict("calls_pure"), Purity::Pure);
+}
+
+TEST_F(PurityTest, PurityPropagatesThroughLeafCalls)
+{
+    // leaf_caller calls pure_alu without stack traffic and returns via
+    // a non-ra link register: jalr zero, t0 is a computed jump.
+    EXPECT_EQ(analysis.verdict("leaf_caller"),
+              Purity::HasComputedJump);
+}
+
+TEST_F(PurityTest, UnknownProcedure)
+{
+    EXPECT_EQ(analysis.verdict("missing"), Purity::EscapesBody);
+}
+
+TEST_F(PurityTest, NameRoundTrip)
+{
+    EXPECT_STREQ(purityName(Purity::Pure), "pure");
+    EXPECT_STREQ(purityName(Purity::HasStore), "stores memory");
+    EXPECT_STREQ(purityName(Purity::CallsImpure), "calls impure");
+}
+
+TEST(PurityWorkloads, VerdictsOnRealSuite)
+{
+    // nqueens `safe` loads flags -> impure; matmul `scale` is pure.
+    {
+        const auto &w = workloads::findWorkload("nqueens");
+        PurityAnalysis analysis(w.program());
+        EXPECT_EQ(analysis.verdict("safe"), Purity::HasLoad);
+    }
+    {
+        const auto &w = workloads::findWorkload("matmul");
+        PurityAnalysis analysis(w.program());
+        EXPECT_EQ(analysis.verdict("scale"), Purity::Pure);
+    }
+    {
+        const auto &w = workloads::findWorkload("compress");
+        PurityAnalysis analysis(w.program());
+        EXPECT_EQ(analysis.verdict("emit"), Purity::HasStore);
+    }
+}
+
+} // namespace

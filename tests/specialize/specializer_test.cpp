@@ -1,0 +1,632 @@
+/**
+ * @file
+ * Tests for the optimization passes and the procedure specializer:
+ * semantic equivalence (guarded dispatch must preserve behaviour for
+ * matching AND non-matching values), fold/DCE correctness, and
+ * dynamic-count savings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "specialize/passes.hpp"
+#include "specialize/specializer.hpp"
+#include "vpsim/assembler.hpp"
+#include "vpsim/disasm.hpp"
+
+using namespace specialize;
+using namespace vpsim;
+
+namespace
+{
+
+// f(x, mode): branches on mode, computes different expressions.
+const char *const calcSrc = R"(
+    .proc main args=0
+main:
+    li   s0, 0              # checksum
+    li   s1, 30             # iterations
+    li   s2, 0              # x
+loop:
+    mov  a0, s2
+    li   a1, 3
+    call f
+    add  s0, s0, a0
+    addi s2, s2, 1
+    addi s1, s1, -1
+    bnez s1, loop
+    mov  a0, s0
+    syscall puti
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc f args=2
+f:
+    andi t0, a1, 1
+    beqz t0, even
+    mul  t1, a0, a1         # odd mode: x*mode + mode*mode - mode/2 + 5
+    mul  t2, a1, a1
+    add  t1, t1, t2
+    srai t3, a1, 1
+    sub  t1, t1, t3
+    addi a0, t1, 5
+    jmp  done
+even:
+    slli t1, a0, 1          # even mode: 2x - mode
+    sub  a0, t1, a1
+done:
+    seqi t4, a1, 7          # "lucky mode" tweak
+    beqz t4, noluck
+    addi a0, a0, 99
+noluck:
+    li   t2, 1000
+    blt  a0, t2, small
+    srai a0, a0, 1
+small:
+    ret
+    .endp
+)";
+
+std::int64_t
+runProgram(const Program &prog, std::string *output = nullptr)
+{
+    Cpu cpu(prog, CpuConfig{1u << 18, 10'000'000});
+    const RunResult res = cpu.run();
+    EXPECT_TRUE(res.exited());
+    if (output)
+        *output = cpu.output();
+    return static_cast<std::int64_t>(res.dynamicInsts);
+}
+
+TEST(Specializer, PreservesSemanticsOnMatchingValue)
+{
+    Program orig = assemble(calcSrc);
+    std::string orig_out;
+    runProgram(orig, &orig_out);
+
+    // main always calls f with a1 = 3: binding matches every call.
+    const auto result = specializeProcedure(
+        orig, "f", {{regA0 + 1, 3}});
+    std::string spec_out;
+    runProgram(result.program, &spec_out);
+    EXPECT_EQ(spec_out, orig_out);
+}
+
+TEST(Specializer, ReducesDynamicInstructionsWhenGuardHits)
+{
+    Program orig = assemble(calcSrc);
+    const auto before = runProgram(orig);
+    const auto result =
+        specializeProcedure(orig, "f", {{regA0 + 1, 3}});
+    const auto after = runProgram(result.program);
+    // Folding the mode test + immediating the mul must beat the
+    // guard's own cost.
+    EXPECT_LT(after, before);
+    EXPECT_GT(result.stats.branchesFolded, 0u);
+    EXPECT_GT(result.stats.total(), 0u);
+}
+
+TEST(Specializer, PreservesSemanticsOnMismatch)
+{
+    Program orig = assemble(calcSrc);
+    std::string orig_out;
+    runProgram(orig, &orig_out);
+    // Bind a value that never occurs: guard always fails, the general
+    // path must reproduce the original behaviour exactly.
+    const auto result =
+        specializeProcedure(orig, "f", {{regA0 + 1, 999}});
+    std::string spec_out;
+    std::int64_t insts = runProgram(result.program, &spec_out);
+    EXPECT_EQ(spec_out, orig_out);
+    EXPECT_GT(insts, 0);
+}
+
+TEST(Specializer, MultipleBindings)
+{
+    Program orig = assemble(calcSrc);
+    std::string orig_out;
+    runProgram(orig, &orig_out);
+    // Bind both arguments; x varies so the guard only matches x==5
+    // calls — output must still be identical.
+    const auto result = specializeProcedure(
+        orig, "f", {{regA0, 5}, {regA0 + 1, 3}});
+    std::string spec_out;
+    runProgram(result.program, &spec_out);
+    EXPECT_EQ(spec_out, orig_out);
+}
+
+TEST(Specializer, ResultMetadata)
+{
+    Program orig = assemble(calcSrc);
+    const auto result =
+        specializeProcedure(orig, "f", {{regA0 + 1, 3}});
+    const Program &p = result.program;
+    EXPECT_NE(p.findProc("f$spec"), nullptr);
+    EXPECT_EQ(p.codeLabels.at("f$spec"), result.specializedEntry);
+    EXPECT_EQ(p.codeLabels.at("f$guard"), result.guardEntry);
+    // The original body is untouched; call sites now reach the guard.
+    const Procedure *f = p.findProc("f");
+    EXPECT_EQ(p.code[f->entry].op, orig.code[f->entry].op);
+    bool call_redirected = false;
+    for (std::uint32_t pc = 0; pc < f->entry; ++pc) {
+        if (p.code[pc].op == Opcode::JAL)
+            call_redirected |=
+                p.code[pc].imm ==
+                static_cast<std::int64_t>(result.guardEntry);
+    }
+    EXPECT_TRUE(call_redirected);
+    // Guard: 2 insts per binding + the dispatch jump.
+    EXPECT_EQ(result.guardLength, 2u * 1 + 1u);
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(SpecializerDeath, UnknownProcedureIsFatal)
+{
+    Program orig = assemble(calcSrc);
+    EXPECT_EXIT(specializeProcedure(orig, "nope", {{4, 1}}),
+                ::testing::ExitedWithCode(1), "unknown procedure");
+}
+
+TEST(SpecializerDeath, EmptyBindingsFatal)
+{
+    Program orig = assemble(calcSrc);
+    EXPECT_EXIT(specializeProcedure(orig, "f", {}),
+                ::testing::ExitedWithCode(1), "no bindings");
+}
+
+TEST(SpecializerDeath, ZeroRegisterBindingFatal)
+{
+    Program orig = assemble(calcSrc);
+    EXPECT_EXIT(specializeProcedure(orig, "f", {{0, 1}}),
+                ::testing::ExitedWithCode(1), "not specializable");
+}
+
+// ---------------------------------------------------------------------
+// Pass-level tests
+// ---------------------------------------------------------------------
+
+TEST(ConstantFold, FoldsStraightLineChain)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 6
+    addi t1, t0, 4          # 10
+    muli t2, t1, 3          # 30
+    add  a0, t2, t0         # 36
+    ret
+)");
+    const PassStats stats = constantFold(
+        p, 0, static_cast<std::uint32_t>(p.numInsts()), {});
+    EXPECT_EQ(stats.foldedToConst, 3u);
+    EXPECT_EQ(p.code[3].op, Opcode::LI);
+    EXPECT_EQ(p.code[3].imm, 36);
+}
+
+TEST(ConstantFold, SeedsBindings)
+{
+    Program p = assemble(R"(
+f:
+    muli t0, a1, 4
+    add  a0, a0, t0
+    ret
+)");
+    const PassStats stats =
+        constantFold(p, 0, 3, {{regA0 + 1, 5}});
+    EXPECT_EQ(stats.foldedToConst, 1u);
+    EXPECT_EQ(p.code[0].op, Opcode::LI);
+    EXPECT_EQ(p.code[0].imm, 20);
+    // a0 stays unknown: add becomes add-immediate.
+    EXPECT_EQ(p.code[1].op, Opcode::ADDI);
+    EXPECT_EQ(p.code[1].imm, 20);
+}
+
+TEST(ConstantFold, FoldsTakenBranchToJmp)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 1
+    bnez t0, target
+    addi a0, a0, 1
+target:
+    ret
+)");
+    constantFold(p, 0, static_cast<std::uint32_t>(p.numInsts()), {});
+    EXPECT_EQ(p.code[1].op, Opcode::JMP);
+    EXPECT_EQ(p.code[1].imm, 3);
+}
+
+TEST(ConstantFold, FoldsUntakenBranchToNop)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 0
+    bnez t0, target
+    addi a0, a0, 1
+target:
+    ret
+)");
+    constantFold(p, 0, static_cast<std::uint32_t>(p.numInsts()), {});
+    EXPECT_EQ(p.code[1].op, Opcode::NOP);
+}
+
+TEST(ConstantFold, MergesAtJoinPoints)
+{
+    // t0 is 7 on both arms -> foldable after the join; t1 differs ->
+    // not foldable.
+    Program p = assemble(R"(
+f:
+    beqz a0, other
+    li   t0, 7
+    li   t1, 1
+    jmp  join
+other:
+    li   t0, 7
+    li   t1, 2
+join:
+    addi a1, t0, 1
+    add  a2, t1, t1
+    ret
+)");
+    constantFold(p, 0, static_cast<std::uint32_t>(p.numInsts()), {});
+    EXPECT_EQ(p.code[6].op, Opcode::LI) << disassemble(p.code[6]);
+    EXPECT_EQ(p.code[6].imm, 8);
+    EXPECT_NE(p.code[7].op, Opcode::LI);
+}
+
+TEST(ConstantFold, CallsInvalidateRegisters)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 5
+    call g
+    addi a0, t0, 1          # t0 may be clobbered: not foldable
+    ret
+g:
+    ret
+)");
+    constantFold(p, 0, 4, {});
+    EXPECT_EQ(p.code[2].op, Opcode::ADDI);
+}
+
+TEST(ConstantFold, LoadsAreUnknown)
+{
+    Program p = assemble(R"(
+    .data
+w:  .word 9
+    .text
+f:
+    la   t0, w
+    ld   t1, 0(t0)
+    addi a0, t1, 1
+    ret
+)");
+    constantFold(p, 0, static_cast<std::uint32_t>(p.numInsts()), {});
+    EXPECT_EQ(p.code[2].op, Opcode::ADDI); // not folded
+}
+
+TEST(ConstantFold, DivByZeroConstantNotFolded)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 0
+    li   t1, 8
+    div  a0, t1, t0
+    ret
+)");
+    constantFold(p, 0, static_cast<std::uint32_t>(p.numInsts()), {});
+    EXPECT_EQ(p.code[2].op, Opcode::DIV); // must still trap at runtime
+}
+
+TEST(ConstantFold, SubWithConstRhsBecomesAddi)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 4
+    sub  a0, a1, t0
+    ret
+)");
+    constantFold(p, 0, static_cast<std::uint32_t>(p.numInsts()), {});
+    EXPECT_EQ(p.code[1].op, Opcode::ADDI);
+    EXPECT_EQ(p.code[1].imm, -4);
+}
+
+TEST(ConstantFold, CommutativeSwapForConstLhs)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 6
+    mul  a0, t0, a1
+    ret
+)");
+    constantFold(p, 0, static_cast<std::uint32_t>(p.numInsts()), {});
+    EXPECT_EQ(p.code[1].op, Opcode::MULI);
+    EXPECT_EQ(p.code[1].ra, regA0 + 1);
+    EXPECT_EQ(p.code[1].imm, 6);
+}
+
+TEST(Dce, RemovesDeadTemporaries)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 5              # dead: t0 never used before overwrite
+    li   t0, 6
+    addi a0, t0, 0
+    li   t5, 9              # dead: temp at exit
+    ret
+)");
+    const PassStats stats =
+        deadCodeEliminate(p, 0, static_cast<std::uint32_t>(p.numInsts()));
+    EXPECT_EQ(stats.removedDead, 2u);
+    EXPECT_EQ(p.code[0].op, Opcode::NOP);
+    EXPECT_EQ(p.code[3].op, Opcode::NOP);
+    EXPECT_EQ(p.code[1].op, Opcode::LI); // live chain kept
+}
+
+TEST(Dce, KeepsCalleeSavedAndReturnRegisters)
+{
+    Program p = assemble(R"(
+f:
+    li   s0, 1              # callee-visible: kept
+    li   a0, 2              # return value: kept
+    ret
+)");
+    const PassStats stats = deadCodeEliminate(p, 0, 3);
+    EXPECT_EQ(stats.removedDead, 0u);
+}
+
+TEST(Dce, KeepsValuesLiveAcrossBranches)
+{
+    Program p = assemble(R"(
+f:
+    li   t0, 5
+    beqz a0, use
+    li   a0, 0
+    ret
+use:
+    mov  a0, t0
+    ret
+)");
+    const PassStats stats =
+        deadCodeEliminate(p, 0, static_cast<std::uint32_t>(p.numInsts()));
+    EXPECT_EQ(stats.removedDead, 0u);
+}
+
+TEST(Dce, CallArgumentsAreLive)
+{
+    Program p = assemble(R"(
+f:
+    li   a0, 3              # argument to g: live
+    call g
+    ret
+g:
+    ret
+)");
+    const PassStats stats = deadCodeEliminate(p, 0, 3);
+    EXPECT_EQ(stats.removedDead, 0u);
+}
+
+TEST(Dce, TempDeadAfterCall)
+{
+    Program p = assemble(R"(
+f:
+    li   t3, 3              # dead: call clobbers t3, nobody reads it
+    call g
+    ret
+g:
+    ret
+)");
+    const PassStats stats = deadCodeEliminate(p, 0, 3);
+    EXPECT_EQ(stats.removedDead, 1u);
+}
+
+TEST(CompactNops, RemovesAndRemaps)
+{
+    Program p = assemble(R"(
+f:
+    nop
+    li   t0, 1
+    nop
+    bnez t0, target
+    nop
+target:
+    li   a0, 0
+    ret
+)");
+    const PassStats stats =
+        compactNops(p, 0, static_cast<std::uint32_t>(p.numInsts()));
+    EXPECT_EQ(stats.nopsCompacted, 3u);
+    ASSERT_EQ(p.numInsts(), 4u);
+    EXPECT_EQ(p.code[0].op, Opcode::LI);
+    EXPECT_EQ(p.code[1].op, Opcode::BNE);
+    // Branch target remapped to the surviving li a0.
+    EXPECT_EQ(p.code[1].imm, 2);
+    EXPECT_EQ(p.codeLabels.at("target"), 2u);
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(CompactNops, NoNopsIsNoop)
+{
+    Program p = assemble("li a0, 0\nret\n");
+    const PassStats stats = compactNops(p, 0, 2);
+    EXPECT_EQ(stats.nopsCompacted, 0u);
+    EXPECT_EQ(p.numInsts(), 2u);
+}
+
+TEST(Specializer, UnreachableArmIsDeletedFromClone)
+{
+    Program orig = assemble(calcSrc);
+    const auto result =
+        specializeProcedure(orig, "f", {{regA0 + 1, 3}});
+    // Binding mode=3 folds the even/odd test; the even arm (slli+sub)
+    // must be gone from the clone entirely.
+    bool has_slli = false;
+    for (std::uint32_t pc = result.specializedEntry;
+         pc < result.specializedEnd; ++pc)
+        has_slli |= result.program.code[pc].op == Opcode::SLLI;
+    EXPECT_FALSE(has_slli);
+    // And the clone is strictly smaller than the original body.
+    const Procedure *f = orig.findProc("f");
+    EXPECT_LT(result.specializedEnd - result.specializedEntry,
+              f->end - f->entry);
+}
+
+TEST(Specializer, IndirectCallsKeepUsingOriginalBody)
+{
+    // A function pointer to f in a data word: the indirect call must
+    // keep reaching the untouched original body, bypassing the guard,
+    // and behaviour must be preserved.
+    const char *const src = R"(
+    .data
+fptr:   .word f
+    .text
+    .proc main args=0
+main:
+    li   s0, 10
+loop:
+    mov  a0, s0
+    li   a1, 4
+    ld   t0, fptr(zero)
+    jalr t0                 # indirect call to f
+    syscall puti
+    mov  a0, s0
+    li   a1, 4
+    call f                  # direct call: goes through the guard
+    syscall puti
+    addi s0, s0, -1
+    bnez s0, loop
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc f args=2
+f:
+    mul  a0, a0, a1
+    addi a0, a0, 1
+    ret
+    .endp
+)";
+    Program orig = assemble(src);
+    std::string orig_out;
+    runProgram(orig, &orig_out);
+    const auto result =
+        specializeProcedure(orig, "f", {{regA0 + 1, 4}});
+    std::string spec_out;
+    runProgram(result.program, &spec_out);
+    EXPECT_EQ(spec_out, orig_out);
+    // The indirect call site still targets the original entry.
+    const Procedure *f = orig.findProc("f");
+    const auto fptr_off = orig.dataAddress("fptr") - orig.dataBase;
+    std::uint64_t stored = 0;
+    for (int b = 0; b < 8; ++b)
+        stored |= std::uint64_t(
+                      result.program.dataInit[fptr_off + b])
+                  << (8 * b);
+    EXPECT_EQ(stored, f->entry);
+}
+
+TEST(Specializer, RecursionReentersThroughGuard)
+{
+    // A recursive procedure specialized on an argument that changes
+    // down the recursion: every level must re-test the guard, so the
+    // output is identical.
+    const char *const src = R"(
+    .proc main args=0
+main:
+    li   a0, 10
+    li   a1, 10
+    call count
+    syscall puti
+    li   a0, 0
+    syscall exit
+    .endp
+    .proc count args=2
+count:
+    beqz a0, base
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    mov  s0, a1
+    addi a0, a0, -1
+    addi a1, a1, -1        # the bound register changes per level
+    call count
+    add  a0, a0, s0
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    ret
+base:
+    li   a0, 0
+    ret
+    .endp
+)";
+    Program orig = assemble(src);
+    std::string orig_out;
+    runProgram(orig, &orig_out);
+    const auto result =
+        specializeProcedure(orig, "count", {{regA0 + 1, 10}});
+    std::string spec_out;
+    runProgram(result.program, &spec_out);
+    EXPECT_EQ(spec_out, orig_out);
+    // The clone's recursive call must target the guard, not itself.
+    bool recursion_guarded = false;
+    for (std::uint32_t pc = result.specializedEntry;
+         pc < result.specializedEnd; ++pc) {
+        const Inst &inst = result.program.code[pc];
+        if (inst.op == Opcode::JAL)
+            recursion_guarded |=
+                inst.imm ==
+                static_cast<std::int64_t>(result.guardEntry);
+    }
+    EXPECT_TRUE(recursion_guarded);
+}
+
+TEST(RemoveUnreachable, DeletesDeadArm)
+{
+    Program p = assemble(R"(
+f:
+    jmp  live
+dead:
+    addi t0, t0, 1
+    addi t0, t0, 2
+live:
+    li   a0, 0
+    ret
+)");
+    const PassStats stats =
+        removeUnreachable(p, 0, static_cast<std::uint32_t>(p.numInsts()));
+    EXPECT_EQ(stats.removedDead, 2u);
+    EXPECT_EQ(p.code[1].op, Opcode::NOP);
+    EXPECT_EQ(p.code[2].op, Opcode::NOP);
+    EXPECT_EQ(p.code[3].op, Opcode::LI);
+}
+
+TEST(OptimizeRegion, EndToEndOnScaleLikeChain)
+{
+    Program p = assemble(R"(
+f:
+    beqz a1, zero_mode
+    andi t1, a1, 1
+    beqz t1, even
+    mul  t0, a0, a1
+    srai t2, a0, 4
+    add  t0, t0, t2
+    jmp  done
+even:
+    mul  t0, a0, a1
+    srai t2, a0, 2
+    sub  t0, t0, t2
+done:
+    mov  a0, t0
+    ret
+zero_mode:
+    ret
+)");
+    const std::uint32_t n = static_cast<std::uint32_t>(p.numInsts());
+    const PassStats stats = optimizeRegion(p, 0, n, {{regA0 + 1, 3}});
+    // mode tests fold; the even arm and zero arm become unreachable
+    // but at minimum the branches and dead path shrink the region.
+    EXPECT_GE(stats.branchesFolded, 2u);
+    EXPECT_GT(stats.nopsCompacted, 0u);
+    EXPECT_LT(p.numInsts(), n);
+    EXPECT_EQ(p.validate(), "");
+}
+
+} // namespace

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tests for the logging/reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hpp"
+
+namespace
+{
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    vp::setQuiet(true);
+    EXPECT_TRUE(vp::isQuiet());
+    vp::setQuiet(false);
+    EXPECT_FALSE(vp::isQuiet());
+}
+
+TEST(Logging, WarnAndInformDoNotCrash)
+{
+    vp::setQuiet(true); // keep test output clean
+    vp_warn("warning %d", 42);
+    vp_inform("inform %s", "text");
+    vp::setQuiet(false);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(vp_panic("boom %d", 7), "boom 7");
+}
+
+TEST(LoggingDeath, AssertMessageIncludesCondition)
+{
+    EXPECT_DEATH(vp_assert(1 == 2, "math is broken: %d", 3),
+                 "assertion '1 == 2' failed: math is broken: 3");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(vp_fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+} // namespace

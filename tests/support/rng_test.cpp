@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    vp::Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    vp::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    vp::Rng a(99);
+    const auto first = a.next();
+    a.next();
+    a.reseed(99);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    vp::Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    vp::Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    vp::Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    vp::Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    vp::Rng rng(42);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for RunningStat, UnitHistogram and correlation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hpp"
+
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    vp::RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    vp::RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, WeightsActLikeRepeats)
+{
+    vp::RunningStat weighted, repeated;
+    weighted.addWeighted(3.0, 4.0);
+    weighted.addWeighted(7.0, 2.0);
+    for (int i = 0; i < 4; ++i)
+        repeated.add(3.0);
+    for (int i = 0; i < 2; ++i)
+        repeated.add(7.0);
+    EXPECT_NEAR(weighted.mean(), repeated.mean(), 1e-12);
+    EXPECT_NEAR(weighted.variance(), repeated.variance(), 1e-12);
+}
+
+TEST(RunningStat, ZeroWeightIgnored)
+{
+    vp::RunningStat s;
+    s.addWeighted(100.0, 0.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStatDeath, NegativeWeightPanics)
+{
+    vp::RunningStat s;
+    EXPECT_DEATH(s.addWeighted(1.0, -1.0), "negative weight");
+}
+
+TEST(UnitHistogram, BucketsPartitionUnitInterval)
+{
+    vp::UnitHistogram h(10);
+    h.add(0.0);
+    h.add(0.05);
+    h.add(0.95);
+    h.add(1.0); // lands in the top bucket
+    EXPECT_DOUBLE_EQ(h.bucketWeight(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(9), 2.0);
+    EXPECT_DOUBLE_EQ(h.total(), 4.0);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(0), 0.5);
+}
+
+TEST(UnitHistogram, WeightsAccumulate)
+{
+    vp::UnitHistogram h(4);
+    h.add(0.1, 3.0);
+    h.add(0.6, 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(0), 3.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(2), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(2), 0.25);
+}
+
+TEST(UnitHistogram, OutOfRangeClamped)
+{
+    vp::UnitHistogram h(10);
+    h.add(-0.5);
+    h.add(1.5);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(9), 1.0);
+}
+
+TEST(UnitHistogram, LabelsFormatAsPercentRanges)
+{
+    vp::UnitHistogram h(10);
+    EXPECT_EQ(h.bucketLabel(0), "[0,10)");
+    EXPECT_EQ(h.bucketLabel(9), "[90,100]");
+}
+
+TEST(Correlation, PerfectPositive)
+{
+    const std::vector<double> xs = {1, 2, 3, 4};
+    const std::vector<double> ys = {2, 4, 6, 8};
+    EXPECT_NEAR(vp::pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative)
+{
+    const std::vector<double> xs = {1, 2, 3, 4};
+    const std::vector<double> ys = {8, 6, 4, 2};
+    EXPECT_NEAR(vp::pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero)
+{
+    const std::vector<double> xs = {1, 2, 3};
+    const std::vector<double> ys = {5, 5, 5};
+    EXPECT_EQ(vp::pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(Correlation, ShortSeriesIsZero)
+{
+    EXPECT_EQ(vp::pearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(WeightedMean, Basic)
+{
+    EXPECT_DOUBLE_EQ(vp::weightedMean({1.0, 3.0}, {1.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(vp::weightedMean({}, {}), 0.0);
+}
+
+} // namespace

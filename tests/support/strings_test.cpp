@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for string utilities, especially integer-literal parsing used
+ * by the assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/strings.hpp"
+
+namespace
+{
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(vp::trim("  abc \t"), "abc");
+    EXPECT_EQ(vp::trim(""), "");
+    EXPECT_EQ(vp::trim("   "), "");
+    EXPECT_EQ(vp::trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    const auto parts = vp::split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty)
+{
+    const auto parts = vp::splitWhitespace("  a \t b  c ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(vp::startsWith("0x12", "0x"));
+    EXPECT_FALSE(vp::startsWith("x", "0x"));
+}
+
+struct IntCase
+{
+    const char *text;
+    std::int64_t expected;
+};
+
+class ParseIntValid : public ::testing::TestWithParam<IntCase>
+{
+};
+
+TEST_P(ParseIntValid, Parses)
+{
+    std::int64_t v = 0;
+    ASSERT_TRUE(vp::parseInt(GetParam().text, v)) << GetParam().text;
+    EXPECT_EQ(v, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Literals, ParseIntValid,
+    ::testing::Values(IntCase{"0", 0}, IntCase{"42", 42},
+                      IntCase{"-17", -17}, IntCase{"+5", 5},
+                      IntCase{"0x10", 16}, IntCase{"0XfF", 255},
+                      IntCase{"0b101", 5}, IntCase{"1_000", 1000},
+                      IntCase{"'a'", 97}, IntCase{"'\\n'", 10},
+                      IntCase{"'\\0'", 0}, IntCase{"'\\\\'", 92},
+                      IntCase{"  7 ", 7},
+                      IntCase{"0xEDB88320", 0xEDB88320}));
+
+class ParseIntInvalid : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ParseIntInvalid, Rejects)
+{
+    std::int64_t v = 0;
+    EXPECT_FALSE(vp::parseInt(GetParam(), v)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Garbage, ParseIntInvalid,
+                         ::testing::Values("", "-", "0x", "abc", "12x",
+                                           "0b2", "''", "'ab'", "--3"));
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(vp::format("%d-%s", 3, "x"), "3-x");
+    EXPECT_EQ(vp::format("%s", ""), "");
+}
+
+TEST(Strings, Hex64)
+{
+    EXPECT_EQ(vp::hex64(0x1234), "0x0000000000001234");
+}
+
+} // namespace

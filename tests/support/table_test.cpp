@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace
+{
+
+TEST(TextTable, RendersHeadersAndRows)
+{
+    vp::TextTable t({"name", "value"});
+    t.row().cell("alpha").cell(std::int64_t(42));
+    t.row().cell("b").cell(std::int64_t(7));
+    std::ostringstream os;
+    t.print(os, "Title");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TextTable, NumbersRightAligned)
+{
+    vp::TextTable t({"n"});
+    t.row().cell(std::int64_t(5));
+    t.row().cell(std::int64_t(12345));
+    std::ostringstream os;
+    t.print(os);
+    // The short number must be padded on the left to the column width.
+    EXPECT_NE(os.str().find("    5"), std::string::npos);
+}
+
+TEST(TextTable, PercentFormatsFraction)
+{
+    vp::TextTable t({"p"});
+    t.row().percent(0.1234, 1);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("12.3"), std::string::npos);
+}
+
+TEST(TextTable, DoublePrecision)
+{
+    vp::TextTable t({"x"});
+    t.row().cell(3.14159, 3);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecials)
+{
+    vp::TextTable t({"a", "b"});
+    t.row().cell("x,y").cell("quote\"inside");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"quote\"\"inside\"\n");
+}
+
+TEST(TextTable, MissingTrailingCellsRenderEmpty)
+{
+    vp::TextTable t({"a", "b", "c"});
+    t.row().cell("only");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TextTable, NumRows)
+{
+    vp::TextTable t({"a"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.row().cell("x");
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TextTableDeath, TooManyCellsPanics)
+{
+    vp::TextTable t({"a"});
+    t.row().cell("x");
+    EXPECT_DEATH(t.cell("y"), "too many cells");
+}
+
+TEST(TextTableDeath, CellBeforeRowPanics)
+{
+    vp::TextTable t({"a"});
+    EXPECT_DEATH(t.cell("x"), "cell\\(\\) before row\\(\\)");
+}
+
+} // namespace

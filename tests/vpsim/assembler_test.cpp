@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the assembler: syntax forms, pseudo-instructions, data
+ * directives, symbol resolution, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vpsim/assembler.hpp"
+#include "vpsim/cpu.hpp"
+
+using namespace vpsim;
+
+namespace
+{
+
+Program
+mustAssemble(const std::string &src)
+{
+    Program prog;
+    std::string err;
+    bool ok = tryAssemble(src, prog, err);
+    EXPECT_TRUE(ok) << err;
+    return prog;
+}
+
+std::string
+mustFail(const std::string &src)
+{
+    Program prog;
+    std::string err;
+    EXPECT_FALSE(tryAssemble(src, prog, err));
+    return err;
+}
+
+TEST(Assembler, MinimalProgram)
+{
+    const Program p = mustAssemble("li a0, 0\nsyscall exit\n");
+    ASSERT_EQ(p.numInsts(), 2u);
+    EXPECT_EQ(p.code[0].op, Opcode::LI);
+    EXPECT_EQ(p.code[0].rd, regA0);
+    EXPECT_EQ(p.code[1].op, Opcode::SYSCALL);
+    EXPECT_EQ(p.code[1].imm, 0);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = mustAssemble(R"(
+# full-line comment
+    li a0, 1   # trailing comment
+    ; semicolon comment
+    syscall exit ; done
+)");
+    EXPECT_EQ(p.numInsts(), 2u);
+}
+
+TEST(Assembler, ThreeRegForm)
+{
+    const Program p = mustAssemble("add t0, t1, t2\nsyscall exit\n");
+    EXPECT_EQ(p.code[0].op, Opcode::ADD);
+    EXPECT_EQ(p.code[0].rd, regT0);
+    EXPECT_EQ(p.code[0].ra, regT0 + 1);
+    EXPECT_EQ(p.code[0].rb, regT0 + 2);
+}
+
+TEST(Assembler, ImmediateForms)
+{
+    const Program p = mustAssemble(
+        "addi t0, t0, -4\nandi t1, t2, 0xff\nsyscall exit\n");
+    EXPECT_EQ(p.code[0].imm, -4);
+    EXPECT_EQ(p.code[1].imm, 0xff);
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    const Program p = mustAssemble(R"(
+    .data
+buf:    .space 16
+    .text
+    ld  t0, 8(sp)
+    ld  t1, (sp)
+    st  t2, buf(zero)
+    lbu t3, buf
+    syscall exit
+)");
+    EXPECT_EQ(p.code[0].op, Opcode::LD);
+    EXPECT_EQ(p.code[0].ra, regSp);
+    EXPECT_EQ(p.code[0].imm, 8);
+    EXPECT_EQ(p.code[1].imm, 0);
+    // Symbolic offsets resolve to the data address.
+    const auto buf = static_cast<std::int64_t>(p.dataAddress("buf"));
+    EXPECT_EQ(p.code[2].imm, buf);
+    EXPECT_EQ(p.code[2].rb, regT0 + 2); // store data register
+    EXPECT_EQ(p.code[3].ra, regZero);   // absolute addressing
+    EXPECT_EQ(p.code[3].imm, buf);
+}
+
+TEST(Assembler, BranchTargetsResolveForwardAndBackward)
+{
+    const Program p = mustAssemble(R"(
+top:
+    addi t0, t0, 1
+    beq  t0, t1, done
+    jmp  top
+done:
+    syscall exit
+)");
+    EXPECT_EQ(p.code[1].imm, 3); // done
+    EXPECT_EQ(p.code[2].imm, 0); // top
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    const Program p = mustAssemble(R"(
+    mov  t0, t1
+    neg  t2, t3
+    not  t4, t5
+    b    skip
+skip:
+    beqz t0, skip
+    bnez t0, skip
+    ret
+    syscall exit
+)");
+    EXPECT_EQ(p.code[0].op, Opcode::ADD);
+    EXPECT_EQ(p.code[0].rb, regZero);
+    EXPECT_EQ(p.code[1].op, Opcode::SUB);
+    EXPECT_EQ(p.code[1].ra, regZero);
+    EXPECT_EQ(p.code[2].op, Opcode::XORI);
+    EXPECT_EQ(p.code[2].imm, -1);
+    EXPECT_EQ(p.code[3].op, Opcode::JMP);
+    EXPECT_EQ(p.code[4].op, Opcode::BEQ);
+    EXPECT_EQ(p.code[4].rb, regZero);
+    EXPECT_EQ(p.code[5].op, Opcode::BNE);
+    EXPECT_EQ(p.code[6].op, Opcode::JALR);
+    EXPECT_EQ(p.code[6].rd, regZero);
+    EXPECT_EQ(p.code[6].ra, regRa);
+}
+
+TEST(Assembler, CallAndJalForms)
+{
+    const Program p = mustAssemble(R"(
+    call f
+    jal  f
+    jal  t0, f
+    jalr t1
+    jalr t2, t3
+    syscall exit
+f:  ret
+)");
+    EXPECT_EQ(p.code[0].op, Opcode::JAL);
+    EXPECT_EQ(p.code[0].rd, regRa);
+    EXPECT_EQ(p.code[1].rd, regRa);
+    EXPECT_EQ(p.code[2].rd, regT0);
+    EXPECT_EQ(p.code[3].op, Opcode::JALR);
+    EXPECT_EQ(p.code[3].rd, regRa);
+    EXPECT_EQ(p.code[3].ra, regT0 + 1);
+    EXPECT_EQ(p.code[4].rd, regT0 + 2);
+    EXPECT_EQ(p.code[4].ra, regT0 + 3);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program p = mustAssemble(R"(
+    .data
+words:  .word 1, 2, -1
+bytes:  .byte 0x41, 'b', 10
+        .align 8
+aligned: .word 99
+text:   .asciiz "hi\n"
+blank:  .space 5
+    .text
+    syscall exit
+)");
+    // words at data base
+    EXPECT_EQ(p.dataAddress("words"), Program::defaultDataBase);
+    EXPECT_EQ(p.dataAddress("bytes"), Program::defaultDataBase + 24);
+    EXPECT_EQ(p.dataAddress("aligned") % 8, 0u);
+    // initialized image contents
+    EXPECT_EQ(p.dataInit[0], 1u);
+    EXPECT_EQ(p.dataInit[8], 2u);
+    EXPECT_EQ(p.dataInit[16], 0xffu); // -1 little-endian
+    EXPECT_EQ(p.dataInit[24], 0x41u);
+    EXPECT_EQ(p.dataInit[25], 'b');
+    const auto text_off = p.dataAddress("text") - p.dataBase;
+    EXPECT_EQ(p.dataInit[text_off], 'h');
+    EXPECT_EQ(p.dataInit[text_off + 2], '\n');
+    EXPECT_EQ(p.dataInit[text_off + 3], 0u);
+}
+
+TEST(Assembler, WordWithCodeAndDataSymbols)
+{
+    const Program p = mustAssemble(R"(
+    .data
+tbl:    .word handler, tbl
+    .text
+    syscall exit
+handler:
+    ret
+)");
+    // first word: code label (instruction index 1)
+    std::uint64_t w0 = 0, w1 = 0;
+    for (int i = 0; i < 8; ++i) {
+        w0 |= std::uint64_t(p.dataInit[i]) << (8 * i);
+        w1 |= std::uint64_t(p.dataInit[8 + i]) << (8 * i);
+    }
+    EXPECT_EQ(w0, 1u);
+    EXPECT_EQ(w1, p.dataAddress("tbl"));
+}
+
+TEST(Assembler, ProceduresRecorded)
+{
+    const Program p = mustAssemble(R"(
+    .proc main args=0
+main:
+    li a0, 0
+    syscall exit
+    .endp
+    .proc helper args=2
+helper:
+    ret
+    .endp
+)");
+    ASSERT_EQ(p.procs.size(), 2u);
+    EXPECT_EQ(p.procs[0].name, "main");
+    EXPECT_EQ(p.procs[0].entry, 0u);
+    EXPECT_EQ(p.procs[0].end, 2u);
+    EXPECT_EQ(p.procs[1].numArgs, 2u);
+    EXPECT_EQ(p.entryPoint, 0u);
+    EXPECT_NE(p.findProc("helper"), nullptr);
+    EXPECT_EQ(p.findProc("nope"), nullptr);
+}
+
+TEST(Assembler, EntryPointIsMainEvenWhenNotFirst)
+{
+    const Program p = mustAssemble(R"(
+helper:
+    ret
+main:
+    syscall exit
+)");
+    EXPECT_EQ(p.entryPoint, 1u);
+}
+
+TEST(Assembler, SyscallByNameAndNumber)
+{
+    const Program p = mustAssemble(
+        "syscall putc\nsyscall puti\nsyscall 0\n");
+    EXPECT_EQ(p.code[0].imm, 1);
+    EXPECT_EQ(p.code[1].imm, 2);
+    EXPECT_EQ(p.code[2].imm, 0);
+}
+
+struct ErrorCase
+{
+    const char *src;
+    const char *needle;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<ErrorCase>
+{
+};
+
+TEST_P(AssemblerErrors, Reports)
+{
+    const std::string err = mustFail(GetParam().src);
+    EXPECT_NE(err.find(GetParam().needle), std::string::npos)
+        << "error was: " << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrors,
+    ::testing::Values(
+        ErrorCase{"frobnicate t0\n", "unknown mnemonic"},
+        ErrorCase{"add t0, t1\n", "expects 3 operands"},
+        ErrorCase{"add t0, t1, bogus\n", "bad register"},
+        ErrorCase{"jmp nowhere\n", "undefined symbol"},
+        ErrorCase{"dup: nop\ndup: nop\n", "duplicate label"},
+        ErrorCase{".data\n.word\n", "empty .word operand"},
+        ErrorCase{".data\n.space -2\n", "bad .space"},
+        ErrorCase{".data\n.align 3\n", "power of two"},
+        ErrorCase{".data\nnop\n", "instruction inside .data"},
+        ErrorCase{".word 1\n", "outside .data"},
+        ErrorCase{".proc f\nnop\n", "missing .endp"},
+        ErrorCase{".endp\n", ".endp without .proc"},
+        ErrorCase{".proc a\n.proc b\n", "nested .proc"},
+        ErrorCase{".proc f args=9\nnop\n.endp\n", "bad args="},
+        ErrorCase{"syscall frob\n", "unknown syscall"},
+        ErrorCase{".data\n.asciiz oops\n", "bad string"}));
+
+TEST(Assembler, ErrorIncludesLineNumber)
+{
+    const std::string err = mustFail("nop\nnop\nbogus_op t0\n");
+    EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(AssemblerDeath, AssembleFatalsOnBadSource)
+{
+    EXPECT_EXIT(assemble("bad_mnemonic\n"),
+                ::testing::ExitedWithCode(1), "assembly failed");
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for basic-block discovery and CFG edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vpsim/assembler.hpp"
+#include "vpsim/cfg.hpp"
+
+using namespace vpsim;
+
+namespace
+{
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Program p = assemble(R"(
+    li t0, 1
+    addi t0, t0, 1
+    syscall exit
+)");
+    Cfg cfg(p, 0, static_cast<std::uint32_t>(p.numInsts()));
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].begin, 0u);
+    EXPECT_EQ(cfg.blocks()[0].end, 3u);
+}
+
+TEST(Cfg, LoopMakesBackEdge)
+{
+    Program p = assemble(R"(
+    li   t0, 0
+loop:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    syscall exit
+)");
+    Cfg cfg(p, 0, static_cast<std::uint32_t>(p.numInsts()));
+    // blocks: [0,1) preheader, [1,3) loop, [3,4) exit
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    const auto &loop = cfg.blocks()[1];
+    ASSERT_EQ(loop.succs.size(), 2u);
+    EXPECT_EQ(cfg.blockOf(1), 1u);
+    // loop has itself as predecessor
+    bool self_pred = false;
+    for (auto pr : loop.preds)
+        self_pred |= pr == 1u;
+    EXPECT_TRUE(self_pred);
+}
+
+TEST(Cfg, DiamondShape)
+{
+    Program p = assemble(R"(
+    beq  t0, t1, right
+    addi t2, t2, 1
+    jmp  join
+right:
+    addi t2, t2, 2
+join:
+    syscall exit
+)");
+    Cfg cfg(p, 0, static_cast<std::uint32_t>(p.numInsts()));
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    EXPECT_EQ(cfg.blocks()[0].succs.size(), 2u);
+    const auto &join = cfg.blocks()[3];
+    EXPECT_EQ(join.preds.size(), 2u);
+}
+
+TEST(Cfg, CallFallsThrough)
+{
+    Program p = assemble(R"(
+main:
+    call f
+    syscall exit
+f:
+    ret
+)");
+    // CFG over main only
+    Cfg cfg(p, 0, 2);
+    ASSERT_EQ(cfg.blocks().size(), 2u);
+    // the call block links to the post-call block
+    ASSERT_EQ(cfg.blocks()[0].succs.size(), 1u);
+    EXPECT_EQ(cfg.blocks()[0].succs[0], 1u);
+}
+
+TEST(Cfg, ReturnHasNoSuccessor)
+{
+    Program p = assemble(R"(
+f:
+    addi a0, a0, 1
+    ret
+)");
+    Cfg cfg(p, 0, 2);
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+    EXPECT_TRUE(cfg.blocks()[0].succs.empty());
+}
+
+TEST(Cfg, BranchOutOfRegionIgnored)
+{
+    Program p = assemble(R"(
+    beq t0, t1, out
+    nop
+out:
+    syscall exit
+)");
+    // Region covers only the first two instructions; the branch target
+    // is outside and contributes no edge.
+    Cfg cfg(p, 0, 2);
+    ASSERT_EQ(cfg.blocks().size(), 2u);
+    ASSERT_EQ(cfg.blocks()[0].succs.size(), 1u); // fall-through only
+}
+
+TEST(Cfg, EmptyRegion)
+{
+    Program p = assemble("nop\n");
+    Cfg cfg(p, 0, 0);
+    EXPECT_TRUE(cfg.blocks().empty());
+}
+
+TEST(Cfg, ProcedureConstructor)
+{
+    Program p = assemble(R"(
+    .proc main args=0
+main:
+    li a0, 0
+    syscall exit
+    .endp
+    .proc f args=1
+f:
+    addi a0, a0, 1
+    ret
+    .endp
+)");
+    const Procedure *f = p.findProc("f");
+    ASSERT_NE(f, nullptr);
+    Cfg cfg(p, *f);
+    EXPECT_EQ(cfg.rangeBegin(), f->entry);
+    EXPECT_EQ(cfg.rangeEnd(), f->end);
+    ASSERT_EQ(cfg.blocks().size(), 1u);
+}
+
+} // namespace

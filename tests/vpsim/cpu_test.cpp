@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Interpreter tests: ALU semantics, memory, control flow, syscalls,
+ * traps, listeners — plus a property test cross-checking evalPure()
+ * against Cpu execution on randomized instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "vpsim/assembler.hpp"
+#include "vpsim/cpu.hpp"
+#include "vpsim/eval.hpp"
+
+using namespace vpsim;
+
+namespace
+{
+
+RunResult
+runSrc(const std::string &src, Cpu **cpu_out = nullptr)
+{
+    static std::unique_ptr<Program> prog;
+    static std::unique_ptr<Cpu> cpu;
+    prog = std::make_unique<Program>(assemble(src));
+    cpu = std::make_unique<Cpu>(*prog, CpuConfig{1u << 20, 10'000'000});
+    if (cpu_out)
+        *cpu_out = cpu.get();
+    return cpu->run();
+}
+
+TEST(Cpu, ExitCodeAndCounts)
+{
+    Cpu *cpu = nullptr;
+    const RunResult res = runSrc(R"(
+    li a0, 7
+    syscall exit
+)", &cpu);
+    EXPECT_TRUE(res.exited());
+    EXPECT_EQ(res.exitCode, 7);
+    EXPECT_EQ(res.dynamicInsts, 2u);
+}
+
+TEST(Cpu, ArithmeticSemantics)
+{
+    Cpu *cpu = nullptr;
+    runSrc(R"(
+    li   t0, 10
+    li   t1, -3
+    add  s0, t0, t1          # 7
+    sub  s1, t0, t1          # 13
+    mul  s2, t0, t1          # -30
+    div  s3, t0, t1          # -3 (C++ truncation)
+    rem  s4, t0, t1          # 1
+    li   a0, 0
+    syscall exit
+)", &cpu);
+    EXPECT_EQ(cpu->readReg(regS0), 7u);
+    EXPECT_EQ(cpu->readReg(regS0 + 1), 13u);
+    EXPECT_EQ(static_cast<std::int64_t>(cpu->readReg(regS0 + 2)), -30);
+    EXPECT_EQ(static_cast<std::int64_t>(cpu->readReg(regS0 + 3)), -3);
+    EXPECT_EQ(static_cast<std::int64_t>(cpu->readReg(regS0 + 4)), 1);
+}
+
+TEST(Cpu, ShiftAndCompareSemantics)
+{
+    Cpu *cpu = nullptr;
+    runSrc(R"(
+    li   t0, -8
+    srai s0, t0, 1           # -4 arithmetic
+    srli s1, t0, 60          # logical: high bits come down
+    li   t1, 3
+    sll  s2, t1, t1          # 24
+    slt  s3, t0, t1          # 1 (signed)
+    sltu s4, t0, t1          # 0 (unsigned: -8 is huge)
+    seqi s5, t1, 3           # 1
+    snei s6, t1, 3           # 0
+    li   a0, 0
+    syscall exit
+)", &cpu);
+    EXPECT_EQ(static_cast<std::int64_t>(cpu->readReg(regS0)), -4);
+    EXPECT_EQ(cpu->readReg(regS0 + 1), 0xFull);
+    EXPECT_EQ(cpu->readReg(regS0 + 2), 24u);
+    EXPECT_EQ(cpu->readReg(regS0 + 3), 1u);
+    EXPECT_EQ(cpu->readReg(regS0 + 4), 0u);
+    EXPECT_EQ(cpu->readReg(regS0 + 5), 1u);
+    EXPECT_EQ(cpu->readReg(regS0 + 6), 0u);
+}
+
+TEST(Cpu, RegZeroIsImmutable)
+{
+    Cpu *cpu = nullptr;
+    runSrc(R"(
+    li   zero, 99
+    addi zero, zero, 5
+    mov  s0, zero
+    li   a0, 0
+    syscall exit
+)", &cpu);
+    EXPECT_EQ(cpu->readReg(regZero), 0u);
+    EXPECT_EQ(cpu->readReg(regS0), 0u);
+}
+
+TEST(Cpu, LoadStoreWidthsAndSignExtension)
+{
+    Cpu *cpu = nullptr;
+    runSrc(R"(
+    .data
+buf:    .space 32
+    .text
+    la   t0, buf
+    li   t1, -2
+    st   t1, 0(t0)
+    ld   s0, 0(t0)           # -2
+    lw   s1, 0(t0)           # -2 sign extended from 32
+    lwu  s2, 0(t0)           # 0xFFFFFFFE
+    lh   s3, 0(t0)           # -2
+    lhu  s4, 0(t0)           # 0xFFFE
+    lb   s5, 0(t0)           # -2
+    lbu  s6, 0(t0)           # 0xFE
+    li   t2, 0x1234
+    sh   t2, 8(t0)
+    lhu  s7, 8(t0)
+    li   a0, 0
+    syscall exit
+)", &cpu);
+    EXPECT_EQ(static_cast<std::int64_t>(cpu->readReg(regS0)), -2);
+    EXPECT_EQ(static_cast<std::int64_t>(cpu->readReg(regS0 + 1)), -2);
+    EXPECT_EQ(cpu->readReg(regS0 + 2), 0xFFFFFFFEull);
+    EXPECT_EQ(static_cast<std::int64_t>(cpu->readReg(regS0 + 3)), -2);
+    EXPECT_EQ(cpu->readReg(regS0 + 4), 0xFFFEull);
+    EXPECT_EQ(static_cast<std::int64_t>(cpu->readReg(regS0 + 5)), -2);
+    EXPECT_EQ(cpu->readReg(regS0 + 6), 0xFEull);
+    EXPECT_EQ(cpu->readReg(regS0 + 7), 0x1234ull);
+}
+
+TEST(Cpu, LoopAndBranches)
+{
+    Cpu *cpu = nullptr;
+    const RunResult res = runSrc(R"(
+    li   t0, 0
+    li   t1, 10
+loop:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    mov  a0, t0
+    syscall puti
+    li   a0, 0
+    syscall exit
+)", &cpu);
+    EXPECT_TRUE(res.exited());
+    EXPECT_EQ(cpu->output(), "10");
+    ASSERT_EQ(cpu->outputValues().size(), 1u);
+    EXPECT_EQ(cpu->outputValues()[0], 10);
+}
+
+TEST(Cpu, CallAndReturn)
+{
+    Cpu *cpu = nullptr;
+    runSrc(R"(
+main:
+    li   a0, 20
+    li   a1, 22
+    call addup
+    mov  s0, a0
+    li   a0, 0
+    syscall exit
+addup:
+    add  a0, a0, a1
+    ret
+)", &cpu);
+    EXPECT_EQ(cpu->readReg(regS0), 42u);
+}
+
+TEST(Cpu, PutcBuildsOutput)
+{
+    Cpu *cpu = nullptr;
+    runSrc(R"(
+    li a0, 'h'
+    syscall putc
+    li a0, 'i'
+    syscall putc
+    li a0, 0
+    syscall exit
+)", &cpu);
+    EXPECT_EQ(cpu->output(), "hi");
+}
+
+TEST(Cpu, ComputedJumpThroughDispatchTable)
+{
+    // The interpreter idiom: a table of code addresses in the data
+    // segment, indexed and jumped through with jalr zero.
+    Cpu *cpu = nullptr;
+    runSrc(R"(
+    .data
+table:  .word h0, h1, h2
+    .text
+main:
+    li   s0, 2              # select handler 2
+    la   t0, table
+    slli t1, s0, 3
+    add  t0, t0, t1
+    ld   t2, 0(t0)
+    jalr zero, t2
+h0:
+    li   s1, 100
+    jmp  done
+h1:
+    li   s1, 200
+    jmp  done
+h2:
+    li   s1, 300
+done:
+    li   a0, 0
+    syscall exit
+)", &cpu);
+    EXPECT_EQ(cpu->readReg(regS0 + 1), 300u);
+}
+
+TEST(Cpu, JalrToWildTargetTraps)
+{
+    const RunResult res = runSrc(R"(
+    li   t0, 999999
+    jalr zero, t0
+)");
+    EXPECT_EQ(res.reason, StopReason::BadInst);
+}
+
+TEST(Cpu, FallingOffCodeEndTraps)
+{
+    Program prog = assemble("nop\nnop\n");
+    Cpu cpu(prog, CpuConfig{4096, 100});
+    const RunResult res = cpu.run();
+    EXPECT_EQ(res.reason, StopReason::BadInst);
+}
+
+TEST(Cpu, StepExecutesExactlyOneInstruction)
+{
+    Program prog = assemble("li t0, 1\nli t0, 2\nsyscall exit\n");
+    Cpu cpu(prog, CpuConfig{4096, 100});
+    EXPECT_EQ(cpu.pc(), 0u);
+    cpu.step();
+    EXPECT_EQ(cpu.pc(), 1u);
+    EXPECT_EQ(cpu.readReg(regT0), 1u);
+    EXPECT_FALSE(cpu.halted());
+    cpu.step();
+    cpu.step();
+    EXPECT_TRUE(cpu.halted());
+    cpu.step(); // no-op once halted
+    EXPECT_EQ(cpu.dynamicInsts(), 3u);
+}
+
+TEST(ProgramDeath, UnknownSymbolsAreFatal)
+{
+    Program prog = assemble("syscall exit\n");
+    EXPECT_EXIT(prog.dataAddress("nope"),
+                ::testing::ExitedWithCode(1), "unknown data symbol");
+    EXPECT_EXIT(prog.codeAddress("nope"),
+                ::testing::ExitedWithCode(1), "unknown code label");
+}
+
+TEST(Program, ValidateCatchesBadPrograms)
+{
+    Program prog;
+    prog.code.push_back({Opcode::JMP, 0, 0, 0, 99});
+    EXPECT_NE(prog.validate(), "");
+
+    Program regs;
+    regs.code.push_back({Opcode::ADD, 40, 0, 0, 0});
+    EXPECT_NE(regs.validate(), "");
+
+    Program procs = assemble("syscall exit\n");
+    vpsim::Procedure bad;
+    bad.name = "bad";
+    bad.entry = 5;
+    bad.end = 9;
+    procs.procs.push_back(bad);
+    EXPECT_NE(procs.validate(), "");
+}
+
+TEST(Cpu, DivideByZeroTraps)
+{
+    const RunResult res = runSrc(R"(
+    li  t0, 1
+    li  t1, 0
+    div t2, t0, t1
+    syscall exit
+)");
+    EXPECT_EQ(res.reason, StopReason::BadInst);
+}
+
+TEST(Cpu, OutOfBoundsLoadTraps)
+{
+    const RunResult res = runSrc(R"(
+    li  t0, 0x7fffffff
+    ld  t1, 0(t0)
+    syscall exit
+)");
+    EXPECT_EQ(res.reason, StopReason::MemFault);
+}
+
+TEST(Cpu, RunawayLoopHitsBudget)
+{
+    Program prog = assemble("spin: jmp spin\n");
+    Cpu cpu(prog, CpuConfig{1u << 16, 1000});
+    const RunResult res = cpu.run();
+    EXPECT_EQ(res.reason, StopReason::MaxInsts);
+    EXPECT_EQ(res.dynamicInsts, 1000u);
+}
+
+TEST(Cpu, ResetRestoresInitialState)
+{
+    Program prog = assemble(R"(
+    .data
+v:  .word 5
+    .text
+    la  t0, v
+    ld  t1, 0(t0)
+    addi t1, t1, 1
+    st  t1, 0(t0)
+    mov a0, t1
+    syscall puti
+    li  a0, 0
+    syscall exit
+)");
+    Cpu cpu(prog, CpuConfig{1u << 16, 100000});
+    cpu.run();
+    EXPECT_EQ(cpu.output(), "6");
+    cpu.reset();
+    cpu.run();
+    EXPECT_EQ(cpu.output(), "6"); // memory image reloaded, not 7
+}
+
+TEST(Cpu, LoadStoreCountsTracked)
+{
+    Cpu *cpu = nullptr;
+    const RunResult res = runSrc(R"(
+    .data
+b:  .space 8
+    .text
+    la  t0, b
+    st  t1, 0(t0)
+    ld  t2, 0(t0)
+    ld  t3, 0(t0)
+    li  a0, 0
+    syscall exit
+)", &cpu);
+    EXPECT_EQ(res.dynamicStores, 1u);
+    EXPECT_EQ(res.dynamicLoads, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Listener observation
+// ---------------------------------------------------------------------
+
+struct RecordingListener : ExecListener
+{
+    std::uint64_t insts = 0, writes = 0, loads = 0, stores = 0,
+                  calls = 0;
+    std::uint64_t lastValue = 0;
+    std::uint64_t lastLoadAddr = 0;
+    std::uint64_t callee = 0;
+    std::uint64_t arg0 = 0;
+
+    void
+    onInst(std::uint32_t, const Inst &, bool wrote,
+           std::uint64_t value) override
+    {
+        ++insts;
+        if (wrote) {
+            ++writes;
+            lastValue = value;
+        }
+    }
+
+    void
+    onLoad(std::uint32_t, std::uint64_t addr, unsigned,
+           std::uint64_t) override
+    {
+        ++loads;
+        lastLoadAddr = addr;
+    }
+
+    void
+    onStore(std::uint32_t, std::uint64_t, unsigned,
+            std::uint64_t) override
+    {
+        ++stores;
+    }
+
+    void
+    onCall(std::uint32_t, std::uint32_t callee_entry,
+           const std::uint64_t *args) override
+    {
+        ++calls;
+        callee = callee_entry;
+        arg0 = args[0];
+    }
+};
+
+TEST(CpuListener, SeesAllEventKinds)
+{
+    Program prog = assemble(R"(
+    .data
+b:  .space 8
+    .text
+main:
+    li   a0, 5
+    call f
+    la   t0, b
+    st   a0, 0(t0)
+    ld   t1, 0(t0)
+    li   a0, 0
+    syscall exit
+f:
+    addi a0, a0, 1
+    ret
+)");
+    Cpu cpu(prog, CpuConfig{1u << 16, 100000});
+    RecordingListener rec;
+    cpu.addListener(&rec);
+    const RunResult res = cpu.run();
+    EXPECT_TRUE(res.exited());
+    EXPECT_EQ(rec.insts, res.dynamicInsts);
+    EXPECT_EQ(rec.loads, 1u);
+    EXPECT_EQ(rec.stores, 1u);
+    EXPECT_EQ(rec.calls, 1u);
+    EXPECT_EQ(rec.callee, prog.codeAddress("f"));
+    EXPECT_EQ(rec.arg0, 5u); // argument value at call time
+}
+
+TEST(CpuListener, RetIsNotACall)
+{
+    Program prog = assemble(R"(
+main:
+    call f
+    li   a0, 0
+    syscall exit
+f:
+    ret
+)");
+    Cpu cpu(prog, CpuConfig{1u << 16, 1000});
+    RecordingListener rec;
+    cpu.addListener(&rec);
+    cpu.run();
+    EXPECT_EQ(rec.calls, 1u); // only the call, not the ret
+}
+
+TEST(CpuListener, RemoveListenerStopsEvents)
+{
+    Program prog = assemble("li a0, 0\nsyscall exit\n");
+    Cpu cpu(prog, CpuConfig{1u << 16, 1000});
+    RecordingListener rec;
+    cpu.addListener(&rec);
+    cpu.removeListener(&rec);
+    cpu.run();
+    EXPECT_EQ(rec.insts, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Property test: evalPure agrees with the interpreter
+// ---------------------------------------------------------------------
+
+class EvalAgreement : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EvalAgreement, PureOpsMatchInterpreter)
+{
+    vp::Rng rng(GetParam() * 7919 + 1);
+    static const Opcode pure_ops[] = {
+        Opcode::ADD, Opcode::SUB, Opcode::MUL, Opcode::DIV,
+        Opcode::REM, Opcode::AND, Opcode::OR, Opcode::XOR,
+        Opcode::SLL, Opcode::SRL, Opcode::SRA, Opcode::SLT,
+        Opcode::SLTU, Opcode::SEQ, Opcode::SNE, Opcode::ADDI,
+        Opcode::MULI, Opcode::ANDI, Opcode::ORI, Opcode::XORI,
+        Opcode::SLLI, Opcode::SRLI, Opcode::SRAI, Opcode::SLTI,
+        Opcode::SEQI, Opcode::SNEI, Opcode::LI,
+    };
+    for (int iter = 0; iter < 200; ++iter) {
+        Inst inst;
+        inst.op = pure_ops[rng.below(std::size(pure_ops))];
+        inst.rd = 5;
+        inst.ra = 6;
+        inst.rb = 7;
+        inst.imm = static_cast<std::int64_t>(rng.next() >> 32) -
+                   (1ll << 31);
+        const std::uint64_t a = rng.chance(0.3) ? rng.below(16)
+                                                : rng.next();
+        const std::uint64_t b = rng.chance(0.3) ? rng.below(16)
+                                                : rng.next();
+
+        std::uint64_t expected = 0;
+        const bool ok = evalPure(inst, a, b, expected);
+
+        Program prog;
+        prog.code = {inst, Inst{Opcode::SYSCALL, 0, 0, 0, 0}};
+        Cpu cpu(prog, CpuConfig{4096, 10});
+        cpu.writeReg(6, a);
+        cpu.writeReg(7, b);
+        const RunResult res = cpu.run();
+        if (!ok) {
+            // evalPure refuses exactly when the Cpu traps (div by 0).
+            EXPECT_EQ(res.reason, StopReason::BadInst);
+        } else {
+            EXPECT_TRUE(res.exited());
+            EXPECT_EQ(cpu.readReg(5), expected)
+                << opcodeName(inst.op) << " a=" << a << " b=" << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalAgreement, ::testing::Range(0, 5));
+
+TEST(Eval, BranchSemantics)
+{
+    bool taken = false;
+    ASSERT_TRUE(evalBranch(Opcode::BLT, static_cast<std::uint64_t>(-1),
+                           1, taken));
+    EXPECT_TRUE(taken); // signed
+    ASSERT_TRUE(evalBranch(Opcode::BLTU, static_cast<std::uint64_t>(-1),
+                           1, taken));
+    EXPECT_FALSE(taken); // unsigned
+    EXPECT_FALSE(evalBranch(Opcode::ADD, 0, 0, taken));
+}
+
+} // namespace

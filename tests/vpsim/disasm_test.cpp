@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vpsim/assembler.hpp"
+#include "vpsim/disasm.hpp"
+
+using namespace vpsim;
+
+namespace
+{
+
+TEST(Disasm, AluForms)
+{
+    EXPECT_EQ(disassemble({Opcode::ADD, 10, 11, 12, 0}),
+              "add    t0, t1, t2");
+    EXPECT_EQ(disassemble({Opcode::ADDI, 10, 10, 0, -4}),
+              "addi   t0, t0, -4");
+    EXPECT_EQ(disassemble({Opcode::LI, 4, 0, 0, 99}), "li     a0, 99");
+}
+
+TEST(Disasm, MemoryForms)
+{
+    EXPECT_EQ(disassemble({Opcode::LD, 10, 29, 0, 8}),
+              "ld     t0, 8(sp)");
+    EXPECT_EQ(disassemble({Opcode::SB, 0, 29, 11, 1}),
+              "sb     t1, 1(sp)");
+}
+
+TEST(Disasm, ControlFormsWithLabels)
+{
+    Program p = assemble(R"(
+top:
+    beq t0, t1, top
+    jmp top
+    jal f
+    jalr t0
+f:
+    ret
+)");
+    EXPECT_EQ(disassemble(p, 0), "beq    t0, t1, top");
+    EXPECT_EQ(disassemble(p, 1), "jmp    top");
+    EXPECT_EQ(disassemble(p, 2), "jal    ra, f");
+    EXPECT_EQ(disassemble(p, 3), "jalr   ra, t0");
+}
+
+TEST(Disasm, SystemAndNop)
+{
+    EXPECT_EQ(disassemble({Opcode::SYSCALL, 0, 0, 0, 2}), "syscall 2");
+    EXPECT_EQ(disassemble({Opcode::NOP, 0, 0, 0, 0}), "nop");
+}
+
+TEST(Disasm, RangeIncludesLabels)
+{
+    Program p = assemble(R"(
+main:
+    li a0, 0
+    syscall exit
+)");
+    const std::string text =
+        disassembleRange(p, 0, static_cast<std::uint32_t>(p.numInsts()));
+    EXPECT_NE(text.find("main:"), std::string::npos);
+    EXPECT_NE(text.find("li     a0, 0"), std::string::npos);
+}
+
+TEST(Disasm, EveryOpcodeHasStableOutput)
+{
+    // Smoke: disassembling any opcode must not crash and must start
+    // with its mnemonic.
+    for (int op = 0; op < static_cast<int>(Opcode::NumOpcodes); ++op) {
+        Inst inst;
+        inst.op = static_cast<Opcode>(op);
+        inst.rd = 1;
+        inst.ra = 2;
+        inst.rb = 3;
+        inst.imm = 0;
+        const std::string text = disassemble(inst);
+        EXPECT_EQ(text.rfind(opcodeName(inst.op), 0), 0u) << text;
+    }
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for ISA metadata: classes, register naming, predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vpsim/isa.hpp"
+
+using namespace vpsim;
+
+namespace
+{
+
+TEST(Isa, OpcodeNamesRoundTrip)
+{
+    EXPECT_STREQ(opcodeName(Opcode::ADD), "add");
+    EXPECT_STREQ(opcodeName(Opcode::LBU), "lbu");
+    EXPECT_STREQ(opcodeName(Opcode::SYSCALL), "syscall");
+}
+
+TEST(Isa, Classes)
+{
+    EXPECT_EQ(opcodeClass(Opcode::LD), InstClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::SB), InstClass::Store);
+    EXPECT_EQ(opcodeClass(Opcode::MUL), InstClass::IntMul);
+    EXPECT_EQ(opcodeClass(Opcode::DIV), InstClass::IntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::SLLI), InstClass::Shift);
+    EXPECT_EQ(opcodeClass(Opcode::SEQ), InstClass::Compare);
+    EXPECT_EQ(opcodeClass(Opcode::BNE), InstClass::Branch);
+    EXPECT_EQ(opcodeClass(Opcode::JAL), InstClass::Jump);
+    EXPECT_EQ(opcodeClass(Opcode::ADD), InstClass::IntAlu);
+    EXPECT_EQ(opcodeClass(Opcode::LI), InstClass::IntAlu);
+}
+
+TEST(Isa, Predicates)
+{
+    EXPECT_TRUE(isLoad(Opcode::LBU));
+    EXPECT_FALSE(isLoad(Opcode::SB));
+    EXPECT_TRUE(isStore(Opcode::SW));
+    EXPECT_TRUE(isCondBranch(Opcode::BGEU));
+    EXPECT_FALSE(isCondBranch(Opcode::JMP));
+    EXPECT_TRUE(isControl(Opcode::JMP));
+    EXPECT_TRUE(isControl(Opcode::JALR));
+    EXPECT_FALSE(isControl(Opcode::ADD));
+}
+
+TEST(Isa, MemAccessSizes)
+{
+    EXPECT_EQ(memAccessSize(Opcode::LD), 8u);
+    EXPECT_EQ(memAccessSize(Opcode::LW), 4u);
+    EXPECT_EQ(memAccessSize(Opcode::LH), 2u);
+    EXPECT_EQ(memAccessSize(Opcode::SB), 1u);
+}
+
+TEST(IsaDeath, MemAccessSizeOnAluPanics)
+{
+    EXPECT_DEATH(memAccessSize(Opcode::ADD), "not a memory opcode");
+}
+
+TEST(Isa, WritesDest)
+{
+    EXPECT_TRUE(writesDest({Opcode::ADD, 5, 1, 2, 0}));
+    EXPECT_FALSE(writesDest({Opcode::ADD, 0, 1, 2, 0})); // rd == zero
+    EXPECT_TRUE(writesDest({Opcode::LD, 5, 1, 0, 0}));
+    EXPECT_FALSE(writesDest({Opcode::ST, 5, 1, 2, 0}));
+    EXPECT_FALSE(writesDest({Opcode::BEQ, 0, 1, 2, 0}));
+    EXPECT_TRUE(writesDest({Opcode::JAL, regRa, 0, 0, 0}));
+    EXPECT_FALSE(writesDest({Opcode::JALR, 0, regRa, 0, 0})); // ret
+    EXPECT_FALSE(writesDest({Opcode::SYSCALL, 0, 0, 0, 0}));
+    EXPECT_FALSE(writesDest({Opcode::NOP, 5, 0, 0, 0}));
+}
+
+TEST(Isa, RegNames)
+{
+    EXPECT_EQ(regName(0), "zero");
+    EXPECT_EQ(regName(regA0), "a0");
+    EXPECT_EQ(regName(regT0), "t0");
+    EXPECT_EQ(regName(regS0), "s0");
+    EXPECT_EQ(regName(regSp), "sp");
+    EXPECT_EQ(regName(regRa), "ra");
+    EXPECT_EQ(regName(1), "r1");
+}
+
+TEST(Isa, ParseRegNamesAllForms)
+{
+    std::uint8_t r = 0;
+    ASSERT_TRUE(parseRegName("zero", r));
+    EXPECT_EQ(r, regZero);
+    ASSERT_TRUE(parseRegName("a3", r));
+    EXPECT_EQ(r, regA0 + 3);
+    ASSERT_TRUE(parseRegName("t9", r));
+    EXPECT_EQ(r, regT0 + 9);
+    ASSERT_TRUE(parseRegName("s7", r));
+    EXPECT_EQ(r, regS0 + 7);
+    ASSERT_TRUE(parseRegName("r31", r));
+    EXPECT_EQ(r, 31);
+    ASSERT_TRUE(parseRegName("sp", r));
+    EXPECT_EQ(r, regSp);
+}
+
+TEST(Isa, ParseRegNameRejectsGarbage)
+{
+    std::uint8_t r = 0;
+    EXPECT_FALSE(parseRegName("", r));
+    EXPECT_FALSE(parseRegName("r32", r));
+    EXPECT_FALSE(parseRegName("a6", r));
+    EXPECT_FALSE(parseRegName("t10", r));
+    EXPECT_FALSE(parseRegName("s8", r));
+    EXPECT_FALSE(parseRegName("x1", r));
+    EXPECT_FALSE(parseRegName("r1x", r));
+}
+
+TEST(Isa, RegNameParseRoundTripAllRegisters)
+{
+    for (unsigned reg = 0; reg < numRegs; ++reg) {
+        std::uint8_t parsed = 255;
+        ASSERT_TRUE(parseRegName(regName(reg), parsed)) << regName(reg);
+        EXPECT_EQ(parsed, reg);
+    }
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the guest memory model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vpsim/memory.hpp"
+
+using namespace vpsim;
+
+namespace
+{
+
+TEST(Memory, LittleEndianRoundTrip)
+{
+    Memory mem(64);
+    mem.store(0, 8, 0x0102030405060708ull);
+    EXPECT_EQ(mem.load(0, 8), 0x0102030405060708ull);
+    EXPECT_EQ(mem.load(0, 1), 0x08u); // low byte first
+    EXPECT_EQ(mem.load(7, 1), 0x01u);
+    EXPECT_EQ(mem.load(0, 4), 0x05060708u);
+}
+
+TEST(Memory, NarrowStoreLeavesNeighbors)
+{
+    Memory mem(16);
+    mem.store(0, 8, ~0ull);
+    mem.store(2, 2, 0);
+    EXPECT_EQ(mem.load(0, 2), 0xFFFFu);
+    EXPECT_EQ(mem.load(2, 2), 0u);
+    EXPECT_EQ(mem.load(4, 4), 0xFFFFFFFFu);
+}
+
+TEST(Memory, OutOfBoundsSetsFault)
+{
+    Memory mem(16);
+    EXPECT_FALSE(mem.hasFault());
+    EXPECT_EQ(mem.load(12, 8), 0u);
+    EXPECT_TRUE(mem.hasFault());
+    EXPECT_EQ(mem.faultAddress(), 12u);
+}
+
+TEST(Memory, StoreOutOfBoundsFaultsWithoutWriting)
+{
+    Memory mem(16);
+    mem.store(15, 8, 0xDEAD);
+    EXPECT_TRUE(mem.hasFault());
+}
+
+TEST(Memory, AddressOverflowFaults)
+{
+    Memory mem(16);
+    mem.load(~0ull - 2, 8);
+    EXPECT_TRUE(mem.hasFault());
+}
+
+TEST(Memory, ClearZeroesAndResetsFault)
+{
+    Memory mem(16);
+    mem.store(0, 8, 42);
+    mem.load(100, 1);
+    EXPECT_TRUE(mem.hasFault());
+    mem.clear();
+    EXPECT_FALSE(mem.hasFault());
+    EXPECT_EQ(mem.load(0, 8), 0u);
+}
+
+TEST(Memory, BlockTransfer)
+{
+    Memory mem(64);
+    const std::uint8_t src[4] = {1, 2, 3, 4};
+    mem.writeBlock(8, src, 4);
+    std::uint8_t dst[4] = {};
+    mem.readBlock(8, dst, 4);
+    EXPECT_EQ(dst[0], 1);
+    EXPECT_EQ(dst[3], 4);
+    EXPECT_EQ(mem.load(8, 1), 1u);
+}
+
+TEST(MemoryDeath, HostBlockOverflowIsFatal)
+{
+    Memory mem(16);
+    std::uint8_t buf[8] = {};
+    EXPECT_EXIT(mem.writeBlock(12, buf, 8),
+                ::testing::ExitedWithCode(1), "out of bounds");
+    EXPECT_EXIT(mem.readBlock(12, buf, 8),
+                ::testing::ExitedWithCode(1), "out of bounds");
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Qualitative value-behaviour properties of each benchmark — the
+ * characteristics each workload was designed to contribute to the
+ * suite (DESIGN.md substitution table). If a future edit to a
+ * workload erases its role (e.g. the interpreter loses its
+ * semi-invariant dispatch), these tests catch it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instruction_profiler.hpp"
+#include "core/memory_profiler.hpp"
+#include "core/parameter_profiler.hpp"
+#include "workloads/workload.hpp"
+
+using namespace core;
+using namespace vpsim;
+using workloads::findWorkload;
+using workloads::runToCompletion;
+
+namespace
+{
+
+CpuConfig
+cfg()
+{
+    return CpuConfig{16u << 20, 100'000'000};
+}
+
+struct Profiles
+{
+    explicit Profiles(const std::string &name)
+        : workload(findWorkload(name)), img(workload.program()),
+          mgr(img), cpu(workload.program(), cfg()), iprof(img)
+    {
+        iprof.profileAllWrites(mgr);
+        mprof.instrument(mgr);
+        pprof.instrument(mgr);
+        mgr.attach(cpu);
+        runToCompletion(cpu, workload, "train");
+    }
+
+    /** Highest-executed record satisfying a predicate, or nullptr. */
+    template <typename Pred>
+    const InstructionProfiler::Record *
+    findRecord(Pred pred) const
+    {
+        const InstructionProfiler::Record *best = nullptr;
+        for (const auto &rec : iprof.records()) {
+            if (!pred(rec))
+                continue;
+            if (!best || rec.totalExecutions > best->totalExecutions)
+                best = &rec;
+        }
+        return best;
+    }
+
+    const workloads::Workload &workload;
+    instr::Image img;
+    instr::InstrumentManager mgr;
+    Cpu cpu;
+    InstructionProfiler iprof;
+    MemoryProfiler mprof;
+    ParameterProfiler pprof;
+};
+
+TEST(WorkloadProperties, LispDispatchTableLoadIsSemiInvariant)
+{
+    Profiles p("lisp");
+    // Some hot load (the opcode fetch / dispatch-table fetch) must
+    // concentrate on a handful of values with near-total coverage.
+    const auto *rec = p.findRecord([&](const auto &r) {
+        return isLoad(p.workload.program().code[r.pc].op) &&
+               r.totalExecutions > 10000 &&
+               r.profile.distinct() <= 16 && r.profile.invAll() > 0.95;
+    });
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GE(rec->totalExecutions, 18000u);
+}
+
+TEST(WorkloadProperties, CrcTableIsWriteOnceMemory)
+{
+    Profiles p("crc");
+    // All 256 CRC table entries are written exactly once.
+    std::size_t write_once = 0;
+    for (const auto *loc :
+         p.mprof.topLocationsByWrites(p.mprof.numLocations())) {
+        write_once += loc->totalWrites == 1;
+    }
+    EXPECT_GE(write_once, 256u);
+}
+
+TEST(WorkloadProperties, CompressEmitRunLengthIsSemiInvariant)
+{
+    Profiles p("compress");
+    const auto *emit = p.pprof.recordFor("emit");
+    ASSERT_NE(emit, nullptr);
+    ASSERT_GE(emit->args.size(), 1u);
+    // Most runs have length 1.
+    EXPECT_GT(emit->args[0].invTop(), 0.6);
+    EXPECT_EQ(emit->args[0].tnv().top()->value, 1u);
+}
+
+TEST(WorkloadProperties, LifeNeighborLoadsAreMostlyZero)
+{
+    Profiles p("life");
+    const auto *rec = p.findRecord([&](const auto &r) {
+        return p.workload.program().code[r.pc].op == Opcode::LBU &&
+               r.totalExecutions > 50000;
+    });
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->profile.zeroFraction(), 0.5);
+}
+
+TEST(WorkloadProperties, NqueensConflictFlagsAreOftenZero)
+{
+    // During deep search much of the board is occupied, but the
+    // conflict-flag loads still see zero a substantial fraction of
+    // the time (that's what lets the search descend at all).
+    Profiles p("nqueens");
+    const auto *rec = p.findRecord([&](const auto &r) {
+        return p.workload.program().code[r.pc].op == Opcode::LBU;
+    });
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->profile.zeroFraction(), 0.25);
+    // Flags are two-valued: the table covers everything.
+    EXPECT_DOUBLE_EQ(rec->profile.invAll(), 1.0);
+}
+
+TEST(WorkloadProperties, MatmulScaleFactorIsPerfectlyInvariant)
+{
+    Profiles p("matmul");
+    const auto *scale = p.pprof.recordFor("scale");
+    ASSERT_NE(scale, nullptr);
+    ASSERT_EQ(scale->args.size(), 2u);
+    EXPECT_DOUBLE_EQ(scale->args[1].invTop(), 1.0);
+    EXPECT_LT(scale->args[0].invTop(), 0.5);
+}
+
+TEST(WorkloadProperties, HuffmanParentWalkIsInvariantOnceBuilt)
+{
+    Profiles p("huffman");
+    // depth()'s parent-link load: the tree never changes after build,
+    // and a skewed input concentrates the walks on few nodes.
+    const auto *depth = p.pprof.recordFor("depth");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_GT(depth->calls, 5000u);
+    // The symbol argument is skewed: the TNV's eight entries cover
+    // far more mass than 8 of ~96 symbols would under uniformity.
+    EXPECT_GT(depth->args[0].invAll(), 0.3);
+}
+
+TEST(WorkloadProperties, QsortBinarySearchFirstProbeIsInvariant)
+{
+    Profiles p("qsort");
+    // bsearch's first mid-probe always reads the same element; among
+    // the 8-byte loads there must be one fully-invariant hot load.
+    const auto *rec = p.findRecord([&](const auto &r) {
+        return p.workload.program().code[r.pc].op == Opcode::LD &&
+               r.totalExecutions >= 1000 && r.profile.invTop() > 0.9;
+    });
+    EXPECT_NE(rec, nullptr);
+}
+
+TEST(WorkloadProperties, DijkstraRelaxWeightIsSkewed)
+{
+    Profiles p("dijkstra");
+    const auto *relax = p.pprof.recordFor("relax");
+    ASSERT_NE(relax, nullptr);
+    ASSERT_EQ(relax->args.size(), 3u);
+    // Edge weights concentrate on 1 and 2 by construction.
+    EXPECT_GT(relax->args[2].invAll(), 0.6);
+}
+
+TEST(WorkloadProperties, AnagramQuerySitesPassConstantPointers)
+{
+    // Context-sensitive view: the two query call sites of hash_word
+    // pass fixed probe pointers.
+    const auto &w = findWorkload("anagram");
+    instr::Image img(w.program());
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(w.program(), cfg());
+    ParamProfilerConfig pcfg;
+    pcfg.contextSensitive = true;
+    ParameterProfiler pprof(pcfg);
+    pprof.instrument(mgr);
+    mgr.attach(cpu);
+    runToCompletion(cpu, w, "train");
+
+    std::size_t invariant_sites = 0;
+    for (const auto *site : pprof.sitesFor("hash_word")) {
+        if (!site->args.empty() && site->args[0].invTop() == 1.0)
+            ++invariant_sites;
+    }
+    EXPECT_GE(invariant_sites, 2u);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the benchmark workload suite: every workload must
+ * assemble, run to a clean exit on both data sets, behave
+ * deterministically, and exercise real program structure (procedures,
+ * loads, stores, calls).
+ */
+
+#include <gtest/gtest.h>
+
+#include "instrument/manager.hpp"
+#include "workloads/inject.hpp"
+#include "workloads/workload.hpp"
+
+using namespace workloads;
+using namespace vpsim;
+
+namespace
+{
+
+CpuConfig
+testConfig()
+{
+    return CpuConfig{16u << 20, 100'000'000};
+}
+
+TEST(Workloads, RegistryHasTenEntries)
+{
+    EXPECT_EQ(allWorkloads().size(), 10u);
+}
+
+TEST(Workloads, FindByName)
+{
+    EXPECT_EQ(findWorkload("compress").name(), "compress");
+    EXPECT_EQ(findWorkload("matmul").name(), "matmul");
+}
+
+TEST(WorkloadsDeath, FindUnknownIsFatal)
+{
+    EXPECT_EXIT(findWorkload("nonesuch"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+struct RunCase
+{
+    std::string workload;
+    std::string dataset;
+};
+
+void
+PrintTo(const RunCase &c, std::ostream *os)
+{
+    *os << c.workload << "/" << c.dataset;
+}
+
+class WorkloadRuns : public ::testing::TestWithParam<RunCase>
+{
+};
+
+TEST_P(WorkloadRuns, RunsToCleanExit)
+{
+    const Workload &w = findWorkload(GetParam().workload);
+    Cpu cpu(w.program(), testConfig());
+    const RunResult res = runToCompletion(cpu, w, GetParam().dataset);
+    EXPECT_TRUE(res.exited());
+    EXPECT_EQ(res.exitCode, 0);
+    // Real programs: substantial dynamic footprint and memory traffic.
+    EXPECT_GT(res.dynamicInsts, 100'000u);
+    EXPECT_LT(res.dynamicInsts, 50'000'000u);
+    EXPECT_GT(res.dynamicLoads, 1'000u);
+    EXPECT_GT(res.dynamicStores, 10u);
+    // Every workload reports a checksum through puti.
+    EXPECT_FALSE(cpu.outputValues().empty());
+}
+
+TEST_P(WorkloadRuns, DeterministicAcrossRuns)
+{
+    const Workload &w = findWorkload(GetParam().workload);
+    Cpu cpu(w.program(), testConfig());
+    runToCompletion(cpu, w, GetParam().dataset);
+    const std::string first = cpu.output();
+    runToCompletion(cpu, w, GetParam().dataset);
+    EXPECT_EQ(cpu.output(), first);
+}
+
+std::vector<RunCase>
+allRunCases()
+{
+    std::vector<RunCase> cases;
+    for (const auto *w : allWorkloads())
+        for (const auto &ds : w->datasets())
+            cases.push_back({w->name(), ds});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadRuns, ::testing::ValuesIn(allRunCases()),
+    [](const ::testing::TestParamInfo<RunCase> &info) {
+        return info.param.workload + "_" + info.param.dataset;
+    });
+
+class WorkloadStructure
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadStructure, HasProceduresWithMain)
+{
+    const Workload &w = findWorkload(GetParam());
+    const Program &prog = w.program();
+    EXPECT_GE(prog.procs.size(), 2u) << "need main + helpers";
+    EXPECT_NE(prog.findProc("main"), nullptr);
+    EXPECT_EQ(prog.validate(), "");
+    EXPECT_GT(prog.numInsts(), 20u);
+}
+
+TEST_P(WorkloadStructure, TrainAndTestDiffer)
+{
+    const Workload &w = findWorkload(GetParam());
+    Cpu cpu(w.program(), testConfig());
+    runToCompletion(cpu, w, "train");
+    const std::string train_out = cpu.output();
+    const auto train_insts = cpu.dynamicInsts();
+    runToCompletion(cpu, w, "test");
+    // Different inputs: different checksums and different lengths.
+    EXPECT_NE(cpu.output(), train_out);
+    EXPECT_NE(cpu.dynamicInsts(), train_insts);
+}
+
+TEST_P(WorkloadStructure, MakesProcedureCalls)
+{
+    struct CallCounter : ExecListener
+    {
+        std::uint64_t calls = 0;
+        void
+        onCall(std::uint32_t, std::uint32_t,
+               const std::uint64_t *) override
+        {
+            ++calls;
+        }
+    };
+    const Workload &w = findWorkload(GetParam());
+    Cpu cpu(w.program(), testConfig());
+    CallCounter counter;
+    cpu.addListener(&counter);
+    runToCompletion(cpu, w, "test");
+    EXPECT_GT(counter.calls, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadStructure,
+    ::testing::Values("compress", "crc", "lisp", "anagram", "life",
+                      "dijkstra", "qsort", "matmul", "huffman",
+                      "nqueens"));
+
+TEST(Workloads, DatasetSeedsAreDistinct)
+{
+    EXPECT_NE(datasetSeed("compress", "train"),
+              datasetSeed("compress", "test"));
+    EXPECT_NE(datasetSeed("compress", "train"),
+              datasetSeed("crc", "train"));
+}
+
+} // namespace

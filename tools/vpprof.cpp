@@ -1,0 +1,326 @@
+/**
+ * @file
+ * vpprof — the command-line face of the library, in the spirit of an
+ * ATOM tool driver: profile a bundled workload or a user-supplied
+ * VPSim assembly file, print reports, save/compare snapshots.
+ *
+ * Usage:
+ *   vpprof --workload lisp [--dataset train] [options]
+ *   vpprof --asm prog.vasm [options]
+ *   vpprof --compare a.vprof b.vprof
+ *   vpprof --list
+ *
+ * Options:
+ *   --mode full|sampled|random   profiling mode (default full)
+ *   --rate P                     random-mode sampling rate (default 1/64)
+ *   --target writes|loads        instructions to profile (default writes)
+ *   --mem                        also profile memory locations
+ *   --params                     also profile procedure parameters
+ *   --strides                    track successive-value deltas
+ *   --regs                       also profile architectural registers
+ *   --top N                      rows per report (default 15)
+ *   --min-inv F                  semi-invariant threshold (default 0.8)
+ *   --save FILE                  write the profile snapshot
+ *   --disasm                     dump the program before running
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/instruction_profiler.hpp"
+#include "core/memory_profiler.hpp"
+#include "core/parameter_profiler.hpp"
+#include "core/register_profiler.hpp"
+#include "core/report.hpp"
+#include "core/snapshot.hpp"
+#include "support/logging.hpp"
+#include "vpsim/assembler.hpp"
+#include "vpsim/disasm.hpp"
+#include "workloads/workload.hpp"
+
+namespace
+{
+
+struct Options
+{
+    std::string workload;
+    std::string dataset = "train";
+    std::string asmFile;
+    std::string mode = "full";
+    double rate = 1.0 / 64.0;
+    std::string target = "writes";
+    bool mem = false;
+    bool params = false;
+    bool strides = false;
+    bool regs = false;
+    std::size_t top = 15;
+    double minInv = 0.8;
+    std::string saveFile;
+    bool disasm = false;
+    std::string compareA, compareB;
+    bool list = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: vpprof --workload NAME [--dataset D] [options]\n"
+        "       vpprof --asm FILE.vasm [options]\n"
+        "       vpprof --compare A.vprof B.vprof\n"
+        "       vpprof --list\n"
+        "options: --mode full|sampled|random, --rate P,\n"
+        "         --target writes|loads, --mem, --params, --strides,\n"
+        "         --regs, --top N, --min-inv F, --save FILE,\n"
+        "         --disasm\n";
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload")
+            opt.workload = need(i);
+        else if (arg == "--dataset")
+            opt.dataset = need(i);
+        else if (arg == "--asm")
+            opt.asmFile = need(i);
+        else if (arg == "--mode")
+            opt.mode = need(i);
+        else if (arg == "--rate")
+            opt.rate = std::atof(need(i));
+        else if (arg == "--target")
+            opt.target = need(i);
+        else if (arg == "--mem")
+            opt.mem = true;
+        else if (arg == "--params")
+            opt.params = true;
+        else if (arg == "--strides")
+            opt.strides = true;
+        else if (arg == "--regs")
+            opt.regs = true;
+        else if (arg == "--top")
+            opt.top = static_cast<std::size_t>(std::atoi(need(i)));
+        else if (arg == "--min-inv")
+            opt.minInv = std::atof(need(i));
+        else if (arg == "--save")
+            opt.saveFile = need(i);
+        else if (arg == "--disasm")
+            opt.disasm = true;
+        else if (arg == "--compare") {
+            opt.compareA = need(i);
+            opt.compareB = need(i);
+        } else if (arg == "--list")
+            opt.list = true;
+        else
+            usage();
+    }
+    return opt;
+}
+
+int
+runCompare(const Options &opt)
+{
+    std::ifstream fa(opt.compareA), fb(opt.compareB);
+    if (!fa || !fb)
+        vp_fatal("cannot open snapshot files");
+    const auto a = core::ProfileSnapshot::load(fa);
+    const auto b = core::ProfileSnapshot::load(fb);
+    const auto cmp = core::compareSnapshots(a, b);
+    std::cout << "entities: " << a.size() << " vs " << b.size()
+              << ", common " << cmp.commonEntities << "\n";
+    std::cout << "InvTop correlation:        " << cmp.invTopCorrelation
+              << "\n";
+    std::cout << "mean |dInvTop|:            "
+              << cmp.meanAbsInvTopDelta * 100 << "%\n";
+    std::cout << "top-value transfer:        "
+              << cmp.topValueTransfer * 100 << "%\n";
+    std::cout << "  (semi-invariant only):   "
+              << cmp.topValueTransferInvariant * 100 << "% over "
+              << cmp.invariantEntities << " entities\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    if (opt.list) {
+        for (const auto *w : workloads::allWorkloads())
+            std::cout << w->name() << " - " << w->description()
+                      << "\n";
+        return 0;
+    }
+    if (!opt.compareA.empty())
+        return runCompare(opt);
+    if (opt.workload.empty() == opt.asmFile.empty())
+        usage(); // exactly one source required
+
+    // --- obtain the program -------------------------------------------
+    const workloads::Workload *workload = nullptr;
+    vpsim::Program own_program;
+    const vpsim::Program *prog = nullptr;
+    if (!opt.workload.empty()) {
+        workload = &workloads::findWorkload(opt.workload);
+        prog = &workload->program();
+    } else {
+        std::ifstream in(opt.asmFile);
+        if (!in)
+            vp_fatal("cannot open '%s'", opt.asmFile.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        own_program = vpsim::assemble(ss.str());
+        prog = &own_program;
+    }
+
+    if (opt.disasm) {
+        std::cout << vpsim::disassembleRange(
+                         *prog, 0,
+                         static_cast<std::uint32_t>(prog->numInsts()))
+                  << "\n";
+    }
+
+    // --- set up profilers ----------------------------------------------
+    instr::Image image(*prog);
+    instr::InstrumentManager manager(image);
+
+    core::InstProfilerConfig icfg;
+    if (opt.mode == "full")
+        icfg.mode = core::ProfileMode::Full;
+    else if (opt.mode == "sampled")
+        icfg.mode = core::ProfileMode::Sampled;
+    else if (opt.mode == "random")
+        icfg.mode = core::ProfileMode::Random;
+    else
+        usage();
+    icfg.randomRate = opt.rate;
+    icfg.profile.trackStrides = opt.strides;
+
+    core::InstructionProfiler iprof(image, icfg);
+    if (opt.target == "writes")
+        iprof.profileAllWrites(manager);
+    else if (opt.target == "loads")
+        iprof.profileLoads(manager);
+    else
+        usage();
+
+    core::MemProfilerConfig mcfg;
+    core::MemoryProfiler mprof(mcfg);
+    if (opt.mem)
+        mprof.instrument(manager);
+    core::ParameterProfiler pprof;
+    if (opt.params)
+        pprof.instrument(manager);
+    core::RegisterProfiler rprof;
+    if (opt.regs)
+        rprof.instrument(manager);
+
+    // --- run -------------------------------------------------------------
+    vpsim::Cpu cpu(*prog,
+                   {.memBytes = 16u << 20, .maxInsts = 500'000'000});
+    manager.attach(cpu);
+    vpsim::RunResult result;
+    if (workload) {
+        result = workloads::runToCompletion(cpu, *workload,
+                                            opt.dataset);
+    } else {
+        result = cpu.run();
+        if (!result.exited())
+            vp_fatal("program did not exit cleanly (reason %d)",
+                     static_cast<int>(result.reason));
+    }
+
+    std::cout << "executed " << result.dynamicInsts
+              << " instructions (" << result.dynamicLoads << " loads, "
+              << result.dynamicStores << " stores); profiled "
+              << iprof.profiledExecutions() << " of "
+              << iprof.totalExecutions() << " values ("
+              << iprof.fractionProfiled() * 100 << "%)\n";
+    if (!cpu.output().empty())
+        std::cout << "program output: " << cpu.output() << "\n";
+    std::cout << "\n";
+
+    core::instructionReport(iprof, opt.top)
+        .print(std::cout, "value profile (most-executed first)");
+    std::cout << "\n";
+    core::semiInvariantReport(iprof, opt.minInv, 100, opt.top)
+        .print(std::cout, "semi-invariant instructions");
+
+    if (opt.strides) {
+        vp::TextTable stride_table({"pc", "instruction", "execs",
+                                    "strideInv%", "top stride"});
+        std::size_t rows = 0;
+        for (const auto &rec : iprof.records()) {
+            if (rows >= opt.top)
+                break;
+            if (rec.profile.strideInvTop() < opt.minInv ||
+                rec.profile.topStride() == 0 ||
+                rec.profile.invTop() >= opt.minInv ||
+                rec.totalExecutions < 100)
+                continue;
+            stride_table.row()
+                .cell(static_cast<std::uint64_t>(rec.pc))
+                .cell(vpsim::disassemble(*prog, rec.pc))
+                .cell(rec.totalExecutions)
+                .percent(rec.profile.strideInvTop())
+                .cell(static_cast<std::int64_t>(
+                    rec.profile.topStride()));
+            ++rows;
+        }
+        std::cout << "\n";
+        stride_table.print(std::cout,
+                           "stride-predictable (not value-invariant)");
+    }
+
+    if (opt.mem) {
+        std::cout << "\n";
+        core::memoryReport(mprof, opt.top)
+            .print(std::cout, "top written memory locations");
+    }
+    if (opt.params) {
+        std::cout << "\n";
+        core::parameterReport(pprof, opt.top)
+            .print(std::cout, "procedures and parameters");
+    }
+    if (opt.regs) {
+        vp::TextTable reg_table({"register", "writes", "LVP%",
+                                 "InvTop%", "InvAll%", "Diff"});
+        for (unsigned r = 0; r < vpsim::numRegs; ++r) {
+            const auto &p = rprof.profileFor(r);
+            if (p.executions() == 0)
+                continue;
+            reg_table.row()
+                .cell(vpsim::regName(r))
+                .cell(p.executions())
+                .percent(p.lvp())
+                .percent(p.invTop())
+                .percent(p.invAll())
+                .cell(p.distinct());
+        }
+        std::cout << "\n";
+        reg_table.print(std::cout, "architectural registers");
+    }
+
+    if (!opt.saveFile.empty()) {
+        std::ofstream out(opt.saveFile);
+        if (!out)
+            vp_fatal("cannot write '%s'", opt.saveFile.c_str());
+        core::ProfileSnapshot::fromInstructionProfiler(iprof).save(out);
+        std::cout << "\nsnapshot written to " << opt.saveFile << "\n";
+    }
+    return 0;
+}
