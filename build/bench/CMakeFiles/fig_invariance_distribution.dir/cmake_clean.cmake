@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_invariance_distribution.dir/fig_invariance_distribution.cpp.o"
+  "CMakeFiles/fig_invariance_distribution.dir/fig_invariance_distribution.cpp.o.d"
+  "fig_invariance_distribution"
+  "fig_invariance_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_invariance_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_all_instructions.dir/table_all_instructions.cpp.o"
+  "CMakeFiles/table_all_instructions.dir/table_all_instructions.cpp.o.d"
+  "table_all_instructions"
+  "table_all_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_all_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

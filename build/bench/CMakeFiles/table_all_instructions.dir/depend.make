@@ -1,0 +1,2 @@
+# Empty dependencies file for table_all_instructions.
+# This may be replaced when dependencies are built.

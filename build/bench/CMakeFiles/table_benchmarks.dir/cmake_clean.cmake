@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_benchmarks.dir/table_benchmarks.cpp.o"
+  "CMakeFiles/table_benchmarks.dir/table_benchmarks.cpp.o.d"
+  "table_benchmarks"
+  "table_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_by_class.dir/table_by_class.cpp.o"
+  "CMakeFiles/table_by_class.dir/table_by_class.cpp.o.d"
+  "table_by_class"
+  "table_by_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_by_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_by_class.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_context_params.dir/table_context_params.cpp.o"
+  "CMakeFiles/table_context_params.dir/table_context_params.cpp.o.d"
+  "table_context_params"
+  "table_context_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_context_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_context_params.
+# This may be replaced when dependencies are built.

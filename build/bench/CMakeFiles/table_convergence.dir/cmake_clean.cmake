@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_convergence.dir/table_convergence.cpp.o"
+  "CMakeFiles/table_convergence.dir/table_convergence.cpp.o.d"
+  "table_convergence"
+  "table_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

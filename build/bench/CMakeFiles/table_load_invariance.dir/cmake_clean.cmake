@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_load_invariance.dir/table_load_invariance.cpp.o"
+  "CMakeFiles/table_load_invariance.dir/table_load_invariance.cpp.o.d"
+  "table_load_invariance"
+  "table_load_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_load_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

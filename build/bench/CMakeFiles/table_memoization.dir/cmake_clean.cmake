@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_memoization.dir/table_memoization.cpp.o"
+  "CMakeFiles/table_memoization.dir/table_memoization.cpp.o.d"
+  "table_memoization"
+  "table_memoization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

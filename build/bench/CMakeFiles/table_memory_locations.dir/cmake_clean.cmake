@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_memory_locations.dir/table_memory_locations.cpp.o"
+  "CMakeFiles/table_memory_locations.dir/table_memory_locations.cpp.o.d"
+  "table_memory_locations"
+  "table_memory_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_memory_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_memory_locations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_parameters.dir/table_parameters.cpp.o"
+  "CMakeFiles/table_parameters.dir/table_parameters.cpp.o.d"
+  "table_parameters"
+  "table_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_predictors.dir/table_predictors.cpp.o"
+  "CMakeFiles/table_predictors.dir/table_predictors.cpp.o.d"
+  "table_predictors"
+  "table_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

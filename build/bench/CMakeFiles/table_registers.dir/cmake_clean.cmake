@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_registers.dir/table_registers.cpp.o"
+  "CMakeFiles/table_registers.dir/table_registers.cpp.o.d"
+  "table_registers"
+  "table_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_specialization.dir/table_specialization.cpp.o"
+  "CMakeFiles/table_specialization.dir/table_specialization.cpp.o.d"
+  "table_specialization"
+  "table_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

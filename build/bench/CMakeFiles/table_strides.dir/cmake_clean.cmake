@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_strides.dir/table_strides.cpp.o"
+  "CMakeFiles/table_strides.dir/table_strides.cpp.o.d"
+  "table_strides"
+  "table_strides.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_strides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_tnv_ablation.dir/table_tnv_ablation.cpp.o"
+  "CMakeFiles/table_tnv_ablation.dir/table_tnv_ablation.cpp.o.d"
+  "table_tnv_ablation"
+  "table_tnv_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_tnv_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_train_test.dir/table_train_test.cpp.o"
+  "CMakeFiles/table_train_test.dir/table_train_test.cpp.o.d"
+  "table_train_test"
+  "table_train_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_bench_common.dir/common.cpp.o"
+  "CMakeFiles/vp_bench_common.dir/common.cpp.o.d"
+  "libvp_bench_common.a"
+  "libvp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

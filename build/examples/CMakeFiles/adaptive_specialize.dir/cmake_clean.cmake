@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_specialize.dir/adaptive_specialize.cpp.o"
+  "CMakeFiles/adaptive_specialize.dir/adaptive_specialize.cpp.o.d"
+  "adaptive_specialize"
+  "adaptive_specialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_invariants.dir/find_invariants.cpp.o"
+  "CMakeFiles/find_invariants.dir/find_invariants.cpp.o.d"
+  "find_invariants"
+  "find_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

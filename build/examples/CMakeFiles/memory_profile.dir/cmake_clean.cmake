@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_profile.dir/memory_profile.cpp.o"
+  "CMakeFiles/memory_profile.dir/memory_profile.cpp.o.d"
+  "memory_profile"
+  "memory_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

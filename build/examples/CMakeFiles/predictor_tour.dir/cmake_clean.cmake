@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_tour.dir/predictor_tour.cpp.o"
+  "CMakeFiles/predictor_tour.dir/predictor_tour.cpp.o.d"
+  "predictor_tour"
+  "predictor_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

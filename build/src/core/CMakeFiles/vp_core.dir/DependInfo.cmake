@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/instruction_profiler.cpp" "src/core/CMakeFiles/vp_core.dir/instruction_profiler.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/instruction_profiler.cpp.o.d"
+  "/root/repo/src/core/memo_profiler.cpp" "src/core/CMakeFiles/vp_core.dir/memo_profiler.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/memo_profiler.cpp.o.d"
+  "/root/repo/src/core/memory_profiler.cpp" "src/core/CMakeFiles/vp_core.dir/memory_profiler.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/memory_profiler.cpp.o.d"
+  "/root/repo/src/core/parameter_profiler.cpp" "src/core/CMakeFiles/vp_core.dir/parameter_profiler.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/parameter_profiler.cpp.o.d"
+  "/root/repo/src/core/register_profiler.cpp" "src/core/CMakeFiles/vp_core.dir/register_profiler.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/register_profiler.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/vp_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/vp_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/vp_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/snapshot.cpp.o.d"
+  "/root/repo/src/core/tnv_table.cpp" "src/core/CMakeFiles/vp_core.dir/tnv_table.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/tnv_table.cpp.o.d"
+  "/root/repo/src/core/value_profile.cpp" "src/core/CMakeFiles/vp_core.dir/value_profile.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/value_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/vp_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpsim/CMakeFiles/vp_vpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

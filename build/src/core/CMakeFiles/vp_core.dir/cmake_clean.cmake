@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_core.dir/instruction_profiler.cpp.o"
+  "CMakeFiles/vp_core.dir/instruction_profiler.cpp.o.d"
+  "CMakeFiles/vp_core.dir/memo_profiler.cpp.o"
+  "CMakeFiles/vp_core.dir/memo_profiler.cpp.o.d"
+  "CMakeFiles/vp_core.dir/memory_profiler.cpp.o"
+  "CMakeFiles/vp_core.dir/memory_profiler.cpp.o.d"
+  "CMakeFiles/vp_core.dir/parameter_profiler.cpp.o"
+  "CMakeFiles/vp_core.dir/parameter_profiler.cpp.o.d"
+  "CMakeFiles/vp_core.dir/register_profiler.cpp.o"
+  "CMakeFiles/vp_core.dir/register_profiler.cpp.o.d"
+  "CMakeFiles/vp_core.dir/report.cpp.o"
+  "CMakeFiles/vp_core.dir/report.cpp.o.d"
+  "CMakeFiles/vp_core.dir/sampler.cpp.o"
+  "CMakeFiles/vp_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/vp_core.dir/snapshot.cpp.o"
+  "CMakeFiles/vp_core.dir/snapshot.cpp.o.d"
+  "CMakeFiles/vp_core.dir/tnv_table.cpp.o"
+  "CMakeFiles/vp_core.dir/tnv_table.cpp.o.d"
+  "CMakeFiles/vp_core.dir/value_profile.cpp.o"
+  "CMakeFiles/vp_core.dir/value_profile.cpp.o.d"
+  "libvp_core.a"
+  "libvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

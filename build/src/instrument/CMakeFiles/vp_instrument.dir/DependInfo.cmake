@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/image.cpp" "src/instrument/CMakeFiles/vp_instrument.dir/image.cpp.o" "gcc" "src/instrument/CMakeFiles/vp_instrument.dir/image.cpp.o.d"
+  "/root/repo/src/instrument/manager.cpp" "src/instrument/CMakeFiles/vp_instrument.dir/manager.cpp.o" "gcc" "src/instrument/CMakeFiles/vp_instrument.dir/manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vpsim/CMakeFiles/vp_vpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

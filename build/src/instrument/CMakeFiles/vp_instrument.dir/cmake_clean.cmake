@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_instrument.dir/image.cpp.o"
+  "CMakeFiles/vp_instrument.dir/image.cpp.o.d"
+  "CMakeFiles/vp_instrument.dir/manager.cpp.o"
+  "CMakeFiles/vp_instrument.dir/manager.cpp.o.d"
+  "libvp_instrument.a"
+  "libvp_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

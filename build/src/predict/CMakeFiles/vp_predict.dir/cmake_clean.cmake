@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_predict.dir/harness.cpp.o"
+  "CMakeFiles/vp_predict.dir/harness.cpp.o.d"
+  "CMakeFiles/vp_predict.dir/predictor.cpp.o"
+  "CMakeFiles/vp_predict.dir/predictor.cpp.o.d"
+  "libvp_predict.a"
+  "libvp_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

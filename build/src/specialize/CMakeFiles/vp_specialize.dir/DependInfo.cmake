@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specialize/passes.cpp" "src/specialize/CMakeFiles/vp_specialize.dir/passes.cpp.o" "gcc" "src/specialize/CMakeFiles/vp_specialize.dir/passes.cpp.o.d"
+  "/root/repo/src/specialize/purity.cpp" "src/specialize/CMakeFiles/vp_specialize.dir/purity.cpp.o" "gcc" "src/specialize/CMakeFiles/vp_specialize.dir/purity.cpp.o.d"
+  "/root/repo/src/specialize/specializer.cpp" "src/specialize/CMakeFiles/vp_specialize.dir/specializer.cpp.o" "gcc" "src/specialize/CMakeFiles/vp_specialize.dir/specializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vpsim/CMakeFiles/vp_vpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_specialize.dir/passes.cpp.o"
+  "CMakeFiles/vp_specialize.dir/passes.cpp.o.d"
+  "CMakeFiles/vp_specialize.dir/purity.cpp.o"
+  "CMakeFiles/vp_specialize.dir/purity.cpp.o.d"
+  "CMakeFiles/vp_specialize.dir/specializer.cpp.o"
+  "CMakeFiles/vp_specialize.dir/specializer.cpp.o.d"
+  "libvp_specialize.a"
+  "libvp_specialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_support.dir/logging.cpp.o"
+  "CMakeFiles/vp_support.dir/logging.cpp.o.d"
+  "CMakeFiles/vp_support.dir/stats.cpp.o"
+  "CMakeFiles/vp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/vp_support.dir/strings.cpp.o"
+  "CMakeFiles/vp_support.dir/strings.cpp.o.d"
+  "CMakeFiles/vp_support.dir/table.cpp.o"
+  "CMakeFiles/vp_support.dir/table.cpp.o.d"
+  "libvp_support.a"
+  "libvp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

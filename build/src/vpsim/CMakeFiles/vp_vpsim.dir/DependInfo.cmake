@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpsim/assembler.cpp" "src/vpsim/CMakeFiles/vp_vpsim.dir/assembler.cpp.o" "gcc" "src/vpsim/CMakeFiles/vp_vpsim.dir/assembler.cpp.o.d"
+  "/root/repo/src/vpsim/cfg.cpp" "src/vpsim/CMakeFiles/vp_vpsim.dir/cfg.cpp.o" "gcc" "src/vpsim/CMakeFiles/vp_vpsim.dir/cfg.cpp.o.d"
+  "/root/repo/src/vpsim/cpu.cpp" "src/vpsim/CMakeFiles/vp_vpsim.dir/cpu.cpp.o" "gcc" "src/vpsim/CMakeFiles/vp_vpsim.dir/cpu.cpp.o.d"
+  "/root/repo/src/vpsim/disasm.cpp" "src/vpsim/CMakeFiles/vp_vpsim.dir/disasm.cpp.o" "gcc" "src/vpsim/CMakeFiles/vp_vpsim.dir/disasm.cpp.o.d"
+  "/root/repo/src/vpsim/eval.cpp" "src/vpsim/CMakeFiles/vp_vpsim.dir/eval.cpp.o" "gcc" "src/vpsim/CMakeFiles/vp_vpsim.dir/eval.cpp.o.d"
+  "/root/repo/src/vpsim/isa.cpp" "src/vpsim/CMakeFiles/vp_vpsim.dir/isa.cpp.o" "gcc" "src/vpsim/CMakeFiles/vp_vpsim.dir/isa.cpp.o.d"
+  "/root/repo/src/vpsim/memory.cpp" "src/vpsim/CMakeFiles/vp_vpsim.dir/memory.cpp.o" "gcc" "src/vpsim/CMakeFiles/vp_vpsim.dir/memory.cpp.o.d"
+  "/root/repo/src/vpsim/program.cpp" "src/vpsim/CMakeFiles/vp_vpsim.dir/program.cpp.o" "gcc" "src/vpsim/CMakeFiles/vp_vpsim.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

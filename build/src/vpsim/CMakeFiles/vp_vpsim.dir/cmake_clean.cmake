@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_vpsim.dir/assembler.cpp.o"
+  "CMakeFiles/vp_vpsim.dir/assembler.cpp.o.d"
+  "CMakeFiles/vp_vpsim.dir/cfg.cpp.o"
+  "CMakeFiles/vp_vpsim.dir/cfg.cpp.o.d"
+  "CMakeFiles/vp_vpsim.dir/cpu.cpp.o"
+  "CMakeFiles/vp_vpsim.dir/cpu.cpp.o.d"
+  "CMakeFiles/vp_vpsim.dir/disasm.cpp.o"
+  "CMakeFiles/vp_vpsim.dir/disasm.cpp.o.d"
+  "CMakeFiles/vp_vpsim.dir/eval.cpp.o"
+  "CMakeFiles/vp_vpsim.dir/eval.cpp.o.d"
+  "CMakeFiles/vp_vpsim.dir/isa.cpp.o"
+  "CMakeFiles/vp_vpsim.dir/isa.cpp.o.d"
+  "CMakeFiles/vp_vpsim.dir/memory.cpp.o"
+  "CMakeFiles/vp_vpsim.dir/memory.cpp.o.d"
+  "CMakeFiles/vp_vpsim.dir/program.cpp.o"
+  "CMakeFiles/vp_vpsim.dir/program.cpp.o.d"
+  "libvp_vpsim.a"
+  "libvp_vpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_vpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/anagram.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/anagram.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/anagram.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/compress.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/compress.cpp.o.d"
+  "/root/repo/src/workloads/crc.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/crc.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/crc.cpp.o.d"
+  "/root/repo/src/workloads/dijkstra.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/dijkstra.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/workloads/huffman.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/huffman.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/huffman.cpp.o.d"
+  "/root/repo/src/workloads/inject.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/inject.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/inject.cpp.o.d"
+  "/root/repo/src/workloads/life.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/life.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/life.cpp.o.d"
+  "/root/repo/src/workloads/lisp.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/lisp.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/lisp.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/matmul.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/matmul.cpp.o.d"
+  "/root/repo/src/workloads/nqueens.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/nqueens.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/nqueens.cpp.o.d"
+  "/root/repo/src/workloads/qsort.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/qsort.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/qsort.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/vp_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/vp_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vpsim/CMakeFiles/vp_vpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

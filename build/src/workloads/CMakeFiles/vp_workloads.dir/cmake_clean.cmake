@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_workloads.dir/anagram.cpp.o"
+  "CMakeFiles/vp_workloads.dir/anagram.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/compress.cpp.o"
+  "CMakeFiles/vp_workloads.dir/compress.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/crc.cpp.o"
+  "CMakeFiles/vp_workloads.dir/crc.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/dijkstra.cpp.o"
+  "CMakeFiles/vp_workloads.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/huffman.cpp.o"
+  "CMakeFiles/vp_workloads.dir/huffman.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/inject.cpp.o"
+  "CMakeFiles/vp_workloads.dir/inject.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/life.cpp.o"
+  "CMakeFiles/vp_workloads.dir/life.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/lisp.cpp.o"
+  "CMakeFiles/vp_workloads.dir/lisp.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/matmul.cpp.o"
+  "CMakeFiles/vp_workloads.dir/matmul.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/nqueens.cpp.o"
+  "CMakeFiles/vp_workloads.dir/nqueens.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/qsort.cpp.o"
+  "CMakeFiles/vp_workloads.dir/qsort.cpp.o.d"
+  "CMakeFiles/vp_workloads.dir/workload.cpp.o"
+  "CMakeFiles/vp_workloads.dir/workload.cpp.o.d"
+  "libvp_workloads.a"
+  "libvp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/instruction_profiler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/instruction_profiler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/memo_profiler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/memo_profiler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/memory_profiler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/memory_profiler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/parameter_profiler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/parameter_profiler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/register_profiler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/register_profiler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sampler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sampler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/snapshot_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/snapshot_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tnv_table_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tnv_table_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/value_profile_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/value_profile_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

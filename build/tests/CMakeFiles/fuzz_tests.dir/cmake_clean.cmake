@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_tests.dir/fuzz/fuzz_test.cpp.o"
+  "CMakeFiles/fuzz_tests.dir/fuzz/fuzz_test.cpp.o.d"
+  "fuzz_tests"
+  "fuzz_tests.pdb"
+  "fuzz_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

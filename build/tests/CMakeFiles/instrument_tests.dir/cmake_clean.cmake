@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_tests.dir/instrument/image_test.cpp.o"
+  "CMakeFiles/instrument_tests.dir/instrument/image_test.cpp.o.d"
+  "CMakeFiles/instrument_tests.dir/instrument/manager_test.cpp.o"
+  "CMakeFiles/instrument_tests.dir/instrument/manager_test.cpp.o.d"
+  "instrument_tests"
+  "instrument_tests.pdb"
+  "instrument_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_tests.dir/predict/predictor_test.cpp.o"
+  "CMakeFiles/predict_tests.dir/predict/predictor_test.cpp.o.d"
+  "predict_tests"
+  "predict_tests.pdb"
+  "predict_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

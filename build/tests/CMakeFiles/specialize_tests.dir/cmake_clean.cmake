@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specialize_tests.dir/specialize/passes_property_test.cpp.o"
+  "CMakeFiles/specialize_tests.dir/specialize/passes_property_test.cpp.o.d"
+  "CMakeFiles/specialize_tests.dir/specialize/purity_test.cpp.o"
+  "CMakeFiles/specialize_tests.dir/specialize/purity_test.cpp.o.d"
+  "CMakeFiles/specialize_tests.dir/specialize/specializer_test.cpp.o"
+  "CMakeFiles/specialize_tests.dir/specialize/specializer_test.cpp.o.d"
+  "specialize_tests"
+  "specialize_tests.pdb"
+  "specialize_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specialize_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

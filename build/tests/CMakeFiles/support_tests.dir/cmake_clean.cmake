@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/logging_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/logging_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/rng_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/stats_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/stats_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/strings_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/strings_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/table_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/table_test.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim_tests.dir/vpsim/assembler_test.cpp.o"
+  "CMakeFiles/vpsim_tests.dir/vpsim/assembler_test.cpp.o.d"
+  "CMakeFiles/vpsim_tests.dir/vpsim/cfg_test.cpp.o"
+  "CMakeFiles/vpsim_tests.dir/vpsim/cfg_test.cpp.o.d"
+  "CMakeFiles/vpsim_tests.dir/vpsim/cpu_test.cpp.o"
+  "CMakeFiles/vpsim_tests.dir/vpsim/cpu_test.cpp.o.d"
+  "CMakeFiles/vpsim_tests.dir/vpsim/disasm_test.cpp.o"
+  "CMakeFiles/vpsim_tests.dir/vpsim/disasm_test.cpp.o.d"
+  "CMakeFiles/vpsim_tests.dir/vpsim/isa_test.cpp.o"
+  "CMakeFiles/vpsim_tests.dir/vpsim/isa_test.cpp.o.d"
+  "CMakeFiles/vpsim_tests.dir/vpsim/memory_test.cpp.o"
+  "CMakeFiles/vpsim_tests.dir/vpsim/memory_test.cpp.o.d"
+  "vpsim_tests"
+  "vpsim_tests.pdb"
+  "vpsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/vpsim_tests[1]_include.cmake")
+include("/root/repo/build/tests/instrument_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/predict_tests[1]_include.cmake")
+include("/root/repo/build/tests/specialize_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_tests[1]_include.cmake")
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_find_invariants "/root/repo/build/examples/find_invariants" "lisp" "test")
+set_tests_properties(smoke_find_invariants PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_memory_profile "/root/repo/build/examples/memory_profile" "crc" "test")
+set_tests_properties(smoke_memory_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;75;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_adaptive_specialize "/root/repo/build/examples/adaptive_specialize")
+set_tests_properties(smoke_adaptive_specialize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;76;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_predictor_tour "/root/repo/build/examples/predictor_tour" "lisp")
+set_tests_properties(smoke_predictor_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;77;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_vpprof_list "/root/repo/build/tools/vpprof" "--list")
+set_tests_properties(smoke_vpprof_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;78;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_vpprof_workload "/root/repo/build/tools/vpprof" "--workload" "nqueens" "--mode" "sampled" "--params")
+set_tests_properties(smoke_vpprof_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;79;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_vpprof_random "/root/repo/build/tools/vpprof" "--workload" "huffman" "--mode" "random" "--rate" "0.05" "--mem")
+set_tests_properties(smoke_vpprof_random PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;81;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_vpprof_asm "/root/repo/build/tools/vpprof" "--asm" "/root/repo/examples/programs/polyhash.vasm" "--strides" "--disasm")
+set_tests_properties(smoke_vpprof_asm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/vpprof.cpp" "tools/CMakeFiles/vpprof.dir/vpprof.cpp.o" "gcc" "tools/CMakeFiles/vpprof.dir/vpprof.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/specialize/CMakeFiles/vp_specialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/vp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/vp_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpsim/CMakeFiles/vp_vpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpprof.dir/vpprof.cpp.o"
+  "CMakeFiles/vpprof.dir/vpprof.cpp.o.d"
+  "vpprof"
+  "vpprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
