@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 
 namespace bench
 {
@@ -14,41 +16,71 @@ cpuConfig()
     return vpsim::CpuConfig{16u << 20, 200'000'000};
 }
 
+namespace
+{
+
+workloads::ProfileJob
+makeJob(const workloads::Workload &w, const std::string &dataset,
+        Target target, const core::InstProfilerConfig &cfg)
+{
+    workloads::ProfileJob job;
+    job.workload = &w;
+    job.dataset = dataset;
+    job.loadsOnly = target == Target::Loads;
+    job.config = cfg;
+    job.cpu = cpuConfig();
+    return job;
+}
+
+ProfiledRun
+fromJobResult(workloads::ProfileJobResult &&res)
+{
+    ProfiledRun out;
+    out.snapshot = std::move(res.snapshot);
+    out.run = res.run;
+    out.fractionProfiled = res.fractionProfiled;
+    out.invTop = res.invTop;
+    out.invAll = res.invAll;
+    out.lvp = res.lvp;
+    out.zeroFraction = res.zeroFraction;
+    out.meanDistinct = res.meanDistinct;
+    out.staticInsts = res.staticInsts;
+    return out;
+}
+
+} // namespace
+
 ProfiledRun
 profileWorkload(const workloads::Workload &w, const std::string &dataset,
                 Target target, const core::InstProfilerConfig &cfg)
 {
-    const vpsim::Program &prog = w.program();
-    instr::Image img(prog);
-    instr::InstrumentManager mgr(img);
-    vpsim::Cpu cpu(prog, cpuConfig());
-    core::InstructionProfiler prof(img, cfg);
-    if (target == Target::Loads)
-        prof.profileLoads(mgr);
-    else
-        prof.profileAllWrites(mgr);
-    mgr.attach(cpu);
+    return fromJobResult(
+        workloads::ParallelRunner::runOne(makeJob(w, dataset, target,
+                                                  cfg)));
+}
 
-    ProfiledRun out;
-    out.run = workloads::runToCompletion(cpu, w, dataset);
-    out.snapshot = core::ProfileSnapshot::fromInstructionProfiler(prof);
-    out.fractionProfiled = prof.fractionProfiled();
-    out.invTop = prof.weightedMetric(&core::ValueProfile::invTop);
-    out.invAll = prof.weightedMetric(&core::ValueProfile::invAll);
-    out.lvp = prof.weightedMetric(&core::ValueProfile::lvp);
-    out.zeroFraction =
-        prof.weightedMetric(&core::ValueProfile::zeroFraction);
-    double distinct_sum = 0.0;
-    std::size_t executed = 0;
-    for (const auto &rec : prof.records()) {
-        if (rec.totalExecutions == 0)
-            continue;
-        distinct_sum += static_cast<double>(rec.profile.distinct());
-        ++executed;
-    }
-    out.meanDistinct = executed ? distinct_sum / executed : 0.0;
-    out.staticInsts = executed;
+std::vector<ProfiledRun>
+profileSuite(const std::string &dataset, Target target,
+             const core::InstProfilerConfig &cfg, unsigned jobs)
+{
+    std::vector<workloads::ProfileJob> batch;
+    for (const auto *w : workloads::allWorkloads())
+        batch.push_back(makeJob(*w, dataset, target, cfg));
+    workloads::ParallelRunner runner(jobs);
+    auto results = runner.run(batch);
+    std::vector<ProfiledRun> out;
+    out.reserve(results.size());
+    for (auto &res : results)
+        out.push_back(fromJobResult(std::move(res)));
     return out;
+}
+
+unsigned
+benchJobs()
+{
+    if (const char *env = std::getenv("VP_BENCH_JOBS"))
+        return static_cast<unsigned>(std::atoi(env));
+    return vp::ThreadPool::hardwareThreads();
 }
 
 double

@@ -19,6 +19,7 @@
 #include "core/parameter_profiler.hpp"
 #include "core/snapshot.hpp"
 #include "instrument/manager.hpp"
+#include "workloads/parallel_runner.hpp"
 #include "workloads/workload.hpp"
 
 namespace bench
@@ -54,6 +55,25 @@ struct ProfiledRun
 ProfiledRun profileWorkload(const workloads::Workload &w,
                             const std::string &dataset, Target target,
                             const core::InstProfilerConfig &cfg = {});
+
+/**
+ * Profile every registered workload — one independent shard per
+ * workload, fanned out over `jobs` worker threads (0 = one per
+ * hardware thread, 1 = sequential). Results come back in canonical
+ * workload order, so tables built from them are identical for any job
+ * count; only wall-clock changes.
+ */
+std::vector<ProfiledRun>
+profileSuite(const std::string &dataset, Target target,
+             const core::InstProfilerConfig &cfg = {},
+             unsigned jobs = 0);
+
+/**
+ * Worker count for the experiment drivers: one thread per hardware
+ * thread unless the VP_BENCH_JOBS environment variable overrides it
+ * (set VP_BENCH_JOBS=1 to reproduce the old sequential drivers).
+ */
+unsigned benchJobs();
 
 /**
  * Oracle profiler: exact per-pc value histograms (unbounded memory),

@@ -21,9 +21,15 @@ main()
 
     double sum_lvp = 0, sum_top = 0, sum_all = 0;
     int n = 0;
-    for (const auto *w : workloads::allWorkloads()) {
-        const auto run = bench::profileWorkload(
-            *w, "train", bench::Target::AllWrites);
+    // One profiling shard per workload, fanned out across cores;
+    // results come back in canonical order so the table is identical
+    // to the old sequential driver's.
+    const auto runs = bench::profileSuite(
+        "train", bench::Target::AllWrites, {}, bench::benchJobs());
+    const auto &suite = workloads::allWorkloads();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto *w = suite[i];
+        const auto &run = runs[i];
         double profiled_m = 0;
         for (const auto &[pc, s] : run.snapshot.entities)
             profiled_m += static_cast<double>(s.totalExecutions);

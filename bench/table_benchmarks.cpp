@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace
 {
@@ -58,6 +60,15 @@ struct ExecCounter : instr::Tool
     }
 };
 
+/** One (workload, dataset) measurement — an independent shard. */
+struct Job
+{
+    const workloads::Workload *workload = nullptr;
+    std::string dataset;
+    vpsim::RunResult run;
+    std::vector<std::uint64_t> counts;
+};
+
 } // namespace
 
 int
@@ -67,9 +78,20 @@ main()
                          "insts(M)", "loads(M)", "stores(M)",
                          "static", "cover90", "cover99"});
 
+    std::vector<Job> jobs;
     for (const auto *w : workloads::allWorkloads()) {
-        for (const auto &dataset : w->datasets()) {
-            const vpsim::Program &prog = w->program();
+        w->program(); // pre-assemble on the main thread
+        for (const auto &dataset : w->datasets())
+            jobs.push_back({w, dataset, {}, {}});
+    }
+
+    // Fan the measurement runs out across cores; each job owns its
+    // whole Cpu/manager/counter shard. Rows are emitted afterwards in
+    // job order, so the table matches the sequential driver's exactly.
+    vp::ThreadPool::parallelFor(
+        bench::benchJobs(), jobs.size(), [&](std::size_t i) {
+            Job &job = jobs[i];
+            const vpsim::Program &prog = job.workload->program();
             instr::Image img(prog);
             instr::InstrumentManager mgr(img);
             vpsim::Cpu cpu(prog, bench::cpuConfig());
@@ -79,23 +101,28 @@ main()
                 all_pcs.push_back(pc);
             mgr.instrumentInsts(all_pcs, &counter);
             mgr.attach(cpu);
-            const auto res =
-                workloads::runToCompletion(cpu, *w, dataset);
+            job.run = workloads::runToCompletion(cpu, *job.workload,
+                                                 job.dataset);
+            job.counts = std::move(counter.counts);
+        });
 
-            table.row()
-                .cell(dataset == "train" ? w->name() : std::string(""))
-                .cell(dataset == "train" ? w->description()
+    for (const auto &job : jobs) {
+        const auto *w = job.workload;
+        const auto &res = job.run;
+        table.row()
+            .cell(job.dataset == "train" ? w->name() : std::string(""))
+            .cell(job.dataset == "train" ? w->description()
                                          : std::string(""))
-                .cell(dataset)
-                .cell(static_cast<double>(res.dynamicInsts) / 1e6, 2)
-                .cell(static_cast<double>(res.dynamicLoads) / 1e6, 2)
-                .cell(static_cast<double>(res.dynamicStores) / 1e6, 2)
-                .cell(static_cast<std::uint64_t>(prog.numInsts()))
-                .cell(static_cast<std::uint64_t>(
-                    staticCover(counter.counts, 0.90)))
-                .cell(static_cast<std::uint64_t>(
-                    staticCover(counter.counts, 0.99)));
-        }
+            .cell(job.dataset)
+            .cell(static_cast<double>(res.dynamicInsts) / 1e6, 2)
+            .cell(static_cast<double>(res.dynamicLoads) / 1e6, 2)
+            .cell(static_cast<double>(res.dynamicStores) / 1e6, 2)
+            .cell(static_cast<std::uint64_t>(
+                w->program().numInsts()))
+            .cell(static_cast<std::uint64_t>(
+                staticCover(job.counts, 0.90)))
+            .cell(static_cast<std::uint64_t>(
+                staticCover(job.counts, 0.99)));
     }
 
     table.print(std::cout,

@@ -11,11 +11,14 @@
  */
 
 #include <iostream>
+#include <iterator>
 #include <memory>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "predict/harness.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace
 {
@@ -76,9 +79,20 @@ main()
     vp::TextTable table({"predictor", "accuracy%", "coverage%",
                          "precision%", "mispred(K)"});
 
-    for (const auto &maker : makers) {
-        predict::PredictorStats total;
-        for (const auto *w : workloads::allWorkloads()) {
+    const auto &suite = workloads::allWorkloads();
+    for (const auto *w : suite)
+        w->program(); // pre-assemble on the main thread
+
+    // Fan the (maker x workload) runs out across cores; each run owns
+    // its whole predictor/Cpu/manager shard. Stats are summed per
+    // maker afterwards, so totals match the sequential driver's.
+    constexpr std::size_t num_makers = std::size(makers);
+    std::vector<predict::PredictorStats> stats(num_makers *
+                                               suite.size());
+    vp::ThreadPool::parallelFor(
+        bench::benchJobs(), stats.size(), [&](std::size_t i) {
+            const Maker &maker = makers[i / suite.size()];
+            const workloads::Workload *w = suite[i % suite.size()];
             auto pred = maker.make();
             const vpsim::Program &prog = w->program();
             instr::Image img(prog);
@@ -89,12 +103,19 @@ main()
             harness.instrument(mgr, img.regWritingInsts());
             mgr.attach(cpu);
             workloads::runToCompletion(cpu, *w, "train");
-            total.executions += pred->stats().executions;
-            total.predictions += pred->stats().predictions;
-            total.correct += pred->stats().correct;
+            stats[i] = pred->stats();
+        });
+
+    for (std::size_t m = 0; m < num_makers; ++m) {
+        predict::PredictorStats total;
+        for (std::size_t j = 0; j < suite.size(); ++j) {
+            const auto &s = stats[m * suite.size() + j];
+            total.executions += s.executions;
+            total.predictions += s.predictions;
+            total.correct += s.correct;
         }
         table.row()
-            .cell(maker.name)
+            .cell(makers[m].name)
             .percent(total.accuracy())
             .percent(total.coverage())
             .percent(total.precision())
@@ -103,41 +124,57 @@ main()
     }
 
     // Profile-guided filtering: profile on train, predict on test.
+    // One shard per workload: the profiling run and the prediction
+    // run for a workload stay on one thread, the workloads fan out.
     {
+        struct GuidedResult
+        {
+            predict::PredictorStats plain, guided;
+            std::size_t admitted = 0, allWrites = 0;
+        };
+        std::vector<GuidedResult> guided_runs(suite.size());
+        vp::ThreadPool::parallelFor(
+            bench::benchJobs(), suite.size(), [&](std::size_t i) {
+                const workloads::Workload *w = suite[i];
+                const auto profile = bench::profileWorkload(
+                    *w, "train", bench::Target::AllWrites);
+
+                predict::LvpConfig lcfg;
+                lcfg.confidenceBits = 0;
+                auto plain = predict::makeLastValuePredictor(lcfg);
+                predict::ProfileGuidedPredictor guided(
+                    predict::makeLastValuePredictor(lcfg),
+                    profile.snapshot);
+
+                const vpsim::Program &prog = w->program();
+                instr::Image img(prog);
+                instr::InstrumentManager mgr(img);
+                vpsim::Cpu cpu(prog, bench::cpuConfig());
+                predict::PredictionHarness harness;
+                harness.addPredictor(plain.get());
+                harness.addPredictor(&guided);
+                harness.instrument(mgr, img.regWritingInsts());
+                mgr.attach(cpu);
+                workloads::runToCompletion(cpu, *w, "test");
+
+                guided_runs[i] = {plain->stats(), guided.stats(),
+                                  guided.admitted(),
+                                  img.regWritingInsts().size()};
+            });
+
         predict::PredictorStats plain_total, guided_total;
         std::size_t admitted = 0, all_writes = 0;
-        for (const auto *w : workloads::allWorkloads()) {
-            const auto profile = bench::profileWorkload(
-                *w, "train", bench::Target::AllWrites);
-
-            predict::LvpConfig lcfg;
-            lcfg.confidenceBits = 0;
-            auto plain = predict::makeLastValuePredictor(lcfg);
-            predict::ProfileGuidedPredictor guided(
-                predict::makeLastValuePredictor(lcfg),
-                profile.snapshot);
-
-            const vpsim::Program &prog = w->program();
-            instr::Image img(prog);
-            instr::InstrumentManager mgr(img);
-            vpsim::Cpu cpu(prog, bench::cpuConfig());
-            predict::PredictionHarness harness;
-            harness.addPredictor(plain.get());
-            harness.addPredictor(&guided);
-            harness.instrument(mgr, img.regWritingInsts());
-            mgr.attach(cpu);
-            workloads::runToCompletion(cpu, *w, "test");
-
-            auto accumulate = [](predict::PredictorStats &into,
-                                 const predict::PredictorStats &from) {
-                into.executions += from.executions;
-                into.predictions += from.predictions;
-                into.correct += from.correct;
-            };
-            accumulate(plain_total, plain->stats());
-            accumulate(guided_total, guided.stats());
-            admitted += guided.admitted();
-            all_writes += img.regWritingInsts().size();
+        auto accumulate = [](predict::PredictorStats &into,
+                             const predict::PredictorStats &from) {
+            into.executions += from.executions;
+            into.predictions += from.predictions;
+            into.correct += from.correct;
+        };
+        for (const auto &r : guided_runs) {
+            accumulate(plain_total, r.plain);
+            accumulate(guided_total, r.guided);
+            admitted += r.admitted;
+            all_writes += r.allWrites;
         }
 
         vp::TextTable guided_table({"predictor", "accuracy%",

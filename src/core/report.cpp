@@ -81,6 +81,82 @@ semiInvariantReport(const InstructionProfiler &prof, double min_inv,
     return table;
 }
 
+namespace
+{
+
+/** Snapshot entities sorted like recordsByExecutions (key = pc). */
+std::vector<std::pair<std::uint32_t, const EntitySummary *>>
+entitiesByExecutions(const ProfileSnapshot &snap)
+{
+    std::vector<std::pair<std::uint32_t, const EntitySummary *>> out;
+    out.reserve(snap.entities.size());
+    for (const auto &[key, s] : snap.entities)
+        out.emplace_back(static_cast<std::uint32_t>(key), &s);
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second->totalExecutions !=
+                      b.second->totalExecutions)
+                      return a.second->totalExecutions >
+                             b.second->totalExecutions;
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+void
+addSnapshotRow(vp::TextTable &table, const vpsim::Program &prog,
+               std::uint32_t pc, const EntitySummary &s)
+{
+    table.row()
+        .cell(static_cast<std::uint64_t>(pc))
+        .cell(vpsim::disassemble(prog, pc))
+        .cell(s.totalExecutions)
+        .percent(s.invTop)
+        .percent(s.invAll)
+        .percent(s.lvp)
+        .cell(s.distinct)
+        .cell(s.topValues.empty()
+                  ? std::string("-")
+                  : vp::format("%llu",
+                               static_cast<unsigned long long>(
+                                   s.topValue())));
+}
+
+} // namespace
+
+vp::TextTable
+snapshotInstructionReport(const ProfileSnapshot &snap,
+                          const vpsim::Program &prog, std::size_t limit)
+{
+    vp::TextTable table({"pc", "instruction", "execs", "InvTop%",
+                         "InvAll%", "LVP%", "Diff", "top value"});
+    auto entities = entitiesByExecutions(snap);
+    if (entities.size() > limit)
+        entities.resize(limit);
+    for (const auto &[pc, s] : entities)
+        addSnapshotRow(table, prog, pc, *s);
+    return table;
+}
+
+vp::TextTable
+snapshotSemiInvariantReport(const ProfileSnapshot &snap,
+                            const vpsim::Program &prog, double min_inv,
+                            std::uint64_t min_execs, std::size_t limit)
+{
+    vp::TextTable table({"pc", "instruction", "execs", "InvTop%",
+                         "InvAll%", "LVP%", "Diff", "top value"});
+    for (const auto &[pc, s] : entitiesByExecutions(snap)) {
+        if (table.numRows() >= limit)
+            break;
+        if (s->totalExecutions < min_execs)
+            continue;
+        if (s->invTop < min_inv)
+            continue;
+        addSnapshotRow(table, prog, pc, *s);
+    }
+    return table;
+}
+
 vp::TextTable
 memoryReport(const MemoryProfiler &prof, std::size_t limit)
 {

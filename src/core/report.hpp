@@ -17,6 +17,7 @@
 #include "core/instruction_profiler.hpp"
 #include "core/memory_profiler.hpp"
 #include "core/parameter_profiler.hpp"
+#include "core/snapshot.hpp"
 #include "support/table.hpp"
 
 namespace core
@@ -38,6 +39,23 @@ vp::TextTable semiInvariantReport(const InstructionProfiler &prof,
                                   double min_inv = 0.5,
                                   std::uint64_t min_execs = 100,
                                   std::size_t limit = 20);
+
+/**
+ * instructionReport over a snapshot instead of a live profiler —
+ * same columns, same ordering. This is how parallel-profiling shard
+ * results (which only retain snapshots) are rendered, so sequential
+ * and sharded runs print byte-identical tables.
+ */
+vp::TextTable snapshotInstructionReport(const ProfileSnapshot &snap,
+                                        const vpsim::Program &prog,
+                                        std::size_t limit = 20);
+
+/** semiInvariantReport over a snapshot (key = pc). */
+vp::TextTable snapshotSemiInvariantReport(const ProfileSnapshot &snap,
+                                          const vpsim::Program &prog,
+                                          double min_inv = 0.5,
+                                          std::uint64_t min_execs = 100,
+                                          std::size_t limit = 20);
 
 /** Table of the top memory locations by profiled writes. */
 vp::TextTable memoryReport(const MemoryProfiler &prof,

@@ -41,6 +41,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
     vp_assert(burstEnded, "no burst has just ended");
     burstEnded = false;
 
+    bool retriggered = false;
     if (lastInv >= 0.0) {
         const double delta = std::fabs(inv_estimate - lastInv);
         if (isConverged) {
@@ -49,6 +50,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
                 isConverged = false;
                 stableRounds = 0;
                 curSkip = cfg.initialSkip;
+                retriggered = true;
             } else {
                 // Still converged: keep backing off.
                 curSkip = std::min<std::uint64_t>(
@@ -72,6 +74,17 @@ SamplerState::noteBurstEnd(double inv_estimate)
         }
     }
     lastInv = inv_estimate;
+
+    // A phase change re-triggers full-rate sampling *immediately*: the
+    // next burst starts on the very next execution, with no intervening
+    // skip phase, so the profile catches up with the new phase as fast
+    // as possible. curSkip was reset above, so subsequent inter-burst
+    // gaps are back at the initial (pre-convergence) rate.
+    if (retriggered) {
+        inBurst = true;
+        phaseLeft = cfg.burstSize;
+        return;
+    }
 
     // Enter the skip phase (possibly zero-length).
     if (curSkip == 0) {

@@ -1,5 +1,6 @@
 #include "core/snapshot.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -26,6 +27,63 @@ ProfileSnapshot::summarize(const ValueProfile &prof,
     for (const auto &e : prof.tnv().sortedByCount())
         s.topValues.emplace_back(e.value, e.count);
     return s;
+}
+
+void
+EntitySummary::merge(const EntitySummary &other)
+{
+    const double wa = static_cast<double>(profiledExecutions);
+    const double wb = static_cast<double>(other.profiledExecutions);
+
+    totalExecutions += other.totalExecutions;
+    profiledExecutions += other.profiledExecutions;
+    distinct += other.distinct;
+
+    // Sum top-value counts over the union, then keep the largest lists'
+    // worth of values by merged count (ties: smaller value first, for
+    // deterministic output regardless of merge order).
+    std::map<std::uint64_t, std::uint64_t> counts;
+    for (const auto &[v, c] : topValues)
+        counts[v] += c;
+    for (const auto &[v, c] : other.topValues)
+        counts[v] += c;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> merged(
+        counts.begin(), counts.end());
+    std::sort(merged.begin(), merged.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    const std::size_t keep =
+        std::max(topValues.size(), other.topValues.size());
+    if (merged.size() > keep)
+        merged.resize(keep);
+    topValues = std::move(merged);
+
+    std::uint64_t covered = 0;
+    for (const auto &[v, c] : topValues)
+        covered += c;
+    const double n = static_cast<double>(profiledExecutions);
+    invTop = n > 0.0 && !topValues.empty()
+                 ? static_cast<double>(topValues.front().second) / n
+                 : 0.0;
+    invAll = n > 0.0 ? static_cast<double>(covered) / n : 0.0;
+    lvp = n > 0.0 ? (lvp * wa + other.lvp * wb) / n : 0.0;
+    zeroFraction =
+        n > 0.0 ? (zeroFraction * wa + other.zeroFraction * wb) / n : 0.0;
+}
+
+void
+ProfileSnapshot::merge(const ProfileSnapshot &other)
+{
+    for (const auto &[key, summary] : other.entities) {
+        auto it = entities.find(key);
+        if (it == entities.end())
+            entities[key] = summary;
+        else
+            it->second.merge(summary);
+    }
 }
 
 ProfileSnapshot

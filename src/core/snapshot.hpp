@@ -54,6 +54,17 @@ struct EntitySummary
                 return true;
         return false;
     }
+
+    /**
+     * Merge another summary of the SAME entity (a different shard of
+     * its execution stream) into this one. Execution counters and
+     * top-value counts are summed; Inv-Top/Inv-All are recomputed from
+     * the merged counts; LVP and %Zero are combined as
+     * profiled-execution-weighted means. `distinct` becomes the sum,
+     * an upper bound — shards may have seen the same values, and the
+     * underlying sets are no longer available at summary level.
+     */
+    void merge(const EntitySummary &other);
 };
 
 /** Snapshot of a whole profiling run, keyed by entity id (e.g. pc). */
@@ -81,6 +92,14 @@ class ProfileSnapshot
      */
     static ProfileSnapshot fromParameterProfiler(
         const ParameterProfiler &prof);
+
+    /**
+     * Merge another snapshot of the SAME program into this one: shared
+     * entity keys are merged summary-wise (see EntitySummary::merge),
+     * unseen keys are copied. This is how the ParallelRunner
+     * aggregates per-shard snapshots into one report.
+     */
+    void merge(const ProfileSnapshot &other);
 
     /** Entity count. */
     std::size_t size() const { return entities.size(); }

@@ -117,12 +117,46 @@ TnvTable::clearBottomHalf()
 {
     if (entries.size() <= 1)
         return;
-    // Keep the ceil(capacity/2) highest-count entries; evict the rest.
+    // Keep the ceil(size/2) highest-count entries; evict the rest.
+    // Operating on the occupied size (not the capacity) matters for
+    // partially-full tables: clearing must still evict stale cold
+    // entries so newly-hot values can establish themselves, even when
+    // the table never fills.
     auto sorted = sortedByCount();
-    const std::size_t keep =
-        std::min<std::size_t>(sorted.size(), (cfg.capacity + 1) / 2);
-    sorted.resize(keep);
+    sorted.resize((sorted.size() + 1) / 2);
     entries = std::move(sorted);
+}
+
+void
+TnvTable::merge(const TnvTable &other)
+{
+    // `other` is treated as the later shard, so its entries' recency
+    // indices are rebased past this table's record count; a value
+    // present in both shards is necessarily most recent in `other`.
+    const std::uint64_t base = records;
+    for (const auto &oe : other.entries) {
+        bool matched = false;
+        for (auto &e : entries) {
+            if (e.value == oe.value) {
+                e.count += oe.count;
+                e.lastUse = base + oe.lastUse;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            entries.push_back({oe.value, oe.count, base + oe.lastUse});
+    }
+    records += other.records;
+    if (cfg.policy == TnvConfig::Policy::SteadyClear)
+        sinceClear = (sinceClear + other.sinceClear) % cfg.clearInterval;
+
+    // Capacity-respecting LFU re-selection over the union.
+    if (entries.size() > cfg.capacity) {
+        auto sorted = sortedByCount();
+        sorted.resize(cfg.capacity);
+        entries = std::move(sorted);
+    }
 }
 
 void

@@ -82,11 +82,28 @@ class TnvTable
     std::uint64_t countFor(std::uint64_t value) const;
 
     /**
-     * Evict the bottom half (by count) of the table immediately.
-     * Exposed for tests; record() invokes it automatically under the
-     * SteadyClear policy.
+     * Evict the bottom half (by count, ceil(size/2) survivors) of the
+     * table immediately. Exposed for tests; record() invokes it
+     * automatically under the SteadyClear policy.
      */
     void clearBottomHalf();
+
+    /**
+     * Merge another table into this one, treating `other` as the
+     * continuation of this table's stream (shard merging): counts of
+     * shared values are summed, unseen values are inserted, and if the
+     * union exceeds this table's capacity the top-`capacity` entries by
+     * count are re-selected (LFU re-selection, ties to older entries).
+     *
+     * Merging is *not* bit-identical to recording the concatenated
+     * stream sequentially: each shard made its own eviction decisions,
+     * so counts a shard evicted are lost, exactly like the paper's own
+     * TNV underestimation when a hot value re-enters the table. The
+     * merged counts are therefore a (close) lower bound on the
+     * sequential table's counts; see DESIGN.md, "Shard-and-merge
+     * semantics".
+     */
+    void merge(const TnvTable &other);
 
     /** Forget everything. */
     void reset();

@@ -91,6 +91,37 @@ ValueProfile::topStride() const
 }
 
 void
+ValueProfile::merge(const ValueProfile &other)
+{
+    table.merge(other.table);
+    strides.merge(other.strides);
+    zeros += other.zeros;
+    lastHits += other.lastHits;
+    // The boundary between the shards is invisible to both: whether
+    // other's first value matched this shard's last value was never
+    // checked, so that potential LVP hit (and the boundary stride) is
+    // conservatively dropped.
+    if (other.hasLast) {
+        lastValue = other.lastValue;
+        hasLast = true;
+    }
+    if (cfg.trackDistinct) {
+        for (const auto v : other.seen) {
+            if (saturated)
+                break;
+            if (seen.insert(v).second) {
+                ++distinctCount;
+                if (seen.size() >= cfg.maxDistinct)
+                    saturated = true;
+            }
+        }
+        // If the other shard overflowed its set, the union is itself
+        // only a lower bound.
+        saturated = saturated || other.saturated;
+    }
+}
+
+void
 ValueProfile::reset()
 {
     table.reset();

@@ -101,6 +101,23 @@ class ValueProfile
     /** The delta TNV table (empty unless trackStrides). */
     const TnvTable &strideTnvTable() const { return strides; }
 
+    /**
+     * Merge another profile into this one, treating `other` as the
+     * profile of the *following* shard of the same value stream.
+     * Counters and TNV tables are count-summed (see TnvTable::merge);
+     * the distinct-value sets are unioned (saturating at the cap).
+     *
+     * Documented merge tolerance (DESIGN.md, "Shard-and-merge
+     * semantics"): LVP and stride tracking cannot see across the shard
+     * boundary — a potential last-value hit and one successive delta
+     * per merge are dropped, so merged LVP can be lower than the
+     * sequential value by at most (K-1)/n for K shards of n total
+     * executions. Inv-Top/Inv-All inherit the TNV merge's slight
+     * underestimation when tables overflowed; they are exact when no
+     * shard's table ever evicted.
+     */
+    void merge(const ValueProfile &other);
+
     /** Forget everything (used between sampling epochs in tests). */
     void reset();
 

@@ -9,6 +9,15 @@
  * ATOM's selective insertion), loads, stores, and procedure calls.
  * At run time the manager is the single ExecListener on the Cpu and
  * fans events out to the registered tools.
+ *
+ * Concurrency contract (sharded parallel profiling): a manager, its
+ * Cpu, and its tools together form one *shard* owned by exactly one
+ * thread — none of them are internally synchronized. Parallel
+ * profiling runs one full shard per job (see
+ * workloads::ParallelRunner); the only state shared between shards is
+ * immutable (the Program, and the Image each shard builds privately
+ * from it). Do not attach one manager to Cpus driven from different
+ * threads, and do not register one tool instance with two shards.
  */
 
 #ifndef VP_INSTRUMENT_MANAGER_HPP

@@ -1,0 +1,100 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace vp
+{
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    vp_assert(task != nullptr, "null task submitted to thread pool");
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        vp_assert(!stopping, "submit() on a stopping thread pool");
+        queue.push_back(std::move(task));
+    }
+    taskReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allDone.wait(lock,
+                 [this] { return queue.empty() && inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    while (true) {
+        taskReady.wait(lock,
+                       [this] { return stopping || !queue.empty(); });
+        if (queue.empty())
+            return; // stopping and drained
+        std::function<void()> task = std::move(queue.front());
+        queue.pop_front();
+        ++inFlight;
+        lock.unlock();
+        task();
+        lock.lock();
+        --inFlight;
+        if (queue.empty() && inFlight == 0)
+            allDone.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(unsigned threads, std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads == 0)
+        threads = hardwareThreads();
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, n));
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace vp

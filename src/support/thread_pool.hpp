@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A small fixed-size worker-thread pool for sharded profiling.
+ *
+ * The profiling engine parallelizes at the granularity of whole
+ * (workload, input) jobs: each job owns its Cpu, InstrumentManager and
+ * profiler shard, so workers share no mutable state and the pool needs
+ * no cleverness — a mutex-protected FIFO queue and a pair of condition
+ * variables. Results are written into caller-owned slots indexed by
+ * job, which keeps output deterministic regardless of completion
+ * order.
+ */
+
+#ifndef VP_SUPPORT_THREAD_POOL_HPP
+#define VP_SUPPORT_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vp
+{
+
+/** Fixed-size pool of worker threads consuming a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers; 0 means one per hardware thread. The
+     * destructor drains the queue, then joins.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. Safe to call from any thread. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /** std::thread::hardware_concurrency with a sane floor of 1. */
+    static unsigned hardwareThreads();
+
+    /**
+     * Run fn(0) .. fn(n-1) across up to `threads` workers and block
+     * until all calls return. With threads <= 1 (or n <= 1) the calls
+     * run inline on the calling thread, making sequential runs exactly
+     * reproduce the pre-pool behavior.
+     */
+    static void parallelFor(unsigned threads, std::size_t n,
+                            const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable taskReady; ///< queue became non-empty
+    std::condition_variable allDone;   ///< inFlight + queue hit zero
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    std::size_t inFlight = 0; ///< tasks currently executing
+    bool stopping = false;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_THREAD_POOL_HPP

@@ -1,0 +1,95 @@
+#include "workloads/parallel_runner.hpp"
+
+#include "instrument/image.hpp"
+#include "instrument/manager.hpp"
+#include "support/logging.hpp"
+#include "support/thread_pool.hpp"
+
+namespace workloads
+{
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : workerCount(jobs ? jobs : vp::ThreadPool::hardwareThreads())
+{
+}
+
+ProfileJobResult
+ParallelRunner::runOne(const ProfileJob &job)
+{
+    vp_assert(job.workload != nullptr, "profile job without workload");
+    const vpsim::Program &prog = job.workload->program();
+
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    vpsim::Cpu cpu(prog, job.cpu);
+    core::InstructionProfiler prof(img, job.config);
+    if (job.loadsOnly)
+        prof.profileLoads(mgr);
+    else
+        prof.profileAllWrites(mgr);
+    mgr.attach(cpu);
+
+    ProfileJobResult out;
+    out.workload = job.workload;
+    out.dataset = job.dataset;
+    out.run = runToCompletion(cpu, *job.workload, job.dataset);
+    out.programOutput = cpu.output();
+    out.snapshot = core::ProfileSnapshot::fromInstructionProfiler(prof);
+    out.totalExecutions = prof.totalExecutions();
+    out.profiledExecutions = prof.profiledExecutions();
+    out.fractionProfiled = prof.fractionProfiled();
+    out.invTop = prof.weightedMetric(&core::ValueProfile::invTop);
+    out.invAll = prof.weightedMetric(&core::ValueProfile::invAll);
+    out.lvp = prof.weightedMetric(&core::ValueProfile::lvp);
+    out.zeroFraction =
+        prof.weightedMetric(&core::ValueProfile::zeroFraction);
+    double distinct_sum = 0.0;
+    std::size_t executed = 0;
+    for (const auto &rec : prof.records()) {
+        if (rec.totalExecutions == 0)
+            continue;
+        distinct_sum += static_cast<double>(rec.profile.distinct());
+        ++executed;
+    }
+    out.meanDistinct = executed ? distinct_sum / executed : 0.0;
+    out.staticInsts = executed;
+    return out;
+}
+
+std::vector<ProfileJobResult>
+ParallelRunner::run(const std::vector<ProfileJob> &jobs) const
+{
+    // Assemble every distinct program up front on this thread; after
+    // this, workers only read shared immutable state. (program() is
+    // itself once-guarded, so this is an optimization plus a clearer
+    // contract, not a correctness requirement.)
+    for (const auto &job : jobs) {
+        vp_assert(job.workload != nullptr,
+                  "profile job without workload");
+        job.workload->program();
+    }
+
+    std::vector<ProfileJobResult> results(jobs.size());
+    vp::ThreadPool::parallelFor(
+        workerCount, jobs.size(),
+        [&](std::size_t i) { results[i] = runOne(jobs[i]); });
+    return results;
+}
+
+std::vector<ProfileJob>
+suiteJobs(const std::string &dataset, bool loads_only,
+          const core::InstProfilerConfig &config)
+{
+    std::vector<ProfileJob> jobs;
+    for (const auto *w : allWorkloads()) {
+        ProfileJob job;
+        job.workload = w;
+        job.dataset = dataset;
+        job.loadsOnly = loads_only;
+        job.config = config;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace workloads

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Sharded parallel profiling engine.
+ *
+ * A ProfileJob is one independent (workload, input) profiling run. The
+ * ParallelRunner executes a batch of jobs on a worker-thread pool —
+ * each job builds its own Cpu, InstrumentManager and
+ * InstructionProfiler shard, so workers share only immutable state
+ * (the assembled Programs) — and returns per-job results in job
+ * order, which keeps every consumer's output deterministic and
+ * byte-identical to a sequential (--jobs 1) run.
+ *
+ * Shard results are ProfileSnapshots; snapshots of the *same* program
+ * can be aggregated post-hoc with ProfileSnapshot::merge (see
+ * DESIGN.md, "Shard-and-merge semantics", for the documented
+ * tolerance vs. one sequential table).
+ */
+
+#ifndef VP_WORKLOADS_PARALLEL_RUNNER_HPP
+#define VP_WORKLOADS_PARALLEL_RUNNER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instruction_profiler.hpp"
+#include "core/snapshot.hpp"
+#include "workloads/workload.hpp"
+
+namespace workloads
+{
+
+/** One independent (workload, input) profiling run. */
+struct ProfileJob
+{
+    const Workload *workload = nullptr;
+    std::string dataset = "train";
+    /** Profile load results only instead of all register writes. */
+    bool loadsOnly = false;
+    core::InstProfilerConfig config;
+    vpsim::CpuConfig cpu{16u << 20, 500'000'000};
+};
+
+/** Everything a report consumer needs from one finished shard. */
+struct ProfileJobResult
+{
+    const Workload *workload = nullptr;
+    std::string dataset;
+    core::ProfileSnapshot snapshot;
+    vpsim::RunResult run;
+    std::string programOutput;
+
+    std::uint64_t totalExecutions = 0;
+    std::uint64_t profiledExecutions = 0;
+    double fractionProfiled = 1.0;
+    /** Execution-weighted means over all profiled instructions. */
+    double invTop = 0.0;
+    double invAll = 0.0;
+    double lvp = 0.0;
+    double zeroFraction = 0.0;
+    /** Mean distinct-value count per executed static instruction. */
+    double meanDistinct = 0.0;
+    std::size_t staticInsts = 0;
+};
+
+/** Executes profiling jobs across worker threads. */
+class ParallelRunner
+{
+  public:
+    /** @param jobs worker count; 0 means one per hardware thread. */
+    explicit ParallelRunner(unsigned jobs = 0);
+
+    /** Effective worker count. */
+    unsigned jobCount() const { return workerCount; }
+
+    /**
+     * Run one job in the calling thread — the shard body. Exposed so
+     * sequential callers measure exactly what parallel workers run.
+     */
+    static ProfileJobResult runOne(const ProfileJob &job);
+
+    /**
+     * Run all jobs, fanning out across the pool, and return results
+     * in job order. Programs are pre-assembled on the calling thread
+     * so workers only ever read them.
+     */
+    std::vector<ProfileJobResult>
+    run(const std::vector<ProfileJob> &jobs) const;
+
+  private:
+    unsigned workerCount;
+};
+
+/**
+ * Convenience: one job per registered workload, in canonical order.
+ */
+std::vector<ProfileJob>
+suiteJobs(const std::string &dataset, bool loads_only = false,
+          const core::InstProfilerConfig &config = {});
+
+} // namespace workloads
+
+#endif // VP_WORKLOADS_PARALLEL_RUNNER_HPP

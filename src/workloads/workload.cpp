@@ -24,10 +24,10 @@ const Workload &nqueensWorkload();
 const vpsim::Program &
 Workload::program() const
 {
-    if (!cachedProgram) {
+    std::call_once(programOnce, [this] {
         cachedProgram =
             std::make_unique<vpsim::Program>(vpsim::assemble(source()));
-    }
+    });
     return *cachedProgram;
 }
 

@@ -15,6 +15,7 @@
 #define VP_WORKLOADS_WORKLOAD_HPP
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,11 +56,15 @@ class Workload
 
     /**
      * The assembled program (cached; assembled on first use). The
-     * reference stays valid for the lifetime of the Workload.
+     * reference stays valid for the lifetime of the Workload. Safe to
+     * call concurrently — parallel profiling shards share Workload
+     * instances, so the lazy assembly is guarded by a once-flag. The
+     * returned Program is immutable and may be read from any thread.
      */
     const vpsim::Program &program() const;
 
   private:
+    mutable std::once_flag programOnce;
     mutable std::unique_ptr<vpsim::Program> cachedProgram;
 };
 

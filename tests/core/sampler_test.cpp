@@ -133,6 +133,40 @@ TEST(Sampler, PhaseChangeRetriggersFullRateSampling)
     EXPECT_EQ(s.currentSkip(), smallConfig().initialSkip);
 }
 
+TEST(Sampler, RetriggerResumesBurstingImmediately)
+{
+    // Regression: after a phase-change retrigger at a wake-up burst the
+    // sampler used to enter an initialSkip-length skip phase before the
+    // next burst, contradicting "re-triggers full-rate sampling". The
+    // very next execution after the retrigger must be profiled.
+    SamplerState s(smallConfig());
+    auto run_burst = [&](double inv) {
+        while (true) {
+            s.step();
+            if (s.burstJustEnded())
+                break;
+        }
+        s.noteBurstEnd(inv);
+    };
+    run_burst(0.9);
+    run_burst(0.9);
+    run_burst(0.9);
+    ASSERT_TRUE(s.converged());
+    run_burst(0.3); // wake-up burst sees a phase change
+    ASSERT_FALSE(s.converged());
+    // Full-rate sampling resumes now: a complete burst with no skips.
+    for (std::uint64_t i = 0; i < smallConfig().burstSize; ++i) {
+        EXPECT_TRUE(s.step());
+    }
+    EXPECT_TRUE(s.burstJustEnded());
+    s.noteBurstEnd(0.3);
+    // Subsequent inter-burst gaps are back at the initial skip.
+    EXPECT_EQ(s.currentSkip(), smallConfig().initialSkip);
+    for (std::uint64_t i = 0; i < smallConfig().initialSkip; ++i)
+        EXPECT_FALSE(s.step());
+    EXPECT_TRUE(s.step());
+}
+
 TEST(Sampler, FractionProfiledDropsAfterConvergence)
 {
     SamplerState s(smallConfig());

@@ -182,6 +182,65 @@ f:
     EXPECT_EQ(psnap.entities.begin()->second.totalExecutions, 1u);
 }
 
+TEST(Snapshot, EntitySummaryMergeSumsCountsAndRecomputes)
+{
+    // Shard A: 7,7,7,0   shard B: 7,8,8,8
+    EntitySummary a = ProfileSnapshot::summarize(
+        makeProfile({7, 7, 7, 0}), 4);
+    const EntitySummary b = ProfileSnapshot::summarize(
+        makeProfile({7, 8, 8, 8}), 4);
+    a.merge(b);
+
+    EXPECT_EQ(a.totalExecutions, 8u);
+    EXPECT_EQ(a.profiledExecutions, 8u);
+    // Merged counts: 7->4, 8->3, 0->1; both shards listed two top
+    // values, so the merged summary keeps the top two.
+    EXPECT_EQ(a.topValue(), 7u);
+    EXPECT_DOUBLE_EQ(a.invTop, 0.5);
+    EXPECT_DOUBLE_EQ(a.invAll, 7.0 / 8.0);
+    // %Zero: weighted mean of 0.25 and 0 over equal shards.
+    EXPECT_DOUBLE_EQ(a.zeroFraction, 0.125);
+    ASSERT_EQ(a.topValues.size(), 2u);
+    EXPECT_EQ(a.topValues[0].second, 4u);
+    EXPECT_EQ(a.topValues[1].first, 8u);
+    EXPECT_EQ(a.topValues[1].second, 3u);
+}
+
+TEST(Snapshot, EntitySummaryMergeIsOrderIndependent)
+{
+    const EntitySummary a = ProfileSnapshot::summarize(
+        makeProfile({1, 1, 2, 3}), 4);
+    const EntitySummary b = ProfileSnapshot::summarize(
+        makeProfile({2, 2, 4}), 3);
+    EntitySummary ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab.totalExecutions, ba.totalExecutions);
+    EXPECT_DOUBLE_EQ(ab.invTop, ba.invTop);
+    EXPECT_DOUBLE_EQ(ab.invAll, ba.invAll);
+    ASSERT_EQ(ab.topValues.size(), ba.topValues.size());
+    for (std::size_t i = 0; i < ab.topValues.size(); ++i) {
+        EXPECT_EQ(ab.topValues[i].first, ba.topValues[i].first);
+        EXPECT_EQ(ab.topValues[i].second, ba.topValues[i].second);
+    }
+}
+
+TEST(Snapshot, SnapshotMergeUnionsEntities)
+{
+    ProfileSnapshot a, b;
+    a.entities[1] = ProfileSnapshot::summarize(makeProfile({5, 5}), 2);
+    a.entities[2] = ProfileSnapshot::summarize(makeProfile({6}), 1);
+    b.entities[2] = ProfileSnapshot::summarize(makeProfile({6, 7}), 2);
+    b.entities[3] = ProfileSnapshot::summarize(makeProfile({8}), 1);
+
+    a.merge(b);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.entities.at(1).totalExecutions, 2u);
+    EXPECT_EQ(a.entities.at(2).totalExecutions, 3u);
+    EXPECT_EQ(a.entities.at(2).topValue(), 6u);
+    EXPECT_EQ(a.entities.at(3).totalExecutions, 1u);
+}
+
 TEST(Snapshot, FromInstructionProfilerKeysByPc)
 {
     vpsim::Program prog = vpsim::assemble(R"(

@@ -96,6 +96,66 @@ TEST(TnvTable, SteadyClearEvictsBottomHalf)
     EXPECT_EQ(t.countFor(300), 0u);
 }
 
+TEST(TnvTable, ClearBottomHalfUsesOccupiedSize)
+{
+    // Regression: clearBottomHalf used to keep ceil(capacity/2)
+    // entries, making the periodic clear a silent no-op whenever the
+    // table was at most half full. It must operate on the occupied
+    // size: ceil(size/2) entries survive.
+    TnvTable t(config(8, 1'000'000));
+    for (int i = 0; i < 5; ++i)
+        t.record(100);
+    for (int i = 0; i < 3; ++i)
+        t.record(200);
+    t.record(300);
+    ASSERT_EQ(t.size(), 3u);
+    t.clearBottomHalf();
+    EXPECT_EQ(t.size(), 2u); // ceil(3/2), not min(3, ceil(8/2)) = 3
+    EXPECT_EQ(t.countFor(100), 5u);
+    EXPECT_EQ(t.countFor(200), 3u);
+    EXPECT_EQ(t.countFor(300), 0u);
+}
+
+TEST(TnvTable, PeriodicClearingFiresOnPartiallyFullTable)
+{
+    // Regression companion: across a clear interval, a partially-full
+    // table must shed its stale one-shot entries so a newly-hot value
+    // is left dominating a lean table.
+    TnvTable t(config(8, 8));
+    t.record(1);
+    t.record(2);
+    t.record(3);
+    t.record(4);
+    for (int i = 0; i < 4; ++i)
+        t.record(777); // 8th record fires the clear at size 5
+    EXPECT_EQ(t.size(), 3u); // ceil(5/2)
+    EXPECT_EQ(t.countFor(777), 4u);
+    // Ties among the cold values break toward older entries, so the
+    // younger cold values are the ones evicted.
+    EXPECT_EQ(t.countFor(3), 0u);
+    EXPECT_EQ(t.countFor(4), 0u);
+}
+
+TEST(TnvTable, SparseTableClearingEvictsEarlyColdValues)
+{
+    // The paper's semi-invariant scenario in a sparse table: a few
+    // early cold values must not survive forever just because the
+    // table never fills — periodic clearing has to displace them in
+    // favour of the later semi-invariant value.
+    TnvTable t(config(8, 32));
+    for (std::uint64_t v = 1; v <= 3; ++v)
+        t.record(v); // early cold values
+    for (int i = 0; i < 200; ++i)
+        t.record(42); // semi-invariant phase
+    EXPECT_EQ(t.top()->value, 42u);
+    // Several clear intervals have elapsed; the one-shot entries from
+    // the cold prologue are gone.
+    EXPECT_EQ(t.countFor(1), 0u);
+    EXPECT_EQ(t.countFor(2), 0u);
+    EXPECT_EQ(t.countFor(3), 0u);
+    EXPECT_EQ(t.size(), 1u);
+}
+
 TEST(TnvTable, AutomaticClearingAtInterval)
 {
     TnvTable t(config(4, 8));
@@ -183,6 +243,130 @@ TEST(TnvTable, CapacityOneTracksLastDominantValue)
 TEST(TnvTableDeath, ZeroCapacityPanics)
 {
     EXPECT_DEATH(TnvTable t(config(0, 10)), "capacity");
+}
+
+// ---------------------------------------------------------------------
+// Shard merging (TnvTable::merge)
+// ---------------------------------------------------------------------
+
+TEST(TnvTableMerge, SumsCountsWithinCapacity)
+{
+    TnvTable a(config(8, 1u << 30)), b(config(8, 1u << 30));
+    for (int i = 0; i < 10; ++i)
+        a.record(1);
+    a.record(2);
+    for (int i = 0; i < 5; ++i)
+        b.record(1);
+    for (int i = 0; i < 7; ++i)
+        b.record(3);
+
+    a.merge(b);
+    EXPECT_EQ(a.recordCount(), 23u);
+    EXPECT_EQ(a.countFor(1), 15u);
+    EXPECT_EQ(a.countFor(2), 1u);
+    EXPECT_EQ(a.countFor(3), 7u);
+    EXPECT_EQ(a.size(), 3u);
+    ASSERT_TRUE(a.top().has_value());
+    EXPECT_EQ(a.top()->value, 1u);
+}
+
+TEST(TnvTableMerge, ReselectsTopByCountOnOverflow)
+{
+    // Disjoint value sets whose union exceeds capacity: the merged
+    // table must keep exactly the top-capacity values by count.
+    TnvTable a(config(4, 1u << 30)), b(config(4, 1u << 30));
+    const std::uint64_t counts_a[] = {100, 10, 3, 2}; // values 0..3
+    const std::uint64_t counts_b[] = {50, 40, 4, 1};  // values 10..13
+    for (std::uint64_t v = 0; v < 4; ++v)
+        for (std::uint64_t i = 0; i < counts_a[v]; ++i)
+            a.record(v);
+    for (std::uint64_t v = 0; v < 4; ++v)
+        for (std::uint64_t i = 0; i < counts_b[v]; ++i)
+            b.record(10 + v);
+
+    a.merge(b);
+    EXPECT_EQ(a.size(), 4u);
+    EXPECT_EQ(a.countFor(0), 100u);
+    EXPECT_EQ(a.countFor(10), 50u);
+    EXPECT_EQ(a.countFor(11), 40u);
+    EXPECT_EQ(a.countFor(1), 10u);
+    // The four losers are gone.
+    EXPECT_EQ(a.countFor(2), 0u);
+    EXPECT_EQ(a.countFor(3), 0u);
+    EXPECT_EQ(a.countFor(12), 0u);
+    EXPECT_EQ(a.countFor(13), 0u);
+    EXPECT_EQ(a.recordCount(), 115u + 95u);
+}
+
+TEST(TnvTableMerge, MergedCountsLowerBoundSequential)
+{
+    // Random skewed stream split into shards: for every value the
+    // merged table retains, its count must never exceed the count the
+    // sequential table accumulated (merging can only lose counts to
+    // shard-local evictions, never invent them).
+    vp::Rng rng(42);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 12000; ++i)
+        stream.push_back(rng.chance(0.5) ? 7 : rng.below(48));
+
+    TnvTable seq(config(8, 2048));
+    for (auto v : stream)
+        seq.record(v);
+
+    const std::size_t shards = 4;
+    TnvTable merged(config(8, 2048));
+    for (std::size_t s = 0; s < shards; ++s) {
+        TnvTable shard(config(8, 2048));
+        for (std::size_t i = s * stream.size() / shards;
+             i < (s + 1) * stream.size() / shards; ++i)
+            shard.record(stream[i]);
+        merged.merge(shard);
+    }
+
+    EXPECT_EQ(merged.recordCount(), seq.recordCount());
+    ASSERT_LE(merged.size(), 8u);
+    // The dominant value survives the merge with most of its mass.
+    ASSERT_TRUE(merged.top().has_value());
+    EXPECT_EQ(merged.top()->value, 7u);
+    EXPECT_GT(static_cast<double>(merged.countFor(7)),
+              0.9 * static_cast<double>(seq.countFor(7)));
+}
+
+TEST(TnvTableMerge, ExactWhenNoShardEverEvicted)
+{
+    // Small alphabet that fits every shard's table: merging must give
+    // byte-for-byte the counts of the sequential run.
+    vp::Rng rng(7);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 4000; ++i)
+        stream.push_back(rng.below(6));
+
+    TnvTable seq(config(8, 1u << 30));
+    TnvTable merged(config(8, 1u << 30));
+    for (auto v : stream)
+        seq.record(v);
+    for (std::size_t s = 0; s < 3; ++s) {
+        TnvTable shard(config(8, 1u << 30));
+        for (std::size_t i = s * stream.size() / 3;
+             i < (s + 1) * stream.size() / 3; ++i)
+            shard.record(stream[i]);
+        merged.merge(shard);
+    }
+
+    EXPECT_EQ(merged.recordCount(), seq.recordCount());
+    EXPECT_EQ(merged.size(), seq.size());
+    for (std::uint64_t v = 0; v < 6; ++v)
+        EXPECT_EQ(merged.countFor(v), seq.countFor(v)) << "value " << v;
+}
+
+TEST(TnvTableMerge, MergeIntoEmptyCopiesOther)
+{
+    TnvTable a(config(8, 2048)), b(config(8, 2048));
+    for (int i = 0; i < 3; ++i)
+        b.record(9);
+    a.merge(b);
+    EXPECT_EQ(a.recordCount(), 3u);
+    EXPECT_EQ(a.countFor(9), 3u);
 }
 
 // ---------------------------------------------------------------------

@@ -182,7 +182,12 @@ class TwoValuedStream : public ::testing::TestWithParam<double>
 TEST_P(TwoValuedStream, MetricsMatchClosedForm)
 {
     const double q = GetParam();
-    ValueProfile p;
+    // Disable periodic clearing: it evicts the minority value of a
+    // two-entry table every interval (see the TnvTable clearing
+    // tests), which would break the closed forms this test checks.
+    ProfileConfig cfg;
+    cfg.tnv.clearInterval = 1u << 30;
+    ValueProfile p(cfg);
     vp::Rng rng(static_cast<std::uint64_t>(q * 1000) + 3);
     const int n = 200000;
     for (int i = 0; i < n; ++i)
@@ -222,5 +227,147 @@ TEST_P(MetricOrdering, InvTopNeverExceedsInvAll)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetricOrdering,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------
+// Shard-and-merge property: profiling K shards of a stream and merging
+// must match the sequential profile within the tolerances documented
+// on ValueProfile::merge (DESIGN.md, "Shard-and-merge semantics").
+// ---------------------------------------------------------------------
+
+struct MergeParam
+{
+    std::size_t shards;
+    std::uint64_t alphabet; ///< distinct values in the stream
+    std::uint64_t seed;
+};
+
+class ShardMerge : public ::testing::TestWithParam<MergeParam>
+{
+  protected:
+    /** Skewed random stream: one dominant value plus uniform noise. */
+    static std::vector<std::uint64_t>
+    makeStream(const MergeParam &prm, std::size_t n)
+    {
+        vp::Rng rng(prm.seed);
+        std::vector<std::uint64_t> stream;
+        stream.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            stream.push_back(rng.chance(0.55) ? 3
+                                              : rng.below(prm.alphabet));
+        return stream;
+    }
+
+    static ValueProfile
+    profileRange(const std::vector<std::uint64_t> &stream,
+                 std::size_t lo, std::size_t hi,
+                 const ProfileConfig &cfg)
+    {
+        ValueProfile p(cfg);
+        for (std::size_t i = lo; i < hi; ++i)
+            p.record(stream[i]);
+        return p;
+    }
+};
+
+TEST_P(ShardMerge, MergedMetricsMatchSequentialWithinTolerance)
+{
+    const auto &prm = GetParam();
+    const std::size_t n = 24000;
+    const auto stream = makeStream(prm, n);
+
+    ProfileConfig cfg;
+    cfg.trackStrides = true;
+    // Disable periodic clearing so that "alphabet fits the table"
+    // really means no eviction anywhere; clear-timing drift between
+    // shards and the sequential run is covered by the TnvTable merge
+    // tests.
+    cfg.tnv.clearInterval = 1u << 30;
+    cfg.strideTnv.clearInterval = 1u << 30;
+    const ValueProfile seq = profileRange(stream, 0, n, cfg);
+
+    ValueProfile merged(cfg);
+    for (std::size_t s = 0; s < prm.shards; ++s) {
+        const auto shard = profileRange(stream,
+                                        s * n / prm.shards,
+                                        (s + 1) * n / prm.shards, cfg);
+        merged.merge(shard);
+    }
+
+    EXPECT_EQ(merged.executions(), seq.executions());
+    // Zero counting is exact: every shard counts its own zeros.
+    EXPECT_EQ(merged.zeroCount(), seq.zeroCount());
+
+    const bool fits = prm.alphabet <= 8; // no TNV eviction anywhere
+    if (fits) {
+        // Inv-Top/Inv-All/Diff are exact when no shard ever evicted.
+        EXPECT_DOUBLE_EQ(merged.invTop(), seq.invTop());
+        EXPECT_DOUBLE_EQ(merged.invAll(), seq.invAll());
+        EXPECT_EQ(merged.distinct(), seq.distinct());
+    } else {
+        // With eviction, merged counts are a close lower bound.
+        EXPECT_LE(merged.invTop(), seq.invTop() + 1e-12);
+        EXPECT_NEAR(merged.invTop(), seq.invTop(), 0.05);
+        EXPECT_NEAR(merged.invAll(), seq.invAll(), 0.05);
+        EXPECT_EQ(merged.distinct(), seq.distinct());
+    }
+
+    // LVP: each shard boundary can drop at most one last-value hit,
+    // so merged LVP is within (K-1)/n below the sequential value.
+    const double slack =
+        static_cast<double>(prm.shards - 1) / static_cast<double>(n);
+    EXPECT_LE(merged.lvp(), seq.lvp() + 1e-12);
+    EXPECT_GE(merged.lvp(), seq.lvp() - slack - 1e-12);
+
+    // Stride tracking loses at most one delta per boundary too; the
+    // dominant stride structure must survive the merge.
+    EXPECT_NEAR(merged.strideInvTop(), seq.strideInvTop(),
+                slack + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShardMerge,
+    ::testing::Values(MergeParam{2, 6, 11}, MergeParam{4, 6, 12},
+                      MergeParam{8, 6, 13}, MergeParam{2, 64, 14},
+                      MergeParam{4, 64, 15}, MergeParam{8, 64, 16},
+                      MergeParam{16, 256, 17}));
+
+TEST(ValueProfileMerge, TakesOtherLastValueAcrossBoundary)
+{
+    // After a merge, the "last value" is the tail shard's last value:
+    // recording it again must count as an LVP hit.
+    ValueProfile a, b;
+    a.record(1);
+    b.record(2);
+    a.merge(b);
+    const auto hits_before = a.lvpHits();
+    a.record(2);
+    EXPECT_EQ(a.lvpHits(), hits_before + 1);
+}
+
+TEST(ValueProfileMerge, UnionsDistinctSetsWithoutDoubleCounting)
+{
+    ValueProfile a, b;
+    for (std::uint64_t v = 0; v < 8; ++v)
+        a.record(v);
+    for (std::uint64_t v = 4; v < 12; ++v)
+        b.record(v);
+    a.merge(b);
+    EXPECT_EQ(a.distinct(), 12u);
+    EXPECT_FALSE(a.distinctSaturated());
+}
+
+TEST(ValueProfileMerge, DistinctUnionSaturatesAtCap)
+{
+    ProfileConfig cfg;
+    cfg.maxDistinct = 10;
+    ValueProfile a(cfg), b(cfg);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        a.record(v);
+    for (std::uint64_t v = 100; v < 108; ++v)
+        b.record(v);
+    a.merge(b);
+    EXPECT_TRUE(a.distinctSaturated());
+    EXPECT_EQ(a.distinct(), 10u);
+}
 
 } // namespace

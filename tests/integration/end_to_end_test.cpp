@@ -67,9 +67,13 @@ weightedInvTop(const ProfileSnapshot &snap)
 TEST(EndToEnd, LispDispatchLoadsAreSemiInvariant)
 {
     // The interpreter's opcode fetch must show high Inv-All with a
-    // small set of values — the paper's canonical observation.
+    // small set of values — the paper's canonical observation. Use an
+    // uncleared TNV table so coverage reflects the value stream, not
+    // the clearing policy's periodic bottom-half eviction.
+    InstProfilerConfig cfg;
+    cfg.profile.tnv.clearInterval = 1u << 30;
     const auto snap = profileRun(findWorkload("lisp"), "train",
-                                 InstProfilerConfig{}, true);
+                                 cfg, true);
     bool found_semi_invariant_load = false;
     for (const auto &[pc, s] : snap.entities) {
         if (s.totalExecutions > 10000 && s.invAll > 0.95 &&

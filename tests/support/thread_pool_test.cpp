@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the worker-thread pool behind the sharded profiling
+ * engine: task completion, wait() semantics, pool reuse, and the
+ * parallelFor index coverage guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+using vp::ThreadPool;
+
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait(); // must not deadlock
+    SUCCEED();
+}
+
+TEST(ThreadPool, PoolIsReusableAfterWait)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&] { ++ran; });
+        pool.wait();
+        EXPECT_EQ(ran.load(), (round + 1) * 20);
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++ran;
+            });
+    } // ~ThreadPool must finish all 50
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, TasksSubmittedFromWorkerThreadsComplete)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] {
+            ++ran;
+            pool.submit([&] { ++ran; });
+        });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolParallelFor, CoversEveryIndexExactlyOnce)
+{
+    const std::size_t n = 257;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h = 0;
+    ThreadPool::parallelFor(4, n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolParallelFor, SingleThreadRunsInlineInOrder)
+{
+    // threads <= 1 must run on the calling thread, in index order —
+    // this is what makes --jobs 1 exactly the pre-pool behavior.
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    ThreadPool::parallelFor(1, 10, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 10u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolParallelFor, HandlesZeroAndOneItems)
+{
+    int ran = 0;
+    ThreadPool::parallelFor(8, 0, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 0);
+    ThreadPool::parallelFor(8, 1, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolParallelFor, MoreThreadsThanItems)
+{
+    std::atomic<int> ran{0};
+    ThreadPool::parallelFor(16, 3, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 3);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the sharded parallel profiling engine: a parallel run over
+ * the whole workload suite must produce per-instruction results
+ * identical to running every job sequentially, in job order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/parallel_runner.hpp"
+
+using workloads::ParallelRunner;
+using workloads::ProfileJob;
+using workloads::ProfileJobResult;
+
+namespace
+{
+
+/** Serialize a snapshot so shard results can be compared verbatim. */
+std::string
+snapshotText(const core::ProfileSnapshot &snap)
+{
+    std::ostringstream os;
+    snap.save(os);
+    return os.str();
+}
+
+void
+expectIdenticalResults(const ProfileJobResult &a,
+                       const ProfileJobResult &b)
+{
+    ASSERT_EQ(a.workload, b.workload);
+    ASSERT_EQ(a.dataset, b.dataset);
+    EXPECT_EQ(a.run.dynamicInsts, b.run.dynamicInsts);
+    EXPECT_EQ(a.totalExecutions, b.totalExecutions);
+    EXPECT_EQ(a.profiledExecutions, b.profiledExecutions);
+    EXPECT_DOUBLE_EQ(a.invTop, b.invTop);
+    EXPECT_DOUBLE_EQ(a.invAll, b.invAll);
+    EXPECT_DOUBLE_EQ(a.lvp, b.lvp);
+    EXPECT_DOUBLE_EQ(a.zeroFraction, b.zeroFraction);
+    EXPECT_DOUBLE_EQ(a.meanDistinct, b.meanDistinct);
+    EXPECT_EQ(a.staticInsts, b.staticInsts);
+    EXPECT_EQ(a.programOutput, b.programOutput);
+    // Byte-identical per-instruction snapshots (Inv-Top, Inv-All,
+    // LVP, top values for every profiled pc).
+    EXPECT_EQ(snapshotText(a.snapshot), snapshotText(b.snapshot));
+}
+
+TEST(ParallelRunner, ParallelSuiteMatchesSequentialExactly)
+{
+    const auto jobs = workloads::suiteJobs("test");
+    ASSERT_FALSE(jobs.empty());
+
+    const auto parallel = ParallelRunner(4).run(jobs);
+    const auto sequential = ParallelRunner(1).run(jobs);
+
+    ASSERT_EQ(parallel.size(), jobs.size());
+    ASSERT_EQ(sequential.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].workload->name());
+        expectIdenticalResults(parallel[i], sequential[i]);
+    }
+}
+
+TEST(ParallelRunner, ResultsComeBackInJobOrder)
+{
+    const auto jobs = workloads::suiteJobs("train");
+    const auto results = ParallelRunner(3).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(results[i].workload, jobs[i].workload);
+        EXPECT_EQ(results[i].dataset, "train");
+        EXPECT_GT(results[i].totalExecutions, 0u);
+    }
+}
+
+TEST(ParallelRunner, RunOneMatchesBatchOfOne)
+{
+    ProfileJob job;
+    job.workload = workloads::allWorkloads().front();
+    job.dataset = "train";
+    const auto batch = ParallelRunner(2).run({job});
+    ASSERT_EQ(batch.size(), 1u);
+    const auto solo = ParallelRunner::runOne(job);
+    expectIdenticalResults(batch.front(), solo);
+}
+
+TEST(ParallelRunner, ShardSnapshotsOfSameProgramMerge)
+{
+    // Profile the same workload on two inputs and merge the shard
+    // snapshots — the aggregate a multi-input profiling session
+    // reports. Execution counts must sum per pc.
+    const auto *w = workloads::allWorkloads().front();
+    ProfileJob train, test;
+    train.workload = test.workload = w;
+    train.dataset = "train";
+    test.dataset = "test";
+    auto results = ParallelRunner(2).run({train, test});
+    ASSERT_EQ(results.size(), 2u);
+
+    core::ProfileSnapshot merged = results[0].snapshot;
+    merged.merge(results[1].snapshot);
+    ASSERT_GE(merged.size(), results[0].snapshot.size());
+    for (const auto &[pc, s] : results[0].snapshot.entities) {
+        const auto &m = merged.entities.at(pc);
+        std::uint64_t expect = s.totalExecutions;
+        auto it = results[1].snapshot.entities.find(pc);
+        if (it != results[1].snapshot.entities.end())
+            expect += it->second.totalExecutions;
+        EXPECT_EQ(m.totalExecutions, expect) << "pc " << pc;
+    }
+}
+
+TEST(ParallelRunner, ZeroMeansHardwareThreads)
+{
+    EXPECT_GE(ParallelRunner(0).jobCount(), 1u);
+    EXPECT_EQ(ParallelRunner(5).jobCount(), 5u);
+}
+
+} // namespace

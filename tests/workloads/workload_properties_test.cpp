@@ -28,11 +28,27 @@ cfg()
     return CpuConfig{16u << 20, 100'000'000};
 }
 
+/**
+ * TNV configuration for stream characterization: periodic clearing
+ * disabled, so a table that can hold every distinct value covers the
+ * stream exactly. These tests measure what the workload *produces*;
+ * the clearing policy's own estimation effects are covered by the TNV
+ * table and profiler tests.
+ */
+InstProfilerConfig
+noClearConfig()
+{
+    InstProfilerConfig c;
+    c.profile.tnv.clearInterval = 1u << 30;
+    return c;
+}
+
 struct Profiles
 {
-    explicit Profiles(const std::string &name)
+    explicit Profiles(const std::string &name,
+                      const InstProfilerConfig &icfg = {})
         : workload(findWorkload(name)), img(workload.program()),
-          mgr(img), cpu(workload.program(), cfg()), iprof(img)
+          mgr(img), cpu(workload.program(), cfg()), iprof(img, icfg)
     {
         iprof.profileAllWrites(mgr);
         mprof.instrument(mgr);
@@ -67,7 +83,7 @@ struct Profiles
 
 TEST(WorkloadProperties, LispDispatchTableLoadIsSemiInvariant)
 {
-    Profiles p("lisp");
+    Profiles p("lisp", noClearConfig());
     // Some hot load (the opcode fetch / dispatch-table fetch) must
     // concentrate on a handful of values with near-total coverage.
     const auto *rec = p.findRecord([&](const auto &r) {
@@ -118,13 +134,13 @@ TEST(WorkloadProperties, NqueensConflictFlagsAreOftenZero)
     // During deep search much of the board is occupied, but the
     // conflict-flag loads still see zero a substantial fraction of
     // the time (that's what lets the search descend at all).
-    Profiles p("nqueens");
+    Profiles p("nqueens", noClearConfig());
     const auto *rec = p.findRecord([&](const auto &r) {
         return p.workload.program().code[r.pc].op == Opcode::LBU;
     });
     ASSERT_NE(rec, nullptr);
     EXPECT_GT(rec->profile.zeroFraction(), 0.25);
-    // Flags are two-valued: the table covers everything.
+    // Flags are two-valued: an uncleared table covers everything.
     EXPECT_DOUBLE_EQ(rec->profile.invAll(), 1.0);
 }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI driver: build and run the test suite under sanitizers.
+#
+# Usage: tools/ci.sh [sanitizer...]
+#
+# With no arguments, runs the default CI matrix: a plain build plus
+# AddressSanitizer and UndefinedBehaviorSanitizer builds, each running
+# the full ctest suite. Pass sanitizer names (none, address, undefined,
+# thread) to run a subset — e.g. `tools/ci.sh thread` validates the
+# sharded parallel profiling engine under ThreadSanitizer.
+#
+# Each configuration builds into build-ci-<name>/ so sanitized builds
+# never pollute the main build/ tree.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${VP_CI_JOBS:-$(nproc)}"
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+    CONFIGS=(none address undefined)
+fi
+
+run_config() {
+    local san="$1"
+    local dir="build-ci-${san}"
+    local flags=()
+    if [ "$san" != "none" ]; then
+        flags+=("-DVP_SANITIZE=${san}")
+    fi
+
+    echo "=== [${san}] configure ==="
+    cmake -B "$dir" -S . "${flags[@]}"
+    echo "=== [${san}] build ==="
+    cmake --build "$dir" -j "$JOBS"
+    echo "=== [${san}] test ==="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+for san in "${CONFIGS[@]}"; do
+    case "$san" in
+        none|address|undefined|thread) run_config "$san" ;;
+        *)
+            echo "unknown sanitizer '$san'" \
+                 "(expected none, address, undefined, or thread)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "=== CI passed: ${CONFIGS[*]} ==="

@@ -6,6 +6,7 @@
  *
  * Usage:
  *   vpprof --workload lisp [--dataset train] [options]
+ *   vpprof --workload all [--jobs N] [options]
  *   vpprof --asm prog.vasm [options]
  *   vpprof --compare a.vprof b.vprof
  *   vpprof --list
@@ -14,6 +15,9 @@
  *   --mode full|sampled|random   profiling mode (default full)
  *   --rate P                     random-mode sampling rate (default 1/64)
  *   --target writes|loads        instructions to profile (default writes)
+ *   --jobs N                     parallel shards for --workload all
+ *                                (default 1 = sequential, 0 = one per
+ *                                hardware thread)
  *   --mem                        also profile memory locations
  *   --params                     also profile procedure parameters
  *   --strides                    track successive-value deltas
@@ -22,6 +26,11 @@
  *   --min-inv F                  semi-invariant threshold (default 0.8)
  *   --save FILE                  write the profile snapshot
  *   --disasm                     dump the program before running
+ *
+ * `--workload all` profiles every bundled workload, one independent
+ * shard per (workload, dataset) job, fanned out over `--jobs` worker
+ * threads, and prints per-workload reports in canonical order plus a
+ * suite summary — output is byte-identical for any --jobs value.
  */
 
 #include <cstring>
@@ -39,6 +48,7 @@
 #include "support/logging.hpp"
 #include "vpsim/assembler.hpp"
 #include "vpsim/disasm.hpp"
+#include "workloads/parallel_runner.hpp"
 #include "workloads/workload.hpp"
 
 namespace
@@ -52,6 +62,7 @@ struct Options
     std::string mode = "full";
     double rate = 1.0 / 64.0;
     std::string target = "writes";
+    unsigned jobs = 1;
     bool mem = false;
     bool params = false;
     bool strides = false;
@@ -68,14 +79,14 @@ struct Options
 usage()
 {
     std::cerr <<
-        "usage: vpprof --workload NAME [--dataset D] [options]\n"
+        "usage: vpprof --workload NAME|all [--dataset D] [options]\n"
         "       vpprof --asm FILE.vasm [options]\n"
         "       vpprof --compare A.vprof B.vprof\n"
         "       vpprof --list\n"
         "options: --mode full|sampled|random, --rate P,\n"
-        "         --target writes|loads, --mem, --params, --strides,\n"
-        "         --regs, --top N, --min-inv F, --save FILE,\n"
-        "         --disasm\n";
+        "         --target writes|loads, --jobs N, --mem, --params,\n"
+        "         --strides, --regs, --top N, --min-inv F,\n"
+        "         --save FILE, --disasm\n";
     std::exit(2);
 }
 
@@ -102,6 +113,8 @@ parse(int argc, char **argv)
             opt.rate = std::atof(need(i));
         else if (arg == "--target")
             opt.target = need(i);
+        else if (arg == "--jobs")
+            opt.jobs = static_cast<unsigned>(std::atoi(need(i)));
         else if (arg == "--mem")
             opt.mem = true;
         else if (arg == "--params")
@@ -152,6 +165,76 @@ runCompare(const Options &opt)
     return 0;
 }
 
+core::InstProfilerConfig
+profilerConfig(const Options &opt)
+{
+    core::InstProfilerConfig icfg;
+    if (opt.mode == "full")
+        icfg.mode = core::ProfileMode::Full;
+    else if (opt.mode == "sampled")
+        icfg.mode = core::ProfileMode::Sampled;
+    else if (opt.mode == "random")
+        icfg.mode = core::ProfileMode::Random;
+    else
+        usage();
+    icfg.randomRate = opt.rate;
+    icfg.profile.trackStrides = opt.strides;
+    return icfg;
+}
+
+/**
+ * --workload all: one shard per workload, fanned out over --jobs
+ * worker threads; reports printed in canonical order so the output is
+ * identical for any job count.
+ */
+int
+runSuite(const Options &opt)
+{
+    if (opt.mem || opt.params || opt.regs || opt.strides ||
+        opt.disasm || !opt.saveFile.empty())
+        vp_fatal("--workload all supports only --mode/--rate/--target/"
+                 "--jobs/--dataset/--top/--min-inv");
+    if (opt.target != "writes" && opt.target != "loads")
+        usage();
+
+    const auto jobs = workloads::suiteJobs(
+        opt.dataset, opt.target == "loads", profilerConfig(opt));
+    workloads::ParallelRunner runner(opt.jobs);
+    const auto results = runner.run(jobs);
+
+    vp::TextTable suite({"program", "insts(M)", "profiled%", "LVP%",
+                         "InvTop%", "InvAll%"});
+    for (const auto &res : results) {
+        std::cout << "=== " << res.workload->name() << " ("
+                  << res.dataset << ") ===\n";
+        std::cout << "executed " << res.run.dynamicInsts
+                  << " instructions (" << res.run.dynamicLoads
+                  << " loads, " << res.run.dynamicStores
+                  << " stores); profiled " << res.profiledExecutions
+                  << " of " << res.totalExecutions << " values ("
+                  << res.fractionProfiled * 100 << "%)\n\n";
+        const vpsim::Program &prog = res.workload->program();
+        core::snapshotInstructionReport(res.snapshot, prog, opt.top)
+            .print(std::cout, "value profile (most-executed first)");
+        std::cout << "\n";
+        core::snapshotSemiInvariantReport(res.snapshot, prog,
+                                          opt.minInv, 100, opt.top)
+            .print(std::cout, "semi-invariant instructions");
+        std::cout << "\n";
+
+        suite.row()
+            .cell(res.workload->name())
+            .cell(static_cast<double>(res.run.dynamicInsts) / 1e6, 2)
+            .percent(res.fractionProfiled)
+            .percent(res.lvp)
+            .percent(res.invTop)
+            .percent(res.invAll);
+    }
+    suite.print(std::cout,
+                "suite summary (execution-weighted per workload)");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -167,6 +250,8 @@ main(int argc, char **argv)
     }
     if (!opt.compareA.empty())
         return runCompare(opt);
+    if (opt.workload == "all")
+        return runSuite(opt);
     if (opt.workload.empty() == opt.asmFile.empty())
         usage(); // exactly one source required
 
@@ -198,18 +283,7 @@ main(int argc, char **argv)
     instr::Image image(*prog);
     instr::InstrumentManager manager(image);
 
-    core::InstProfilerConfig icfg;
-    if (opt.mode == "full")
-        icfg.mode = core::ProfileMode::Full;
-    else if (opt.mode == "sampled")
-        icfg.mode = core::ProfileMode::Sampled;
-    else if (opt.mode == "random")
-        icfg.mode = core::ProfileMode::Random;
-    else
-        usage();
-    icfg.randomRate = opt.rate;
-    icfg.profile.trackStrides = opt.strides;
-
+    const core::InstProfilerConfig icfg = profilerConfig(opt);
     core::InstructionProfiler iprof(image, icfg);
     if (opt.target == "writes")
         iprof.profileAllWrites(manager);
