@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 
 #include "support/logging.hpp"
+#include "support/stats_registry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace bench
@@ -78,9 +80,49 @@ profileSuite(const std::string &dataset, Target target,
 unsigned
 benchJobs()
 {
-    if (const char *env = std::getenv("VP_BENCH_JOBS"))
-        return static_cast<unsigned>(std::atoi(env));
-    return vp::ThreadPool::hardwareThreads();
+    const char *env = std::getenv("VP_BENCH_JOBS");
+    if (!env)
+        return vp::ThreadPool::hardwareThreads();
+    const std::string s = env;
+    if (s == "auto")
+        return vp::ThreadPool::hardwareThreads();
+    char *end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        vp_fatal("VP_BENCH_JOBS: '%s' is not a job count (use a "
+                 "positive integer or 'auto')",
+                 s.c_str());
+    if (v <= 0)
+        vp_fatal("VP_BENCH_JOBS must be a positive integer (got %s); "
+                 "use 'auto' for one worker per hardware thread",
+                 s.c_str());
+    return static_cast<unsigned>(v);
+}
+
+StatsSession::StatsSession(std::string name)
+{
+    const char *env = std::getenv("VP_STATS_SIDECAR");
+    if (env && std::string(env) == "0")
+        return; // overhead-measurement mode: no collection at all
+    std::string dir = env ? env : "";
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
+    sidecarPath = dir + std::move(name) + ".stats.json";
+    vp::stats::setEnabled(true);
+}
+
+StatsSession::~StatsSession()
+{
+    if (sidecarPath.empty())
+        return;
+    vp::stats::setEnabled(false);
+    std::ofstream out(sidecarPath);
+    if (!out) {
+        vp_warn("cannot write stats sidecar '%s'",
+                sidecarPath.c_str());
+        return;
+    }
+    vp::stats::global().writeJson(out);
 }
 
 double

@@ -72,8 +72,31 @@ profileSuite(const std::string &dataset, Target target,
  * Worker count for the experiment drivers: one thread per hardware
  * thread unless the VP_BENCH_JOBS environment variable overrides it
  * (set VP_BENCH_JOBS=1 to reproduce the old sequential drivers).
+ * VP_BENCH_JOBS must be a positive integer or "auto"; zero, negative
+ * or non-numeric values are fatal configuration errors.
  */
 unsigned benchJobs();
+
+/**
+ * RAII stats sidecar for the experiment binaries: the constructor
+ * enables runtime stats collection, the destructor writes the global
+ * registry as JSON to `<name>.stats.json` in the current directory
+ * (or under $VP_STATS_SIDECAR when it names a directory). Set
+ * VP_STATS_SIDECAR=0 to disable collection and the sidecar entirely —
+ * the overhead-measurement configuration.
+ */
+class StatsSession
+{
+  public:
+    explicit StatsSession(std::string name);
+    ~StatsSession();
+
+    StatsSession(const StatsSession &) = delete;
+    StatsSession &operator=(const StatsSession &) = delete;
+
+  private:
+    std::string sidecarPath; ///< empty when disabled
+};
 
 /**
  * Oracle profiler: exact per-pc value histograms (unbounded memory),

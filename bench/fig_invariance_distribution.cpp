@@ -46,6 +46,7 @@ bar(double fraction)
 int
 main()
 {
+    bench::StatsSession stats_session("fig_invariance_distribution");
     const auto loads = distribution(bench::Target::Loads);
     const auto all = distribution(bench::Target::AllWrites);
 

@@ -16,6 +16,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_all_instructions");
     vp::TextTable table({"program", "profiled(M)", "LVP%", "InvTop%",
                          "InvAll%", "Diff/inst", "Zero%"});
 

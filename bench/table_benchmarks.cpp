@@ -74,6 +74,7 @@ struct Job
 int
 main()
 {
+    bench::StatsSession stats_session("table_benchmarks");
     vp::TextTable table({"program", "description", "dataset",
                          "insts(M)", "loads(M)", "stores(M)",
                          "static", "cover90", "cover99"});

@@ -18,6 +18,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_by_class");
     struct ClassAgg
     {
         double weight = 0;

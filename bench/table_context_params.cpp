@@ -22,6 +22,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_context_params");
     vp::TextTable table({"program", "calls(K)", "sites", "semiInv%",
                          "semiInv%/site", "gain(pp)"});
 

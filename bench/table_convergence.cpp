@@ -79,6 +79,7 @@ sweep()
 int
 main()
 {
+    bench::StatsSession stats_session("table_convergence");
     vp::TextTable table({"config", "profiled%", "|dInvTop|%",
                          "transfer%", "converged%"});
 

@@ -17,6 +17,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_load_invariance");
     vp::TextTable table({"program", "loads(M)", "LVP%", "InvTop%",
                          "InvAll%", "Diff/load", "Zero%"});
 

@@ -23,6 +23,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_memoization");
     vp::TextTable table({"program", "procedure", "calls", "purity",
                          "tuples", "hit%(inf)", "hit%(256)"});
 

@@ -19,6 +19,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_memory_locations");
     vp::TextTable table({"program", "locations", "stores(M)", "InvTop%",
                          "InvAll%", "LVP%", "Zero%", "fullyInv%"});
 

@@ -107,6 +107,7 @@ BENCHMARK(BM_RandomProfile)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    bench::StatsSession stats_session("table_overhead");
     std::printf("E8: profiling overhead — compare BM_FullProfile and "
                 "BM_SampledProfile times against BM_Native\n");
     benchmark::Initialize(&argc, argv);

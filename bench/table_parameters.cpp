@@ -17,6 +17,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_parameters");
     vp::TextTable table({"program", "procedure", "calls", "arg",
                          "InvTop%", "InvAll%", "Diff", "top value"});
 

@@ -68,6 +68,7 @@ makeHybridStride2Level()
 int
 main()
 {
+    bench::StatsSession stats_session("table_predictors");
     const Maker makers[] = {
         {"lvp", makeLvp},
         {"stride", makeStride},

@@ -21,6 +21,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_registers");
     struct Agg
     {
         std::uint64_t writes = 0;

@@ -42,15 +42,16 @@ profiledFactor(const workloads::Workload &w, const std::string &dataset)
 
 specialize::SpeedupReport
 runPair(const workloads::Workload &w, const vpsim::Program &orig,
-        const vpsim::Program &spec, const std::string &dataset)
+        const specialize::SpecializeResult &spec,
+        const std::string &dataset)
 {
     vpsim::Cpu orig_cpu(orig, bench::cpuConfig());
     orig_cpu.reset();
     w.inject(orig_cpu, dataset);
-    vpsim::Cpu spec_cpu(spec, bench::cpuConfig());
+    vpsim::Cpu spec_cpu(spec.program, bench::cpuConfig());
     spec_cpu.reset();
     w.inject(spec_cpu, dataset);
-    return specialize::compareRuns(orig_cpu, spec_cpu);
+    return specialize::compareRuns(orig_cpu, spec_cpu, &spec);
 }
 
 /** Counts retired instructions whose pc lies in given ranges. */
@@ -92,6 +93,7 @@ rangeInsts(const workloads::Workload &w, const vpsim::Program &prog,
 int
 main()
 {
+    bench::StatsSession stats_session("table_specialization");
     const auto &w = workloads::findWorkload("matmul");
     const vpsim::Program &orig = w.program();
 
@@ -103,7 +105,7 @@ main()
     vp::TextTable table({"scenario", "orig insts(M)", "spec insts(M)",
                          "saving%", "outputs"});
 
-    const auto hit = runPair(w, orig, spec.program, "train");
+    const auto hit = runPair(w, orig, spec, "train");
     table.row()
         .cell("guard hits (train input, train profile)")
         .cell(static_cast<double>(hit.originalInsts) / 1e6, 3)
@@ -111,7 +113,7 @@ main()
         .percent(1.0 - 1.0 / hit.speedup())
         .cell(hit.outputsMatch ? "match" : "MISMATCH");
 
-    const auto miss = runPair(w, orig, spec.program, "test");
+    const auto miss = runPair(w, orig, spec, "test");
     table.row()
         .cell("guard misses (test input, train profile)")
         .cell(static_cast<double>(miss.originalInsts) / 1e6, 3)
@@ -124,7 +126,7 @@ main()
     const auto respec = specialize::specializeProcedure(
         orig, "scale",
         {{static_cast<std::uint8_t>(vpsim::regA0 + 1), test_factor}});
-    const auto rehit = runPair(w, orig, respec.program, "test");
+    const auto rehit = runPair(w, orig, respec, "test");
     table.row()
         .cell("guard hits (test input, test profile)")
         .cell(static_cast<double>(rehit.originalInsts) / 1e6, 3)

@@ -27,6 +27,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_strides");
     struct Agg
     {
         double weight = 0;

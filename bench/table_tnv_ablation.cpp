@@ -52,6 +52,7 @@ variants()
 int
 main()
 {
+    bench::StatsSession stats_session("table_tnv_ablation");
     vp::TextTable table({"variant", "|dInvTop|%", "topValueAgree%"});
 
     for (const auto &variant : variants()) {

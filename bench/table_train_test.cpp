@@ -18,6 +18,7 @@
 int
 main()
 {
+    bench::StatsSession stats_session("table_train_test");
     vp::TextTable table({"program", "set", "LVP%", "InvTop%", "InvAll%",
                          "Diff/load", "corr", "transfer%"});
 

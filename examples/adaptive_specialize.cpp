@@ -95,12 +95,16 @@ main(int argc, char **argv)
     vpsim::Cpu spec_cpu(spec.program, cpu_cfg);
     spec_cpu.reset();
     w.inject(spec_cpu, "train");
-    const auto report = specialize::compareRuns(orig_cpu, spec_cpu);
+    const auto report =
+        specialize::compareRuns(orig_cpu, spec_cpu, &spec);
 
     std::cout << "original:    " << report.originalInsts
               << " dynamic instructions\n";
     std::cout << "specialized: " << report.specializedInsts
               << " dynamic instructions\n";
+    std::cout << "guard:       " << report.guardInvocations
+              << " invocations, " << report.guardHits << " hits, "
+              << report.guardMisses() << " misses\n";
     std::cout << "outputs "
               << (report.outputsMatch ? "match" : "MISMATCH") << ", "
               << (report.speedup() - 1.0) * 100.0 << "% saving\n";

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hpp"
+#include "support/stats_registry.hpp"
 
 namespace core
 {
@@ -40,6 +41,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
 {
     vp_assert(burstEnded, "no burst has just ended");
     burstEnded = false;
+    VP_STAT_INC(vp::stats::Cid::SamplerBursts);
 
     bool retriggered = false;
     if (lastInv >= 0.0) {
@@ -51,6 +53,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
                 stableRounds = 0;
                 curSkip = cfg.initialSkip;
                 retriggered = true;
+                VP_STAT_INC(vp::stats::Cid::SamplerRetriggers);
             } else {
                 // Still converged: keep backing off.
                 curSkip = std::min<std::uint64_t>(
@@ -58,6 +61,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
                     static_cast<std::uint64_t>(
                         static_cast<double>(curSkip) *
                         cfg.backoffFactor));
+                VP_STAT_INC(vp::stats::Cid::SamplerBackoffs);
             }
         } else if (delta < cfg.convergenceDelta) {
             if (++stableRounds >= cfg.convergeRounds) {
@@ -67,6 +71,8 @@ SamplerState::noteBurstEnd(double inv_estimate)
                     static_cast<std::uint64_t>(
                         static_cast<double>(curSkip) *
                         cfg.backoffFactor));
+                VP_STAT_INC(vp::stats::Cid::SamplerConvergences);
+                VP_STAT_INC(vp::stats::Cid::SamplerBackoffs);
             }
         } else {
             stableRounds = 0;

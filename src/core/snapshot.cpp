@@ -8,6 +8,7 @@
 
 #include "support/logging.hpp"
 #include "support/stats.hpp"
+#include "support/stats_registry.hpp"
 
 namespace core
 {
@@ -77,6 +78,7 @@ EntitySummary::merge(const EntitySummary &other)
 void
 ProfileSnapshot::merge(const ProfileSnapshot &other)
 {
+    VP_STAT_TIMER(merge_timer, "core.snapshot.merge_us");
     for (const auto &[key, summary] : other.entities) {
         auto it = entities.find(key);
         if (it == entities.end())
@@ -90,9 +92,14 @@ ProfileSnapshot
 ProfileSnapshot::fromInstructionProfiler(const InstructionProfiler &prof)
 {
     ProfileSnapshot snap;
-    for (const auto &rec : prof.records())
+    for (const auto &rec : prof.records()) {
         snap.entities[rec.pc] =
             summarize(rec.profile, rec.totalExecutions);
+        // Final table occupancy per entity — how full the TNV tables
+        // ran, the companion to the eviction/clear counters.
+        VP_STAT_OBSERVE("core.tnv.occupancy",
+                        static_cast<double>(rec.profile.tnv().size()));
+    }
     return snap;
 }
 

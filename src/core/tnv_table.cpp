@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/stats_registry.hpp"
 
 namespace core
 {
@@ -31,10 +32,13 @@ TnvTable::record(std::uint64_t value)
     // Miss with a free slot: insert.
     if (entries.size() < cfg.capacity) {
         entries.push_back({value, 1, records});
+        VP_STAT_INC(vp::stats::Cid::TnvInserts);
     } else {
         // Miss with a full table: replace the policy's victim.
         TnvEntry &victim = entries[victimIndex()];
         victim = {value, 1, records};
+        VP_STAT_INC(vp::stats::Cid::TnvInserts);
+        VP_STAT_INC(vp::stats::Cid::TnvEvictions);
     }
 
   maybe_clear:
@@ -123,7 +127,10 @@ TnvTable::clearBottomHalf()
     // entries so newly-hot values can establish themselves, even when
     // the table never fills.
     auto sorted = sortedByCount();
-    sorted.resize((sorted.size() + 1) / 2);
+    const std::size_t keep = (sorted.size() + 1) / 2;
+    VP_STAT_INC(vp::stats::Cid::TnvClears);
+    VP_STAT_ADD(vp::stats::Cid::TnvClearEvictions, sorted.size() - keep);
+    sorted.resize(keep);
     entries = std::move(sorted);
 }
 
@@ -151,9 +158,19 @@ TnvTable::merge(const TnvTable &other)
     if (cfg.policy == TnvConfig::Policy::SteadyClear)
         sinceClear = (sinceClear + other.sinceClear) % cfg.clearInterval;
 
-    // Capacity-respecting LFU re-selection over the union.
+    VP_STAT_INC(vp::stats::Cid::TnvMerges);
+
+    // Capacity-respecting LFU re-selection over the union. The counts
+    // carried by dropped entries are the merge's information loss
+    // (DESIGN.md, "Shard-and-merge semantics"), so attribute them.
     if (entries.size() > cfg.capacity) {
         auto sorted = sortedByCount();
+        std::uint64_t lost = 0;
+        for (std::size_t i = cfg.capacity; i < sorted.size(); ++i)
+            lost += sorted[i].count;
+        VP_STAT_ADD(vp::stats::Cid::TnvMergeDroppedEntries,
+                    sorted.size() - cfg.capacity);
+        VP_STAT_ADD(vp::stats::Cid::TnvMergeDroppedCount, lost);
         sorted.resize(cfg.capacity);
         entries = std::move(sorted);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/stats_registry.hpp"
 
 namespace predict
 {
@@ -64,6 +65,8 @@ class LastValuePredictor final : public ValuePredictor
         Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
         const bool owner = e.valid && (!cfg.table.tagged || e.tag == pc);
         if (!owner) {
+            if (e.valid)
+                VP_STAT_INC(vp::stats::Cid::PredictTagEvictions);
             e = Entry{true, pc, actual, 0};
             return;
         }
@@ -128,6 +131,8 @@ class StridePredictor final : public ValuePredictor
         Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
         const bool owner = e.valid && (!cfg.table.tagged || e.tag == pc);
         if (!owner) {
+            if (e.valid)
+                VP_STAT_INC(vp::stats::Cid::PredictTagEvictions);
             e = Entry{true, pc, actual, 0, false, false};
             return;
         }
@@ -213,6 +218,8 @@ class TwoLevelPredictor final : public ValuePredictor
         Entry &e = entries[tableIndex(pc, cfg.table.indexBits)];
         const bool owner = e.valid && (!cfg.table.tagged || e.tag == pc);
         if (!owner) {
+            if (e.valid)
+                VP_STAT_INC(vp::stats::Cid::PredictTagEvictions);
             e.valid = true;
             e.tag = pc;
             e.numValues = 0;
@@ -240,6 +247,7 @@ class TwoLevelPredictor final : public ValuePredictor
                 for (unsigned i = 1; i < cfg.valuesPerEntry; ++i)
                     if (mass[i] < mass[slot])
                         slot = i;
+                VP_STAT_INC(vp::stats::Cid::PredictSlotReplacements);
                 e.values[slot] = actual;
                 for (unsigned p = 0; p < patternCount; ++p)
                     e.counters[p * cfg.valuesPerEntry + slot] = 0;

@@ -1,12 +1,50 @@
 #include "specialize/specializer.hpp"
 
 #include "support/logging.hpp"
+#include "support/stats_registry.hpp"
 
 namespace specialize
 {
 
 using vpsim::Inst;
 using vpsim::Opcode;
+
+namespace
+{
+
+/**
+ * Counts guard dispatches while the specialized program runs. The
+ * guard block is only entered at its first instruction (every BNE in
+ * it jumps *out*), so that pc retiring counts invocations exactly;
+ * its final JMP retires only when every binding test passed, so that
+ * pc counts hits exactly.
+ */
+class GuardWatch final : public vpsim::ExecListener
+{
+  public:
+    GuardWatch(std::uint32_t guard_entry, std::uint32_t guard_length)
+        : entryPc(guard_entry), jumpPc(guard_entry + guard_length - 1)
+    {
+    }
+
+    void
+    onInst(std::uint32_t pc, const Inst &, bool, std::uint64_t) override
+    {
+        if (pc == entryPc)
+            ++invocations;
+        else if (pc == jumpPc)
+            ++hits;
+    }
+
+    std::uint64_t invocations = 0;
+    std::uint64_t hits = 0;
+
+  private:
+    std::uint32_t entryPc;
+    std::uint32_t jumpPc;
+};
+
+} // namespace
 
 SpecializeResult
 specializeProcedure(const vpsim::Program &prog,
@@ -112,6 +150,7 @@ specializeProcedure(const vpsim::Program &prog,
     result.specializedEntry = clone_begin;
     result.specializedEnd = clone_end;
     result.guardLength = guard_end - guard_begin;
+    VP_STAT_INC(vp::stats::Cid::SpecializeGuardsEmitted);
 
     const std::string err = out.validate();
     if (!err.empty())
@@ -120,11 +159,26 @@ specializeProcedure(const vpsim::Program &prog,
 }
 
 SpeedupReport
-compareRuns(vpsim::Cpu &original, vpsim::Cpu &specialized)
+compareRuns(vpsim::Cpu &original, vpsim::Cpu &specialized,
+            const SpecializeResult *spec_info)
 {
     SpeedupReport report;
     const vpsim::RunResult orig = original.run();
+
+    GuardWatch watch(spec_info ? spec_info->guardEntry : 0,
+                     spec_info ? spec_info->guardLength : 1);
+    if (spec_info)
+        specialized.addListener(&watch);
     const vpsim::RunResult spec = specialized.run();
+    if (spec_info) {
+        specialized.removeListener(&watch);
+        report.guardInvocations = watch.invocations;
+        report.guardHits = watch.hits;
+        VP_STAT_ADD(vp::stats::Cid::SpecializeGuardHits, watch.hits);
+        VP_STAT_ADD(vp::stats::Cid::SpecializeGuardMisses,
+                    watch.invocations - watch.hits);
+    }
+
     report.originalInsts = orig.dynamicInsts;
     report.specializedInsts = spec.dynamicInsts;
     report.outputsMatch = orig.exited() && spec.exited() &&

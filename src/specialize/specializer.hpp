@@ -65,6 +65,21 @@ struct SpeedupReport
     std::uint64_t specializedInsts = 0;
     bool outputsMatch = false;
 
+    /**
+     * Guard dispatch counts, populated when compareRuns is given the
+     * SpecializeResult: invocations is how often the guard block was
+     * entered, hits how often every binding matched and control
+     * reached the specialized clone.
+     */
+    std::uint64_t guardInvocations = 0;
+    std::uint64_t guardHits = 0;
+
+    std::uint64_t
+    guardMisses() const
+    {
+        return guardInvocations - guardHits;
+    }
+
     double
     speedup() const
     {
@@ -79,8 +94,14 @@ struct SpeedupReport
  * Run both programs with identical initial memory contents (prepared
  * by the caller via the two Cpus) and compare outputs and dynamic
  * instruction counts.
+ *
+ * When `spec` (the result that built the specialized program) is
+ * given, the run also counts guard invocations and hits — exactly:
+ * the guard's first instruction retires once per invocation and its
+ * final jump retires only on a full binding match.
  */
-SpeedupReport compareRuns(vpsim::Cpu &original, vpsim::Cpu &specialized);
+SpeedupReport compareRuns(vpsim::Cpu &original, vpsim::Cpu &specialized,
+                          const SpecializeResult *spec = nullptr);
 
 } // namespace specialize
 

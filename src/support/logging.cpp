@@ -1,45 +1,103 @@
 #include "support/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
 
 namespace vp
 {
 
 namespace
 {
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
 
-void
-vreport(const char *tag, const char *fmt, va_list ap)
+thread_local int tlsShard = -1;
+
+/**
+ * All report paths funnel through one mutex and emit each message as
+ * a single write, so concurrent shard output never interleaves
+ * mid-line. (A function-local static, so it is usable during static
+ * init/teardown.)
+ */
+std::mutex &
+logMutex()
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    static std::mutex m;
+    return m;
 }
+
+/**
+ * Compose "tag: [shard N] message\n" into one buffer and write it
+ * with a single fputs under the log mutex.
+ */
+void
+vreport(const char *prefix, const char *fmt, va_list ap)
+{
+    char head[128];
+    if (tlsShard >= 0)
+        std::snprintf(head, sizeof(head), "%s[shard %d] ", prefix,
+                      tlsShard);
+    else
+        std::snprintf(head, sizeof(head), "%s", prefix);
+
+    va_list ap_count;
+    va_copy(ap_count, ap);
+    const int body_len = std::vsnprintf(nullptr, 0, fmt, ap_count);
+    va_end(ap_count);
+    if (body_len < 0)
+        return;
+
+    std::vector<char> buf(std::strlen(head) + body_len + 2);
+    char *p = buf.data();
+    std::memcpy(p, head, std::strlen(head));
+    p += std::strlen(head);
+    std::vsnprintf(p, static_cast<std::size_t>(body_len) + 1, fmt, ap);
+    p += body_len;
+    *p++ = '\n';
+    *p = '\0';
+
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fputs(buf.data(), stderr);
+}
+
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 isQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+void
+setLogShard(int shard)
+{
+    tlsShard = shard;
+}
+
+int
+logShard()
+{
+    return tlsShard;
 }
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    char prefix[256];
+    std::snprintf(prefix, sizeof(prefix), "panic: %s:%d: ", file, line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreport(prefix, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
     std::abort();
 }
 
@@ -47,47 +105,48 @@ void
 assertFailImpl(const char *file, int line, const char *cond,
                const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: assertion '%s' failed: ", file,
-                 line, cond);
+    char prefix[512];
+    std::snprintf(prefix, sizeof(prefix),
+                  "panic: %s:%d: assertion '%s' failed: ", file, line,
+                  cond);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreport(prefix, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    char prefix[256];
+    std::snprintf(prefix, sizeof(prefix), "fatal: %s:%d: ", file, line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    vreport(prefix, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
     std::exit(1);
 }
 
 void
 warnImpl(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (isQuiet())
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("warn", fmt, ap);
+    vreport("warn: ", fmt, ap);
     va_end(ap);
 }
 
 void
 informImpl(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (isQuiet())
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport("info", fmt, ap);
+    vreport("info: ", fmt, ap);
     va_end(ap);
 }
 

@@ -42,6 +42,31 @@ void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void setQuiet(bool quiet);
 bool isQuiet();
 
+/**
+ * Tag every warn()/inform() from the calling thread with "[shard N]"
+ * so diagnostics from a parallel profiling run are attributable to
+ * their job. -1 (the default) removes the tag. Thread-local.
+ */
+void setLogShard(int shard);
+int logShard();
+
+/** RAII shard tag for the duration of one profiling job. */
+class ScopedLogShard
+{
+  public:
+    explicit ScopedLogShard(int shard) : prev(logShard())
+    {
+        setLogShard(shard);
+    }
+    ~ScopedLogShard() { setLogShard(prev); }
+
+    ScopedLogShard(const ScopedLogShard &) = delete;
+    ScopedLogShard &operator=(const ScopedLogShard &) = delete;
+
+  private:
+    int prev;
+};
+
 } // namespace vp
 
 #define vp_panic(...) ::vp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)

@@ -1,0 +1,364 @@
+#include "support/stats_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "support/logging.hpp"
+
+namespace vp::stats
+{
+
+namespace detail
+{
+std::atomic<bool> collectionEnabled{false};
+} // namespace detail
+
+const char *
+counterName(Cid id)
+{
+    switch (id) {
+      case Cid::TnvInserts: return "core.tnv.inserts";
+      case Cid::TnvEvictions: return "core.tnv.evictions";
+      case Cid::TnvClears: return "core.tnv.clears";
+      case Cid::TnvClearEvictions: return "core.tnv.clear_evictions";
+      case Cid::TnvMerges: return "core.tnv.merges";
+      case Cid::TnvMergeDroppedEntries:
+        return "core.tnv.merge_dropped_entries";
+      case Cid::TnvMergeDroppedCount:
+        return "core.tnv.merge_dropped_count";
+      case Cid::SamplerBursts: return "core.sampler.bursts";
+      case Cid::SamplerConvergences: return "core.sampler.convergences";
+      case Cid::SamplerRetriggers: return "core.sampler.retriggers";
+      case Cid::SamplerBackoffs: return "core.sampler.backoffs";
+      case Cid::SimInsts: return "vpsim.insts";
+      case Cid::SimLoads: return "vpsim.loads";
+      case Cid::SimStores: return "vpsim.stores";
+      case Cid::RunnerJobs: return "runner.jobs";
+      case Cid::PredictTagEvictions: return "predict.tag_evictions";
+      case Cid::PredictSlotReplacements:
+        return "predict.slot_replacements";
+      case Cid::SpecializeGuardsEmitted:
+        return "specialize.guards_emitted";
+      case Cid::SpecializeGuardHits: return "specialize.guard_hits";
+      case Cid::SpecializeGuardMisses: return "specialize.guard_misses";
+      case Cid::NumCounters: break;
+    }
+    vp_panic("bad counter id %u", static_cast<unsigned>(id));
+}
+
+// ---------------------------------------------------------------------
+// Distribution
+// ---------------------------------------------------------------------
+
+void
+Distribution::keep(double x)
+{
+    reservoir.push_back(x);
+    if (reservoir.size() >= kSampleCap) {
+        // Decimate: keep every other sample and double the stride.
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < reservoir.size(); i += 2)
+            reservoir[out++] = reservoir[i];
+        reservoir.resize(out);
+        sampleEvery *= 2;
+    }
+}
+
+void
+Distribution::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+
+    if (++sinceSample >= sampleEvery) {
+        sinceSample = 0;
+        keep(x);
+    }
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    // Chan et al. parallel moment combination.
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.mu - mu;
+    mu = (mu * na + other.mu * nb) / (na + nb);
+    m2 = m2 + other.m2 + delta * delta * na * nb / (na + nb);
+    n += other.n;
+
+    sampleEvery = std::max(sampleEvery, other.sampleEvery);
+    for (const double x : other.reservoir)
+        keep(x);
+}
+
+double
+Distribution::quantile(double q) const
+{
+    if (reservoir.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::vector<double> sorted = reservoir;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank: the smallest sample with cumulative fraction >= q.
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const std::size_t idx =
+        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+Registry::Registry(const Registry &other)
+{
+    *this = other;
+}
+
+Registry &
+Registry::operator=(const Registry &other)
+{
+    if (this == &other)
+        return *this;
+    for (unsigned i = 0; i < counters.size(); ++i)
+        counters[i].store(
+            other.counters[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    std::scoped_lock lock(mu, other.mu);
+    gauges = other.gauges;
+    dists = other.dists;
+    return *this;
+}
+
+void
+Registry::gaugeMax(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = gauges.emplace(name, value);
+    if (!inserted)
+        it->second = std::max(it->second, value);
+}
+
+void
+Registry::observe(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    dists[name].add(value);
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    vp_assert(this != &other, "registry merged into itself");
+    for (unsigned i = 0; i < counters.size(); ++i) {
+        const std::uint64_t v =
+            other.counters[i].load(std::memory_order_relaxed);
+        if (v)
+            counters[i].fetch_add(v, std::memory_order_relaxed);
+    }
+    std::scoped_lock lock(mu, other.mu);
+    for (const auto &[name, value] : other.gauges) {
+        auto [it, inserted] = gauges.emplace(name, value);
+        if (!inserted)
+            it->second = std::max(it->second, value);
+    }
+    for (const auto &[name, dist] : other.dists)
+        dists[name].merge(dist);
+}
+
+void
+Registry::reset()
+{
+    for (auto &c : counters)
+        c.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    gauges.clear();
+    dists.clear();
+}
+
+std::map<std::string, double>
+Registry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return gauges;
+}
+
+Distribution
+Registry::distribution(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = dists.find(name);
+    return it == dists.end() ? Distribution{} : it->second;
+}
+
+std::vector<std::string>
+Registry::distributionNames() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> out;
+    out.reserve(dists.size());
+    for (const auto &[name, dist] : dists)
+        out.push_back(name);
+    return out;
+}
+
+namespace
+{
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    // Integers print without a fraction so counters stay greppable.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        os << static_cast<long long>(v);
+    } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        os << buf;
+    }
+}
+
+} // namespace
+
+void
+Registry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"version\": 1,\n  \"counters\": {";
+    for (unsigned i = 0; i < counters.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ") << '"'
+           << counterName(static_cast<Cid>(i)) << "\": "
+           << counters[i].load(std::memory_order_relaxed);
+    }
+    os << "\n  },\n  \"gauges\": {";
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        bool first = true;
+        for (const auto &[name, value] : gauges) {
+            os << (first ? "\n    " : ",\n    ") << '"' << name
+               << "\": ";
+            writeJsonNumber(os, value);
+            first = false;
+        }
+        os << (first ? "},\n" : "\n  },\n");
+        os << "  \"distributions\": {";
+        first = true;
+        for (const auto &[name, d] : dists) {
+            os << (first ? "\n    " : ",\n    ") << '"' << name
+               << "\": {\"count\": " << d.count() << ", \"min\": ";
+            writeJsonNumber(os, d.min());
+            os << ", \"max\": ";
+            writeJsonNumber(os, d.max());
+            os << ", \"mean\": ";
+            writeJsonNumber(os, d.mean());
+            os << ", \"p50\": ";
+            writeJsonNumber(os, d.quantile(0.5));
+            os << ", \"p99\": ";
+            writeJsonNumber(os, d.quantile(0.99));
+            os << "}";
+            first = false;
+        }
+        os << (first ? "}\n" : "\n  }\n");
+    }
+    os << "}\n";
+}
+
+void
+Registry::writeText(std::ostream &os) const
+{
+    os << "--- runtime stats ---\n";
+    for (unsigned i = 0; i < counters.size(); ++i) {
+        const std::uint64_t v =
+            counters[i].load(std::memory_order_relaxed);
+        if (v)
+            os << counterName(static_cast<Cid>(i)) << " = " << v
+               << "\n";
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[name, value] : gauges)
+        os << name << " (max) = " << value << "\n";
+    for (const auto &[name, d] : dists) {
+        os << name << ": count " << d.count() << ", min " << d.min()
+           << ", mean " << d.mean() << ", p50 " << d.quantile(0.5)
+           << ", p99 " << d.quantile(0.99) << ", max " << d.max()
+           << "\n";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Current-registry plumbing
+// ---------------------------------------------------------------------
+
+namespace
+{
+thread_local Registry *tlsCurrent = nullptr;
+} // namespace
+
+Registry &
+global()
+{
+    static Registry reg;
+    return reg;
+}
+
+Registry &
+current()
+{
+    return tlsCurrent ? *tlsCurrent : global();
+}
+
+ScopedRegistry::ScopedRegistry(Registry &reg) : prev(tlsCurrent)
+{
+    tlsCurrent = &reg;
+}
+
+ScopedRegistry::~ScopedRegistry()
+{
+    tlsCurrent = prev;
+}
+
+void
+setEnabled(bool on)
+{
+    detail::collectionEnabled.store(on, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(const char *dist_name)
+    : name(dist_name), sink(enabled() ? &current() : nullptr)
+{
+    if (sink)
+        start = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (!sink)
+        return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    sink->observe(name, static_cast<double>(us.count()));
+}
+
+} // namespace vp::stats

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Runtime statistics registry — the profiling engine's
+ * self-instrumentation (see DESIGN.md, "Observability").
+ *
+ * A Registry holds three kinds of metrics:
+ *
+ *  - counters       : monotonically increasing 64-bit values, identified
+ *                     by a fixed enum (Cid) so the hot paths pay one
+ *                     array index + relaxed atomic add. Counters merge
+ *                     exactly (sum), so totals are independent of how a
+ *                     run was sharded.
+ *  - gauges         : named high-water marks (merge = max).
+ *  - distributions  : named sample summaries (count/min/max/mean and
+ *                     nearest-rank p50/p99 over a bounded sample
+ *                     reservoir). Moments merge exactly; quantiles are
+ *                     approximate once the reservoir decimates.
+ *
+ * Registries are mergeable across shards like the TNV tables: each
+ * parallel profiling job collects into its own registry (installed as
+ * the thread's *current* registry via ScopedRegistry) and the runner
+ * merges it into the parent when the job finishes.
+ *
+ * Cost model: every hot-path hook is a macro that first reads one
+ * relaxed atomic bool; collection is off by default, so unprofiled
+ * runs pay a single predictable branch. Defining VP_NO_STATS (CMake
+ * -DVP_STATS=OFF) compiles the macros away entirely.
+ */
+
+#ifndef VP_SUPPORT_STATS_REGISTRY_HPP
+#define VP_SUPPORT_STATS_REGISTRY_HPP
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vp::stats
+{
+
+/**
+ * Well-known counters. Names follow the `layer.subsystem.event`
+ * scheme documented in DESIGN.md; counterName() returns them.
+ */
+enum class Cid : unsigned
+{
+    TnvInserts,             ///< core.tnv.inserts — new value entered a table
+    TnvEvictions,           ///< core.tnv.evictions — replacement victims
+    TnvClears,              ///< core.tnv.clears — bottom-half clear ops
+    TnvClearEvictions,      ///< core.tnv.clear_evictions — entries dropped
+    TnvMerges,              ///< core.tnv.merges — shard-table merges
+    TnvMergeDroppedEntries, ///< core.tnv.merge_dropped_entries
+    TnvMergeDroppedCount,   ///< core.tnv.merge_dropped_count — counts lost
+    SamplerBursts,          ///< core.sampler.bursts — bursts completed
+    SamplerConvergences,    ///< core.sampler.convergences
+    SamplerRetriggers,      ///< core.sampler.retriggers — phase changes
+    SamplerBackoffs,        ///< core.sampler.backoffs — skip growth
+    SimInsts,               ///< vpsim.insts — instructions retired
+    SimLoads,               ///< vpsim.loads — loads retired
+    SimStores,              ///< vpsim.stores — stores retired
+    RunnerJobs,             ///< runner.jobs — profiling jobs completed
+    PredictTagEvictions,    ///< predict.tag_evictions — table churn
+    PredictSlotReplacements,///< predict.slot_replacements — value churn
+    SpecializeGuardsEmitted,///< specialize.guards_emitted
+    SpecializeGuardHits,    ///< specialize.guard_hits — dispatches to clone
+    SpecializeGuardMisses,  ///< specialize.guard_misses — fallback path
+
+    NumCounters
+};
+
+/** Canonical dotted name of a well-known counter. */
+const char *counterName(Cid id);
+
+/**
+ * Sample summary: exact count/min/max/mean (Welford), plus a bounded
+ * reservoir for nearest-rank quantiles. Beyond kSampleCap samples the
+ * reservoir decimates deterministically (keeps every 2nd, then every
+ * 4th, ...), so quantiles of very long streams are approximate while
+ * the moments stay exact.
+ */
+class Distribution
+{
+  public:
+    static constexpr std::size_t kSampleCap = 8192;
+
+    void add(double x);
+
+    /** Merge another distribution (moments exact, samples unioned). */
+    void merge(const Distribution &other);
+
+    std::uint64_t count() const { return n; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Nearest-rank quantile over the reservoir, q in [0,1]. */
+    double quantile(double q) const;
+
+    const std::vector<double> &samples() const { return reservoir; }
+
+  private:
+    void keep(double x);
+
+    std::uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<double> reservoir;
+    std::uint64_t sampleEvery = 1; ///< reservoir decimation stride
+    std::uint64_t sinceSample = 0; ///< adds since last kept sample
+};
+
+/** A mergeable set of counters, gauges, and distributions. */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &other);
+    Registry &operator=(const Registry &other);
+
+    /** Add to a well-known counter. Thread-safe, wait-free. */
+    void
+    add(Cid id, std::uint64_t delta = 1)
+    {
+        counters[static_cast<unsigned>(id)].fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    /** Current value of a well-known counter. */
+    std::uint64_t
+    counter(Cid id) const
+    {
+        return counters[static_cast<unsigned>(id)].load(
+            std::memory_order_relaxed);
+    }
+
+    /** Raise a named high-water mark. Thread-safe. */
+    void gaugeMax(const std::string &name, double value);
+
+    /** Record one sample into a named distribution. Thread-safe. */
+    void observe(const std::string &name, double value);
+
+    /**
+     * Merge another registry into this one: counters sum, gauges take
+     * the max, distributions merge. Thread-safe on the destination;
+     * the source must be quiescent.
+     */
+    void merge(const Registry &other);
+
+    /** Zero every metric (tests and tool reuse). */
+    void reset();
+
+    /** Named gauges, for reporting. */
+    std::map<std::string, double> gaugeValues() const;
+
+    /** Copy of a named distribution (empty if absent). */
+    Distribution distribution(const std::string &name) const;
+
+    /** Names of all distributions recorded so far. */
+    std::vector<std::string> distributionNames() const;
+
+    /**
+     * Write as JSON: {"version":1,"counters":{...},"gauges":{...},
+     * "distributions":{name:{count,min,max,mean,p50,p99}}}. Every
+     * well-known counter appears (zeros included) so the schema is
+     * stable across runs.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Human-readable dump, nonzero metrics only. */
+    void writeText(std::ostream &os) const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>,
+               static_cast<unsigned>(Cid::NumCounters)>
+        counters{};
+    mutable std::mutex mu;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Distribution> dists;
+};
+
+/** The process-wide default registry. */
+Registry &global();
+
+/**
+ * The calling thread's current registry — the sink every VP_STAT_*
+ * macro writes to. Defaults to global(); ScopedRegistry redirects it
+ * for a shard's lifetime.
+ */
+Registry &current();
+
+/** Redirect the calling thread's current registry for a scope. */
+class ScopedRegistry
+{
+  public:
+    explicit ScopedRegistry(Registry &reg);
+    ~ScopedRegistry();
+
+    ScopedRegistry(const ScopedRegistry &) = delete;
+    ScopedRegistry &operator=(const ScopedRegistry &) = delete;
+
+  private:
+    Registry *prev;
+};
+
+namespace detail
+{
+extern std::atomic<bool> collectionEnabled;
+} // namespace detail
+
+/** True when runtime stats collection is on (default off). */
+inline bool
+enabled()
+{
+    return detail::collectionEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn runtime stats collection on or off. */
+void setEnabled(bool on);
+
+/**
+ * RAII timer: measures wall time from construction to destruction and
+ * records it, in microseconds, into the named distribution of the
+ * registry that was current at construction. No-op when collection is
+ * disabled at construction time.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const char *dist_name);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    const char *name;
+    Registry *sink; ///< nullptr when disabled at construction
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace vp::stats
+
+/*
+ * Hot-path hooks. Each checks the runtime enable flag first; with
+ * VP_NO_STATS defined they compile to nothing.
+ */
+#ifdef VP_NO_STATS
+#define VP_STAT_INC(id) ((void)0)
+#define VP_STAT_ADD(id, delta) ((void)0)
+#define VP_STAT_OBSERVE(name, value) ((void)0)
+#define VP_STAT_GAUGE_MAX(name, value) ((void)0)
+#define VP_STAT_TIMER(var, name) ((void)0)
+#else
+#define VP_STAT_INC(id)                                                      \
+    do {                                                                     \
+        if (::vp::stats::enabled())                                          \
+            ::vp::stats::current().add(id);                                  \
+    } while (0)
+#define VP_STAT_ADD(id, delta)                                               \
+    do {                                                                     \
+        if (::vp::stats::enabled())                                          \
+            ::vp::stats::current().add(id, delta);                           \
+    } while (0)
+#define VP_STAT_OBSERVE(name, value)                                         \
+    do {                                                                     \
+        if (::vp::stats::enabled())                                          \
+            ::vp::stats::current().observe(name, value);                     \
+    } while (0)
+#define VP_STAT_GAUGE_MAX(name, value)                                       \
+    do {                                                                     \
+        if (::vp::stats::enabled())                                          \
+            ::vp::stats::current().gaugeMax(name, value);                    \
+    } while (0)
+#define VP_STAT_TIMER(var, name) ::vp::stats::ScopedTimer var(name)
+#endif
+
+#endif // VP_SUPPORT_STATS_REGISTRY_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace vp
 {
@@ -19,8 +20,14 @@ ThreadPool::ThreadPool(unsigned threads)
     if (threads == 0)
         threads = hardwareThreads();
     workers.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i < threads; ++i) {
+        // Lane 0 is the main thread; workers get 1..N so trace
+        // timelines show one named lane per pool worker.
+        workers.emplace_back([this, i] {
+            trace::setWorkerId(static_cast<int>(i) + 1);
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()

@@ -1,0 +1,195 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+namespace vp::trace
+{
+
+namespace
+{
+
+thread_local int tlsWorkerId = 0;
+
+/** Minimal JSON string escape (names and args are mostly ASCII). */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+int
+workerId()
+{
+    return tlsWorkerId;
+}
+
+void
+setWorkerId(int id)
+{
+    tlsWorkerId = id;
+}
+
+TraceCollector &
+TraceCollector::global()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+void
+TraceCollector::setEnabled(bool enable)
+{
+    if (enable) {
+        std::lock_guard<std::mutex> lock(mu);
+        epoch = std::chrono::steady_clock::now();
+    }
+    on.store(enable, std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceCollector::nowUs() const
+{
+    if (!enabled())
+        return 0;
+    std::lock_guard<std::mutex> lock(mu);
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+void
+TraceCollector::addComplete(TraceEvent event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    recorded.push_back(std::move(event));
+}
+
+void
+TraceCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    recorded.clear();
+}
+
+std::size_t
+TraceCollector::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return recorded.size();
+}
+
+std::vector<TraceEvent>
+TraceCollector::events() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return recorded;
+}
+
+void
+TraceCollector::writeJson(std::ostream &os) const
+{
+    std::vector<TraceEvent> evs = events();
+    std::sort(evs.begin(), evs.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.tsUs != b.tsUs)
+                      return a.tsUs < b.tsUs;
+                  return a.tid < b.tid;
+              });
+
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    // Label each lane so Perfetto shows "main" / "worker N" tracks.
+    std::map<int, bool> lanes;
+    for (const auto &e : evs)
+        lanes.emplace(e.tid, true);
+    for (const auto &[tid, unused] : lanes) {
+        os << (first ? "\n" : ",\n")
+           << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+              "\"tid\": "
+           << tid << ", \"args\": {\"name\": \""
+           << (tid == 0 ? std::string("main")
+                        : "worker " + std::to_string(tid))
+           << "\"}}";
+        first = false;
+    }
+    for (const auto &e : evs) {
+        os << (first ? "\n" : ",\n") << "  {\"name\": ";
+        writeJsonString(os, e.name);
+        os << ", \"cat\": \"vp\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+           << e.tid << ", \"ts\": " << e.tsUs
+           << ", \"dur\": " << e.durUs;
+        if (!e.args.empty()) {
+            os << ", \"args\": {";
+            bool first_arg = true;
+            for (const auto &[key, value] : e.args) {
+                if (!first_arg)
+                    os << ", ";
+                writeJsonString(os, key);
+                os << ": ";
+                writeJsonString(os, value);
+                first_arg = false;
+            }
+            os << "}";
+        }
+        os << "}";
+        first = false;
+    }
+    os << "\n]}\n";
+}
+
+ScopedSpan::ScopedSpan(std::string name)
+    : active(TraceCollector::global().enabled())
+{
+    if (!active)
+        return;
+    event.name = std::move(name);
+    event.tid = workerId();
+    event.tsUs = TraceCollector::global().nowUs();
+    start = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active)
+        return;
+    event.durUs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    TraceCollector::global().addComplete(std::move(event));
+}
+
+void
+ScopedSpan::arg(std::string key, std::string value)
+{
+    if (!active)
+        return;
+    event.args.emplace_back(std::move(key), std::move(value));
+}
+
+} // namespace vp::trace

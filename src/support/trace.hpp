@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Scoped-span tracer emitting Chrome trace-event JSON.
+ *
+ * The collector records complete ("ph":"X") events — name, worker
+ * lane, microsecond start offset and duration, plus string args — and
+ * serializes them in the trace-event format that chrome://tracing and
+ * Perfetto load directly, so a parallel profiling run renders as a
+ * per-worker timeline of job spans (see DESIGN.md, "Observability").
+ *
+ * Tracing is off by default; enabling it stamps the epoch that all
+ * span timestamps are measured from. Recording a span takes one mutex
+ * acquisition at span end — spans bound whole jobs or phases, never
+ * per-instruction work.
+ */
+
+#ifndef VP_SUPPORT_TRACE_HPP
+#define VP_SUPPORT_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vp::trace
+{
+
+/** One complete span, Chrome trace-event style. */
+struct TraceEvent
+{
+    std::string name;
+    int tid = 0;            ///< worker lane
+    std::uint64_t tsUs = 0; ///< start, microseconds since the epoch
+    std::uint64_t durUs = 0;
+    /** Key/value annotations (rendered in the event's args pane). */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** Thread-safe trace-event sink. */
+class TraceCollector
+{
+  public:
+    /** The process-wide collector every span records into. */
+    static TraceCollector &global();
+
+    /** Enable/disable recording; enabling resets the time epoch. */
+    void setEnabled(bool on);
+
+    bool
+    enabled() const
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /** Microseconds elapsed since the epoch (0 when disabled). */
+    std::uint64_t nowUs() const;
+
+    /** Record one complete span. */
+    void addComplete(TraceEvent event);
+
+    /** Drop all recorded events. */
+    void clear();
+
+    std::size_t size() const;
+
+    /** Snapshot of the recorded events (tests, reporting). */
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Serialize as {"displayTimeUnit":"ms","traceEvents":[...]},
+     * including thread_name metadata so each worker lane is labeled.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::atomic<bool> on{false};
+    std::chrono::steady_clock::time_point epoch;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> recorded;
+};
+
+/**
+ * The calling thread's worker lane for trace events: 0 for the main
+ * thread, 1..N for pool workers (set by ThreadPool).
+ */
+int workerId();
+void setWorkerId(int id);
+
+/**
+ * RAII span over the global collector: records a complete event from
+ * construction to destruction on the calling thread's lane. No-op
+ * when tracing is disabled at construction time.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(std::string name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Attach an annotation (shown in the trace viewer's args pane). */
+    void arg(std::string key, std::string value);
+
+  private:
+    bool active;
+    TraceEvent event;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace vp::trace
+
+#endif // VP_SUPPORT_TRACE_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/stats_registry.hpp"
 #include "support/strings.hpp"
 
 namespace vpsim
@@ -86,6 +87,10 @@ Cpu::step()
 RunResult
 Cpu::run()
 {
+    [[maybe_unused]] const std::uint64_t start_insts = icount;
+    [[maybe_unused]] const std::uint64_t start_loads = loadCount;
+    [[maybe_unused]] const std::uint64_t start_stores = storeCount;
+
     // Hot loop: keep the per-instruction work minimal; the listener
     // fan-out below models the instrumentation overhead the paper
     // measures, so it must only be paid when observers are attached.
@@ -100,6 +105,12 @@ Cpu::run()
         }
         exec(prog.code[pcReg]);
     }
+    // Simulator work is accounted in one shot at run end so the hot
+    // loop never touches a counter.
+    VP_STAT_ADD(vp::stats::Cid::SimInsts, icount - start_insts);
+    VP_STAT_ADD(vp::stats::Cid::SimLoads, loadCount - start_loads);
+    VP_STAT_ADD(vp::stats::Cid::SimStores, storeCount - start_stores);
+
     RunResult res;
     res.reason = *haltReason;
     res.exitCode = exitCode;

@@ -1,9 +1,12 @@
 #include "workloads/parallel_runner.hpp"
 
+#include <chrono>
+
 #include "instrument/image.hpp"
 #include "instrument/manager.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace workloads
 {
@@ -59,6 +62,13 @@ ParallelRunner::runOne(const ProfileJob &job)
 std::vector<ProfileJobResult>
 ParallelRunner::run(const std::vector<ProfileJob> &jobs) const
 {
+    using clock = std::chrono::steady_clock;
+    auto to_us = [](clock::duration d) {
+        return static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(d)
+                .count());
+    };
+
     // Assemble every distinct program up front on this thread; after
     // this, workers only read shared immutable state. (program() is
     // itself once-guarded, so this is an optimization plus a clearer
@@ -69,10 +79,68 @@ ParallelRunner::run(const std::vector<ProfileJob> &jobs) const
         job.workload->program();
     }
 
+    // Shard stats merge into the registry current on *this* thread, so
+    // totals land in the same place whether jobs fan out or run inline.
+    vp::stats::Registry &parent = vp::stats::current();
+    if (vp::stats::enabled())
+        parent.gaugeMax("runner.workers",
+                        static_cast<double>(workerCount));
+    const auto batch_start = clock::now();
+
     std::vector<ProfileJobResult> results(jobs.size());
     vp::ThreadPool::parallelFor(
-        workerCount, jobs.size(),
-        [&](std::size_t i) { results[i] = runOne(jobs[i]); });
+        workerCount, jobs.size(), [&](std::size_t i) {
+            // Tag this thread's warn()/inform() with the job index so
+            // parallel diagnostics are attributable.
+            vp::ScopedLogShard shard_tag(static_cast<int>(i));
+
+            const bool collect = vp::stats::enabled();
+            auto &tracer = vp::trace::TraceCollector::global();
+            vp::stats::Registry shard_stats;
+            const std::uint64_t span_start = tracer.nowUs();
+            const auto t0 = clock::now();
+            {
+                // Everything the job records lands in its own
+                // registry, mergeable like the TNV tables.
+                vp::stats::ScopedRegistry scope(shard_stats);
+                results[i] = runOne(jobs[i]);
+            }
+            const auto t1 = clock::now();
+
+            if (collect) {
+                shard_stats.add(vp::stats::Cid::RunnerJobs);
+                shard_stats.observe("runner.queue_wait_us",
+                                    to_us(t0 - batch_start));
+                shard_stats.observe("runner.shard_wall_us",
+                                    to_us(t1 - t0));
+            }
+            if (tracer.enabled()) {
+                vp::trace::TraceEvent ev;
+                ev.name = jobs[i].workload->name() + ":" +
+                          jobs[i].dataset;
+                ev.tid = vp::trace::workerId();
+                ev.tsUs = span_start;
+                ev.durUs = static_cast<std::uint64_t>(to_us(t1 - t0));
+                ev.args.emplace_back("shard", std::to_string(i));
+                // Annotate the span with this job's counter deltas —
+                // its registry holds exactly the work it did.
+                for (unsigned c = 0;
+                     c < static_cast<unsigned>(
+                             vp::stats::Cid::NumCounters);
+                     ++c) {
+                    const auto id = static_cast<vp::stats::Cid>(c);
+                    const std::uint64_t v = shard_stats.counter(id);
+                    if (v)
+                        ev.args.emplace_back(vp::stats::counterName(id),
+                                             std::to_string(v));
+                }
+                tracer.addComplete(std::move(ev));
+            }
+            if (collect) {
+                results[i].stats = shard_stats;
+                parent.merge(shard_stats);
+            }
+        });
     return results;
 }
 

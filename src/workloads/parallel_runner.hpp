@@ -25,6 +25,7 @@
 
 #include "core/instruction_profiler.hpp"
 #include "core/snapshot.hpp"
+#include "support/stats_registry.hpp"
 #include "workloads/workload.hpp"
 
 namespace workloads
@@ -61,6 +62,15 @@ struct ProfileJobResult
     /** Mean distinct-value count per executed static instruction. */
     double meanDistinct = 0.0;
     std::size_t staticInsts = 0;
+
+    /**
+     * This shard's runtime stats (counters, shard wall time, queue
+     * wait), populated when stats collection is enabled. The runner
+     * also merges every shard registry into the registry that was
+     * current on the calling thread, so suite totals aggregate there
+     * regardless of job count.
+     */
+    vp::stats::Registry stats;
 };
 
 /** Executes profiling jobs across worker threads. */

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "support/logging.hpp"
 
 namespace
@@ -41,6 +45,78 @@ TEST(LoggingDeath, FatalExitsWithCodeOne)
 {
     EXPECT_EXIT(vp_fatal("bad config %s", "x"),
                 ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(Logging, ShardIdPrefixesWarnings)
+{
+    ::testing::internal::CaptureStderr();
+    {
+        vp::ScopedLogShard shard(7);
+        EXPECT_EQ(vp::logShard(), 7);
+        vp_warn("inside the shard");
+    }
+    vp_warn("outside the shard");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: [shard 7] inside the shard"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("warn: outside the shard"), std::string::npos);
+    EXPECT_EQ(err.find("[shard 7] outside"), std::string::npos);
+}
+
+TEST(Logging, ScopedLogShardRestoresOuterShard)
+{
+    vp::ScopedLogShard outer(1);
+    {
+        vp::ScopedLogShard inner(2);
+        EXPECT_EQ(vp::logShard(), 2);
+    }
+    EXPECT_EQ(vp::logShard(), 1);
+}
+
+TEST(Logging, ShardIdIsPerThread)
+{
+    vp::ScopedLogShard main_shard(1);
+    int seen_in_thread = -2;
+    std::thread other([&] { seen_in_thread = vp::logShard(); });
+    other.join();
+    EXPECT_EQ(seen_in_thread, -1); // other threads are untagged
+    EXPECT_EQ(vp::logShard(), 1);
+}
+
+TEST(Logging, ConcurrentWarningsAreLineAtomic)
+{
+    // Satellite guarantee: each message is one write, so parallel
+    // warnings never interleave mid-line.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+    ::testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([t] {
+                vp::ScopedLogShard shard(t);
+                for (int i = 0; i < kPerThread; ++i)
+                    vp_warn("message %d from thread %d", i, t);
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+    }
+    const std::string err = ::testing::internal::GetCapturedStderr();
+
+    // Every line must be a complete, well-formed warning.
+    std::size_t lines = 0, pos = 0;
+    while (pos < err.size()) {
+        const std::size_t eol = err.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos);
+        const std::string line = err.substr(pos, eol - pos);
+        EXPECT_EQ(line.rfind("warn: [shard ", 0), 0u) << line;
+        EXPECT_NE(line.find("] message "), std::string::npos) << line;
+        ++lines;
+        pos = eol + 1;
+    }
+    EXPECT_EQ(lines, kThreads * kPerThread);
 }
 
 } // namespace

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the runtime stats registry: exact concurrent counting,
+ * reference-checked quantiles, and shard-merge algebra (counters and
+ * moments must merge associatively, like the TNV tables).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/stats_registry.hpp"
+
+using vp::stats::Cid;
+using vp::stats::Distribution;
+using vp::stats::Registry;
+using vp::stats::ScopedRegistry;
+
+namespace
+{
+
+/** Restores the global enable flag whatever a test does to it. */
+struct EnabledGuard
+{
+    EnabledGuard() { vp::stats::setEnabled(true); }
+    ~EnabledGuard() { vp::stats::setEnabled(false); }
+};
+
+TEST(StatsRegistry, CounterNamesAreDottedAndUnique)
+{
+    std::vector<std::string> names;
+    for (unsigned c = 0; c < static_cast<unsigned>(Cid::NumCounters);
+         ++c) {
+        const std::string n = vp::stats::counterName(
+            static_cast<Cid>(c));
+        EXPECT_NE(n.find('.'), std::string::npos) << n;
+        names.push_back(n);
+    }
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(StatsRegistry, ConcurrentIncrementsAreExact)
+{
+    // The counters are the hot path: N threads hammering the same
+    // counter must lose nothing (relaxed atomics, not racy loads).
+    Registry reg;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 50'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                reg.add(Cid::TnvInserts);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(reg.counter(Cid::TnvInserts), kThreads * kPerThread);
+}
+
+TEST(StatsRegistry, ConcurrentObserveAndGaugeAreSafe)
+{
+    Registry reg;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                reg.observe("d", static_cast<double>(i));
+                reg.gaugeMax("g", static_cast<double>(t));
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(reg.distribution("d").count(),
+              std::uint64_t(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(reg.gaugeValues().at("g"), kThreads - 1);
+}
+
+TEST(StatsDistribution, MomentsAreExact)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.add(i);
+    EXPECT_EQ(d.count(), 100u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+}
+
+TEST(StatsDistribution, QuantilesMatchNearestRankReference)
+{
+    // Below the reservoir cap the quantiles must be exact nearest-rank
+    // order statistics, not an approximation.
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i)
+        values.push_back(static_cast<double>((i * 7919) % 1000));
+    Distribution d;
+    for (double v : values)
+        d.add(v);
+
+    std::sort(values.begin(), values.end());
+    auto reference = [&](double q) {
+        const auto rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(values.size())));
+        return values[rank == 0 ? 0 : rank - 1];
+    };
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(d.quantile(q), reference(q)) << "q=" << q;
+}
+
+TEST(StatsDistribution, ReservoirStaysBoundedAndQuantilesStaySane)
+{
+    Distribution d;
+    const std::size_t n = Distribution::kSampleCap * 5;
+    for (std::size_t i = 0; i < n; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_EQ(d.count(), n);
+    EXPECT_LE(d.samples().size(), Distribution::kSampleCap);
+    // Decimated quantiles are approximate but must stay in the ballpark
+    // for a uniform ramp.
+    EXPECT_NEAR(d.quantile(0.5), static_cast<double>(n) / 2,
+                static_cast<double>(n) * 0.05);
+}
+
+Registry
+makeRegistry(std::uint64_t inserts, double gauge,
+             const std::vector<double> &samples)
+{
+    Registry r;
+    r.add(Cid::TnvInserts, inserts);
+    r.gaugeMax("g", gauge);
+    for (double s : samples)
+        r.observe("d", s);
+    return r;
+}
+
+TEST(StatsRegistry, MergeIsAssociative)
+{
+    const Registry a = makeRegistry(3, 1.0, {1, 2, 3});
+    const Registry b = makeRegistry(5, 9.0, {4, 5});
+    const Registry c = makeRegistry(7, 4.0, {6, 7, 8, 9});
+
+    Registry left = a;   // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    Registry bc = b;     // a + (b + c)
+    bc.merge(c);
+    Registry right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.counter(Cid::TnvInserts),
+              right.counter(Cid::TnvInserts));
+    EXPECT_EQ(left.counter(Cid::TnvInserts), 15u);
+    EXPECT_DOUBLE_EQ(left.gaugeValues().at("g"),
+                     right.gaugeValues().at("g"));
+    const Distribution dl = left.distribution("d");
+    const Distribution dr = right.distribution("d");
+    EXPECT_EQ(dl.count(), dr.count());
+    EXPECT_DOUBLE_EQ(dl.min(), dr.min());
+    EXPECT_DOUBLE_EQ(dl.max(), dr.max());
+    EXPECT_DOUBLE_EQ(dl.mean(), dr.mean());
+    EXPECT_DOUBLE_EQ(dl.quantile(0.5), dr.quantile(0.5));
+}
+
+TEST(StatsRegistry, MergedMomentsMatchUnshardedStream)
+{
+    // Shard a stream three ways, merge, and compare against profiling
+    // the whole stream in one registry — the job-count-independence
+    // guarantee for distributions.
+    std::vector<double> stream;
+    for (int i = 0; i < 3000; ++i)
+        stream.push_back(std::sin(i) * 100.0);
+
+    Registry whole;
+    for (double v : stream)
+        whole.observe("d", v);
+
+    Registry shards[3];
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        shards[i % 3].observe("d", stream[i]);
+    Registry merged = shards[0];
+    merged.merge(shards[1]);
+    merged.merge(shards[2]);
+
+    const Distribution dw = whole.distribution("d");
+    const Distribution dm = merged.distribution("d");
+    EXPECT_EQ(dw.count(), dm.count());
+    EXPECT_DOUBLE_EQ(dw.min(), dm.min());
+    EXPECT_DOUBLE_EQ(dw.max(), dm.max());
+    EXPECT_NEAR(dw.mean(), dm.mean(), 1e-9);
+}
+
+TEST(StatsRegistry, ResetZeroesEverything)
+{
+    Registry r = makeRegistry(4, 2.0, {1.0});
+    r.reset();
+    EXPECT_EQ(r.counter(Cid::TnvInserts), 0u);
+    EXPECT_TRUE(r.gaugeValues().empty());
+    EXPECT_EQ(r.distribution("d").count(), 0u);
+}
+
+// The macro-behavior tests only apply when the hooks are compiled in.
+#ifndef VP_NO_STATS
+
+TEST(StatsRegistry, MacrosRespectEnableFlagAndCurrentRegistry)
+{
+    Registry local;
+    const std::uint64_t before =
+        vp::stats::global().counter(Cid::SimInsts);
+    {
+        ScopedRegistry scope(local);
+        // Disabled: nothing recorded anywhere.
+        vp::stats::setEnabled(false);
+        VP_STAT_INC(Cid::SimInsts);
+        EXPECT_EQ(local.counter(Cid::SimInsts), 0u);
+
+        // Enabled: lands in the scoped (current) registry only.
+        EnabledGuard on;
+        VP_STAT_INC(Cid::SimInsts);
+        VP_STAT_OBSERVE("scoped.dist", 1.5);
+        EXPECT_EQ(local.counter(Cid::SimInsts), 1u);
+        EXPECT_EQ(local.distribution("scoped.dist").count(), 1u);
+    }
+    EXPECT_EQ(vp::stats::global().counter(Cid::SimInsts), before);
+    EXPECT_EQ(&vp::stats::current(), &vp::stats::global());
+}
+
+TEST(StatsRegistry, ScopedTimerRecordsMicroseconds)
+{
+    Registry local;
+    ScopedRegistry scope(local);
+    EnabledGuard on;
+    {
+        VP_STAT_TIMER(t, "timer.dist");
+    }
+    EXPECT_EQ(local.distribution("timer.dist").count(), 1u);
+    EXPECT_GE(local.distribution("timer.dist").min(), 0.0);
+}
+
+#endif // VP_NO_STATS
+
+TEST(StatsRegistry, JsonIncludesEveryCounterAndParses)
+{
+    Registry r = makeRegistry(2, 3.0, {1, 2, 3, 4});
+    std::ostringstream os;
+    r.writeJson(os);
+    const std::string json = os.str();
+    // Stable schema: every well-known counter present, zero or not.
+    for (unsigned c = 0; c < static_cast<unsigned>(Cid::NumCounters);
+         ++c) {
+        EXPECT_NE(json.find(std::string("\"") +
+                            vp::stats::counterName(
+                                static_cast<Cid>(c)) +
+                            "\""),
+                  std::string::npos);
+    }
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(StatsRegistry, TextDumpShowsOnlyNonzero)
+{
+    Registry r;
+    r.add(Cid::TnvClears, 2);
+    std::ostringstream os;
+    r.writeText(os);
+    EXPECT_NE(os.str().find("core.tnv.clears = 2"), std::string::npos);
+    EXPECT_EQ(os.str().find("core.tnv.inserts"), std::string::npos);
+}
+
+} // namespace

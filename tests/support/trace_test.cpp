@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the trace-event timeline: spans land on the right worker
+ * lane and the serialized JSON follows the Chrome trace-event shape
+ * Perfetto loads (complete "X" events plus thread_name metadata).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "support/trace.hpp"
+
+using vp::trace::ScopedSpan;
+using vp::trace::TraceCollector;
+using vp::trace::TraceEvent;
+
+namespace
+{
+
+/** Resets the global collector around each test. */
+struct CollectorGuard
+{
+    CollectorGuard()
+    {
+        TraceCollector::global().clear();
+        TraceCollector::global().setEnabled(true);
+    }
+    ~CollectorGuard()
+    {
+        TraceCollector::global().setEnabled(false);
+        TraceCollector::global().clear();
+    }
+};
+
+TEST(Trace, DisabledCollectorRecordsNothing)
+{
+    auto &tc = TraceCollector::global();
+    tc.setEnabled(false);
+    tc.clear();
+    TraceEvent ev;
+    ev.name = "dropped";
+    tc.addComplete(ev);
+    { ScopedSpan span("also dropped"); }
+    EXPECT_EQ(tc.size(), 0u);
+    EXPECT_EQ(tc.nowUs(), 0u);
+}
+
+TEST(Trace, ScopedSpanRecordsOnCallingThreadLane)
+{
+    CollectorGuard guard;
+    {
+        ScopedSpan span("main work");
+        span.arg("k", "v");
+    }
+    std::thread worker([] {
+        vp::trace::setWorkerId(3);
+        ScopedSpan span("worker work");
+    });
+    worker.join();
+
+    const auto evs = TraceCollector::global().events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].name, "main work");
+    EXPECT_EQ(evs[0].tid, 0);
+    ASSERT_EQ(evs[0].args.size(), 1u);
+    EXPECT_EQ(evs[0].args[0].first, "k");
+    EXPECT_EQ(evs[1].name, "worker work");
+    EXPECT_EQ(evs[1].tid, 3);
+}
+
+TEST(Trace, JsonHasMetadataAndCompleteEvents)
+{
+    CollectorGuard guard;
+    TraceEvent a;
+    a.name = "job \"quoted\"";
+    a.tid = 2;
+    a.tsUs = 10;
+    a.durUs = 5;
+    a.args.emplace_back("shard", "0");
+    TraceCollector::global().addComplete(a);
+
+    std::ostringstream os;
+    TraceCollector::global().writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"worker 2\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 10"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 5"), std::string::npos);
+    // Quotes in names must be escaped or the file won't load.
+    EXPECT_NE(json.find("job \\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"shard\": \"0\""), std::string::npos);
+}
+
+TEST(Trace, EventsAreSerializedInTimeOrder)
+{
+    CollectorGuard guard;
+    TraceEvent late, early;
+    late.name = "late";
+    late.tsUs = 100;
+    early.name = "early";
+    early.tsUs = 1;
+    TraceCollector::global().addComplete(late);
+    TraceCollector::global().addComplete(early);
+
+    std::ostringstream os;
+    TraceCollector::global().writeJson(os);
+    const std::string json = os.str();
+    EXPECT_LT(json.find("\"early\""), json.find("\"late\""));
+}
+
+TEST(Trace, EnableResetsEpoch)
+{
+    CollectorGuard guard;
+    const std::uint64_t t0 = TraceCollector::global().nowUs();
+    EXPECT_LT(t0, 1'000'000u); // fresh epoch: well under a second old
+}
+
+} // namespace

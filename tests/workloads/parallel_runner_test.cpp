@@ -9,6 +9,8 @@
 
 #include <sstream>
 
+#include "support/stats_registry.hpp"
+#include "support/trace.hpp"
 #include "workloads/parallel_runner.hpp"
 
 using workloads::ParallelRunner;
@@ -117,6 +119,99 @@ TEST(ParallelRunner, ZeroMeansHardwareThreads)
 {
     EXPECT_GE(ParallelRunner(0).jobCount(), 1u);
     EXPECT_EQ(ParallelRunner(5).jobCount(), 5u);
+}
+
+/** Counters collected by one whole-suite run with `workers` shards. */
+vp::stats::Registry
+suiteStats(unsigned workers)
+{
+    vp::stats::Registry parent;
+    vp::stats::ScopedRegistry scope(parent);
+    ParallelRunner(workers).run(workloads::suiteJobs("train"));
+    return parent;
+}
+
+TEST(ParallelRunnerStats, MergedCountersIndependentOfJobCount)
+{
+    // The acceptance bar for the stats subsystem: exact-mergeable
+    // counters must total the same however the suite is sharded.
+    vp::stats::setEnabled(true);
+    const auto seq = suiteStats(1);
+    const auto par = suiteStats(4);
+    vp::stats::setEnabled(false);
+
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(vp::stats::Cid::NumCounters); ++c) {
+        const auto id = static_cast<vp::stats::Cid>(c);
+        EXPECT_EQ(seq.counter(id), par.counter(id))
+            << vp::stats::counterName(id);
+    }
+    EXPECT_GT(seq.counter(vp::stats::Cid::SimInsts), 0u);
+    EXPECT_GT(seq.counter(vp::stats::Cid::TnvInserts), 0u);
+    EXPECT_EQ(seq.counter(vp::stats::Cid::RunnerJobs),
+              workloads::allWorkloads().size());
+
+    // Per-shard timing distributions: one sample per job either way.
+    EXPECT_EQ(seq.distribution("runner.shard_wall_us").count(),
+              workloads::allWorkloads().size());
+    EXPECT_EQ(par.distribution("runner.shard_wall_us").count(),
+              workloads::allWorkloads().size());
+}
+
+TEST(ParallelRunnerStats, ShardRegistriesSumToParent)
+{
+    vp::stats::Registry parent;
+    vp::stats::setEnabled(true);
+    std::vector<ProfileJobResult> results;
+    {
+        vp::stats::ScopedRegistry scope(parent);
+        results = ParallelRunner(3).run(workloads::suiteJobs("test"));
+    }
+    vp::stats::setEnabled(false);
+
+    vp::stats::Registry summed;
+    for (const auto &res : results)
+        summed.merge(res.stats);
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(vp::stats::Cid::NumCounters); ++c) {
+        const auto id = static_cast<vp::stats::Cid>(c);
+        EXPECT_EQ(summed.counter(id), parent.counter(id))
+            << vp::stats::counterName(id);
+    }
+}
+
+TEST(ParallelRunnerStats, DisabledCollectionRecordsNothing)
+{
+    vp::stats::setEnabled(false);
+    vp::stats::Registry parent;
+    vp::stats::ScopedRegistry scope(parent);
+    ProfileJob job;
+    job.workload = workloads::allWorkloads().front();
+    ParallelRunner(2).run({job});
+    EXPECT_EQ(parent.counter(vp::stats::Cid::RunnerJobs), 0u);
+    EXPECT_EQ(parent.counter(vp::stats::Cid::SimInsts), 0u);
+    EXPECT_TRUE(parent.distributionNames().empty());
+}
+
+TEST(ParallelRunnerTrace, JobSpansLandOnWorkerLanes)
+{
+    auto &tc = vp::trace::TraceCollector::global();
+    tc.clear();
+    tc.setEnabled(true);
+    ParallelRunner(2).run(workloads::suiteJobs("test"));
+    tc.setEnabled(false);
+
+    const auto evs = tc.events();
+    ASSERT_EQ(evs.size(), workloads::allWorkloads().size());
+    for (const auto &ev : evs) {
+        // Pool lanes are 1..N; every span is annotated with its shard.
+        EXPECT_GE(ev.tid, 1);
+        EXPECT_LE(ev.tid, 2);
+        ASSERT_FALSE(ev.args.empty());
+        EXPECT_EQ(ev.args.front().first, "shard");
+        EXPECT_NE(ev.name.find(":test"), std::string::npos) << ev.name;
+    }
+    tc.clear();
 }
 
 } // namespace

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate vpprof observability output in CI.
+
+Usage: check_stats_json.py STATS_JSON [TRACE_JSON]
+
+Checks the stats sidecar against the schema documented in DESIGN.md
+("Observability") and, when given, the trace file against the Chrome
+trace-event shape Perfetto loads. Exits nonzero with a message on the
+first violation.
+"""
+
+import json
+import sys
+
+# Counters the `--workload all --mode sampled` smoke run must actually
+# exercise; everything else only has to be present.
+REQUIRED_NONZERO = [
+    "core.tnv.inserts",
+    "core.tnv.evictions",
+    "core.sampler.bursts",
+    "core.sampler.convergences",
+    "vpsim.insts",
+    "runner.jobs",
+]
+
+REQUIRED_DISTS = ["runner.queue_wait_us", "runner.shard_wall_us"]
+DIST_FIELDS = ["count", "min", "max", "mean", "p50", "p99"]
+
+
+def fail(msg):
+    print(f"check_stats_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_stats(path):
+    with open(path) as f:
+        stats = json.load(f)
+
+    for key in ["version", "counters", "gauges", "distributions"]:
+        if key not in stats:
+            fail(f"{path}: missing top-level key '{key}'")
+    if stats["version"] != 1:
+        fail(f"{path}: unexpected version {stats['version']}")
+
+    counters = stats["counters"]
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name} is not a non-negative int")
+    for name in REQUIRED_NONZERO:
+        if name not in counters:
+            fail(f"{path}: counter {name} missing")
+        if counters[name] == 0:
+            fail(f"{path}: counter {name} is zero — the smoke run "
+                 "did not exercise it")
+
+    dists = stats["distributions"]
+    for name in REQUIRED_DISTS:
+        if name not in dists:
+            fail(f"{path}: distribution {name} missing")
+        for field in DIST_FIELDS:
+            if field not in dists[name]:
+                fail(f"{path}: distribution {name} lacks '{field}'")
+    jobs = counters["runner.jobs"]
+    if dists["runner.shard_wall_us"]["count"] != jobs:
+        fail(f"{path}: shard_wall_us count "
+             f"{dists['runner.shard_wall_us']['count']} != "
+             f"runner.jobs {jobs}")
+    print(f"check_stats_json: {path} OK "
+          f"({sum(1 for v in counters.values() if v)} nonzero counters, "
+          f"{jobs} jobs)")
+
+
+def check_trace(path, expect_workers=None):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    spans = [e for e in events if e.get("ph") == "X"]
+    names = [e for e in events if e.get("ph") == "M"
+             and e.get("name") == "thread_name"]
+    if not spans:
+        fail(f"{path}: no complete ('X') span events")
+    for e in spans:
+        for key in ["name", "pid", "tid", "ts", "dur"]:
+            if key not in e:
+                fail(f"{path}: span missing '{key}': {e}")
+    span_lanes = {e["tid"] for e in spans}
+    named_lanes = {e["tid"] for e in names}
+    if not span_lanes <= named_lanes:
+        fail(f"{path}: lanes {span_lanes - named_lanes} have no "
+             "thread_name metadata")
+    if expect_workers is not None:
+        workers = {t for t in span_lanes if t != 0}
+        if not workers or max(workers) > expect_workers:
+            fail(f"{path}: span lanes {sorted(span_lanes)} do not fit "
+                 f"{expect_workers} workers")
+    print(f"check_stats_json: {path} OK ({len(spans)} spans on "
+          f"{len(span_lanes)} lanes)")
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    check_stats(argv[1])
+    if len(argv) >= 3:
+        workers = int(argv[3]) if len(argv) == 4 else None
+        check_trace(argv[2], workers)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

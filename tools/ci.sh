@@ -4,10 +4,16 @@
 # Usage: tools/ci.sh [sanitizer...]
 #
 # With no arguments, runs the default CI matrix: a plain build plus
-# AddressSanitizer and UndefinedBehaviorSanitizer builds, each running
-# the full ctest suite. Pass sanitizer names (none, address, undefined,
-# thread) to run a subset — e.g. `tools/ci.sh thread` validates the
-# sharded parallel profiling engine under ThreadSanitizer.
+# AddressSanitizer and UndefinedBehaviorSanitizer builds running the
+# full ctest suite, and a ThreadSanitizer build running the
+# concurrency-sensitive legs (stats registry, trace collector,
+# logging, thread pool, parallel runner). Pass sanitizer names (none,
+# address, undefined, thread) to run a subset — `tools/ci.sh thread`
+# runs only the TSan leg.
+#
+# The plain build also runs an observability smoke: a 4-job sampled
+# suite profile whose stats/trace JSON is schema-checked by
+# tools/check_stats_json.py.
 #
 # Each configuration builds into build-ci-<name>/ so sanitized builds
 # never pollute the main build/ tree.
@@ -19,8 +25,20 @@ cd "$(dirname "$0")/.."
 JOBS="${VP_CI_JOBS:-$(nproc)}"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-    CONFIGS=(none address undefined)
+    CONFIGS=(none address undefined thread)
 fi
+
+# Schema-check the stats/trace JSON that a parallel sampled suite run
+# emits (the engine's own observability acceptance test).
+observability_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] observability smoke ==="
+    "$dir/tools/vpprof" --workload all --jobs 4 --mode sampled \
+        --stats-out "$dir/smoke-stats.json" \
+        --trace-out "$dir/smoke-trace.json" > /dev/null
+    python3 tools/check_stats_json.py \
+        "$dir/smoke-stats.json" "$dir/smoke-trace.json" 4
+}
 
 run_config() {
     local san="$1"
@@ -35,7 +53,17 @@ run_config() {
     echo "=== [${san}] build ==="
     cmake --build "$dir" -j "$JOBS"
     echo "=== [${san}] test ==="
-    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+    if [ "$san" = "thread" ]; then
+        # TSan leg: the concurrency-sensitive suites — the new
+        # stats/trace/logging tests plus the pool and the runner.
+        ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+            -R 'Stats|Trace|Logging|ThreadPool|ParallelRunner'
+    else
+        ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+    fi
+    if [ "$san" = "none" ]; then
+        observability_smoke "$dir"
+    fi
 }
 
 for san in "${CONFIGS[@]}"; do

@@ -15,9 +15,9 @@
  *   --mode full|sampled|random   profiling mode (default full)
  *   --rate P                     random-mode sampling rate (default 1/64)
  *   --target writes|loads        instructions to profile (default writes)
- *   --jobs N                     parallel shards for --workload all
- *                                (default 1 = sequential, 0 = one per
- *                                hardware thread)
+ *   --jobs N|auto                parallel shards for --workload all
+ *                                (default 1 = sequential, auto = one
+ *                                per hardware thread)
  *   --mem                        also profile memory locations
  *   --params                     also profile procedure parameters
  *   --strides                    track successive-value deltas
@@ -26,6 +26,11 @@
  *   --min-inv F                  semi-invariant threshold (default 0.8)
  *   --save FILE                  write the profile snapshot
  *   --disasm                     dump the program before running
+ *   --stats[=text|json]          print engine runtime stats (default
+ *                                text) to stdout after the run
+ *   --stats-out FILE             write runtime stats as JSON to FILE
+ *   --trace-out FILE             write a Chrome trace-event timeline
+ *                                (load in Perfetto / chrome://tracing)
  *
  * `--workload all` profiles every bundled workload, one independent
  * shard per (workload, dataset) job, fanned out over `--jobs` worker
@@ -33,6 +38,7 @@
  * suite summary — output is byte-identical for any --jobs value.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,6 +52,8 @@
 #include "core/report.hpp"
 #include "core/snapshot.hpp"
 #include "support/logging.hpp"
+#include "support/stats_registry.hpp"
+#include "support/trace.hpp"
 #include "vpsim/assembler.hpp"
 #include "vpsim/disasm.hpp"
 #include "workloads/parallel_runner.hpp"
@@ -73,6 +81,16 @@ struct Options
     bool disasm = false;
     std::string compareA, compareB;
     bool list = false;
+    /** "" = no stdout stats dump; otherwise "text" or "json". */
+    std::string statsFormat;
+    std::string statsOut;
+    std::string traceOut;
+
+    bool
+    wantStats() const
+    {
+        return !statsFormat.empty() || !statsOut.empty();
+    }
 };
 
 [[noreturn]] void
@@ -84,10 +102,35 @@ usage()
         "       vpprof --compare A.vprof B.vprof\n"
         "       vpprof --list\n"
         "options: --mode full|sampled|random, --rate P,\n"
-        "         --target writes|loads, --jobs N, --mem, --params,\n"
-        "         --strides, --regs, --top N, --min-inv F,\n"
-        "         --save FILE, --disasm\n";
+        "         --target writes|loads, --jobs N|auto, --mem,\n"
+        "         --params, --strides, --regs, --top N, --min-inv F,\n"
+        "         --save FILE, --disasm, --stats[=text|json],\n"
+        "         --stats-out FILE, --trace-out FILE\n";
     std::exit(2);
+}
+
+/**
+ * Strict worker-count parsing: a positive integer or "auto" (one
+ * worker per hardware thread). Zero, negative, and non-numeric counts
+ * are configuration errors, not silent fallbacks.
+ */
+unsigned
+parseJobs(const char *text, const char *what)
+{
+    const std::string s = text;
+    if (s == "auto")
+        return 0; // ParallelRunner: 0 = one per hardware thread
+    char *end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        vp_fatal("%s: '%s' is not a job count (use a positive "
+                 "integer or 'auto')",
+                 what, s.c_str());
+    if (v <= 0)
+        vp_fatal("%s must be a positive integer (got %s); use 'auto' "
+                 "for one worker per hardware thread",
+                 what, s.c_str());
+    return static_cast<unsigned>(v);
 }
 
 Options
@@ -114,7 +157,7 @@ parse(int argc, char **argv)
         else if (arg == "--target")
             opt.target = need(i);
         else if (arg == "--jobs")
-            opt.jobs = static_cast<unsigned>(std::atoi(need(i)));
+            opt.jobs = parseJobs(need(i), "--jobs");
         else if (arg == "--mem")
             opt.mem = true;
         else if (arg == "--params")
@@ -136,6 +179,16 @@ parse(int argc, char **argv)
             opt.compareB = need(i);
         } else if (arg == "--list")
             opt.list = true;
+        else if (arg == "--stats")
+            opt.statsFormat = "text";
+        else if (arg.rfind("--stats=", 0) == 0) {
+            opt.statsFormat = arg.substr(8);
+            if (opt.statsFormat != "text" && opt.statsFormat != "json")
+                usage();
+        } else if (arg == "--stats-out")
+            opt.statsOut = need(i);
+        else if (arg == "--trace-out")
+            opt.traceOut = need(i);
         else
             usage();
     }
@@ -235,6 +288,35 @@ runSuite(const Options &opt)
     return 0;
 }
 
+/**
+ * Dump whatever observability output was requested. Stats accumulate
+ * in the global registry (worker shards merge into it via the
+ * runner), the trace in the global collector.
+ */
+void
+emitObservability(const Options &opt)
+{
+    if (opt.wantStats()) {
+        const vp::stats::Registry &reg = vp::stats::global();
+        if (!opt.statsOut.empty()) {
+            std::ofstream out(opt.statsOut);
+            if (!out)
+                vp_fatal("cannot write '%s'", opt.statsOut.c_str());
+            reg.writeJson(out);
+        }
+        if (opt.statsFormat == "json")
+            reg.writeJson(std::cout);
+        else if (opt.statsFormat == "text")
+            reg.writeText(std::cout);
+    }
+    if (!opt.traceOut.empty()) {
+        std::ofstream out(opt.traceOut);
+        if (!out)
+            vp_fatal("cannot write '%s'", opt.traceOut.c_str());
+        vp::trace::TraceCollector::global().writeJson(out);
+    }
+}
+
 } // namespace
 
 int
@@ -250,8 +332,17 @@ main(int argc, char **argv)
     }
     if (!opt.compareA.empty())
         return runCompare(opt);
-    if (opt.workload == "all")
-        return runSuite(opt);
+
+    if (opt.wantStats())
+        vp::stats::setEnabled(true);
+    if (!opt.traceOut.empty())
+        vp::trace::TraceCollector::global().setEnabled(true);
+
+    if (opt.workload == "all") {
+        const int rc = runSuite(opt);
+        emitObservability(opt);
+        return rc;
+    }
     if (opt.workload.empty() == opt.asmFile.empty())
         usage(); // exactly one source required
 
@@ -308,14 +399,19 @@ main(int argc, char **argv)
                    {.memBytes = 16u << 20, .maxInsts = 500'000'000});
     manager.attach(cpu);
     vpsim::RunResult result;
-    if (workload) {
-        result = workloads::runToCompletion(cpu, *workload,
-                                            opt.dataset);
-    } else {
-        result = cpu.run();
-        if (!result.exited())
-            vp_fatal("program did not exit cleanly (reason %d)",
-                     static_cast<int>(result.reason));
+    {
+        vp::trace::ScopedSpan span(
+            workload ? workload->name() + ":" + opt.dataset
+                     : opt.asmFile);
+        if (workload) {
+            result = workloads::runToCompletion(cpu, *workload,
+                                                opt.dataset);
+        } else {
+            result = cpu.run();
+            if (!result.exited())
+                vp_fatal("program did not exit cleanly (reason %d)",
+                         static_cast<int>(result.reason));
+        }
     }
 
     std::cout << "executed " << result.dynamicInsts
@@ -396,5 +492,6 @@ main(int argc, char **argv)
         core::ProfileSnapshot::fromInstructionProfiler(iprof).save(out);
         std::cout << "\nsnapshot written to " << opt.saveFile << "\n";
     }
+    emitObservability(opt);
     return 0;
 }
