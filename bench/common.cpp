@@ -125,28 +125,14 @@ StatsSession::~StatsSession()
     vp::stats::global().writeJson(out);
 }
 
-double
-OracleProfiler::PcStats::invTop() const
+vp::check::Generated
+syntheticProgram(std::uint64_t seed)
 {
-    if (total == 0)
-        return 0.0;
-    std::uint64_t best = 0;
-    for (const auto &[v, c] : counts)
-        best = std::max(best, c);
-    return static_cast<double>(best) / static_cast<double>(total);
-}
-
-std::uint64_t
-OracleProfiler::PcStats::topValue() const
-{
-    std::uint64_t best_v = 0, best_c = 0;
-    for (const auto &[v, c] : counts) {
-        if (c > best_c || (c == best_c && v < best_v)) {
-            best_c = c;
-            best_v = v;
-        }
-    }
-    return best_v;
+    vp::check::GenConfig cfg;
+    cfg.calls = 400;
+    cfg.maxProcs = 4;
+    cfg.maxLoopTrip = 8;
+    return vp::check::generate(seed, cfg);
 }
 
 double

@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/generator.hpp"
+#include "check/oracle.hpp"
 #include "core/instruction_profiler.hpp"
 #include "core/memory_profiler.hpp"
 #include "core/parameter_profiler.hpp"
@@ -100,40 +102,20 @@ class StatsSession
 
 /**
  * Oracle profiler: exact per-pc value histograms (unbounded memory),
- * used by the TNV ablation to measure estimation error.
+ * used by the TNV ablation to measure estimation error. This is the
+ * differential-testing oracle (src/check/oracle.hpp) — the benches
+ * measure estimation error against the very same ground truth the
+ * checkers verify the engine with.
  */
-class OracleProfiler : public instr::Tool
-{
-  public:
-    struct PcStats
-    {
-        std::unordered_map<std::uint64_t, std::uint64_t> counts;
-        std::uint64_t total = 0;
+using OracleProfiler = vp::check::OracleProfiler;
 
-        /** Exact invariance of the most frequent value. */
-        double invTop() const;
-        /** The exact most frequent value. */
-        std::uint64_t topValue() const;
-    };
-
-    void
-    onInstValue(std::uint32_t pc, const vpsim::Inst &,
-                std::uint64_t value) override
-    {
-        auto &s = stats[pc];
-        ++s.counts[value];
-        ++s.total;
-    }
-
-    const std::unordered_map<std::uint32_t, PcStats> &
-    all() const
-    {
-        return stats;
-    }
-
-  private:
-    std::unordered_map<std::uint32_t, PcStats> stats;
-};
+/**
+ * A seeded synthetic workload program from the vp::check generator —
+ * denser in calls than the checker default so value streams are long
+ * enough to exercise TNV clearing. Used by the ablation benches as a
+ * suite-independent stress row.
+ */
+vp::check::Generated syntheticProgram(std::uint64_t seed);
 
 /** Mean of per-entity |invTop(snapshot) - invTop(oracle)|, weighted. */
 double invTopErrorVsOracle(const core::ProfileSnapshot &snap,

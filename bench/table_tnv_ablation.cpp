@@ -9,6 +9,7 @@
  * streams; tiny tables and very short clear intervals lose accuracy.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -47,47 +48,88 @@ variants()
     return out;
 }
 
+/** Error/agreement of one variant on one already-built program run. */
+struct VariantScore
+{
+    double err = 0.0;
+    double agree = 0.0;
+};
+
+VariantScore
+scoreProgram(const Variant &variant, const vpsim::Program &prog,
+             const std::vector<std::uint32_t> &pcs,
+             const std::function<void(vpsim::Cpu &)> &run)
+{
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    vpsim::Cpu cpu(prog, bench::cpuConfig());
+
+    core::InstProfilerConfig cfg;
+    cfg.profile.tnv = variant.tnv;
+    core::InstructionProfiler prof(img, cfg);
+    prof.profileInsts(mgr, pcs);
+
+    bench::OracleProfiler oracle;
+    mgr.instrumentInsts(pcs, &oracle);
+    mgr.attach(cpu);
+    run(cpu);
+
+    const auto snap =
+        core::ProfileSnapshot::fromInstructionProfiler(prof);
+    return {bench::invTopErrorVsOracle(snap, oracle),
+            bench::topValueAgreementVsOracle(snap, oracle)};
+}
+
 } // namespace
 
 int
 main()
 {
     bench::StatsSession stats_session("table_tnv_ablation");
-    vp::TextTable table({"variant", "|dInvTop|%", "topValueAgree%"});
+    vp::TextTable table({"variant", "|dInvTop|%", "topValueAgree%",
+                         "synth|dInvTop|%"});
+
+    // Seeded synthetic programs from the differential-testing
+    // generator: a suite-independent column (register-write streams,
+    // since generated programs are ALU-dense and load-light).
+    std::vector<vp::check::Generated> synth;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+        synth.push_back(bench::syntheticProgram(seed));
 
     for (const auto &variant : variants()) {
         double err_sum = 0, agree_sum = 0;
         int n = 0;
         for (const auto *w : workloads::allWorkloads()) {
-            const vpsim::Program &prog = w->program();
-            instr::Image img(prog);
-            instr::InstrumentManager mgr(img);
-            vpsim::Cpu cpu(prog, bench::cpuConfig());
-
-            core::InstProfilerConfig cfg;
-            cfg.profile.tnv = variant.tnv;
-            core::InstructionProfiler prof(img, cfg);
-            prof.profileLoads(mgr);
-
-            bench::OracleProfiler oracle;
-            mgr.instrumentInsts(img.loadInsts(), &oracle);
-            mgr.attach(cpu);
-            workloads::runToCompletion(cpu, *w, "train");
-
-            const auto snap =
-                core::ProfileSnapshot::fromInstructionProfiler(prof);
-            err_sum += bench::invTopErrorVsOracle(snap, oracle);
-            agree_sum += bench::topValueAgreementVsOracle(snap, oracle);
+            instr::Image img(w->program());
+            const auto score = scoreProgram(
+                variant, w->program(), img.loadInsts(),
+                [&](vpsim::Cpu &cpu) {
+                    workloads::runToCompletion(cpu, *w, "train");
+                });
+            err_sum += score.err;
+            agree_sum += score.agree;
             ++n;
+        }
+        double synth_err_sum = 0;
+        for (const auto &gen : synth) {
+            instr::Image img(gen.program);
+            synth_err_sum +=
+                scoreProgram(variant, gen.program,
+                             img.regWritingInsts(),
+                             [](vpsim::Cpu &cpu) { cpu.run(); })
+                    .err;
         }
         table.row()
             .cell(variant.name)
             .percent(err_sum / n, 2)
-            .percent(agree_sum / n);
+            .percent(agree_sum / n)
+            .percent(synth_err_sum / static_cast<double>(synth.size()),
+                     2);
     }
 
     table.print(std::cout,
                 "E13: TNV design ablation vs exact oracle (load "
-                "streams, suite averages, train inputs)");
+                "streams, suite averages, train inputs; synth = "
+                "seeded generator programs, write streams)");
     return 0;
 }

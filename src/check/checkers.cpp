@@ -1,0 +1,579 @@
+#include "check/checkers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "check/oracle.hpp"
+#include "core/snapshot.hpp"
+#include "instrument/image.hpp"
+#include "instrument/manager.hpp"
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+#include "support/thread_pool.hpp"
+
+namespace vp::check
+{
+
+namespace
+{
+
+/** The pcs every checker instruments: all register writers, the same
+ *  set InstructionProfiler::profileAllWrites uses. */
+std::vector<std::uint32_t>
+profiledPcs(const instr::Image &img)
+{
+    return img.regWritingInsts();
+}
+
+vpsim::RunResult
+runProgram(const vpsim::Program &prog, instr::InstrumentManager &mgr,
+           const vpsim::CpuConfig &cfg)
+{
+    vpsim::Cpu cpu(prog, cfg);
+    mgr.attach(cpu);
+    return cpu.run();
+}
+
+core::InstProfilerConfig
+fullConfig(const core::TnvConfig &tnv)
+{
+    core::InstProfilerConfig cfg;
+    cfg.mode = core::ProfileMode::Full;
+    cfg.profile.tnv = tnv;
+    return cfg;
+}
+
+core::TnvConfig
+pureLfuConfig(unsigned capacity)
+{
+    core::TnvConfig tnv;
+    tnv.policy = core::TnvConfig::Policy::PureLfu;
+    tnv.capacity = capacity;
+    return tnv;
+}
+
+/**
+ * One profiling shard: its own image, manager, profiler, and run —
+ * exactly the isolation contract of workloads::ParallelRunner, so
+ * shards can execute on any thread.
+ */
+struct ShardRun
+{
+    instr::Image image;
+    instr::InstrumentManager mgr;
+    core::InstructionProfiler prof;
+    vpsim::RunResult result;
+
+    ShardRun(const vpsim::Program &prog,
+             const core::InstProfilerConfig &cfg,
+             const std::vector<std::uint32_t> &pcs,
+             const vpsim::CpuConfig &ccfg)
+        : image(prog), mgr(image), prof(image, cfg)
+    {
+        prof.profileInsts(mgr, pcs);
+        result = runProgram(prog, mgr, ccfg);
+    }
+};
+
+std::string
+snapshotText(const core::ProfileSnapshot &snap)
+{
+    std::ostringstream os;
+    snap.save(os);
+    return os.str();
+}
+
+} // namespace
+
+const char *
+checkerName(Checker c)
+{
+    switch (c) {
+      case Checker::FullVsOracle: return "oracle";
+      case Checker::ShardMerge: return "merge";
+      case Checker::SampledVsFull: return "sampled";
+      case Checker::SnapshotRoundTrip: return "snapshot";
+    }
+    return "?";
+}
+
+bool
+parseCheckerName(const std::string &name, Checker &out)
+{
+    for (const Checker c : allCheckers()) {
+        if (name == checkerName(c)) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<Checker> &
+allCheckers()
+{
+    static const std::vector<Checker> all = {
+        Checker::FullVsOracle,
+        Checker::ShardMerge,
+        Checker::SampledVsFull,
+        Checker::SnapshotRoundTrip,
+    };
+    return all;
+}
+
+CheckResult
+checkFullVsOracle(const vpsim::Program &prog, const CheckOptions &opts)
+{
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    const auto pcs = profiledPcs(img);
+
+    // One run, three observers of the identical value stream: the
+    // paper-default lossy table, an un-evictable pure-LFU table, and
+    // the exhaustive oracle.
+    core::InstructionProfiler lossy(img, fullConfig(opts.tnv));
+    lossy.profileInsts(mgr, pcs);
+    core::InstructionProfiler exact(
+        img, fullConfig(pureLfuConfig(opts.exactCapacity)));
+    exact.profileInsts(mgr, pcs);
+    OracleProfiler oracle;
+    mgr.instrumentInsts(pcs, &oracle);
+
+    runProgram(prog, mgr, opts.cpu);
+
+    for (const auto pc : pcs) {
+        const auto *truth = oracle.entityFor(pc);
+        const auto *rec = lossy.recordFor(pc);
+        vp_assert(rec, "instrumented pc %u has no record", pc);
+        const std::uint64_t truth_total = truth ? truth->total : 0;
+        if (rec->profile.executions() != truth_total)
+            return CheckResult::fail(vp::format(
+                "pc %u: full profile recorded %llu executions, oracle "
+                "saw %llu",
+                pc,
+                static_cast<unsigned long long>(
+                    rec->profile.executions()),
+                static_cast<unsigned long long>(truth_total)));
+        if (!truth)
+            continue;
+
+        // Exact side counters are oblivious to TNV eviction.
+        if (rec->profile.zeroCount() != truth->zeros)
+            return CheckResult::fail(vp::format(
+                "pc %u: zero count %llu != oracle %llu", pc,
+                static_cast<unsigned long long>(
+                    rec->profile.zeroCount()),
+                static_cast<unsigned long long>(truth->zeros)));
+        if (rec->profile.lvpHits() != truth->lastHits)
+            return CheckResult::fail(vp::format(
+                "pc %u: LVP hits %llu != oracle %llu", pc,
+                static_cast<unsigned long long>(
+                    rec->profile.lvpHits()),
+                static_cast<unsigned long long>(truth->lastHits)));
+        if (!rec->profile.distinctSaturated() &&
+            rec->profile.distinct() != truth->distinct())
+            return CheckResult::fail(vp::format(
+                "pc %u: distinct %llu != oracle %llu", pc,
+                static_cast<unsigned long long>(
+                    rec->profile.distinct()),
+                static_cast<unsigned long long>(truth->distinct())));
+
+        // The TNV table may forget counts (eviction, clearing) but
+        // can never invent them: every entry's count is bounded by
+        // the true frequency of that value, and coverage by totals.
+        std::uint64_t covered = 0;
+        for (const auto &e : rec->profile.tnv().raw()) {
+            const std::uint64_t exact_count = truth->countFor(e.value);
+            if (e.count > exact_count)
+                return CheckResult::fail(vp::format(
+                    "pc %u: TNV credits value %llu with %llu "
+                    "occurrences but the oracle counted %llu",
+                    pc, static_cast<unsigned long long>(e.value),
+                    static_cast<unsigned long long>(e.count),
+                    static_cast<unsigned long long>(exact_count)));
+            covered += e.count;
+        }
+        if (covered > truth->total)
+            return CheckResult::fail(vp::format(
+                "pc %u: TNV covers %llu of %llu executions", pc,
+                static_cast<unsigned long long>(covered),
+                static_cast<unsigned long long>(truth->total)));
+
+        // Pure LFU with spare capacity is lossless: the table must
+        // *be* the histogram, value for value, count for count.
+        const auto *erec = exact.recordFor(pc);
+        vp_assert(erec, "exact-leg pc %u has no record", pc);
+        if (truth->distinct() <= opts.exactCapacity) {
+            if (erec->profile.tnv().size() != truth->distinct())
+                return CheckResult::fail(vp::format(
+                    "pc %u: un-evicted pure-LFU table holds %zu "
+                    "values, oracle saw %llu distinct",
+                    pc, erec->profile.tnv().size(),
+                    static_cast<unsigned long long>(
+                        truth->distinct())));
+            for (const auto &[value, count] : truth->counts) {
+                if (erec->profile.tnv().countFor(value) != count)
+                    return CheckResult::fail(vp::format(
+                        "pc %u: un-evicted pure-LFU count for value "
+                        "%llu is %llu, oracle counted %llu",
+                        pc, static_cast<unsigned long long>(value),
+                        static_cast<unsigned long long>(
+                            erec->profile.tnv().countFor(value)),
+                        static_cast<unsigned long long>(count)));
+            }
+        }
+    }
+    return CheckResult::pass();
+}
+
+CheckResult
+checkShardMerge(const vpsim::Program &prog, const CheckOptions &opts)
+{
+    vp_assert(opts.shards >= 2, "merge checking needs >= 2 shards");
+    instr::Image img(prog);
+    const auto pcs = profiledPcs(img);
+    const unsigned K = opts.shards;
+
+    const core::InstProfilerConfig lossy_cfg = fullConfig(opts.tnv);
+    const core::InstProfilerConfig exact_cfg =
+        fullConfig(pureLfuConfig(opts.exactCapacity));
+
+    // --- serial shards -----------------------------------------------
+    std::vector<std::unique_ptr<ShardRun>> serial;
+    for (unsigned k = 0; k < K; ++k)
+        serial.push_back(std::make_unique<ShardRun>(prog, lossy_cfg,
+                                                    pcs, opts.cpu));
+
+    // --- the same shards, fanned out over a worker pool --------------
+    std::vector<std::unique_ptr<ShardRun>> parallel(K);
+    {
+        vp::ThreadPool pool(opts.mergeJobs);
+        for (unsigned k = 0; k < K; ++k) {
+            pool.submit([&, k] {
+                parallel[k] = std::make_unique<ShardRun>(
+                    prog, lossy_cfg, pcs, opts.cpu);
+            });
+        }
+        pool.wait();
+    }
+
+    // Merged snapshots must be byte-identical no matter where the
+    // shards ran — the determinism contract of the parallel engine.
+    auto foldSnapshots =
+        [](const std::vector<std::unique_ptr<ShardRun>> &shards) {
+            core::ProfileSnapshot merged;
+            for (const auto &s : shards)
+                merged.merge(
+                    core::ProfileSnapshot::fromInstructionProfiler(
+                        s->prof));
+            return merged;
+        };
+    const std::string serial_text = snapshotText(foldSnapshots(serial));
+    const std::string parallel_text =
+        snapshotText(foldSnapshots(parallel));
+    if (serial_text != parallel_text)
+        return CheckResult::fail(
+            "merged snapshot differs between serial and thread-pool "
+            "shard execution");
+
+    // --- sequential reference: one profiler over K concatenated runs,
+    // and an oracle over a single run (sequential truth = K * oracle).
+    auto sequentialRun = [&](const core::InstProfilerConfig &cfg) {
+        auto run = std::make_unique<ShardRun>(prog, cfg, pcs, opts.cpu);
+        for (unsigned k = 1; k < K; ++k)
+            runProgram(prog, run->mgr, opts.cpu);
+        return run;
+    };
+    const auto seq_lossy = sequentialRun(lossy_cfg);
+    const auto seq_exact = sequentialRun(exact_cfg);
+
+    instr::Image oracle_img(prog);
+    instr::InstrumentManager oracle_mgr(oracle_img);
+    OracleProfiler oracle;
+    oracle_mgr.instrumentInsts(pcs, &oracle);
+    runProgram(prog, oracle_mgr, opts.cpu);
+
+    // --- exact-leg shards for the lossless-merge regime --------------
+    std::vector<std::unique_ptr<ShardRun>> exact_shards;
+    for (unsigned k = 0; k < K; ++k)
+        exact_shards.push_back(std::make_unique<ShardRun>(
+            prog, exact_cfg, pcs, opts.cpu));
+
+    for (const auto pc : pcs) {
+        const auto *seq = seq_lossy->prof.recordFor(pc);
+        vp_assert(seq, "sequential pc %u has no record", pc);
+
+        // Fold the K shard profiles with ValueProfile::merge — the
+        // production shard-aggregation path.
+        core::ValueProfile merged =
+            serial[0]->prof.recordFor(pc)->profile;
+        for (unsigned k = 1; k < K; ++k)
+            merged.merge(serial[k]->prof.recordFor(pc)->profile);
+
+        // Exactly-summed counters (DESIGN.md tolerance items).
+        if (merged.executions() != seq->profile.executions())
+            return CheckResult::fail(vp::format(
+                "pc %u: merged executions %llu != sequential %llu", pc,
+                static_cast<unsigned long long>(merged.executions()),
+                static_cast<unsigned long long>(
+                    seq->profile.executions())));
+        if (merged.zeroCount() != seq->profile.zeroCount())
+            return CheckResult::fail(vp::format(
+                "pc %u: merged zero count %llu != sequential %llu", pc,
+                static_cast<unsigned long long>(merged.zeroCount()),
+                static_cast<unsigned long long>(
+                    seq->profile.zeroCount())));
+        if (!merged.distinctSaturated() &&
+            merged.distinct() != seq->profile.distinct())
+            return CheckResult::fail(vp::format(
+                "pc %u: merged distinct %llu != sequential %llu", pc,
+                static_cast<unsigned long long>(merged.distinct()),
+                static_cast<unsigned long long>(
+                    seq->profile.distinct())));
+
+        // LVP loses at most one hit per shard boundary, never gains.
+        if (merged.lvpHits() > seq->profile.lvpHits() ||
+            seq->profile.lvpHits() - merged.lvpHits() > K - 1)
+            return CheckResult::fail(vp::format(
+                "pc %u: merged LVP hits %llu vs sequential %llu "
+                "violates the (K-1)=%u boundary-loss bound",
+                pc, static_cast<unsigned long long>(merged.lvpHits()),
+                static_cast<unsigned long long>(
+                    seq->profile.lvpHits()),
+                K - 1));
+
+        // Merged TNV counts are bounded by K times the single-run
+        // truth (the sequential stream is the run repeated K times).
+        const auto *truth = oracle.entityFor(pc);
+        for (const auto &e : merged.tnv().raw()) {
+            const std::uint64_t exact_count =
+                truth ? truth->countFor(e.value) * K : 0;
+            if (e.count > exact_count)
+                return CheckResult::fail(vp::format(
+                    "pc %u: merged TNV credits value %llu with %llu "
+                    "occurrences, exact concatenated count is %llu",
+                    pc, static_cast<unsigned long long>(e.value),
+                    static_cast<unsigned long long>(e.count),
+                    static_cast<unsigned long long>(exact_count)));
+        }
+
+        // Lossless regime: when no pure-LFU table ever evicted, the
+        // merge must equal the sequential table value-for-value —
+        // this is the leg that catches a mis-summing TnvTable::merge.
+        if (truth && truth->distinct() <= opts.exactCapacity) {
+            core::ValueProfile emerged =
+                exact_shards[0]->prof.recordFor(pc)->profile;
+            for (unsigned k = 1; k < K; ++k)
+                emerged.merge(
+                    exact_shards[k]->prof.recordFor(pc)->profile);
+            const auto *eseq = seq_exact->prof.recordFor(pc);
+            for (const auto &[value, count] : truth->counts) {
+                const std::uint64_t merged_count =
+                    emerged.tnv().countFor(value);
+                const std::uint64_t seq_count =
+                    eseq->profile.tnv().countFor(value);
+                if (merged_count != seq_count ||
+                    merged_count != count * K)
+                    return CheckResult::fail(vp::format(
+                        "pc %u: lossless merge diverges for value "
+                        "%llu: merged %llu, sequential %llu, exact "
+                        "%llu",
+                        pc, static_cast<unsigned long long>(value),
+                        static_cast<unsigned long long>(merged_count),
+                        static_cast<unsigned long long>(seq_count),
+                        static_cast<unsigned long long>(count * K)));
+            }
+        }
+    }
+    return CheckResult::pass();
+}
+
+CheckResult
+checkSampledVsFull(const vpsim::Program &prog, const CheckOptions &opts)
+{
+    instr::Image img(prog);
+    const auto pcs = profiledPcs(img);
+
+    // Full + oracle observe one run; the sampled profiler observes an
+    // identical second run (profiling never perturbs execution).
+    instr::InstrumentManager full_mgr(img);
+    core::InstructionProfiler full(img, fullConfig(opts.tnv));
+    full.profileInsts(full_mgr, pcs);
+    OracleProfiler oracle;
+    full_mgr.instrumentInsts(pcs, &oracle);
+    runProgram(prog, full_mgr, opts.cpu);
+
+    instr::Image simg(prog);
+    instr::InstrumentManager sampled_mgr(simg);
+    core::InstProfilerConfig scfg = fullConfig(opts.tnv);
+    scfg.mode = core::ProfileMode::Sampled;
+    scfg.sampler = opts.sampler;
+    core::InstructionProfiler sampled(simg, scfg);
+    sampled.profileInsts(sampled_mgr, pcs);
+    runProgram(prog, sampled_mgr, opts.cpu);
+
+    double err_num = 0.0, err_den = 0.0;
+    for (const auto pc : pcs) {
+        const auto *frec = full.recordFor(pc);
+        const auto *srec = sampled.recordFor(pc);
+        vp_assert(frec && srec, "instrumented pc %u lost a record", pc);
+
+        // The cheap total check counts every execution, sampled or
+        // not — totals must match full profiling exactly.
+        if (srec->totalExecutions != frec->totalExecutions)
+            return CheckResult::fail(vp::format(
+                "pc %u: sampled-mode total %llu != full-mode total "
+                "%llu",
+                pc,
+                static_cast<unsigned long long>(srec->totalExecutions),
+                static_cast<unsigned long long>(
+                    frec->totalExecutions)));
+        const std::uint64_t profiled = srec->profile.executions();
+        if (profiled > srec->totalExecutions)
+            return CheckResult::fail(vp::format(
+                "pc %u: sampled %llu of %llu executions", pc,
+                static_cast<unsigned long long>(profiled),
+                static_cast<unsigned long long>(
+                    srec->totalExecutions)));
+        // The sampler opens in a burst: the first min(total, burst)
+        // executions are always profiled.
+        const std::uint64_t floor = std::min<std::uint64_t>(
+            srec->totalExecutions, opts.sampler.burstSize);
+        if (profiled < floor)
+            return CheckResult::fail(vp::format(
+                "pc %u: sampled only %llu executions, below the "
+                "opening-burst floor %llu",
+                pc, static_cast<unsigned long long>(profiled),
+                static_cast<unsigned long long>(floor)));
+
+        const auto *truth = oracle.entityFor(pc);
+        if (!truth)
+            continue;
+
+        // Sampled observations are a sub-stream of the truth.
+        if (srec->profile.distinct() > truth->distinct())
+            return CheckResult::fail(vp::format(
+                "pc %u: sampling saw %llu distinct values, the full "
+                "stream only has %llu",
+                pc,
+                static_cast<unsigned long long>(
+                    srec->profile.distinct()),
+                static_cast<unsigned long long>(truth->distinct())));
+        if (srec->profile.zeroCount() > truth->zeros)
+            return CheckResult::fail(vp::format(
+                "pc %u: sampling counted %llu zeros, the full stream "
+                "only has %llu",
+                pc,
+                static_cast<unsigned long long>(
+                    srec->profile.zeroCount()),
+                static_cast<unsigned long long>(truth->zeros)));
+        for (const auto &e : srec->profile.tnv().raw()) {
+            if (e.count > truth->countFor(e.value))
+                return CheckResult::fail(vp::format(
+                    "pc %u: sampled TNV credits value %llu with %llu "
+                    "occurrences, oracle counted %llu",
+                    pc, static_cast<unsigned long long>(e.value),
+                    static_cast<unsigned long long>(e.count),
+                    static_cast<unsigned long long>(
+                        truth->countFor(e.value))));
+        }
+
+        // An invariant entity stays invariant under any subsampling.
+        if (truth->distinct() == 1 && profiled > 0 &&
+            (srec->profile.tnv().size() != 1 ||
+             srec->profile.invTop() != 1.0))
+            return CheckResult::fail(vp::format(
+                "pc %u: invariant entity (single value) sampled to "
+                "invTop %.6f",
+                pc, srec->profile.invTop()));
+
+        // Statistical envelope over well-executed entities.
+        if (srec->totalExecutions >= opts.sampledMinExecs) {
+            const auto w =
+                static_cast<double>(srec->totalExecutions);
+            err_num += w * std::fabs(srec->profile.invTop() -
+                                     frec->profile.invTop());
+            err_den += w;
+        }
+    }
+    if (err_den > 0.0 && err_num / err_den > opts.sampledInvTolerance)
+        return CheckResult::fail(vp::format(
+            "execution-weighted |invTop(sampled) - invTop(full)| = "
+            "%.4f exceeds the %.4f tolerance",
+            err_num / err_den, opts.sampledInvTolerance));
+    return CheckResult::pass();
+}
+
+CheckResult
+checkSnapshotRoundTrip(const vpsim::Program &prog,
+                       const CheckOptions &opts)
+{
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    core::InstructionProfiler prof(img, fullConfig(opts.tnv));
+    prof.profileInsts(mgr, profiledPcs(img));
+    runProgram(prog, mgr, opts.cpu);
+
+    const auto snap = core::ProfileSnapshot::fromInstructionProfiler(prof);
+    const std::string first = snapshotText(snap);
+
+    std::istringstream in1(first);
+    core::ProfileSnapshot loaded;
+    std::string err;
+    if (!core::ProfileSnapshot::tryLoad(in1, loaded, err))
+        return CheckResult::fail(
+            "snapshot failed to load its own save output: " + err);
+    if (loaded.size() != snap.size())
+        return CheckResult::fail(vp::format(
+            "loaded snapshot has %zu entities, saved %zu",
+            loaded.size(), snap.size()));
+    const std::string second = snapshotText(loaded);
+    if (second != first)
+        return CheckResult::fail(
+            "save -> load -> save is not a fixed point");
+
+    std::istringstream in2(second);
+    core::ProfileSnapshot reloaded;
+    if (!core::ProfileSnapshot::tryLoad(in2, reloaded, err))
+        return CheckResult::fail(
+            "second load of the fixed point failed: " + err);
+    if (snapshotText(reloaded) != second)
+        return CheckResult::fail(
+            "third save diverged from the fixed point");
+
+    // Corrupt and truncated inputs must be rejected with a
+    // diagnosis, never accepted and never fatal.
+    std::istringstream bad_header("not a snapshot\n" + first);
+    core::ProfileSnapshot scratch;
+    if (core::ProfileSnapshot::tryLoad(bad_header, scratch, err) ||
+        err.empty())
+        return CheckResult::fail(
+            "corrupt header was accepted by tryLoad");
+    std::istringstream truncated(first.substr(0, first.size() / 2));
+    if (core::ProfileSnapshot::tryLoad(truncated, scratch, err) ||
+        err.empty())
+        return CheckResult::fail(
+            "truncated snapshot was accepted by tryLoad");
+    return CheckResult::pass();
+}
+
+CheckResult
+runChecker(Checker c, const vpsim::Program &prog,
+           const CheckOptions &opts)
+{
+    switch (c) {
+      case Checker::FullVsOracle:
+        return checkFullVsOracle(prog, opts);
+      case Checker::ShardMerge:
+        return checkShardMerge(prog, opts);
+      case Checker::SampledVsFull:
+        return checkSampledVsFull(prog, opts);
+      case Checker::SnapshotRoundTrip:
+        return checkSnapshotRoundTrip(prog, opts);
+    }
+    vp_panic("unknown checker %d", static_cast<int>(c));
+}
+
+} // namespace vp::check

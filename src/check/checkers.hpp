@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Differential checkers: each one profiles a program two ways and
+ * verifies that the lossy, fast path stays inside the documented
+ * envelope of the exhaustive reference oracle (see DESIGN.md,
+ * "Differential testing & replay", for the exact bounds).
+ *
+ *  - FullVsOracle      full TNV profiling vs the exact histogram:
+ *                      TNV counts never exceed truth, LVP/%Zero/Diff
+ *                      are exact, and an un-evicted pure-LFU table
+ *                      *equals* the histogram.
+ *  - ShardMerge        K independent shards merged vs one sequential
+ *                      profile of the concatenated stream, serially
+ *                      and on a thread pool (results must be
+ *                      byte-identical); merge tolerance per DESIGN.md
+ *                      "Shard-and-merge semantics".
+ *  - SampledVsFull     convergent sampling vs full profiling: totals
+ *                      exact, sampled observations a sub-stream of
+ *                      the truth, invariant entities stay invariant.
+ *  - SnapshotRoundTrip save -> load -> save is a byte-level fixed
+ *                      point, and truncated input is rejected
+ *                      gracefully.
+ *
+ * Checkers return structured failures instead of asserting so the
+ * vpcheck harness can shrink the offending program and emit a replay
+ * bundle.
+ */
+
+#ifndef VP_CHECK_CHECKERS_HPP
+#define VP_CHECK_CHECKERS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instruction_profiler.hpp"
+#include "vpsim/cpu.hpp"
+#include "vpsim/program.hpp"
+
+namespace vp::check
+{
+
+/** Outcome of one checker on one program. */
+struct CheckResult
+{
+    bool ok = true;
+    std::string detail;  ///< first divergence, human-readable
+
+    static CheckResult pass() { return {}; }
+    static CheckResult
+    fail(std::string why)
+    {
+        return {false, std::move(why)};
+    }
+};
+
+/** Knobs shared by the checkers. */
+struct CheckOptions
+{
+    /** Table config for the paper-default (lossy) profiler leg. */
+    core::TnvConfig tnv;
+    /** Capacity of the pure-LFU exactness leg: entities with at most
+     *  this many distinct values must be profiled *exactly*. */
+    unsigned exactCapacity = 64;
+    /** Shards for the merge checker. */
+    unsigned shards = 3;
+    /** Worker threads for the parallel-merge leg. */
+    unsigned mergeJobs = 3;
+    core::SamplerConfig sampler;
+    /**
+     * Statistical bound for SampledVsFull: execution-weighted mean
+     * |invTop(sampled) - invTop(full)| over entities with at least
+     * sampledMinExecs executions. Loose by design — the sound
+     * per-entity bounds do the heavy lifting.
+     */
+    double sampledInvTolerance = 0.35;
+    std::uint64_t sampledMinExecs = 1024;
+    vpsim::CpuConfig cpu{1u << 20, 16'000'000};
+};
+
+/** The four differential checkers, in canonical order. */
+enum class Checker
+{
+    FullVsOracle,
+    ShardMerge,
+    SampledVsFull,
+    SnapshotRoundTrip,
+};
+
+/** Short CLI name: "oracle", "merge", "sampled", "snapshot". */
+const char *checkerName(Checker c);
+
+/** Parse a CLI name; returns false on unknown names. */
+bool parseCheckerName(const std::string &name, Checker &out);
+
+/** All checkers in canonical order. */
+const std::vector<Checker> &allCheckers();
+
+CheckResult checkFullVsOracle(const vpsim::Program &prog,
+                              const CheckOptions &opts = {});
+CheckResult checkShardMerge(const vpsim::Program &prog,
+                            const CheckOptions &opts = {});
+CheckResult checkSampledVsFull(const vpsim::Program &prog,
+                               const CheckOptions &opts = {});
+CheckResult checkSnapshotRoundTrip(const vpsim::Program &prog,
+                                   const CheckOptions &opts = {});
+
+/** Dispatch by enum. */
+CheckResult runChecker(Checker c, const vpsim::Program &prog,
+                       const CheckOptions &opts = {});
+
+} // namespace vp::check
+
+#endif // VP_CHECK_CHECKERS_HPP

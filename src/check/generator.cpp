@@ -1,0 +1,351 @@
+#include "check/generator.hpp"
+
+#include <iterator>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+#include "vpsim/assembler.hpp"
+
+namespace vp::check
+{
+
+GenConfig
+GenConfig::straightLine()
+{
+    GenConfig cfg;
+    cfg.minProcs = 1;
+    cfg.maxProcs = 1;
+    cfg.minBlocks = 3;
+    cfg.maxBlocks = 7;
+    cfg.loopChance = 0.0;
+    cfg.memChance = 0.0;
+    cfg.callChance = 0.0;
+    return cfg;
+}
+
+namespace
+{
+
+/** Registers the generator reads from (arguments + scratch). s0/s1
+ *  are reserved: data base pointer and loop counter. */
+const char *const source_regs[] = {"a0", "a1", "a2", "t0", "t1",
+                                   "t2", "t3", "t4", "t5"};
+
+/** Registers the generator writes to. Never s0/s1 (reserved), never
+ *  zero; a0 is allowed so results feed the output. */
+const char *const dest_regs[] = {"a0", "t0", "t1", "t2",
+                                 "t3", "t4", "t5"};
+
+const char *
+anyReg(vp::Rng &rng)
+{
+    return source_regs[rng.below(std::size(source_regs))];
+}
+
+const char *
+destReg(vp::Rng &rng)
+{
+    // Bias destinations toward scratch but allow a0 so the printed
+    // result depends on the computation.
+    return rng.chance(0.3) ? "a0"
+                           : dest_regs[1 + rng.below(
+                                 std::size(dest_regs) - 1)];
+}
+
+/** One random straight-line instruction (ALU or memory). */
+void
+emitInst(vp::Rng &rng, const GenConfig &cfg, std::string &body)
+{
+    if (cfg.memChance > 0.0 && rng.chance(cfg.memChance)) {
+        // 8-aligned displacement into the data segment (s0 = &d0).
+        const unsigned long long off =
+            8ull * rng.below(cfg.dataWords);
+        if (rng.chance(0.5))
+            body += vp::format("    ld   %s, %llu(s0)\n", destReg(rng),
+                               off);
+        else
+            body += vp::format("    st   %s, %llu(s0)\n", anyReg(rng),
+                               off);
+        return;
+    }
+    switch (rng.below(9)) {
+      case 0:
+        body += vp::format("    add  %s, %s, %s\n", destReg(rng),
+                           anyReg(rng), anyReg(rng));
+        break;
+      case 1:
+        body += vp::format("    sub  %s, %s, %s\n", destReg(rng),
+                           anyReg(rng), anyReg(rng));
+        break;
+      case 2:
+        body += vp::format("    mul  %s, %s, %s\n", destReg(rng),
+                           anyReg(rng), anyReg(rng));
+        break;
+      case 3:
+        body += vp::format("    xor  %s, %s, %s\n", destReg(rng),
+                           anyReg(rng), anyReg(rng));
+        break;
+      case 4:
+        body += vp::format("    and  %s, %s, %s\n", destReg(rng),
+                           anyReg(rng), anyReg(rng));
+        break;
+      case 5:
+        body += vp::format("    addi %s, %s, %lld\n", destReg(rng),
+                           anyReg(rng),
+                           static_cast<long long>(rng.range(-64, 64)));
+        break;
+      case 6:
+        body += vp::format("    andi %s, %s, %llu\n", destReg(rng),
+                           anyReg(rng),
+                           static_cast<unsigned long long>(
+                               rng.below(256)));
+        break;
+      case 7:
+        body += vp::format("    slli %s, %s, %llu\n", destReg(rng),
+                           anyReg(rng),
+                           static_cast<unsigned long long>(
+                               rng.below(8)));
+        break;
+      default:
+        // Mostly small constants (invariant-friendly), occasionally a
+        // full-width value so TNV tables see wide-value traffic too.
+        if (rng.chance(0.15))
+            body += vp::format("    li   %s, %lld\n", destReg(rng),
+                               static_cast<long long>(rng.next()));
+        else
+            body += vp::format("    li   %s, %lld\n", destReg(rng),
+                               static_cast<long long>(
+                                   rng.range(-100, 100)));
+        break;
+    }
+}
+
+/**
+ * Emit procedure f<index> of `num_procs`. Procedures may only call
+ * strictly later ones, so the call graph is a DAG and termination
+ * reduces to each body terminating. Depth `index` saves its return
+ * address in s<2+index>, private to that depth by construction.
+ */
+void
+emitProc(vp::Rng &rng, const GenConfig &cfg, unsigned index,
+         unsigned num_procs, std::string &out)
+{
+    const unsigned num_blocks =
+        cfg.minBlocks +
+        static_cast<unsigned>(
+            rng.below(cfg.maxBlocks - cfg.minBlocks + 1));
+    const bool may_call =
+        cfg.callChance > 0.0 && index + 1 < num_procs;
+
+    out += vp::format("    .proc f%u args=3\nf%u:\n", index, index);
+    if (may_call)
+        out += vp::format("    mov  s%u, ra\n", 2 + index);
+    if (cfg.memChance > 0.0)
+        out += "    la   s0, d0\n";
+    // Initialize scratch from the arguments: the ABI contract the
+    // optimizer relies on is that scratch is dead across procedure
+    // boundaries, so never read what the previous call left behind.
+    out += "    mov  t0, a0\n"
+           "    mov  t1, a1\n"
+           "    mov  t2, a2\n"
+           "    xor  t3, a0, a1\n"
+           "    add  t4, a1, a2\n"
+           "    li   t5, 17\n";
+
+    for (unsigned b = 0; b < num_blocks; ++b) {
+        out += vp::format("f%u_b%u:\n", index, b);
+        const bool loop = cfg.loopChance > 0.0 &&
+                          rng.chance(cfg.loopChance);
+        if (loop) {
+            out += vp::format(
+                "    li   s1, %llu\nf%u_b%u_loop:\n",
+                static_cast<unsigned long long>(
+                    1 + rng.below(cfg.maxLoopTrip)),
+                index, b);
+        }
+        const unsigned num_insts =
+            cfg.minInstsPerBlock +
+            static_cast<unsigned>(rng.below(
+                cfg.maxInstsPerBlock - cfg.minInstsPerBlock + 1));
+        for (unsigned i = 0; i < num_insts; ++i)
+            emitInst(rng, cfg, out);
+        if (loop) {
+            // Exit on any non-positive counter: even if a callee
+            // elsewhere clobbered s1, the loop still terminates.
+            out += vp::format(
+                "    addi s1, s1, -1\n"
+                "    blt  zero, s1, f%u_b%u_loop\n",
+                index, b);
+        }
+        // At most one call per block, outside the loop, so a whole
+        // invocation makes at most num_blocks calls — the dynamic
+        // instruction count stays polynomial in the config bounds.
+        if (may_call && rng.chance(cfg.callChance)) {
+            const unsigned callee =
+                index + 1 +
+                static_cast<unsigned>(
+                    rng.below(num_procs - index - 1));
+            out += vp::format("    call f%u\n", callee);
+        }
+        // Forward conditional branch to a strictly later block.
+        if (b + 1 < num_blocks && rng.chance(0.7)) {
+            const unsigned target =
+                b + 1 +
+                static_cast<unsigned>(rng.below(num_blocks - b - 1));
+            static const char *const cond[] = {"beq", "bne", "blt",
+                                               "bge"};
+            out += vp::format("    %s  %s, %s, f%u_b%u\n",
+                              cond[rng.below(4)], anyReg(rng),
+                              anyReg(rng), index, target);
+        }
+    }
+    if (may_call)
+        out += vp::format("    mov  ra, s%u\n", 2 + index);
+    out += "    ret\n    .endp\n";
+}
+
+} // namespace
+
+std::string
+generateSource(std::uint64_t seed, const GenConfig &cfg)
+{
+    vp_assert(cfg.maxProcs >= 1 && cfg.maxProcs <= 4 &&
+                  cfg.minProcs >= 1 && cfg.minProcs <= cfg.maxProcs,
+              "generator supports 1..4 procedures");
+    vp_assert(cfg.minBlocks >= 1 && cfg.minBlocks <= cfg.maxBlocks,
+              "bad block bounds");
+    vp_assert(cfg.minInstsPerBlock >= 1 &&
+                  cfg.minInstsPerBlock <= cfg.maxInstsPerBlock,
+              "bad instruction bounds");
+    vp_assert(cfg.dataWords >= 1, "data segment must be non-empty");
+    vp_assert(cfg.maxLoopTrip >= 1, "loop trip bound must be positive");
+
+    vp::Rng rng(seed);
+    const unsigned num_procs =
+        cfg.minProcs + static_cast<unsigned>(rng.below(
+                           cfg.maxProcs - cfg.minProcs + 1));
+
+    std::string out = vp::format(
+        "# generated by vp::check (seed %llu)\n",
+        static_cast<unsigned long long>(seed));
+
+    if (cfg.memChance > 0.0) {
+        out += "    .data\nd0:     .word ";
+        for (unsigned w = 0; w < cfg.dataWords; ++w) {
+            out += vp::format(
+                "%s%lld", w ? ", " : "",
+                static_cast<long long>(rng.range(-1000, 1000)));
+        }
+        out += "\n    .text\n";
+    }
+
+    out += "    .proc main args=0\nmain:\n";
+    for (unsigned c = 0; c < cfg.calls; ++c) {
+        const long long a0 = rng.range(-50, 50);
+        const long long a1 = rng.chance(cfg.bindChance)
+                                 ? cfg.bindValue
+                                 : rng.range(-50, 50);
+        const long long a2 = rng.range(-50, 50);
+        // Half of main's calls hit f0 (the procedure the specializer
+        // fuzz binds), the rest spread over the chain.
+        const unsigned callee =
+            rng.chance(0.5)
+                ? 0
+                : static_cast<unsigned>(rng.below(num_procs));
+        out += vp::format("    li   a0, %lld\n", a0);
+        out += vp::format("    li   a1, %lld\n", a1);
+        out += vp::format("    li   a2, %lld\n", a2);
+        out += vp::format("    call f%u\n", callee);
+        out += "    syscall puti\n";
+        out += "    li   a0, 10\n    syscall putc\n";
+    }
+    out += "    li   a0, 0\n    syscall exit\n    .endp\n";
+
+    for (unsigned p = 0; p < num_procs; ++p)
+        emitProc(rng, cfg, p, num_procs, out);
+    return out;
+}
+
+Generated
+generate(std::uint64_t seed, const GenConfig &cfg)
+{
+    Generated gen;
+    gen.seed = seed;
+    gen.source = generateSource(seed, cfg);
+    std::string err;
+    if (!vpsim::tryAssemble(gen.source, gen.program, err))
+        vp_panic("generated program (seed %llu) failed to assemble: "
+                 "%s",
+                 static_cast<unsigned long long>(seed), err.c_str());
+    const std::string invalid = gen.program.validate();
+    if (!invalid.empty())
+        vp_panic("generated program (seed %llu) failed validation: "
+                 "%s",
+                 static_cast<unsigned long long>(seed),
+                 invalid.c_str());
+    return gen;
+}
+
+vpsim::Program
+randomRawProgram(vp::Rng &rng, std::size_t min_insts,
+                 std::size_t max_insts)
+{
+    vp_assert(min_insts >= 1 && min_insts <= max_insts,
+              "bad raw-program size bounds");
+    vpsim::Program prog;
+    const std::size_t n =
+        min_insts + rng.below(max_insts - min_insts + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        vpsim::Inst inst;
+        inst.op = static_cast<vpsim::Opcode>(
+            rng.below(static_cast<std::uint64_t>(
+                vpsim::Opcode::NumOpcodes)));
+        inst.rd = static_cast<std::uint8_t>(rng.below(vpsim::numRegs));
+        inst.ra = static_cast<std::uint8_t>(rng.below(vpsim::numRegs));
+        inst.rb = static_cast<std::uint8_t>(rng.below(vpsim::numRegs));
+        if (vpsim::isControl(inst.op) &&
+            inst.op != vpsim::Opcode::JALR) {
+            inst.imm = static_cast<std::int64_t>(rng.below(n));
+        } else if (inst.op == vpsim::Opcode::SYSCALL) {
+            inst.imm = static_cast<std::int64_t>(rng.below(4));
+        } else {
+            inst.imm = static_cast<std::int64_t>(rng.next() >> 40);
+        }
+        prog.code.push_back(inst);
+    }
+    return prog;
+}
+
+std::string
+mutateSource(vp::Rng &rng, std::string source, unsigned edits)
+{
+    for (unsigned e = 0; e < edits && !source.empty(); ++e) {
+        const std::size_t pos = rng.below(source.size());
+        switch (rng.below(3)) {
+          case 0:
+            source[pos] = static_cast<char>(rng.below(128));
+            break;
+          case 1:
+            source.erase(pos, 1);
+            break;
+          default:
+            source.insert(pos, 1,
+                          static_cast<char>(32 + rng.below(95)));
+            break;
+        }
+    }
+    return source;
+}
+
+std::string
+garbageSource(vp::Rng &rng, std::size_t max_len)
+{
+    std::string garbage;
+    const std::size_t len = rng.below(max_len);
+    garbage.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+        garbage.push_back(static_cast<char>(rng.below(256)));
+    return garbage;
+}
+
+} // namespace vp::check

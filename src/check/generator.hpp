@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Structure-aware random program generation for differential testing.
+ *
+ * The generator grows a VPSim assembly program from a single 64-bit
+ * seed: a `main` that issues a batch of calls with random arguments,
+ * plus a chain of procedures f0..fP-1 whose bodies mix ALU work,
+ * bounded counter loops, loads and stores into an initialized data
+ * segment, forward conditional branches, and calls to later
+ * procedures (no recursion). Every generated program is guaranteed to
+ * assemble, validate, and terminate: loops decrement a dedicated
+ * counter and exit on any non-positive value, calls only go "down"
+ * the procedure chain, and all other control flow is forward.
+ *
+ * This is the promotion of the one-off generators that used to live
+ * in tests/fuzz/fuzz_test.cpp into a reusable library: the fuzz
+ * tests, the vpcheck differential harness, and the bench drivers all
+ * draw their synthetic programs from here, reproducible from the seed
+ * alone.
+ */
+
+#ifndef VP_CHECK_GENERATOR_HPP
+#define VP_CHECK_GENERATOR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hpp"
+#include "vpsim/program.hpp"
+
+namespace vp::check
+{
+
+/** Shape parameters for generate(). Defaults exercise everything. */
+struct GenConfig
+{
+    /** Procedures besides main (f0..fP-1); at most 4 so each depth
+     *  gets its own callee-saved link register (s2..s5). */
+    unsigned minProcs = 1, maxProcs = 3;
+    /** Basic blocks per procedure. */
+    unsigned minBlocks = 2, maxBlocks = 6;
+    /** Straight-line instructions per block. */
+    unsigned minInstsPerBlock = 2, maxInstsPerBlock = 6;
+    /** Calls issued by main. */
+    unsigned calls = 24;
+    /** 64-bit words in the initialized data segment. */
+    unsigned dataWords = 16;
+    /** Chance a block's instruction run becomes a bounded loop. */
+    double loopChance = 0.35;
+    /** Iterations of a bounded loop (uniform in [1, maxLoopTrip]). */
+    unsigned maxLoopTrip = 5;
+    /** Chance an instruction slot becomes a load or store. */
+    double memChance = 0.25;
+    /** Chance a block (in a non-last procedure) calls a later proc. */
+    double callChance = 0.3;
+    /**
+     * Value the specializer fuzz binds for a1, and the fraction of
+     * main's calls that actually pass it — so guarded specialization
+     * of f0 on {a1 = bindValue} sees both matching and missing calls.
+     */
+    long long bindValue = 7;
+    double bindChance = 0.5;
+
+    /** The old specializer-fuzz envelope: one straight-line procedure,
+     *  no loops, no memory traffic. */
+    static GenConfig straightLine();
+};
+
+/** A generated program with its provenance. */
+struct Generated
+{
+    std::uint64_t seed = 0;
+    std::string source;      ///< assembly text (reassembles to program)
+    vpsim::Program program;  ///< assembled and validated
+};
+
+/** Generate the program for `seed`. Identical (seed, cfg) pairs yield
+ *  byte-identical source on every platform. panic()s if the generated
+ *  source fails to assemble — that is a generator bug by contract. */
+Generated generate(std::uint64_t seed, const GenConfig &cfg = {});
+
+/** The assembly text only (used by shrinking and golden tests). */
+std::string generateSource(std::uint64_t seed, const GenConfig &cfg = {});
+
+/**
+ * A random *decoded* program (raw Inst list, no assembler): arbitrary
+ * opcodes with in-range operands and branch targets. Not guaranteed
+ * to terminate or behave — callers pair it with an instruction budget
+ * to check the Cpu halts gracefully on anything structurally valid.
+ */
+vpsim::Program randomRawProgram(vp::Rng &rng, std::size_t min_insts = 4,
+                                std::size_t max_insts = 64);
+
+/** Apply `edits` random single-character mutations (overwrite, erase,
+ *  insert) to assembly source — assembler robustness fuzzing. */
+std::string mutateSource(vp::Rng &rng, std::string source,
+                         unsigned edits);
+
+/** Uniformly random bytes of length < max_len (assembler garbage). */
+std::string garbageSource(vp::Rng &rng, std::size_t max_len);
+
+} // namespace vp::check
+
+#endif // VP_CHECK_GENERATOR_HPP

@@ -1,0 +1,83 @@
+#include "check/oracle.hpp"
+
+namespace vp::check
+{
+
+void
+OracleEntity::record(std::uint64_t value)
+{
+    ++counts[value];
+    ++total;
+    if (value == 0)
+        ++zeros;
+    if (hasLast && value == lastValue)
+        ++lastHits;
+    lastValue = value;
+    hasLast = true;
+}
+
+std::uint64_t
+OracleEntity::countFor(std::uint64_t value) const
+{
+    const auto it = counts.find(value);
+    return it == counts.end() ? 0 : it->second;
+}
+
+std::uint64_t
+OracleEntity::topCount() const
+{
+    std::uint64_t best = 0;
+    for (const auto &[v, c] : counts)
+        if (c > best)
+            best = c;
+    return best;
+}
+
+std::uint64_t
+OracleEntity::topValue() const
+{
+    std::uint64_t best_value = 0, best_count = 0;
+    bool first = true;
+    for (const auto &[v, c] : counts) {
+        if (first || c > best_count ||
+            (c == best_count && v < best_value)) {
+            best_value = v;
+            best_count = c;
+            first = false;
+        }
+    }
+    return best_value;
+}
+
+double
+OracleEntity::invTop() const
+{
+    return total ? static_cast<double>(topCount()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+OracleEntity::lvp() const
+{
+    return total ? static_cast<double>(lastHits) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+OracleEntity::zeroFraction() const
+{
+    return total ? static_cast<double>(zeros) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+const OracleEntity *
+OracleProfiler::entityFor(std::uint32_t pc) const
+{
+    const auto it = stats.find(pc);
+    return it == stats.end() ? nullptr : &it->second;
+}
+
+} // namespace vp::check

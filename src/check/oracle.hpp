@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The reference oracle for differential testing.
+ *
+ * A deliberately naive value profiler: one exhaustive
+ * unordered_map<value, count> per profiled entity, no TNV eviction,
+ * no bottom-half clearing, no sampling. Memory is unbounded and the
+ * hot path is slow — which is exactly the point: its metrics are
+ * ground truth, so every lossy mechanism in the real engine (LFU
+ * eviction, clear intervals, shard merging, convergent sampling) can
+ * be bounded against it. The bench TNV-ablation table measures
+ * estimation error against the same oracle.
+ */
+
+#ifndef VP_CHECK_ORACLE_HPP
+#define VP_CHECK_ORACLE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "instrument/manager.hpp"
+
+namespace vp::check
+{
+
+/** Exact value statistics of one profiled entity. */
+struct OracleEntity
+{
+    /** Exhaustive histogram: every value, every occurrence. */
+    std::unordered_map<std::uint64_t, std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::uint64_t zeros = 0;
+    std::uint64_t lastHits = 0;  ///< exact LVP hit count
+    std::uint64_t lastValue = 0;
+    bool hasLast = false;
+
+    void record(std::uint64_t value);
+
+    /** Occurrences of `value` (0 if never seen). */
+    std::uint64_t countFor(std::uint64_t value) const;
+
+    /** Count of the most frequent value (0 when empty). */
+    std::uint64_t topCount() const;
+
+    /** The exact most frequent value (smallest value wins ties, so
+     *  the answer is deterministic across platforms). */
+    std::uint64_t topValue() const;
+
+    /** Exact number of distinct values. */
+    std::uint64_t distinct() const { return counts.size(); }
+
+    /** Exact Inv-Top in [0,1]; 0 when nothing was recorded. */
+    double invTop() const;
+    /** Exact LVP in [0,1]. */
+    double lvp() const;
+    /** Exact fraction of zero values. */
+    double zeroFraction() const;
+};
+
+/** Oracle over static instructions, keyed by pc. Instrument it on the
+ *  same pcs as the profiler under test and compare after the run. */
+class OracleProfiler : public instr::Tool
+{
+  public:
+    void
+    onInstValue(std::uint32_t pc, const vpsim::Inst &,
+                std::uint64_t value) override
+    {
+        stats[pc].record(value);
+    }
+
+    /** Entity for a pc, or nullptr if it never executed. */
+    const OracleEntity *entityFor(std::uint32_t pc) const;
+
+    const std::unordered_map<std::uint32_t, OracleEntity> &
+    all() const
+    {
+        return stats;
+    }
+
+  private:
+    std::unordered_map<std::uint32_t, OracleEntity> stats;
+};
+
+} // namespace vp::check
+
+#endif // VP_CHECK_ORACLE_HPP

@@ -1,0 +1,44 @@
+#include "check/seed.hpp"
+
+#include <cstdlib>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace vp::check
+{
+
+std::uint64_t
+testSeed(std::uint64_t fallback)
+{
+    const char *env = std::getenv("VP_TEST_SEED");
+    if (!env || !*env)
+        return fallback;
+    std::int64_t parsed = 0;
+    if (!vp::parseInt(env, parsed))
+        vp_fatal("VP_TEST_SEED: '%s' is not a seed (use a decimal or "
+                 "0x-hex 64-bit integer)",
+                 env);
+    return static_cast<std::uint64_t>(parsed);
+}
+
+std::string
+seedMessage(std::uint64_t seed)
+{
+    return vp::format("re-run with VP_TEST_SEED=%llu to reproduce",
+                      static_cast<unsigned long long>(seed));
+}
+
+std::uint64_t
+trialSeed(std::uint64_t base, std::uint64_t index)
+{
+    // splitmix64 of (base + index): adjacent trial indices map to
+    // statistically independent seeds, and trial i of --seed S equals
+    // trial 0 of --seed S+i, so any trial replays as a one-trial run.
+    std::uint64_t z = base + index;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace vp::check

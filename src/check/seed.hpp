@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproducibility helpers for randomized tests and the vpcheck
+ * harness.
+ *
+ * Every randomized suite in the repository derives its RNG seed
+ * through testSeed(), so a single environment variable —
+ * VP_TEST_SEED — re-runs any CI failure locally with the exact
+ * stream that failed, and every failure message carries the seed to
+ * paste into that variable.
+ */
+
+#ifndef VP_CHECK_SEED_HPP
+#define VP_CHECK_SEED_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace vp::check
+{
+
+/**
+ * The seed a randomized test should use: the VP_TEST_SEED environment
+ * variable when it is set (decimal or 0x hex), otherwise `fallback`
+ * (the test's own deterministic choice). fatal() on a malformed
+ * override, so a typo'd reproduction attempt cannot silently run a
+ * different stream.
+ */
+std::uint64_t testSeed(std::uint64_t fallback);
+
+/**
+ * One-line reproduction hint for failure messages, e.g.
+ * "re-run with VP_TEST_SEED=42 to reproduce". Tests put this in a
+ * SCOPED_TRACE so every assertion failure prints it.
+ */
+std::string seedMessage(std::uint64_t seed);
+
+/**
+ * Derive the generator seed of trial `index` from a base seed
+ * (splitmix64 of base+index, so neighbouring trials get uncorrelated
+ * generator states). trialSeed(S, i) == trialSeed(S+i, 0): any trial
+ * of a multi-trial run replays exactly as `--trials 1 --seed S+i`.
+ */
+std::uint64_t trialSeed(std::uint64_t base, std::uint64_t index);
+
+} // namespace vp::check
+
+#endif // VP_CHECK_SEED_HPP

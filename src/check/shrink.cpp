@@ -1,0 +1,92 @@
+#include "check/shrink.hpp"
+
+#include <vector>
+
+namespace vp::check
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &source)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : source) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const auto &l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSource(const std::string &source,
+             const ShrinkPredicate &still_fails,
+             std::size_t max_attempts)
+{
+    std::vector<std::string> lines = splitLines(source);
+    ShrinkResult res;
+    res.originalLines = lines.size();
+
+    // ddmin-lite: sweep with chunks of decreasing size. A successful
+    // deletion restarts the sweep at the same chunk size (greedy);
+    // only a full fruitless pass at size 1 terminates.
+    std::size_t chunk = lines.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (res.attempts < max_attempts && !lines.empty()) {
+        bool removed_any = false;
+        for (std::size_t at = 0;
+             at < lines.size() && res.attempts < max_attempts;) {
+            const std::size_t len =
+                std::min(chunk, lines.size() - at);
+            std::vector<std::string> candidate;
+            candidate.reserve(lines.size() - len);
+            candidate.insert(candidate.end(), lines.begin(),
+                             lines.begin() + static_cast<long>(at));
+            candidate.insert(candidate.end(),
+                             lines.begin() +
+                                 static_cast<long>(at + len),
+                             lines.end());
+            ++res.attempts;
+            if (still_fails(joinLines(candidate))) {
+                lines = std::move(candidate);
+                removed_any = true;
+                // Do not advance: the next chunk slid into place.
+            } else {
+                at += len;
+            }
+        }
+        if (!removed_any) {
+            if (chunk == 1)
+                break;
+            chunk = (chunk + 1) / 2;
+        }
+    }
+
+    res.source = joinLines(lines);
+    res.finalLines = lines.size();
+    return res;
+}
+
+} // namespace vp::check

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Greedy test-case reduction for failing generated programs.
+ *
+ * A classic ddmin-style loop over source lines: try deleting chunks of
+ * decreasing size, keep any deletion after which the program still
+ * fails the checker, and stop when no single line can be removed (or
+ * the attempt budget runs out). The predicate owns all the semantics —
+ * typically "still assembles AND the checker still reports a
+ * divergence" — so the shrinker itself never needs to understand
+ * assembly.
+ */
+
+#ifndef VP_CHECK_SHRINK_HPP
+#define VP_CHECK_SHRINK_HPP
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace vp::check
+{
+
+/**
+ * Decides whether a candidate source still exhibits the failure being
+ * minimized. Must return false for candidates that no longer assemble.
+ */
+using ShrinkPredicate = std::function<bool(const std::string &source)>;
+
+/** Outcome of a shrink run. */
+struct ShrinkResult
+{
+    std::string source;        ///< smallest still-failing source
+    std::size_t attempts = 0;  ///< predicate evaluations spent
+    std::size_t originalLines = 0;
+    std::size_t finalLines = 0;
+
+    bool
+    shrank() const
+    {
+        return finalLines < originalLines;
+    }
+};
+
+/**
+ * Minimize `source` under `still_fails`, which must hold for `source`
+ * itself (callers should have observed the failure already). Spends at
+ * most `max_attempts` predicate evaluations; the result is always a
+ * source for which the predicate held, even when the budget runs out.
+ */
+ShrinkResult shrinkSource(const std::string &source,
+                          const ShrinkPredicate &still_fails,
+                          std::size_t max_attempts = 2000);
+
+} // namespace vp::check
+
+#endif // VP_CHECK_SHRINK_HPP

@@ -8,6 +8,7 @@
 
 #include "support/logging.hpp"
 #include "support/stats.hpp"
+#include "support/strings.hpp"
 #include "support/stats_registry.hpp"
 
 namespace core
@@ -158,33 +159,71 @@ ProfileSnapshot::save(std::ostream &os) const
 ProfileSnapshot
 ProfileSnapshot::load(std::istream &is)
 {
+    ProfileSnapshot snap;
+    std::string error;
+    if (!tryLoad(is, snap, error))
+        vp_fatal("%s", error.c_str());
+    return snap;
+}
+
+bool
+ProfileSnapshot::tryLoad(std::istream &is, ProfileSnapshot &out,
+                         std::string &error)
+{
+    out.entities.clear();
+    error.clear();
+
     std::string header;
     std::getline(is, header);
-    if (header != "valueprof-snapshot v1")
-        vp_fatal("bad snapshot header '%s'", header.c_str());
+    if (header != "valueprof-snapshot v1") {
+        error = vp::format("bad snapshot header '%s'", header.c_str());
+        return false;
+    }
     std::size_t count = 0;
-    is >> count;
+    if (!(is >> count)) {
+        error = "truncated snapshot: missing entity count";
+        return false;
+    }
     ProfileSnapshot snap;
     for (std::size_t i = 0; i < count; ++i) {
         std::uint64_t key = 0;
         EntitySummary s;
         std::size_t ntop = 0;
-        is >> key >> s.totalExecutions >> s.profiledExecutions >>
-            s.invTop >> s.invAll >> s.lvp >> s.zeroFraction >>
-            s.distinct >> ntop;
-        if (!is)
-            vp_fatal("truncated snapshot at entity %zu", i);
+        if (!(is >> key >> s.totalExecutions >> s.profiledExecutions >>
+              s.invTop >> s.invAll >> s.lvp >> s.zeroFraction >>
+              s.distinct >> ntop)) {
+            error = vp::format("truncated snapshot at entity %zu of "
+                               "%zu", i, count);
+            return false;
+        }
+        // A corrupt ntop field could demand gigabytes; the saved list
+        // is at most one TNV table (or merged union) long, so anything
+        // huge is garbage, not data.
+        constexpr std::size_t maxTopValues = 1u << 20;
+        if (ntop > maxTopValues) {
+            error = vp::format("implausible top-value count %zu at "
+                               "entity %zu", ntop, i);
+            return false;
+        }
         s.topValues.reserve(ntop);
         for (std::size_t j = 0; j < ntop; ++j) {
             std::uint64_t v = 0, c = 0;
-            is >> v >> c;
+            if (!(is >> v >> c)) {
+                error = vp::format("truncated snapshot values at "
+                                   "entity %zu of %zu", i, count);
+                return false;
+            }
             s.topValues.emplace_back(v, c);
         }
-        if (!is)
-            vp_fatal("truncated snapshot values at entity %zu", i);
+        if (snap.entities.count(key)) {
+            error = vp::format("duplicate entity key %llu",
+                               static_cast<unsigned long long>(key));
+            return false;
+        }
         snap.entities[key] = std::move(s);
     }
-    return snap;
+    out = std::move(snap);
+    return true;
 }
 
 SnapshotComparison

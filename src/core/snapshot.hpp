@@ -109,6 +109,16 @@ class ProfileSnapshot
 
     /** Load a snapshot saved by save(); fatal() on malformed input. */
     static ProfileSnapshot load(std::istream &is);
+
+    /**
+     * Non-fatal load for callers that must survive corrupt or
+     * truncated input (the differential harness, replay tooling).
+     * @return true on success, storing the snapshot in `out`; false
+     *         otherwise with a diagnosis in `error` and `out` left
+     *         empty.
+     */
+    static bool tryLoad(std::istream &is, ProfileSnapshot &out,
+                        std::string &error);
 };
 
 /** Result of comparing two snapshots (thesis Table V.5 flavour). */

@@ -8,6 +8,24 @@
 namespace core
 {
 
+namespace
+{
+/** See TnvTable::setMergeCanaryForTest. */
+bool mergeCanary = false;
+} // namespace
+
+void
+TnvTable::setMergeCanaryForTest(bool enabled)
+{
+    mergeCanary = enabled;
+}
+
+bool
+TnvTable::mergeCanaryForTest()
+{
+    return mergeCanary;
+}
+
 TnvTable::TnvTable(const TnvConfig &config) : cfg(config)
 {
     vp_assert(cfg.capacity >= 1, "TNV capacity must be positive");
@@ -145,7 +163,10 @@ TnvTable::merge(const TnvTable &other)
         bool matched = false;
         for (auto &e : entries) {
             if (e.value == oe.value) {
-                e.count += oe.count;
+                if (mergeCanary)
+                    e.count = std::max(e.count, oe.count);
+                else
+                    e.count += oe.count;
                 e.lastUse = base + oe.lastUse;
                 matched = true;
                 break;

@@ -108,6 +108,17 @@ class TnvTable
     /** Forget everything. */
     void reset();
 
+    /**
+     * TEST HOOK — mutation canary for the differential harness. When
+     * enabled, merge() combines the counts of shared values with max()
+     * instead of summing them, silently under-counting exactly the way
+     * a buggy merge would. vpcheck --canary asserts that the checkers
+     * catch this within their trial budget. Global, not thread-safe;
+     * only flip it from single-threaded test setup code.
+     */
+    static void setMergeCanaryForTest(bool enabled);
+    static bool mergeCanaryForTest();
+
   private:
     std::size_t victimIndex() const;
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests of the differential checkers themselves: they pass on healthy
+ * code across seeded random programs, the mutation canary (a
+ * deliberately broken TnvTable::merge) is detected and shrinks to a
+ * small replayable program, and the shrinker preserves failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/checkers.hpp"
+#include "check/generator.hpp"
+#include "check/seed.hpp"
+#include "check/shrink.hpp"
+#include "core/tnv_table.hpp"
+#include "vpsim/assembler.hpp"
+
+using namespace vp::check;
+
+namespace
+{
+
+/** RAII guard: the canary never leaks into other tests. */
+class ScopedMergeCanary
+{
+  public:
+    ScopedMergeCanary() { core::TnvTable::setMergeCanaryForTest(true); }
+    ~ScopedMergeCanary()
+    {
+        core::TnvTable::setMergeCanaryForTest(false);
+    }
+};
+
+TEST(CheckersTest, NamesRoundTrip)
+{
+    for (const auto c : allCheckers()) {
+        Checker parsed;
+        ASSERT_TRUE(parseCheckerName(checkerName(c), parsed));
+        EXPECT_EQ(parsed, c);
+    }
+    Checker ignored;
+    EXPECT_FALSE(parseCheckerName("bogus", ignored));
+    EXPECT_FALSE(parseCheckerName("all", ignored));
+}
+
+TEST(CheckersTest, AllCheckersPassOnSeededPrograms)
+{
+    const std::uint64_t base = testSeed(1);
+    SCOPED_TRACE(seedMessage(base));
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        const auto gen = generate(trialSeed(base, i));
+        for (const auto c : allCheckers()) {
+            const auto res = runChecker(c, gen.program);
+            EXPECT_TRUE(res.ok)
+                << "[" << checkerName(c) << "] seed " << (base + i)
+                << ": " << res.detail;
+        }
+    }
+}
+
+TEST(CheckersTest, MergeCanaryIsDetected)
+{
+    const std::uint64_t base = testSeed(1);
+    SCOPED_TRACE(seedMessage(base));
+
+    // Healthy merge on the probe program first.
+    const auto gen = generate(trialSeed(base, 0));
+    ASSERT_TRUE(checkShardMerge(gen.program).ok);
+
+    ScopedMergeCanary canary;
+    bool caught = false;
+    for (std::uint64_t i = 0; i < 20 && !caught; ++i)
+        caught = !checkShardMerge(generate(trialSeed(base, i)).program)
+                      .ok;
+    EXPECT_TRUE(caught)
+        << "a merge that drops counts survived 20 random programs";
+}
+
+TEST(CheckersTest, CanaryFailureShrinksToSmallerStillFailingProgram)
+{
+    const std::uint64_t base = testSeed(1);
+    SCOPED_TRACE(seedMessage(base));
+    ScopedMergeCanary canary;
+
+    // Find a failing program (the canary test above shows one exists).
+    std::string failing;
+    for (std::uint64_t i = 0; i < 20 && failing.empty(); ++i) {
+        const auto gen = generate(trialSeed(base, i));
+        if (!checkShardMerge(gen.program).ok)
+            failing = gen.source;
+    }
+    ASSERT_FALSE(failing.empty());
+
+    const auto still_fails = [](const std::string &src) {
+        vpsim::Program prog;
+        std::string err;
+        if (!vpsim::tryAssemble(src, prog, err) ||
+            !prog.validate().empty())
+            return false;
+        return !checkShardMerge(prog).ok;
+    };
+    const auto shrunk = shrinkSource(failing, still_fails, 300);
+    EXPECT_LT(shrunk.finalLines, shrunk.originalLines);
+    EXPECT_TRUE(still_fails(shrunk.source))
+        << "shrinking lost the failure:\n" << shrunk.source;
+}
+
+TEST(CheckersTest, CheckersStillPassWithMoreShardsAndJobs)
+{
+    const std::uint64_t base = testSeed(5);
+    SCOPED_TRACE(seedMessage(base));
+    CheckOptions opts;
+    opts.shards = 5;
+    opts.mergeJobs = 2;
+    const auto gen = generate(trialSeed(base, 0));
+    const auto res = checkShardMerge(gen.program, opts);
+    EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(ShrinkTest, RemovesIrrelevantLines)
+{
+    // Failure criterion: the source still contains the magic line.
+    const std::string source = "alpha\nbeta\nMAGIC\ngamma\ndelta\n";
+    const auto still_fails = [](const std::string &s) {
+        return s.find("MAGIC") != std::string::npos;
+    };
+    const auto res = shrinkSource(source, still_fails, 100);
+    EXPECT_EQ(res.source, "MAGIC\n");
+    EXPECT_EQ(res.finalLines, 1u);
+    EXPECT_EQ(res.originalLines, 5u);
+    EXPECT_TRUE(res.shrank());
+}
+
+TEST(ShrinkTest, BudgetZeroLeavesSourceUntouched)
+{
+    const std::string source = "a\nb\n";
+    const auto res = shrinkSource(
+        source, [](const std::string &) { return true; }, 0);
+    EXPECT_EQ(res.source, source);
+    EXPECT_EQ(res.attempts, 0u);
+}
+
+} // namespace

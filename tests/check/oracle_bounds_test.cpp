@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Oracle-vs-TNV metric bounds on hand-built value streams — the
+ * soundness core of the differential checkers, verified on streams
+ * whose exact behaviour is known by construction:
+ *
+ *  - an invariant stream (one value): the TNV table is exact;
+ *  - a bimodal stream (two alternating values): exact, invTop = 1/2,
+ *    LVP = 0;
+ *  - an adversarial LFU-eviction stream: two late-hot values thrash a
+ *    full pure-LFU table, so their TNV counts strictly undercount the
+ *    truth while never exceeding it — the bound the checkers rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/oracle.hpp"
+#include "core/value_profile.hpp"
+
+using core::ProfileConfig;
+using core::TnvConfig;
+using core::ValueProfile;
+using vp::check::OracleEntity;
+
+namespace
+{
+
+/** Feed the same stream to a profile and the oracle. */
+void
+feed(ValueProfile &prof, OracleEntity &oracle,
+     const std::vector<std::uint64_t> &stream)
+{
+    for (const auto v : stream) {
+        prof.record(v);
+        oracle.record(v);
+    }
+}
+
+/** The sound containment bounds every checker asserts. */
+void
+expectBounds(const ValueProfile &prof, const OracleEntity &oracle)
+{
+    EXPECT_EQ(prof.executions(), oracle.total);
+    EXPECT_EQ(prof.zeroCount(), oracle.zeros);
+    EXPECT_EQ(prof.lvpHits(), oracle.lastHits);
+    if (!prof.distinctSaturated())
+        EXPECT_EQ(prof.distinct(), oracle.distinct());
+    std::uint64_t covered = 0;
+    for (const auto &e : prof.tnv().raw()) {
+        EXPECT_LE(e.count, oracle.countFor(e.value))
+            << "TNV invented occurrences of value " << e.value;
+        covered += e.count;
+    }
+    EXPECT_LE(covered, oracle.total);
+}
+
+TEST(OracleBoundsTest, InvariantStreamIsExact)
+{
+    ValueProfile prof;
+    OracleEntity oracle;
+    feed(prof, oracle, std::vector<std::uint64_t>(1000, 42));
+    expectBounds(prof, oracle);
+
+    EXPECT_EQ(prof.tnv().size(), 1u);
+    EXPECT_EQ(prof.tnv().countFor(42), 1000u);
+    EXPECT_DOUBLE_EQ(prof.invTop(), 1.0);
+    EXPECT_DOUBLE_EQ(oracle.invTop(), 1.0);
+    EXPECT_EQ(oracle.topValue(), 42u);
+    // 999 of 1000 executions repeat the previous value.
+    EXPECT_DOUBLE_EQ(prof.lvp(), 0.999);
+    EXPECT_DOUBLE_EQ(oracle.lvp(), 0.999);
+}
+
+TEST(OracleBoundsTest, BimodalStreamIsExact)
+{
+    ValueProfile prof;
+    OracleEntity oracle;
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 500; ++i) {
+        stream.push_back(5);
+        stream.push_back(9);
+    }
+    feed(prof, oracle, stream);
+    expectBounds(prof, oracle);
+
+    EXPECT_EQ(prof.tnv().countFor(5), 500u);
+    EXPECT_EQ(prof.tnv().countFor(9), 500u);
+    EXPECT_DOUBLE_EQ(prof.invTop(), 0.5);
+    EXPECT_DOUBLE_EQ(oracle.invTop(), 0.5);
+    // Alternating values never repeat back-to-back.
+    EXPECT_EQ(prof.lvpHits(), 0u);
+    EXPECT_EQ(oracle.lastHits, 0u);
+    // Smallest-value tie-break makes the oracle's top deterministic.
+    EXPECT_EQ(oracle.topValue(), 5u);
+}
+
+TEST(OracleBoundsTest, ZeroHeavyStreamCountsZerosExactly)
+{
+    ValueProfile prof;
+    OracleEntity oracle;
+    feed(prof, oracle, {0, 0, 7, 0, 7, 0, 0});
+    expectBounds(prof, oracle);
+    EXPECT_EQ(oracle.zeros, 5u);
+    EXPECT_DOUBLE_EQ(oracle.zeroFraction(), 5.0 / 7.0);
+    EXPECT_DOUBLE_EQ(prof.zeroFraction(), 5.0 / 7.0);
+}
+
+TEST(OracleBoundsTest, AdversarialThrashingUndercountsButNeverInvents)
+{
+    // A 4-entry pure-LFU table: residents 1..4 establish count 2
+    // each, then 50 and 60 alternate. Each newcomer lands in the
+    // slot the other newcomer just reclaimed, so both end with count
+    // 1 while the oracle counts 10 each — lossy accounting at its
+    // worst, but still a lower bound of the truth.
+    ProfileConfig cfg;
+    cfg.tnv.policy = TnvConfig::Policy::PureLfu;
+    cfg.tnv.capacity = 4;
+    ValueProfile prof(cfg);
+    OracleEntity oracle;
+
+    std::vector<std::uint64_t> stream = {1, 2, 3, 4, 1, 2, 3, 4};
+    for (int i = 0; i < 10; ++i) {
+        stream.push_back(50);
+        stream.push_back(60);
+    }
+    feed(prof, oracle, stream);
+    expectBounds(prof, oracle);
+
+    EXPECT_EQ(oracle.countFor(50), 10u);
+    EXPECT_EQ(oracle.countFor(60), 10u);
+    const std::uint64_t seen50 = prof.tnv().countFor(50);
+    const std::uint64_t seen60 = prof.tnv().countFor(60);
+    // At most one of the thrashing pair is resident, with a count far
+    // below the truth; the old residents keep their exact counts.
+    EXPECT_LT(seen50 + seen60, 10u);
+    for (std::uint64_t v = 1; v <= 4; ++v)
+        if (prof.tnv().countFor(v) != 0)
+            EXPECT_EQ(prof.tnv().countFor(v), 2u);
+    // The exact side counters are untouched by the thrashing.
+    EXPECT_EQ(prof.distinct(), oracle.distinct());
+    EXPECT_EQ(prof.executions(), oracle.total);
+}
+
+TEST(OracleBoundsTest, SteadyClearRecoversFromPhaseChange)
+{
+    // Same adversarial shape, but with the paper's clearing policy and
+    // a short interval: after the bottom half is cleared, one of the
+    // newly-hot values can establish a real count.
+    ProfileConfig cfg;
+    cfg.tnv.capacity = 4;
+    cfg.tnv.clearInterval = 8;
+    ValueProfile prof(cfg);
+    OracleEntity oracle;
+
+    std::vector<std::uint64_t> stream = {1, 2, 3, 4, 1, 2, 3, 4};
+    for (int i = 0; i < 40; ++i)
+        stream.push_back(50);
+    feed(prof, oracle, stream);
+
+    // Containment still holds, and the hot newcomer now dominates.
+    for (const auto &e : prof.tnv().raw())
+        EXPECT_LE(e.count, oracle.countFor(e.value));
+    EXPECT_GT(prof.tnv().countFor(50), 20u);
+    EXPECT_EQ(prof.tnv().top()->value, 50u);
+}
+
+} // namespace

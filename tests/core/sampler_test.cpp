@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/seed.hpp"
 #include "core/sampler.hpp"
 #include "core/value_profile.hpp"
 #include "support/rng.hpp"
@@ -171,7 +172,9 @@ TEST(Sampler, FractionProfiledDropsAfterConvergence)
 {
     SamplerState s(smallConfig());
     core::ValueProfile prof;
-    vp::Rng rng(17);
+    const std::uint64_t seed = vp::check::testSeed(17);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     for (int i = 0; i < 200000; ++i) {
         if (s.step()) {
             prof.record(rng.chance(0.9) ? 1 : 2);
@@ -254,7 +257,9 @@ TEST_P(SamplerAccuracy, EstimateTracksTrueInvariance)
     SamplerState s; // default (paper-like) config
     core::ValueProfile sampled;
     core::ValueProfile full;
-    vp::Rng rng(GetParam().seed);
+    const std::uint64_t seed = vp::check::testSeed(GetParam().seed);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     for (int i = 0; i < 300000; ++i) {
         const std::uint64_t v =
             rng.chance(GetParam().q) ? 5 : rng.below(100);

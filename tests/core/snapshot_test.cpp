@@ -241,6 +241,150 @@ TEST(Snapshot, SnapshotMergeUnionsEntities)
     EXPECT_EQ(a.entities.at(3).totalExecutions, 1u);
 }
 
+// ---------------------------------------------------------------------
+// Serialization edge cases: empty, full-capacity, extreme values, and
+// graceful (tryLoad) rejection of corrupt input.
+// ---------------------------------------------------------------------
+
+std::string
+saveToString(const ProfileSnapshot &snap)
+{
+    std::stringstream ss;
+    snap.save(ss);
+    return ss.str();
+}
+
+TEST(Snapshot, EmptySnapshotRoundTrips)
+{
+    const ProfileSnapshot empty;
+    const std::string text = saveToString(empty);
+    std::stringstream ss(text);
+    ProfileSnapshot loaded;
+    std::string err;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(ss, loaded, err)) << err;
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_EQ(saveToString(loaded), text);
+}
+
+TEST(Snapshot, FullCapacityTnvRoundTrips)
+{
+    // Fill a default (capacity 8) table exactly; all 8 entries must
+    // survive the round trip in order.
+    ValueProfile p;
+    for (std::uint64_t v = 1; v <= 8; ++v)
+        for (std::uint64_t k = 0; k <= v; ++k)
+            p.record(v * 100);
+    ProfileSnapshot snap;
+    snap.entities[5] = ProfileSnapshot::summarize(p, p.executions());
+    ASSERT_EQ(snap.entities[5].topValues.size(), 8u);
+
+    std::stringstream ss(saveToString(snap));
+    ProfileSnapshot loaded;
+    std::string err;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(ss, loaded, err)) << err;
+    const auto &e = loaded.entities.at(5);
+    ASSERT_EQ(e.topValues.size(), 8u);
+    EXPECT_EQ(e.topValue(), 800u);  // 9 occurrences of 8*100
+    EXPECT_EQ(e.topValues.front().second, 9u);
+    EXPECT_EQ(saveToString(loaded), saveToString(snap));
+}
+
+TEST(Snapshot, ExtremeValuesSurviveRoundTrip)
+{
+    // INT64_MIN's bit pattern and UINT64_MAX as profiled values, with
+    // a UINT64_MAX execution count on the entity key side too.
+    const std::uint64_t int64_min_bits = 1ull << 63;
+    const std::uint64_t uint64_max = ~0ull;
+    ValueProfile p;
+    p.record(int64_min_bits);
+    p.record(int64_min_bits);
+    p.record(uint64_max);
+    ProfileSnapshot snap;
+    snap.entities[uint64_max] = ProfileSnapshot::summarize(p, 3);
+
+    std::stringstream ss(saveToString(snap));
+    ProfileSnapshot loaded;
+    std::string err;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(ss, loaded, err)) << err;
+    const auto &e = loaded.entities.at(uint64_max);
+    EXPECT_EQ(e.topValue(), int64_min_bits);
+    EXPECT_TRUE(e.hasTopValue(uint64_max));
+    EXPECT_EQ(saveToString(loaded), saveToString(snap));
+}
+
+TEST(Snapshot, TryLoadIsAFixedPoint)
+{
+    ProfileSnapshot snap;
+    snap.entities[3] =
+        ProfileSnapshot::summarize(makeProfile({1, 1, 2}), 3);
+    const std::string first = saveToString(snap);
+    std::stringstream in1(first);
+    ProfileSnapshot l1;
+    std::string err;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(in1, l1, err)) << err;
+    const std::string second = saveToString(l1);
+    EXPECT_EQ(second, first);
+    std::stringstream in2(second);
+    ProfileSnapshot l2;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(in2, l2, err)) << err;
+    EXPECT_EQ(saveToString(l2), second);
+}
+
+TEST(Snapshot, TryLoadRejectsCorruptInputGracefully)
+{
+    ProfileSnapshot snap;
+    snap.entities[1] =
+        ProfileSnapshot::summarize(makeProfile({1, 2, 3}), 3);
+    const std::string good = saveToString(snap);
+
+    const auto rejects = [](const std::string &text) {
+        std::stringstream ss(text);
+        ProfileSnapshot out;
+        std::string err;
+        const bool ok = ProfileSnapshot::tryLoad(ss, out, err);
+        EXPECT_FALSE(ok) << "accepted: " << text;
+        EXPECT_FALSE(err.empty());
+        EXPECT_EQ(out.size(), 0u);  // failed loads leave `out` empty
+        return err;
+    };
+
+    EXPECT_NE(rejects("").find("bad snapshot header"),
+              std::string::npos);
+    EXPECT_NE(rejects("not a snapshot\n" + good)
+                  .find("bad snapshot header"),
+              std::string::npos);
+    EXPECT_NE(rejects("valueprof-snapshot v1\n").find("entity count"),
+              std::string::npos);
+    EXPECT_NE(rejects(good.substr(0, good.size() / 2))
+                  .find("truncated"),
+              std::string::npos);
+    // A count that promises more entities than the file holds.
+    EXPECT_NE(rejects("valueprof-snapshot v1\n3\n" +
+                      good.substr(good.find('\n', 22) + 1))
+                  .find("truncated"),
+              std::string::npos);
+    // An absurd per-entity top-value count must not drive a giant
+    // allocation loop.
+    EXPECT_NE(
+        rejects("valueprof-snapshot v1\n1\n"
+                "1 3 3 1 1 0 0 3 99999999999\n")
+            .find("implausible"),
+        std::string::npos);
+}
+
+TEST(Snapshot, TryLoadRejectsDuplicateKeys)
+{
+    const std::string text =
+        "valueprof-snapshot v1\n2\n"
+        "1 1 1 1 1 0 0 1 1 5 1\n"
+        "1 1 1 1 1 0 0 1 1 6 1\n";
+    std::stringstream ss(text);
+    ProfileSnapshot out;
+    std::string err;
+    EXPECT_FALSE(ProfileSnapshot::tryLoad(ss, out, err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
 TEST(Snapshot, FromInstructionProfilerKeysByPc)
 {
     vpsim::Program prog = vpsim::assemble(R"(

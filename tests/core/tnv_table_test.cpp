@@ -9,6 +9,7 @@
 
 #include <map>
 
+#include "check/seed.hpp"
 #include "core/tnv_table.hpp"
 #include "support/rng.hpp"
 
@@ -185,7 +186,9 @@ TEST(TnvTable, SteadyClearLetsNewHotValueIn)
     const int phase = 6000;
     TnvTable steady(config(4, 4096, TnvConfig::Policy::SteadyClear));
     TnvTable lfu(config(4, 4096, TnvConfig::Policy::PureLfu));
-    vp::Rng rng(99);
+    const std::uint64_t seed = vp::check::testSeed(99);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     // Phase 1: four values with large counts.
     for (int i = 0; i < phase; ++i) {
         const std::uint64_t v = 10 + (i & 3);
@@ -304,7 +307,9 @@ TEST(TnvTableMerge, MergedCountsLowerBoundSequential)
     // merged table retains, its count must never exceed the count the
     // sequential table accumulated (merging can only lose counts to
     // shard-local evictions, never invent them).
-    vp::Rng rng(42);
+    const std::uint64_t seed = vp::check::testSeed(42);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     std::vector<std::uint64_t> stream;
     for (int i = 0; i < 12000; ++i)
         stream.push_back(rng.chance(0.5) ? 7 : rng.below(48));
@@ -336,7 +341,9 @@ TEST(TnvTableMerge, ExactWhenNoShardEverEvicted)
 {
     // Small alphabet that fits every shard's table: merging must give
     // byte-for-byte the counts of the sequential run.
-    vp::Rng rng(7);
+    const std::uint64_t seed = vp::check::testSeed(7);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     std::vector<std::uint64_t> stream;
     for (int i = 0; i < 4000; ++i)
         stream.push_back(rng.below(6));
@@ -389,7 +396,9 @@ TEST_P(TnvProperties, StructuralInvariantsHold)
 {
     const auto &prm = GetParam();
     TnvTable t(config(prm.capacity, prm.clearInterval, prm.policy));
-    vp::Rng rng(prm.seed);
+    const std::uint64_t seed = vp::check::testSeed(prm.seed);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     std::map<std::uint64_t, std::uint64_t> oracle;
 
     for (int i = 0; i < 20000; ++i) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/seed.hpp"
 #include "core/value_profile.hpp"
 #include "support/rng.hpp"
 
@@ -188,7 +189,10 @@ TEST_P(TwoValuedStream, MetricsMatchClosedForm)
     ProfileConfig cfg;
     cfg.tnv.clearInterval = 1u << 30;
     ValueProfile p(cfg);
-    vp::Rng rng(static_cast<std::uint64_t>(q * 1000) + 3);
+    const std::uint64_t seed = vp::check::testSeed(
+        static_cast<std::uint64_t>(q * 1000) + 3);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     const int n = 200000;
     for (int i = 0; i < n; ++i)
         p.record(rng.chance(q) ? 11 : 22);
@@ -210,7 +214,9 @@ class MetricOrdering : public ::testing::TestWithParam<std::uint64_t>
 TEST_P(MetricOrdering, InvTopNeverExceedsInvAll)
 {
     ValueProfile p;
-    vp::Rng rng(GetParam());
+    const std::uint64_t seed = vp::check::testSeed(GetParam());
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     for (int i = 0; i < 30000; ++i) {
         const std::uint64_t v = rng.chance(0.5)
                                     ? rng.below(4)
@@ -246,14 +252,14 @@ class ShardMerge : public ::testing::TestWithParam<MergeParam>
   protected:
     /** Skewed random stream: one dominant value plus uniform noise. */
     static std::vector<std::uint64_t>
-    makeStream(const MergeParam &prm, std::size_t n)
+    makeStream(std::uint64_t seed, std::uint64_t alphabet, std::size_t n)
     {
-        vp::Rng rng(prm.seed);
+        vp::Rng rng(seed);
         std::vector<std::uint64_t> stream;
         stream.reserve(n);
         for (std::size_t i = 0; i < n; ++i)
             stream.push_back(rng.chance(0.55) ? 3
-                                              : rng.below(prm.alphabet));
+                                              : rng.below(alphabet));
         return stream;
     }
 
@@ -272,8 +278,10 @@ class ShardMerge : public ::testing::TestWithParam<MergeParam>
 TEST_P(ShardMerge, MergedMetricsMatchSequentialWithinTolerance)
 {
     const auto &prm = GetParam();
+    const std::uint64_t seed = vp::check::testSeed(prm.seed);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
     const std::size_t n = 24000;
-    const auto stream = makeStream(prm, n);
+    const auto stream = makeStream(seed, prm.alphabet, n);
 
     ProfileConfig cfg;
     cfg.trackStrides = true;

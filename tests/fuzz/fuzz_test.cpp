@@ -1,6 +1,9 @@
 /**
  * @file
- * Randomized robustness and equivalence tests.
+ * Randomized robustness and equivalence tests, driven by the shared
+ * vp::check generators (src/check/generator.hpp) — the same machinery
+ * the vpcheck differential harness uses, so any program shape that
+ * trips these tests is reproducible there from the printed seed.
  *
  * - SpecializerFuzz: generates random (terminating) procedures,
  *   specializes them on a random argument binding, and checks that
@@ -12,13 +15,18 @@
  * - CpuFuzz: arbitrary (structurally valid) instruction sequences
  *   must always halt with a defined reason and never touch host
  *   state.
+ *
+ * Every suite derives its seed through vp::check::testSeed, so
+ * VP_TEST_SEED=N re-runs any failure with the exact stream that
+ * failed.
  */
 
 #include <gtest/gtest.h>
 
+#include "check/generator.hpp"
+#include "check/seed.hpp"
 #include "specialize/specializer.hpp"
 #include "support/rng.hpp"
-#include "support/strings.hpp"
 #include "vpsim/assembler.hpp"
 #include "vpsim/cpu.hpp"
 
@@ -27,158 +35,37 @@ using namespace vpsim;
 namespace
 {
 
-// ---------------------------------------------------------------------
-// Random procedure generation for the specializer fuzz
-// ---------------------------------------------------------------------
-
-/**
- * Builds a random procedure of `num_blocks` basic blocks with only
- * forward control flow (guaranteed termination), using a0..a2 as
- * inputs and t0..t5 as scratch. Returns the full program text: main
- * calls f for each of 24 argument triples and prints a0 after each
- * call.
- */
-std::string
-randomProgram(vp::Rng &rng)
-{
-    const int num_blocks = 3 + static_cast<int>(rng.below(5));
-    std::string f_body;
-
-    static const char *const regs[] = {"a0", "a1", "a2", "t0",
-                                       "t1", "t2", "t3", "t4", "t5"};
-    auto any_reg = [&]() { return regs[rng.below(std::size(regs))]; };
-    auto dest_reg = [&]() {
-        // Bias destinations toward scratch but allow a0 so the result
-        // depends on the computation.
-        return rng.chance(0.3) ? "a0"
-                               : regs[3 + rng.below(6)];
-    };
-
-    // Respect the ABI contract the optimizer relies on (and every
-    // sane compiler provides): scratch registers are not live across
-    // procedure boundaries, so initialize them before use instead of
-    // reading whatever the previous call left behind.
-    f_body += "    mov  t0, a0\n";
-    f_body += "    mov  t1, a1\n";
-    f_body += "    mov  t2, a2\n";
-    f_body += "    xor  t3, a0, a1\n";
-    f_body += "    add  t4, a1, a2\n";
-    f_body += "    li   t5, 17\n";
-
-    for (int b = 0; b < num_blocks; ++b) {
-        f_body += vp::format("f_b%d:\n", b);
-        const int num_insts = 2 + static_cast<int>(rng.below(6));
-        for (int i = 0; i < num_insts; ++i) {
-            switch (rng.below(8)) {
-              case 0:
-                f_body += vp::format("    add  %s, %s, %s\n",
-                                     dest_reg(), any_reg(), any_reg());
-                break;
-              case 1:
-                f_body += vp::format("    sub  %s, %s, %s\n",
-                                     dest_reg(), any_reg(), any_reg());
-                break;
-              case 2:
-                f_body += vp::format("    mul  %s, %s, %s\n",
-                                     dest_reg(), any_reg(), any_reg());
-                break;
-              case 3:
-                f_body += vp::format("    xor  %s, %s, %s\n",
-                                     dest_reg(), any_reg(), any_reg());
-                break;
-              case 4:
-                f_body += vp::format("    addi %s, %s, %lld\n",
-                                     dest_reg(), any_reg(),
-                                     static_cast<long long>(
-                                         rng.range(-64, 64)));
-                break;
-              case 5:
-                f_body += vp::format("    andi %s, %s, %llu\n",
-                                     dest_reg(), any_reg(),
-                                     static_cast<unsigned long long>(
-                                         rng.below(256)));
-                break;
-              case 6:
-                f_body += vp::format("    slli %s, %s, %llu\n",
-                                     dest_reg(), any_reg(),
-                                     static_cast<unsigned long long>(
-                                         rng.below(8)));
-                break;
-              default:
-                f_body += vp::format("    li   %s, %lld\n",
-                                     dest_reg(),
-                                     static_cast<long long>(
-                                         rng.range(-100, 100)));
-                break;
-            }
-        }
-        // Forward branch to a strictly later block (or fall through).
-        if (b + 1 < num_blocks && rng.chance(0.7)) {
-            const int target =
-                b + 1 +
-                static_cast<int>(rng.below(
-                    static_cast<std::uint64_t>(num_blocks - b - 1)));
-            static const char *const cond[] = {"beq", "bne", "blt",
-                                               "bge"};
-            f_body += vp::format("    %s  %s, %s, f_b%d\n",
-                                 cond[rng.below(4)], any_reg(),
-                                 any_reg(), target);
-        }
-    }
-    f_body += "    ret\n";
-
-    std::string main_body;
-    // 24 calls: some with a1 == 7 (the binding), some not.
-    for (int c = 0; c < 24; ++c) {
-        const long long a0 = rng.range(-50, 50);
-        const long long a1 = rng.chance(0.5) ? 7 : rng.range(-50, 50);
-        const long long a2 = rng.range(-50, 50);
-        main_body += vp::format("    li   a0, %lld\n", a0);
-        main_body += vp::format("    li   a1, %lld\n", a1);
-        main_body += vp::format("    li   a2, %lld\n", a2);
-        main_body += "    call f\n";
-        main_body += "    syscall puti\n";
-        main_body += "    li   a0, 10\n    syscall putc\n";
-    }
-
-    return vp::format(R"(
-    .proc main args=0
-main:
-%s    li   a0, 0
-    syscall exit
-    .endp
-    .proc f args=3
-f:
-%s    .endp
-)",
-                      main_body.c_str(), f_body.c_str());
-}
-
 class SpecializerFuzz : public ::testing::TestWithParam<int>
 {
 };
 
 TEST_P(SpecializerFuzz, RandomProceduresStayEquivalent)
 {
-    vp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 13);
-    for (int round = 0; round < 20; ++round) {
-        const std::string src = randomProgram(rng);
-        Program prog;
-        std::string err;
-        ASSERT_TRUE(tryAssemble(src, prog, err)) << err << "\n" << src;
+    const std::uint64_t seed = vp::check::testSeed(
+        static_cast<std::uint64_t>(GetParam()) * 104729 + 13);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
 
-        Cpu orig(prog, CpuConfig{1u << 18, 2'000'000});
+    // The straight-line envelope: one procedure, no loops or memory
+    // traffic — the specializer's supported input shape.
+    const auto cfg = vp::check::GenConfig::straightLine();
+    for (int round = 0; round < 20; ++round) {
+        const auto gen = vp::check::generate(
+            vp::check::trialSeed(seed, static_cast<std::uint64_t>(round)),
+            cfg);
+
+        Cpu orig(gen.program, CpuConfig{1u << 18, 2'000'000});
         const RunResult orig_res = orig.run();
-        ASSERT_TRUE(orig_res.exited()) << src;
+        ASSERT_TRUE(orig_res.exited()) << gen.source;
 
         const auto spec = specialize::specializeProcedure(
-            prog, "f", {{regA0 + 1, 7}});
+            gen.program, "f0", {{regA0 + 1, 7}});
         Cpu specialized(spec.program, CpuConfig{1u << 18, 2'000'000});
         const RunResult spec_res = specialized.run();
-        ASSERT_TRUE(spec_res.exited()) << src;
+        ASSERT_TRUE(spec_res.exited()) << gen.source;
         ASSERT_EQ(specialized.output(), orig.output())
-            << "divergence in round " << round << ":\n"
-            << src;
+            << "divergence in round " << round << " (generator seed "
+            << gen.seed << "):\n"
+            << gen.source;
         // The specialized run must never be grossly slower (guard
         // overhead is bounded by 3 instructions per call).
         EXPECT_LE(spec_res.dynamicInsts,
@@ -199,7 +86,10 @@ class AssemblerFuzz : public ::testing::TestWithParam<int>
 
 TEST_P(AssemblerFuzz, MutatedSourceNeverCrashes)
 {
-    vp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 99);
+    const std::uint64_t seed = vp::check::testSeed(
+        static_cast<std::uint64_t>(GetParam()) * 7 + 99);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     const std::string base = R"(
     .data
 buf:    .space 64
@@ -217,23 +107,8 @@ loop:
     .endp
 )";
     for (int round = 0; round < 200; ++round) {
-        std::string mutated = base;
-        const int edits = 1 + static_cast<int>(rng.below(6));
-        for (int e = 0; e < edits; ++e) {
-            const std::size_t pos = rng.below(mutated.size());
-            switch (rng.below(3)) {
-              case 0:
-                mutated[pos] = static_cast<char>(rng.below(128));
-                break;
-              case 1:
-                mutated.erase(pos, 1);
-                break;
-              default:
-                mutated.insert(pos, 1,
-                               static_cast<char>(32 + rng.below(95)));
-                break;
-            }
-        }
+        const std::string mutated = vp::check::mutateSource(
+            rng, base, 1 + static_cast<unsigned>(rng.below(6)));
         Program prog;
         std::string err;
         if (tryAssemble(mutated, prog, err)) {
@@ -247,12 +122,12 @@ loop:
 
 TEST_P(AssemblerFuzz, GarbageInputRejectedGracefully)
 {
-    vp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    const std::uint64_t seed = vp::check::testSeed(
+        static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     for (int round = 0; round < 100; ++round) {
-        std::string garbage;
-        const std::size_t len = rng.below(400);
-        for (std::size_t i = 0; i < len; ++i)
-            garbage.push_back(static_cast<char>(rng.below(256)));
+        const std::string garbage = vp::check::garbageSource(rng, 400);
         Program prog;
         std::string err;
         if (tryAssemble(garbage, prog, err)) {
@@ -273,27 +148,12 @@ class CpuFuzz : public ::testing::TestWithParam<int>
 
 TEST_P(CpuFuzz, RandomProgramsAlwaysHalt)
 {
-    vp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 127 + 3);
+    const std::uint64_t seed = vp::check::testSeed(
+        static_cast<std::uint64_t>(GetParam()) * 127 + 3);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     for (int round = 0; round < 50; ++round) {
-        Program prog;
-        const std::size_t n = 4 + rng.below(60);
-        for (std::size_t i = 0; i < n; ++i) {
-            Inst inst;
-            inst.op =
-                static_cast<Opcode>(rng.below(static_cast<std::uint64_t>(
-                    Opcode::NumOpcodes)));
-            inst.rd = static_cast<std::uint8_t>(rng.below(numRegs));
-            inst.ra = static_cast<std::uint8_t>(rng.below(numRegs));
-            inst.rb = static_cast<std::uint8_t>(rng.below(numRegs));
-            if (isControl(inst.op) && inst.op != Opcode::JALR) {
-                inst.imm = static_cast<std::int64_t>(rng.below(n));
-            } else if (inst.op == Opcode::SYSCALL) {
-                inst.imm = static_cast<std::int64_t>(rng.below(4));
-            } else {
-                inst.imm = static_cast<std::int64_t>(rng.next() >> 40);
-            }
-            prog.code.push_back(inst);
-        }
+        const Program prog = vp::check::randomRawProgram(rng, 4, 63);
         if (!prog.validate().empty())
             continue; // validator rejected: also a fine outcome
         Cpu cpu(prog, CpuConfig{1u << 16, 20'000});

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/seed.hpp"
 #include "specialize/passes.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -98,7 +99,10 @@ class PassProperties : public ::testing::TestWithParam<int>
 
 TEST_P(PassProperties, OptimizerPreservesSemanticsAndIsIdempotent)
 {
-    vp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 1);
+    const std::uint64_t seed = vp::check::testSeed(
+        static_cast<std::uint64_t>(GetParam()) * 31337 + 1);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     for (int round = 0; round < 25; ++round) {
         const std::string body =
             randomStraightLine(rng, 3 + static_cast<int>(rng.below(12)));
@@ -133,7 +137,10 @@ TEST_P(PassProperties, OptimizerPreservesSemanticsAndIsIdempotent)
 
 TEST_P(PassProperties, UnboundOptimizationAlsoPreservesSemantics)
 {
-    vp::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7211 + 9);
+    const std::uint64_t seed = vp::check::testSeed(
+        static_cast<std::uint64_t>(GetParam()) * 7211 + 9);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     for (int round = 0; round < 25; ++round) {
         const std::string body =
             randomStraightLine(rng, 3 + static_cast<int>(rng.below(12)));

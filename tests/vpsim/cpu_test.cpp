@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/seed.hpp"
 #include "support/rng.hpp"
 #include "vpsim/assembler.hpp"
 #include "vpsim/cpu.hpp"
@@ -467,7 +468,10 @@ class EvalAgreement : public ::testing::TestWithParam<int>
 
 TEST_P(EvalAgreement, PureOpsMatchInterpreter)
 {
-    vp::Rng rng(GetParam() * 7919 + 1);
+    const std::uint64_t seed = vp::check::testSeed(
+        static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
     static const Opcode pure_ops[] = {
         Opcode::ADD, Opcode::SUB, Opcode::MUL, Opcode::DIV,
         Opcode::REM, Opcode::AND, Opcode::OR, Opcode::XOR,

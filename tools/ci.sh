@@ -13,7 +13,10 @@
 #
 # The plain build also runs an observability smoke: a 4-job sampled
 # suite profile whose stats/trace JSON is schema-checked by
-# tools/check_stats_json.py.
+# tools/check_stats_json.py. The ASan and TSan builds additionally run
+# a fixed-seed vpcheck differential smoke, so the random-program
+# checkers execute under the sanitizers most likely to catch engine
+# memory and threading bugs.
 #
 # Each configuration builds into build-ci-<name>/ so sanitized builds
 # never pollute the main build/ tree.
@@ -40,6 +43,15 @@ observability_smoke() {
         "$dir/smoke-stats.json" "$dir/smoke-trace.json" 4
 }
 
+# A short fixed-seed differential run: every trial and every checker,
+# deterministic, so a sanitizer hit here is immediately reproducible
+# with the printed seed.
+vpcheck_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] vpcheck smoke ==="
+    "$dir/tools/vpcheck" --trials 20 --seed 1 --out "$dir"
+}
+
 run_config() {
     local san="$1"
     local dir="build-ci-${san}"
@@ -63,6 +75,9 @@ run_config() {
     fi
     if [ "$san" = "none" ]; then
         observability_smoke "$dir"
+    fi
+    if [ "$san" = "address" ] || [ "$san" = "thread" ]; then
+        vpcheck_smoke "$dir"
     fi
 }
 

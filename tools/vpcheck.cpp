@@ -1,0 +1,315 @@
+/**
+ * @file
+ * vpcheck — the differential-testing harness.
+ *
+ * Generates seeded random VPSim programs and runs each through the
+ * differential checkers (full-vs-oracle, shard merge, sampled-vs-full,
+ * snapshot round-trip; see src/check/checkers.hpp). On a divergence it
+ * greedily shrinks the program to a minimal still-failing reproducer
+ * and writes a replay bundle — an assembly file whose comment header
+ * records the checker, the seed, and the exact commands that replay
+ * the failure.
+ *
+ * Usage:
+ *   vpcheck [--trials N] [--seed S] [--checker NAME] [options]
+ *   vpcheck --replay FILE.vps [--checker NAME]
+ *
+ * Options:
+ *   --trials N       seeded trials to run (default 100)
+ *   --seed S         base seed; trial i uses base seed S+i, so any
+ *                    trial replays as --trials 1 --seed S+i (default 1)
+ *   --checker NAME   all|oracle|merge|sampled|snapshot (default all)
+ *   --out DIR        where replay bundles are written (default ".")
+ *   --shards K       shards for the merge checker (default 3)
+ *   --jobs N         worker threads for the parallel-merge leg
+ *                    (default 3)
+ *   --canary         mutation-canary mode: deliberately break
+ *                    TnvTable::merge and *expect* the checkers to
+ *                    catch it — exit 0 iff a divergence is found,
+ *                    shrunk, and bundled within the trial budget.
+ *                    Combines with --replay: a bundle produced by a
+ *                    canary run reproduces its divergence only with
+ *                    the canary re-enabled
+ *   --replay FILE    re-run the checkers on a saved bundle
+ *
+ * Exit status: 0 = no divergence (or, with --canary, the canary was
+ * caught), 1 = divergence found (or canary missed), 2 = usage error.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/checkers.hpp"
+#include "check/generator.hpp"
+#include "check/seed.hpp"
+#include "check/shrink.hpp"
+#include "core/tnv_table.hpp"
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+#include "vpsim/assembler.hpp"
+
+namespace
+{
+
+struct Options
+{
+    std::uint64_t trials = 100;
+    std::uint64_t seed = 1;
+    std::string checker = "all";
+    std::string outDir = ".";
+    unsigned shards = 3;
+    unsigned jobs = 3;
+    bool canary = false;
+    std::string replayFile;
+    std::size_t shrinkBudget = 400;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: vpcheck [--trials N] [--seed S] [--checker NAME]\n"
+        "               [--out DIR] [--shards K] [--jobs N] [--canary]\n"
+        "       vpcheck --replay FILE.vps [--checker NAME]\n"
+        "checkers: all, oracle, merge, sampled, snapshot\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const char *text, const char *what)
+{
+    std::int64_t v = 0;
+    if (!vp::parseInt(text, v) || v < 0)
+        vp_fatal("--%s wants a non-negative integer, got '%s'", what,
+                 text);
+    return static_cast<std::uint64_t>(v);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--trials") {
+            opt.trials = parseU64(next(), "trials");
+        } else if (a == "--seed") {
+            opt.seed = parseU64(next(), "seed");
+        } else if (a == "--checker") {
+            opt.checker = next();
+        } else if (a == "--out") {
+            opt.outDir = next();
+        } else if (a == "--shards") {
+            opt.shards =
+                static_cast<unsigned>(parseU64(next(), "shards"));
+        } else if (a == "--jobs") {
+            opt.jobs = static_cast<unsigned>(parseU64(next(), "jobs"));
+        } else if (a == "--canary") {
+            opt.canary = true;
+        } else if (a == "--replay") {
+            opt.replayFile = next();
+        } else if (a == "--shrink-budget") {
+            opt.shrinkBudget =
+                static_cast<std::size_t>(parseU64(next(),
+                                                  "shrink-budget"));
+        } else if (a == "--help" || a == "-h") {
+            usage();
+        } else {
+            std::cerr << "vpcheck: unknown option '" << a << "'\n";
+            usage();
+        }
+    }
+    if (opt.trials == 0)
+        vp_fatal("--trials must be at least 1");
+    if (opt.shards < 2)
+        vp_fatal("--shards must be at least 2");
+    if (opt.jobs < 1)
+        vp_fatal("--jobs must be at least 1");
+    return opt;
+}
+
+std::vector<vp::check::Checker>
+selectedCheckers(const std::string &name)
+{
+    if (name == "all")
+        return vp::check::allCheckers();
+    vp::check::Checker c;
+    if (!vp::check::parseCheckerName(name, c)) {
+        std::cerr << "vpcheck: unknown checker '" << name << "'\n";
+        usage();
+    }
+    return {c};
+}
+
+/** The minimal still-failing source for one (checker, program). */
+vp::check::ShrinkResult
+shrinkFailure(const std::string &source, vp::check::Checker checker,
+              const vp::check::CheckOptions &copts,
+              std::size_t budget)
+{
+    const auto still_fails = [&](const std::string &candidate) {
+        vpsim::Program prog;
+        std::string err;
+        if (!vpsim::tryAssemble(candidate, prog, err) ||
+            !prog.validate().empty())
+            return false;
+        return !vp::check::runChecker(checker, prog, copts).ok;
+    };
+    return vp::check::shrinkSource(source, still_fails, budget);
+}
+
+/** Write the replay bundle; returns its path. */
+std::string
+writeBundle(const Options &opt, vp::check::Checker checker,
+            std::uint64_t base_seed, const std::string &detail,
+            const vp::check::ShrinkResult &shrunk)
+{
+    const std::string name = vp::format(
+        "vpcheck-%s-%llu.vps", vp::check::checkerName(checker),
+        static_cast<unsigned long long>(base_seed));
+    const std::string path = opt.outDir + "/" + name;
+    std::ofstream os(path);
+    if (!os)
+        vp_fatal("cannot write replay bundle '%s'", path.c_str());
+    os << "# vpcheck replay bundle\n";
+    os << "# checker: " << vp::check::checkerName(checker) << "\n";
+    os << "# divergence: " << detail << "\n";
+    os << "# base seed: " << base_seed << " (generator seed "
+       << vp::check::trialSeed(base_seed, 0) << ")\n";
+    os << "# shrunk: " << shrunk.originalLines << " -> "
+       << shrunk.finalLines << " lines in " << shrunk.attempts
+       << " attempts\n";
+    const char *canary = opt.canary ? " --canary" : "";
+    os << "# reproduce: vpcheck" << canary << " --trials 1 --seed "
+       << base_seed << " --checker "
+       << vp::check::checkerName(checker) << "\n";
+    os << "# replay:    vpcheck" << canary << " --replay " << name
+       << " --checker " << vp::check::checkerName(checker) << "\n";
+    os << shrunk.source;
+    return path;
+}
+
+/** Report one divergence: shrink it, bundle it, describe it. */
+void
+reportDivergence(const Options &opt, vp::check::Checker checker,
+                 const vp::check::CheckOptions &copts,
+                 std::uint64_t base_seed, const std::string &source,
+                 const std::string &detail)
+{
+    std::cerr << "vpcheck: DIVERGENCE [" << vp::check::checkerName(checker)
+              << "] seed " << base_seed << ": " << detail << "\n";
+    const auto shrunk =
+        shrinkFailure(source, checker, copts, opt.shrinkBudget);
+    const std::string path =
+        writeBundle(opt, checker, base_seed, detail, shrunk);
+    std::cerr << "vpcheck: shrunk " << shrunk.originalLines << " -> "
+              << shrunk.finalLines << " lines ("
+              << shrunk.attempts << " attempts); replay bundle: "
+              << path << "\n";
+}
+
+int
+runReplay(const Options &opt)
+{
+    std::ifstream is(opt.replayFile);
+    if (!is)
+        vp_fatal("cannot open replay file '%s'",
+                 opt.replayFile.c_str());
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const std::string source = buf.str();
+
+    vpsim::Program prog;
+    std::string err;
+    if (!vpsim::tryAssemble(source, prog, err))
+        vp_fatal("replay file does not assemble: %s", err.c_str());
+
+    vp::check::CheckOptions copts;
+    copts.shards = opt.shards;
+    copts.mergeJobs = opt.jobs;
+    if (opt.canary)
+        core::TnvTable::setMergeCanaryForTest(true);
+    int divergences = 0;
+    for (const auto checker : selectedCheckers(opt.checker)) {
+        const auto res = vp::check::runChecker(checker, prog, copts);
+        if (res.ok) {
+            std::cout << "vpcheck: [" << vp::check::checkerName(checker)
+                      << "] ok\n";
+        } else {
+            ++divergences;
+            std::cout << "vpcheck: ["
+                      << vp::check::checkerName(checker)
+                      << "] DIVERGENCE: " << res.detail << "\n";
+        }
+    }
+    // With the canary planted, reproducing the divergence is success.
+    if (opt.canary)
+        return divergences ? 0 : 1;
+    return divergences ? 1 : 0;
+}
+
+int
+runTrials(const Options &opt)
+{
+    const auto checkers = selectedCheckers(opt.checker);
+    vp::check::CheckOptions copts;
+    copts.shards = opt.shards;
+    copts.mergeJobs = opt.jobs;
+
+    if (opt.canary)
+        core::TnvTable::setMergeCanaryForTest(true);
+
+    for (std::uint64_t i = 0; i < opt.trials; ++i) {
+        // Trial i of base seed S is trial 0 of base seed S+i.
+        const std::uint64_t base = opt.seed + i;
+        const auto gen =
+            vp::check::generate(vp::check::trialSeed(base, 0));
+        for (const auto checker : checkers) {
+            const auto res =
+                vp::check::runChecker(checker, gen.program, copts);
+            if (res.ok)
+                continue;
+            reportDivergence(opt, checker, copts, base, gen.source,
+                             res.detail);
+            if (opt.canary) {
+                std::cout << "vpcheck: canary caught after "
+                          << (i + 1) << " trial(s)\n";
+                return 0;
+            }
+            return 1;
+        }
+    }
+
+    if (opt.canary) {
+        std::cerr << "vpcheck: canary NOT caught in " << opt.trials
+                  << " trials — the checkers are blind to a broken "
+                     "TnvTable::merge\n";
+        return 1;
+    }
+    std::cout << "vpcheck: " << opt.trials << " trial(s) x "
+              << checkers.size() << " checker(s), 0 divergences "
+              << "(seeds " << opt.seed << ".."
+              << (opt.seed + opt.trials - 1) << ")\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    if (!opt.replayFile.empty())
+        return runReplay(opt);
+    return runTrials(opt);
+}
