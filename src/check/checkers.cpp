@@ -1,14 +1,18 @@
 #include "check/checkers.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "check/oracle.hpp"
 #include "core/snapshot.hpp"
 #include "instrument/image.hpp"
 #include "instrument/manager.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
@@ -95,6 +99,7 @@ checkerName(Checker c)
       case Checker::ShardMerge: return "merge";
       case Checker::SampledVsFull: return "sampled";
       case Checker::SnapshotRoundTrip: return "snapshot";
+      case Checker::ServeLoopback: return "serve";
     }
     return "?";
 }
@@ -119,6 +124,7 @@ allCheckers()
         Checker::ShardMerge,
         Checker::SampledVsFull,
         Checker::SnapshotRoundTrip,
+        Checker::ServeLoopback,
     };
     return all;
 }
@@ -560,6 +566,95 @@ checkSnapshotRoundTrip(const vpsim::Program &prog,
 }
 
 CheckResult
+checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
+{
+    vp_assert(opts.shards >= 2, "serve checking needs >= 2 shards");
+    instr::Image img(prog);
+    const auto pcs = profiledPcs(img);
+    const unsigned K = opts.shards;
+    const core::InstProfilerConfig cfg = fullConfig(opts.tnv);
+
+    // K serial shard runs — the delta stream both sides will consume.
+    std::vector<core::ProfileSnapshot> shard_snaps;
+    for (unsigned k = 0; k < K; ++k) {
+        ShardRun run(prog, cfg, pcs, opts.cpu);
+        shard_snaps.push_back(
+            core::ProfileSnapshot::fromInstructionProfiler(run.prof));
+    }
+
+    // Serial reference: fold the shard snapshots in producer-id order
+    // (shard k is producer k+1) — the canonical fold the daemon must
+    // reproduce no matter how the clients raced.
+    core::ProfileSnapshot reference;
+    for (const auto &snap : shard_snaps)
+        reference.merge(snap);
+    const std::string want = snapshotText(reference);
+
+    serve::ServerConfig scfg;
+    scfg.listenAddrs = {"127.0.0.1:0"};
+    serve::VpdServer server(scfg);
+    std::string err;
+    if (!server.start(err))
+        return CheckResult::fail("vpd server failed to start: " + err);
+    const std::string addr = server.boundAddresses().front().str();
+    std::string loop_err;
+    std::thread loop([&] {
+        if (!server.run(loop_err))
+            vp_warn("vpd loop: %s", loop_err.c_str());
+    });
+
+    // K concurrent emitters, each streaming its shard snapshot as
+    // several entity-disjoint deltas (a delta always carries whole
+    // entities, so chunking cannot perturb the merge).
+    std::atomic<unsigned> undelivered{0};
+    std::vector<std::thread> emitters;
+    for (unsigned k = 0; k < K; ++k) {
+        emitters.emplace_back([&, k] {
+            serve::EmitterConfig ecfg;
+            ecfg.addr = addr;
+            ecfg.producerId = k + 1;
+            serve::ProfileEmitter emitter(ecfg);
+            constexpr std::size_t kChunks = 3;
+            std::vector<core::ProfileSnapshot> chunks(kChunks);
+            std::size_t i = 0;
+            for (const auto &[key, summary] : shard_snaps[k].entities)
+                chunks[i++ % kChunks].entities.emplace(key, summary);
+            for (auto &chunk : chunks)
+                if (!chunk.entities.empty())
+                    emitter.emit(std::move(chunk));
+            if (!emitter.close())
+                undelivered.fetch_add(1);
+        });
+    }
+    for (auto &t : emitters)
+        t.join();
+
+    core::ProfileSnapshot served;
+    const bool fetched = serve::requestSnapshot(addr, served, err);
+
+    // Exercise the wire SHUTDOWN path; fall back to the in-process
+    // stop so a failed fetch can never hang the checker.
+    std::string shutdown_err;
+    if (!serve::requestShutdown(addr, shutdown_err))
+        server.requestStop();
+    loop.join();
+
+    if (undelivered.load() != 0)
+        return CheckResult::fail(vp::format(
+            "%u of %u emitters failed to deliver every delta",
+            undelivered.load(), K));
+    if (!fetched)
+        return CheckResult::fail("SNAPSHOT request failed: " + err);
+    const std::string got = snapshotText(served);
+    if (got != want)
+        return CheckResult::fail(vp::format(
+            "served aggregate (%zu entities) is not byte-identical to "
+            "the serial merge (%zu entities)",
+            served.size(), reference.size()));
+    return CheckResult::pass();
+}
+
+CheckResult
 runChecker(Checker c, const vpsim::Program &prog,
            const CheckOptions &opts)
 {
@@ -572,6 +667,8 @@ runChecker(Checker c, const vpsim::Program &prog,
         return checkSampledVsFull(prog, opts);
       case Checker::SnapshotRoundTrip:
         return checkSnapshotRoundTrip(prog, opts);
+      case Checker::ServeLoopback:
+        return checkServeLoopback(prog, opts);
     }
     vp_panic("unknown checker %d", static_cast<int>(c));
 }

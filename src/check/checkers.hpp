@@ -20,6 +20,12 @@
  *  - SnapshotRoundTrip save -> load -> save is a byte-level fixed
  *                      point, and truncated input is rejected
  *                      gracefully.
+ *  - ServeLoopback     K shard snapshots streamed as wire deltas by K
+ *                      concurrent emitters through a live vpd daemon
+ *                      vs the same snapshots folded serially: the
+ *                      served aggregate must be byte-identical (the
+ *                      streaming service's determinism contract, see
+ *                      serve/server.hpp).
  *
  * Checkers return structured failures instead of asserting so the
  * vpcheck harness can shrink the offending program and emit a replay
@@ -78,16 +84,18 @@ struct CheckOptions
     vpsim::CpuConfig cpu{1u << 20, 16'000'000};
 };
 
-/** The four differential checkers, in canonical order. */
+/** The five differential checkers, in canonical order. */
 enum class Checker
 {
     FullVsOracle,
     ShardMerge,
     SampledVsFull,
     SnapshotRoundTrip,
+    ServeLoopback,
 };
 
-/** Short CLI name: "oracle", "merge", "sampled", "snapshot". */
+/** Short CLI name: "oracle", "merge", "sampled", "snapshot",
+ *  "serve". */
 const char *checkerName(Checker c);
 
 /** Parse a CLI name; returns false on unknown names. */
@@ -104,6 +112,8 @@ CheckResult checkSampledVsFull(const vpsim::Program &prog,
                                const CheckOptions &opts = {});
 CheckResult checkSnapshotRoundTrip(const vpsim::Program &prog,
                                    const CheckOptions &opts = {});
+CheckResult checkServeLoopback(const vpsim::Program &prog,
+                               const CheckOptions &opts = {});
 
 /** Dispatch by enum. */
 CheckResult runChecker(Checker c, const vpsim::Program &prog,

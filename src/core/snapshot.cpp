@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -224,6 +226,75 @@ ProfileSnapshot::tryLoad(std::istream &is, ProfileSnapshot &out,
     }
     out = std::move(snap);
     return true;
+}
+
+namespace testing
+{
+std::size_t saveAbortAfterBytes = 0;
+} // namespace testing
+
+bool
+ProfileSnapshot::saveToFile(const std::string &path,
+                            std::string &error) const
+{
+    error.clear();
+    std::ostringstream body;
+    save(body);
+    const std::string bytes = body.str();
+    const std::string tmp = path + ".tmp";
+
+    std::ofstream out(tmp,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+        error = vp::format("cannot open '%s' for writing",
+                           tmp.c_str());
+        return false;
+    }
+    if (testing::saveAbortAfterBytes != 0 &&
+        testing::saveAbortAfterBytes < bytes.size()) {
+        // Simulated crash: the torn prefix stays in the tmp file and
+        // the rename never happens, so `path` is untouched.
+        out.write(bytes.data(), static_cast<std::streamsize>(
+                                    testing::saveAbortAfterBytes));
+        out.flush();
+        error = vp::format("simulated crash after %zu bytes",
+                           testing::saveAbortAfterBytes);
+        return false;
+    }
+    if (!out.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()))) {
+        error = vp::format("short write to '%s'", tmp.c_str());
+        out.close();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    out.flush();
+    if (!out) {
+        error = vp::format("flush of '%s' failed", tmp.c_str());
+        out.close();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    out.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = vp::format("rename '%s' -> '%s' failed", tmp.c_str(),
+                           path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+ProfileSnapshot::tryLoadFile(const std::string &path,
+                             ProfileSnapshot &out, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = vp::format("cannot open snapshot '%s'", path.c_str());
+        return false;
+    }
+    return tryLoad(in, out, error);
 }
 
 SnapshotComparison

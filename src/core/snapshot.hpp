@@ -119,7 +119,31 @@ class ProfileSnapshot
      */
     static bool tryLoad(std::istream &is, ProfileSnapshot &out,
                         std::string &error);
+
+    /**
+     * Atomically persist to `path`: the snapshot is written to
+     * `path.tmp` and renamed over `path` only once fully flushed, so a
+     * crash mid-write leaves either the previous complete file or the
+     * new one — never a torn snapshot. @return false with a diagnosis
+     * on any I/O failure (the tmp file is removed).
+     */
+    bool saveToFile(const std::string &path, std::string &error) const;
+
+    /** tryLoad() from a file path. */
+    static bool tryLoadFile(const std::string &path,
+                            ProfileSnapshot &out, std::string &error);
 };
+
+namespace testing
+{
+/**
+ * Crash-injection hook for saveToFile: when nonzero, writing aborts
+ * after this many bytes, before the rename — simulating a crash
+ * mid-write. The atomic-save test uses it to prove the target file is
+ * never torn. Always zero outside tests.
+ */
+extern std::size_t saveAbortAfterBytes;
+} // namespace testing
 
 /** Result of comparing two snapshots (thesis Table V.5 flavour). */
 struct SnapshotComparison

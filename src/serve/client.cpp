@@ -1,0 +1,471 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sys/socket.h>
+
+#include "support/logging.hpp"
+#include "support/stats_registry.hpp"
+#include "support/strings.hpp"
+
+namespace vp::serve
+{
+
+namespace
+{
+
+/** Receive timeout so a wedged daemon can't hang a client forever. */
+constexpr int kAckTimeoutMs = 5000;
+
+void
+setRecvTimeout(int fd, int ms)
+{
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace
+
+ProfileEmitter::ProfileEmitter(EmitterConfig config)
+    : cfg(std::move(config))
+{
+    vp_assert(cfg.maxQueue > 0, "emitter queue cap must be positive");
+    sender = std::thread([this] { senderLoop(); });
+}
+
+ProfileEmitter::~ProfileEmitter()
+{
+    close();
+}
+
+void
+ProfileEmitter::emit(core::ProfileSnapshot delta)
+{
+    Delta d;
+    d.producerId = cfg.producerId;
+    std::unique_lock<std::mutex> lock(mu);
+    vp_assert(!closing, "emit() on a closed ProfileEmitter");
+    notFull.wait(lock, [this] {
+        return queue.size() < cfg.maxQueue || closing;
+    });
+    if (closing)
+        return;
+    d.seq = nextSeq++;
+    d.entities = std::move(delta);
+    queue.push_back(Pending{d.seq, encodeDelta(d)});
+    VP_STAT_GAUGE_MAX("serve.client.queue_depth",
+                      static_cast<double>(queue.size()));
+    hasWork.notify_one();
+}
+
+bool
+ProfileEmitter::tryEmit(core::ProfileSnapshot delta)
+{
+    Delta d;
+    d.producerId = cfg.producerId;
+    std::unique_lock<std::mutex> lock(mu);
+    vp_assert(!closing, "tryEmit() on a closed ProfileEmitter");
+    if (queue.size() >= cfg.maxQueue)
+        return false;
+    d.seq = nextSeq++;
+    d.entities = std::move(delta);
+    queue.push_back(Pending{d.seq, encodeDelta(d)});
+    VP_STAT_GAUGE_MAX("serve.client.queue_depth",
+                      static_cast<double>(queue.size()));
+    hasWork.notify_one();
+    return true;
+}
+
+bool
+ProfileEmitter::close()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (!closing) {
+            closing = true;
+            hasWork.notify_all();
+            notFull.notify_all();
+        }
+    }
+    if (sender.joinable())
+        sender.join();
+    std::unique_lock<std::mutex> lock(mu);
+    return spilledCount == 0 && acked + 1 == nextSeq;
+}
+
+std::uint64_t
+ProfileEmitter::spilledDeltas() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return spilledCount;
+}
+
+std::uint64_t
+ProfileEmitter::ackedDeltas() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return acked;
+}
+
+void
+ProfileEmitter::senderLoop()
+{
+    using clock = std::chrono::steady_clock;
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+        hasWork.wait(lock,
+                     [this] { return closing || !queue.empty(); });
+        if (queue.empty()) {
+            if (closing)
+                break;
+            continue;
+        }
+        // Batch window: give the producer batchIntervalMs to add more
+        // deltas, unless we are closing or the size cap is reached.
+        if (cfg.batchIntervalMs > 0 && !closing) {
+            const auto deadline =
+                clock::now() +
+                std::chrono::milliseconds(cfg.batchIntervalMs);
+            auto bytes = [this] {
+                std::size_t total = 0;
+                for (const auto &p : queue)
+                    total += p.frame.size();
+                return total;
+            };
+            while (!closing && bytes() < cfg.batchBytes &&
+                   hasWork.wait_until(lock, deadline) !=
+                       std::cv_status::timeout)
+                ;
+        }
+        std::vector<Pending> batch;
+        std::size_t batch_bytes = 0;
+        while (!queue.empty() &&
+               (batch.empty() || batch_bytes < cfg.batchBytes)) {
+            batch_bytes += queue.front().frame.size();
+            batch.push_back(std::move(queue.front()));
+            queue.pop_front();
+        }
+        notFull.notify_all();
+        lock.unlock();
+
+        const bool delivered = sendBatch(batch);
+        lock.lock();
+        if (delivered) {
+            acked += batch.size();
+        } else {
+            spilledCount += batch.size();
+        }
+    }
+    senderDone = true;
+}
+
+bool
+ProfileEmitter::ensureConnected(std::string &error)
+{
+    if (sock.valid())
+        return true;
+    net::Address addr;
+    if (!net::parseAddress(cfg.addr, addr, error))
+        return false;
+    const int fd = net::connectTo(addr, error);
+    if (fd < 0)
+        return false;
+    setRecvTimeout(fd, kAckTimeoutMs);
+    sock.reset(fd);
+    reader = FrameReader{}; // a fresh stream has fresh framing state
+    return true;
+}
+
+/**
+ * Deliver one batch: send every frame, wait for the daemon to ack the
+ * batch's last sequence number. Retries with exponential backoff and
+ * full-batch resend (the daemon deduplicates by seq). On final
+ * failure the batch is spilled. @return true iff acknowledged.
+ */
+bool
+ProfileEmitter::sendBatch(std::vector<Pending> &batch)
+{
+    const std::uint64_t last_seq = batch.back().seq;
+    for (unsigned attempt = 0; attempt <= cfg.maxRetries; ++attempt) {
+        if (attempt > 0) {
+            VP_STAT_INC(vp::stats::Cid::ServeClientRetries);
+            const int shift = static_cast<int>(
+                std::min(attempt - 1, 20u));
+            const long long ms = std::min<long long>(
+                static_cast<long long>(cfg.backoffBaseMs) << shift,
+                cfg.backoffMaxMs);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(ms));
+        }
+        std::string error;
+        if (!ensureConnected(error)) {
+            vp_warn("vpd client: connect to %s failed: %s",
+                    cfg.addr.c_str(), error.c_str());
+            continue;
+        }
+        bool sent = true;
+        for (const auto &p : batch) {
+            if (!net::sendAll(sock.get(), p.frame.data(),
+                              p.frame.size(), error)) {
+                vp_warn("vpd client: send failed: %s", error.c_str());
+                sock.reset();
+                sent = false;
+                break;
+            }
+            VP_STAT_INC(vp::stats::Cid::ServeClientFramesSent);
+            VP_STAT_ADD(vp::stats::Cid::ServeClientBytesSent,
+                        p.frame.size());
+        }
+        if (!sent)
+            continue;
+        VP_STAT_INC(vp::stats::Cid::ServeClientBatches);
+
+        // Await the ack for the last frame of the batch.
+        bool acked_batch = false, stream_ok = true;
+        while (stream_ok && !acked_batch) {
+            Frame frame;
+            std::string why;
+            const DecodeStatus st = reader.next(frame, why);
+            if (st == DecodeStatus::Ok) {
+                if (frame.type == MsgType::Ack) {
+                    std::uint64_t seq = 0;
+                    if (decodeAck(frame.payload, seq, why) &&
+                        seq >= last_seq)
+                        acked_batch = true;
+                } else if (frame.type == MsgType::Error) {
+                    vp_warn("vpd client: daemon error: %s",
+                            payloadText(frame.payload).c_str());
+                    stream_ok = false;
+                }
+                continue;
+            }
+            if (st == DecodeStatus::Corrupt) {
+                vp_warn("vpd client: corrupt reply: %s", why.c_str());
+                stream_ok = false;
+                break;
+            }
+            std::uint8_t buf[4096];
+            const long n =
+                net::recvSome(sock.get(), buf, sizeof(buf), why);
+            if (n <= 0) {
+                vp_warn("vpd client: daemon went away awaiting ack "
+                        "of seq %llu%s%s",
+                        static_cast<unsigned long long>(last_seq),
+                        n < 0 ? ": " : "",
+                        n < 0 ? why.c_str() : "");
+                stream_ok = false;
+                break;
+            }
+            reader.append(buf, static_cast<std::size_t>(n));
+        }
+        if (acked_batch)
+            return true;
+        sock.reset();
+    }
+    spill(batch);
+    return false;
+}
+
+void
+ProfileEmitter::spill(std::vector<Pending> &batch)
+{
+    if (cfg.spillPath.empty()) {
+        vp_warn("vpd client: dropping %zu unacknowledged delta(s) — "
+                "no spill path configured",
+                batch.size());
+        return;
+    }
+    // Rewrite the whole spill file through a temp + rename so a crash
+    // mid-spill can never tear previously spilled frames.
+    std::vector<char> bytes;
+    {
+        std::ifstream in(cfg.spillPath, std::ios::binary);
+        if (in) {
+            bytes.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+        }
+    }
+    for (const auto &p : batch)
+        bytes.insert(bytes.end(), p.frame.begin(), p.frame.end());
+    const std::string tmp = cfg.spillPath + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out ||
+            !out.write(bytes.data(),
+                       static_cast<std::streamsize>(bytes.size()))) {
+            vp_warn("vpd client: cannot write spill file '%s' — %zu "
+                    "delta(s) lost",
+                    tmp.c_str(), batch.size());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), cfg.spillPath.c_str()) != 0) {
+        vp_warn("vpd client: cannot rename spill file '%s': %s",
+                tmp.c_str(), std::strerror(errno));
+        return;
+    }
+    VP_STAT_ADD(vp::stats::Cid::ServeClientSpilledDeltas,
+                batch.size());
+    vp_warn("vpd client: daemon unreachable at %s; spilled %zu "
+            "delta(s) to %s",
+            cfg.addr.c_str(), batch.size(), cfg.spillPath.c_str());
+}
+
+// --- one-shot control requests ---------------------------------------
+
+bool
+request(const std::string &addr, MsgType cmd, Frame &reply,
+        std::string &error)
+{
+    net::Address parsed;
+    if (!net::parseAddress(addr, parsed, error))
+        return false;
+    net::FdGuard fd(net::connectTo(parsed, error));
+    if (!fd.valid())
+        return false;
+    setRecvTimeout(fd.get(), kAckTimeoutMs);
+    const auto frame = encodeEmpty(cmd);
+    if (!net::sendAll(fd.get(), frame.data(), frame.size(), error))
+        return false;
+
+    FrameReader reader;
+    while (true) {
+        Frame got;
+        const DecodeStatus st = reader.next(got, error);
+        if (st == DecodeStatus::Ok) {
+            if (got.type == MsgType::Error) {
+                error = "daemon: " + payloadText(got.payload);
+                return false;
+            }
+            reply = std::move(got);
+            return true;
+        }
+        if (st == DecodeStatus::Corrupt)
+            return false;
+        std::uint8_t buf[64 * 1024];
+        const long n =
+            net::recvSome(fd.get(), buf, sizeof(buf), error);
+        if (n < 0)
+            return false;
+        if (n == 0) {
+            error = "daemon closed the connection before replying";
+            return false;
+        }
+        reader.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+requestSnapshot(const std::string &addr, core::ProfileSnapshot &out,
+                std::string &error)
+{
+    Frame reply;
+    if (!request(addr, MsgType::Snapshot, reply, error))
+        return false;
+    if (reply.type != MsgType::SnapshotReply) {
+        error = vp::format("expected SNAPSHOT-REPLY, got %s",
+                           msgTypeName(reply.type));
+        return false;
+    }
+    return decodeSnapshotReply(reply.payload, out, error);
+}
+
+bool
+requestQuery(const std::string &addr, std::string &text,
+             std::string &error)
+{
+    Frame reply;
+    if (!request(addr, MsgType::Query, reply, error))
+        return false;
+    if (reply.type != MsgType::QueryReply) {
+        error = vp::format("expected QUERY-REPLY, got %s",
+                           msgTypeName(reply.type));
+        return false;
+    }
+    text = payloadText(reply.payload);
+    return true;
+}
+
+namespace
+{
+
+bool
+requestAck(const std::string &addr, MsgType cmd, std::string &error)
+{
+    Frame reply;
+    if (!request(addr, cmd, reply, error))
+        return false;
+    if (reply.type != MsgType::Ack) {
+        error = vp::format("expected ACK, got %s",
+                           msgTypeName(reply.type));
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+requestFlush(const std::string &addr, std::string &error)
+{
+    return requestAck(addr, MsgType::Flush, error);
+}
+
+bool
+requestShutdown(const std::string &addr, std::string &error)
+{
+    return requestAck(addr, MsgType::Shutdown, error);
+}
+
+bool
+readSpill(const std::string &path, std::vector<Delta> &out,
+          std::string &error)
+{
+    out.clear();
+    error.clear();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = vp::format("cannot open spill file '%s'",
+                           path.c_str());
+        return false;
+    }
+    const std::vector<char> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    FrameReader reader;
+    reader.append(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                  bytes.size());
+    while (true) {
+        Frame frame;
+        std::string why;
+        const DecodeStatus st = reader.next(frame, why);
+        if (st == DecodeStatus::NeedMore) {
+            if (reader.pending() > 0)
+                error = vp::format("spill file ends in a torn frame "
+                                   "(%zu trailing bytes)",
+                                   reader.pending());
+            return true;
+        }
+        if (st == DecodeStatus::Corrupt) {
+            error = "spill file corrupt: " + why;
+            return true;
+        }
+        if (frame.type != MsgType::Delta) {
+            error = vp::format("spill file holds a %s frame",
+                               msgTypeName(frame.type));
+            return true;
+        }
+        Delta delta;
+        if (!decodeDelta(frame.payload, delta, why)) {
+            error = "spill delta malformed: " + why;
+            return true;
+        }
+        out.push_back(std::move(delta));
+    }
+}
+
+} // namespace vp::serve

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Client side of the profile-streaming service: the ProfileEmitter
+ * used by `vpprof --emit`, plus one-shot request helpers for the
+ * control verbs (QUERY / SNAPSHOT / FLUSH / SHUTDOWN) used by
+ * `vpd --connect`.
+ *
+ * Reliability contract (DESIGN.md, "Profile streaming & aggregation
+ * service"): an emitted delta is either (a) acknowledged by the
+ * daemon, or (b) written to the local spill file — it is never
+ * silently dropped, and a dead or flapping daemon never corrupts the
+ * stream (unacknowledged deltas are resent with their original
+ * sequence numbers; the daemon deduplicates by seq).
+ *
+ * Backpressure: emit() blocks once `maxQueue` deltas are waiting —
+ * the producer runs at the speed the network drains. tryEmit() is the
+ * non-blocking probe. The high-water mark is exported as the
+ * `serve.client.queue_depth` gauge.
+ */
+
+#ifndef VP_SERVE_CLIENT_HPP
+#define VP_SERVE_CLIENT_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "serve/wire.hpp"
+#include "support/socket.hpp"
+
+namespace vp::serve
+{
+
+/** ProfileEmitter configuration. */
+struct EmitterConfig
+{
+    /** Daemon address ("host:port" or "unix:PATH"). */
+    std::string addr;
+    /** Producer id — the shard identity of this emitter's stream.
+     *  Concurrent emitters MUST use distinct ids (the daemon keys its
+     *  deterministic partial merge on it). */
+    std::uint64_t producerId = 1;
+    /** Bounded-queue depth before emit() blocks. */
+    std::size_t maxQueue = 64;
+    /** Flush a batch once its encoded frames reach this many bytes. */
+    std::size_t batchBytes = 256 * 1024;
+    /** ... or once the oldest queued delta is this old (0 = flush
+     *  immediately). */
+    int batchIntervalMs = 20;
+    /** Connection/send attempts per batch before spilling. */
+    unsigned maxRetries = 5;
+    /** Exponential backoff: base << attempt, capped, between tries. */
+    int backoffBaseMs = 10;
+    int backoffMaxMs = 2000;
+    /** Local fallback: unacknowledged deltas are appended here (as
+     *  wire frames) when the daemon is unreachable. "" disables
+     *  spilling, turning exhausted retries into dropped deltas plus a
+     *  loud warning — only tests do that. */
+    std::string spillPath;
+};
+
+/**
+ * Batching, retrying, spilling delta emitter. One background sender
+ * thread per emitter; emit() may be called from any one producer
+ * thread at a time.
+ */
+class ProfileEmitter
+{
+  public:
+    explicit ProfileEmitter(EmitterConfig config);
+
+    /** close()s (best effort) if the caller did not. */
+    ~ProfileEmitter();
+
+    ProfileEmitter(const ProfileEmitter &) = delete;
+    ProfileEmitter &operator=(const ProfileEmitter &) = delete;
+
+    /**
+     * Queue one delta for emission, blocking while the queue is full
+     * (backpressure). The snapshot is the *delta* to merge — counts
+     * since the previous emit, or a whole-run snapshot emitted once.
+     */
+    void emit(core::ProfileSnapshot delta);
+
+    /** Non-blocking emit. @return false if the queue was full. */
+    bool tryEmit(core::ProfileSnapshot delta);
+
+    /**
+     * Flush everything, stop the sender thread, close the socket.
+     * @return true when every delta was acknowledged by the daemon;
+     * false when any were spilled (or dropped with no spill path).
+     * Idempotent.
+     */
+    bool close();
+
+    /** Deltas written to the spill file so far. */
+    std::uint64_t spilledDeltas() const;
+
+    /** Deltas acknowledged by the daemon so far. */
+    std::uint64_t ackedDeltas() const;
+
+  private:
+    struct Pending
+    {
+        std::uint64_t seq = 0;
+        std::vector<std::uint8_t> frame; ///< encoded Delta frame
+    };
+
+    void senderLoop();
+    bool sendBatch(std::vector<Pending> &batch);
+    bool ensureConnected(std::string &error);
+    void spill(std::vector<Pending> &batch);
+
+    EmitterConfig cfg;
+    net::FdGuard sock;
+    FrameReader reader;
+
+    mutable std::mutex mu;
+    std::condition_variable notFull;  ///< queue dropped below cap
+    std::condition_variable hasWork;  ///< queue non-empty or closing
+    std::condition_variable drained;  ///< queue empty (close())
+    std::deque<Pending> queue;
+    std::uint64_t nextSeq = 1;
+    std::uint64_t acked = 0;
+    std::uint64_t spilledCount = 0;
+    bool closing = false;
+    bool senderDone = false;
+
+    std::thread sender;
+};
+
+/**
+ * Send one control frame and wait for the reply.
+ * @param cmd Query, Snapshot, Flush, or Shutdown.
+ * @param reply the QueryReply/SnapshotReply frame payload (empty for
+ *        Flush/Shutdown acks).
+ * @return false with a diagnosis on connection failure, an ERROR
+ *         reply, or a corrupt reply frame.
+ */
+bool request(const std::string &addr, MsgType cmd, Frame &reply,
+             std::string &error);
+
+/** Fetch the daemon's current aggregate snapshot. */
+bool requestSnapshot(const std::string &addr,
+                     core::ProfileSnapshot &out, std::string &error);
+
+/** Fetch the daemon's text status (QUERY). */
+bool requestQuery(const std::string &addr, std::string &text,
+                  std::string &error);
+
+/** Ask the daemon to persist now (FLUSH). */
+bool requestFlush(const std::string &addr, std::string &error);
+
+/** Ask the daemon to persist and exit (SHUTDOWN). */
+bool requestShutdown(const std::string &addr, std::string &error);
+
+/**
+ * Read a spill file back into deltas, in written order. Trailing
+ * torn/corrupt bytes (a crash mid-spill) stop the read; everything
+ * before them is returned and `error` explains the tail.
+ * @return false only when the file cannot be opened.
+ */
+bool readSpill(const std::string &path, std::vector<Delta> &out,
+               std::string &error);
+
+} // namespace vp::serve
+
+#endif // VP_SERVE_CLIENT_HPP

@@ -1,0 +1,423 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/logging.hpp"
+#include "support/stats_registry.hpp"
+#include "support/strings.hpp"
+
+namespace vp::serve
+{
+
+VpdServer::VpdServer(ServerConfig config) : cfg(std::move(config)) {}
+
+VpdServer::~VpdServer()
+{
+    net::closeFd(stopPipe[0]);
+    net::closeFd(stopPipe[1]);
+}
+
+bool
+VpdServer::start(std::string &error)
+{
+    if (cfg.listenAddrs.empty()) {
+        error = "vpd needs at least one listen address";
+        return false;
+    }
+    for (const auto &text : cfg.listenAddrs) {
+        net::Address addr;
+        if (!net::parseAddress(text, addr, error))
+            return false;
+        const int fd = net::listenOn(addr, error);
+        if (fd < 0)
+            return false;
+        listeners.emplace_back(fd);
+        bound.push_back(addr);
+    }
+    if (::pipe(stopPipe) != 0) {
+        error = vp::format("pipe: %s", std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+void
+VpdServer::requestStop()
+{
+    if (stopPipe[1] < 0)
+        return;
+    // Signal-safe: a single write(2), no locks, no allocation.
+    const char byte = 's';
+    [[maybe_unused]] const auto n =
+        ::write(stopPipe[1], &byte, 1);
+}
+
+core::ProfileSnapshot
+VpdServer::aggregate() const
+{
+    std::lock_guard<std::mutex> lock(stateMu);
+    core::ProfileSnapshot agg;
+    // std::map iterates in ascending producer id — the canonical fold
+    // order that makes the aggregate independent of frame arrival.
+    for (const auto &[producer, partial] : partials)
+        agg.merge(partial.snapshot);
+    return agg;
+}
+
+std::size_t
+VpdServer::producerCount() const
+{
+    std::lock_guard<std::mutex> lock(stateMu);
+    return partials.size();
+}
+
+void
+VpdServer::persistIfConfigured()
+{
+    bool was_dirty;
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        was_dirty = dirty;
+        dirty = false;
+    }
+    if (cfg.snapshotPath.empty() || !was_dirty)
+        return;
+    std::string error;
+    if (!aggregate().saveToFile(cfg.snapshotPath, error)) {
+        vp_warn("vpd: persisting aggregate failed: %s", error.c_str());
+        std::lock_guard<std::mutex> lock(stateMu);
+        dirty = true; // retry on the next trigger
+        return;
+    }
+    VP_STAT_INC(vp::stats::Cid::ServeSnapshotsSaved);
+}
+
+void
+VpdServer::queueReply(Connection &conn, std::vector<std::uint8_t> bytes)
+{
+    VP_STAT_INC(vp::stats::Cid::ServeFramesOut);
+    VP_STAT_ADD(vp::stats::Cid::ServeBytesOut, bytes.size());
+    if (conn.out.empty()) {
+        conn.out = std::move(bytes);
+        conn.outPos = 0;
+    } else {
+        conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+    }
+}
+
+/** @return false when the connection should be dropped. */
+bool
+VpdServer::handleFrame(Connection &conn, const Frame &frame)
+{
+    VP_STAT_INC(vp::stats::Cid::ServeFramesIn);
+    switch (frame.type) {
+      case MsgType::Delta: {
+        Delta delta;
+        std::string error;
+        if (!decodeDelta(frame.payload, delta, error)) {
+            VP_STAT_INC(vp::stats::Cid::ServeDecodeErrors);
+            vp_warn("vpd: bad delta frame: %s", error.c_str());
+            queueReply(conn,
+                       encodeText(MsgType::Error,
+                                  "bad delta: " + error));
+            conn.closeAfterWrite = true;
+            return true;
+        }
+        {
+            std::lock_guard<std::mutex> lock(stateMu);
+            Partial &p = partials[delta.producerId];
+            if (delta.seq <= p.lastSeq) {
+                // A resend after a lost ack: acknowledge, don't merge.
+                VP_STAT_INC(vp::stats::Cid::ServeDeltaDuplicates);
+                queueReply(conn, encodeAck(p.lastSeq));
+                return true;
+            }
+            if (delta.seq != p.lastSeq + 1) {
+                queueReply(conn, encodeText(
+                    MsgType::Error,
+                    vp::format("delta gap for producer %llu: got seq "
+                               "%llu after %llu",
+                               static_cast<unsigned long long>(
+                                   delta.producerId),
+                               static_cast<unsigned long long>(
+                                   delta.seq),
+                               static_cast<unsigned long long>(
+                                   p.lastSeq))));
+                conn.closeAfterWrite = true;
+                return true;
+            }
+            {
+                VP_STAT_TIMER(merge_timer, "serve.merge_us");
+                p.snapshot.merge(delta.entities);
+            }
+            p.lastSeq = delta.seq;
+            dirty = true;
+        }
+        VP_STAT_INC(vp::stats::Cid::ServeDeltasMerged);
+        queueReply(conn, encodeAck(delta.seq));
+        return true;
+      }
+      case MsgType::Query: {
+        std::ostringstream os;
+        {
+            std::lock_guard<std::mutex> lock(stateMu);
+            std::uint64_t deltas = 0;
+            for (const auto &[producer, partial] : partials)
+                deltas += partial.lastSeq;
+            os << "producers " << partials.size() << "\n"
+               << "deltas " << deltas << "\n";
+        }
+        os << "entities " << aggregate().size() << "\n"
+           << "clients " << conns.size() << "\n";
+        queueReply(conn, encodeText(MsgType::QueryReply, os.str()));
+        return true;
+      }
+      case MsgType::Snapshot:
+        queueReply(conn, encodeSnapshotReply(aggregate()));
+        return true;
+      case MsgType::Flush:
+        persistIfConfigured();
+        queueReply(conn, encodeAck(0));
+        return true;
+      case MsgType::Shutdown:
+        queueReply(conn, encodeAck(0));
+        conn.closeAfterWrite = true;
+        stopping = true;
+        return true;
+      case MsgType::Ack:
+      case MsgType::QueryReply:
+      case MsgType::SnapshotReply:
+      case MsgType::Error:
+        // Server-to-client frames arriving at the server: a confused
+        // peer. Answer once, then drop it.
+        queueReply(conn,
+                   encodeText(MsgType::Error,
+                              vp::format("unexpected %s frame",
+                                         msgTypeName(frame.type))));
+        conn.closeAfterWrite = true;
+        return true;
+    }
+    return false;
+}
+
+/** @return false when the connection died (peer gone). */
+bool
+VpdServer::flushWrites(Connection &conn)
+{
+    while (conn.outPos < conn.out.size()) {
+        const long n = ::send(conn.fd.get(), conn.out.data() + conn.outPos,
+                              conn.out.size() - conn.outPos,
+                              MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true; // poll for POLLOUT
+            return false;
+        }
+        conn.outPos += static_cast<std::size_t>(n);
+    }
+    conn.out.clear();
+    conn.outPos = 0;
+    return !conn.closeAfterWrite;
+}
+
+void
+VpdServer::acceptClients(int listen_fd)
+{
+    while (true) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN or a transient error; poll again
+        }
+        VP_STAT_INC(vp::stats::Cid::ServeAccepts);
+        auto conn = std::make_unique<Connection>();
+        conn->fd.reset(fd);
+        if (conns.size() >= cfg.maxClients) {
+            queueReply(*conn, encodeText(MsgType::Error,
+                                         "vpd: too many clients"));
+            conn->closeAfterWrite = true;
+        }
+        conns.push_back(std::move(conn));
+        VP_STAT_GAUGE_MAX("serve.clients",
+                          static_cast<double>(conns.size()));
+    }
+}
+
+bool
+VpdServer::run(std::string &error)
+{
+    using clock = std::chrono::steady_clock;
+    if (listeners.empty() || stopPipe[0] < 0) {
+        error = "vpd loop started before start()";
+        return false;
+    }
+    for (auto &l : listeners) {
+        if (!net::setNonBlocking(l.get(), error))
+            return false;
+    }
+
+    auto next_persist = clock::now();
+    const bool periodic = cfg.snapshotIntervalSec > 0.0;
+    const auto interval = std::chrono::microseconds(
+        static_cast<long long>(cfg.snapshotIntervalSec * 1e6));
+    if (periodic)
+        next_persist += interval;
+
+    std::vector<pollfd> fds;
+    clock::time_point stop_deadline{};
+    while (true) {
+        // Exit once asked to stop and every goodbye reply is flushed
+        // (or a stalled client has burned the shutdown grace period).
+        if (stopping) {
+            if (stop_deadline == clock::time_point{})
+                stop_deadline = clock::now() + std::chrono::seconds(2);
+            const bool drained = std::all_of(
+                conns.begin(), conns.end(),
+                [](const auto &c) { return c->out.empty(); });
+            if (drained || clock::now() >= stop_deadline)
+                break;
+        }
+
+        fds.clear();
+        fds.push_back({stopPipe[0], POLLIN, 0});
+        for (const auto &l : listeners)
+            fds.push_back({l.get(), POLLIN, 0});
+        for (const auto &c : conns) {
+            short events = POLLIN;
+            if (!c->out.empty())
+                events |= POLLOUT;
+            fds.push_back({c->fd.get(), events, 0});
+        }
+
+        int timeout_ms = stopping ? 20 : -1;
+        if (periodic) {
+            const auto now = clock::now();
+            timeout_ms = std::max<int>(
+                0, static_cast<int>(
+                       std::chrono::duration_cast<
+                           std::chrono::milliseconds>(next_persist -
+                                                      now)
+                           .count()));
+        }
+        const int rc = ::poll(fds.data(),
+                              static_cast<nfds_t>(fds.size()),
+                              timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            error = vp::format("poll: %s", std::strerror(errno));
+            persistIfConfigured();
+            return false;
+        }
+
+        if (periodic && clock::now() >= next_persist) {
+            persistIfConfigured();
+            next_persist = clock::now() + interval;
+        }
+
+        std::size_t idx = 0;
+        if (fds[idx].revents & POLLIN) {
+            char drainbuf[64];
+            [[maybe_unused]] const auto n =
+                ::read(stopPipe[0], drainbuf, sizeof(drainbuf));
+            stopping = true;
+        }
+        ++idx;
+        for (const auto &l : listeners) {
+            if (fds[idx].revents & POLLIN)
+                acceptClients(l.get());
+            ++idx;
+        }
+
+        // Service clients; collect the dead for removal afterwards.
+        // Only the prefix of conns that had a poll slot this round —
+        // acceptClients above appends new connections past it, and
+        // those have no revents until the next poll pass.
+        const std::size_t polled = fds.size() - 1 - listeners.size();
+        std::vector<Connection *> dead;
+        for (std::size_t ci = 0; ci < polled; ++ci) {
+            const short revents = fds[idx++].revents;
+            Connection &conn = *conns[ci];
+            bool alive = true;
+            if (revents & (POLLIN | POLLHUP | POLLERR)) {
+                std::uint8_t buf[64 * 1024];
+                while (alive) {
+                    const long n =
+                        ::recv(conn.fd.get(), buf, sizeof(buf),
+                               MSG_DONTWAIT);
+                    if (n < 0) {
+                        if (errno == EINTR)
+                            continue;
+                        if (errno != EAGAIN && errno != EWOULDBLOCK)
+                            alive = false;
+                        break;
+                    }
+                    if (n == 0) { // orderly close
+                        alive = false;
+                        break;
+                    }
+                    VP_STAT_ADD(vp::stats::Cid::ServeBytesIn,
+                                static_cast<std::uint64_t>(n));
+                    conn.reader.append(buf,
+                                       static_cast<std::size_t>(n));
+                    Frame frame;
+                    std::string why;
+                    DecodeStatus st;
+                    while ((st = conn.reader.next(frame, why)) ==
+                           DecodeStatus::Ok) {
+                        if (!handleFrame(conn, frame)) {
+                            alive = false;
+                            break;
+                        }
+                    }
+                    if (st == DecodeStatus::Corrupt) {
+                        VP_STAT_INC(
+                            vp::stats::Cid::ServeDecodeErrors);
+                        vp_warn("vpd: corrupt frame stream: %s",
+                                why.c_str());
+                        queueReply(conn,
+                                   encodeText(MsgType::Error,
+                                              "corrupt frame: " +
+                                                  why));
+                        conn.closeAfterWrite = true;
+                        break;
+                    }
+                }
+            }
+            if (alive && !conn.out.empty())
+                alive = flushWrites(conn);
+            else if (alive && conn.closeAfterWrite)
+                alive = false;
+            if (!alive)
+                dead.push_back(&conn);
+        }
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [&](const auto &c) {
+                                       return std::find(dead.begin(),
+                                                        dead.end(),
+                                                        c.get()) !=
+                                              dead.end();
+                                   }),
+                    conns.end());
+    }
+
+    persistIfConfigured();
+    // Remove unix socket files so a restart never sees a stale one.
+    for (const auto &addr : bound) {
+        if (addr.kind == net::Address::Kind::Unix)
+            ::unlink(addr.path.c_str());
+    }
+    return true;
+}
+
+} // namespace vp::serve

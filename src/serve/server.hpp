@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The vpd aggregation daemon core: a poll-based event loop that
+ * accepts concurrent TCP and unix-socket clients speaking the delta
+ * wire format (serve/wire.hpp), merges their deltas into live
+ * per-producer partial snapshots, and answers QUERY / SNAPSHOT /
+ * FLUSH / SHUTDOWN requests.
+ *
+ * Determinism contract (what the serve differential checker proves):
+ * the daemon keeps one partial ProfileSnapshot *per producer id* and
+ * applies each producer's deltas in sequence order, so a producer's
+ * partial is independent of how its frames interleave with other
+ * clients'. The served aggregate folds the partials in ascending
+ * producer-id order. Both orders are total, so the aggregate is
+ * byte-identical to a serial merge of the same delta stream no matter
+ * how many clients raced — the networked restatement of DESIGN.md's
+ * "Shard-and-merge semantics" (each producer is a shard).
+ *
+ * Delivery contract: deltas carry 1-based, strictly increasing
+ * per-producer sequence numbers. The daemon applies seq N exactly
+ * once: a duplicate (resent after a lost ack) is re-acknowledged
+ * without merging, and a gap is answered with an ERROR frame — a
+ * client that skips a sequence number has lost data and must spill.
+ *
+ * Crash consistency: the aggregate is persisted with the atomic
+ * ProfileSnapshot::saveToFile (tmp + rename) on FLUSH, on SHUTDOWN,
+ * on requestStop(), and every snapshotIntervalSec while dirty, so a
+ * killed daemon leaves either the previous complete snapshot or the
+ * new one, never a torn file.
+ */
+
+#ifndef VP_SERVE_SERVER_HPP
+#define VP_SERVE_SERVER_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "serve/wire.hpp"
+#include "support/socket.hpp"
+
+namespace vp::serve
+{
+
+/** Daemon configuration. */
+struct ServerConfig
+{
+    /** Listen endpoints: "host:port" and/or "unix:PATH" (at least
+     *  one). TCP port 0 binds an ephemeral port. */
+    std::vector<std::string> listenAddrs;
+    /** Persist target for the aggregate ("" = never persisted). */
+    std::string snapshotPath;
+    /** Persist-while-dirty interval in seconds (0 = only on
+     *  FLUSH/SHUTDOWN/stop). */
+    double snapshotIntervalSec = 0.0;
+    /** Connection cap; accepts beyond it are refused with ERROR. */
+    std::size_t maxClients = 64;
+};
+
+/** The vpd daemon event loop. */
+class VpdServer
+{
+  public:
+    explicit VpdServer(ServerConfig config);
+    ~VpdServer();
+
+    VpdServer(const VpdServer &) = delete;
+    VpdServer &operator=(const VpdServer &) = delete;
+
+    /**
+     * Bind and listen on every configured endpoint and arm the stop
+     * pipe. @return false with a diagnosis; the server object is then
+     * unusable.
+     */
+    bool start(std::string &error);
+
+    /** Resolved listen addresses (ephemeral TCP ports filled in).
+     *  Valid after start(). */
+    const std::vector<net::Address> &boundAddresses() const
+    {
+        return bound;
+    }
+
+    /**
+     * Run the event loop on the calling thread until SHUTDOWN is
+     * received or requestStop() is called. Persists the aggregate on
+     * the way out. Returns false if the loop died on an internal
+     * error (diagnosis in `error`).
+     */
+    bool run(std::string &error);
+
+    /**
+     * Ask a running loop to exit (thread- and signal-safe: writes one
+     * byte to the stop pipe).
+     */
+    void requestStop();
+
+    /**
+     * The current aggregate: partials folded in ascending producer-id
+     * order. Thread-safe.
+     */
+    core::ProfileSnapshot aggregate() const;
+
+    /** Producers seen so far. Thread-safe. */
+    std::size_t producerCount() const;
+
+  private:
+    struct Connection
+    {
+        net::FdGuard fd;
+        FrameReader reader;
+        std::vector<std::uint8_t> out; ///< unwritten reply bytes
+        std::size_t outPos = 0;
+        bool closeAfterWrite = false;
+    };
+
+    /** One producer's live state. */
+    struct Partial
+    {
+        core::ProfileSnapshot snapshot;
+        std::uint64_t lastSeq = 0;
+    };
+
+    bool handleFrame(Connection &conn, const Frame &frame);
+    void queueReply(Connection &conn, std::vector<std::uint8_t> bytes);
+    bool flushWrites(Connection &conn);
+    void acceptClients(int listen_fd);
+    void persistIfConfigured();
+
+    ServerConfig cfg;
+    std::vector<net::FdGuard> listeners;
+    std::vector<net::Address> bound;
+    std::vector<std::unique_ptr<Connection>> conns;
+    int stopPipe[2] = {-1, -1};
+    bool stopping = false;
+
+    mutable std::mutex stateMu;
+    std::map<std::uint64_t, Partial> partials;
+    bool dirty = false; ///< aggregate changed since last persist
+};
+
+} // namespace vp::serve
+
+#endif // VP_SERVE_SERVER_HPP

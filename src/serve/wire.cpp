@@ -1,0 +1,445 @@
+#include "serve/wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace vp::serve
+{
+
+namespace
+{
+
+constexpr std::uint8_t kMagic[4] = {'V', 'P', 'D', 'F'};
+
+// --- little-endian scalar codecs -------------------------------------
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+std::uint32_t
+readU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+bool
+getU32(const std::uint8_t *data, std::size_t len, std::size_t *pos,
+       std::uint32_t &out)
+{
+    if (len - *pos < 4)
+        return false;
+    out = readU32(data + *pos);
+    *pos += 4;
+    return true;
+}
+
+bool
+getU64(const std::uint8_t *data, std::size_t len, std::size_t *pos,
+       std::uint64_t &out)
+{
+    if (len - *pos < 8)
+        return false;
+    out = 0;
+    const std::uint8_t *p = data + *pos;
+    for (int i = 7; i >= 0; --i)
+        out = (out << 8) | p[i];
+    *pos += 8;
+    return true;
+}
+
+bool
+getF64(const std::uint8_t *data, std::size_t len, std::size_t *pos,
+       double &out)
+{
+    std::uint64_t bits;
+    if (!getU64(data, len, pos, bits))
+        return false;
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+}
+
+} // namespace
+
+bool
+knownMsgType(std::uint8_t t)
+{
+    return t >= static_cast<std::uint8_t>(MsgType::Delta) &&
+           t <= static_cast<std::uint8_t>(MsgType::Error);
+}
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::Delta: return "DELTA";
+      case MsgType::Ack: return "ACK";
+      case MsgType::Query: return "QUERY";
+      case MsgType::QueryReply: return "QUERY-REPLY";
+      case MsgType::Snapshot: return "SNAPSHOT";
+      case MsgType::SnapshotReply: return "SNAPSHOT-REPLY";
+      case MsgType::Flush: return "FLUSH";
+      case MsgType::Shutdown: return "SHUTDOWN";
+      case MsgType::Error: return "ERROR";
+    }
+    return "?";
+}
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len, std::uint32_t seed)
+{
+    // Table-driven CRC-32 (IEEE 802.3 reflected polynomial).
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::vector<std::uint8_t>
+encodeFrame(MsgType type, const std::vector<std::uint8_t> &payload)
+{
+    vp_assert(payload.size() <= kMaxPayload,
+              "frame payload of %zu bytes exceeds the wire cap",
+              payload.size());
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderSize + payload.size());
+    out.insert(out.end(), kMagic, kMagic + 4);
+    putU16(out, kWireVersion);
+    out.push_back(static_cast<std::uint8_t>(type));
+    out.push_back(0); // flags
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    // CRC over the 12 header bytes so far, continued over the payload.
+    std::uint32_t crc = crc32(out.data(), 12);
+    crc = crc32(payload.data(), payload.size(), crc);
+    putU32(out, crc);
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+DecodeStatus
+tryDecode(const std::uint8_t *data, std::size_t len, Frame &out,
+          std::size_t &consumed, std::string &error)
+{
+    // Reject bad fixed fields as soon as their bytes are visible, so
+    // garbage streams fail fast instead of stalling in NeedMore.
+    for (std::size_t i = 0; i < std::min<std::size_t>(len, 4); ++i) {
+        if (data[i] != kMagic[i]) {
+            error = "bad frame magic";
+            return DecodeStatus::Corrupt;
+        }
+    }
+    if (len >= 6) {
+        const std::uint16_t version = static_cast<std::uint16_t>(
+            data[4] | (static_cast<std::uint16_t>(data[5]) << 8));
+        if (version != kWireVersion) {
+            error = vp::format("unknown wire version %u",
+                               static_cast<unsigned>(version));
+            return DecodeStatus::Corrupt;
+        }
+    }
+    if (len >= 7 && !knownMsgType(data[6])) {
+        error = vp::format("unknown message type %u",
+                           static_cast<unsigned>(data[6]));
+        return DecodeStatus::Corrupt;
+    }
+    if (len >= 8 && data[7] != 0) {
+        error = vp::format("nonzero reserved flags 0x%02x",
+                           static_cast<unsigned>(data[7]));
+        return DecodeStatus::Corrupt;
+    }
+    if (len < kHeaderSize)
+        return DecodeStatus::NeedMore;
+
+    const std::uint32_t payload_len = readU32(data + 8);
+    if (payload_len > kMaxPayload) {
+        error = vp::format("implausible payload length %u",
+                           payload_len);
+        return DecodeStatus::Corrupt;
+    }
+    if (len < kHeaderSize + payload_len)
+        return DecodeStatus::NeedMore;
+
+    const std::uint32_t want = readU32(data + 12);
+    std::uint32_t got = crc32(data, 12);
+    got = crc32(data + kHeaderSize, payload_len, got);
+    if (got != want) {
+        error = vp::format("frame CRC mismatch (got 0x%08x, frame "
+                           "says 0x%08x)",
+                           got, want);
+        return DecodeStatus::Corrupt;
+    }
+
+    out.type = static_cast<MsgType>(data[6]);
+    out.payload.assign(data + kHeaderSize,
+                       data + kHeaderSize + payload_len);
+    consumed = kHeaderSize + payload_len;
+    return DecodeStatus::Ok;
+}
+
+void
+FrameReader::append(const std::uint8_t *data, std::size_t len)
+{
+    if (dead)
+        return; // the stream is already condemned; drop the bytes
+    // Compact once the dead prefix dominates the buffer.
+    if (start > 4096 && start > buf.size() / 2) {
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(start));
+        start = 0;
+    }
+    buf.insert(buf.end(), data, data + len);
+}
+
+DecodeStatus
+FrameReader::next(Frame &out, std::string &error)
+{
+    if (dead) {
+        error = deadReason;
+        return DecodeStatus::Corrupt;
+    }
+    std::size_t consumed = 0;
+    const DecodeStatus st = tryDecode(buf.data() + start,
+                                      buf.size() - start, out,
+                                      consumed, error);
+    switch (st) {
+      case DecodeStatus::Ok:
+        start += consumed;
+        if (start == buf.size()) {
+            buf.clear();
+            start = 0;
+        }
+        return st;
+      case DecodeStatus::NeedMore:
+        return st;
+      case DecodeStatus::Corrupt:
+        dead = true;
+        deadReason = error;
+        return st;
+    }
+    vp_panic("bad decode status");
+}
+
+// --- payload codecs ---------------------------------------------------
+
+void
+encodeSnapshotPayload(const core::ProfileSnapshot &snap,
+                      std::vector<std::uint8_t> &out)
+{
+    putU32(out, static_cast<std::uint32_t>(snap.entities.size()));
+    for (const auto &[key, s] : snap.entities) {
+        putU64(out, key);
+        putU64(out, s.totalExecutions);
+        putU64(out, s.profiledExecutions);
+        putU64(out, s.distinct);
+        putF64(out, s.invTop);
+        putF64(out, s.invAll);
+        putF64(out, s.lvp);
+        putF64(out, s.zeroFraction);
+        putU32(out, static_cast<std::uint32_t>(s.topValues.size()));
+        for (const auto &[v, c] : s.topValues) {
+            putU64(out, v);
+            putU64(out, c);
+        }
+    }
+}
+
+bool
+decodeSnapshotPayload(const std::uint8_t *data, std::size_t len,
+                      std::size_t *pos, core::ProfileSnapshot &out,
+                      std::string &error)
+{
+    out.entities.clear();
+    std::uint32_t count = 0;
+    if (!getU32(data, len, pos, count)) {
+        error = "truncated snapshot payload: entity count";
+        return false;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t key = 0;
+        core::EntitySummary s;
+        std::uint32_t ntop = 0;
+        if (!getU64(data, len, pos, key) ||
+            !getU64(data, len, pos, s.totalExecutions) ||
+            !getU64(data, len, pos, s.profiledExecutions) ||
+            !getU64(data, len, pos, s.distinct) ||
+            !getF64(data, len, pos, s.invTop) ||
+            !getF64(data, len, pos, s.invAll) ||
+            !getF64(data, len, pos, s.lvp) ||
+            !getF64(data, len, pos, s.zeroFraction) ||
+            !getU32(data, len, pos, ntop)) {
+            error = vp::format("truncated snapshot payload at entity "
+                               "%u of %u", i, count);
+            return false;
+        }
+        // Each top value costs 16 payload bytes; bounding by the
+        // remaining length rejects corrupt counts before allocating.
+        if (ntop > (len - *pos) / 16) {
+            error = vp::format("implausible top-value count %u at "
+                               "entity %u", ntop, i);
+            return false;
+        }
+        s.topValues.reserve(ntop);
+        for (std::uint32_t j = 0; j < ntop; ++j) {
+            std::uint64_t v = 0, c = 0;
+            if (!getU64(data, len, pos, v) ||
+                !getU64(data, len, pos, c)) {
+                error = vp::format("truncated top values at entity %u",
+                                   i);
+                return false;
+            }
+            s.topValues.emplace_back(v, c);
+        }
+        if (out.entities.count(key)) {
+            error = vp::format("duplicate entity key %llu",
+                               static_cast<unsigned long long>(key));
+            return false;
+        }
+        out.entities[key] = std::move(s);
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeDelta(const Delta &delta)
+{
+    std::vector<std::uint8_t> payload;
+    putU64(payload, delta.producerId);
+    putU64(payload, delta.seq);
+    encodeSnapshotPayload(delta.entities, payload);
+    return encodeFrame(MsgType::Delta, payload);
+}
+
+bool
+decodeDelta(const std::vector<std::uint8_t> &payload, Delta &out,
+            std::string &error)
+{
+    std::size_t pos = 0;
+    if (!getU64(payload.data(), payload.size(), &pos, out.producerId) ||
+        !getU64(payload.data(), payload.size(), &pos, out.seq)) {
+        error = "truncated delta header";
+        return false;
+    }
+    if (out.seq == 0) {
+        error = "delta sequence numbers are 1-based";
+        return false;
+    }
+    if (!decodeSnapshotPayload(payload.data(), payload.size(), &pos,
+                               out.entities, error))
+        return false;
+    if (pos != payload.size()) {
+        error = vp::format("%zu trailing bytes after delta payload",
+                           payload.size() - pos);
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeAck(std::uint64_t seq)
+{
+    std::vector<std::uint8_t> payload;
+    putU64(payload, seq);
+    return encodeFrame(MsgType::Ack, payload);
+}
+
+bool
+decodeAck(const std::vector<std::uint8_t> &payload, std::uint64_t &seq,
+          std::string &error)
+{
+    std::size_t pos = 0;
+    if (!getU64(payload.data(), payload.size(), &pos, seq) ||
+        pos != payload.size()) {
+        error = "malformed ack payload";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeSnapshotReply(const core::ProfileSnapshot &snap)
+{
+    std::vector<std::uint8_t> payload;
+    encodeSnapshotPayload(snap, payload);
+    return encodeFrame(MsgType::SnapshotReply, payload);
+}
+
+bool
+decodeSnapshotReply(const std::vector<std::uint8_t> &payload,
+                    core::ProfileSnapshot &out, std::string &error)
+{
+    std::size_t pos = 0;
+    if (!decodeSnapshotPayload(payload.data(), payload.size(), &pos,
+                               out, error))
+        return false;
+    if (pos != payload.size()) {
+        error = "trailing bytes after snapshot reply";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeText(MsgType type, const std::string &text)
+{
+    vp_assert(type == MsgType::QueryReply || type == MsgType::Error,
+              "text payloads are for QueryReply/Error frames");
+    std::vector<std::uint8_t> payload(text.begin(), text.end());
+    return encodeFrame(type, payload);
+}
+
+std::string
+payloadText(const std::vector<std::uint8_t> &payload)
+{
+    return std::string(payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t>
+encodeEmpty(MsgType type)
+{
+    return encodeFrame(type, {});
+}
+
+} // namespace vp::serve

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The vpd delta wire format (version 1).
+ *
+ * Every message on a vpd connection is one length-prefixed, CRC-framed
+ * binary frame:
+ *
+ *   offset size field
+ *   0      4    magic "VPDF"
+ *   4      2    version (little-endian u16, currently 1)
+ *   6      1    message type (MsgType)
+ *   7      1    flags (reserved, must be 0)
+ *   8      4    payload length (little-endian u32)
+ *   12     4    CRC-32 (IEEE) over bytes [0,12) and the payload
+ *   16     n    payload
+ *
+ * Integers are little-endian; doubles travel as their IEEE-754 bit
+ * pattern, so an encode/decode round trip is bit-exact — the property
+ * the serve differential checker's byte-identical comparison rests on.
+ *
+ * tryDecode is strict by contract: a frame with a bad magic, unknown
+ * version or type, nonzero flags, implausible length, or mismatching
+ * CRC is Corrupt, never silently skipped or partially applied. A
+ * prefix of a valid frame is NeedMore so stream readers can buffer.
+ * The wire fuzz test mutates every byte of valid frames and asserts
+ * none of them decodes (the CRC covers header and payload, so any
+ * single-byte corruption is detected).
+ *
+ * Payloads:
+ *   Delta         producerId u64, seq u64, snapshot payload
+ *   Ack           seq u64 (highest contiguously applied delta)
+ *   SnapshotReply snapshot payload (the daemon's current aggregate)
+ *   QueryReply    UTF-8 text (key value lines)
+ *   Error         UTF-8 text diagnosis
+ *   Query/Snapshot/Flush/Shutdown have empty payloads.
+ *
+ * A "snapshot payload" serializes a core::ProfileSnapshot:
+ *   entityCount u32, then per entity: key u64, totalExecutions u64,
+ *   profiledExecutions u64, distinct u64, invTop/invAll/lvp/
+ *   zeroFraction f64-bits, topCount u32, topCount * (value u64,
+ *   count u64).
+ */
+
+#ifndef VP_SERVE_WIRE_HPP
+#define VP_SERVE_WIRE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hpp"
+
+namespace vp::serve
+{
+
+/** Protocol version this build speaks. */
+constexpr std::uint16_t kWireVersion = 1;
+
+/** Frame header size in bytes. */
+constexpr std::size_t kHeaderSize = 16;
+
+/** Upper bound on a sane payload (rejects garbage length fields). */
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+/** Message types (wire byte values are part of the format). */
+enum class MsgType : std::uint8_t
+{
+    Delta = 1,         ///< client -> daemon: a batch of entity deltas
+    Ack = 2,           ///< daemon -> client: highest applied delta seq
+    Query = 3,         ///< client -> daemon: text status request
+    QueryReply = 4,    ///< daemon -> client
+    Snapshot = 5,      ///< client -> daemon: send me the aggregate
+    SnapshotReply = 6, ///< daemon -> client
+    Flush = 7,         ///< client -> daemon: persist the aggregate now
+    Shutdown = 8,      ///< client -> daemon: persist and exit
+    Error = 9,         ///< daemon -> client: request failed, text says why
+};
+
+/** True if `t` is a known MsgType wire value. */
+bool knownMsgType(std::uint8_t t);
+
+/** Human-readable message-type name (for diagnostics). */
+const char *msgTypeName(MsgType t);
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Outcome of tryDecode on a byte buffer. */
+enum class DecodeStatus
+{
+    Ok,       ///< one frame decoded, `consumed` bytes eaten
+    NeedMore, ///< the buffer holds only a prefix of a valid frame
+    Corrupt,  ///< the buffer can never become a valid frame
+};
+
+/** CRC-32 (IEEE 802.3, reflected) of a byte range. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/** Encode a frame around an already-built payload. */
+std::vector<std::uint8_t> encodeFrame(
+    MsgType type, const std::vector<std::uint8_t> &payload);
+
+/**
+ * Strictly decode one frame from the front of [data, data+len).
+ * On Ok, `out` holds the frame and `consumed` the bytes eaten; on
+ * NeedMore/Corrupt both are untouched except `error` (Corrupt only).
+ */
+DecodeStatus tryDecode(const std::uint8_t *data, std::size_t len,
+                       Frame &out, std::size_t &consumed,
+                       std::string &error);
+
+/** Incremental frame reader for a stream of bytes. */
+class FrameReader
+{
+  public:
+    /** Append raw bytes received from the peer. */
+    void append(const std::uint8_t *data, std::size_t len);
+
+    /**
+     * Extract the next complete frame. Returns Ok with the frame,
+     * NeedMore when the buffer holds no complete frame yet, or
+     * Corrupt (with a diagnosis) — after which the stream is dead:
+     * every subsequent call returns Corrupt.
+     */
+    DecodeStatus next(Frame &out, std::string &error);
+
+    /** Bytes buffered but not yet decoded. */
+    std::size_t pending() const { return buf.size() - start; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+    std::size_t start = 0; ///< decoded-up-to offset into buf
+    bool dead = false;
+    std::string deadReason;
+};
+
+// --- payload codecs ---------------------------------------------------
+
+/** Serialize a snapshot into `out` (appends). */
+void encodeSnapshotPayload(const core::ProfileSnapshot &snap,
+                           std::vector<std::uint8_t> &out);
+
+/**
+ * Decode a snapshot payload region [*pos, len). Advances *pos past the
+ * snapshot. @return false with a diagnosis on malformed input.
+ */
+bool decodeSnapshotPayload(const std::uint8_t *data, std::size_t len,
+                           std::size_t *pos, core::ProfileSnapshot &out,
+                           std::string &error);
+
+/** A decoded Delta frame body. */
+struct Delta
+{
+    std::uint64_t producerId = 0;
+    /** Per-producer sequence number, 1-based and strictly increasing;
+     *  the daemon applies each seq at most once (resend-safe). */
+    std::uint64_t seq = 0;
+    core::ProfileSnapshot entities;
+};
+
+/** Build a Delta frame. */
+std::vector<std::uint8_t> encodeDelta(const Delta &delta);
+
+/** Decode a Delta payload. @return false with a diagnosis. */
+bool decodeDelta(const std::vector<std::uint8_t> &payload, Delta &out,
+                 std::string &error);
+
+/** Build an Ack frame for `seq`. */
+std::vector<std::uint8_t> encodeAck(std::uint64_t seq);
+
+/** Decode an Ack payload. */
+bool decodeAck(const std::vector<std::uint8_t> &payload,
+               std::uint64_t &seq, std::string &error);
+
+/** Build a SnapshotReply frame. */
+std::vector<std::uint8_t> encodeSnapshotReply(
+    const core::ProfileSnapshot &snap);
+
+/** Decode a SnapshotReply payload. */
+bool decodeSnapshotReply(const std::vector<std::uint8_t> &payload,
+                         core::ProfileSnapshot &out, std::string &error);
+
+/** Build a text-payload frame (QueryReply or Error). */
+std::vector<std::uint8_t> encodeText(MsgType type,
+                                     const std::string &text);
+
+/** Interpret a payload as UTF-8 text (QueryReply/Error). */
+std::string payloadText(const std::vector<std::uint8_t> &payload);
+
+/** Build an empty-payload frame (Query/Snapshot/Flush/Shutdown). */
+std::vector<std::uint8_t> encodeEmpty(MsgType type);
+
+} // namespace vp::serve
+
+#endif // VP_SERVE_WIRE_HPP

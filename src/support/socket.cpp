@@ -1,0 +1,245 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/strings.hpp"
+
+namespace vp::net
+{
+
+std::string
+Address::str() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return vp::format("%s:%u", host.c_str(),
+                      static_cast<unsigned>(port));
+}
+
+bool
+parseAddress(const std::string &text, Address &out, std::string &error)
+{
+    if (vp::startsWith(text, "unix:")) {
+        const std::string path = text.substr(5);
+        if (path.empty()) {
+            error = "unix address has an empty path";
+            return false;
+        }
+        sockaddr_un probe{};
+        if (path.size() >= sizeof(probe.sun_path)) {
+            error = vp::format("unix socket path exceeds %zu bytes",
+                               sizeof(probe.sun_path) - 1);
+            return false;
+        }
+        out = Address{Address::Kind::Unix, "", 0, path};
+        return true;
+    }
+    const auto colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == text.size()) {
+        error = vp::format("'%s' is not host:port or unix:PATH",
+                           text.c_str());
+        return false;
+    }
+    std::int64_t port = 0;
+    if (!vp::parseInt(text.substr(colon + 1), port) || port < 0 ||
+        port > 65535) {
+        error = vp::format("'%s' has a bad port", text.c_str());
+        return false;
+    }
+    out = Address{Address::Kind::Tcp, text.substr(0, colon),
+                  static_cast<std::uint16_t>(port), ""};
+    return true;
+}
+
+namespace
+{
+
+bool
+fillSockaddrIn(const Address &addr, sockaddr_in &sin, std::string &error)
+{
+    std::memset(&sin, 0, sizeof(sin));
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(addr.port);
+    const std::string &host =
+        addr.host == "localhost" ? std::string("127.0.0.1") : addr.host;
+    if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+        error = vp::format("'%s' is not an IPv4 address (use dotted "
+                           "quad or localhost)",
+                           addr.host.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+fillSockaddrUn(const Address &addr, sockaddr_un &sun)
+{
+    std::memset(&sun, 0, sizeof(sun));
+    sun.sun_family = AF_UNIX;
+    std::memcpy(sun.sun_path, addr.path.c_str(), addr.path.size());
+}
+
+std::string
+errnoText(const char *what)
+{
+    return vp::format("%s: %s", what, std::strerror(errno));
+}
+
+} // namespace
+
+int
+listenOn(Address &addr, std::string &error, int backlog)
+{
+    const int family =
+        addr.kind == Address::Kind::Unix ? AF_UNIX : AF_INET;
+    FdGuard fd(::socket(family, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoText("socket");
+        return -1;
+    }
+    if (addr.kind == Address::Kind::Tcp) {
+        const int one = 1;
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in sin;
+        if (!fillSockaddrIn(addr, sin, error))
+            return -1;
+        if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&sin),
+                   sizeof(sin)) != 0) {
+            error = errnoText("bind");
+            return -1;
+        }
+    } else {
+        ::unlink(addr.path.c_str()); // stale socket from a dead daemon
+        sockaddr_un sun;
+        fillSockaddrUn(addr, sun);
+        if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&sun),
+                   sizeof(sun)) != 0) {
+            error = errnoText("bind");
+            return -1;
+        }
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        error = errnoText("listen");
+        return -1;
+    }
+    if (addr.kind == Address::Kind::Tcp && addr.port == 0) {
+        Address bound;
+        if (!localAddress(fd.get(), bound, error))
+            return -1;
+        addr.port = bound.port;
+    }
+    return fd.release();
+}
+
+int
+connectTo(const Address &addr, std::string &error)
+{
+    const int family =
+        addr.kind == Address::Kind::Unix ? AF_UNIX : AF_INET;
+    FdGuard fd(::socket(family, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        error = errnoText("socket");
+        return -1;
+    }
+    int rc;
+    if (addr.kind == Address::Kind::Tcp) {
+        sockaddr_in sin;
+        if (!fillSockaddrIn(addr, sin, error))
+            return -1;
+        do {
+            rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&sin),
+                           sizeof(sin));
+        } while (rc != 0 && errno == EINTR);
+    } else {
+        sockaddr_un sun;
+        fillSockaddrUn(addr, sun);
+        do {
+            rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&sun),
+                           sizeof(sun));
+        } while (rc != 0 && errno == EINTR);
+    }
+    if (rc != 0) {
+        error = errnoText("connect");
+        return -1;
+    }
+    return fd.release();
+}
+
+bool
+localAddress(int fd, Address &out, std::string &error)
+{
+    sockaddr_in sin{};
+    socklen_t len = sizeof(sin);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&sin), &len) !=
+            0 ||
+        sin.sin_family != AF_INET) {
+        error = errnoText("getsockname");
+        return false;
+    }
+    char buf[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &sin.sin_addr, buf, sizeof(buf));
+    out = Address{Address::Kind::Tcp, buf, ntohs(sin.sin_port), ""};
+    return true;
+}
+
+bool
+sendAll(int fd, const void *data, std::size_t len, std::string &error)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    while (len > 0) {
+        const long n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = errnoText("send");
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+recvSome(int fd, void *buf, std::size_t cap, std::string &error)
+{
+    while (true) {
+        const long n = ::recv(fd, buf, cap, 0);
+        if (n >= 0)
+            return n;
+        if (errno == EINTR)
+            continue;
+        error = errnoText("recv");
+        return -1;
+    }
+}
+
+bool
+setNonBlocking(int fd, std::string &error)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+        error = errnoText("fcntl(O_NONBLOCK)");
+        return false;
+    }
+    return true;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace vp::net

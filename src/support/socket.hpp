@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Thin POSIX socket helpers shared by the profile-streaming daemon
+ * and client (src/serve). Addresses are strings in one of two forms:
+ *
+ *   "host:port"   — TCP (IPv4); port 0 asks the kernel for an
+ *                   ephemeral port, boundAddress() reports the result.
+ *   "unix:PATH"   — a unix-domain stream socket at PATH.
+ *
+ * All helpers are non-throwing: failures return -1 / false with the
+ * diagnosis in an `error` out-parameter, because both the daemon and
+ * the client must survive peers dying mid-conversation.
+ */
+
+#ifndef VP_SUPPORT_SOCKET_HPP
+#define VP_SUPPORT_SOCKET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vp::net
+{
+
+/** A parsed endpoint address. */
+struct Address
+{
+    enum class Kind { Tcp, Unix };
+
+    Kind kind = Kind::Tcp;
+    std::string host;       ///< TCP only
+    std::uint16_t port = 0; ///< TCP only
+    std::string path;       ///< unix only
+
+    /** Render back to the canonical string form. */
+    std::string str() const;
+};
+
+/**
+ * Parse "host:port" or "unix:PATH".
+ * @return true on success; false with a diagnosis in `error`.
+ */
+bool parseAddress(const std::string &text, Address &out,
+                  std::string &error);
+
+/**
+ * Create a listening socket for `addr` (backlog applied). For a unix
+ * address any stale socket file at the path is removed first. For TCP
+ * port 0 the bound port is written back into `addr`.
+ * @return the listening fd, or -1 with a diagnosis in `error`.
+ */
+int listenOn(Address &addr, std::string &error, int backlog = 16);
+
+/** Connect to `addr`. @return the fd, or -1 with a diagnosis. */
+int connectTo(const Address &addr, std::string &error);
+
+/** Report the locally bound address of a TCP socket (after port 0). */
+bool localAddress(int fd, Address &out, std::string &error);
+
+/**
+ * Write the whole buffer, retrying on short writes and EINTR. Sends
+ * with MSG_NOSIGNAL so a dead peer surfaces as an error, not SIGPIPE.
+ * @return true when every byte was written.
+ */
+bool sendAll(int fd, const void *data, std::size_t len,
+             std::string &error);
+
+/**
+ * Read up to `cap` bytes. @return bytes read (0 = orderly peer close),
+ * or -1 with a diagnosis in `error`. EINTR is retried.
+ */
+long recvSome(int fd, void *buf, std::size_t cap, std::string &error);
+
+/** Mark an fd non-blocking. @return false with a diagnosis. */
+bool setNonBlocking(int fd, std::string &error);
+
+/** close(2) ignoring EINTR; safe on -1. */
+void closeFd(int fd);
+
+/** RAII fd owner for the helpers above. */
+class FdGuard
+{
+  public:
+    explicit FdGuard(int fd = -1) : fd_(fd) {}
+    ~FdGuard() { closeFd(fd_); }
+
+    FdGuard(const FdGuard &) = delete;
+    FdGuard &operator=(const FdGuard &) = delete;
+    FdGuard(FdGuard &&other) noexcept : fd_(other.release()) {}
+    FdGuard &
+    operator=(FdGuard &&other) noexcept
+    {
+        if (this != &other) {
+            closeFd(fd_);
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void
+    reset(int fd = -1)
+    {
+        if (fd != fd_) {
+            closeFd(fd_);
+            fd_ = fd;
+        }
+    }
+
+  private:
+    int fd_;
+};
+
+} // namespace vp::net
+
+#endif // VP_SUPPORT_SOCKET_HPP

@@ -43,6 +43,21 @@ counterName(Cid id)
         return "specialize.guards_emitted";
       case Cid::SpecializeGuardHits: return "specialize.guard_hits";
       case Cid::SpecializeGuardMisses: return "specialize.guard_misses";
+      case Cid::ServeFramesIn: return "serve.frames_in";
+      case Cid::ServeFramesOut: return "serve.frames_out";
+      case Cid::ServeBytesIn: return "serve.bytes_in";
+      case Cid::ServeBytesOut: return "serve.bytes_out";
+      case Cid::ServeDeltasMerged: return "serve.deltas_merged";
+      case Cid::ServeDeltaDuplicates: return "serve.delta_duplicates";
+      case Cid::ServeDecodeErrors: return "serve.decode_errors";
+      case Cid::ServeSnapshotsSaved: return "serve.snapshots_saved";
+      case Cid::ServeAccepts: return "serve.accepts";
+      case Cid::ServeClientBatches: return "serve.client.batches";
+      case Cid::ServeClientFramesSent: return "serve.client.frames_sent";
+      case Cid::ServeClientBytesSent: return "serve.client.bytes_sent";
+      case Cid::ServeClientRetries: return "serve.client.retries";
+      case Cid::ServeClientSpilledDeltas:
+        return "serve.client.spilled_deltas";
       case Cid::NumCounters: break;
     }
     vp_panic("bad counter id %u", static_cast<unsigned>(id));

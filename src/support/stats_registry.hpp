@@ -69,6 +69,20 @@ enum class Cid : unsigned
     SpecializeGuardsEmitted,///< specialize.guards_emitted
     SpecializeGuardHits,    ///< specialize.guard_hits — dispatches to clone
     SpecializeGuardMisses,  ///< specialize.guard_misses — fallback path
+    ServeFramesIn,          ///< serve.frames_in — frames decoded by vpd
+    ServeFramesOut,         ///< serve.frames_out — replies queued by vpd
+    ServeBytesIn,           ///< serve.bytes_in — payload+header bytes read
+    ServeBytesOut,          ///< serve.bytes_out — reply bytes queued
+    ServeDeltasMerged,      ///< serve.deltas_merged — applied exactly once
+    ServeDeltaDuplicates,   ///< serve.delta_duplicates — re-acked, not merged
+    ServeDecodeErrors,      ///< serve.decode_errors — corrupt/unknown frames
+    ServeSnapshotsSaved,    ///< serve.snapshots_saved — atomic persists
+    ServeAccepts,           ///< serve.accepts — client connections accepted
+    ServeClientBatches,     ///< serve.client.batches — batches delivered
+    ServeClientFramesSent,  ///< serve.client.frames_sent
+    ServeClientBytesSent,   ///< serve.client.bytes_sent
+    ServeClientRetries,     ///< serve.client.retries — reconnect/backoff
+    ServeClientSpilledDeltas,///< serve.client.spilled_deltas — local fallback
 
     NumCounters
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/stats_registry.hpp"
 #include "support/trace.hpp"
 
 namespace vp
@@ -46,12 +47,23 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     vp_assert(task != nullptr, "null task submitted to thread pool");
+    std::size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(mtx);
         vp_assert(!stopping, "submit() on a stopping thread pool");
         queue.push_back(std::move(task));
+        depth = queue.size();
     }
+    VP_STAT_GAUGE_MAX("support.pool.queue_depth",
+                      static_cast<double>(depth));
     taskReady.notify_one();
+}
+
+std::size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return queue.size();
 }
 
 void

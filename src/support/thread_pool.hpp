@@ -30,20 +30,34 @@ class ThreadPool
 {
   public:
     /**
-     * Start `threads` workers; 0 means one per hardware thread. The
-     * destructor drains the queue, then joins.
+     * Start `threads` workers; 0 means one per hardware thread.
      */
     explicit ThreadPool(unsigned threads = 0);
+
+    /**
+     * Shutdown is deterministic: the destructor first wait()s — every
+     * task already submitted runs to completion — and only then stops
+     * the workers. Tasks are never abandoned; conversely, submit()
+     * after destruction begins is a programming error (asserted), so
+     * there is no racing "maybe it runs, maybe not" window.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a task. Safe to call from any thread. */
+    /**
+     * Enqueue a task. Safe to call from any thread. Exports the
+     * post-enqueue backlog high-water mark as the
+     * `support.pool.queue_depth` gauge.
+     */
     void submit(std::function<void()> task);
 
     /** Block until every submitted task has finished. */
     void wait();
+
+    /** Tasks queued but not yet started. */
+    std::size_t queueDepth() const;
 
     unsigned threadCount() const
     {
@@ -65,7 +79,7 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::mutex mtx;
+    mutable std::mutex mtx;
     std::condition_variable taskReady; ///< queue became non-empty
     std::condition_variable allDone;   ///< inFlight + queue hit zero
     std::deque<std::function<void()>> queue;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 #include "core/snapshot.hpp"
@@ -383,6 +384,61 @@ TEST(Snapshot, TryLoadRejectsDuplicateKeys)
     std::string err;
     EXPECT_FALSE(ProfileSnapshot::tryLoad(ss, out, err));
     EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(Snapshot, SaveToFileRoundTripsAndIsAtomicUnderAbort)
+{
+    ProfileSnapshot snap;
+    EntitySummary s;
+    s.totalExecutions = 10;
+    s.profiledExecutions = 10;
+    s.invTop = 0.9;
+    s.distinct = 2;
+    s.topValues = {{7, 9}, {1, 1}};
+    snap.entities[4] = s;
+
+    const std::string path =
+        ::testing::TempDir() + "snapshot_atomic_test.vprof";
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+
+    std::string err;
+    ASSERT_TRUE(snap.saveToFile(path, err)) << err;
+    ProfileSnapshot loaded;
+    ASSERT_TRUE(ProfileSnapshot::tryLoadFile(path, loaded, err)) << err;
+    std::ostringstream a, b;
+    snap.save(a);
+    loaded.save(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    // Simulate a crash mid-write of a NEW snapshot: the write aborts
+    // before the rename, so the target must still hold the complete
+    // OLD snapshot — never a torn file.
+    ProfileSnapshot bigger = snap;
+    bigger.entities[5] = s;
+    core::testing::saveAbortAfterBytes = 10;
+    EXPECT_FALSE(bigger.saveToFile(path, err));
+    core::testing::saveAbortAfterBytes = 0;
+    EXPECT_NE(err.find("simulated crash"), std::string::npos) << err;
+
+    ProfileSnapshot survivor;
+    ASSERT_TRUE(ProfileSnapshot::tryLoadFile(path, survivor, err))
+        << err;
+    std::ostringstream c;
+    survivor.save(c);
+    EXPECT_EQ(c.str(), a.str()) << "crash mid-write tore the target";
+
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+}
+
+TEST(Snapshot, TryLoadFileReportsMissingFile)
+{
+    ProfileSnapshot out;
+    std::string err;
+    EXPECT_FALSE(ProfileSnapshot::tryLoadFile(
+        ::testing::TempDir() + "no_such_snapshot.vprof", out, err));
+    EXPECT_FALSE(err.empty());
 }
 
 TEST(Snapshot, FromInstructionProfilerKeysByPc)

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * End-to-end tests of the profile-streaming service: concurrent
+ * emitters through a live vpd daemon must aggregate byte-identically
+ * to a serial merge; duplicate and out-of-order deltas are handled per
+ * the delivery contract; corrupt bytes get an ERROR and never kill the
+ * daemon; an unreachable daemon spills locally and the spill replays
+ * losslessly; a full client queue applies backpressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "support/socket.hpp"
+#include "support/stats_registry.hpp"
+
+using namespace vp::serve;
+
+namespace
+{
+
+std::string
+snapshotText(const core::ProfileSnapshot &snap)
+{
+    std::ostringstream os;
+    snap.save(os);
+    return os.str();
+}
+
+/** Deterministic synthetic summary, parameterized so different
+ *  (producer, entity) pairs disagree in every field. */
+core::EntitySummary
+makeSummary(std::uint64_t salt)
+{
+    core::EntitySummary s;
+    s.totalExecutions = 100 + salt * 13;
+    s.profiledExecutions = 90 + salt * 11;
+    s.invTop = 1.0 / static_cast<double>(salt + 2);
+    s.invAll = 0.5 / static_cast<double>(salt + 1);
+    s.lvp = 0.25;
+    s.zeroFraction = static_cast<double>(salt % 3) / 7.0;
+    s.distinct = 1 + salt % 5;
+    s.topValues = {{salt * 17 + 1, 60 + salt}, {salt, 30}};
+    return s;
+}
+
+/** Producer k's delta stream: `deltas` snapshots with entity keys
+ *  overlapping across producers (so the daemon really merges). */
+std::vector<core::ProfileSnapshot>
+producerDeltas(unsigned k, unsigned deltas)
+{
+    std::vector<core::ProfileSnapshot> out;
+    for (unsigned d = 0; d < deltas; ++d) {
+        core::ProfileSnapshot snap;
+        for (unsigned e = 0; e < 4; ++e) {
+            const std::uint64_t key = 100 * d + e; // shared across k
+            snap.entities[key] = makeSummary(k * 7 + d * 3 + e);
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+/** The canonical serial merge the daemon must reproduce: per-producer
+ *  deltas folded in seq order, producers folded in ascending id. */
+core::ProfileSnapshot
+serialReference(unsigned producers, unsigned deltas)
+{
+    core::ProfileSnapshot reference;
+    for (unsigned k = 0; k < producers; ++k) {
+        core::ProfileSnapshot partial;
+        for (const auto &delta : producerDeltas(k, deltas))
+            partial.merge(delta);
+        reference.merge(partial);
+    }
+    return reference;
+}
+
+struct RunningServer
+{
+    VpdServer server;
+    std::thread loop;
+    std::string addr;
+
+    explicit RunningServer(ServerConfig cfg = makeConfig())
+        : server(std::move(cfg))
+    {
+        std::string error;
+        if (!server.start(error))
+            ADD_FAILURE() << "server start failed: " << error;
+        addr = server.boundAddresses().front().str();
+        loop = std::thread([this] {
+            std::string run_error;
+            if (!server.run(run_error))
+                ADD_FAILURE() << "server loop: " << run_error;
+        });
+    }
+
+    ~RunningServer()
+    {
+        server.requestStop();
+        loop.join();
+    }
+
+    static ServerConfig
+    makeConfig()
+    {
+        ServerConfig cfg;
+        cfg.listenAddrs = {"127.0.0.1:0"};
+        return cfg;
+    }
+};
+
+TEST(ServeLoopback, ConcurrentEmittersMatchSerialMerge)
+{
+    constexpr unsigned kProducers = 4, kDeltas = 3;
+    const std::string want =
+        snapshotText(serialReference(kProducers, kDeltas));
+
+    const std::string agg_path =
+        ::testing::TempDir() + "serve_loopback_agg.vprof";
+    std::remove(agg_path.c_str());
+    auto cfg = RunningServer::makeConfig();
+    cfg.snapshotPath = agg_path;
+    RunningServer rs(std::move(cfg));
+
+    std::atomic<unsigned> undelivered{0};
+    std::vector<std::thread> threads;
+    for (unsigned k = 0; k < kProducers; ++k) {
+        threads.emplace_back([&, k] {
+            EmitterConfig ecfg;
+            ecfg.addr = rs.addr;
+            ecfg.producerId = k + 1;
+            ProfileEmitter emitter(ecfg);
+            for (auto &delta : producerDeltas(k, kDeltas))
+                emitter.emit(std::move(delta));
+            if (!emitter.close())
+                undelivered.fetch_add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(undelivered.load(), 0u);
+
+    core::ProfileSnapshot served;
+    std::string error;
+    ASSERT_TRUE(requestSnapshot(rs.addr, served, error)) << error;
+    EXPECT_EQ(snapshotText(served), want)
+        << "served aggregate diverged from the serial merge";
+
+    // Status text reflects the stream.
+    std::string status;
+    ASSERT_TRUE(requestQuery(rs.addr, status, error)) << error;
+    EXPECT_NE(status.find("producers 4"), std::string::npos) << status;
+    EXPECT_NE(status.find("deltas 12"), std::string::npos) << status;
+
+    // FLUSH persists the same bytes, atomically.
+    ASSERT_TRUE(requestFlush(rs.addr, error)) << error;
+    core::ProfileSnapshot persisted;
+    ASSERT_TRUE(
+        core::ProfileSnapshot::tryLoadFile(agg_path, persisted, error))
+        << error;
+    EXPECT_EQ(snapshotText(persisted), want);
+    std::remove(agg_path.c_str());
+}
+
+/** Raw-socket helper: send the frames, read replies until `want`
+ *  frames arrived or the peer closes; returns the replies. */
+std::vector<Frame>
+rawExchange(const std::string &addr,
+            const std::vector<std::vector<std::uint8_t>> &frames,
+            std::size_t want)
+{
+    std::vector<Frame> replies;
+    vp::net::Address parsed;
+    std::string error;
+    EXPECT_TRUE(vp::net::parseAddress(addr, parsed, error)) << error;
+    vp::net::FdGuard fd(vp::net::connectTo(parsed, error));
+    EXPECT_TRUE(fd.valid()) << error;
+    if (!fd.valid())
+        return replies;
+    for (const auto &f : frames)
+        EXPECT_TRUE(vp::net::sendAll(fd.get(), f.data(), f.size(),
+                                     error))
+            << error;
+    FrameReader reader;
+    while (replies.size() < want) {
+        Frame frame;
+        const DecodeStatus st = reader.next(frame, error);
+        if (st == DecodeStatus::Ok) {
+            replies.push_back(std::move(frame));
+            continue;
+        }
+        if (st == DecodeStatus::Corrupt) {
+            ADD_FAILURE() << "corrupt reply: " << error;
+            break;
+        }
+        std::uint8_t buf[4096];
+        const long n =
+            vp::net::recvSome(fd.get(), buf, sizeof(buf), error);
+        if (n <= 0)
+            break; // peer closed (expected after ERROR replies)
+        reader.append(buf, static_cast<std::size_t>(n));
+    }
+    return replies;
+}
+
+TEST(ServeLoopback, DuplicateDeltaIsReackedNotRemerged)
+{
+    RunningServer rs;
+    Delta delta;
+    delta.producerId = 9;
+    delta.seq = 1;
+    delta.entities.entities[5] = makeSummary(1);
+    const auto frame = encodeDelta(delta);
+
+    // The same seq twice: two acks, one merge.
+    const auto replies = rawExchange(rs.addr, {frame, frame}, 2);
+    ASSERT_EQ(replies.size(), 2u);
+    for (const auto &r : replies) {
+        EXPECT_EQ(r.type, MsgType::Ack);
+        std::uint64_t seq = 0;
+        std::string error;
+        ASSERT_TRUE(decodeAck(r.payload, seq, error)) << error;
+        EXPECT_EQ(seq, 1u);
+    }
+    const auto agg = rs.server.aggregate();
+    ASSERT_EQ(agg.size(), 1u);
+    // Merged once: the counts are the single delta's, not doubled.
+    EXPECT_EQ(agg.entities.at(5).totalExecutions,
+              delta.entities.entities.at(5).totalExecutions);
+}
+
+TEST(ServeLoopback, SequenceGapIsRejected)
+{
+    RunningServer rs;
+    Delta delta;
+    delta.producerId = 3;
+    delta.seq = 2; // producer 3 never sent seq 1
+    delta.entities.entities[1] = makeSummary(0);
+
+    const auto replies =
+        rawExchange(rs.addr, {encodeDelta(delta)}, 1);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].type, MsgType::Error);
+    EXPECT_NE(payloadText(replies[0].payload).find("gap"),
+              std::string::npos);
+    // The gapped delta must not have been applied.
+    EXPECT_EQ(rs.server.aggregate().size(), 0u);
+}
+
+TEST(ServeLoopback, CorruptBytesGetErrorAndDaemonSurvives)
+{
+    RunningServer rs;
+    const std::uint8_t garbage[] = "complete nonsense, not a frame";
+    std::vector<std::uint8_t> junk(garbage, garbage + sizeof(garbage));
+
+    const auto replies = rawExchange(rs.addr, {junk}, 1);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].type, MsgType::Error);
+
+    // The daemon shrugged off the bad client and still serves others.
+    std::string status, error;
+    ASSERT_TRUE(requestQuery(rs.addr, status, error)) << error;
+    EXPECT_NE(status.find("producers 0"), std::string::npos);
+}
+
+TEST(ServeLoopback, BackpressureBoundsTheQueue)
+{
+    vp::stats::setEnabled(true);
+    EmitterConfig ecfg;
+    ecfg.addr = "127.0.0.1:1"; // nothing listens here
+    ecfg.maxQueue = 3;
+    ecfg.maxRetries = 3;
+    ecfg.backoffBaseMs = 50;
+    ecfg.backoffMaxMs = 200;
+    ecfg.spillPath =
+        ::testing::TempDir() + "serve_backpressure.spill";
+    std::remove(ecfg.spillPath.c_str());
+
+    ProfileEmitter emitter(ecfg);
+    // While the sender burns its retry budget on the dead address the
+    // queue must cap at maxQueue and tryEmit must start refusing.
+    unsigned accepted = 0;
+    bool saw_backpressure = false;
+    for (unsigned i = 0; i < 200; ++i) {
+        core::ProfileSnapshot delta;
+        delta.entities[i] = makeSummary(i);
+        if (emitter.tryEmit(std::move(delta))) {
+            ++accepted;
+        } else {
+            saw_backpressure = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_backpressure);
+    EXPECT_LE(accepted, 200u);
+
+    // Nothing was delivered; everything must land in the spill file.
+    EXPECT_FALSE(emitter.close());
+    EXPECT_EQ(emitter.ackedDeltas(), 0u);
+    EXPECT_EQ(emitter.spilledDeltas(), accepted);
+
+    const auto gauges = vp::stats::global().gaugeValues();
+    const auto it = gauges.find("serve.client.queue_depth");
+    ASSERT_NE(it, gauges.end());
+    EXPECT_LE(it->second, static_cast<double>(ecfg.maxQueue));
+    EXPECT_GE(it->second, 1.0);
+
+    std::remove(ecfg.spillPath.c_str());
+    vp::stats::setEnabled(false);
+}
+
+TEST(ServeLoopback, SpillReplaysLosslesslyIntoALateDaemon)
+{
+    const std::string spill_path =
+        ::testing::TempDir() + "serve_replay.spill";
+    std::remove(spill_path.c_str());
+
+    constexpr unsigned kDeltas = 3;
+    // Daemon down: every delta spills.
+    {
+        EmitterConfig ecfg;
+        ecfg.addr = "127.0.0.1:1";
+        ecfg.producerId = 5;
+        ecfg.maxRetries = 1;
+        ecfg.backoffBaseMs = 1;
+        ecfg.spillPath = spill_path;
+        ProfileEmitter emitter(ecfg);
+        for (auto &delta : producerDeltas(0, kDeltas))
+            emitter.emit(std::move(delta));
+        EXPECT_FALSE(emitter.close());
+        EXPECT_EQ(emitter.spilledDeltas(), kDeltas);
+    }
+
+    // The spill file holds the exact frames, in order.
+    std::vector<Delta> spilled;
+    std::string error;
+    ASSERT_TRUE(readSpill(spill_path, spilled, error));
+    EXPECT_TRUE(error.empty()) << error;
+    ASSERT_EQ(spilled.size(), kDeltas);
+    for (unsigned d = 0; d < kDeltas; ++d) {
+        EXPECT_EQ(spilled[d].producerId, 5u);
+        EXPECT_EQ(spilled[d].seq, d + 1);
+    }
+
+    // Replaying them into a live daemon recovers the full profile.
+    RunningServer rs;
+    EmitterConfig ecfg;
+    ecfg.addr = rs.addr;
+    ecfg.producerId = 5;
+    ProfileEmitter emitter(ecfg);
+    for (auto &delta : spilled)
+        emitter.emit(std::move(delta.entities));
+    EXPECT_TRUE(emitter.close());
+
+    core::ProfileSnapshot want;
+    for (const auto &delta : producerDeltas(0, kDeltas))
+        want.merge(delta);
+    EXPECT_EQ(snapshotText(rs.server.aggregate()),
+              snapshotText(want));
+    std::remove(spill_path.c_str());
+}
+
+TEST(ServeLoopback, EmittersSurviveMidStreamDaemonDeath)
+{
+    const std::string spill_path =
+        ::testing::TempDir() + "serve_death.spill";
+    std::remove(spill_path.c_str());
+
+    auto rs = std::make_unique<RunningServer>();
+    EmitterConfig ecfg;
+    ecfg.addr = rs->addr;
+    ecfg.producerId = 2;
+    ecfg.maxRetries = 1;
+    ecfg.backoffBaseMs = 1;
+    ecfg.spillPath = spill_path;
+    ProfileEmitter emitter(ecfg);
+
+    core::ProfileSnapshot first;
+    first.entities[1] = makeSummary(1);
+    emitter.emit(std::move(first));
+    // Let the first delta land, then kill the daemon mid-stream.
+    for (int i = 0; i < 500 && emitter.ackedDeltas() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_EQ(emitter.ackedDeltas(), 1u);
+    rs.reset(); // daemon gone
+
+    core::ProfileSnapshot second;
+    second.entities[2] = makeSummary(2);
+    emitter.emit(std::move(second));
+    // close() must not hang and must account for every delta: one
+    // acked, one spilled — never silently dropped.
+    EXPECT_FALSE(emitter.close());
+    EXPECT_EQ(emitter.ackedDeltas(), 1u);
+    EXPECT_EQ(emitter.spilledDeltas(), 1u);
+
+    std::vector<Delta> spilled;
+    std::string error;
+    ASSERT_TRUE(readSpill(spill_path, spilled, error));
+    ASSERT_EQ(spilled.size(), 1u);
+    EXPECT_EQ(spilled[0].seq, 2u);
+    std::remove(spill_path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the vpd delta wire format: round-trips for every frame
+ * type, bit-exact double transport, incremental stream reading, and
+ * the strictness guarantees — every prefix is NeedMore, every
+ * single-byte mutation of a valid frame is rejected, unknown
+ * versions/types/flags are Corrupt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/seed.hpp"
+#include "serve/wire.hpp"
+#include "support/rng.hpp"
+
+using namespace vp::serve;
+
+namespace
+{
+
+core::ProfileSnapshot
+sampleSnapshot()
+{
+    core::ProfileSnapshot snap;
+    core::EntitySummary a;
+    a.totalExecutions = 1000;
+    a.profiledExecutions = 900;
+    a.invTop = 1.0 / 3.0; // not exactly representable in decimal
+    a.invAll = 0.1;
+    a.lvp = 0.7;
+    a.zeroFraction = 1e-300; // denormal-adjacent magnitude
+    a.distinct = 17;
+    a.topValues = {{42, 600}, {7, 200}, {0, 100}};
+    snap.entities[3] = a;
+
+    core::EntitySummary b;
+    b.totalExecutions = 5;
+    b.profiledExecutions = 5;
+    b.invTop = 1.0;
+    b.distinct = 1;
+    b.topValues = {{0xFFFFFFFFFFFFFFFFull, 5}};
+    snap.entities[0xDEADBEEFCAFEull] = b;
+    return snap;
+}
+
+std::string
+snapshotText(const core::ProfileSnapshot &snap)
+{
+    std::ostringstream os;
+    snap.save(os);
+    return os.str();
+}
+
+Frame
+decodeWhole(const std::vector<std::uint8_t> &bytes)
+{
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const DecodeStatus st =
+        tryDecode(bytes.data(), bytes.size(), frame, consumed, error);
+    EXPECT_EQ(st, DecodeStatus::Ok) << error;
+    EXPECT_EQ(consumed, bytes.size());
+    return frame;
+}
+
+TEST(Wire, DeltaRoundTripIsBitExact)
+{
+    Delta delta;
+    delta.producerId = 0x1122334455667788ull;
+    delta.seq = 9;
+    delta.entities = sampleSnapshot();
+
+    const auto bytes = encodeDelta(delta);
+    const Frame frame = decodeWhole(bytes);
+    EXPECT_EQ(frame.type, MsgType::Delta);
+
+    Delta out;
+    std::string error;
+    ASSERT_TRUE(decodeDelta(frame.payload, out, error)) << error;
+    EXPECT_EQ(out.producerId, delta.producerId);
+    EXPECT_EQ(out.seq, delta.seq);
+    // Byte-identical snapshot text = bit-exact doubles survived the
+    // wire (save() prints with 17 significant digits).
+    EXPECT_EQ(snapshotText(out.entities), snapshotText(delta.entities));
+}
+
+TEST(Wire, AckTextAndEmptyRoundTrips)
+{
+    const Frame ack = decodeWhole(encodeAck(12345));
+    EXPECT_EQ(ack.type, MsgType::Ack);
+    std::uint64_t seq = 0;
+    std::string error;
+    ASSERT_TRUE(decodeAck(ack.payload, seq, error)) << error;
+    EXPECT_EQ(seq, 12345u);
+
+    const Frame err =
+        decodeWhole(encodeText(MsgType::Error, "delta gap"));
+    EXPECT_EQ(err.type, MsgType::Error);
+    EXPECT_EQ(payloadText(err.payload), "delta gap");
+
+    const Frame query = decodeWhole(encodeText(
+        MsgType::QueryReply, "producers 3\n"));
+    EXPECT_EQ(query.type, MsgType::QueryReply);
+    EXPECT_EQ(payloadText(query.payload), "producers 3\n");
+
+    for (const MsgType t : {MsgType::Query, MsgType::Snapshot,
+                            MsgType::Flush, MsgType::Shutdown}) {
+        const Frame f = decodeWhole(encodeEmpty(t));
+        EXPECT_EQ(f.type, t);
+        EXPECT_TRUE(f.payload.empty());
+    }
+}
+
+TEST(Wire, SnapshotReplyRoundTrip)
+{
+    const auto snap = sampleSnapshot();
+    const Frame frame = decodeWhole(encodeSnapshotReply(snap));
+    EXPECT_EQ(frame.type, MsgType::SnapshotReply);
+    core::ProfileSnapshot out;
+    std::string error;
+    ASSERT_TRUE(decodeSnapshotReply(frame.payload, out, error))
+        << error;
+    EXPECT_EQ(snapshotText(out), snapshotText(snap));
+}
+
+TEST(Wire, EveryProperPrefixNeedsMore)
+{
+    Delta delta;
+    delta.producerId = 1;
+    delta.seq = 1;
+    delta.entities = sampleSnapshot();
+    const auto bytes = encodeDelta(delta);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        Frame frame;
+        std::size_t consumed = 0;
+        std::string error;
+        EXPECT_EQ(tryDecode(bytes.data(), len, frame, consumed, error),
+                  DecodeStatus::NeedMore)
+            << "prefix length " << len;
+    }
+}
+
+TEST(Wire, EverySingleByteMutationIsRejected)
+{
+    Delta delta;
+    delta.producerId = 2;
+    delta.seq = 7;
+    delta.entities = sampleSnapshot();
+    const std::vector<std::vector<std::uint8_t>> frames = {
+        encodeDelta(delta),
+        encodeAck(99),
+        encodeEmpty(MsgType::Flush),
+        encodeText(MsgType::Error, "x"),
+    };
+    for (const auto &good : frames) {
+        for (std::size_t i = 0; i < good.size(); ++i) {
+            for (const std::uint8_t delta_byte :
+                 {std::uint8_t{0xFF}, std::uint8_t{0x01}}) {
+                auto bad = good;
+                bad[i] = static_cast<std::uint8_t>(bad[i] ^ delta_byte);
+                Frame frame;
+                std::size_t consumed = 0;
+                std::string error;
+                // A mutated frame may be Corrupt outright or look
+                // like a longer frame (NeedMore) — it must NEVER
+                // decode as Ok.
+                EXPECT_NE(tryDecode(bad.data(), bad.size(), frame,
+                                    consumed, error),
+                          DecodeStatus::Ok)
+                    << "byte " << i << " xor "
+                    << static_cast<int>(delta_byte);
+            }
+        }
+    }
+}
+
+TEST(Wire, SeededRandomDeltasSurviveRoundTripAndRejectMutations)
+{
+    // Same property as above, but over randomized delta contents
+    // (vp::check-seeded, reproducible via VP_TEST_SEED): arbitrary
+    // keys, counts and double bit patterns must round-trip
+    // byte-identically, and no single-byte mutation of their encoding
+    // may ever decode as Ok.
+    const std::uint64_t seed = vp::check::testSeed(0x5EEDF00Dull);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
+
+    for (int trial = 0; trial < 8; ++trial) {
+        Delta delta;
+        delta.producerId = rng.next() | 1;
+        delta.seq = rng.below(1000) + 1;
+        const std::size_t n_entities = rng.below(4) + 1;
+        for (std::size_t e = 0; e < n_entities; ++e) {
+            core::EntitySummary s;
+            s.totalExecutions = rng.below(1u << 20) + 1;
+            s.profiledExecutions = rng.below(s.totalExecutions + 1);
+            s.invTop = rng.uniform();
+            s.invAll = rng.uniform();
+            s.lvp = rng.uniform();
+            s.zeroFraction = rng.uniform();
+            s.distinct = rng.below(1000);
+            const std::size_t n_top = rng.below(8) + 1;
+            for (std::size_t v = 0; v < n_top; ++v)
+                s.topValues.emplace_back(rng.next(),
+                                         rng.below(1u << 20));
+            delta.entities.entities[rng.next()] = s;
+        }
+
+        const auto bytes = encodeDelta(delta);
+        const Frame frame = decodeWhole(bytes);
+        Delta out;
+        std::string error;
+        ASSERT_TRUE(decodeDelta(frame.payload, out, error)) << error;
+        EXPECT_EQ(out.producerId, delta.producerId);
+        EXPECT_EQ(out.seq, delta.seq);
+        EXPECT_EQ(snapshotText(out.entities),
+                  snapshotText(delta.entities));
+
+        const std::size_t i = rng.below(bytes.size());
+        for (int bit = 0; bit < 8; ++bit) {
+            auto bad = bytes;
+            bad[i] = static_cast<std::uint8_t>(bad[i] ^ (1u << bit));
+            Frame f;
+            std::size_t consumed = 0;
+            EXPECT_NE(tryDecode(bad.data(), bad.size(), f, consumed,
+                                error),
+                      DecodeStatus::Ok)
+                << "trial " << trial << " byte " << i << " bit "
+                << bit;
+        }
+    }
+}
+
+TEST(Wire, UnknownVersionTypeAndFlagsAreCorrupt)
+{
+    // Patch a header field, recompute the CRC so only the patched
+    // field is wrong — the strictness must come from field
+    // validation, not just the checksum.
+    const auto patched = [](std::vector<std::uint8_t> f,
+                            std::size_t off, std::uint8_t value) {
+        f[off] = value;
+        // Recompute the CRC the way encodeFrame does: header bytes
+        // [0,12) chained with the payload.
+        std::uint32_t c = crc32(f.data(), 12);
+        if (f.size() > kHeaderSize)
+            c = crc32(f.data() + kHeaderSize, f.size() - kHeaderSize,
+                      c);
+        f[12] = static_cast<std::uint8_t>(c);
+        f[13] = static_cast<std::uint8_t>(c >> 8);
+        f[14] = static_cast<std::uint8_t>(c >> 16);
+        f[15] = static_cast<std::uint8_t>(c >> 24);
+        return f;
+    };
+
+    const auto good = encodeAck(1);
+    for (const auto &bad : {
+             patched(good, 4, 2),    // version 2
+             patched(good, 6, 42),   // unknown message type
+             patched(good, 7, 1),    // reserved flags set
+             patched(good, 0, 'X'),  // bad magic
+         }) {
+        Frame frame;
+        std::size_t consumed = 0;
+        std::string error;
+        EXPECT_EQ(tryDecode(bad.data(), bad.size(), frame, consumed,
+                            error),
+                  DecodeStatus::Corrupt);
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Wire, FrameReaderDecodesByteAtATime)
+{
+    const auto f1 = encodeAck(1);
+    const auto f2 = encodeText(MsgType::QueryReply, "hello");
+    std::vector<std::uint8_t> stream = f1;
+    stream.insert(stream.end(), f2.begin(), f2.end());
+
+    FrameReader reader;
+    std::vector<Frame> got;
+    for (const std::uint8_t byte : stream) {
+        reader.append(&byte, 1);
+        Frame frame;
+        std::string error;
+        const DecodeStatus st = reader.next(frame, error);
+        if (st == DecodeStatus::Ok)
+            got.push_back(std::move(frame));
+        else
+            EXPECT_EQ(st, DecodeStatus::NeedMore) << error;
+    }
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].type, MsgType::Ack);
+    EXPECT_EQ(got[1].type, MsgType::QueryReply);
+    EXPECT_EQ(payloadText(got[1].payload), "hello");
+    EXPECT_EQ(reader.pending(), 0u);
+}
+
+TEST(Wire, FrameReaderStaysDeadAfterCorruption)
+{
+    FrameReader reader;
+    const std::uint8_t garbage[] = "this is not a frame at all!";
+    reader.append(garbage, sizeof(garbage));
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(reader.next(frame, error), DecodeStatus::Corrupt);
+    EXPECT_FALSE(error.empty());
+
+    // A condemned stream never yields frames again, even if valid
+    // bytes arrive later — resynchronizing inside a binary stream
+    // would risk mis-framing.
+    const auto good = encodeAck(5);
+    reader.append(good.data(), good.size());
+    EXPECT_EQ(reader.next(frame, error), DecodeStatus::Corrupt);
+}
+
+TEST(Wire, DeltaPayloadRejectsZeroSeqAndTrailingBytes)
+{
+    Delta delta;
+    delta.producerId = 1;
+    delta.seq = 1;
+    delta.entities = sampleSnapshot();
+    const auto frame = decodeWhole(encodeDelta(delta));
+
+    auto trailing = frame.payload;
+    trailing.push_back(0);
+    Delta out;
+    std::string error;
+    EXPECT_FALSE(decodeDelta(trailing, out, error));
+
+    Delta zero_seq = delta;
+    zero_seq.seq = 0;
+    const Frame zf = decodeWhole(encodeDelta(zero_seq));
+    EXPECT_FALSE(decodeDelta(zf.payload, out, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Wire, OversizedLengthFieldIsCorrupt)
+{
+    auto f = encodeAck(1);
+    const std::uint32_t huge = kMaxPayload + 1;
+    std::memcpy(f.data() + 8, &huge, 4); // little-endian hosts only
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(tryDecode(f.data(), f.size(), frame, consumed, error),
+              DecodeStatus::Corrupt);
+}
+
+} // namespace

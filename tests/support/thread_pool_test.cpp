@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/stats_registry.hpp"
 #include "support/thread_pool.hpp"
 
 using vp::ThreadPool;
@@ -124,6 +125,41 @@ TEST(ThreadPoolParallelFor, MoreThreadsThanItems)
     std::atomic<int> ran{0};
     ThreadPool::parallelFor(16, 3, [&](std::size_t) { ++ran; });
     EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, QueueDepthIsObservableAndExportedAsGauge)
+{
+    vp::stats::global().reset();
+    vp::stats::setEnabled(true);
+    {
+        ThreadPool pool(1);
+        std::atomic<bool> release{false};
+        pool.submit([&] {
+            while (!release.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        });
+        // Wait for the single worker to pick up the blocker so the
+        // next submissions are pure backlog.
+        for (int i = 0; i < 1000 && pool.queueDepth() != 0; ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ASSERT_EQ(pool.queueDepth(), 0u);
+
+        for (int i = 0; i < 5; ++i)
+            pool.submit([] {});
+        EXPECT_EQ(pool.queueDepth(), 5u);
+
+        release = true;
+        pool.wait();
+        EXPECT_EQ(pool.queueDepth(), 0u);
+    }
+    vp::stats::setEnabled(false);
+
+    const auto gauges = vp::stats::global().gaugeValues();
+    const auto it = gauges.find("support.pool.queue_depth");
+    ASSERT_NE(it, gauges.end())
+        << "submit() must export the backlog high-water mark";
+    EXPECT_GE(it->second, 5.0);
 }
 
 } // namespace

@@ -1,29 +1,51 @@
 #!/usr/bin/env python3
-"""Validate vpprof observability output in CI.
+"""Validate vpprof/vpd observability output in CI.
 
-Usage: check_stats_json.py STATS_JSON [TRACE_JSON]
+Usage: check_stats_json.py [--profile NAME] STATS_JSON [TRACE_JSON]
 
 Checks the stats sidecar against the schema documented in DESIGN.md
 ("Observability") and, when given, the trace file against the Chrome
 trace-event shape Perfetto loads. Exits nonzero with a message on the
 first violation.
+
+Profiles select which counters the run under test must have actually
+exercised:
+  suite  (default) — the `vpprof --workload all --mode sampled` smoke
+  vpd              — the `vpd` loopback smoke (streaming aggregation)
 """
 
 import json
 import sys
 
-# Counters the `--workload all --mode sampled` smoke run must actually
-# exercise; everything else only has to be present.
-REQUIRED_NONZERO = [
-    "core.tnv.inserts",
-    "core.tnv.evictions",
-    "core.sampler.bursts",
-    "core.sampler.convergences",
-    "vpsim.insts",
-    "runner.jobs",
-]
+# Counters each smoke run must actually exercise; everything else only
+# has to be present. The "suite" profile also cross-checks the shard
+# wall-time distribution against runner.jobs.
+PROFILES = {
+    "suite": {
+        "nonzero": [
+            "core.tnv.inserts",
+            "core.tnv.evictions",
+            "core.sampler.bursts",
+            "core.sampler.convergences",
+            "vpsim.insts",
+            "runner.jobs",
+        ],
+        "dists": ["runner.queue_wait_us", "runner.shard_wall_us"],
+    },
+    "vpd": {
+        "nonzero": [
+            "serve.accepts",
+            "serve.frames_in",
+            "serve.frames_out",
+            "serve.bytes_in",
+            "serve.bytes_out",
+            "serve.deltas_merged",
+            "serve.snapshots_saved",
+        ],
+        "dists": ["serve.merge_us"],
+    },
+}
 
-REQUIRED_DISTS = ["runner.queue_wait_us", "runner.shard_wall_us"]
 DIST_FIELDS = ["count", "min", "max", "mean", "p50", "p99"]
 
 
@@ -32,7 +54,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_stats(path):
+def check_stats(path, profile):
     with open(path) as f:
         stats = json.load(f)
 
@@ -46,7 +68,7 @@ def check_stats(path):
     for name, value in counters.items():
         if not isinstance(value, int) or value < 0:
             fail(f"{path}: counter {name} is not a non-negative int")
-    for name in REQUIRED_NONZERO:
+    for name in PROFILES[profile]["nonzero"]:
         if name not in counters:
             fail(f"{path}: counter {name} missing")
         if counters[name] == 0:
@@ -54,20 +76,36 @@ def check_stats(path):
                  "did not exercise it")
 
     dists = stats["distributions"]
-    for name in REQUIRED_DISTS:
+    for name in PROFILES[profile]["dists"]:
         if name not in dists:
             fail(f"{path}: distribution {name} missing")
         for field in DIST_FIELDS:
             if field not in dists[name]:
                 fail(f"{path}: distribution {name} lacks '{field}'")
-    jobs = counters["runner.jobs"]
-    if dists["runner.shard_wall_us"]["count"] != jobs:
-        fail(f"{path}: shard_wall_us count "
-             f"{dists['runner.shard_wall_us']['count']} != "
-             f"runner.jobs {jobs}")
-    print(f"check_stats_json: {path} OK "
-          f"({sum(1 for v in counters.values() if v)} nonzero counters, "
-          f"{jobs} jobs)")
+
+    if profile == "suite":
+        jobs = counters["runner.jobs"]
+        if dists["runner.shard_wall_us"]["count"] != jobs:
+            fail(f"{path}: shard_wall_us count "
+                 f"{dists['runner.shard_wall_us']['count']} != "
+                 f"runner.jobs {jobs}")
+    if profile == "vpd":
+        # The daemon counts one merge per accepted delta; every merged
+        # delta arrived as an inbound frame.
+        merged = counters["serve.deltas_merged"]
+        if dists["serve.merge_us"]["count"] != merged:
+            fail(f"{path}: merge_us count "
+                 f"{dists['serve.merge_us']['count']} != "
+                 f"serve.deltas_merged {merged}")
+        if counters["serve.frames_in"] < merged:
+            fail(f"{path}: serve.frames_in {counters['serve.frames_in']} "
+                 f"< serve.deltas_merged {merged}")
+        if counters["serve.decode_errors"] != 0:
+            fail(f"{path}: serve.decode_errors is "
+                 f"{counters['serve.decode_errors']} — the loopback "
+                 "smoke sent no corrupt frames")
+    print(f"check_stats_json: {path} OK [{profile}] "
+          f"({sum(1 for v in counters.values() if v)} nonzero counters)")
 
 
 def check_trace(path, expect_workers=None):
@@ -100,13 +138,21 @@ def check_trace(path, expect_workers=None):
 
 
 def main(argv):
-    if len(argv) < 2 or len(argv) > 4:
+    args = argv[1:]
+    profile = "suite"
+    if args and args[0] == "--profile":
+        if len(args) < 2 or args[1] not in PROFILES:
+            print(__doc__, file=sys.stderr)
+            return 2
+        profile = args[1]
+        args = args[2:]
+    if len(args) < 1 or len(args) > 3:
         print(__doc__, file=sys.stderr)
         return 2
-    check_stats(argv[1])
-    if len(argv) >= 3:
-        workers = int(argv[3]) if len(argv) == 4 else None
-        check_trace(argv[2], workers)
+    check_stats(args[0], profile)
+    if len(args) >= 2:
+        workers = int(args[2]) if len(args) == 3 else None
+        check_trace(args[1], workers)
     return 0
 
 

@@ -16,7 +16,10 @@
 # tools/check_stats_json.py. The ASan and TSan builds additionally run
 # a fixed-seed vpcheck differential smoke, so the random-program
 # checkers execute under the sanitizers most likely to catch engine
-# memory and threading bugs.
+# memory and threading bugs, plus a vpd loopback smoke: vpprof --emit
+# streams a profile through a live vpd daemon over a unix socket and
+# the served snapshot must be byte-identical to a local --save (the
+# aggregation service's determinism contract under sanitizers).
 #
 # Each configuration builds into build-ci-<name>/ so sanitized builds
 # never pollute the main build/ tree.
@@ -52,6 +55,39 @@ vpcheck_smoke() {
     "$dir/tools/vpcheck" --trials 20 --seed 1 --out "$dir"
 }
 
+# Stream a profile through a live vpd daemon on a unix socket (no port
+# clashes between CI legs) and require the served aggregate to be
+# byte-identical to a local save; the daemon's stats JSON must show
+# the serve counters moving, and nothing may have hit the spill path.
+vpd_loopback_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] vpd loopback smoke ==="
+    local sock="$dir/vpd-smoke.sock"
+    rm -f "$sock" "$dir"/vpd-{agg,served,local}.vprof \
+        "$dir/vpd-stats.json" "$dir/vpd-smoke.spill"
+    "$dir/tools/vpd" --listen "unix:$sock" \
+        --snapshot-out "$dir/vpd-agg.vprof" \
+        --stats-out "$dir/vpd-stats.json" > /dev/null &
+    local vpd_pid=$!
+    for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.1; done
+    "$dir/tools/vpprof" --workload crc --emit "unix:$sock" \
+        --emit-spill "$dir/vpd-smoke.spill" > /dev/null
+    "$dir/tools/vpprof" --workload crc \
+        --save "$dir/vpd-local.vprof" > /dev/null
+    "$dir/tools/vpd" --connect "unix:$sock" --cmd snapshot \
+        --out "$dir/vpd-served.vprof"
+    "$dir/tools/vpd" --connect "unix:$sock" --cmd shutdown
+    wait "$vpd_pid"
+    cmp "$dir/vpd-served.vprof" "$dir/vpd-local.vprof"
+    cmp "$dir/vpd-agg.vprof" "$dir/vpd-local.vprof"
+    python3 tools/check_stats_json.py --profile vpd \
+        "$dir/vpd-stats.json"
+    if [ -e "$dir/vpd-smoke.spill" ]; then
+        echo "vpd loopback smoke: unexpected spill file" >&2
+        return 1
+    fi
+}
+
 run_config() {
     local san="$1"
     local dir="build-ci-${san}"
@@ -66,10 +102,11 @@ run_config() {
     cmake --build "$dir" -j "$JOBS"
     echo "=== [${san}] test ==="
     if [ "$san" = "thread" ]; then
-        # TSan leg: the concurrency-sensitive suites — the new
-        # stats/trace/logging tests plus the pool and the runner.
+        # TSan leg: the concurrency-sensitive suites — the
+        # stats/trace/logging tests, the pool, the runner, and the
+        # streaming service (daemon loop + emitter threads).
         ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
-            -R 'Stats|Trace|Logging|ThreadPool|ParallelRunner'
+            -R 'Stats|Trace|Logging|ThreadPool|ParallelRunner|Serve|Wire'
     else
         ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
     fi
@@ -78,6 +115,7 @@ run_config() {
     fi
     if [ "$san" = "address" ] || [ "$san" = "thread" ]; then
         vpcheck_smoke "$dir"
+        vpd_loopback_smoke "$dir"
     fi
 }
 

@@ -4,7 +4,7 @@
  *
  * Generates seeded random VPSim programs and runs each through the
  * differential checkers (full-vs-oracle, shard merge, sampled-vs-full,
- * snapshot round-trip; see src/check/checkers.hpp). On a divergence it
+ * snapshot round-trip, serve loopback; see src/check/checkers.hpp). On a divergence it
  * greedily shrinks the program to a minimal still-failing reproducer
  * and writes a replay bundle — an assembly file whose comment header
  * records the checker, the seed, and the exact commands that replay
@@ -18,7 +18,8 @@
  *   --trials N       seeded trials to run (default 100)
  *   --seed S         base seed; trial i uses base seed S+i, so any
  *                    trial replays as --trials 1 --seed S+i (default 1)
- *   --checker NAME   all|oracle|merge|sampled|snapshot (default all)
+ *   --checker NAME   all|oracle|merge|sampled|snapshot|serve
+ *                    (default all)
  *   --out DIR        where replay bundles are written (default ".")
  *   --shards K       shards for the merge checker (default 3)
  *   --jobs N         worker threads for the parallel-merge leg
@@ -76,7 +77,7 @@ usage()
         "usage: vpcheck [--trials N] [--seed S] [--checker NAME]\n"
         "               [--out DIR] [--shards K] [--jobs N] [--canary]\n"
         "       vpcheck --replay FILE.vps [--checker NAME]\n"
-        "checkers: all, oracle, merge, sampled, snapshot\n";
+        "checkers: all, oracle, merge, sampled, snapshot, serve\n";
     std::exit(2);
 }
 

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * vpd — the profile-aggregation daemon and its control client.
+ *
+ * Daemon mode:
+ *   vpd --listen ADDR [--listen ADDR ...] [--snapshot-out FILE]
+ *       [--snapshot-interval SEC] [--max-clients N]
+ *       [--stats[=text|json]] [--stats-out FILE]
+ *
+ *   Runs the VpdServer event loop on the calling thread until a
+ *   SHUTDOWN frame arrives or SIGINT/SIGTERM is delivered. ADDR is
+ *   "host:port" (port 0 = ephemeral; the bound address is printed) or
+ *   "unix:PATH". The aggregate is persisted atomically to
+ *   --snapshot-out on FLUSH, on shutdown, and every
+ *   --snapshot-interval seconds while dirty.
+ *
+ * Control mode:
+ *   vpd --connect ADDR --cmd query|snapshot|flush|shutdown
+ *       [--out FILE]
+ *
+ *   query     print the daemon's status line
+ *   snapshot  fetch the aggregate (to --out, default stdout)
+ *   flush     ask the daemon to persist now
+ *   shutdown  ask the daemon to persist and exit
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/logging.hpp"
+#include "support/stats_registry.hpp"
+
+namespace
+{
+
+vp::serve::VpdServer *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop(); // async-signal-safe: one pipe write
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: vpd --listen ADDR [--listen ADDR ...]\n"
+        "           [--snapshot-out FILE] [--snapshot-interval SEC]\n"
+        "           [--max-clients N] [--stats[=text|json]]\n"
+        "           [--stats-out FILE]\n"
+        "       vpd --connect ADDR --cmd query|snapshot|flush|shutdown\n"
+        "           [--out FILE]\n"
+        "ADDR is host:port (port 0 = ephemeral) or unix:PATH\n";
+    std::exit(2);
+}
+
+struct Options
+{
+    std::vector<std::string> listen;
+    std::string snapshotOut;
+    double snapshotInterval = 0.0;
+    std::size_t maxClients = 64;
+    std::string connect;
+    std::string cmd;
+    std::string out;
+    std::string statsFormat; ///< "" = none, else "text" or "json"
+    std::string statsOut;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--listen")
+            opt.listen.push_back(need(i));
+        else if (arg == "--snapshot-out")
+            opt.snapshotOut = need(i);
+        else if (arg == "--snapshot-interval")
+            opt.snapshotInterval = std::atof(need(i));
+        else if (arg == "--max-clients") {
+            const long v = std::atol(need(i));
+            if (v <= 0)
+                vp_fatal("--max-clients must be positive");
+            opt.maxClients = static_cast<std::size_t>(v);
+        } else if (arg == "--connect")
+            opt.connect = need(i);
+        else if (arg == "--cmd")
+            opt.cmd = need(i);
+        else if (arg == "--out")
+            opt.out = need(i);
+        else if (arg == "--stats")
+            opt.statsFormat = "text";
+        else if (arg.rfind("--stats=", 0) == 0) {
+            opt.statsFormat = arg.substr(8);
+            if (opt.statsFormat != "text" && opt.statsFormat != "json")
+                usage();
+        } else if (arg == "--stats-out")
+            opt.statsOut = need(i);
+        else
+            usage();
+    }
+    if (opt.listen.empty() == opt.connect.empty())
+        usage(); // exactly one mode
+    if (!opt.connect.empty() && opt.cmd.empty())
+        usage();
+    return opt;
+}
+
+int
+runDaemon(const Options &opt)
+{
+    if (!opt.statsFormat.empty() || !opt.statsOut.empty())
+        vp::stats::setEnabled(true);
+
+    vp::serve::ServerConfig cfg;
+    cfg.listenAddrs = opt.listen;
+    cfg.snapshotPath = opt.snapshotOut;
+    cfg.snapshotIntervalSec = opt.snapshotInterval;
+    cfg.maxClients = opt.maxClients;
+
+    vp::serve::VpdServer server(cfg);
+    std::string error;
+    if (!server.start(error))
+        vp_fatal("%s", error.c_str());
+    for (const auto &addr : server.boundAddresses())
+        std::cout << "vpd: listening on " << addr.str() << std::endl;
+
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    const bool ok = server.run(error);
+    g_server = nullptr;
+    if (!ok)
+        vp_fatal("%s", error.c_str());
+    std::cout << "vpd: exiting (" << server.producerCount()
+              << " producer(s) aggregated)" << std::endl;
+
+    if (!opt.statsOut.empty()) {
+        std::ofstream out(opt.statsOut);
+        if (!out)
+            vp_fatal("cannot write '%s'", opt.statsOut.c_str());
+        vp::stats::global().writeJson(out);
+    }
+    if (opt.statsFormat == "json")
+        vp::stats::global().writeJson(std::cout);
+    else if (opt.statsFormat == "text")
+        vp::stats::global().writeText(std::cout);
+    return 0;
+}
+
+int
+runControl(const Options &opt)
+{
+    std::string error;
+    if (opt.cmd == "query") {
+        std::string text;
+        if (!vp::serve::requestQuery(opt.connect, text, error))
+            vp_fatal("query failed: %s", error.c_str());
+        std::cout << text << "\n";
+        return 0;
+    }
+    if (opt.cmd == "snapshot") {
+        core::ProfileSnapshot snap;
+        if (!vp::serve::requestSnapshot(opt.connect, snap, error))
+            vp_fatal("snapshot failed: %s", error.c_str());
+        if (opt.out.empty()) {
+            snap.save(std::cout);
+        } else if (!snap.saveToFile(opt.out, error)) {
+            vp_fatal("%s", error.c_str());
+        }
+        return 0;
+    }
+    if (opt.cmd == "flush") {
+        if (!vp::serve::requestFlush(opt.connect, error))
+            vp_fatal("flush failed: %s", error.c_str());
+        return 0;
+    }
+    if (opt.cmd == "shutdown") {
+        if (!vp::serve::requestShutdown(opt.connect, error))
+            vp_fatal("shutdown failed: %s", error.c_str());
+        return 0;
+    }
+    usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    return opt.listen.empty() ? runControl(opt) : runDaemon(opt);
+}

@@ -31,6 +31,15 @@
  *   --stats-out FILE             write runtime stats as JSON to FILE
  *   --trace-out FILE             write a Chrome trace-event timeline
  *                                (load in Perfetto / chrome://tracing)
+ *   --emit ADDR                  stream the profile snapshot to a vpd
+ *                                aggregation daemon ("host:port" or
+ *                                "unix:PATH") instead of/besides
+ *                                printing; unreachable daemons spill
+ *                                to --emit-spill, never lose the run
+ *   --emit-id N                  producer id for --emit (default 1);
+ *                                concurrent emitters need distinct ids
+ *   --emit-spill FILE            local fallback for unacknowledged
+ *                                deltas (default vpprof.spill)
  *
  * `--workload all` profiles every bundled workload, one independent
  * shard per (workload, dataset) job, fanned out over `--jobs` worker
@@ -51,7 +60,9 @@
 #include "core/register_profiler.hpp"
 #include "core/report.hpp"
 #include "core/snapshot.hpp"
+#include "serve/client.hpp"
 #include "support/logging.hpp"
+#include "support/strings.hpp"
 #include "support/stats_registry.hpp"
 #include "support/trace.hpp"
 #include "vpsim/assembler.hpp"
@@ -85,6 +96,9 @@ struct Options
     std::string statsFormat;
     std::string statsOut;
     std::string traceOut;
+    std::string emitAddr;
+    std::uint64_t emitId = 1;
+    std::string emitSpill = "vpprof.spill";
 
     bool
     wantStats() const
@@ -105,7 +119,8 @@ usage()
         "         --target writes|loads, --jobs N|auto, --mem,\n"
         "         --params, --strides, --regs, --top N, --min-inv F,\n"
         "         --save FILE, --disasm, --stats[=text|json],\n"
-        "         --stats-out FILE, --trace-out FILE\n";
+        "         --stats-out FILE, --trace-out FILE,\n"
+        "         --emit ADDR, --emit-id N, --emit-spill FILE\n";
     std::exit(2);
 }
 
@@ -189,6 +204,15 @@ parse(int argc, char **argv)
             opt.statsOut = need(i);
         else if (arg == "--trace-out")
             opt.traceOut = need(i);
+        else if (arg == "--emit")
+            opt.emitAddr = need(i);
+        else if (arg == "--emit-id") {
+            const long long v = std::atoll(need(i));
+            if (v <= 0)
+                vp_fatal("--emit-id must be a positive integer");
+            opt.emitId = static_cast<std::uint64_t>(v);
+        } else if (arg == "--emit-spill")
+            opt.emitSpill = need(i);
         else
             usage();
     }
@@ -233,6 +257,52 @@ profilerConfig(const Options &opt)
     icfg.randomRate = opt.rate;
     icfg.profile.trackStrides = opt.strides;
     return icfg;
+}
+
+/**
+ * Stream snapshots to the vpd daemon named by --emit, one delta per
+ * snapshot. Spills locally (EmitterConfig::spillPath) when the daemon
+ * is unreachable, so a dead daemon never loses the run's profile.
+ */
+void
+emitSnapshots(const Options &opt,
+              std::vector<core::ProfileSnapshot> deltas)
+{
+    vp::serve::EmitterConfig ecfg;
+    ecfg.addr = opt.emitAddr;
+    ecfg.producerId = opt.emitId;
+    ecfg.spillPath = opt.emitSpill;
+    vp::serve::ProfileEmitter emitter(ecfg);
+    for (auto &delta : deltas)
+        if (!delta.entities.empty())
+            emitter.emit(std::move(delta));
+    if (emitter.close()) {
+        std::cout << "\nprofile streamed to " << opt.emitAddr << " ("
+                  << emitter.ackedDeltas() << " delta(s) acked, "
+                  << "producer id " << opt.emitId << ")\n";
+    } else {
+        std::cout << "\nvpd at " << opt.emitAddr << " unreachable; "
+                  << emitter.spilledDeltas()
+                  << " delta(s) spilled to " << opt.emitSpill << "\n";
+    }
+}
+
+/**
+ * Entity key for suite-wide emission: the low 32 bits keep the pc,
+ * the high 32 take an FNV-1a hash of "workload:dataset" so different
+ * programs' pcs never collide in the daemon's aggregate.
+ */
+std::uint64_t
+suiteEntityKey(const std::string &workload, const std::string &dataset,
+               std::uint64_t pc)
+{
+    const std::string tag = workload + ":" + dataset;
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : tag) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return (h << 32) | (pc & 0xFFFFFFFFull);
 }
 
 /**
@@ -285,6 +355,22 @@ runSuite(const Options &opt)
     }
     suite.print(std::cout,
                 "suite summary (execution-weighted per workload)");
+
+    if (!opt.emitAddr.empty()) {
+        // One delta per (workload, dataset) job, keys namespaced so
+        // the daemon aggregate holds the whole suite at once.
+        std::vector<core::ProfileSnapshot> deltas;
+        for (const auto &res : results) {
+            core::ProfileSnapshot keyed;
+            for (const auto &[pc, summary] : res.snapshot.entities)
+                keyed.entities.emplace(
+                    suiteEntityKey(res.workload->name(), res.dataset,
+                                   pc),
+                    summary);
+            deltas.push_back(std::move(keyed));
+        }
+        emitSnapshots(opt, std::move(deltas));
+    }
     return 0;
 }
 
@@ -491,6 +577,12 @@ main(int argc, char **argv)
             vp_fatal("cannot write '%s'", opt.saveFile.c_str());
         core::ProfileSnapshot::fromInstructionProfiler(iprof).save(out);
         std::cout << "\nsnapshot written to " << opt.saveFile << "\n";
+    }
+    if (!opt.emitAddr.empty()) {
+        std::vector<core::ProfileSnapshot> deltas;
+        deltas.push_back(
+            core::ProfileSnapshot::fromInstructionProfiler(iprof));
+        emitSnapshots(opt, std::move(deltas));
     }
     emitObservability(opt);
     return 0;
