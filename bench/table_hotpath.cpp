@@ -1,0 +1,224 @@
+/**
+ * @file
+ * E18 — profiled-execution throughput (the repo's perf trajectory).
+ *
+ * Measures end-to-end profiled instructions/sec over the whole E1
+ * suite four ways:
+ *
+ *   native    — no listener attached (raw interpreter speed);
+ *   attached  — manager attached, nothing routed (boundary cost);
+ *   full      — full value profiling of every register write;
+ *   sampled   — convergent sampling of every register write.
+ *
+ * Unlike the experiment tables this bench exists to be *tracked*: it
+ * writes BENCH_hotpath.json (see tools/bench_compare.py), the repo's
+ * throughput trajectory toward the ROADMAP's 100 M-instruction goal.
+ * Each cell is the best of --reps timed runs, so the number reported
+ * is the machine's capability, not scheduler noise.
+ *
+ * Usage: table_hotpath [--out FILE] [--reps N] [--smoke]
+ *   --out FILE  where the JSON lands (default BENCH_hotpath.json)
+ *   --reps N    timed repetitions per cell (default 3, best kept)
+ *   --smoke     1 rep, three workloads — the sanitizer-leg CI smoke
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+#include <iostream>
+
+namespace
+{
+
+using clock_type = std::chrono::steady_clock;
+
+double
+secondsSince(clock_type::time_point t0)
+{
+    return std::chrono::duration<double>(clock_type::now() - t0)
+        .count();
+}
+
+enum class Mode
+{
+    Native,
+    Attached,
+    Full,
+    Sampled,
+};
+
+/** One timed profiled run; returns instructions/sec. */
+double
+timedRun(const workloads::Workload &w, Mode mode, unsigned reps,
+         std::uint64_t &insts_out)
+{
+    const vpsim::Program &prog = w.program();
+    double best = 0.0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        instr::Image img(prog);
+        instr::InstrumentManager mgr(img);
+        vpsim::Cpu cpu(prog, bench::cpuConfig());
+        core::InstProfilerConfig cfg;
+        cfg.mode = mode == Mode::Sampled ? core::ProfileMode::Sampled
+                                         : core::ProfileMode::Full;
+        core::InstructionProfiler prof(img, cfg);
+        if (mode == Mode::Full || mode == Mode::Sampled)
+            prof.profileAllWrites(mgr);
+        if (mode != Mode::Native)
+            mgr.attach(cpu);
+
+        const auto t0 = clock_type::now();
+        const auto res = workloads::runToCompletion(cpu, w, "train");
+        const double secs = secondsSince(t0);
+
+        insts_out = res.dynamicInsts;
+        if (secs > 0.0) {
+            const double ips =
+                static_cast<double>(res.dynamicInsts) / secs;
+            if (ips > best)
+                best = ips;
+        }
+    }
+    return best;
+}
+
+struct Row
+{
+    std::string name;
+    std::uint64_t insts = 0;
+    double nativeIps = 0.0;
+    double attachedIps = 0.0;
+    double fullIps = 0.0;
+    double sampledIps = 0.0;
+};
+
+double
+geomean(const std::vector<Row> &rows, double Row::*field)
+{
+    if (rows.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const auto &r : rows)
+        log_sum += std::log(r.*field);
+    return std::exp(log_sum / static_cast<double>(rows.size()));
+}
+
+void
+writeJson(const std::string &path, const std::vector<Row> &rows,
+          unsigned reps, bool smoke)
+{
+    std::ofstream out(path);
+    if (!out)
+        vp_fatal("cannot write '%s'", path.c_str());
+    char buf[256];
+    out << "{\n"
+        << "  \"bench\": \"table_hotpath\",\n"
+        << "  \"version\": 1,\n"
+        << "  \"unit\": \"instructions_per_second\",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"name\": \"%s\", \"insts\": %" PRIu64
+                      ", \"native_ips\": %.0f, \"attached_ips\": %.0f"
+                      ", \"full_ips\": %.0f, \"sampled_ips\": %.0f}%s\n",
+                      r.name.c_str(), r.insts, r.nativeIps,
+                      r.attachedIps, r.fullIps, r.sampledIps,
+                      i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  ],\n"
+                  "  \"suite\": {\"geomean_native_ips\": %.0f, "
+                  "\"geomean_attached_ips\": %.0f, "
+                  "\"geomean_full_ips\": %.0f, "
+                  "\"geomean_sampled_ips\": %.0f}\n"
+                  "}\n",
+                  geomean(rows, &Row::nativeIps),
+                  geomean(rows, &Row::attachedIps),
+                  geomean(rows, &Row::fullIps),
+                  geomean(rows, &Row::sampledIps));
+    out << buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_hotpath.json";
+    unsigned reps = 3;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (a == "--reps" && i + 1 < argc) {
+            reps = static_cast<unsigned>(std::atoi(argv[++i]));
+            if (reps == 0)
+                vp_fatal("--reps wants a positive integer");
+        } else if (a == "--smoke") {
+            smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: table_hotpath [--out FILE] "
+                         "[--reps N] [--smoke]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        reps = 1;
+
+    bench::StatsSession stats_session("table_hotpath");
+    std::printf("E18: profiled-execution throughput "
+                "(instructions/sec, best of %u)\n", reps);
+
+    std::vector<Row> rows;
+    for (const auto *w : workloads::allWorkloads()) {
+        if (smoke && rows.size() >= 3)
+            break;
+        Row r;
+        r.name = w->name();
+        r.nativeIps = timedRun(*w, Mode::Native, reps, r.insts);
+        r.attachedIps = timedRun(*w, Mode::Attached, reps, r.insts);
+        r.fullIps = timedRun(*w, Mode::Full, reps, r.insts);
+        r.sampledIps = timedRun(*w, Mode::Sampled, reps, r.insts);
+        rows.push_back(std::move(r));
+    }
+
+    vp::TextTable table({"program", "dyn insts", "native M/s",
+                         "attached M/s", "full M/s", "sampled M/s"});
+    for (const auto &r : rows) {
+        table.row()
+            .cell(r.name)
+            .cell(static_cast<std::uint64_t>(r.insts))
+            .cell(r.nativeIps / 1e6, 1)
+            .cell(r.attachedIps / 1e6, 1)
+            .cell(r.fullIps / 1e6, 1)
+            .cell(r.sampledIps / 1e6, 1);
+    }
+    table.row()
+        .cell("geomean")
+        .cell("")
+        .cell(geomean(rows, &Row::nativeIps) / 1e6, 1)
+        .cell(geomean(rows, &Row::attachedIps) / 1e6, 1)
+        .cell(geomean(rows, &Row::fullIps) / 1e6, 1)
+        .cell(geomean(rows, &Row::sampledIps) / 1e6, 1);
+    table.print(std::cout);
+
+    writeJson(out_path, rows, reps, smoke);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -21,7 +21,7 @@ InstructionProfiler::ensureRecord(std::uint32_t pc)
     std::int32_t slot = slotOf[pc];
     if (slot < 0) {
         slot = static_cast<std::int32_t>(slots.size());
-        slots.emplace_back(pc, cfg.profile, cfg.sampler);
+        slots.emplaceBack(pc, cfg.profile, cfg.sampler);
         slotOf[pc] = slot;
     }
     return slots[static_cast<std::size_t>(slot)];
@@ -75,6 +75,65 @@ InstructionProfiler::onInstValue(std::uint32_t pc,
             rec.profile.record(value);
             if (rec.sampler.burstJustEnded())
                 rec.sampler.noteBurstEnd(rec.profile.invTop());
+        }
+        break;
+    }
+}
+
+void
+InstructionProfiler::onEventBlock(const vpsim::ExecEvent *events,
+                                  std::size_t n,
+                                  const std::uint64_t *arg_regs)
+{
+    (void)arg_regs;
+    // The mode switch is hoisted out of the event loop; each loop
+    // touches only InstWrote events at instrumented pcs (slot >= 0),
+    // which is precisely the event set the routed path delivers.
+    const std::int32_t *const slot_of = slotOf.data();
+
+    switch (cfg.mode) {
+      case ProfileMode::Full:
+        for (std::size_t i = 0; i < n; ++i) {
+            const vpsim::ExecEvent &e = events[i];
+            if (e.kind != vpsim::ExecEvent::Kind::InstWrote)
+                continue;
+            const std::int32_t slot = slot_of[e.pc];
+            if (slot < 0)
+                continue;
+            Record &rec = slots[static_cast<std::size_t>(slot)];
+            ++rec.totalExecutions;
+            rec.profile.record(e.value);
+        }
+        break;
+      case ProfileMode::Random:
+        for (std::size_t i = 0; i < n; ++i) {
+            const vpsim::ExecEvent &e = events[i];
+            if (e.kind != vpsim::ExecEvent::Kind::InstWrote)
+                continue;
+            const std::int32_t slot = slot_of[e.pc];
+            if (slot < 0)
+                continue;
+            Record &rec = slots[static_cast<std::size_t>(slot)];
+            ++rec.totalExecutions;
+            if (randomDraw.chance(cfg.randomRate))
+                rec.profile.record(e.value);
+        }
+        break;
+      case ProfileMode::Sampled:
+        for (std::size_t i = 0; i < n; ++i) {
+            const vpsim::ExecEvent &e = events[i];
+            if (e.kind != vpsim::ExecEvent::Kind::InstWrote)
+                continue;
+            const std::int32_t slot = slot_of[e.pc];
+            if (slot < 0)
+                continue;
+            Record &rec = slots[static_cast<std::size_t>(slot)];
+            ++rec.totalExecutions;
+            if (rec.sampler.step()) {
+                rec.profile.record(e.value);
+                if (rec.sampler.burstJustEnded())
+                    rec.sampler.noteBurstEnd(rec.profile.invTop());
+            }
         }
         break;
     }

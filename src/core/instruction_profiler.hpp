@@ -18,6 +18,7 @@
 #include "core/sampler.hpp"
 #include "core/value_profile.hpp"
 #include "instrument/manager.hpp"
+#include "support/arena.hpp"
 #include "support/rng.hpp"
 
 namespace core
@@ -70,13 +71,24 @@ class InstructionProfiler : public instr::Tool
     void onInstValue(std::uint32_t pc, const vpsim::Inst &inst,
                      std::uint64_t value) override;
 
+    /**
+     * Whole-batch fast path (see instr::Tool::onEventBlock): the
+     * profiler self-filters by its own pc→slot map — the exact set of
+     * pcs it registered — so the observable profile is identical to
+     * the routed per-event path; sampling draws and sampler steps
+     * happen in the same retirement order either way.
+     */
+    bool wantsEventBlocks() const override { return true; }
+    void onEventBlock(const vpsim::ExecEvent *events, std::size_t n,
+                      const std::uint64_t *arg_regs) override;
+
     // Results ----------------------------------------------------------
 
     /** Record for a pc, or nullptr if it was never instrumented. */
     const Record *recordFor(std::uint32_t pc) const;
 
-    /** All records, in pc order. */
-    const std::vector<Record> &records() const { return slots; }
+    /** All records, in instrumentation order. */
+    const vp::SlabArena<Record> &records() const { return slots; }
 
     /** Sum of total executions over all profiled instructions. */
     std::uint64_t totalExecutions() const;
@@ -105,7 +117,9 @@ class InstructionProfiler : public instr::Tool
     const instr::Image &img;
     InstProfilerConfig cfg;
     std::vector<std::int32_t> slotOf;  ///< pc -> slot index or -1
-    std::vector<Record> slots;
+    /** Records never move once created (arena-backed), so pointers
+     *  from recordFor() stay valid while the profiler lives. */
+    vp::SlabArena<Record> slots;
     vp::Rng randomDraw;  ///< Random-mode sampling source
 };
 

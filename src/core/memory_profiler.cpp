@@ -29,18 +29,18 @@ MemoryProfiler::instrument(instr::InstrumentManager &mgr)
 MemoryProfiler::Location *
 MemoryProfiler::ensureLocation(std::uint64_t bucket_addr)
 {
-    auto it = locations.find(bucket_addr);
-    if (it != locations.end())
-        return &it->second;
-    if (cfg.maxLocations && locations.size() >= cfg.maxLocations) {
+    const std::uint32_t slot = index.lookup(bucket_addr);
+    if (slot != vp::FlatIndexMap64::kNoIndex)
+        return &locs[slot];
+    if (cfg.maxLocations && locs.size() >= cfg.maxLocations) {
         sawOverflow = true;
         return nullptr;
     }
-    it = locations
-             .emplace(bucket_addr, Location(cfg.profile, cfg.sampler))
-             .first;
-    it->second.address = bucket_addr;
-    return &it->second;
+    Location &loc = locs.emplaceBack(cfg.profile, cfg.sampler);
+    loc.address = bucket_addr;
+    index.insert(bucket_addr,
+                 static_cast<std::uint32_t>(locs.size() - 1));
+    return &loc;
 }
 
 void
@@ -53,8 +53,10 @@ MemoryProfiler::onStoreValue(std::uint32_t pc, std::uint64_t addr,
         return;
     ++storeCount;
     Location *loc = ensureLocation(bucket(addr));
-    if (!loc)
+    if (!loc) {
+        ++droppedStoreCount;
         return;
+    }
     ++loc->totalWrites;
     switch (cfg.mode) {
       case ProfileMode::Full:
@@ -83,23 +85,64 @@ MemoryProfiler::onLoadValue(std::uint32_t pc, std::uint64_t addr,
     if (!cfg.profileLoads || !inWindow(addr))
         return;
     ++loadCount;
-    if (Location *loc = ensureLocation(bucket(addr)))
+    Location *loc = ensureLocation(bucket(addr));
+    if (!loc) {
+        ++droppedLoadCount;
+        return;
+    }
+    // Loads obey cfg.mode exactly like stores, with an independent
+    // convergent sampler per location (read and write streams converge
+    // at different rates). Random mode shares the draw sequence with
+    // stores: the draws interleave in retirement order, which keeps
+    // the whole profile a deterministic function of the execution.
+    ++loc->totalReads;
+    switch (cfg.mode) {
+      case ProfileMode::Full:
         loc->reads.record(value);
+        break;
+      case ProfileMode::Random:
+        if (randomDraw.chance(cfg.randomRate))
+            loc->reads.record(value);
+        break;
+      case ProfileMode::Sampled:
+        if (loc->readSampler.step()) {
+            loc->reads.record(value);
+            if (loc->readSampler.burstJustEnded())
+                loc->readSampler.noteBurstEnd(loc->reads.invTop());
+        }
+        break;
+    }
+}
+
+void
+MemoryProfiler::onEventBlock(const vpsim::ExecEvent *events,
+                             std::size_t n,
+                             const std::uint64_t *arg_regs)
+{
+    (void)arg_regs;
+    for (std::size_t i = 0; i < n; ++i) {
+        const vpsim::ExecEvent &e = events[i];
+        if (e.kind == vpsim::ExecEvent::Kind::Store)
+            onStoreValue(e.pc, e.addr, e.size, e.value);
+        else if (e.kind == vpsim::ExecEvent::Kind::Load)
+            onLoadValue(e.pc, e.addr, e.size, e.value);
+    }
 }
 
 const MemoryProfiler::Location *
 MemoryProfiler::locationFor(std::uint64_t addr) const
 {
-    auto it = locations.find(bucket(addr));
-    return it == locations.end() ? nullptr : &it->second;
+    const std::uint32_t slot = index.lookup(bucket(addr));
+    return slot == vp::FlatIndexMap64::kNoIndex ? nullptr
+                                                : &locs[slot];
 }
 
 std::vector<const MemoryProfiler::Location *>
 MemoryProfiler::topLocationsByWrites(std::size_t n) const
 {
     std::vector<const Location *> all;
-    all.reserve(locations.size());
-    for (const auto &[addr, loc] : locations)
+    all.reserve(locs.size());
+    for (const auto &loc : locs)
         all.push_back(&loc);
     std::sort(all.begin(), all.end(),
               [](const Location *a, const Location *b) {
@@ -116,11 +159,12 @@ double
 MemoryProfiler::fractionProfiled() const
 {
     std::uint64_t recorded = 0;
-    for (const auto &[addr, loc] : locations)
+    for (const auto &loc : locs)
         recorded += loc.writes.executions();
-    return storeCount ? static_cast<double>(recorded) /
-                            static_cast<double>(storeCount)
-                      : 1.0;
+    const std::uint64_t profileable = storeCount - droppedStoreCount;
+    return profileable ? static_cast<double>(recorded) /
+                             static_cast<double>(profileable)
+                       : 1.0;
 }
 
 double
@@ -128,7 +172,7 @@ MemoryProfiler::weightedWriteMetric(
     double (ValueProfile::*metric)() const) const
 {
     double num = 0.0, den = 0.0;
-    for (const auto &[addr, loc] : locations) {
+    for (const auto &loc : locs) {
         // Weight by true write counts so sampled profiles keep the
         // same weighting as full ones.
         const auto w = static_cast<double>(loc.totalWrites);

@@ -7,23 +7,31 @@
  * every store to an address updates that location's TNV table, so a
  * location's invariance says how stable its contents are — the signal
  * used for data specialization and speculative load reordering [29].
- * Load values can optionally be profiled per location as well.
+ * Load values can optionally be profiled per location as well, under
+ * the same profiling mode as writes.
  *
  * Addresses are bucketed at a configurable granularity (default 8
  * bytes, the natural word size) and can be restricted to an address
  * window (e.g. the data segment only, excluding the stack).
+ *
+ * Storage: location records live in a SlabArena (stable addresses,
+ * insertion-order iteration) addressed through a flat open-addressing
+ * index — the hot lookup is one hash probe into a contiguous table
+ * instead of the old unordered_map's node chase, and record creation
+ * is a pointer bump instead of a heap allocation.
  */
 
 #ifndef VP_CORE_MEMORY_PROFILER_HPP
 #define VP_CORE_MEMORY_PROFILER_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/sampler.hpp"
 #include "core/value_profile.hpp"
 #include "instrument/manager.hpp"
+#include "support/arena.hpp"
+#include "support/flat_map.hpp"
 #include "support/rng.hpp"
 
 namespace core
@@ -34,9 +42,11 @@ struct MemProfilerConfig
 {
     ProfileConfig profile;
     /**
-     * Full, convergent-sampled, or random-sampled recording of
-     * *writes* (loads, when enabled, are always fully recorded — they
-     * are off by default and usually windowed).
+     * Full, convergent-sampled, or random-sampled recording. The mode
+     * governs stores and (when enabled) loads alike; each location
+     * runs separate samplers for its write and read streams, while
+     * Random mode draws from one shared deterministic sequence in
+     * retirement order.
      */
     ProfileMode mode = ProfileMode::Full;
     SamplerConfig sampler;
@@ -71,6 +81,17 @@ class MemoryProfiler : public instr::Tool
     void onLoadValue(std::uint32_t pc, std::uint64_t addr,
                      unsigned size, std::uint64_t value) override;
 
+    /**
+     * Whole-batch fast path (see instr::Tool::onEventBlock): the
+     * profiler picks the Load/Store events out of the raw batch and
+     * feeds them to the same per-access handlers the routed path
+     * calls, in the same retirement order — identical profiles,
+     * one virtual call per basic block.
+     */
+    bool wantsEventBlocks() const override { return true; }
+    void onEventBlock(const vpsim::ExecEvent *events, std::size_t n,
+                      const std::uint64_t *arg_regs) override;
+
     // Results ----------------------------------------------------------
 
     /** A profiled location. */
@@ -78,17 +99,20 @@ class MemoryProfiler : public instr::Tool
     {
         std::uint64_t address = 0;  ///< bucket base address
         std::uint64_t totalWrites = 0;  ///< including unsampled ones
+        std::uint64_t totalReads = 0;   ///< including unsampled ones
         ValueProfile writes;
         ValueProfile reads;
-        SamplerState sampler;
+        SamplerState sampler;      ///< convergent sampler for writes
+        SamplerState readSampler;  ///< convergent sampler for reads
 
         Location(const ProfileConfig &pcfg, const SamplerConfig &scfg)
-            : writes(pcfg), reads(pcfg), sampler(scfg)
+            : writes(pcfg), reads(pcfg), sampler(scfg),
+              readSampler(scfg)
         {}
     };
 
     /** Number of distinct locations touched. */
-    std::size_t numLocations() const { return locations.size(); }
+    std::size_t numLocations() const { return locs.size(); }
 
     /** Location record for an address (bucketed), or nullptr. */
     const Location *locationFor(std::uint64_t addr) const;
@@ -107,7 +131,22 @@ class MemoryProfiler : public instr::Tool
     std::uint64_t totalStores() const { return storeCount; }
     std::uint64_t totalLoads() const { return loadCount; }
 
-    /** Fraction of in-window stores actually recorded. */
+    /**
+     * In-window accesses dropped because maxLocations stopped their
+     * bucket from being created. Reported separately so the sampling
+     * metric below stays a statement about sampling, not capacity.
+     */
+    std::uint64_t droppedStores() const { return droppedStoreCount; }
+    std::uint64_t droppedLoads() const { return droppedLoadCount; }
+
+    /**
+     * Fraction of profileable stores (in-window stores that reached a
+     * live location) actually recorded — the sampling-overhead metric.
+     * Stores lost to the maxLocations cap are excluded from the
+     * denominator: they could never have been recorded at any sampling
+     * rate, and counting them would understate a sampler's coverage on
+     * overflowing runs. See droppedStores() for that loss.
+     */
     double fractionProfiled() const;
 
     /** True if maxLocations stopped new buckets from being created. */
@@ -130,9 +169,12 @@ class MemoryProfiler : public instr::Tool
     Location *ensureLocation(std::uint64_t bucket_addr);
 
     MemProfilerConfig cfg;
-    std::unordered_map<std::uint64_t, Location> locations;
+    vp::SlabArena<Location> locs;  ///< records, insertion-ordered
+    vp::FlatIndexMap64 index;      ///< bucket address -> arena index
     std::uint64_t storeCount = 0;
     std::uint64_t loadCount = 0;
+    std::uint64_t droppedStoreCount = 0;
+    std::uint64_t droppedLoadCount = 0;
     bool sawOverflow = false;
     vp::Rng randomDraw{0xC0FFEE};
 };

@@ -12,6 +12,15 @@ namespace
 {
 /** See TnvTable::setMergeCanaryForTest. */
 bool mergeCanary = false;
+
+/** The table's one ordering: descending count, ties to older entries. */
+bool
+byCountThenAge(const TnvEntry &a, const TnvEntry &b)
+{
+    if (a.count != b.count)
+        return a.count > b.count;
+    return a.lastUse < b.lastUse;
+}
 } // namespace
 
 void
@@ -26,6 +35,18 @@ TnvTable::mergeCanaryForTest()
     return mergeCanary;
 }
 
+void
+TnvTable::setRecordCanaryForTest(bool enabled)
+{
+    recordCanary = enabled;
+}
+
+bool
+TnvTable::recordCanaryForTest()
+{
+    return recordCanary;
+}
+
 TnvTable::TnvTable(const TnvConfig &config) : cfg(config)
 {
     vp_assert(cfg.capacity >= 1, "TNV capacity must be positive");
@@ -33,39 +54,34 @@ TnvTable::TnvTable(const TnvConfig &config) : cfg(config)
     entries.reserve(cfg.capacity);
 }
 
-void
-TnvTable::record(std::uint64_t value)
+bool
+TnvTable::recordMiss(std::uint64_t value)
 {
-    ++records;
-
-    // Hit: bump the count.
-    for (auto &e : entries) {
-        if (e.value == value) {
-            ++e.count;
-            e.lastUse = records;
-            goto maybe_clear;
+    // Hit on an entry other than the cached one: bump and re-cache.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].value == value) {
+            ++entries[i].count;
+            entries[i].lastUse = records;
+            hotIdx = i;
+            return true;
         }
     }
 
     // Miss with a free slot: insert.
     if (entries.size() < cfg.capacity) {
+        hotIdx = entries.size();
         entries.push_back({value, 1, records});
         VP_STAT_INC(vp::stats::Cid::TnvInserts);
     } else {
-        // Miss with a full table: replace the policy's victim.
-        TnvEntry &victim = entries[victimIndex()];
-        victim = {value, 1, records};
+        // Miss with a full table: replace the policy's victim. The new
+        // value becomes the cached entry — a fresh value is the likely
+        // start of a run.
+        hotIdx = victimIndex();
+        entries[hotIdx] = {value, 1, records};
         VP_STAT_INC(vp::stats::Cid::TnvInserts);
         VP_STAT_INC(vp::stats::Cid::TnvEvictions);
     }
-
-  maybe_clear:
-    if (cfg.policy == TnvConfig::Policy::SteadyClear) {
-        if (++sinceClear >= cfg.clearInterval) {
-            sinceClear = 0;
-            clearBottomHalf();
-        }
-    }
+    return false;
 }
 
 std::size_t
@@ -94,12 +110,7 @@ std::vector<TnvEntry>
 TnvTable::sortedByCount() const
 {
     std::vector<TnvEntry> out = entries;
-    std::sort(out.begin(), out.end(),
-              [](const TnvEntry &a, const TnvEntry &b) {
-                  if (a.count != b.count)
-                      return a.count > b.count;
-                  return a.lastUse < b.lastUse;
-              });
+    std::sort(out.begin(), out.end(), byCountThenAge);
     return out;
 }
 
@@ -144,12 +155,17 @@ TnvTable::clearBottomHalf()
     // partially-full tables: clearing must still evict stale cold
     // entries so newly-hot values can establish themselves, even when
     // the table never fills.
-    auto sorted = sortedByCount();
-    const std::size_t keep = (sorted.size() + 1) / 2;
+    //
+    // Sorted in place (lastUse values are unique, so the order is a
+    // strict total order and sort instability can't matter) — this
+    // runs every clearInterval records on the hot path and must not
+    // allocate.
+    std::sort(entries.begin(), entries.end(), byCountThenAge);
+    const std::size_t keep = (entries.size() + 1) / 2;
     VP_STAT_INC(vp::stats::Cid::TnvClears);
-    VP_STAT_ADD(vp::stats::Cid::TnvClearEvictions, sorted.size() - keep);
-    sorted.resize(keep);
-    entries = std::move(sorted);
+    VP_STAT_ADD(vp::stats::Cid::TnvClearEvictions, entries.size() - keep);
+    entries.resize(keep);
+    hotIdx = 0;  // entries[0] is now the top entry
 }
 
 void
@@ -195,6 +211,7 @@ TnvTable::merge(const TnvTable &other)
         sorted.resize(cfg.capacity);
         entries = std::move(sorted);
     }
+    hotIdx = 0;  // entry order may have changed; re-cache conservatively
 }
 
 void
@@ -203,6 +220,7 @@ TnvTable::reset()
     entries.clear();
     records = 0;
     sinceClear = 0;
+    hotIdx = 0;
 }
 
 } // namespace core

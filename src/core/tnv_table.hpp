@@ -56,8 +56,40 @@ class TnvTable
   public:
     explicit TnvTable(const TnvConfig &config = {});
 
-    /** Accumulate one observed value. */
-    void record(std::uint64_t value);
+    /**
+     * Accumulate one observed value. Returns true on a *hit* — the
+     * value was already in the table, i.e. it has certainly been
+     * recorded before (callers use this to skip redundant
+     * distinct-value work; see ValueProfile::record).
+     *
+     * Inlined fast path: the table caches the index of the entry that
+     * was hit (or inserted) most recently, and a profiled value stream
+     * is dominated by runs of a single value, so the overwhelming
+     * majority of records resolve with one compare and no scan. Entry
+     * values are unique, so a cache match is exactly the entry the
+     * full scan would find — the fast path is behaviourally identical
+     * to the scan, just cheaper.
+     */
+    bool
+    record(std::uint64_t value)
+    {
+        ++records;
+        bool hit;
+        if (hotIdx < entries.size() && entries[hotIdx].value == value) {
+            TnvEntry &e = entries[hotIdx];
+            e.count += recordCanary ? 2 : 1;
+            e.lastUse = records;
+            hit = true;
+        } else {
+            hit = recordMiss(value);
+        }
+        if (cfg.policy == TnvConfig::Policy::SteadyClear &&
+            ++sinceClear >= cfg.clearInterval) {
+            sinceClear = 0;
+            clearBottomHalf();
+        }
+        return hit;
+    }
 
     /** Number of record() calls since construction/reset(). */
     std::uint64_t recordCount() const { return records; }
@@ -119,13 +151,35 @@ class TnvTable
     static void setMergeCanaryForTest(bool enabled);
     static bool mergeCanaryForTest();
 
+    /**
+     * TEST HOOK — mutation canary for the record() fast path. When
+     * enabled, the cached-hot-entry fast path double-counts its hits
+     * while the slow scan path stays honest — exactly the kind of
+     * fast/slow divergence a buggy hot-path rewrite would introduce.
+     * vpcheck --canary asserts the differential checkers catch it.
+     * Global, not thread-safe; only flip it from single-threaded test
+     * setup code.
+     */
+    static void setRecordCanaryForTest(bool enabled);
+    static bool recordCanaryForTest();
+
   private:
+    /**
+     * Slow path of record(): scan, insert, or evict-and-replace.
+     * Returns true if the scan found the value (a hit).
+     */
+    bool recordMiss(std::uint64_t value);
+
     std::size_t victimIndex() const;
+
+    /** See setRecordCanaryForTest. */
+    inline static bool recordCanary = false;
 
     TnvConfig cfg;
     std::vector<TnvEntry> entries;
     std::uint64_t records = 0;
     std::uint64_t sinceClear = 0;
+    std::size_t hotIdx = 0;  ///< index of the most recently hit entry
 };
 
 } // namespace core

@@ -8,29 +8,6 @@ ValueProfile::ValueProfile(const ProfileConfig &config)
 {
 }
 
-void
-ValueProfile::record(std::uint64_t value)
-{
-    table.record(value);
-    if (value == 0)
-        ++zeros;
-    if (cfg.trackLastValue || cfg.trackStrides) {
-        if (cfg.trackLastValue && hasLast && value == lastValue)
-            ++lastHits;
-        if (cfg.trackStrides && hasLast)
-            strides.record(value - lastValue);
-        lastValue = value;
-        hasLast = true;
-    }
-    if (cfg.trackDistinct && !saturated) {
-        if (seen.insert(value).second) {
-            ++distinctCount;
-            if (seen.size() >= cfg.maxDistinct)
-                saturated = true;
-        }
-    }
-}
-
 double
 ValueProfile::invTop() const
 {
@@ -106,15 +83,15 @@ ValueProfile::merge(const ValueProfile &other)
         hasLast = true;
     }
     if (cfg.trackDistinct) {
-        for (const auto v : other.seen) {
+        other.seen.forEach([&](std::uint64_t v) {
             if (saturated)
-                break;
-            if (seen.insert(v).second) {
+                return;
+            if (seen.insert(v)) {
                 ++distinctCount;
                 if (seen.size() >= cfg.maxDistinct)
                     saturated = true;
             }
-        }
+        });
         // If the other shard overflowed its set, the union is itself
         // only a lower bound.
         saturated = saturated || other.saturated;

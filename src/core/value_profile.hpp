@@ -20,9 +20,9 @@
 #define VP_CORE_VALUE_PROFILE_HPP
 
 #include <cstdint>
-#include <unordered_set>
 
 #include "core/tnv_table.hpp"
+#include "support/flat_set.hpp"
 
 namespace core
 {
@@ -59,8 +59,40 @@ class ValueProfile
   public:
     explicit ValueProfile(const ProfileConfig &config = {});
 
-    /** Record one observed value. */
-    void record(std::uint64_t value);
+    /**
+     * Record one observed value. Inlined: this is the profiler's
+     * innermost loop. The distinct-set probe — the expensive part for
+     * value-rich entities, whose spilled sets outgrow the cache — is
+     * skipped whenever the value is provably already in the set: a
+     * TNV *hit* means this exact value was recorded before (so an
+     * earlier record() inserted it, or the set had saturated — sticky
+     * either way), and the same holds for a repeat of the previous
+     * value. Only values new to the TNV table pay the probe.
+     */
+    void
+    record(std::uint64_t value)
+    {
+        const bool tnv_hit = table.record(value);
+        if (value == 0)
+            ++zeros;
+        const bool repeat_of_last = hasLast && value == lastValue;
+        if (cfg.trackLastValue || cfg.trackStrides) {
+            if (cfg.trackLastValue && repeat_of_last)
+                ++lastHits;
+            if (cfg.trackStrides && hasLast)
+                strides.record(value - lastValue);
+            lastValue = value;
+            hasLast = true;
+        }
+        if (cfg.trackDistinct && !saturated && !tnv_hit &&
+            !repeat_of_last) {
+            if (seen.insert(value)) {
+                ++distinctCount;
+                if (seen.size() >= cfg.maxDistinct)
+                    saturated = true;
+            }
+        }
+    }
 
     /** Profiled executions (record() calls). */
     std::uint64_t executions() const { return table.recordCount(); }
@@ -129,7 +161,7 @@ class ValueProfile
     std::uint64_t lastHits = 0;
     std::uint64_t lastValue = 0;
     bool hasLast = false;
-    std::unordered_set<std::uint64_t> seen;
+    vp::FlatSet64 seen;
     std::uint64_t distinctCount = 0;
     bool saturated = false;
 };

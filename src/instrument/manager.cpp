@@ -8,8 +8,17 @@ namespace instr
 {
 
 InstrumentManager::InstrumentManager(const Image &image)
-    : img(image), instTools(image.numInsts())
+    : img(image), instTools(image.numInsts()),
+      instMask(image.numInsts(), 0)
 {
+}
+
+void
+InstrumentManager::noteTool(Tool *tool)
+{
+    if (std::find(allTools.begin(), allTools.end(), tool) ==
+        allTools.end())
+        allTools.push_back(tool);
 }
 
 void
@@ -18,6 +27,8 @@ InstrumentManager::instrumentInst(std::uint32_t pc, Tool *tool)
     vp_assert(pc < instTools.size(), "pc %u out of range", pc);
     vp_assert(tool != nullptr, "null tool");
     instTools[pc].push_back(tool);
+    instMask[pc] = 1;
+    noteTool(tool);
 }
 
 void
@@ -33,6 +44,7 @@ InstrumentManager::instrumentLoads(Tool *tool)
 {
     vp_assert(tool != nullptr, "null tool");
     loadTools.push_back(tool);
+    noteTool(tool);
 }
 
 void
@@ -40,6 +52,7 @@ InstrumentManager::instrumentStores(Tool *tool)
 {
     vp_assert(tool != nullptr, "null tool");
     storeTools.push_back(tool);
+    noteTool(tool);
 }
 
 void
@@ -47,6 +60,7 @@ InstrumentManager::instrumentCalls(Tool *tool)
 {
     vp_assert(tool != nullptr, "null tool");
     callTools.push_back(tool);
+    noteTool(tool);
 }
 
 void
@@ -55,11 +69,79 @@ InstrumentManager::removeTool(Tool *tool)
     auto scrub = [tool](std::vector<Tool *> &v) {
         v.erase(std::remove(v.begin(), v.end(), tool), v.end());
     };
-    for (auto &v : instTools)
-        scrub(v);
+    for (std::size_t pc = 0; pc < instTools.size(); ++pc) {
+        scrub(instTools[pc]);
+        instMask[pc] = instTools[pc].empty() ? 0 : 1;
+    }
     scrub(loadTools);
     scrub(storeTools);
     scrub(callTools);
+    scrub(allTools);
+}
+
+const std::uint8_t *
+InstrumentManager::instEventFilter() const
+{
+    return instMask.data();
+}
+
+unsigned
+InstrumentManager::eventInterest() const
+{
+    unsigned interest = 0;
+    for (const auto &tools : instTools) {
+        if (!tools.empty()) {
+            interest |= kInterestInst;
+            break;
+        }
+    }
+    if (!loadTools.empty())
+        interest |= kInterestLoad;
+    if (!storeTools.empty())
+        interest |= kInterestStore;
+    if (!callTools.empty())
+        interest |= kInterestCall;
+    return interest;
+}
+
+void
+InstrumentManager::onEvents(const vpsim::ExecEvent *events,
+                            std::size_t n,
+                            const std::uint64_t *arg_regs)
+{
+    // Sole-tool fast path: hand the raw batch to the tool and let it
+    // self-filter — one virtual call per batch, no routing tables.
+    if (allTools.size() == 1 && allTools[0]->wantsEventBlocks()) {
+        allTools[0]->onEventBlock(events, n, arg_regs);
+        return;
+    }
+
+    // Generic path: the same routing the fine-grained hooks perform,
+    // without the per-event virtual dispatch through ExecListener.
+    for (std::size_t i = 0; i < n; ++i) {
+        const vpsim::ExecEvent &e = events[i];
+        switch (e.kind) {
+          case vpsim::ExecEvent::Kind::Inst:
+            for (auto *t : instTools[e.pc])
+                t->onInstNoValue(e.pc, *e.inst);
+            break;
+          case vpsim::ExecEvent::Kind::InstWrote:
+            for (auto *t : instTools[e.pc])
+                t->onInstValue(e.pc, *e.inst, e.value);
+            break;
+          case vpsim::ExecEvent::Kind::Load:
+            for (auto *t : loadTools)
+                t->onLoadValue(e.pc, e.addr, e.size, e.value);
+            break;
+          case vpsim::ExecEvent::Kind::Store:
+            for (auto *t : storeTools)
+                t->onStoreValue(e.pc, e.addr, e.size, e.value);
+            break;
+          case vpsim::ExecEvent::Kind::Call:
+            onCall(e.pc, static_cast<std::uint32_t>(e.addr), arg_regs);
+            break;
+        }
+    }
 }
 
 void

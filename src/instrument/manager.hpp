@@ -80,6 +80,34 @@ class Tool
     {
         (void)proc; (void)args; (void)caller_pc;
     }
+
+    // Whole-batch delivery ---------------------------------------------
+
+    /**
+     * Opt in to onEventBlock. A tool may return true only if
+     * processing a raw event batch itself is behaviourally identical
+     * to receiving its routed per-event callbacks — i.e. the tool can
+     * re-derive its own routing (which pcs / which event kinds it
+     * registered for) and skip everything else.
+     */
+    virtual bool wantsEventBlocks() const { return false; }
+
+    /**
+     * An entire interpreter event batch, retirement-ordered and
+     * *unrouted*: it contains every event of the batch, not only the
+     * ones this tool registered for, so the tool must self-filter.
+     * Called instead of the per-event callbacks when this tool is the
+     * manager's only registered tool and wantsEventBlocks() — one
+     * virtual call per basic block instead of one per event.
+     * `arg_regs` is valid for an (at most one, always last) Call
+     * event, exactly as in vpsim::ExecListener::onEvents.
+     */
+    virtual void
+    onEventBlock(const vpsim::ExecEvent *events, std::size_t n,
+                 const std::uint64_t *arg_regs)
+    {
+        (void)events; (void)n; (void)arg_regs;
+    }
 };
 
 /** Routes Cpu events to registered tools. */
@@ -110,6 +138,33 @@ class InstrumentManager : public vpsim::ExecListener
     const Image &image() const { return img; }
 
     // ExecListener interface ------------------------------------------
+    /**
+     * Batch entry point — the only one the interpreter calls. Routes
+     * each event through the per-pc / global tool tables; when exactly
+     * one tool is registered and it opted in (Tool::wantsEventBlocks),
+     * the whole batch is forwarded to Tool::onEventBlock instead, so
+     * the per-event routing work disappears from the hot path.
+     */
+    void onEvents(const vpsim::ExecEvent *events, std::size_t n,
+                  const std::uint64_t *arg_regs) override;
+
+    /**
+     * Exactly the event kinds some tool registered for: instruction
+     * events only when at least one pc is instrumented, loads/stores/
+     * calls only when the corresponding global table is nonempty. A
+     * manager with no tools reports no interest, so an attached but
+     * idle manager leaves the interpreter at native speed.
+     */
+    unsigned eventInterest() const override;
+
+    /**
+     * Per-pc filter mirroring the instTools tables: a pc's byte is
+     * nonzero exactly when some tool instrumented it, so retirements
+     * of uninstrumented instructions never materialize events when
+     * this manager is the Cpu's sole listener.
+     */
+    const std::uint8_t *instEventFilter() const override;
+
     void onInst(std::uint32_t pc, const vpsim::Inst &inst, bool wrote,
                 std::uint64_t value) override;
     void onLoad(std::uint32_t pc, std::uint64_t addr, unsigned size,
@@ -120,12 +175,19 @@ class InstrumentManager : public vpsim::ExecListener
                 const std::uint64_t *arg_regs) override;
 
   private:
+    /** Track a registration for the sole-tool fast path. */
+    void noteTool(Tool *tool);
+
     const Image &img;
     /** Per-pc tool lists; empty vectors for uninstrumented pcs. */
     std::vector<std::vector<Tool *>> instTools;
+    /** instTools[pc].empty() mirrored as bytes (see instEventFilter). */
+    std::vector<std::uint8_t> instMask;
     std::vector<Tool *> loadTools;
     std::vector<Tool *> storeTools;
     std::vector<Tool *> callTools;
+    /** Distinct registered tools, in first-registration order. */
+    std::vector<Tool *> allTools;
 };
 
 } // namespace instr

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * SlabArena — a chunked object arena with stable addresses.
+ *
+ * The memory profiler hands out long-lived pointers to per-location
+ * records while continuing to create new ones, so the container
+ * backing those records must never relocate existing elements. A
+ * std::vector can't promise that; per-record heap nodes (the old
+ * std::unordered_map approach) promise it at the cost of an
+ * allocation and a cache miss per record. SlabArena splits the
+ * difference: objects are placement-new'd into fixed-size slabs, so
+ * addresses are stable for the arena's lifetime, allocation is a
+ * pointer bump on the common path, and sequential iteration walks
+ * contiguous memory.
+ *
+ * Elements are indexed in insertion order and are never removed
+ * individually — profiles only ever grow within a run. Not
+ * thread-safe; one arena per profiling shard.
+ */
+
+#ifndef VP_SUPPORT_ARENA_HPP
+#define VP_SUPPORT_ARENA_HPP
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace vp
+{
+
+/** Grow-only arena of T with stable addresses and index access. */
+template <typename T, std::size_t SlabSize = 256>
+class SlabArena
+{
+    static_assert(SlabSize > 0, "slabs must hold at least one element");
+
+  public:
+    SlabArena() = default;
+    SlabArena(SlabArena &&) = default;
+    SlabArena &operator=(SlabArena &&) = default;
+    SlabArena(const SlabArena &) = delete;
+    SlabArena &operator=(const SlabArena &) = delete;
+
+    ~SlabArena() { destroyAll(); }
+
+    /** Construct a new element in place; its address never moves. */
+    template <typename... Args>
+    T &
+    emplaceBack(Args &&...args)
+    {
+        const std::size_t slab = count / SlabSize;
+        const std::size_t off = count % SlabSize;
+        if (slab == slabs.size())
+            slabs.push_back(std::make_unique<Storage[]>(SlabSize));
+        T *obj = new (&slabs[slab][off]) T(std::forward<Args>(args)...);
+        ++count;
+        return *obj;
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return *std::launder(reinterpret_cast<T *>(
+            &slabs[i / SlabSize][i % SlabSize]));
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return *std::launder(reinterpret_cast<const T *>(
+            &slabs[i / SlabSize][i % SlabSize]));
+    }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Forward iterator over elements in insertion order. */
+    template <typename Arena, typename Value>
+    class Iter
+    {
+      public:
+        Iter(Arena *arena, std::size_t index) : a(arena), i(index) {}
+        Value &operator*() const { return (*a)[i]; }
+        Value *operator->() const { return &(*a)[i]; }
+        Iter &
+        operator++()
+        {
+            ++i;
+            return *this;
+        }
+        bool operator==(const Iter &o) const { return i == o.i; }
+        bool operator!=(const Iter &o) const { return i != o.i; }
+
+      private:
+        Arena *a;
+        std::size_t i;
+    };
+
+    using iterator = Iter<SlabArena, T>;
+    using const_iterator = Iter<const SlabArena, const T>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count}; }
+
+    /** Visit elements in insertion order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            fn((*this)[i]);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            fn((*this)[i]);
+    }
+
+    void
+    clear()
+    {
+        destroyAll();
+        slabs.clear();
+        count = 0;
+    }
+
+  private:
+    using Storage =
+        typename std::aligned_storage<sizeof(T), alignof(T)>::type;
+
+    void
+    destroyAll()
+    {
+        for (std::size_t i = count; i-- > 0;)
+            (*this)[i].~T();
+    }
+
+    std::vector<std::unique_ptr<Storage[]>> slabs;
+    std::size_t count = 0;
+};
+
+} // namespace vp
+
+#endif // VP_SUPPORT_ARENA_HPP

@@ -1,10 +1,39 @@
 #include "vpsim/cpu.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/logging.hpp"
 #include "support/stats_registry.hpp"
 #include "support/strings.hpp"
+
+/*
+ * Dispatch strategy (see DESIGN.md, "Hot path").
+ *
+ * The interpreter compiles its opcode bodies once, from shared macros,
+ * under one of two dispatch skeletons:
+ *
+ *  - threaded (computed goto): every opcode body ends by fetching the
+ *    next instruction and jumping straight to its body through a label
+ *    table. Each opcode gets its own indirect branch, so the host's
+ *    branch predictor learns per-opcode successor patterns instead of
+ *    sharing one mispredicting switch branch across the whole stream.
+ *    Requires the GNU labels-as-values extension (GCC/Clang).
+ *
+ *  - switch fallback: a conventional for(;;)+switch loop, fully
+ *    portable, selected when VP_THREADED_DISPATCH is off (CMake
+ *    option) or the compiler lacks the extension.
+ *
+ * Both skeletons run the same macro-expanded bodies, so their
+ * architectural behaviour is identical by construction; the tier-1
+ * suite is run against both in CI.
+ */
+#if defined(VP_THREADED_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define VP_USE_COMPUTED_GOTO 1
+#else
+#define VP_USE_COMPUTED_GOTO 0
+#endif
 
 namespace vpsim
 {
@@ -38,6 +67,7 @@ Cpu::reset()
     haltReason.reset();
     outputText.clear();
     outputInts.clear();
+    evCount = 0;
 }
 
 void
@@ -62,10 +92,13 @@ Cpu::halt(StopReason reason)
 }
 
 void
-Cpu::notifyCall(std::uint32_t caller_pc, std::uint32_t callee)
+Cpu::flushEvents()
 {
+    if (evCount == 0)
+        return;
     for (auto *l : listeners)
-        l->onCall(caller_pc, callee, &regs[regA0]);
+        l->onEvents(evbuf, evCount, &regs[regA0]);
+    evCount = 0;
 }
 
 void
@@ -73,15 +106,7 @@ Cpu::step()
 {
     if (halted())
         return;
-    if (pcReg >= prog.code.size()) {
-        halt(StopReason::BadInst);
-        return;
-    }
-    if (icount >= cfg.maxInsts) {
-        halt(StopReason::MaxInsts);
-        return;
-    }
-    exec(prog.code[pcReg]);
+    interpret(icount + 1);
 }
 
 RunResult
@@ -91,20 +116,8 @@ Cpu::run()
     [[maybe_unused]] const std::uint64_t start_loads = loadCount;
     [[maybe_unused]] const std::uint64_t start_stores = storeCount;
 
-    // Hot loop: keep the per-instruction work minimal; the listener
-    // fan-out below models the instrumentation overhead the paper
-    // measures, so it must only be paid when observers are attached.
-    while (!halted()) {
-        if (pcReg >= prog.code.size()) {
-            halt(StopReason::BadInst);
-            break;
-        }
-        if (icount >= cfg.maxInsts) {
-            halt(StopReason::MaxInsts);
-            break;
-        }
-        exec(prog.code[pcReg]);
-    }
+    interpret(std::numeric_limits<std::uint64_t>::max());
+
     // Simulator work is accounted in one shot at run end so the hot
     // loop never touches a counter.
     VP_STAT_ADD(vp::stats::Cid::SimInsts, icount - start_insts);
@@ -120,143 +133,396 @@ Cpu::run()
     return res;
 }
 
+/*
+ * The opcode bodies, shared by both dispatch skeletons.
+ *
+ * Conventions inside the macros: `pc` is the current instruction
+ * index, `next_pc` its default successor (already pc + 1), `inst` the
+ * decoded instruction. A body either retires (bumps n_insts, records
+ * its events when instrumented, advances pc, dispatches the next
+ * instruction) or halts and jumps to `done` without retiring — the
+ * same instructions the pre-batching interpreter counted and reported
+ * retire here, and the ones it suppressed are suppressed here.
+ */
+
+// True when the retiring instruction's event should be materialized:
+// some listener wants instruction events and the per-pc filter (when
+// present) admits this pc.
+#define VM_INST_WANTED()                                               \
+    (want_inst && (!inst_filter || inst_filter[pc]))
+
+// Write the destination register (r0 stays hardwired to zero) and
+// retire. The event's value is the written value, 0 when nothing was
+// written — the exact contract of the old onInst hook.
+#define VM_WRITE_RD_RETIRE(expr)                                       \
+    do {                                                               \
+        const std::uint64_t result_ = (expr);                          \
+        const bool wrote_ = inst->rd != regZero;                       \
+        if (wrote_)                                                    \
+            regs[inst->rd] = result_;                                  \
+        ++n_insts;                                                     \
+        if (VM_INST_WANTED()) {                                        \
+            pushInst(pc, inst, wrote_, wrote_ ? result_ : 0);          \
+            if (evCount >= kEventFlushMark)                            \
+                flushEvents();                                         \
+        }                                                              \
+        pc = next_pc;                                                  \
+    } while (0)
+
+// Retire an instruction that writes no register.
+#define VM_RETIRE_NO_RD()                                              \
+    do {                                                               \
+        ++n_insts;                                                     \
+        if (VM_INST_WANTED()) {                                        \
+            pushInst(pc, inst, false, 0);                              \
+            if (evCount >= kEventFlushMark)                            \
+                flushEvents();                                         \
+        }                                                              \
+        pc = next_pc;                                                  \
+    } while (0)
+
+// Register-register ALU: expr over a/b (unsigned) and sa/sb (signed).
+#define VM_ALU_RR(name, expr)                                          \
+    VM_CASE(name)                                                      \
+    {                                                                  \
+        const std::uint64_t a = regs[inst->ra];                        \
+        const std::uint64_t b = regs[inst->rb];                        \
+        const auto sa = static_cast<std::int64_t>(a);                  \
+        const auto sb = static_cast<std::int64_t>(b);                  \
+        (void)a; (void)b; (void)sa; (void)sb;                          \
+        VM_WRITE_RD_RETIRE(expr);                                      \
+    }                                                                  \
+    VM_NEXT()
+
+// Register-immediate ALU: expr over a/sa and imm.
+#define VM_ALU_RI(name, expr)                                          \
+    VM_CASE(name)                                                      \
+    {                                                                  \
+        const std::uint64_t a = regs[inst->ra];                        \
+        const auto sa = static_cast<std::int64_t>(a);                  \
+        const std::int64_t imm = inst->imm;                            \
+        (void)a; (void)sa; (void)imm;                                  \
+        VM_WRITE_RD_RETIRE(expr);                                      \
+    }                                                                  \
+    VM_NEXT()
+
+// DIV/REM trap instead of invoking host UB: divide by zero, and the
+// one overflowing case, INT64_MIN / -1, whose quotient is not
+// representable (hardware integer dividers fault on both).
+#define VM_DIV_REM(name, expr)                                         \
+    VM_CASE(name)                                                      \
+    {                                                                  \
+        const std::uint64_t b = regs[inst->rb];                        \
+        const auto sa = static_cast<std::int64_t>(regs[inst->ra]);     \
+        const auto sb = static_cast<std::int64_t>(b);                  \
+        if (b == 0 ||                                                  \
+            (sa == std::numeric_limits<std::int64_t>::min() &&         \
+             sb == -1)) {                                              \
+            halt(StopReason::BadInst);                                 \
+            goto done;                                                 \
+        }                                                              \
+        VM_WRITE_RD_RETIRE(static_cast<std::uint64_t>(expr));          \
+    }                                                                  \
+    VM_NEXT()
+
+// Sized load; `extend` widens the raw value (sign extension for the
+// signed narrow loads). The load event carries the extended value and
+// precedes the retirement event, as the fine-grained hooks always did.
+#define VM_LOAD(name, width, extend)                                   \
+    VM_CASE(name)                                                      \
+    {                                                                  \
+        const std::uint64_t addr =                                     \
+            regs[inst->ra] + static_cast<std::uint64_t>(inst->imm);    \
+        const std::uint64_t raw = mem.load(addr, width);               \
+        if (mem.hasFault()) {                                          \
+            halt(StopReason::MemFault);                                \
+            goto done;                                                 \
+        }                                                              \
+        const std::uint64_t v = (extend);                              \
+        const bool wrote_ = inst->rd != regZero;                       \
+        if (wrote_)                                                    \
+            regs[inst->rd] = v;                                        \
+        ++n_loads;                                                     \
+        ++n_insts;                                                     \
+        if (want_load)                                                 \
+            pushMem(ExecEvent::Kind::Load, pc, addr, width, v);        \
+        if (VM_INST_WANTED())                                          \
+            pushInst(pc, inst, wrote_, wrote_ ? v : 0);                \
+        if (evCount >= kEventFlushMark)                                \
+            flushEvents();                                             \
+        pc = next_pc;                                                  \
+    }                                                                  \
+    VM_NEXT()
+
+#define VM_SEXT32(v)                                                   \
+    static_cast<std::uint64_t>(                                        \
+        static_cast<std::int64_t>(static_cast<std::int32_t>(v)))
+#define VM_SEXT16(v)                                                   \
+    static_cast<std::uint64_t>(                                        \
+        static_cast<std::int64_t>(static_cast<std::int16_t>(v)))
+#define VM_SEXT8(v)                                                    \
+    static_cast<std::uint64_t>(                                        \
+        static_cast<std::int64_t>(static_cast<std::int8_t>(v)))
+
+// Sized store: rb's value masked to the access width.
+#define VM_STORE(name, width)                                          \
+    VM_CASE(name)                                                      \
+    {                                                                  \
+        const std::uint64_t addr =                                     \
+            regs[inst->ra] + static_cast<std::uint64_t>(inst->imm);    \
+        const std::uint64_t mask_ =                                    \
+            (width) == 8 ? ~std::uint64_t(0)                           \
+                         : ((std::uint64_t(1) << ((width) * 8)) - 1);  \
+        const std::uint64_t v = regs[inst->rb] & mask_;                \
+        mem.store(addr, width, v);                                     \
+        if (mem.hasFault()) {                                          \
+            halt(StopReason::MemFault);                                \
+            goto done;                                                 \
+        }                                                              \
+        ++n_stores;                                                    \
+        ++n_insts;                                                     \
+        if (want_store)                                                \
+            pushMem(ExecEvent::Kind::Store, pc, addr, width, v);       \
+        if (VM_INST_WANTED())                                          \
+            pushInst(pc, inst, false, 0);                              \
+        if (evCount >= kEventFlushMark)                                \
+            flushEvents();                                             \
+        pc = next_pc;                                                  \
+    }                                                                  \
+    VM_NEXT()
+
+// Compare-and-branch on (a, b) / (sa, sb); target in imm.
+#define VM_BRANCH(name, cond)                                          \
+    VM_CASE(name)                                                      \
+    {                                                                  \
+        const std::uint64_t a = regs[inst->ra];                        \
+        const std::uint64_t b = regs[inst->rb];                        \
+        const auto sa = static_cast<std::int64_t>(a);                  \
+        const auto sb = static_cast<std::int64_t>(b);                  \
+        (void)sa; (void)sb;                                            \
+        if (cond)                                                      \
+            next_pc = static_cast<std::uint32_t>(inst->imm);           \
+        VM_RETIRE_NO_RD();                                             \
+    }                                                                  \
+    VM_NEXT()
+
 void
-Cpu::exec(const Inst &inst)
+Cpu::interpret(std::uint64_t stop_after)
 {
-    const std::uint32_t cur_pc = pcReg;
-    std::uint32_t next_pc = cur_pc + 1;
-    bool wrote = false;
-    std::uint64_t result = 0;
+    if (halted())
+        return;
 
-    auto setRd = [&](std::uint64_t v) {
-        if (inst.rd != regZero) {
-            regs[inst.rd] = v;
-            wrote = true;
-            result = v;
-        }
+    const Inst *const code = prog.code.data();
+    const std::uint64_t code_size = prog.code.size();
+    const std::uint64_t max_insts = cfg.maxInsts;
+
+    // Latch the union of listener interests for this entry (see
+    // ExecListener::eventInterest): only wanted kinds are materialized,
+    // so an attached listener whose routing tables are empty costs the
+    // loop nothing but these predictable never-taken branches.
+    unsigned interest = 0;
+    for (const auto *l : listeners)
+        interest |= l->eventInterest();
+    const bool want_inst = (interest & ExecListener::kInterestInst) != 0;
+    const bool want_load = (interest & ExecListener::kInterestLoad) != 0;
+    const bool want_store =
+        (interest & ExecListener::kInterestStore) != 0;
+    const bool want_call = (interest & ExecListener::kInterestCall) != 0;
+    // Per-pc instruction-event filter (sole-listener case only; see
+    // ExecListener::instEventFilter). null = no filtering.
+    const std::uint8_t *const inst_filter =
+        listeners.size() == 1 ? listeners[0]->instEventFilter()
+                              : nullptr;
+
+    // Architectural position and counters live in locals for the
+    // duration of the loop and are written back at `done`. Every exit
+    // path goes through `done`.
+    std::uint32_t pc = pcReg;
+    std::uint32_t next_pc = 0;
+    const Inst *inst = nullptr;
+    std::uint64_t n_insts = icount;
+    std::uint64_t n_loads = loadCount;
+    std::uint64_t n_stores = storeCount;
+
+    // Loop-top checks, in the order the pre-batching interpreter
+    // applied them: the caller's soft stop (no halt), then a pc
+    // outside the code (BadInst), then the runaway budget (MaxInsts).
+#define VM_CHECKS()                                                    \
+    do {                                                               \
+        if (n_insts >= stop_after)                                     \
+            goto done;                                                 \
+        if (pc >= code_size)                                           \
+            goto bad_pc;                                               \
+        if (n_insts >= max_insts)                                      \
+            goto out_of_budget;                                        \
+        inst = code + pc;                                              \
+        next_pc = pc + 1;                                              \
+    } while (0)
+
+#if VP_USE_COMPUTED_GOTO
+
+    // Label table, indexed by Opcode — must mirror the enum exactly.
+    static const void *const kOpLabels[] = {
+        &&L_ADD, &&L_SUB, &&L_MUL, &&L_DIV, &&L_REM, &&L_AND, &&L_OR,
+        &&L_XOR, &&L_SLL, &&L_SRL, &&L_SRA, &&L_SLT, &&L_SLTU,
+        &&L_SEQ, &&L_SNE,
+        &&L_ADDI, &&L_MULI, &&L_ANDI, &&L_ORI, &&L_XORI,
+        &&L_SLLI, &&L_SRLI, &&L_SRAI, &&L_SLTI, &&L_SEQI, &&L_SNEI,
+        &&L_LI,
+        &&L_LD, &&L_LW, &&L_LWU, &&L_LH, &&L_LHU, &&L_LB, &&L_LBU,
+        &&L_ST, &&L_SW, &&L_SH, &&L_SB,
+        &&L_BEQ, &&L_BNE, &&L_BLT, &&L_BGE, &&L_BLTU, &&L_BGEU,
+        &&L_JMP, &&L_JAL, &&L_JALR,
+        &&L_SYSCALL, &&L_NOP,
     };
+    static_assert(sizeof(kOpLabels) / sizeof(kOpLabels[0]) ==
+                      static_cast<std::size_t>(Opcode::NumOpcodes),
+                  "label table must cover every opcode");
 
-    const std::uint64_t a = regs[inst.ra];
-    const std::uint64_t b = regs[inst.rb];
-    const std::int64_t sa = static_cast<std::int64_t>(a);
-    const std::int64_t sb = static_cast<std::int64_t>(b);
-    const std::int64_t imm = inst.imm;
+    // Opcode validity is a Program::validate() invariant, so the
+    // indexed jump needs no range check here.
+#define VM_CASE(name) L_##name:
+#define VM_NEXT()                                                      \
+    do {                                                               \
+        VM_CHECKS();                                                   \
+        goto *kOpLabels[static_cast<unsigned>(inst->op)];              \
+    } while (0)
 
-    switch (inst.op) {
-      case Opcode::ADD: setRd(a + b); break;
-      case Opcode::SUB: setRd(a - b); break;
-      case Opcode::MUL: setRd(a * b); break;
-      case Opcode::DIV:
-        if (b == 0) { halt(StopReason::BadInst); return; }
-        setRd(static_cast<std::uint64_t>(sa / sb));
-        break;
-      case Opcode::REM:
-        if (b == 0) { halt(StopReason::BadInst); return; }
-        setRd(static_cast<std::uint64_t>(sa % sb));
-        break;
-      case Opcode::AND: setRd(a & b); break;
-      case Opcode::OR: setRd(a | b); break;
-      case Opcode::XOR: setRd(a ^ b); break;
-      case Opcode::SLL: setRd(a << (b & 63)); break;
-      case Opcode::SRL: setRd(a >> (b & 63)); break;
-      case Opcode::SRA: setRd(static_cast<std::uint64_t>(sa >> (b & 63)));
-        break;
-      case Opcode::SLT: setRd(sa < sb ? 1 : 0); break;
-      case Opcode::SLTU: setRd(a < b ? 1 : 0); break;
-      case Opcode::SEQ: setRd(a == b ? 1 : 0); break;
-      case Opcode::SNE: setRd(a != b ? 1 : 0); break;
+    VM_NEXT();
 
-      case Opcode::ADDI: setRd(a + static_cast<std::uint64_t>(imm)); break;
-      case Opcode::MULI: setRd(a * static_cast<std::uint64_t>(imm)); break;
-      case Opcode::ANDI: setRd(a & static_cast<std::uint64_t>(imm)); break;
-      case Opcode::ORI: setRd(a | static_cast<std::uint64_t>(imm)); break;
-      case Opcode::XORI: setRd(a ^ static_cast<std::uint64_t>(imm)); break;
-      case Opcode::SLLI: setRd(a << (imm & 63)); break;
-      case Opcode::SRLI: setRd(a >> (imm & 63)); break;
-      case Opcode::SRAI: setRd(static_cast<std::uint64_t>(sa >> (imm & 63)));
-        break;
-      case Opcode::SLTI: setRd(sa < imm ? 1 : 0); break;
-      case Opcode::SEQI: setRd(sa == imm ? 1 : 0); break;
-      case Opcode::SNEI: setRd(sa != imm ? 1 : 0); break;
+#else // !VP_USE_COMPUTED_GOTO
 
-      case Opcode::LI: setRd(static_cast<std::uint64_t>(imm)); break;
+#define VM_CASE(name) case Opcode::name:
+#define VM_NEXT() break
 
-      case Opcode::LD: case Opcode::LW: case Opcode::LWU:
-      case Opcode::LH: case Opcode::LHU: case Opcode::LB:
-      case Opcode::LBU: {
-        const std::uint64_t addr = a + static_cast<std::uint64_t>(imm);
-        const unsigned size = memAccessSize(inst.op);
-        std::uint64_t v = mem.load(addr, size);
-        if (mem.hasFault()) { halt(StopReason::MemFault); return; }
-        // Sign extension for the signed narrow loads.
-        switch (inst.op) {
-          case Opcode::LW:
-            v = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
-            break;
-          case Opcode::LH:
-            v = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(static_cast<std::int16_t>(v)));
-            break;
-          case Opcode::LB:
-            v = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(static_cast<std::int8_t>(v)));
-            break;
-          default:
-            break;
+    for (;;) {
+        VM_CHECKS();
+        switch (inst->op) {
+
+#endif
+
+    VM_ALU_RR(ADD, a + b);
+    VM_ALU_RR(SUB, a - b);
+    VM_ALU_RR(MUL, a * b);
+    VM_DIV_REM(DIV, sa / sb);
+    VM_DIV_REM(REM, sa % sb);
+    VM_ALU_RR(AND, a & b);
+    VM_ALU_RR(OR, a | b);
+    VM_ALU_RR(XOR, a ^ b);
+    VM_ALU_RR(SLL, a << (b & 63));
+    VM_ALU_RR(SRL, a >> (b & 63));
+    VM_ALU_RR(SRA, static_cast<std::uint64_t>(sa >> (b & 63)));
+    VM_ALU_RR(SLT, sa < sb ? 1 : 0);
+    VM_ALU_RR(SLTU, a < b ? 1 : 0);
+    VM_ALU_RR(SEQ, a == b ? 1 : 0);
+    VM_ALU_RR(SNE, a != b ? 1 : 0);
+
+    VM_ALU_RI(ADDI, a + static_cast<std::uint64_t>(imm));
+    VM_ALU_RI(MULI, a * static_cast<std::uint64_t>(imm));
+    VM_ALU_RI(ANDI, a & static_cast<std::uint64_t>(imm));
+    VM_ALU_RI(ORI, a | static_cast<std::uint64_t>(imm));
+    VM_ALU_RI(XORI, a ^ static_cast<std::uint64_t>(imm));
+    VM_ALU_RI(SLLI, a << (imm & 63));
+    VM_ALU_RI(SRLI, a >> (imm & 63));
+    VM_ALU_RI(SRAI, static_cast<std::uint64_t>(sa >> (imm & 63)));
+    VM_ALU_RI(SLTI, sa < imm ? 1 : 0);
+    VM_ALU_RI(SEQI, sa == imm ? 1 : 0);
+    VM_ALU_RI(SNEI, sa != imm ? 1 : 0);
+
+    VM_ALU_RI(LI, static_cast<std::uint64_t>(imm));
+
+    VM_LOAD(LD, 8, raw);
+    VM_LOAD(LW, 4, VM_SEXT32(raw));
+    VM_LOAD(LWU, 4, raw);
+    VM_LOAD(LH, 2, VM_SEXT16(raw));
+    VM_LOAD(LHU, 2, raw);
+    VM_LOAD(LB, 1, VM_SEXT8(raw));
+    VM_LOAD(LBU, 1, raw);
+
+    VM_STORE(ST, 8);
+    VM_STORE(SW, 4);
+    VM_STORE(SH, 2);
+    VM_STORE(SB, 1);
+
+    VM_BRANCH(BEQ, a == b);
+    VM_BRANCH(BNE, a != b);
+    VM_BRANCH(BLT, sa < sb);
+    VM_BRANCH(BGE, sa >= sb);
+    VM_BRANCH(BLTU, a < b);
+    VM_BRANCH(BGEU, a >= b);
+
+    VM_CASE(JMP)
+    {
+        next_pc = static_cast<std::uint32_t>(inst->imm);
+        VM_RETIRE_NO_RD();
+    }
+    VM_NEXT();
+
+    // Calls are reported after the linking jump retires so argument
+    // registers are architecturally final; the batch is flushed at
+    // once so they still are when the listener looks.
+    VM_CASE(JAL)
+    {
+        const std::uint64_t link = next_pc;
+        const bool wrote_ = inst->rd != regZero;
+        if (wrote_)
+            regs[inst->rd] = link;
+        next_pc = static_cast<std::uint32_t>(inst->imm);
+        ++n_insts;
+        if (VM_INST_WANTED())
+            pushInst(pc, inst, wrote_, wrote_ ? link : 0);
+        if (want_call) {
+            pushCall(pc, next_pc);
+            flushEvents();
+        } else if (evCount >= kEventFlushMark) {
+            flushEvents();
         }
-        setRd(v);
-        ++loadCount;
-        for (auto *l : listeners)
-            l->onLoad(cur_pc, addr, size, v);
-        break;
-      }
+        pc = next_pc;
+    }
+    VM_NEXT();
 
-      case Opcode::ST: case Opcode::SW: case Opcode::SH:
-      case Opcode::SB: {
-        const std::uint64_t addr = a + static_cast<std::uint64_t>(imm);
-        const unsigned size = memAccessSize(inst.op);
-        const std::uint64_t mask =
-            size == 8 ? ~std::uint64_t(0)
-                      : ((std::uint64_t(1) << (size * 8)) - 1);
-        const std::uint64_t v = b & mask;
-        mem.store(addr, size, v);
-        if (mem.hasFault()) { halt(StopReason::MemFault); return; }
-        ++storeCount;
-        for (auto *l : listeners)
-            l->onStore(cur_pc, addr, size, v);
-        break;
-      }
-
-      case Opcode::BEQ: if (a == b) next_pc = std::uint32_t(imm); break;
-      case Opcode::BNE: if (a != b) next_pc = std::uint32_t(imm); break;
-      case Opcode::BLT: if (sa < sb) next_pc = std::uint32_t(imm); break;
-      case Opcode::BGE: if (sa >= sb) next_pc = std::uint32_t(imm); break;
-      case Opcode::BLTU: if (a < b) next_pc = std::uint32_t(imm); break;
-      case Opcode::BGEU: if (a >= b) next_pc = std::uint32_t(imm); break;
-
-      case Opcode::JMP: next_pc = std::uint32_t(imm); break;
-      case Opcode::JAL:
-        setRd(next_pc);
-        next_pc = std::uint32_t(imm);
-        break;
-      case Opcode::JALR: {
-        const std::uint64_t target = a;
-        setRd(next_pc);
-        if (target >= prog.code.size()) {
+    VM_CASE(JALR)
+    {
+        // Target is read before the link write so `jalr ra, ra` jumps
+        // to the old value; the link write persists even when the
+        // target is bad (the halted instruction does not retire).
+        const std::uint64_t target = regs[inst->ra];
+        const std::uint64_t link = next_pc;
+        const bool wrote_ = inst->rd != regZero;
+        if (wrote_)
+            regs[inst->rd] = link;
+        if (target >= code_size) {
             halt(StopReason::BadInst);
-            return;
+            goto done;
         }
         next_pc = static_cast<std::uint32_t>(target);
-        break;
-      }
+        ++n_insts;
+        if (VM_INST_WANTED())
+            pushInst(pc, inst, wrote_, wrote_ ? link : 0);
+        // A JALR with rd == zero is a return (the `ret` pseudo-op),
+        // not a call.
+        if (want_call && wrote_) {
+            pushCall(pc, next_pc);
+            flushEvents();
+        } else if (evCount >= kEventFlushMark) {
+            flushEvents();
+        }
+        pc = next_pc;
+    }
+    VM_NEXT();
 
-      case Opcode::SYSCALL:
-        switch (static_cast<Syscall>(imm)) {
+    VM_CASE(SYSCALL)
+    {
+        switch (static_cast<Syscall>(inst->imm)) {
           case Syscall::Exit:
             exitCode = static_cast<std::int64_t>(regs[regA0]);
             halt(StopReason::Exited);
-            break;
+            // The exit syscall itself retires (and is observed), but
+            // pc stays on it.
+            ++n_insts;
+            if (VM_INST_WANTED())
+                pushInst(pc, inst, false, 0);
+            goto done;
           case Syscall::Putc:
             outputText.push_back(static_cast<char>(regs[regA0]));
             break;
@@ -268,32 +534,59 @@ Cpu::exec(const Inst &inst)
           }
           default:
             halt(StopReason::BadInst);
-            return;
+            goto done;
         }
-        break;
+        VM_RETIRE_NO_RD();
+    }
+    VM_NEXT();
 
-      case Opcode::NOP:
-        break;
+    VM_CASE(NOP)
+    {
+        VM_RETIRE_NO_RD();
+    }
+    VM_NEXT();
 
-      default:
-        vp_panic("unhandled opcode %d", static_cast<int>(inst.op));
+#if !VP_USE_COMPUTED_GOTO
+
+          case Opcode::NumOpcodes:
+          default:
+            vp_panic("unhandled opcode %d",
+                     static_cast<int>(inst->op));
+        }
     }
 
-    ++icount;
-    if (!listeners.empty()) {
-        for (auto *l : listeners)
-            l->onInst(cur_pc, inst, wrote, result);
-        // Calls are reported after the linking jump retires so argument
-        // registers are architecturally final. A JALR with rd == zero
-        // is a return (the `ret` pseudo-op), not a call.
-        const bool is_call =
-            inst.op == Opcode::JAL ||
-            (inst.op == Opcode::JALR && inst.rd != regZero);
-        if (is_call && !halted())
-            notifyCall(cur_pc, next_pc);
-    }
-    if (!halted())
-        pcReg = next_pc;
+#endif
+
+  bad_pc:
+    halt(StopReason::BadInst);
+    goto done;
+
+  out_of_budget:
+    halt(StopReason::MaxInsts);
+    // fall through to done
+
+  done:
+    pcReg = pc;
+    icount = n_insts;
+    loadCount = n_loads;
+    storeCount = n_stores;
+    flushEvents();
 }
+
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_CHECKS
+#undef VM_INST_WANTED
+#undef VM_WRITE_RD_RETIRE
+#undef VM_RETIRE_NO_RD
+#undef VM_ALU_RR
+#undef VM_ALU_RI
+#undef VM_DIV_REM
+#undef VM_LOAD
+#undef VM_STORE
+#undef VM_BRANCH
+#undef VM_SEXT32
+#undef VM_SEXT16
+#undef VM_SEXT8
 
 } // namespace vpsim

@@ -26,6 +26,33 @@ namespace vpsim
 {
 
 /**
+ * One recorded architectural event, produced by the interpreter into
+ * a per-block batch (see ExecListener::onEvents).
+ *
+ * The interpreter does not cross the instrumentation boundary per
+ * instruction: it records events into a buffer and delivers the whole
+ * batch in one virtual call. 32 bytes, two per cache line.
+ */
+struct ExecEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Inst,       ///< retired without writing a destination register
+        InstWrote,  ///< retired and wrote `value` to its destination
+        Load,       ///< memory read: `size` bytes at `addr` gave `value`
+        Store,      ///< memory write: `size` bytes of `value` at `addr`
+        Call,       ///< control entered procedure `addr` from pc
+    };
+
+    Kind kind;
+    std::uint8_t size;    ///< access width (Load/Store only)
+    std::uint32_t pc;     ///< instruction index (Call: the caller's)
+    const Inst *inst;     ///< the instruction (Inst/InstWrote only)
+    std::uint64_t addr;   ///< address (Load/Store) or callee entry (Call)
+    std::uint64_t value;  ///< result / loaded / stored value
+};
+
+/**
  * Observer of architectural events during interpretation.
  *
  * All callbacks fire *after* the instruction has executed, so result
@@ -36,6 +63,96 @@ class ExecListener
 {
   public:
     virtual ~ExecListener() = default;
+
+    /** Bits for eventInterest(). */
+    enum : unsigned
+    {
+        kInterestInst = 1u << 0,   ///< Inst and InstWrote events
+        kInterestLoad = 1u << 1,   ///< Load events
+        kInterestStore = 1u << 2,  ///< Store events
+        kInterestCall = 1u << 3,   ///< Call events
+        kInterestAll = 0xFu,
+    };
+
+    /**
+     * Which event kinds this listener wants, as a bitmask of the
+     * kInterest* bits. The interpreter latches the union over all
+     * attached listeners each time it enters its loop and never
+     * materializes events no listener asked for — a listener that
+     * narrows its interest (the InstrumentManager reports exactly the
+     * kinds with a registered tool) makes the unwanted kinds cost
+     * zero, and an attached listener wanting nothing runs at native
+     * speed. Latched, not polled: register routing before run()/
+     * step(); a change takes effect on the next entry.
+     *
+     * Interest is a licence to drop, not a routing guarantee: with
+     * several listeners attached each receives the union's events, so
+     * a listener must tolerate kinds it did not request (per-kind
+     * routing tables do this naturally).
+     */
+    virtual unsigned eventInterest() const { return kInterestAll; }
+
+    /**
+     * Optional per-pc filter for Inst/InstWrote events: nullptr means
+     * "every pc" (the default); otherwise a byte array covering every
+     * pc of the bound program, where zero means events from that pc
+     * are never materialized — selective insertion pushed down into
+     * the interpreter, so retirements of uninstrumented instructions
+     * cost one predictable array test instead of an event. Honoured
+     * only when this is the Cpu's sole listener (with several, their
+     * filters would have to be unioned per entry — not worth it for a
+     * configuration the hot benchmarks never use). Latched together
+     * with eventInterest(); the same licence-to-drop caveat applies.
+     */
+    virtual const std::uint8_t *instEventFilter() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * A batch of retired events, in retirement order.
+     *
+     * This is the only entry point the interpreter calls; the default
+     * implementation replays the batch through the fine-grained hooks
+     * below, so subclasses may override either this (one virtual call
+     * per batch — the fast path) or the per-event hooks (simple), and
+     * behave identically.
+     *
+     * Batches are delivered at basic-block granularity or better: the
+     * interpreter flushes when the buffer fills, when a call retires,
+     * and before returning to the caller, so `arg_regs` (the live
+     * argument-register file, regA0 upward) is architecturally final
+     * for the at-most-one Call event a batch carries — a Call is
+     * always the batch's last event. Events of one instruction are
+     * adjacent: its Load/Store precedes its Inst/InstWrote, matching
+     * the order the fine-grained hooks always fired in.
+     */
+    virtual void
+    onEvents(const ExecEvent *events, std::size_t n,
+             const std::uint64_t *arg_regs)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            const ExecEvent &e = events[i];
+            switch (e.kind) {
+              case ExecEvent::Kind::Inst:
+                onInst(e.pc, *e.inst, false, 0);
+                break;
+              case ExecEvent::Kind::InstWrote:
+                onInst(e.pc, *e.inst, true, e.value);
+                break;
+              case ExecEvent::Kind::Load:
+                onLoad(e.pc, e.addr, e.size, e.value);
+                break;
+              case ExecEvent::Kind::Store:
+                onStore(e.pc, e.addr, e.size, e.value);
+                break;
+              case ExecEvent::Kind::Call:
+                onCall(e.pc, static_cast<std::uint32_t>(e.addr),
+                       arg_regs);
+                break;
+            }
+        }
+    }
 
     /**
      * An instruction retired.
@@ -163,9 +280,66 @@ class Cpu
     std::uint64_t dynamicInsts() const { return icount; }
 
   private:
-    void exec(const Inst &inst);
-    void notifyCall(std::uint32_t caller_pc, std::uint32_t callee);
+    /**
+     * The interpreter loop: execute until halt or until `stop_after`
+     * instructions have retired in total (a soft stop — no halt
+     * reason). run() passes "never", step() passes icount + 1.
+     */
+    void interpret(std::uint64_t stop_after);
+
     void halt(StopReason reason);
+
+    // --- event batching ------------------------------------------------
+    //
+    // Retired events are recorded here and handed to listeners in
+    // batches (ExecListener::onEvents). The capacity bounds a batch;
+    // the flush mark leaves headroom for the at-most-two events one
+    // instruction can add (its memory access plus its retirement).
+
+    static constexpr std::size_t kEventCap = 256;
+    static constexpr std::size_t kEventFlushMark = kEventCap - 2;
+
+    /** Deliver buffered events to every listener and empty the buffer. */
+    void flushEvents();
+
+    void
+    pushInst(std::uint32_t pc, const Inst *inst, bool wrote,
+             std::uint64_t value)
+    {
+        ExecEvent &e = evbuf[evCount++];
+        e.kind = wrote ? ExecEvent::Kind::InstWrote
+                       : ExecEvent::Kind::Inst;
+        e.size = 0;
+        e.pc = pc;
+        e.inst = inst;
+        e.addr = 0;
+        e.value = value;
+    }
+
+    void
+    pushMem(ExecEvent::Kind kind, std::uint32_t pc, std::uint64_t addr,
+            unsigned size, std::uint64_t value)
+    {
+        ExecEvent &e = evbuf[evCount++];
+        e.kind = kind;
+        e.size = static_cast<std::uint8_t>(size);
+        e.pc = pc;
+        e.inst = nullptr;
+        e.addr = addr;
+        e.value = value;
+    }
+
+    void
+    pushCall(std::uint32_t caller_pc, std::uint32_t callee)
+    {
+        ExecEvent &e = evbuf[evCount++];
+        e.kind = ExecEvent::Kind::Call;
+        e.size = 0;
+        e.pc = caller_pc;
+        e.inst = nullptr;
+        e.addr = callee;
+        e.value = 0;
+    }
 
     const Program &prog;
     CpuConfig cfg;
@@ -182,6 +356,9 @@ class Cpu
     std::vector<std::int64_t> outputInts;
 
     std::vector<ExecListener *> listeners;
+
+    ExecEvent evbuf[kEventCap];
+    std::size_t evCount = 0;
 };
 
 } // namespace vpsim

@@ -1,5 +1,7 @@
 #include "vpsim/eval.hpp"
 
+#include <limits>
+
 namespace vpsim
 {
 
@@ -35,12 +37,16 @@ evalPure(const Inst &inst, std::uint64_t a, std::uint64_t b,
       case Opcode::SUB: out = a - b; return true;
       case Opcode::MUL: out = a * b; return true;
       case Opcode::DIV:
-        if (b == 0)
+        // Mirrors the interpreter's trap conditions: divide by zero
+        // and the unrepresentable INT64_MIN / -1 quotient.
+        if (b == 0 || (sa == std::numeric_limits<std::int64_t>::min() &&
+                       sb == -1))
             return false;
         out = static_cast<std::uint64_t>(sa / sb);
         return true;
       case Opcode::REM:
-        if (b == 0)
+        if (b == 0 || (sa == std::numeric_limits<std::int64_t>::min() &&
+                       sb == -1))
             return false;
         out = static_cast<std::uint64_t>(sa % sb);
         return true;

@@ -213,6 +213,106 @@ loop:
     EXPECT_LT(prof.fractionProfiled(), 0.5);
 }
 
+// Regression: onLoadValue used to ignore cfg.mode and record every
+// load unconditionally. Loads must obey the profiling mode, with an
+// independent convergent sampler per location for the read stream.
+TEST(MemoryProfiler, LoadsObeySampledMode)
+{
+    MemProfilerConfig cfg;
+    cfg.profileLoads = true;
+    cfg.mode = ProfileMode::Sampled;
+    cfg.sampler.burstSize = 8;
+    cfg.sampler.initialSkip = 24;
+    cfg.sampler.convergeRounds = 2;
+
+    Program prog = assemble(R"(
+    .data
+hot:    .space 8
+    .text
+    la   t1, hot
+    li   t2, 77
+    st   t2, 0(t1)
+    li   t0, 5000
+loop:
+    ld   t3, 0(t1)
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    syscall exit
+)");
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(prog, CpuConfig{1u << 16, 1'000'000});
+    MemoryProfiler prof(cfg);
+    prof.instrument(mgr);
+    mgr.attach(cpu);
+    cpu.run();
+
+    const auto *loc = prof.locationFor(prog.dataAddress("hot"));
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->totalReads, 5000u);
+    // An invariant read stream converges: most reads are skipped while
+    // the estimate stays exact (the burst-end invariance report).
+    EXPECT_LT(loc->reads.executions(), 2000u);
+    EXPECT_GT(loc->reads.executions(), 0u);
+    EXPECT_DOUBLE_EQ(loc->reads.invTop(), 1.0);
+    EXPECT_TRUE(loc->readSampler.converged());
+    // The write stream's sampler is untouched by reads.
+    EXPECT_EQ(loc->totalWrites, 1u);
+}
+
+TEST(MemoryProfiler, LoadsObeyRandomMode)
+{
+    MemProfilerConfig cfg;
+    cfg.profileLoads = true;
+    cfg.mode = ProfileMode::Random;
+    cfg.randomRate = 0.25;
+
+    Program prog = assemble(R"(
+    .data
+hot:    .space 8
+    .text
+    la   t1, hot
+    li   t0, 2000
+loop:
+    ld   t3, 0(t1)
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a0, 0
+    syscall exit
+)");
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(prog, CpuConfig{1u << 16, 1'000'000});
+    MemoryProfiler prof(cfg);
+    prof.instrument(mgr);
+    mgr.attach(cpu);
+    cpu.run();
+
+    const auto *loc = prof.locationFor(prog.dataAddress("hot"));
+    ASSERT_NE(loc, nullptr);
+    EXPECT_EQ(loc->totalReads, 2000u);
+    // ~500 expected; any deterministic draw lands well inside this.
+    EXPECT_GT(loc->reads.executions(), 100u);
+    EXPECT_LT(loc->reads.executions(), 1500u);
+}
+
+// Regression: storeCount used to include stores dropped by the
+// maxLocations cap, so fractionProfiled() dipped below 1 on
+// overflowing Full-mode runs — misreporting a capacity problem as a
+// sampling one. Dropped accesses are now reported separately.
+TEST(MemoryProfiler, OverflowReportsDropsWithoutSkewingFraction)
+{
+    MemProfilerConfig cfg;
+    cfg.maxLocations = 2;
+    Env env(cfg);
+    EXPECT_TRUE(env.profiler.overflowed());
+    // All 21 in-window stores counted; c's single store was dropped.
+    EXPECT_EQ(env.profiler.totalStores(), 21u);
+    EXPECT_EQ(env.profiler.droppedStores(), 1u);
+    EXPECT_DOUBLE_EQ(env.profiler.fractionProfiled(), 1.0);
+}
+
 TEST(MemoryProfilerDeath, BadGranularityPanics)
 {
     MemProfilerConfig cfg;

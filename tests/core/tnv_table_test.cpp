@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "check/seed.hpp"
@@ -374,6 +375,159 @@ TEST(TnvTableMerge, MergeIntoEmptyCopiesOther)
     a.merge(b);
     EXPECT_EQ(a.recordCount(), 3u);
     EXPECT_EQ(a.countFor(9), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Fast-path equivalence
+// ---------------------------------------------------------------------
+
+/**
+ * Reference model replicating record()'s pre-fast-path semantics: a
+ * full linear scan on every record, with the same LFU/LRU victim
+ * selection and SteadyClear policy. TnvTable's cached-hot-entry fast
+ * path must be observationally identical to this.
+ */
+struct ReferenceTnv
+{
+    explicit ReferenceTnv(const TnvConfig &c) : cfg(c) {}
+
+    void
+    record(std::uint64_t value)
+    {
+        ++records;
+        bool found = false;
+        for (auto &e : entries) {
+            if (e.value == value) {
+                ++e.count;
+                e.lastUse = records;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (entries.size() < cfg.capacity) {
+                entries.push_back({value, 1, records});
+            } else {
+                std::size_t best = 0;
+                for (std::size_t i = 1; i < entries.size(); ++i) {
+                    const auto &e = entries[i];
+                    const auto &b = entries[best];
+                    if (cfg.policy == TnvConfig::Policy::Lru
+                            ? e.lastUse < b.lastUse
+                            : e.count < b.count ||
+                                  (e.count == b.count &&
+                                   e.lastUse < b.lastUse))
+                        best = i;
+                }
+                entries[best] = {value, 1, records};
+            }
+        }
+        if (cfg.policy == TnvConfig::Policy::SteadyClear &&
+            ++sinceClear >= cfg.clearInterval) {
+            sinceClear = 0;
+            if (entries.size() > 1) {
+                std::sort(entries.begin(), entries.end(),
+                          [](const core::TnvEntry &a,
+                             const core::TnvEntry &b) {
+                              if (a.count != b.count)
+                                  return a.count > b.count;
+                              return a.lastUse < b.lastUse;
+                          });
+                entries.resize((entries.size() + 1) / 2);
+            }
+        }
+    }
+
+    TnvConfig cfg;
+    std::vector<core::TnvEntry> entries;
+    std::uint64_t records = 0;
+    std::uint64_t sinceClear = 0;
+};
+
+class TnvFastPathEquivalence
+    : public ::testing::TestWithParam<TnvConfig::Policy>
+{
+};
+
+TEST_P(TnvFastPathEquivalence, MatchesReferenceScanOnRunHeavyStream)
+{
+    const TnvConfig cfg = config(8, 512, GetParam());
+    TnvTable table(cfg);
+    ReferenceTnv ref(cfg);
+
+    const std::uint64_t seed = vp::check::testSeed(31);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
+
+    // Run-heavy stream (the pattern the hot-entry cache exploits),
+    // interleaved with noise so insert/evict/clear paths all fire.
+    std::uint64_t run_value = 7;
+    std::uint64_t run_left = 0;
+    for (int i = 0; i < 30000; ++i) {
+        if (run_left == 0) {
+            run_value = rng.below(40);
+            run_left = 1 + rng.below(24);
+        }
+        const std::uint64_t v = rng.chance(0.9) ? run_value
+                                                : rng.below(4096);
+        --run_left;
+        table.record(v);
+        ref.record(v);
+
+        if (i % 499 == 0) {
+            // Entry-for-entry identical state, including recency.
+            auto got = table.sortedByCount();
+            auto want = ref.entries;
+            std::sort(want.begin(), want.end(),
+                      [](const core::TnvEntry &a,
+                         const core::TnvEntry &b) {
+                          if (a.count != b.count)
+                              return a.count > b.count;
+                          return a.lastUse < b.lastUse;
+                      });
+            ASSERT_EQ(got.size(), want.size()) << "at record " << i;
+            for (std::size_t k = 0; k < got.size(); ++k) {
+                ASSERT_EQ(got[k].value, want[k].value) << "slot " << k;
+                ASSERT_EQ(got[k].count, want[k].count) << "slot " << k;
+                ASSERT_EQ(got[k].lastUse, want[k].lastUse)
+                    << "slot " << k;
+            }
+        }
+    }
+    EXPECT_EQ(table.recordCount(), ref.records);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, TnvFastPathEquivalence,
+    ::testing::Values(TnvConfig::Policy::SteadyClear,
+                      TnvConfig::Policy::PureLfu,
+                      TnvConfig::Policy::Lru));
+
+TEST(TnvTable, RecordReportsHits)
+{
+    TnvTable t(config(2, 1000, TnvConfig::Policy::PureLfu));
+    EXPECT_FALSE(t.record(5)); // first sighting: miss
+    EXPECT_TRUE(t.record(5));  // cached-entry fast path hit
+    EXPECT_FALSE(t.record(9)); // insert
+    EXPECT_TRUE(t.record(5));  // hit via slow-path scan (cache on 9)
+    EXPECT_FALSE(t.record(7)); // evicts 9; still a miss
+    EXPECT_TRUE(t.record(7));
+}
+
+TEST(TnvTable, RecordCanaryDoubleCountsFastPathOnly)
+{
+    // The canary must skew exactly the fast path: hits through the
+    // cached entry add 2, every slow-path outcome stays honest.
+    TnvTable t(config(4, 1000, TnvConfig::Policy::PureLfu));
+    core::TnvTable::setRecordCanaryForTest(true);
+    t.record(5); // miss: honest insert at count 1
+    t.record(5); // fast-path hit: +2
+    t.record(5); // fast-path hit: +2
+    core::TnvTable::setRecordCanaryForTest(false);
+    EXPECT_EQ(t.countFor(5), 5u);
+    EXPECT_FALSE(core::TnvTable::recordCanaryForTest());
+    t.record(5);
+    EXPECT_EQ(t.countFor(5), 6u);
 }
 
 // ---------------------------------------------------------------------

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "check/generator.hpp"
+#include "core/instruction_profiler.hpp"
+#include "core/snapshot.hpp"
 #include "instrument/manager.hpp"
 #include "vpsim/assembler.hpp"
 
@@ -193,5 +198,155 @@ TEST_F(ManagerTest, ValuePassedIsArchitecturalResult)
     EXPECT_EQ(tool.instValues, 1u);
     EXPECT_EQ(tool.lastValue, 3u);
 }
+
+// ---------------------------------------------------------------------
+// Event-interest mask and per-pc filter
+// ---------------------------------------------------------------------
+
+TEST_F(ManagerTest, EventInterestTracksRegistrations)
+{
+    EXPECT_EQ(mgr.eventInterest(), 0u); // idle manager: native speed
+    mgr.instrumentInst(1, &tool);
+    EXPECT_EQ(mgr.eventInterest(), ExecListener::kInterestInst);
+    mgr.instrumentLoads(&tool);
+    mgr.instrumentStores(&tool);
+    EXPECT_EQ(mgr.eventInterest(),
+              ExecListener::kInterestInst | ExecListener::kInterestLoad |
+                  ExecListener::kInterestStore);
+    mgr.instrumentCalls(&tool);
+    EXPECT_EQ(mgr.eventInterest(), ExecListener::kInterestAll);
+    mgr.removeTool(&tool);
+    EXPECT_EQ(mgr.eventInterest(), 0u);
+}
+
+TEST_F(ManagerTest, InstEventFilterMirrorsInstrumentedPcs)
+{
+    mgr.instrumentInst(1, &tool);
+    mgr.instrumentInst(4, &tool);
+    const std::uint8_t *filter = mgr.instEventFilter();
+    ASSERT_NE(filter, nullptr);
+    for (std::uint32_t pc = 0; pc < img.numInsts(); ++pc)
+        EXPECT_EQ(filter[pc] != 0, pc == 1 || pc == 4) << "pc " << pc;
+    mgr.removeTool(&tool);
+    for (std::uint32_t pc = 0; pc < img.numInsts(); ++pc)
+        EXPECT_EQ(filter[pc], 0) << "pc " << pc;
+}
+
+// ---------------------------------------------------------------------
+// Batched vs routed delivery equivalence
+// ---------------------------------------------------------------------
+
+/**
+ * Listener that receives events through the base ExecListener's
+ * per-event replay (default onEvents) and forwards them to a manager's
+ * fine-grained hooks — the pre-batching delivery path, preserved here
+ * as a reference implementation.
+ */
+struct FineGrainedRelay : ExecListener
+{
+    explicit FineGrainedRelay(instr::InstrumentManager &m) : mgr(m) {}
+
+    void
+    onInst(std::uint32_t pc, const Inst &inst, bool wrote,
+           std::uint64_t value) override
+    {
+        mgr.onInst(pc, inst, wrote, value);
+    }
+
+    void
+    onLoad(std::uint32_t pc, std::uint64_t addr, unsigned size,
+           std::uint64_t value) override
+    {
+        mgr.onLoad(pc, addr, size, value);
+    }
+
+    void
+    onStore(std::uint32_t pc, std::uint64_t addr, unsigned size,
+            std::uint64_t value) override
+    {
+        mgr.onStore(pc, addr, size, value);
+    }
+
+    void
+    onCall(std::uint32_t caller_pc, std::uint32_t callee_entry,
+           const std::uint64_t *arg_regs) override
+    {
+        mgr.onCall(caller_pc, callee_entry, arg_regs);
+    }
+
+    instr::InstrumentManager &mgr;
+};
+
+enum class Delivery
+{
+    SoleToolBlock, ///< one tool, wantsEventBlocks → onEventBlock
+    GenericRouted, ///< second tool registered → per-event routing
+    FineGrained,   ///< relay through the manager's per-event hooks
+};
+
+/** Profile `prog` via one delivery mechanism; return the snapshot. */
+std::string
+profileVia(const Program &prog, Delivery how, core::ProfileMode mode)
+{
+    instr::Image img(prog);
+    instr::InstrumentManager mgr(img);
+    Cpu cpu(prog, CpuConfig{1u << 16, 10'000'000});
+
+    core::InstProfilerConfig cfg;
+    cfg.mode = mode;
+    core::InstructionProfiler prof(img, cfg);
+    prof.profileAllWrites(mgr);
+
+    instr::Tool dummy; // never fires; forces the generic routed path
+    FineGrainedRelay relay(mgr);
+    switch (how) {
+      case Delivery::SoleToolBlock:
+        mgr.attach(cpu);
+        break;
+      case Delivery::GenericRouted:
+        mgr.instrumentCalls(&dummy);
+        mgr.attach(cpu);
+        break;
+      case Delivery::FineGrained:
+        cpu.addListener(&relay);
+        break;
+    }
+    cpu.run();
+
+    std::ostringstream os;
+    core::ProfileSnapshot::fromInstructionProfiler(prof).save(os);
+    return os.str();
+}
+
+class DeliveryEquivalence
+    : public ::testing::TestWithParam<core::ProfileMode>
+{
+};
+
+TEST_P(DeliveryEquivalence, SnapshotsIdenticalAcrossDeliveryPaths)
+{
+    // The contract behind the whole hot path: batching, sole-tool
+    // block delivery, and the per-pc event filter are pure transport
+    // optimizations. For generated programs the resulting profile
+    // must be byte-identical however events travel.
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        SCOPED_TRACE("generator seed " + std::to_string(seed));
+        const auto gen = vp::check::generate(seed);
+        const std::string block =
+            profileVia(gen.program, Delivery::SoleToolBlock, GetParam());
+        const std::string routed =
+            profileVia(gen.program, Delivery::GenericRouted, GetParam());
+        const std::string fine =
+            profileVia(gen.program, Delivery::FineGrained, GetParam());
+        EXPECT_EQ(block, routed);
+        EXPECT_EQ(block, fine);
+        EXPECT_FALSE(block.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DeliveryEquivalence,
+                         ::testing::Values(core::ProfileMode::Full,
+                                           core::ProfileMode::Random,
+                                           core::ProfileMode::Sampled));
 
 } // namespace

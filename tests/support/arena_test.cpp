@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for SlabArena: stable addresses across growth, insertion-order
+ * iteration and indexing, and element lifetime.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/arena.hpp"
+
+namespace
+{
+
+TEST(SlabArena, EmptyArena)
+{
+    vp::SlabArena<int> a;
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_TRUE(a.begin() == a.end());
+}
+
+TEST(SlabArena, IndexingFollowsInsertionOrder)
+{
+    vp::SlabArena<int, 4> a;
+    for (int i = 0; i < 10; ++i)
+        a.emplaceBack(i * 7);
+    ASSERT_EQ(a.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a[static_cast<std::size_t>(i)], i * 7);
+}
+
+TEST(SlabArena, AddressesStableAcrossSlabGrowth)
+{
+    // The contract the memory profiler depends on: a pointer handed
+    // out early must stay valid while the arena keeps growing.
+    vp::SlabArena<std::uint64_t, 8> a;
+    std::vector<std::uint64_t *> ptrs;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        ptrs.push_back(&a.emplaceBack(i));
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        ASSERT_EQ(*ptrs[i], i);
+        ASSERT_EQ(&a[i], ptrs[i]);
+    }
+}
+
+TEST(SlabArena, RangeForVisitsInInsertionOrder)
+{
+    vp::SlabArena<int, 4> a;
+    for (int i = 0; i < 9; ++i) // crosses slab boundaries at 4 and 8
+        a.emplaceBack(i);
+    int expect = 0;
+    for (const int &v : a)
+        EXPECT_EQ(v, expect++);
+    EXPECT_EQ(expect, 9);
+
+    // Mutation through the non-const iterator sticks.
+    for (int &v : a)
+        v += 100;
+    EXPECT_EQ(a[0], 100);
+    EXPECT_EQ(a[8], 108);
+
+    // Const iteration sees the same sequence.
+    const auto &ca = a;
+    expect = 100;
+    for (const int &v : ca)
+        EXPECT_EQ(v, expect++);
+}
+
+TEST(SlabArena, EmplaceForwardsConstructorArgs)
+{
+    struct Rec
+    {
+        std::string name;
+        int tag;
+        Rec(std::string n, int t) : name(std::move(n)), tag(t) {}
+    };
+    vp::SlabArena<Rec, 2> a;
+    Rec &r = a.emplaceBack("alpha", 3);
+    a.emplaceBack("beta", 4);
+    a.emplaceBack("gamma", 5);
+    EXPECT_EQ(r.name, "alpha");
+    EXPECT_EQ(a[2].name, "gamma");
+    EXPECT_EQ(a[2].tag, 5);
+}
+
+TEST(SlabArena, DestructorsRunOnceEach)
+{
+    static int live = 0;
+    struct Counted
+    {
+        Counted() { ++live; }
+        ~Counted() { --live; }
+    };
+    {
+        vp::SlabArena<Counted, 4> a;
+        for (int i = 0; i < 11; ++i)
+            a.emplaceBack();
+        EXPECT_EQ(live, 11);
+        a.clear();
+        EXPECT_EQ(live, 0);
+        for (int i = 0; i < 3; ++i)
+            a.emplaceBack();
+        EXPECT_EQ(live, 3);
+    }
+    EXPECT_EQ(live, 0); // arena destructor finishes the rest
+}
+
+TEST(SlabArena, ForEachMatchesIndexing)
+{
+    vp::SlabArena<int, 4> a;
+    for (int i = 0; i < 7; ++i)
+        a.emplaceBack(i);
+    std::vector<int> seen;
+    a.forEach([&](int v) { seen.push_back(v); });
+    ASSERT_EQ(seen.size(), 7u);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+} // namespace

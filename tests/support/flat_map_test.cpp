@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for FlatIndexMap64: lookup/insert semantics, the zero key,
+ * growth, and differential equivalence against std::unordered_map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "check/seed.hpp"
+#include "support/flat_map.hpp"
+#include "support/rng.hpp"
+
+using vp::FlatIndexMap64;
+
+namespace
+{
+
+TEST(FlatIndexMap64, EmptyMap)
+{
+    FlatIndexMap64 m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.lookup(0), FlatIndexMap64::kNoIndex);
+    EXPECT_EQ(m.lookup(42), FlatIndexMap64::kNoIndex);
+}
+
+TEST(FlatIndexMap64, InsertThenLookup)
+{
+    FlatIndexMap64 m;
+    m.insert(100, 0);
+    m.insert(200, 1);
+    EXPECT_EQ(m.lookup(100), 0u);
+    EXPECT_EQ(m.lookup(200), 1u);
+    EXPECT_EQ(m.lookup(300), FlatIndexMap64::kNoIndex);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatIndexMap64, ZeroIsAValidKey)
+{
+    // Emptiness is tracked on the value side precisely so that key 0
+    // (a real bucketed address) needs no special casing.
+    FlatIndexMap64 m;
+    m.insert(0, 7);
+    EXPECT_EQ(m.lookup(0), 7u);
+    for (std::uint64_t k = 1; k <= 200; ++k)
+        m.insert(k, static_cast<std::uint32_t>(k));
+    EXPECT_EQ(m.lookup(0), 7u); // survives growth
+}
+
+TEST(FlatIndexMap64, GrowthPreservesEveryEntry)
+{
+    FlatIndexMap64 m;
+    // Well past the initial 64-slot table and several doublings.
+    for (std::uint32_t i = 0; i < 5000; ++i)
+        m.insert(static_cast<std::uint64_t>(i) * 0x9E3779B9u, i);
+    EXPECT_EQ(m.size(), 5000u);
+    for (std::uint32_t i = 0; i < 5000; ++i)
+        ASSERT_EQ(m.lookup(static_cast<std::uint64_t>(i) * 0x9E3779B9u),
+                  i);
+}
+
+TEST(FlatIndexMap64, ClearForgets)
+{
+    FlatIndexMap64 m;
+    m.insert(1, 1);
+    m.insert(2, 2);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.lookup(1), FlatIndexMap64::kNoIndex);
+    m.insert(1, 9);
+    EXPECT_EQ(m.lookup(1), 9u);
+}
+
+TEST(FlatIndexMap64, DifferentialAgainstStdMap)
+{
+    const std::uint64_t seed = vp::check::testSeed(13);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
+    FlatIndexMap64 m;
+    std::unordered_map<std::uint64_t, std::uint32_t> ref;
+    std::uint32_t next_index = 0;
+    for (int i = 0; i < 20000; ++i) {
+        // The profiler's access pattern: look a key up, insert it with
+        // the next dense index on a miss.
+        const std::uint64_t k =
+            rng.chance(0.5) ? rng.below(64) : rng.next();
+        const auto it = ref.find(k);
+        const std::uint32_t want =
+            it == ref.end() ? FlatIndexMap64::kNoIndex : it->second;
+        ASSERT_EQ(m.lookup(k), want) << "key " << k;
+        if (it == ref.end()) {
+            m.insert(k, next_index);
+            ref.emplace(k, next_index);
+            ++next_index;
+        }
+        ASSERT_EQ(m.size(), ref.size());
+    }
+    EXPECT_GT(m.size(), 64u); // growth definitely exercised
+}
+
+TEST(FlatIndexMap64Death, ReservedValuePanics)
+{
+    FlatIndexMap64 m;
+    EXPECT_DEATH(m.insert(5, FlatIndexMap64::kNoIndex), "reserved");
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for FlatSet64: inline/spill behaviour, the zero-key flag, and
+ * differential equivalence against std::unordered_set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "check/seed.hpp"
+#include "support/flat_set.hpp"
+#include "support/rng.hpp"
+
+using vp::FlatSet64;
+
+namespace
+{
+
+TEST(FlatSet64, EmptySet)
+{
+    FlatSet64 s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_FALSE(s.contains(42));
+}
+
+TEST(FlatSet64, InsertReportsNovelty)
+{
+    FlatSet64 s;
+    EXPECT_TRUE(s.insert(5));
+    EXPECT_FALSE(s.insert(5));
+    EXPECT_TRUE(s.insert(6));
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_TRUE(s.contains(6));
+    EXPECT_FALSE(s.contains(7));
+}
+
+TEST(FlatSet64, ZeroIsAValidKey)
+{
+    // 0 is the spill table's empty sentinel, so it gets special
+    // handling — it must still behave like any other element.
+    FlatSet64 s;
+    EXPECT_TRUE(s.insert(0));
+    EXPECT_FALSE(s.insert(0));
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_EQ(s.size(), 1u);
+    // And it survives a spill to the table.
+    for (std::uint64_t k = 1; k <= 100; ++k)
+        s.insert(k);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_EQ(s.size(), 101u);
+}
+
+TEST(FlatSet64, SpillBoundaryPreservesMembership)
+{
+    // Cross the inline capacity (8) one element at a time; membership
+    // and size must be seamless across the spill.
+    FlatSet64 s;
+    for (std::uint64_t k = 1; k <= 32; ++k) {
+        EXPECT_TRUE(s.insert(k * 1000));
+        EXPECT_EQ(s.size(), k);
+        for (std::uint64_t j = 1; j <= k; ++j)
+            ASSERT_TRUE(s.contains(j * 1000)) << "after " << k;
+        EXPECT_FALSE(s.contains(999));
+    }
+}
+
+TEST(FlatSet64, ClearForgets)
+{
+    FlatSet64 s;
+    s.insert(0);
+    for (std::uint64_t k = 1; k <= 50; ++k)
+        s.insert(k);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_FALSE(s.contains(7));
+    EXPECT_TRUE(s.insert(7));
+}
+
+TEST(FlatSet64, ForEachVisitsEveryKeyOnce)
+{
+    FlatSet64 s;
+    std::unordered_set<std::uint64_t> want;
+    const std::uint64_t seed = vp::check::testSeed(11);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t k = rng.below(300); // collisions likely
+        s.insert(k);
+        want.insert(k);
+    }
+    std::vector<std::uint64_t> seen;
+    s.forEach([&](std::uint64_t k) { seen.push_back(k); });
+    EXPECT_EQ(seen.size(), want.size());
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) ==
+                seen.end());
+    for (auto k : seen)
+        EXPECT_TRUE(want.count(k));
+}
+
+TEST(FlatSet64, DifferentialAgainstStdSet)
+{
+    // Random interleaving of inserts and lookups, mirrored against
+    // std::unordered_set: every return value must agree.
+    const std::uint64_t seed = vp::check::testSeed(12);
+    SCOPED_TRACE(vp::check::seedMessage(seed));
+    vp::Rng rng(seed);
+    FlatSet64 s;
+    std::unordered_set<std::uint64_t> ref;
+    for (int i = 0; i < 20000; ++i) {
+        // Small key space early, huge later — exercises inline, the
+        // spill, several growths, and heavy duplicate traffic.
+        const std::uint64_t k = rng.chance(0.3)
+                                    ? rng.below(16)
+                                    : rng.next();
+        if (rng.chance(0.7)) {
+            ASSERT_EQ(s.insert(k), ref.insert(k).second) << "key " << k;
+        } else {
+            ASSERT_EQ(s.contains(k), ref.count(k) != 0) << "key " << k;
+        }
+        ASSERT_EQ(s.size(), ref.size());
+    }
+}
+
+} // namespace

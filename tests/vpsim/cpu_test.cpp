@@ -290,6 +290,48 @@ TEST(Cpu, DivideByZeroTraps)
     EXPECT_EQ(res.reason, StopReason::BadInst);
 }
 
+// INT64_MIN / -1 is the one signed division whose quotient is not
+// representable; hardware faults on it and the interpreter must trap
+// (BadInst) rather than execute the host's UB divide. Regression for
+// a bug the UBSan CI leg flagged: the pre-check only tested b == 0.
+TEST(Cpu, DivOverflowTraps)
+{
+    const RunResult res = runSrc(R"(
+    li  t0, -9223372036854775808
+    li  t1, -1
+    div t2, t0, t1
+    syscall exit
+)");
+    EXPECT_EQ(res.reason, StopReason::BadInst);
+}
+
+TEST(Cpu, RemOverflowTraps)
+{
+    const RunResult res = runSrc(R"(
+    li  t0, -9223372036854775808
+    li  t1, -1
+    rem t2, t0, t1
+    syscall exit
+)");
+    EXPECT_EQ(res.reason, StopReason::BadInst);
+}
+
+// The trapping instruction must not retire: no icount bump, no
+// destination write.
+TEST(Cpu, DivOverflowDoesNotRetire)
+{
+    Cpu *cpu = nullptr;
+    runSrc(R"(
+    li  t0, -9223372036854775808
+    li  t1, -1
+    li  t2, 42
+    div t2, t0, t1
+    syscall exit
+)", &cpu);
+    EXPECT_EQ(cpu->readReg(regT0 + 2), 42u);
+    EXPECT_EQ(cpu->dynamicInsts(), 3u);
+}
+
 TEST(Cpu, OutOfBoundsLoadTraps)
 {
     const RunResult res = runSrc(R"(

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare two table_hotpath BENCH JSON files for throughput regressions.
+
+Usage: bench_compare.py BASELINE_JSON CURRENT_JSON [--max-regress PCT]
+
+Fails (exit 1) when any suite-level geomean throughput in CURRENT is
+more than PCT percent (default 15) below BASELINE. Per-workload rows
+are only warned about: single workloads on a loaded CI box jitter well
+beyond what a geomean over the suite does, so rows inform, geomeans
+gate. Workloads present in only one file are ignored for comparison
+but reported, so a silently shrinking suite is visible.
+
+The committed BENCH_hotpath.json is the baseline of record; CI runs a
+fresh --smoke measurement against it (smoke runs carry fewer workloads
+— the geomeans are then recomputed over the common subset).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def geomean(values):
+    assert values
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if data.get("bench") != "table_hotpath":
+        sys.exit(f"bench_compare: {path} is not a table_hotpath report")
+    return data
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=15.0,
+                    help="max allowed geomean regression, percent")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    base_rows = {w["name"]: w for w in base["workloads"]}
+    cur_rows = {w["name"]: w for w in cur["workloads"]}
+    common = sorted(base_rows.keys() & cur_rows.keys())
+    if not common:
+        sys.exit("bench_compare: no common workloads to compare")
+    for name in sorted(base_rows.keys() ^ cur_rows.keys()):
+        side = "baseline" if name in base_rows else "current"
+        print(f"note: workload '{name}' only in {side}; skipped")
+
+    cells = ["native_ips", "attached_ips", "full_ips", "sampled_ips"]
+
+    # Per-row deltas: informational only.
+    for name in common:
+        for cell in cells:
+            b = base_rows[name][cell]
+            c = cur_rows[name][cell]
+            delta = 100.0 * (c - b) / b
+            if delta < -args.max_regress:
+                print(f"warn: {name}.{cell} {delta:+.1f}% "
+                      f"({b} -> {c})")
+
+    # Suite gate: geomeans over the common subset.
+    failed = False
+    for cell in cells:
+        b = geomean([base_rows[n][cell] for n in common])
+        c = geomean([cur_rows[n][cell] for n in common])
+        delta = 100.0 * (c - b) / b
+        status = "ok"
+        if delta < -args.max_regress:
+            status = "FAIL"
+            failed = True
+        print(f"{status}: geomean {cell} {delta:+.1f}% "
+              f"({b:.3e} -> {c:.3e}, {len(common)} workloads)")
+
+    if failed:
+        sys.exit(f"bench_compare: geomean throughput regressed more "
+                 f"than {args.max_regress:.0f}% vs {args.baseline}")
+    print("bench_compare: within budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,9 +11,11 @@
 # address, undefined, thread) to run a subset — `tools/ci.sh thread`
 # runs only the TSan leg.
 #
-# The plain build also runs an observability smoke: a 4-job sampled
+# The plain build also runs an observability smoke (a 4-job sampled
 # suite profile whose stats/trace JSON is schema-checked by
-# tools/check_stats_json.py. The ASan and TSan builds additionally run
+# tools/check_stats_json.py) and a hot-path bench smoke gated against
+# the committed BENCH_hotpath.json baseline by tools/bench_compare.py.
+# The ASan and TSan builds additionally run
 # a fixed-seed vpcheck differential smoke, so the random-program
 # checkers execute under the sanitizers most likely to catch engine
 # memory and threading bugs, plus a vpd loopback smoke: vpprof --emit
@@ -53,6 +55,30 @@ vpcheck_smoke() {
     local dir="$1"
     echo "=== [${dir}] vpcheck smoke ==="
     "$dir/tools/vpcheck" --trials 20 --seed 1 --out "$dir"
+}
+
+# Measure the profiled-execution hot path (smoke shape: three
+# workloads; 5 reps, best kept, so scheduler noise on a loaded CI box
+# is filtered out) and gate on the committed baseline: a suite-geomean
+# throughput drop beyond 15% fails the leg. Per-workload jitter only
+# warns — see tools/bench_compare.py.
+hotpath_compare_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] hotpath bench compare ==="
+    "$dir/bench/table_hotpath" --smoke --reps 5 \
+        --out "$dir/bench-hotpath-smoke.json"
+    python3 tools/bench_compare.py BENCH_hotpath.json \
+        "$dir/bench-hotpath-smoke.json"
+}
+
+# Sanitized legs just drive the hot path end to end (threaded dispatch,
+# batched events, arena-backed profilers) under the sanitizer — timing
+# under ASan/TSan is meaningless, so no comparison.
+hotpath_sanitizer_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] hotpath smoke ==="
+    "$dir/bench/table_hotpath" --smoke \
+        --out "$dir/bench-hotpath-smoke.json" > /dev/null
 }
 
 # Stream a profile through a live vpd daemon on a unix socket (no port
@@ -112,10 +138,12 @@ run_config() {
     fi
     if [ "$san" = "none" ]; then
         observability_smoke "$dir"
+        hotpath_compare_smoke "$dir"
     fi
     if [ "$san" = "address" ] || [ "$san" = "thread" ]; then
         vpcheck_smoke "$dir"
         vpd_loopback_smoke "$dir"
+        hotpath_sanitizer_smoke "$dir"
     fi
 }
 

@@ -24,13 +24,17 @@
  *   --shards K       shards for the merge checker (default 3)
  *   --jobs N         worker threads for the parallel-merge leg
  *                    (default 3)
- *   --canary         mutation-canary mode: deliberately break
- *                    TnvTable::merge and *expect* the checkers to
- *                    catch it — exit 0 iff a divergence is found,
- *                    shrunk, and bundled within the trial budget.
- *                    Combines with --replay: a bundle produced by a
- *                    canary run reproduces its divergence only with
- *                    the canary re-enabled
+ *   --canary[=KIND]  mutation-canary mode: deliberately break the
+ *                    engine and *expect* the checkers to catch it —
+ *                    exit 0 iff a divergence is found, shrunk, and
+ *                    bundled within the trial budget. KIND selects the
+ *                    planted bug: `merge` breaks TnvTable::merge,
+ *                    `record` makes the record() hot-path cache
+ *                    double-count its hits, and `all` (the default)
+ *                    runs one full phase per kind and requires every
+ *                    one to be caught. Combines with --replay: a
+ *                    bundle produced by a canary run reproduces its
+ *                    divergence only with the same canary re-enabled
  *   --replay FILE    re-run the checkers on a saved bundle
  *
  * Exit status: 0 = no divergence (or, with --canary, the canary was
@@ -65,7 +69,8 @@ struct Options
     std::string outDir = ".";
     unsigned shards = 3;
     unsigned jobs = 3;
-    bool canary = false;
+    /** Empty = no canary; else "merge", "record", or "all". */
+    std::string canaryKind;
     std::string replayFile;
     std::size_t shrinkBudget = 400;
 };
@@ -75,7 +80,8 @@ usage()
 {
     std::cerr <<
         "usage: vpcheck [--trials N] [--seed S] [--checker NAME]\n"
-        "               [--out DIR] [--shards K] [--jobs N] [--canary]\n"
+        "               [--out DIR] [--shards K] [--jobs N]\n"
+        "               [--canary[=merge|record|all]]\n"
         "       vpcheck --replay FILE.vps [--checker NAME]\n"
         "checkers: all, oracle, merge, sampled, snapshot, serve\n";
     std::exit(2);
@@ -116,7 +122,13 @@ parseArgs(int argc, char **argv)
         } else if (a == "--jobs") {
             opt.jobs = static_cast<unsigned>(parseU64(next(), "jobs"));
         } else if (a == "--canary") {
-            opt.canary = true;
+            opt.canaryKind = "all";
+        } else if (a.rfind("--canary=", 0) == 0) {
+            opt.canaryKind = a.substr(std::strlen("--canary="));
+            if (opt.canaryKind != "merge" &&
+                opt.canaryKind != "record" && opt.canaryKind != "all")
+                vp_fatal("--canary wants merge, record, or all; got "
+                         "'%s'", opt.canaryKind.c_str());
         } else if (a == "--replay") {
             opt.replayFile = next();
         } else if (a == "--shrink-budget") {
@@ -190,7 +202,8 @@ writeBundle(const Options &opt, vp::check::Checker checker,
     os << "# shrunk: " << shrunk.originalLines << " -> "
        << shrunk.finalLines << " lines in " << shrunk.attempts
        << " attempts\n";
-    const char *canary = opt.canary ? " --canary" : "";
+    const std::string canary =
+        opt.canaryKind.empty() ? "" : " --canary=" + opt.canaryKind;
     os << "# reproduce: vpcheck" << canary << " --trials 1 --seed "
        << base_seed << " --checker "
        << vp::check::checkerName(checker) << "\n";
@@ -219,6 +232,16 @@ reportDivergence(const Options &opt, vp::check::Checker checker,
               << path << "\n";
 }
 
+/** Plant (or lift) the canaries selected by `kind`. */
+void
+setCanaries(const std::string &kind, bool enabled)
+{
+    if (kind == "merge" || kind == "all")
+        core::TnvTable::setMergeCanaryForTest(enabled);
+    if (kind == "record" || kind == "all")
+        core::TnvTable::setRecordCanaryForTest(enabled);
+}
+
 int
 runReplay(const Options &opt)
 {
@@ -238,8 +261,8 @@ runReplay(const Options &opt)
     vp::check::CheckOptions copts;
     copts.shards = opt.shards;
     copts.mergeJobs = opt.jobs;
-    if (opt.canary)
-        core::TnvTable::setMergeCanaryForTest(true);
+    if (!opt.canaryKind.empty())
+        setCanaries(opt.canaryKind, true);
     int divergences = 0;
     for (const auto checker : selectedCheckers(opt.checker)) {
         const auto res = vp::check::runChecker(checker, prog, copts);
@@ -253,22 +276,71 @@ runReplay(const Options &opt)
                       << "] DIVERGENCE: " << res.detail << "\n";
         }
     }
-    // With the canary planted, reproducing the divergence is success.
-    if (opt.canary)
+    // With a canary planted, reproducing the divergence is success.
+    if (!opt.canaryKind.empty())
         return divergences ? 0 : 1;
     return divergences ? 1 : 0;
 }
 
+/**
+ * One canary phase: plant exactly one kind of bug and spend the trial
+ * budget trying to catch it. Returns 0 iff the checkers caught it.
+ */
 int
-runTrials(const Options &opt)
+runCanaryPhase(const Options &opt, const std::string &kind)
 {
+    Options phase = opt;
+    phase.canaryKind = kind;  // replay bundles name the planted bug
     const auto checkers = selectedCheckers(opt.checker);
     vp::check::CheckOptions copts;
     copts.shards = opt.shards;
     copts.mergeJobs = opt.jobs;
 
-    if (opt.canary)
-        core::TnvTable::setMergeCanaryForTest(true);
+    setCanaries(kind, true);
+    int rc = 1;
+    for (std::uint64_t i = 0; i < opt.trials && rc != 0; ++i) {
+        const std::uint64_t base = opt.seed + i;
+        const auto gen =
+            vp::check::generate(vp::check::trialSeed(base, 0));
+        for (const auto checker : checkers) {
+            const auto res =
+                vp::check::runChecker(checker, gen.program, copts);
+            if (res.ok)
+                continue;
+            reportDivergence(phase, checker, copts, base, gen.source,
+                             res.detail);
+            std::cout << "vpcheck: canary '" << kind
+                      << "' caught after " << (i + 1) << " trial(s)\n";
+            rc = 0;
+            break;
+        }
+    }
+    setCanaries(kind, false);
+    if (rc != 0)
+        std::cerr << "vpcheck: canary '" << kind << "' NOT caught in "
+                  << opt.trials << " trials — the checkers are blind "
+                     "to this planted bug\n";
+    return rc;
+}
+
+int
+runTrials(const Options &opt)
+{
+    if (!opt.canaryKind.empty()) {
+        const std::vector<std::string> kinds =
+            opt.canaryKind == "all"
+                ? std::vector<std::string>{"merge", "record"}
+                : std::vector<std::string>{opt.canaryKind};
+        for (const auto &kind : kinds)
+            if (runCanaryPhase(opt, kind) != 0)
+                return 1;
+        return 0;
+    }
+
+    const auto checkers = selectedCheckers(opt.checker);
+    vp::check::CheckOptions copts;
+    copts.shards = opt.shards;
+    copts.mergeJobs = opt.jobs;
 
     for (std::uint64_t i = 0; i < opt.trials; ++i) {
         // Trial i of base seed S is trial 0 of base seed S+i.
@@ -282,21 +354,10 @@ runTrials(const Options &opt)
                 continue;
             reportDivergence(opt, checker, copts, base, gen.source,
                              res.detail);
-            if (opt.canary) {
-                std::cout << "vpcheck: canary caught after "
-                          << (i + 1) << " trial(s)\n";
-                return 0;
-            }
             return 1;
         }
     }
 
-    if (opt.canary) {
-        std::cerr << "vpcheck: canary NOT caught in " << opt.trials
-                  << " trials — the checkers are blind to a broken "
-                     "TnvTable::merge\n";
-        return 1;
-    }
     std::cout << "vpcheck: " << opt.trials << " trial(s) x "
               << checkers.size() << " checker(s), 0 divergences "
               << "(seeds " << opt.seed << ".."
