@@ -1,0 +1,422 @@
+/**
+ * @file
+ * E19 — profile encoding density at millions-of-locations scale.
+ *
+ * Builds synthetic snapshots shaped like real memory-value profiles
+ * (mostly single-valued locations, a hot multi-valued minority) and
+ * measures how many bytes each entity costs in every encoding:
+ *
+ *   snapshot v1 — the text format (one line per entity);
+ *   snapshot v2 — the compressed binary entity block;
+ *   wire v1     — fixed-width delta payloads, chunked like an emitter;
+ *   wire v2     — compressed delta payloads, same chunking.
+ *
+ * Sizes are counted through a byte-counting stream, so the bench never
+ * materialises a v1 rendering of a multi-million-entity profile — the
+ * peak-RSS figure it reports is dominated by the snapshot itself plus
+ * one encoded chunk, which is the bound the vpd daemon lives under.
+ *
+ * Like table_hotpath this bench exists to be *tracked*: it writes
+ * BENCH_compression.json (see tools/bench_compare.py), and the CI
+ * sanitizer leg runs it in --smoke form. The PR budget it guards:
+ * v2 must stay at least 4x denser than v1 on both surfaces.
+ *
+ * Usage: table_compression [--out FILE] [--reps N] [--smoke]
+ *   --out FILE  where the JSON lands (default BENCH_compression.json)
+ *   --reps N    timed encode repetitions per shape (default 3)
+ *   --smoke     20k entities per shape — the sanitizer-leg CI smoke
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "serve/wire.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+#include <iostream>
+
+namespace
+{
+
+using clock_type = std::chrono::steady_clock;
+using core::EntitySummary;
+using core::ProfileSnapshot;
+
+/** Discards everything written to it, keeping only the byte count. */
+class CountingBuf : public std::streambuf
+{
+  public:
+    std::uint64_t count = 0;
+
+  protected:
+    int overflow(int ch) override
+    {
+        ++count;
+        return ch;
+    }
+    std::streamsize xsputn(const char *, std::streamsize n) override
+    {
+        count += static_cast<std::uint64_t>(n);
+        return n;
+    }
+};
+
+std::uint64_t
+savedBytes(const ProfileSnapshot &snap, int version)
+{
+    CountingBuf buf;
+    std::ostream os(&buf);
+    snap.save(os, version);
+    return buf.count;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** A location that only ever held one value — the common case the
+ *  compact encodings exist for. */
+EntitySummary
+constantSummary(std::uint64_t value, std::uint64_t total)
+{
+    EntitySummary s;
+    s.totalExecutions = total;
+    s.profiledExecutions = total;
+    s.distinct = 1;
+    s.topValues = {{value, total}};
+    s.invTop = 1.0;
+    s.invAll = 1.0;
+    s.lvp = total > 0
+                ? static_cast<double>(total - 1) /
+                      static_cast<double>(total)
+                : 0.0;
+    s.zeroFraction = value == 0 ? 1.0 : 0.0;
+    return s;
+}
+
+/** A hot multi-valued location (full TNV table). */
+EntitySummary
+hotSummary(std::uint64_t &rng, std::size_t ntop)
+{
+    EntitySummary s;
+    s.distinct = 100;
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < ntop; ++i) {
+        const std::uint64_t c = 1000 >> i;
+        s.topValues.emplace_back(splitmix64(rng) >> 24, c);
+        covered += c;
+    }
+    s.profiledExecutions = covered + 200; // tail outside the table
+    s.totalExecutions = s.profiledExecutions * 2;
+    const double n = static_cast<double>(s.profiledExecutions);
+    s.invTop = static_cast<double>(s.topValues[0].second) / n;
+    s.invAll = static_cast<double>(covered) / n;
+    s.lvp = 0.5;
+    s.zeroFraction = 0.0;
+    return s;
+}
+
+enum class Shape
+{
+    ConstantDense,  ///< fixed-stride keys, uniform counts (run heaven)
+    ConstantSparse, ///< jittered keys and counts (no runs form)
+    Mixed,          ///< 90% constant, 10% hot — the realistic profile
+    HotMultiValue,  ///< every entity holds a full table (worst case)
+};
+
+ProfileSnapshot
+buildSnapshot(Shape shape, std::uint64_t entities)
+{
+    ProfileSnapshot snap;
+    std::uint64_t rng = 0x5EEDull + static_cast<std::uint64_t>(shape);
+    std::uint64_t key = 0x100000;
+    for (std::uint64_t i = 0; i < entities; ++i) {
+        switch (shape) {
+          case Shape::ConstantDense:
+            snap.entities.emplace(key, constantSummary(
+                (splitmix64(rng) >> 32), 16));
+            key += 8;
+            break;
+          case Shape::ConstantSparse:
+            snap.entities.emplace(key, constantSummary(
+                (splitmix64(rng) >> 32),
+                1 + (splitmix64(rng) & 63)));
+            key += 8 + (splitmix64(rng) & 0xF8);
+            break;
+          case Shape::Mixed:
+            if (i % 10 == 9)
+                snap.entities.emplace(key, hotSummary(rng, 4));
+            else
+                snap.entities.emplace(key, constantSummary(
+                    (splitmix64(rng) >> 32), 16));
+            key += 8;
+            break;
+          case Shape::HotMultiValue:
+            snap.entities.emplace(key, hotSummary(rng, 8));
+            key += 8;
+            break;
+        }
+    }
+    // A millions-of-locations run always overflows something.
+    snap.droppedStores = 17;
+    snap.droppedLoads = 3;
+    return snap;
+}
+
+/**
+ * Encode the snapshot as an emitter would — entity-disjoint delta
+ * frames of `chunk` entities — and return the summed frame bytes.
+ * The first chunk is decoded back as a sanity check.
+ */
+std::uint64_t
+wireBytes(const ProfileSnapshot &snap, std::uint16_t version,
+          std::uint64_t chunk)
+{
+    std::uint64_t bytes = 0;
+    vp::serve::Delta delta;
+    delta.producerId = 1;
+    delta.seq = 0;
+    bool verified = false;
+    auto it = snap.entities.begin();
+    while (it != snap.entities.end()) {
+        delta.entities.entities.clear();
+        for (std::uint64_t i = 0; i < chunk &&
+                                  it != snap.entities.end();
+             ++i, ++it)
+            delta.entities.entities.emplace(it->first, it->second);
+        ++delta.seq;
+        const auto frame = vp::serve::encodeDelta(delta, version);
+        bytes += frame.size();
+        if (!verified) {
+            vp::serve::Frame decoded;
+            std::size_t consumed = 0;
+            std::string error;
+            if (vp::serve::tryDecode(frame.data(), frame.size(),
+                                     decoded, consumed, error) !=
+                vp::serve::DecodeStatus::Ok)
+                vp_fatal("self-check: v%u frame rejected: %s",
+                         unsigned(version), error.c_str());
+            vp::serve::Delta out;
+            if (!vp::serve::decodeDelta(decoded, out, error))
+                vp_fatal("self-check: v%u delta rejected: %s",
+                         unsigned(version), error.c_str());
+            if (out.entities.size() != delta.entities.size())
+                vp_fatal("self-check: v%u decode lost entities",
+                         unsigned(version));
+            verified = true;
+        }
+    }
+    return bytes;
+}
+
+double
+peakRssMb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    return static_cast<double>(ru.ru_maxrss) / 1024.0; // KB on Linux
+}
+
+struct Row
+{
+    std::string name;
+    std::uint64_t entities = 0;
+    double snapV1Bpe = 0.0;
+    double snapV2Bpe = 0.0;
+    double wireV1Bpe = 0.0;
+    double wireV2Bpe = 0.0;
+    double encodeMbps = 0.0;
+
+    double snapRatio() const { return snapV1Bpe / snapV2Bpe; }
+    double wireRatio() const { return wireV1Bpe / wireV2Bpe; }
+};
+
+double
+geomean(const std::vector<Row> &rows, double (*get)(const Row &))
+{
+    if (rows.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const auto &r : rows)
+        log_sum += std::log(get(r));
+    return std::exp(log_sum / static_cast<double>(rows.size()));
+}
+
+void
+writeJson(const std::string &path, const std::vector<Row> &rows,
+          unsigned reps, bool smoke, double rss_mb)
+{
+    std::ofstream out(path);
+    if (!out)
+        vp_fatal("cannot write '%s'", path.c_str());
+    char buf[512];
+    out << "{\n"
+        << "  \"bench\": \"table_compression\",\n"
+        << "  \"version\": 1,\n"
+        << "  \"unit\": \"bytes_per_entity\",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"entities\": %" PRIu64
+            ", \"snapshot_v1_bpe\": %.2f, \"snapshot_v2_bpe\": %.2f"
+            ", \"snapshot_ratio\": %.2f, \"wire_v1_bpe\": %.2f"
+            ", \"wire_v2_bpe\": %.2f, \"wire_ratio\": %.2f"
+            ", \"encode_mbps\": %.1f}%s\n",
+            r.name.c_str(), r.entities, r.snapV1Bpe, r.snapV2Bpe,
+            r.snapRatio(), r.wireV1Bpe, r.wireV2Bpe, r.wireRatio(),
+            r.encodeMbps, i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    std::snprintf(
+        buf, sizeof buf,
+        "  ],\n"
+        "  \"suite\": {\"geomean_snapshot_v2_bpe\": %.2f, "
+        "\"geomean_wire_v2_bpe\": %.2f, "
+        "\"min_snapshot_ratio\": %.2f, "
+        "\"min_wire_ratio\": %.2f, "
+        "\"peak_rss_mb\": %.1f}\n"
+        "}\n",
+        geomean(rows, [](const Row &r) { return r.snapV2Bpe; }),
+        geomean(rows, [](const Row &r) { return r.wireV2Bpe; }),
+        [&] {
+            double m = 1e300;
+            for (const auto &r : rows)
+                m = std::min(m, r.snapRatio());
+            return rows.empty() ? 0.0 : m;
+        }(),
+        [&] {
+            double m = 1e300;
+            for (const auto &r : rows)
+                m = std::min(m, r.wireRatio());
+            return rows.empty() ? 0.0 : m;
+        }(),
+        rss_mb);
+    out << buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_compression.json";
+    unsigned reps = 3;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (a == "--reps" && i + 1 < argc) {
+            reps = static_cast<unsigned>(std::atoi(argv[++i]));
+            if (reps == 0)
+                vp_fatal("--reps wants a positive integer");
+        } else if (a == "--smoke") {
+            smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: table_compression [--out FILE] "
+                         "[--reps N] [--smoke]\n");
+            return 2;
+        }
+    }
+    if (smoke)
+        reps = 1;
+
+    // Full scale is a multi-million-location memory profile; the
+    // all-hot shape is a quarter of that (it is the dense worst case,
+    // and a real profile never looks like it end to end).
+    const std::uint64_t base = smoke ? 20'000 : 2'000'000;
+    const std::uint64_t chunk = 50'000;
+    const struct
+    {
+        Shape shape;
+        const char *name;
+        std::uint64_t entities;
+    } shapes[] = {
+        {Shape::ConstantDense, "constant_dense", base},
+        {Shape::ConstantSparse, "constant_sparse", base},
+        {Shape::Mixed, "mixed_90_10", base},
+        {Shape::HotMultiValue, "hot_multivalue", base / 4},
+    };
+
+    std::printf("E19: profile encoding density "
+                "(bytes/entity, %s scale)\n",
+                smoke ? "smoke" : "full");
+
+    std::vector<Row> rows;
+    for (const auto &sh : shapes) {
+        const ProfileSnapshot snap = buildSnapshot(sh.shape,
+                                                   sh.entities);
+        Row r;
+        r.name = sh.name;
+        r.entities = sh.entities;
+        const double n = static_cast<double>(sh.entities);
+        r.snapV1Bpe = static_cast<double>(savedBytes(snap, 1)) / n;
+        const std::uint64_t v2_bytes = savedBytes(snap, 2);
+        r.snapV2Bpe = static_cast<double>(v2_bytes) / n;
+        r.wireV1Bpe = static_cast<double>(wireBytes(snap, 1, chunk)) / n;
+        r.wireV2Bpe = static_cast<double>(wireBytes(snap, 2, chunk)) / n;
+
+        // Best-of-reps v2 snapshot encode throughput.
+        double best_secs = 1e300;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            const auto t0 = clock_type::now();
+            (void)savedBytes(snap, 2);
+            const double secs =
+                std::chrono::duration<double>(clock_type::now() - t0)
+                    .count();
+            best_secs = std::min(best_secs, secs);
+        }
+        if (best_secs > 0.0)
+            r.encodeMbps = static_cast<double>(v2_bytes) /
+                           (1024.0 * 1024.0) / best_secs;
+        rows.push_back(std::move(r));
+    }
+    const double rss_mb = peakRssMb();
+
+    vp::TextTable table({"shape", "entities", "snap v1 B/e",
+                         "snap v2 B/e", "ratio", "wire v1 B/e",
+                         "wire v2 B/e", "ratio", "enc MB/s"});
+    for (const auto &r : rows) {
+        table.row()
+            .cell(r.name)
+            .cell(r.entities)
+            .cell(r.snapV1Bpe, 1)
+            .cell(r.snapV2Bpe, 1)
+            .cell(r.snapRatio(), 1)
+            .cell(r.wireV1Bpe, 1)
+            .cell(r.wireV2Bpe, 1)
+            .cell(r.wireRatio(), 1)
+            .cell(r.encodeMbps, 0);
+    }
+    table.print(std::cout);
+    std::printf("peak RSS: %.1f MB\n", rss_mb);
+
+    writeJson(out_path, rows, reps, smoke, rss_mb);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -523,45 +523,76 @@ checkSnapshotRoundTrip(const vpsim::Program &prog,
     runProgram(prog, mgr, opts.cpu);
 
     const auto snap = core::ProfileSnapshot::fromInstructionProfiler(prof);
-    const std::string first = snapshotText(snap);
 
-    std::istringstream in1(first);
-    core::ProfileSnapshot loaded;
-    std::string err;
-    if (!core::ProfileSnapshot::tryLoad(in1, loaded, err))
-        return CheckResult::fail(
-            "snapshot failed to load its own save output: " + err);
-    if (loaded.size() != snap.size())
-        return CheckResult::fail(vp::format(
-            "loaded snapshot has %zu entities, saved %zu",
-            loaded.size(), snap.size()));
-    const std::string second = snapshotText(loaded);
-    if (second != first)
-        return CheckResult::fail(
-            "save -> load -> save is not a fixed point");
+    // Both on-disk encodings must hold the fixed point: v1 (text) and
+    // v2 (compressed binary). A reload must re-save in the version it
+    // was checked in, so the version-pinned text helper is local.
+    const auto textV = [](const core::ProfileSnapshot &s, int version) {
+        std::ostringstream os;
+        s.save(os, version);
+        return os.str();
+    };
+    for (int version = core::ProfileSnapshot::kMinFormatVersion;
+         version <= core::ProfileSnapshot::kFormatVersion; ++version) {
+        const std::string first = textV(snap, version);
 
-    std::istringstream in2(second);
-    core::ProfileSnapshot reloaded;
-    if (!core::ProfileSnapshot::tryLoad(in2, reloaded, err))
-        return CheckResult::fail(
-            "second load of the fixed point failed: " + err);
-    if (snapshotText(reloaded) != second)
-        return CheckResult::fail(
-            "third save diverged from the fixed point");
+        std::istringstream in1(first);
+        core::ProfileSnapshot loaded;
+        std::string err;
+        if (!core::ProfileSnapshot::tryLoad(in1, loaded, err))
+            return CheckResult::fail(vp::format(
+                "v%d snapshot failed to load its own save output: %s",
+                version, err.c_str()));
+        if (loaded.size() != snap.size())
+            return CheckResult::fail(vp::format(
+                "loaded v%d snapshot has %zu entities, saved %zu",
+                version, loaded.size(), snap.size()));
+        const std::string second = textV(loaded, version);
+        if (second != first)
+            return CheckResult::fail(vp::format(
+                "v%d save -> load -> save is not a fixed point",
+                version));
 
-    // Corrupt and truncated inputs must be rejected with a
-    // diagnosis, never accepted and never fatal.
-    std::istringstream bad_header("not a snapshot\n" + first);
-    core::ProfileSnapshot scratch;
-    if (core::ProfileSnapshot::tryLoad(bad_header, scratch, err) ||
-        err.empty())
-        return CheckResult::fail(
-            "corrupt header was accepted by tryLoad");
-    std::istringstream truncated(first.substr(0, first.size() / 2));
-    if (core::ProfileSnapshot::tryLoad(truncated, scratch, err) ||
-        err.empty())
-        return CheckResult::fail(
-            "truncated snapshot was accepted by tryLoad");
+        std::istringstream in2(second);
+        core::ProfileSnapshot reloaded;
+        if (!core::ProfileSnapshot::tryLoad(in2, reloaded, err))
+            return CheckResult::fail(vp::format(
+                "second load of the v%d fixed point failed: %s",
+                version, err.c_str()));
+        if (textV(reloaded, version) != second)
+            return CheckResult::fail(vp::format(
+                "third v%d save diverged from the fixed point",
+                version));
+
+        // Corrupt and truncated inputs must be rejected with a
+        // diagnosis, never accepted and never fatal.
+        std::istringstream bad_header("not a snapshot\n" + first);
+        core::ProfileSnapshot scratch;
+        if (core::ProfileSnapshot::tryLoad(bad_header, scratch, err) ||
+            err.empty())
+            return CheckResult::fail(vp::format(
+                "corrupt v%d header was accepted by tryLoad", version));
+        std::istringstream truncated(
+            first.substr(0, first.size() / 2));
+        if (core::ProfileSnapshot::tryLoad(truncated, scratch, err) ||
+            err.empty())
+            return CheckResult::fail(vp::format(
+                "truncated v%d snapshot was accepted by tryLoad",
+                version));
+    }
+
+    // Cross-version: a v1 save of the v2 load (and vice versa) must
+    // describe the same profile.
+    {
+        std::istringstream in(textV(snap, 2));
+        core::ProfileSnapshot viaV2;
+        std::string err;
+        if (!core::ProfileSnapshot::tryLoad(in, viaV2, err))
+            return CheckResult::fail("v2 reload failed: " + err);
+        if (textV(viaV2, 1) != textV(snap, 1))
+            return CheckResult::fail(
+                "v2 round trip changed the v1 text rendering");
+    }
     return CheckResult::pass();
 }
 
@@ -590,6 +621,11 @@ checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
         reference.merge(snap);
     const std::string want = snapshotText(reference);
 
+    // Byte-identity must hold whichever wire version the emitters
+    // speak — v1 (fixed-width) and v2 (compressed) deltas fold to the
+    // same aggregate.
+    for (std::uint16_t wireVersion = serve::kMinWireVersion;
+         wireVersion <= serve::kWireVersion; ++wireVersion) {
     serve::ServerConfig scfg;
     scfg.listenAddrs = {"127.0.0.1:0"};
     serve::VpdServer server(scfg);
@@ -613,6 +649,7 @@ checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
             serve::EmitterConfig ecfg;
             ecfg.addr = addr;
             ecfg.producerId = k + 1;
+            ecfg.wireVersion = wireVersion;
             serve::ProfileEmitter emitter(ecfg);
             constexpr std::size_t kChunks = 3;
             std::vector<core::ProfileSnapshot> chunks(kChunks);
@@ -641,16 +678,19 @@ checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
 
     if (undelivered.load() != 0)
         return CheckResult::fail(vp::format(
-            "%u of %u emitters failed to deliver every delta",
-            undelivered.load(), K));
+            "%u of %u wire-v%u emitters failed to deliver every delta",
+            undelivered.load(), K, unsigned(wireVersion)));
     if (!fetched)
-        return CheckResult::fail("SNAPSHOT request failed: " + err);
+        return CheckResult::fail(vp::format(
+            "SNAPSHOT request failed (wire v%u): %s",
+            unsigned(wireVersion), err.c_str()));
     const std::string got = snapshotText(served);
     if (got != want)
         return CheckResult::fail(vp::format(
-            "served aggregate (%zu entities) is not byte-identical to "
-            "the serial merge (%zu entities)",
-            served.size(), reference.size()));
+            "served aggregate (%zu entities, wire v%u) is not "
+            "byte-identical to the serial merge (%zu entities)",
+            served.size(), unsigned(wireVersion), reference.size()));
+    } // wireVersion
     return CheckResult::pass();
 }
 

@@ -1,0 +1,566 @@
+#include "core/profile_codec.hpp"
+
+#include <cstring>
+
+#include "core/snapshot.hpp"
+#include "support/strings.hpp"
+
+namespace core
+{
+namespace codec
+{
+
+namespace
+{
+
+/** See testing::setCompressCanaryForTest. */
+bool compressCanary = false;
+
+/** v1 fixed-width wire cost of one entity record (the inflation unit
+ *  of the decompression-bomb guard): key + total + profiled +
+ *  distinct + four f64 metrics + ntop u32. */
+constexpr std::uint64_t kInflatedEntityBytes = 68;
+/** ...plus per top-value pair. */
+constexpr std::uint64_t kInflatedPairBytes = 16;
+
+bool
+bitsEqual(double a, double b)
+{
+    std::uint64_t ba, bb;
+    std::memcpy(&ba, &a, sizeof(ba));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ba == bb;
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+bool
+getF64(const std::uint8_t *data, std::size_t len, std::size_t *pos,
+       double &out)
+{
+    if (len - *pos < 8)
+        return false;
+    std::uint64_t bits = 0;
+    const std::uint8_t *p = data + *pos;
+    for (int i = 7; i >= 0; --i)
+        bits = (bits << 8) | p[i];
+    *pos += 8;
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+}
+
+/**
+ * The canonical metric formulas, shared by the encoder's elision test
+ * and the decoder's reconstruction. These are textually the same
+ * expressions ValueProfile and EntitySummary::merge use, so a metric
+ * that was *computed* (rather than, say, averaged across shards) is
+ * always bit-equal to its canonical form and costs zero bytes.
+ */
+double
+canonicalInvTop(const EntitySummary &s)
+{
+    const double n = static_cast<double>(s.profiledExecutions);
+    return n > 0.0 && !s.topValues.empty()
+               ? static_cast<double>(s.topValues.front().second) / n
+               : 0.0;
+}
+
+double
+canonicalInvAll(const EntitySummary &s)
+{
+    std::uint64_t covered = 0;
+    for (const auto &[v, c] : s.topValues)
+        covered += c;
+    const double n = static_cast<double>(s.profiledExecutions);
+    return n > 0.0 ? static_cast<double>(covered) / n : 0.0;
+}
+
+/**
+ * True if `s` is a *known constant*: one value covering every
+ * profiled execution, with every metric bit-equal to the canonical
+ * constant form. Such an entity is fully determined by
+ * (key, total, profiled, value) — the Constant/ConstantRun kinds.
+ */
+bool
+isConstant(const EntitySummary &s)
+{
+    if (s.topValues.size() != 1 || s.distinct != 1)
+        return false;
+    const std::uint64_t n = s.profiledExecutions;
+    if (n == 0 || s.topValues[0].second != n || s.totalExecutions < n)
+        return false;
+    if (!bitsEqual(s.invTop, 1.0) || !bitsEqual(s.invAll, 1.0))
+        return false;
+    // A constant stream misses exactly its first last-value prediction.
+    if (!bitsEqual(s.lvp, static_cast<double>(n - 1) /
+                              static_cast<double>(n)))
+        return false;
+    const double zf = s.topValues[0].first == 0 ? 1.0 : 0.0;
+    return bitsEqual(s.zeroFraction, zf);
+}
+
+/** Reconstruct a constant entity — the exact inverse of isConstant. */
+EntitySummary
+makeConstant(std::uint64_t total, std::uint64_t profiled,
+             std::uint64_t value)
+{
+    EntitySummary s;
+    s.totalExecutions = total;
+    s.profiledExecutions = profiled;
+    s.distinct = 1;
+    s.topValues.emplace_back(value, profiled);
+    s.invTop = 1.0;
+    s.invAll = 1.0;
+    s.lvp = static_cast<double>(profiled - 1) /
+            static_cast<double>(profiled);
+    s.zeroFraction = value == 0 ? 1.0 : 0.0;
+    return s;
+}
+
+void
+encodeFull(std::vector<std::uint8_t> &out, std::uint64_t keyDelta,
+           const EntitySummary &s)
+{
+    std::uint8_t flags = 0;
+    if (s.profiledExecutions == s.totalExecutions)
+        flags |= kProfiledEqTotal;
+    if (s.distinct == s.topValues.size())
+        flags |= kDistinctEqNtop;
+    if (bitsEqual(s.invTop, canonicalInvTop(s)))
+        flags |= kInvTopCanonical;
+    if (bitsEqual(s.invAll, canonicalInvAll(s)))
+        flags |= kInvAllCanonical;
+    if (bitsEqual(s.lvp, 0.0))
+        flags |= kLvpZero;
+    if (bitsEqual(s.zeroFraction, 0.0))
+        flags |= kZeroFractionZero;
+
+    out.push_back(static_cast<std::uint8_t>(RecordKind::Full));
+    out.push_back(flags);
+    putVarint(out, keyDelta);
+    putVarint(out, s.totalExecutions);
+    if (!(flags & kProfiledEqTotal))
+        putVarint(out, s.profiledExecutions);
+    if (!(flags & kInvTopCanonical))
+        putF64(out, s.invTop);
+    if (!(flags & kInvAllCanonical))
+        putF64(out, s.invAll);
+    if (!(flags & kLvpZero))
+        putF64(out, s.lvp);
+    if (!(flags & kZeroFractionZero))
+        putF64(out, s.zeroFraction);
+    putVarint(out, s.topValues.size());
+    if (!(flags & kDistinctEqNtop))
+        putVarint(out, s.distinct);
+    std::uint64_t prevCount = 0;
+    bool first = true;
+    for (const auto &[v, c] : s.topValues) {
+        putVarint(out, v);
+        std::uint64_t enc = c;
+        if (first && compressCanary)
+            ++enc; // see setCompressCanaryForTest
+        if (first)
+            putVarint(out, enc);
+        else
+            putVarint(out, zigzag(static_cast<std::int64_t>(
+                               enc - prevCount)));
+        prevCount = enc;
+        first = false;
+    }
+}
+
+} // namespace
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool
+getVarint(const std::uint8_t *data, std::size_t len, std::size_t *pos,
+          std::uint64_t &out)
+{
+    out = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (*pos >= len)
+            return false;
+        const std::uint8_t b = data[(*pos)++];
+        if (shift == 63 && (b & ~std::uint8_t{1}))
+            return false; // would overflow 64 bits
+        out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return true;
+    }
+    return false; // continuation bit set past 10 bytes
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void
+encodeEntityBlock(const ProfileSnapshot &snap,
+                  std::vector<std::uint8_t> &out)
+{
+    putVarint(out, snap.entities.size());
+    putVarint(out, snap.droppedStores);
+    putVarint(out, snap.droppedLoads);
+
+    // Flatten the map for lookahead; keys come out ascending.
+    std::vector<std::pair<std::uint64_t, const EntitySummary *>> ents;
+    ents.reserve(snap.entities.size());
+    for (const auto &[key, s] : snap.entities)
+        ents.emplace_back(key, &s);
+
+    std::uint64_t prevKey = 0;
+    bool first = true;
+    auto keyDelta = [&](std::uint64_t key) {
+        const std::uint64_t d = first ? key : key - prevKey;
+        first = false;
+        prevKey = key;
+        return d;
+    };
+
+    for (std::size_t i = 0; i < ents.size();) {
+        const auto &[key, s] = ents[i];
+        if (!isConstant(*s)) {
+            encodeFull(out, keyDelta(key), *s);
+            ++i;
+            continue;
+        }
+        // Greedy maximal run of constants with a fixed key stride and
+        // shared counts. Deterministic in entity content alone, so a
+        // decode -> re-encode reproduces the grouping exactly.
+        std::size_t runEnd = i + 1;
+        std::uint64_t stride = 0;
+        if (runEnd < ents.size() && isConstant(*ents[runEnd].second) &&
+            ents[runEnd].second->totalExecutions == s->totalExecutions &&
+            ents[runEnd].second->profiledExecutions ==
+                s->profiledExecutions) {
+            stride = ents[runEnd].first - key;
+            ++runEnd;
+            while (runEnd < ents.size() &&
+                   ents[runEnd].first ==
+                       ents[runEnd - 1].first + stride &&
+                   isConstant(*ents[runEnd].second) &&
+                   ents[runEnd].second->totalExecutions ==
+                       s->totalExecutions &&
+                   ents[runEnd].second->profiledExecutions ==
+                       s->profiledExecutions)
+                ++runEnd;
+        }
+        const std::uint64_t canaryBump = compressCanary ? 1 : 0;
+        if (runEnd - i >= 2) {
+            out.push_back(
+                static_cast<std::uint8_t>(RecordKind::ConstantRun));
+            putVarint(out, keyDelta(key));
+            putVarint(out, stride);
+            putVarint(out, runEnd - i);
+            putVarint(out, s->totalExecutions + canaryBump);
+            putVarint(out, s->totalExecutions - s->profiledExecutions);
+            for (std::size_t j = i; j < runEnd; ++j)
+                putVarint(out, ents[j].second->topValues[0].first);
+            prevKey = ents[runEnd - 1].first;
+            i = runEnd;
+        } else {
+            out.push_back(
+                static_cast<std::uint8_t>(RecordKind::Constant));
+            putVarint(out, keyDelta(key));
+            putVarint(out, s->totalExecutions + canaryBump);
+            putVarint(out, s->totalExecutions - s->profiledExecutions);
+            putVarint(out, s->topValues[0].first);
+            ++i;
+        }
+    }
+}
+
+bool
+decodeEntityBlock(const std::uint8_t *data, std::size_t len,
+                  std::size_t *pos, std::uint64_t inflatedCap,
+                  bool strictDistinct, ProfileSnapshot *out,
+                  std::string &error)
+{
+    if (out) {
+        out->entities.clear();
+        out->droppedStores = 0;
+        out->droppedLoads = 0;
+    }
+    std::uint64_t entityCount = 0, droppedStores = 0, droppedLoads = 0;
+    if (!getVarint(data, len, pos, entityCount) ||
+        !getVarint(data, len, pos, droppedStores) ||
+        !getVarint(data, len, pos, droppedLoads)) {
+        error = "truncated entity block header";
+        return false;
+    }
+    // Every encoded entity consumes at least one input byte (a run of
+    // n entities carries n value varints), so a count beyond the
+    // remaining bytes is garbage — reject before any decode work.
+    if (entityCount > len - *pos) {
+        error = vp::format("implausible entity count %llu (truncated "
+                           "or corrupt block)",
+                           static_cast<unsigned long long>(entityCount));
+        return false;
+    }
+    if (out) {
+        out->droppedStores = droppedStores;
+        out->droppedLoads = droppedLoads;
+    }
+
+    std::uint64_t inflated = 4; // the v1 entity-count field
+    std::uint64_t prevKey = 0;
+    bool first = true;
+    std::uint64_t decoded = 0;
+
+    auto nextKey = [&](std::uint64_t delta, std::uint64_t &key) {
+        if (first) {
+            key = delta;
+            first = false;
+        } else {
+            if (delta == 0 || prevKey + delta < prevKey)
+                return false; // keys must strictly ascend, no wrap
+            key = prevKey + delta;
+        }
+        prevKey = key;
+        return true;
+    };
+    auto chargeInflation = [&](std::uint64_t ntop) {
+        inflated += kInflatedEntityBytes + kInflatedPairBytes * ntop;
+        return inflated <= inflatedCap;
+    };
+    auto emit = [&](std::uint64_t key, EntitySummary &&s) {
+        ++decoded;
+        if (out)
+            out->entities.emplace(key, std::move(s));
+    };
+
+    while (decoded < entityCount) {
+        if (*pos >= len) {
+            error = vp::format("truncated entity block: %llu of %llu "
+                               "entities decoded",
+                               static_cast<unsigned long long>(decoded),
+                               static_cast<unsigned long long>(
+                                   entityCount));
+            return false;
+        }
+        const std::uint8_t kind = data[(*pos)++];
+        std::uint64_t keyDelta = 0, key = 0;
+        switch (static_cast<RecordKind>(kind)) {
+          case RecordKind::Full: {
+            if (*pos >= len) {
+                error = "truncated full record";
+                return false;
+            }
+            const std::uint8_t flags = data[(*pos)++];
+            if (flags & 0xC0) {
+                error = vp::format("reserved full-record flag bits "
+                                   "0x%02x", flags & 0xC0);
+                return false;
+            }
+            EntitySummary s;
+            std::uint64_t ntop = 0;
+            if (!getVarint(data, len, pos, keyDelta) ||
+                !getVarint(data, len, pos, s.totalExecutions)) {
+                error = "truncated full record";
+                return false;
+            }
+            s.profiledExecutions = s.totalExecutions;
+            if (!(flags & kProfiledEqTotal) &&
+                !getVarint(data, len, pos, s.profiledExecutions)) {
+                error = "truncated full record";
+                return false;
+            }
+            if ((!(flags & kInvTopCanonical) &&
+                 !getF64(data, len, pos, s.invTop)) ||
+                (!(flags & kInvAllCanonical) &&
+                 !getF64(data, len, pos, s.invAll)) ||
+                (!(flags & kLvpZero) &&
+                 !getF64(data, len, pos, s.lvp)) ||
+                (!(flags & kZeroFractionZero) &&
+                 !getF64(data, len, pos, s.zeroFraction))) {
+                error = "truncated full record metrics";
+                return false;
+            }
+            if (!getVarint(data, len, pos, ntop)) {
+                error = "truncated full record";
+                return false;
+            }
+            // Each pair costs >= 2 encoded bytes.
+            if (ntop > (len - *pos) / 2) {
+                error = vp::format("implausible top-value count %llu "
+                                   "(truncated or corrupt record)",
+                                   static_cast<unsigned long long>(
+                                       ntop));
+                return false;
+            }
+            s.distinct = ntop;
+            if (!(flags & kDistinctEqNtop) &&
+                !getVarint(data, len, pos, s.distinct)) {
+                error = "truncated full record";
+                return false;
+            }
+            if (strictDistinct && ntop > s.distinct) {
+                error = vp::format(
+                    "top-value count %llu exceeds distinct count %llu",
+                    static_cast<unsigned long long>(ntop),
+                    static_cast<unsigned long long>(s.distinct));
+                return false;
+            }
+            if (!chargeInflation(ntop)) {
+                error = "entity block inflates past the payload cap";
+                return false;
+            }
+            s.topValues.reserve(ntop);
+            std::uint64_t prevCount = 0;
+            for (std::uint64_t j = 0; j < ntop; ++j) {
+                std::uint64_t v = 0, d = 0;
+                if (!getVarint(data, len, pos, v) ||
+                    !getVarint(data, len, pos, d)) {
+                    error = "truncated top values";
+                    return false;
+                }
+                const std::uint64_t c =
+                    j == 0 ? d
+                           : prevCount + static_cast<std::uint64_t>(
+                                             unzigzag(d));
+                s.topValues.emplace_back(v, c);
+                prevCount = c;
+            }
+            if (!nextKey(keyDelta, key)) {
+                error = "non-ascending or overflowing entity key";
+                return false;
+            }
+            // Elided metrics: recompute with the canonical formulas
+            // (bit-equal to the originals by the encoder's contract).
+            if (flags & kInvTopCanonical)
+                s.invTop = canonicalInvTop(s);
+            if (flags & kInvAllCanonical)
+                s.invAll = canonicalInvAll(s);
+            emit(key, std::move(s));
+            break;
+          }
+          case RecordKind::Constant: {
+            std::uint64_t total = 0, diff = 0, value = 0;
+            if (!getVarint(data, len, pos, keyDelta) ||
+                !getVarint(data, len, pos, total) ||
+                !getVarint(data, len, pos, diff) ||
+                !getVarint(data, len, pos, value)) {
+                error = "truncated constant record";
+                return false;
+            }
+            if (diff >= total) {
+                error = "constant record with no profiled executions";
+                return false;
+            }
+            if (!nextKey(keyDelta, key)) {
+                error = "non-ascending or overflowing entity key";
+                return false;
+            }
+            if (!chargeInflation(1)) {
+                error = "entity block inflates past the payload cap";
+                return false;
+            }
+            emit(key, makeConstant(total, total - diff, value));
+            break;
+          }
+          case RecordKind::ConstantRun: {
+            std::uint64_t stride = 0, runLen = 0, total = 0, diff = 0;
+            if (!getVarint(data, len, pos, keyDelta) ||
+                !getVarint(data, len, pos, stride) ||
+                !getVarint(data, len, pos, runLen) ||
+                !getVarint(data, len, pos, total) ||
+                !getVarint(data, len, pos, diff)) {
+                error = "truncated constant-run record";
+                return false;
+            }
+            if (stride == 0 || runLen < 2) {
+                error = "malformed constant-run record";
+                return false;
+            }
+            if (diff >= total) {
+                error = "constant-run record with no profiled "
+                        "executions";
+                return false;
+            }
+            if (runLen > entityCount - decoded) {
+                error = vp::format("constant run of %llu entities "
+                                   "overruns the declared count",
+                                   static_cast<unsigned long long>(
+                                       runLen));
+                return false;
+            }
+            if (!nextKey(keyDelta, key)) {
+                error = "non-ascending or overflowing entity key";
+                return false;
+            }
+            for (std::uint64_t j = 0; j < runLen; ++j) {
+                std::uint64_t value = 0;
+                if (!getVarint(data, len, pos, value)) {
+                    error = "truncated constant-run values";
+                    return false;
+                }
+                if (j > 0) {
+                    if (key + stride < key) {
+                        error = "overflowing constant-run key";
+                        return false;
+                    }
+                    key += stride;
+                    prevKey = key;
+                }
+                if (!chargeInflation(1)) {
+                    error = "entity block inflates past the payload "
+                            "cap";
+                    return false;
+                }
+                emit(key, makeConstant(total, total - diff, value));
+            }
+            break;
+          }
+          default:
+            error = vp::format("unknown record kind %u",
+                               static_cast<unsigned>(kind));
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace testing
+{
+
+void
+setCompressCanaryForTest(bool enabled)
+{
+    compressCanary = enabled;
+}
+
+bool
+compressCanaryForTest()
+{
+    return compressCanary;
+}
+
+} // namespace testing
+
+} // namespace codec
+} // namespace core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The compressed (v2) profile entity-block codec.
+ *
+ * One encoding serves both persistence surfaces: the body of a
+ * `valueprof-snapshot v2` file and the payload of a version-2 wire
+ * delta/snapshot-reply are the same *entity block*, so a snapshot
+ * streamed through vpd and one saved locally are byte-identical.
+ *
+ * Entity block layout (all integers LEB128 varints unless noted):
+ *
+ *   entityCount
+ *   droppedStores              (see ProfileSnapshot::droppedStores)
+ *   droppedLoads
+ *   records...                 until entityCount entities are decoded
+ *
+ * Three record kinds (1 leading kind byte each):
+ *
+ *   Full (1): flags u8, keyDelta, totalExecutions,
+ *     [profiledExecutions unless flags&ProfiledEqTotal],
+ *     [f64 bits for each metric NOT marked canonical/zero in flags],
+ *     ntop, [distinct unless flags&DistinctEqNtop],
+ *     ntop * (value varint, count) where the first count is raw and
+ *     the rest are zigzag deltas from the previous count.
+ *
+ *   Constant (2): keyDelta, totalExecutions, total-profiled, value.
+ *     An entity whose profile is a known constant — one table entry
+ *     covering every profiled execution, all four metrics bit-equal
+ *     to their canonical constant forms — needs only its count and
+ *     value; the decoder reconstructs the rest exactly.
+ *
+ *   ConstantRun (3): keyDelta (to the first key), keyStride, runLen,
+ *     shared totalExecutions, shared total-profiled, runLen values.
+ *     A run of >= 2 consecutive Constant entities whose keys advance
+ *     by a fixed stride and whose counts agree (adjacent memory
+ *     locations written the same number of times — the overwhelmingly
+ *     common shape of a memory profile) collapses to one header plus
+ *     one value per entity.
+ *
+ * Keys are delta-encoded in ascending order (the snapshot map order):
+ * the first record carries an absolute key, every later one a delta
+ * >= 1 from the previous entity's key. Doubles whose bit patterns
+ * equal what the canonical formulas recompute are elided and
+ * recomputed on decode with the *same expressions*, so an
+ * encode/decode round trip is bit-exact — the property the vpcheck
+ * fixed-point and serve byte-identity checkers rest on. The greedy
+ * run grouping is deterministic in entity content alone, so
+ * decode -> re-encode reproduces the original bytes.
+ */
+
+#ifndef VP_CORE_PROFILE_CODEC_HPP
+#define VP_CORE_PROFILE_CODEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace core
+{
+
+class ProfileSnapshot;
+
+namespace codec
+{
+
+/** Record kinds (wire byte values are part of the format). */
+enum class RecordKind : std::uint8_t
+{
+    Full = 1,
+    Constant = 2,
+    ConstantRun = 3,
+};
+
+/** Full-record flag bits (bits 6-7 reserved, must be zero). */
+enum FullFlags : std::uint8_t
+{
+    kProfiledEqTotal = 0x01,  ///< profiledExecutions == totalExecutions
+    kDistinctEqNtop = 0x02,   ///< distinct == topValues.size()
+    kInvTopCanonical = 0x04,  ///< invTop == top count / profiled
+    kInvAllCanonical = 0x08,  ///< invAll == covered / profiled
+    kLvpZero = 0x10,          ///< lvp bits == 0.0 bits
+    kZeroFractionZero = 0x20, ///< zeroFraction bits == 0.0 bits
+};
+
+/** Append `v` as a LEB128 varint (1-10 bytes). */
+void putVarint(std::vector<std::uint8_t> &out, std::uint64_t v);
+
+/**
+ * Read a LEB128 varint from [*pos, len). @return false on truncation
+ * or a non-minimal/overlong encoding (> 10 bytes or overflow).
+ */
+bool getVarint(const std::uint8_t *data, std::size_t len,
+               std::size_t *pos, std::uint64_t &out);
+
+/** Zigzag-map a signed delta into varint-friendly form and back. */
+std::uint64_t zigzag(std::int64_t v);
+std::int64_t unzigzag(std::uint64_t v);
+
+/** Serialize `snap` as one entity block, appended to `out`. */
+void encodeEntityBlock(const ProfileSnapshot &snap,
+                       std::vector<std::uint8_t> &out);
+
+/**
+ * Decode one entity block from [*pos, len), advancing *pos past it.
+ *
+ * `inflatedCap` bounds the block's *decompressed* size, measured in
+ * v1 fixed-width wire bytes (the decompression-bomb guard): decoding
+ * aborts as Corrupt the moment the reconstructed snapshot would have
+ * exceeded that many bytes in the uncompressed encoding. Pass
+ * UINT64_MAX for no cap (trusted local files).
+ *
+ * `out` may be null: the block is then only validated (structure,
+ * bounds, inflation cap) without building a snapshot — tryDecode uses
+ * this to condemn bomb frames before any allocation.
+ *
+ * `strictDistinct` additionally rejects a Full record whose ntop
+ * exceeds its declared distinct count — true for snapshot files
+ * (where summaries always satisfy it), false for wire payloads
+ * (deltas from partial shards are not required to track distinct).
+ *
+ * @return false with a diagnosis in `error` (containing "truncated"
+ *         for truncation) on malformed input.
+ */
+bool decodeEntityBlock(const std::uint8_t *data, std::size_t len,
+                       std::size_t *pos, std::uint64_t inflatedCap,
+                       bool strictDistinct, ProfileSnapshot *out,
+                       std::string &error);
+
+namespace testing
+{
+/**
+ * TEST HOOK — mutation canary for the compressed encoder. When
+ * enabled, the encoder off-by-ones one count per record (the top
+ * count of a Full record, the total of a Constant/ConstantRun) —
+ * still perfectly decodable, just wrong, exactly the kind of bug a
+ * botched record-kind classification would introduce. vpcheck
+ * --canary=compress asserts the fixed-point and byte-identity
+ * checkers catch it. Global, not thread-safe; only flip it from
+ * single-threaded test setup code.
+ */
+void setCompressCanaryForTest(bool enabled);
+bool compressCanaryForTest();
+} // namespace testing
+
+} // namespace codec
+} // namespace core
+
+#endif // VP_CORE_PROFILE_CODEC_HPP

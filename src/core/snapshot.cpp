@@ -5,9 +5,13 @@
 #include <cstdio>
 #include <fstream>
 #include <istream>
+#include <iterator>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
+#include "core/profile_codec.hpp"
+#include "support/crc32.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
@@ -82,6 +86,8 @@ void
 ProfileSnapshot::merge(const ProfileSnapshot &other)
 {
     VP_STAT_TIMER(merge_timer, "core.snapshot.merge_us");
+    droppedStores += other.droppedStores;
+    droppedLoads += other.droppedLoads;
     for (const auto &[key, summary] : other.entities) {
         auto it = entities.find(key);
         if (it == entities.end())
@@ -110,12 +116,27 @@ ProfileSnapshot
 ProfileSnapshot::fromMemoryProfiler(const MemoryProfiler &prof)
 {
     ProfileSnapshot snap;
+    snap.droppedStores = prof.droppedStores();
+    snap.droppedLoads = prof.droppedLoads();
     for (const auto *loc :
          prof.topLocationsByWrites(prof.numLocations())) {
         snap.entities[loc->address] =
             summarize(loc->writes, loc->totalWrites);
     }
     return snap;
+}
+
+double
+ProfileSnapshot::fractionProfiled() const
+{
+    std::uint64_t total = 0, profiled = 0;
+    for (const auto &[key, s] : entities) {
+        total += s.totalExecutions;
+        profiled += s.profiledExecutions;
+    }
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(profiled) / static_cast<double>(total);
 }
 
 ProfileSnapshot
@@ -141,21 +162,36 @@ ProfileSnapshot::fromParameterProfiler(const ParameterProfiler &prof)
 }
 
 void
-ProfileSnapshot::save(std::ostream &os) const
+ProfileSnapshot::save(std::ostream &os, int version) const
 {
-    // Full round-trip precision for the stored metrics.
-    os.precision(17);
-    os << "valueprof-snapshot v1\n";
-    os << entities.size() << "\n";
-    for (const auto &[key, s] : entities) {
-        os << key << ' ' << s.totalExecutions << ' '
-           << s.profiledExecutions << ' ' << s.invTop << ' ' << s.invAll
-           << ' ' << s.lvp << ' ' << s.zeroFraction << ' ' << s.distinct
-           << ' ' << s.topValues.size();
-        for (const auto &[v, c] : s.topValues)
-            os << ' ' << v << ' ' << c;
-        os << '\n';
+    vp_assert(version >= kMinFormatVersion && version <= kFormatVersion,
+              "unsupported snapshot format version %d", version);
+    if (version == 1) {
+        // Full round-trip precision for the stored metrics.
+        os.precision(17);
+        os << "valueprof-snapshot v1\n";
+        os << entities.size() << "\n";
+        for (const auto &[key, s] : entities) {
+            os << key << ' ' << s.totalExecutions << ' '
+               << s.profiledExecutions << ' ' << s.invTop << ' '
+               << s.invAll << ' ' << s.lvp << ' ' << s.zeroFraction
+               << ' ' << s.distinct << ' ' << s.topValues.size();
+            for (const auto &[v, c] : s.topValues)
+                os << ' ' << v << ' ' << c;
+            os << '\n';
+        }
+        return;
     }
+    // v2: compressed binary entity block with a CRC-32 footer, so a
+    // torn or bit-flipped file is rejected rather than misread.
+    os << "valueprof-snapshot v2\n";
+    std::vector<std::uint8_t> block;
+    codec::encodeEntityBlock(*this, block);
+    const std::uint32_t crc = vp::crc32(block.data(), block.size());
+    os.write(reinterpret_cast<const char *>(block.data()),
+             static_cast<std::streamsize>(block.size()));
+    for (int i = 0; i < 4; ++i)
+        os.put(static_cast<char>((crc >> (8 * i)) & 0xFF));
 }
 
 ProfileSnapshot
@@ -173,12 +209,56 @@ ProfileSnapshot::tryLoad(std::istream &is, ProfileSnapshot &out,
                          std::string &error)
 {
     out.entities.clear();
+    out.droppedStores = 0;
+    out.droppedLoads = 0;
     error.clear();
 
     std::string header;
     std::getline(is, header);
+    if (header == "valueprof-snapshot v2") {
+        // The rest of the stream is binary: one entity block plus a
+        // 4-byte little-endian CRC-32 footer over it.
+        std::string blob((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+        if (blob.size() < 4) {
+            error = "truncated snapshot: missing CRC footer";
+            return false;
+        }
+        const auto *bytes =
+            reinterpret_cast<const std::uint8_t *>(blob.data());
+        const std::size_t bodyLen = blob.size() - 4;
+        std::uint32_t want = 0;
+        for (int i = 3; i >= 0; --i)
+            want = (want << 8) | bytes[bodyLen + i];
+        if (vp::crc32(bytes, bodyLen) != want) {
+            error = "snapshot CRC mismatch: file truncated or corrupt";
+            return false;
+        }
+        std::size_t pos = 0;
+        ProfileSnapshot snap;
+        if (!codec::decodeEntityBlock(
+                bytes, bodyLen, &pos,
+                std::numeric_limits<std::uint64_t>::max(),
+                /*strictDistinct=*/true, &snap, error))
+            return false;
+        if (pos != bodyLen) {
+            error = vp::format("%zu trailing bytes after the entity "
+                               "block", bodyLen - pos);
+            return false;
+        }
+        out = std::move(snap);
+        return true;
+    }
     if (header != "valueprof-snapshot v1") {
-        error = vp::format("bad snapshot header '%s'", header.c_str());
+        // A proper prefix of a valid header line means the file was
+        // cut mid-header, not written by something else entirely.
+        if (!header.empty() &&
+            (std::string("valueprof-snapshot v1").rfind(header, 0) == 0 ||
+             std::string("valueprof-snapshot v2").rfind(header, 0) == 0))
+            error = "truncated snapshot: incomplete header";
+        else
+            error =
+                vp::format("bad snapshot header '%s'", header.c_str());
         return false;
     }
     std::size_t count = 0;
@@ -207,6 +287,16 @@ ProfileSnapshot::tryLoad(std::istream &is, ProfileSnapshot &out,
                                "entity %zu", ntop, i);
             return false;
         }
+        // The top-value list is a subset of the values seen, so a
+        // record claiming more top values than distinct values is
+        // corrupt, not data.
+        if (ntop > s.distinct) {
+            error = vp::format("top-value count %zu exceeds distinct "
+                               "count %llu at entity %zu", ntop,
+                               static_cast<unsigned long long>(
+                                   s.distinct), i);
+            return false;
+        }
         s.topValues.reserve(ntop);
         for (std::size_t j = 0; j < ntop; ++j) {
             std::uint64_t v = 0, c = 0;
@@ -223,6 +313,14 @@ ProfileSnapshot::tryLoad(std::istream &is, ProfileSnapshot &out,
             return false;
         }
         snap.entities[key] = std::move(s);
+    }
+    // The declared count is the whole snapshot: a tail after it means
+    // either a corrupted count or concatenated garbage — reject rather
+    // than silently ignore it.
+    is >> std::ws;
+    if (!is.eof() && is.peek() != std::char_traits<char>::eof()) {
+        error = "trailing garbage after the declared entity count";
+        return false;
     }
     out = std::move(snap);
     return true;

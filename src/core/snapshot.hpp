@@ -73,6 +73,18 @@ class ProfileSnapshot
   public:
     std::map<std::uint64_t, EntitySummary> entities;
 
+    /**
+     * Accesses the producing profiler dropped because its location cap
+     * stopped their bucket from existing (MemoryProfiler
+     * droppedStores()/droppedLoads()). Zero for non-memory profilers.
+     * Carried through save/load (v2 format) and summed by merge(), so
+     * an aggregate of overflowing shards still reports its loss
+     * exactly; the v1 text format predates them and saves/loads them
+     * as zero.
+     */
+    std::uint64_t droppedStores = 0;
+    std::uint64_t droppedLoads = 0;
+
     /** Build a summary from a live ValueProfile. */
     static EntitySummary summarize(const ValueProfile &prof,
                                    std::uint64_t total_executions);
@@ -104,8 +116,38 @@ class ProfileSnapshot
     /** Entity count. */
     std::size_t size() const { return entities.size(); }
 
-    /** Persist as a line-oriented text format. */
-    void save(std::ostream &os) const;
+    /**
+     * Fraction of in-table executions that were value-profiled:
+     * sum(profiledExecutions) / sum(totalExecutions) over all
+     * entities (1.0 when the snapshot is empty). Totals exclude
+     * dropped accesses by construction — the profiler never created
+     * locations for them — so this matches
+     * MemoryProfiler::fractionProfiled() exactly, including on merged
+     * aggregates of overflowing shards; droppedStores/droppedLoads
+     * report that capacity loss separately.
+     */
+    double fractionProfiled() const;
+
+    /** True if the producing run(s) dropped any accesses. */
+    bool overflowed() const { return droppedStores || droppedLoads; }
+
+    /** Snapshot file format versions save() can write. */
+    static constexpr int kMinFormatVersion = 1;
+    static constexpr int kFormatVersion = 2;
+
+    /**
+     * Persist in the requested format version:
+     *   1  line-oriented text (the legacy format; no dropped-access
+     *      counters)
+     *   2  compressed binary: the v2 header line, a
+     *      codec::encodeEntityBlock entity block, and a 4-byte
+     *      little-endian CRC-32 footer over the block
+     * Both round-trip bit-exactly through tryLoad.
+     */
+    void save(std::ostream &os, int version) const;
+
+    /** Persist in the current default format (v2). */
+    void save(std::ostream &os) const { save(os, kFormatVersion); }
 
     /** Load a snapshot saved by save(); fatal() on malformed input. */
     static ProfileSnapshot load(std::istream &is);

@@ -51,7 +51,27 @@ TnvTable::TnvTable(const TnvConfig &config) : cfg(config)
 {
     vp_assert(cfg.capacity >= 1, "TNV capacity must be positive");
     vp_assert(cfg.clearInterval >= 1, "clear interval must be positive");
+    // No reservation here: most profiled entities only ever see one
+    // value and live out their lives in the inline slot. The vector is
+    // reserved lazily by spill() when a second distinct value appears.
+}
+
+void
+TnvTable::recordFirstInline(std::uint64_t value)
+{
+    inlineEntry = {value, 1, records};
+    inlineActive = true;
+    VP_STAT_INC(vp::stats::Cid::TnvInserts);
+}
+
+void
+TnvTable::spill()
+{
+    vp_assert(inlineActive, "spill of a table with no inline entry");
     entries.reserve(cfg.capacity);
+    entries.push_back(inlineEntry);
+    inlineActive = false;
+    hotIdx = 0;
 }
 
 bool
@@ -109,7 +129,8 @@ TnvTable::victimIndex() const
 std::vector<TnvEntry>
 TnvTable::sortedByCount() const
 {
-    std::vector<TnvEntry> out = entries;
+    const TnvEntryView view = raw();
+    std::vector<TnvEntry> out(view.begin(), view.end());
     std::sort(out.begin(), out.end(), byCountThenAge);
     return out;
 }
@@ -117,10 +138,11 @@ TnvTable::sortedByCount() const
 std::optional<TnvEntry>
 TnvTable::top() const
 {
-    if (entries.empty())
+    const TnvEntryView view = raw();
+    if (view.empty())
         return std::nullopt;
-    const TnvEntry *best = &entries[0];
-    for (const auto &e : entries)
+    const TnvEntry *best = view.begin();
+    for (const auto &e : view)
         if (e.count > best->count ||
             (e.count == best->count && e.lastUse < best->lastUse))
             best = &e;
@@ -131,7 +153,7 @@ std::uint64_t
 TnvTable::coveredCount() const
 {
     std::uint64_t sum = 0;
-    for (const auto &e : entries)
+    for (const auto &e : raw())
         sum += e.count;
     return sum;
 }
@@ -139,7 +161,7 @@ TnvTable::coveredCount() const
 std::uint64_t
 TnvTable::countFor(std::uint64_t value) const
 {
-    for (const auto &e : entries)
+    for (const auto &e : raw())
         if (e.value == value)
             return e.count;
     return 0;
@@ -148,7 +170,9 @@ TnvTable::countFor(std::uint64_t value) const
 void
 TnvTable::clearBottomHalf()
 {
-    if (entries.size() <= 1)
+    // The inline single-entry form (size() == 1) is covered by the
+    // early return: clearing keeps ceil(1/2) == 1 entries.
+    if (size() <= 1)
         return;
     // Keep the ceil(size/2) highest-count entries; evict the rest.
     // Operating on the occupied size (not the capacity) matters for
@@ -175,7 +199,42 @@ TnvTable::merge(const TnvTable &other)
     // indices are rebased past this table's record count; a value
     // present in both shards is necessarily most recent in `other`.
     const std::uint64_t base = records;
-    for (const auto &oe : other.entries) {
+    const TnvEntryView otherView = other.raw();
+
+    // Cold-form merges: keep (or adopt) the inline slot when the union
+    // still has a single value, so merging millions of cold shard
+    // tables allocates nothing.
+    if (inlineActive) {
+        if (otherView.size() == 1 &&
+            otherView[0].value == inlineEntry.value) {
+            if (mergeCanary)
+                inlineEntry.count =
+                    std::max(inlineEntry.count, otherView[0].count);
+            else
+                inlineEntry.count += otherView[0].count;
+            inlineEntry.lastUse = base + otherView[0].lastUse;
+            records += other.records;
+            if (cfg.policy == TnvConfig::Policy::SteadyClear)
+                sinceClear =
+                    (sinceClear + other.sinceClear) % cfg.clearInterval;
+            VP_STAT_INC(vp::stats::Cid::TnvMerges);
+            return;
+        }
+        if (!otherView.empty())
+            spill();
+    } else if (entries.empty() && otherView.size() == 1) {
+        inlineEntry = {otherView[0].value, otherView[0].count,
+                       base + otherView[0].lastUse};
+        inlineActive = true;
+        records += other.records;
+        if (cfg.policy == TnvConfig::Policy::SteadyClear)
+            sinceClear =
+                (sinceClear + other.sinceClear) % cfg.clearInterval;
+        VP_STAT_INC(vp::stats::Cid::TnvMerges);
+        return;
+    }
+
+    for (const auto &oe : otherView) {
         bool matched = false;
         for (auto &e : entries) {
             if (e.value == oe.value) {
@@ -218,6 +277,7 @@ void
 TnvTable::reset()
 {
     entries.clear();
+    inlineActive = false;
     records = 0;
     sinceClear = 0;
     hotIdx = 0;

@@ -50,6 +50,34 @@ struct TnvEntry
     std::uint64_t lastUse = 0;  ///< record index of last hit (for LRU)
 };
 
+/**
+ * Read-only view of a table's occupied entries. The entries may live
+ * in the table's heap vector or — for a single-valued ("cold") table —
+ * in its inline slot, so callers iterate a view instead of a
+ * container reference. The view is invalidated by any mutation of the
+ * table, exactly like the vector reference it replaces.
+ */
+class TnvEntryView
+{
+  public:
+    TnvEntryView(const TnvEntry *first, std::size_t count)
+        : firstEntry(first), entryCount(count)
+    {}
+
+    const TnvEntry *begin() const { return firstEntry; }
+    const TnvEntry *end() const { return firstEntry + entryCount; }
+    std::size_t size() const { return entryCount; }
+    bool empty() const { return entryCount == 0; }
+    const TnvEntry &operator[](std::size_t i) const
+    {
+        return firstEntry[i];
+    }
+
+  private:
+    const TnvEntry *firstEntry;
+    std::size_t entryCount;
+};
+
 /** The Top-N-Value table. */
 class TnvTable
 {
@@ -69,17 +97,38 @@ class TnvTable
      * values are unique, so a cache match is exactly the entry the
      * full scan would find — the fast path is behaviourally identical
      * to the scan, just cheaper.
+     *
+     * Cold-entity form: a freshly constructed table holds its first
+     * value in an inline slot and allocates nothing. Most profiled
+     * entities (memory locations above all) only ever produce one
+     * value, so the common case costs zero heap; the full
+     * `capacity`-slot vector is reserved only when a second distinct
+     * value appears (see spill()).
      */
     bool
     record(std::uint64_t value)
     {
         ++records;
         bool hit;
-        if (hotIdx < entries.size() && entries[hotIdx].value == value) {
+        if (inlineActive) {
+            if (inlineEntry.value == value) {
+                inlineEntry.count += recordCanary ? 2 : 1;
+                inlineEntry.lastUse = records;
+                hit = true;
+            } else {
+                spill();
+                hit = recordMiss(value);
+            }
+        } else if (hotIdx < entries.size() &&
+                   entries[hotIdx].value == value) {
             TnvEntry &e = entries[hotIdx];
             e.count += recordCanary ? 2 : 1;
             e.lastUse = records;
             hit = true;
+        } else if (entries.empty()) {
+            // First value of an empty table: occupy the inline slot.
+            recordFirstInline(value);
+            hit = false;
         } else {
             hit = recordMiss(value);
         }
@@ -95,11 +144,18 @@ class TnvTable
     std::uint64_t recordCount() const { return records; }
 
     /** Current number of occupied entries (<= capacity). */
-    std::size_t size() const { return entries.size(); }
+    std::size_t size() const
+    {
+        return inlineActive ? 1 : entries.size();
+    }
     unsigned capacity() const { return cfg.capacity; }
 
     /** Occupied entries, unordered. */
-    const std::vector<TnvEntry> &raw() const { return entries; }
+    TnvEntryView raw() const
+    {
+        return inlineActive ? TnvEntryView{&inlineEntry, 1}
+                            : TnvEntryView{entries.data(), entries.size()};
+    }
 
     /** Entries sorted by descending count (ties: older lastUse first). */
     std::vector<TnvEntry> sortedByCount() const;
@@ -170,6 +226,16 @@ class TnvTable
      */
     bool recordMiss(std::uint64_t value);
 
+    /** First value of a never-spilled table: occupy the inline slot. */
+    void recordFirstInline(std::uint64_t value);
+
+    /**
+     * Leave the cold-entity form: reserve the full vector and move the
+     * inline entry into it. Called when a second distinct value
+     * appears, or when a merge makes the inline form insufficient.
+     */
+    void spill();
+
     std::size_t victimIndex() const;
 
     /** See setRecordCanaryForTest. */
@@ -177,6 +243,8 @@ class TnvTable
 
     TnvConfig cfg;
     std::vector<TnvEntry> entries;
+    TnvEntry inlineEntry;        ///< cold-entity one-slot form
+    bool inlineActive = false;   ///< inline slot occupied, vector unused
     std::uint64_t records = 0;
     std::uint64_t sinceClear = 0;
     std::size_t hotIdx = 0;  ///< index of the most recently hit entry

@@ -56,7 +56,7 @@ ProfileEmitter::emit(core::ProfileSnapshot delta)
         return;
     d.seq = nextSeq++;
     d.entities = std::move(delta);
-    queue.push_back(Pending{d.seq, encodeDelta(d)});
+    queue.push_back(Pending{d.seq, encodeDelta(d, cfg.wireVersion)});
     VP_STAT_GAUGE_MAX("serve.client.queue_depth",
                       static_cast<double>(queue.size()));
     hasWork.notify_one();
@@ -73,7 +73,7 @@ ProfileEmitter::tryEmit(core::ProfileSnapshot delta)
         return false;
     d.seq = nextSeq++;
     d.entities = std::move(delta);
-    queue.push_back(Pending{d.seq, encodeDelta(d)});
+    queue.push_back(Pending{d.seq, encodeDelta(d, cfg.wireVersion)});
     VP_STAT_GAUGE_MAX("serve.client.queue_depth",
                       static_cast<double>(queue.size()));
     hasWork.notify_one();
@@ -371,7 +371,7 @@ requestSnapshot(const std::string &addr, core::ProfileSnapshot &out,
                            msgTypeName(reply.type));
         return false;
     }
-    return decodeSnapshotReply(reply.payload, out, error);
+    return decodeSnapshotReply(reply, out, error);
 }
 
 bool
@@ -460,7 +460,7 @@ readSpill(const std::string &path, std::vector<Delta> &out,
             return true;
         }
         Delta delta;
-        if (!decodeDelta(frame.payload, delta, why)) {
+        if (!decodeDelta(frame, delta, why)) {
             error = "spill delta malformed: " + why;
             return true;
         }

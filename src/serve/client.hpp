@@ -62,6 +62,11 @@ struct EmitterConfig
      *  spilling, turning exhausted retries into dropped deltas plus a
      *  loud warning — only tests do that. */
     std::string spillPath;
+    /** Wire version this emitter's deltas are encoded in. The default
+     *  is the newest; 1 talks to pre-compression daemons (and loses
+     *  the dropped-access counters — the v1 payload can't carry
+     *  them). */
+    std::uint16_t wireVersion = kWireVersion;
 };
 
 /**

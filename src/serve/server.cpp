@@ -121,12 +121,13 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
       case MsgType::Delta: {
         Delta delta;
         std::string error;
-        if (!decodeDelta(frame.payload, delta, error)) {
+        if (!decodeDelta(frame, delta, error)) {
             VP_STAT_INC(vp::stats::Cid::ServeDecodeErrors);
             vp_warn("vpd: bad delta frame: %s", error.c_str());
             queueReply(conn,
                        encodeText(MsgType::Error,
-                                  "bad delta: " + error));
+                                  "bad delta: " + error,
+                                  frame.version));
             conn.closeAfterWrite = true;
             return true;
         }
@@ -136,7 +137,7 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
             if (delta.seq <= p.lastSeq) {
                 // A resend after a lost ack: acknowledge, don't merge.
                 VP_STAT_INC(vp::stats::Cid::ServeDeltaDuplicates);
-                queueReply(conn, encodeAck(p.lastSeq));
+                queueReply(conn, encodeAck(p.lastSeq, frame.version));
                 return true;
             }
             if (delta.seq != p.lastSeq + 1) {
@@ -149,7 +150,8 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
                                static_cast<unsigned long long>(
                                    delta.seq),
                                static_cast<unsigned long long>(
-                                   p.lastSeq))));
+                                   p.lastSeq)),
+                    frame.version));
                 conn.closeAfterWrite = true;
                 return true;
             }
@@ -161,7 +163,7 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
             dirty = true;
         }
         VP_STAT_INC(vp::stats::Cid::ServeDeltasMerged);
-        queueReply(conn, encodeAck(delta.seq));
+        queueReply(conn, encodeAck(delta.seq, frame.version));
         return true;
       }
       case MsgType::Query: {
@@ -174,20 +176,25 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
             os << "producers " << partials.size() << "\n"
                << "deltas " << deltas << "\n";
         }
-        os << "entities " << aggregate().size() << "\n"
+        const core::ProfileSnapshot agg = aggregate();
+        os << "entities " << agg.size() << "\n"
+           << "dropped_stores " << agg.droppedStores << "\n"
+           << "dropped_loads " << agg.droppedLoads << "\n"
            << "clients " << conns.size() << "\n";
-        queueReply(conn, encodeText(MsgType::QueryReply, os.str()));
+        queueReply(conn, encodeText(MsgType::QueryReply, os.str(),
+                               frame.version));
         return true;
       }
       case MsgType::Snapshot:
-        queueReply(conn, encodeSnapshotReply(aggregate()));
+        queueReply(conn,
+                   encodeSnapshotReply(aggregate(), frame.version));
         return true;
       case MsgType::Flush:
         persistIfConfigured();
-        queueReply(conn, encodeAck(0));
+        queueReply(conn, encodeAck(0, frame.version));
         return true;
       case MsgType::Shutdown:
-        queueReply(conn, encodeAck(0));
+        queueReply(conn, encodeAck(0, frame.version));
         conn.closeAfterWrite = true;
         stopping = true;
         return true;
@@ -200,7 +207,8 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
         queueReply(conn,
                    encodeText(MsgType::Error,
                               vp::format("unexpected %s frame",
-                                         msgTypeName(frame.type))));
+                                         msgTypeName(frame.type)),
+                              frame.version));
         conn.closeAfterWrite = true;
         return true;
     }

@@ -1,9 +1,10 @@
 #include "serve/wire.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cstring>
 
+#include "core/profile_codec.hpp"
+#include "support/crc32.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
 
@@ -121,33 +122,23 @@ msgTypeName(MsgType t)
 std::uint32_t
 crc32(const std::uint8_t *data, std::size_t len, std::uint32_t seed)
 {
-    // Table-driven CRC-32 (IEEE 802.3 reflected polynomial).
-    static const auto table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    std::uint32_t crc = ~seed;
-    for (std::size_t i = 0; i < len; ++i)
-        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
-    return ~crc;
+    return vp::crc32(data, len, seed);
 }
 
 std::vector<std::uint8_t>
-encodeFrame(MsgType type, const std::vector<std::uint8_t> &payload)
+encodeFrame(MsgType type, const std::vector<std::uint8_t> &payload,
+            std::uint16_t version)
 {
+    vp_assert(version >= kMinWireVersion && version <= kWireVersion,
+              "unsupported wire version %u",
+              static_cast<unsigned>(version));
     vp_assert(payload.size() <= kMaxPayload,
               "frame payload of %zu bytes exceeds the wire cap",
               payload.size());
     std::vector<std::uint8_t> out;
     out.reserve(kHeaderSize + payload.size());
     out.insert(out.end(), kMagic, kMagic + 4);
-    putU16(out, kWireVersion);
+    putU16(out, version);
     out.push_back(static_cast<std::uint8_t>(type));
     out.push_back(0); // flags
     putU32(out, static_cast<std::uint32_t>(payload.size()));
@@ -174,7 +165,7 @@ tryDecode(const std::uint8_t *data, std::size_t len, Frame &out,
     if (len >= 6) {
         const std::uint16_t version = static_cast<std::uint16_t>(
             data[4] | (static_cast<std::uint16_t>(data[5]) << 8));
-        if (version != kWireVersion) {
+        if (version < kMinWireVersion || version > kWireVersion) {
             error = vp::format("unknown wire version %u",
                                static_cast<unsigned>(version));
             return DecodeStatus::Corrupt;
@@ -212,7 +203,47 @@ tryDecode(const std::uint8_t *data, std::size_t len, Frame &out,
         return DecodeStatus::Corrupt;
     }
 
-    out.type = static_cast<MsgType>(data[6]);
+    const std::uint16_t version = static_cast<std::uint16_t>(
+        data[4] | (static_cast<std::uint16_t>(data[5]) << 8));
+    const MsgType type = static_cast<MsgType>(data[6]);
+
+    // Decompression-bomb guard: a version-2 snapshot-bearing payload
+    // is validated (structure + inflation cap) before the frame is
+    // surfaced, so a CRC-valid frame whose compressed block would
+    // inflate into gigabytes is Corrupt here, not an allocation storm
+    // in the payload decoder.
+    if (version >= 2 &&
+        (type == MsgType::Delta || type == MsgType::SnapshotReply)) {
+        const std::uint8_t *p = data + kHeaderSize;
+        std::size_t pos = 0;
+        if (type == MsgType::Delta) {
+            std::uint64_t producer = 0, seq = 0;
+            if (!core::codec::getVarint(p, payload_len, &pos,
+                                        producer) ||
+                !core::codec::getVarint(p, payload_len, &pos, seq)) {
+                error = "truncated delta header";
+                return DecodeStatus::Corrupt;
+            }
+        }
+        std::string scanError;
+        if (!core::codec::decodeEntityBlock(
+                p, payload_len, &pos, kMaxInflatedPayload,
+                /*strictDistinct=*/false, /*out=*/nullptr, scanError)) {
+            error = vp::format("invalid compressed payload: %s",
+                               scanError.c_str());
+            return DecodeStatus::Corrupt;
+        }
+        if (pos != payload_len) {
+            error = vp::format("%zu trailing bytes after the entity "
+                               "block",
+                               static_cast<std::size_t>(payload_len) -
+                                   pos);
+            return DecodeStatus::Corrupt;
+        }
+    }
+
+    out.type = type;
+    out.version = version;
     out.payload.assign(data + kHeaderSize,
                        data + kHeaderSize + payload_len);
     consumed = kHeaderSize + payload_len;
@@ -292,6 +323,10 @@ decodeSnapshotPayload(const std::uint8_t *data, std::size_t len,
                       std::string &error)
 {
     out.entities.clear();
+    // The v1 payload predates the dropped-access counters; don't let
+    // stale values survive in a reused output snapshot.
+    out.droppedStores = 0;
+    out.droppedLoads = 0;
     std::uint32_t count = 0;
     if (!getU32(data, len, pos, count)) {
         error = "truncated snapshot payload: entity count";
@@ -343,22 +378,38 @@ decodeSnapshotPayload(const std::uint8_t *data, std::size_t len,
 }
 
 std::vector<std::uint8_t>
-encodeDelta(const Delta &delta)
+encodeDelta(const Delta &delta, std::uint16_t version)
 {
     std::vector<std::uint8_t> payload;
-    putU64(payload, delta.producerId);
-    putU64(payload, delta.seq);
-    encodeSnapshotPayload(delta.entities, payload);
-    return encodeFrame(MsgType::Delta, payload);
+    if (version >= 2) {
+        core::codec::putVarint(payload, delta.producerId);
+        core::codec::putVarint(payload, delta.seq);
+        core::codec::encodeEntityBlock(delta.entities, payload);
+    } else {
+        putU64(payload, delta.producerId);
+        putU64(payload, delta.seq);
+        encodeSnapshotPayload(delta.entities, payload);
+    }
+    return encodeFrame(MsgType::Delta, payload, version);
 }
 
 bool
-decodeDelta(const std::vector<std::uint8_t> &payload, Delta &out,
-            std::string &error)
+decodeDelta(const Frame &frame, Delta &out, std::string &error)
 {
+    const std::vector<std::uint8_t> &payload = frame.payload;
     std::size_t pos = 0;
-    if (!getU64(payload.data(), payload.size(), &pos, out.producerId) ||
-        !getU64(payload.data(), payload.size(), &pos, out.seq)) {
+    if (frame.version >= 2) {
+        if (!core::codec::getVarint(payload.data(), payload.size(),
+                                    &pos, out.producerId) ||
+            !core::codec::getVarint(payload.data(), payload.size(),
+                                    &pos, out.seq)) {
+            error = "truncated delta header";
+            return false;
+        }
+    } else if (!getU64(payload.data(), payload.size(), &pos,
+                       out.producerId) ||
+               !getU64(payload.data(), payload.size(), &pos,
+                       out.seq)) {
         error = "truncated delta header";
         return false;
     }
@@ -366,9 +417,16 @@ decodeDelta(const std::vector<std::uint8_t> &payload, Delta &out,
         error = "delta sequence numbers are 1-based";
         return false;
     }
-    if (!decodeSnapshotPayload(payload.data(), payload.size(), &pos,
-                               out.entities, error))
+    if (frame.version >= 2) {
+        if (!core::codec::decodeEntityBlock(
+                payload.data(), payload.size(), &pos,
+                kMaxInflatedPayload, /*strictDistinct=*/false,
+                &out.entities, error))
+            return false;
+    } else if (!decodeSnapshotPayload(payload.data(), payload.size(),
+                                      &pos, out.entities, error)) {
         return false;
+    }
     if (pos != payload.size()) {
         error = vp::format("%zu trailing bytes after delta payload",
                            payload.size() - pos);
@@ -378,11 +436,11 @@ decodeDelta(const std::vector<std::uint8_t> &payload, Delta &out,
 }
 
 std::vector<std::uint8_t>
-encodeAck(std::uint64_t seq)
+encodeAck(std::uint64_t seq, std::uint16_t version)
 {
     std::vector<std::uint8_t> payload;
     putU64(payload, seq);
-    return encodeFrame(MsgType::Ack, payload);
+    return encodeFrame(MsgType::Ack, payload, version);
 }
 
 bool
@@ -399,22 +457,34 @@ decodeAck(const std::vector<std::uint8_t> &payload, std::uint64_t &seq,
 }
 
 std::vector<std::uint8_t>
-encodeSnapshotReply(const core::ProfileSnapshot &snap)
+encodeSnapshotReply(const core::ProfileSnapshot &snap,
+                    std::uint16_t version)
 {
     std::vector<std::uint8_t> payload;
-    encodeSnapshotPayload(snap, payload);
-    return encodeFrame(MsgType::SnapshotReply, payload);
+    if (version >= 2)
+        core::codec::encodeEntityBlock(snap, payload);
+    else
+        encodeSnapshotPayload(snap, payload);
+    return encodeFrame(MsgType::SnapshotReply, payload, version);
 }
 
 bool
-decodeSnapshotReply(const std::vector<std::uint8_t> &payload,
-                    core::ProfileSnapshot &out, std::string &error)
+decodeSnapshotReply(const Frame &frame, core::ProfileSnapshot &out,
+                    std::string &error)
 {
     std::size_t pos = 0;
-    if (!decodeSnapshotPayload(payload.data(), payload.size(), &pos,
-                               out, error))
+    if (frame.version >= 2) {
+        if (!core::codec::decodeEntityBlock(
+                frame.payload.data(), frame.payload.size(), &pos,
+                kMaxInflatedPayload, /*strictDistinct=*/false, &out,
+                error))
+            return false;
+    } else if (!decodeSnapshotPayload(frame.payload.data(),
+                                      frame.payload.size(), &pos, out,
+                                      error)) {
         return false;
-    if (pos != payload.size()) {
+    }
+    if (pos != frame.payload.size()) {
         error = "trailing bytes after snapshot reply";
         return false;
     }
@@ -422,12 +492,12 @@ decodeSnapshotReply(const std::vector<std::uint8_t> &payload,
 }
 
 std::vector<std::uint8_t>
-encodeText(MsgType type, const std::string &text)
+encodeText(MsgType type, const std::string &text, std::uint16_t version)
 {
     vp_assert(type == MsgType::QueryReply || type == MsgType::Error,
               "text payloads are for QueryReply/Error frames");
     std::vector<std::uint8_t> payload(text.begin(), text.end());
-    return encodeFrame(type, payload);
+    return encodeFrame(type, payload, version);
 }
 
 std::string
@@ -437,9 +507,9 @@ payloadText(const std::vector<std::uint8_t> &payload)
 }
 
 std::vector<std::uint8_t>
-encodeEmpty(MsgType type)
+encodeEmpty(MsgType type, std::uint16_t version)
 {
-    return encodeFrame(type, {});
+    return encodeFrame(type, {}, version);
 }
 
 } // namespace vp::serve

@@ -1,13 +1,13 @@
 /**
  * @file
- * The vpd delta wire format (version 1).
+ * The vpd delta wire format (versions 1 and 2).
  *
  * Every message on a vpd connection is one length-prefixed, CRC-framed
  * binary frame:
  *
  *   offset size field
  *   0      4    magic "VPDF"
- *   4      2    version (little-endian u16, currently 1)
+ *   4      2    version (little-endian u16, 1 or 2)
  *   6      1    message type (MsgType)
  *   7      1    flags (reserved, must be 0)
  *   8      4    payload length (little-endian u32)
@@ -22,23 +22,38 @@
  * version or type, nonzero flags, implausible length, or mismatching
  * CRC is Corrupt, never silently skipped or partially applied. A
  * prefix of a valid frame is NeedMore so stream readers can buffer.
- * The wire fuzz test mutates every byte of valid frames and asserts
- * none of them decodes (the CRC covers header and payload, so any
- * single-byte corruption is detected).
+ * The wire fuzz test mutates every byte of valid frames (both
+ * versions) and asserts none of them decodes (the CRC covers header
+ * and payload, so any single-byte corruption is detected). A version-2
+ * snapshot-bearing frame is additionally scanned before it is
+ * surfaced: a compressed payload that would inflate past
+ * kMaxInflatedPayload v1-equivalent bytes is Corrupt — the
+ * decompression-bomb guard.
  *
  * Payloads:
- *   Delta         producerId u64, seq u64, snapshot payload
+ *   Delta         v1: producerId u64, seq u64, v1 snapshot payload
+ *                 v2: producerId varint, seq varint, entity block
  *   Ack           seq u64 (highest contiguously applied delta)
- *   SnapshotReply snapshot payload (the daemon's current aggregate)
+ *   SnapshotReply v1: v1 snapshot payload; v2: entity block
  *   QueryReply    UTF-8 text (key value lines)
  *   Error         UTF-8 text diagnosis
  *   Query/Snapshot/Flush/Shutdown have empty payloads.
  *
- * A "snapshot payload" serializes a core::ProfileSnapshot:
- *   entityCount u32, then per entity: key u64, totalExecutions u64,
- *   profiledExecutions u64, distinct u64, invTop/invAll/lvp/
- *   zeroFraction f64-bits, topCount u32, topCount * (value u64,
- *   count u64).
+ * A v1 "snapshot payload" serializes a core::ProfileSnapshot
+ * fixed-width: entityCount u32, then per entity: key u64,
+ * totalExecutions u64, profiledExecutions u64, distinct u64,
+ * invTop/invAll/lvp/zeroFraction f64-bits, topCount u32, topCount *
+ * (value u64, count u64). It predates the snapshot dropped-access
+ * counters and cannot carry them.
+ *
+ * A v2 "entity block" is the compressed encoding shared with the v2
+ * snapshot file format — see core/profile_codec.hpp. It is both
+ * smaller (varint/delta coding, constant- and run-compressed record
+ * kinds) and richer (dropped-access counters ride along).
+ *
+ * Version negotiation is per-frame and implicit: both versions are
+ * always accepted, every reply is encoded in the version of the
+ * request frame it answers, and encoders default to kWireVersion.
  */
 
 #ifndef VP_SERVE_WIRE_HPP
@@ -54,14 +69,26 @@
 namespace vp::serve
 {
 
-/** Protocol version this build speaks. */
-constexpr std::uint16_t kWireVersion = 1;
+/** Newest protocol version this build speaks (and the encode default). */
+constexpr std::uint16_t kWireVersion = 2;
+
+/** Oldest protocol version still decoded. */
+constexpr std::uint16_t kMinWireVersion = 1;
 
 /** Frame header size in bytes. */
 constexpr std::size_t kHeaderSize = 16;
 
 /** Upper bound on a sane payload (rejects garbage length fields). */
 constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+/**
+ * Upper bound on what a compressed (v2) snapshot-bearing payload may
+ * inflate to, measured in v1 fixed-width bytes (~84 bytes per
+ * constant entity, so roughly 6M entities per frame). tryDecode
+ * rejects bigger blocks as Corrupt before any allocation happens —
+ * the decompression-bomb guard.
+ */
+constexpr std::uint64_t kMaxInflatedPayload = 512u << 20;
 
 /** Message types (wire byte values are part of the format). */
 enum class MsgType : std::uint8_t
@@ -87,6 +114,10 @@ const char *msgTypeName(MsgType t);
 struct Frame
 {
     MsgType type = MsgType::Error;
+    /** The frame's wire version — payload decoders dispatch on it,
+     *  and the daemon answers each request in the version it came
+     *  in, so v1 peers keep working against a v2 daemon. */
+    std::uint16_t version = kWireVersion;
     std::vector<std::uint8_t> payload;
 };
 
@@ -104,7 +135,8 @@ std::uint32_t crc32(const std::uint8_t *data, std::size_t len,
 
 /** Encode a frame around an already-built payload. */
 std::vector<std::uint8_t> encodeFrame(
-    MsgType type, const std::vector<std::uint8_t> &payload);
+    MsgType type, const std::vector<std::uint8_t> &payload,
+    std::uint16_t version = kWireVersion);
 
 /**
  * Strictly decode one frame from the front of [data, data+len).
@@ -142,13 +174,13 @@ class FrameReader
 
 // --- payload codecs ---------------------------------------------------
 
-/** Serialize a snapshot into `out` (appends). */
+/** Serialize a snapshot into `out` (appends), v1 fixed-width form. */
 void encodeSnapshotPayload(const core::ProfileSnapshot &snap,
                            std::vector<std::uint8_t> &out);
 
 /**
- * Decode a snapshot payload region [*pos, len). Advances *pos past the
- * snapshot. @return false with a diagnosis on malformed input.
+ * Decode a v1 snapshot payload region [*pos, len). Advances *pos past
+ * the snapshot. @return false with a diagnosis on malformed input.
  */
 bool decodeSnapshotPayload(const std::uint8_t *data, std::size_t len,
                            std::size_t *pos, core::ProfileSnapshot &out,
@@ -164,37 +196,42 @@ struct Delta
     core::ProfileSnapshot entities;
 };
 
-/** Build a Delta frame. */
-std::vector<std::uint8_t> encodeDelta(const Delta &delta);
+/** Build a Delta frame in the given wire version. */
+std::vector<std::uint8_t> encodeDelta(
+    const Delta &delta, std::uint16_t version = kWireVersion);
 
-/** Decode a Delta payload. @return false with a diagnosis. */
-bool decodeDelta(const std::vector<std::uint8_t> &payload, Delta &out,
-                 std::string &error);
+/** Decode a Delta frame (dispatches on frame.version).
+ *  @return false with a diagnosis. */
+bool decodeDelta(const Frame &frame, Delta &out, std::string &error);
 
 /** Build an Ack frame for `seq`. */
-std::vector<std::uint8_t> encodeAck(std::uint64_t seq);
+std::vector<std::uint8_t> encodeAck(
+    std::uint64_t seq, std::uint16_t version = kWireVersion);
 
 /** Decode an Ack payload. */
 bool decodeAck(const std::vector<std::uint8_t> &payload,
                std::uint64_t &seq, std::string &error);
 
-/** Build a SnapshotReply frame. */
+/** Build a SnapshotReply frame in the given wire version. */
 std::vector<std::uint8_t> encodeSnapshotReply(
-    const core::ProfileSnapshot &snap);
+    const core::ProfileSnapshot &snap,
+    std::uint16_t version = kWireVersion);
 
-/** Decode a SnapshotReply payload. */
-bool decodeSnapshotReply(const std::vector<std::uint8_t> &payload,
+/** Decode a SnapshotReply frame (dispatches on frame.version). */
+bool decodeSnapshotReply(const Frame &frame,
                          core::ProfileSnapshot &out, std::string &error);
 
 /** Build a text-payload frame (QueryReply or Error). */
-std::vector<std::uint8_t> encodeText(MsgType type,
-                                     const std::string &text);
+std::vector<std::uint8_t> encodeText(
+    MsgType type, const std::string &text,
+    std::uint16_t version = kWireVersion);
 
 /** Interpret a payload as UTF-8 text (QueryReply/Error). */
 std::string payloadText(const std::vector<std::uint8_t> &payload);
 
 /** Build an empty-payload frame (Query/Snapshot/Flush/Shutdown). */
-std::vector<std::uint8_t> encodeEmpty(MsgType type);
+std::vector<std::uint8_t> encodeEmpty(
+    MsgType type, std::uint16_t version = kWireVersion);
 
 } // namespace vp::serve
 

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected) — shared by the wire framing and the
+ * v2 binary snapshot footer, so a file written by one layer checks out
+ * identically in the other.
+ */
+
+#ifndef VP_SUPPORT_CRC32_HPP
+#define VP_SUPPORT_CRC32_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace vp
+{
+
+/**
+ * CRC-32 of a byte range. Pass the previous return value as `seed` to
+ * continue a running CRC over discontiguous ranges.
+ */
+inline std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len, std::uint32_t seed = 0)
+{
+    // Table-driven CRC-32 (IEEE 802.3 reflected polynomial).
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace vp
+
+#endif // VP_SUPPORT_CRC32_HPP

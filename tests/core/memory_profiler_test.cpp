@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/memory_profiler.hpp"
+#include "core/snapshot.hpp"
 #include "vpsim/assembler.hpp"
 
 using namespace core;
@@ -311,6 +314,41 @@ TEST(MemoryProfiler, OverflowReportsDropsWithoutSkewingFraction)
     EXPECT_EQ(env.profiler.totalStores(), 21u);
     EXPECT_EQ(env.profiler.droppedStores(), 1u);
     EXPECT_DOUBLE_EQ(env.profiler.fractionProfiled(), 1.0);
+}
+
+// Regression: the dropped-access counters were neither serialized nor
+// merged, so a shard-merged (or saved-and-reloaded) snapshot of
+// overflowing runs silently forgot the drops and fractionProfiled()
+// could no longer be reconstructed.
+TEST(MemoryProfiler, ShardMergeCarriesDroppedCounters)
+{
+    MemProfilerConfig cfg;
+    cfg.maxLocations = 2;
+    Env shard1(cfg), shard2(cfg);
+    ASSERT_TRUE(shard1.profiler.overflowed());
+
+    ProfileSnapshot merged;
+    merged.merge(ProfileSnapshot::fromMemoryProfiler(shard1.profiler));
+    merged.merge(ProfileSnapshot::fromMemoryProfiler(shard2.profiler));
+    EXPECT_EQ(merged.droppedStores, shard1.profiler.droppedStores() +
+                                        shard2.profiler.droppedStores());
+    EXPECT_TRUE(merged.overflowed());
+    // Both shards profiled every in-window store, so the merged
+    // fraction is exactly 1 — drops must not skew it.
+    EXPECT_DOUBLE_EQ(merged.fractionProfiled(), 1.0);
+    EXPECT_DOUBLE_EQ(merged.fractionProfiled(),
+                     shard1.profiler.fractionProfiled());
+
+    // And the counters survive a save/load round trip.
+    std::stringstream ss;
+    merged.save(ss);
+    ProfileSnapshot reloaded;
+    std::string err;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(ss, reloaded, err)) << err;
+    EXPECT_EQ(reloaded.droppedStores, merged.droppedStores);
+    EXPECT_EQ(reloaded.droppedLoads, merged.droppedLoads);
+    EXPECT_DOUBLE_EQ(reloaded.fractionProfiled(),
+                     merged.fractionProfiled());
 }
 
 TEST(MemoryProfilerDeath, BadGranularityPanics)

@@ -462,4 +462,193 @@ TEST(Snapshot, FromInstructionProfilerKeysByPc)
     EXPECT_EQ(snap.entities.at(1).topValue(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Format v2 (compressed binary) and cross-version behavior
+// ---------------------------------------------------------------------
+
+std::string
+saveToStringV(const ProfileSnapshot &snap, int version)
+{
+    std::stringstream ss;
+    snap.save(ss, version);
+    return ss.str();
+}
+
+/** A snapshot exercising every v2 record kind: a constant run, a
+ *  lone constant, and full records (one with non-canonical metrics). */
+ProfileSnapshot
+v2Sample()
+{
+    ProfileSnapshot snap;
+    for (std::uint64_t i = 0; i < 5; ++i) // constant run, stride 4
+        snap.entities[100 + 4 * i] =
+            ProfileSnapshot::summarize(makeProfile({9, 9}), 2);
+    snap.entities[500] = // lone constant, unprofiled tail
+        ProfileSnapshot::summarize(makeProfile({0}), 3);
+    snap.entities[600] = // full record, canonical metrics
+        ProfileSnapshot::summarize(makeProfile({1, 1, 2, 3}), 4);
+    EntitySummary odd = // full record, nothing canonical
+        ProfileSnapshot::summarize(makeProfile({5, 5}), 2);
+    odd.invTop = 0.123;
+    odd.invAll = 0.456;
+    snap.entities[700] = odd;
+    snap.droppedStores = 11;
+    snap.droppedLoads = 2;
+    return snap;
+}
+
+TEST(SnapshotV2, RoundTripIsFixedPointAndMatchesV1Rendering)
+{
+    const ProfileSnapshot snap = v2Sample();
+    const std::string v2 = saveToStringV(snap, 2);
+    EXPECT_EQ(saveToString(snap), v2); // v2 is the default save
+
+    std::stringstream in(v2);
+    ProfileSnapshot loaded;
+    std::string err;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(in, loaded, err)) << err;
+    EXPECT_EQ(saveToStringV(loaded, 2), v2);
+    // The decoded snapshot is semantically identical: its v1 text
+    // rendering matches the original's bit for bit.
+    EXPECT_EQ(saveToStringV(loaded, 1), saveToStringV(snap, 1));
+}
+
+TEST(SnapshotV2, DroppedCountersSurviveV2NotV1)
+{
+    const ProfileSnapshot snap = v2Sample();
+    ASSERT_TRUE(snap.overflowed());
+
+    std::stringstream v2(saveToStringV(snap, 2));
+    ProfileSnapshot via2;
+    std::string err;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(v2, via2, err)) << err;
+    EXPECT_EQ(via2.droppedStores, 11u);
+    EXPECT_EQ(via2.droppedLoads, 2u);
+    EXPECT_TRUE(via2.overflowed());
+
+    // The v1 text format predates the counters: they load as zero.
+    std::stringstream v1(saveToStringV(snap, 1));
+    ProfileSnapshot via1;
+    via1.droppedStores = 999; // must be scrubbed, not inherited
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(v1, via1, err)) << err;
+    EXPECT_EQ(via1.droppedStores, 0u);
+    EXPECT_EQ(via1.droppedLoads, 0u);
+    EXPECT_FALSE(via1.overflowed());
+}
+
+TEST(SnapshotV2, MergeSumsDroppedCounters)
+{
+    ProfileSnapshot a, b;
+    a.droppedStores = 3;
+    a.droppedLoads = 1;
+    a.entities[1] = ProfileSnapshot::summarize(makeProfile({5}), 1);
+    b.droppedStores = 4;
+    b.droppedLoads = 2;
+    b.entities[1] = ProfileSnapshot::summarize(makeProfile({5}), 1);
+    a.merge(b);
+    EXPECT_EQ(a.droppedStores, 7u);
+    EXPECT_EQ(a.droppedLoads, 3u);
+}
+
+TEST(SnapshotV2, TryLoadRejectsCorruptBinary)
+{
+    const std::string good = saveToStringV(v2Sample(), 2);
+
+    const auto rejects = [](const std::string &text) {
+        std::stringstream ss(text);
+        ProfileSnapshot out;
+        std::string err;
+        EXPECT_FALSE(ProfileSnapshot::tryLoad(ss, out, err));
+        EXPECT_FALSE(err.empty());
+        return err;
+    };
+
+    // Any flipped payload byte breaks the CRC.
+    for (std::size_t i = 22; i < good.size(); i += 7) {
+        std::string bad = good;
+        bad[i] = static_cast<char>(bad[i] ^ 0x20);
+        EXPECT_NE(rejects(bad).find("CRC"), std::string::npos)
+            << "byte " << i;
+    }
+    // Cut anywhere: mid-header, mid-body, inside the CRC footer.
+    for (const std::size_t len :
+         {std::size_t{10}, std::size_t{23}, good.size() / 2,
+          good.size() - 2}) {
+        EXPECT_NE(rejects(good.substr(0, len)).find("truncated"),
+                  std::string::npos)
+            << "cut at " << len;
+    }
+    // Trailing garbage after the CRC footer shifts the footer window,
+    // so the checksum no longer matches.
+    EXPECT_NE(rejects(good + "x").find("corrupt"), std::string::npos);
+}
+
+TEST(SnapshotV2, TryLoadRejectsNtopExceedingDistinct)
+{
+    // Hand-build a v2 body claiming ntop 2 but distinct 1; the file
+    // loader is strict about it (the summarizer can never emit it).
+    ProfileSnapshot snap;
+    EntitySummary s = ProfileSnapshot::summarize(makeProfile({1, 2}), 2);
+    s.distinct = 1; // lie: fewer distinct values than table entries
+    snap.entities[4] = s;
+    std::stringstream ss(saveToStringV(snap, 2));
+    ProfileSnapshot out;
+    std::string err;
+    EXPECT_FALSE(ProfileSnapshot::tryLoad(ss, out, err));
+    EXPECT_NE(err.find("exceeds distinct"), std::string::npos) << err;
+}
+
+TEST(SnapshotV1, TryLoadRejectsNtopExceedingDistinct)
+{
+    const std::string text =
+        "valueprof-snapshot v1\n1\n"
+        "1 4 4 1 1 0 0 1 2 5 3 6 1\n"; // distinct 1, ntop 2
+    std::stringstream ss(text);
+    ProfileSnapshot out;
+    std::string err;
+    EXPECT_FALSE(ProfileSnapshot::tryLoad(ss, out, err));
+    EXPECT_NE(err.find("exceeds distinct"), std::string::npos) << err;
+}
+
+TEST(SnapshotV1, TryLoadRejectsTrailingGarbage)
+{
+    const std::string text =
+        "valueprof-snapshot v1\n1\n"
+        "1 4 4 1 1 0 0 2 2 5 3 6 1\n"
+        "99 1 1 1 1 0 0 1 1 5 1\n"; // an entity past the count
+    std::stringstream ss(text);
+    ProfileSnapshot out;
+    std::string err;
+    EXPECT_FALSE(ProfileSnapshot::tryLoad(ss, out, err));
+    EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+TEST(SnapshotV2, ExtremeValuesRoundTrip)
+{
+    // UINT64_MAX keys/values/counts and denormal-adjacent doubles
+    // through the varint/zigzag/bit-pattern paths.
+    ProfileSnapshot snap;
+    EntitySummary s;
+    s.totalExecutions = 0xFFFFFFFFFFFFFFFFull;
+    s.profiledExecutions = 0xFFFFFFFFFFFFFFFEull;
+    s.distinct = 3;
+    s.topValues = {{0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFF0ull},
+                   {0, 7},
+                   {1, 1}};
+    s.invTop = 1e-300;
+    s.invAll = 1.0 / 3.0;
+    s.lvp = 0.9999999999999999;
+    s.zeroFraction = 5e-324; // smallest denormal
+    snap.entities[0xFFFFFFFFFFFFFFFFull] = s;
+    snap.entities[0] =
+        ProfileSnapshot::summarize(makeProfile({0, 0}), 2);
+    const std::string v2 = saveToStringV(snap, 2);
+    std::stringstream in(v2);
+    ProfileSnapshot loaded;
+    std::string err;
+    ASSERT_TRUE(ProfileSnapshot::tryLoad(in, loaded, err)) << err;
+    EXPECT_EQ(saveToStringV(loaded, 2), v2);
+    EXPECT_EQ(saveToStringV(loaded, 1), saveToStringV(snap, 1));
+}
+
 } // namespace

@@ -604,4 +604,90 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyParam{2, 128, TnvConfig::Policy::SteadyClear, 7},
         PropertyParam{1, 64, TnvConfig::Policy::PureLfu, 8}));
 
+// ---------------------------------------------------------------------
+// Compact cold-entity form
+// ---------------------------------------------------------------------
+
+TEST(TnvInline, SingleValueStaysInOneSlotThenSpills)
+{
+    // A location that only ever saw one value lives in the inline
+    // slot (size 1, view of one entry); the second distinct value
+    // spills it to the full table with nothing lost.
+    TnvTable t(config(8, 1u << 30));
+    for (int i = 0; i < 100; ++i)
+        t.record(42);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.countFor(42), 100u);
+    EXPECT_EQ(t.raw().size(), 1u);
+    EXPECT_EQ(t.raw()[0].value, 42u);
+    ASSERT_TRUE(t.top().has_value());
+    EXPECT_EQ(t.top()->value, 42u);
+    EXPECT_EQ(t.coveredCount(), 100u);
+
+    t.record(7);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.countFor(42), 100u);
+    EXPECT_EQ(t.countFor(7), 1u);
+    EXPECT_EQ(t.recordCount(), 101u);
+}
+
+TEST(TnvInline, ResetReturnsToInlineForm)
+{
+    TnvTable t(config(8, 1u << 30));
+    t.record(1);
+    t.record(2); // spilled
+    EXPECT_EQ(t.size(), 2u);
+    t.reset();
+    EXPECT_EQ(t.size(), 0u);
+    t.record(9);
+    t.record(9);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.countFor(9), 2u);
+    EXPECT_EQ(t.raw().size(), 1u);
+}
+
+TEST(TnvInline, MergeKeepsColdFormWhenValuesAgree)
+{
+    // Two shards that each saw only the same constant merge without
+    // leaving the inline slot.
+    TnvTable a(config(8, 1u << 30)), b(config(8, 1u << 30));
+    for (int i = 0; i < 4; ++i)
+        a.record(5);
+    for (int i = 0; i < 3; ++i)
+        b.record(5);
+    a.merge(b);
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(a.countFor(5), 7u);
+    EXPECT_EQ(a.recordCount(), 7u);
+}
+
+TEST(TnvInline, MergeSpillsWhenValuesDiffer)
+{
+    TnvTable a(config(8, 1u << 30)), b(config(8, 1u << 30));
+    a.record(5);
+    b.record(6);
+    a.merge(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.countFor(5), 1u);
+    EXPECT_EQ(a.countFor(6), 1u);
+}
+
+TEST(TnvInline, MergeSingleValueIntoEmptyAdoptsInline)
+{
+    TnvTable a(config(8, 1u << 30)), b(config(8, 1u << 30));
+    for (int i = 0; i < 3; ++i)
+        b.record(9);
+    a.merge(b);
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(a.raw().size(), 1u);
+    EXPECT_EQ(a.countFor(9), 3u);
+    EXPECT_EQ(a.recordCount(), 3u);
+    // The adopted slot behaves like any inline slot: a second value
+    // still spills correctly.
+    a.record(4);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.countFor(9), 3u);
+    EXPECT_EQ(a.countFor(4), 1u);
+}
+
 } // namespace

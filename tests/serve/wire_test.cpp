@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "check/seed.hpp"
+#include "core/profile_codec.hpp"
 #include "serve/wire.hpp"
 #include "support/rng.hpp"
 
@@ -82,7 +83,7 @@ TEST(Wire, DeltaRoundTripIsBitExact)
 
     Delta out;
     std::string error;
-    ASSERT_TRUE(decodeDelta(frame.payload, out, error)) << error;
+    ASSERT_TRUE(decodeDelta(frame, out, error)) << error;
     EXPECT_EQ(out.producerId, delta.producerId);
     EXPECT_EQ(out.seq, delta.seq);
     // Byte-identical snapshot text = bit-exact doubles survived the
@@ -124,8 +125,7 @@ TEST(Wire, SnapshotReplyRoundTrip)
     EXPECT_EQ(frame.type, MsgType::SnapshotReply);
     core::ProfileSnapshot out;
     std::string error;
-    ASSERT_TRUE(decodeSnapshotReply(frame.payload, out, error))
-        << error;
+    ASSERT_TRUE(decodeSnapshotReply(frame, out, error)) << error;
     EXPECT_EQ(snapshotText(out), snapshotText(snap));
 }
 
@@ -153,7 +153,9 @@ TEST(Wire, EverySingleByteMutationIsRejected)
     delta.seq = 7;
     delta.entities = sampleSnapshot();
     const std::vector<std::vector<std::uint8_t>> frames = {
-        encodeDelta(delta),
+        encodeDelta(delta),    // v2, compressed entity block
+        encodeDelta(delta, 1), // v1, fixed-width payload
+        encodeSnapshotReply(delta.entities),
         encodeAck(99),
         encodeEmpty(MsgType::Flush),
         encodeText(MsgType::Error, "x"),
@@ -216,7 +218,7 @@ TEST(Wire, SeededRandomDeltasSurviveRoundTripAndRejectMutations)
         const Frame frame = decodeWhole(bytes);
         Delta out;
         std::string error;
-        ASSERT_TRUE(decodeDelta(frame.payload, out, error)) << error;
+        ASSERT_TRUE(decodeDelta(frame, out, error)) << error;
         EXPECT_EQ(out.producerId, delta.producerId);
         EXPECT_EQ(out.seq, delta.seq);
         EXPECT_EQ(snapshotText(out.entities),
@@ -260,7 +262,7 @@ TEST(Wire, UnknownVersionTypeAndFlagsAreCorrupt)
 
     const auto good = encodeAck(1);
     for (const auto &bad : {
-             patched(good, 4, 2),    // version 2
+             patched(good, 4, 3),    // version 3 (newest is 2)
              patched(good, 6, 42),   // unknown message type
              patched(good, 7, 1),    // reserved flags set
              patched(good, 0, 'X'),  // bad magic
@@ -327,8 +329,8 @@ TEST(Wire, DeltaPayloadRejectsZeroSeqAndTrailingBytes)
     delta.entities = sampleSnapshot();
     const auto frame = decodeWhole(encodeDelta(delta));
 
-    auto trailing = frame.payload;
-    trailing.push_back(0);
+    Frame trailing = frame;
+    trailing.payload.push_back(0);
     Delta out;
     std::string error;
     EXPECT_FALSE(decodeDelta(trailing, out, error));
@@ -336,7 +338,7 @@ TEST(Wire, DeltaPayloadRejectsZeroSeqAndTrailingBytes)
     Delta zero_seq = delta;
     zero_seq.seq = 0;
     const Frame zf = decodeWhole(encodeDelta(zero_seq));
-    EXPECT_FALSE(decodeDelta(zf.payload, out, error));
+    EXPECT_FALSE(decodeDelta(zf, out, error));
     EXPECT_FALSE(error.empty());
 }
 
@@ -350,6 +352,152 @@ TEST(Wire, OversizedLengthFieldIsCorrupt)
     std::string error;
     EXPECT_EQ(tryDecode(f.data(), f.size(), frame, consumed, error),
               DecodeStatus::Corrupt);
+}
+
+TEST(Wire, V1FramesStillRoundTrip)
+{
+    // Backward compatibility: a v1 (fixed-width) delta produced by an
+    // older emitter decodes bit-exactly on a v2 build, and the frame
+    // carries its version so replies can be encoded in kind.
+    Delta delta;
+    delta.producerId = 3;
+    delta.seq = 4;
+    delta.entities = sampleSnapshot();
+
+    const Frame v1 = decodeWhole(encodeDelta(delta, 1));
+    EXPECT_EQ(v1.version, 1u);
+    const Frame v2 = decodeWhole(encodeDelta(delta));
+    EXPECT_EQ(v2.version, 2u);
+
+    Delta out1, out2;
+    std::string error;
+    ASSERT_TRUE(decodeDelta(v1, out1, error)) << error;
+    ASSERT_TRUE(decodeDelta(v2, out2, error)) << error;
+    EXPECT_EQ(snapshotText(out1.entities), snapshotText(out2.entities));
+    EXPECT_EQ(snapshotText(out1.entities),
+              snapshotText(delta.entities));
+}
+
+TEST(Wire, CompressedDeltaIsSmallerThanV1)
+{
+    // A constant-heavy snapshot (the memory-profile shape) must shrink
+    // by at least 4x on the wire — the PR's headline budget.
+    core::ProfileSnapshot snap;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        core::EntitySummary s;
+        s.totalExecutions = 16;
+        s.profiledExecutions = 16;
+        s.distinct = 1;
+        s.topValues = {{i * 8, 16}};
+        s.invTop = 1.0;
+        s.invAll = 1.0;
+        s.lvp = 15.0 / 16.0;
+        s.zeroFraction = i == 0 ? 1.0 : 0.0;
+        snap.entities[0x1000 + i * 8] = s;
+    }
+    Delta delta;
+    delta.producerId = 1;
+    delta.seq = 1;
+    delta.entities = snap;
+    const auto v1 = encodeDelta(delta, 1);
+    const auto v2 = encodeDelta(delta);
+    EXPECT_GE(v1.size(), 4 * v2.size())
+        << "v1 " << v1.size() << " bytes, v2 " << v2.size();
+
+    Delta out;
+    std::string error;
+    ASSERT_TRUE(decodeDelta(decodeWhole(v2), out, error)) << error;
+    EXPECT_EQ(snapshotText(out.entities), snapshotText(snap));
+}
+
+TEST(Wire, DroppedCountersRideV2NotV1)
+{
+    Delta delta;
+    delta.producerId = 1;
+    delta.seq = 1;
+    delta.entities = sampleSnapshot();
+    delta.entities.droppedStores = 123;
+    delta.entities.droppedLoads = 45;
+
+    Delta out;
+    std::string error;
+    ASSERT_TRUE(decodeDelta(decodeWhole(encodeDelta(delta)), out,
+                            error))
+        << error;
+    EXPECT_EQ(out.entities.droppedStores, 123u);
+    EXPECT_EQ(out.entities.droppedLoads, 45u);
+    EXPECT_TRUE(out.entities.overflowed());
+
+    // The v1 payload has no field for them: they decode as zero (and
+    // a stale output object is scrubbed, not inherited).
+    ASSERT_TRUE(decodeDelta(decodeWhole(encodeDelta(delta, 1)), out,
+                            error))
+        << error;
+    EXPECT_EQ(out.entities.droppedStores, 0u);
+    EXPECT_EQ(out.entities.droppedLoads, 0u);
+}
+
+TEST(Wire, DecompressionBombIsCorrupt)
+{
+    // A CRC-valid v2 delta whose constant-run would inflate past
+    // kMaxInflatedPayload must be Corrupt at the frame level — before
+    // any snapshot is allocated.
+    const std::uint64_t entities =
+        kMaxInflatedPayload / 84 + 1000; // just past the cap
+    std::vector<std::uint8_t> payload;
+    core::codec::putVarint(payload, 1); // producerId
+    core::codec::putVarint(payload, 1); // seq
+    core::codec::putVarint(payload, entities);
+    core::codec::putVarint(payload, 0); // droppedStores
+    core::codec::putVarint(payload, 0); // droppedLoads
+    payload.push_back(3); // ConstantRun
+    core::codec::putVarint(payload, 1);        // first key
+    core::codec::putVarint(payload, 1);        // stride
+    core::codec::putVarint(payload, entities); // runLen
+    core::codec::putVarint(payload, 2);        // total
+    core::codec::putVarint(payload, 0);        // total - profiled
+    for (std::uint64_t i = 0; i < entities; ++i)
+        payload.push_back(0); // value 0
+    ASSERT_LE(payload.size(), kMaxPayload);
+    const auto bytes = encodeFrame(MsgType::Delta, payload);
+
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(tryDecode(bytes.data(), bytes.size(), frame, consumed,
+                        error),
+              DecodeStatus::Corrupt);
+    EXPECT_NE(error.find("inflates"), std::string::npos) << error;
+}
+
+TEST(Wire, LargeRunBelowInflationCapIsAccepted)
+{
+    // The bomb guard must not reject legitimate scale: a million-entity
+    // constant run inflates to ~84 MB, well under the cap.
+    const std::uint64_t entities = 1u << 20;
+    std::vector<std::uint8_t> payload;
+    core::codec::putVarint(payload, 1);
+    core::codec::putVarint(payload, 1);
+    core::codec::putVarint(payload, entities);
+    core::codec::putVarint(payload, 0);
+    core::codec::putVarint(payload, 0);
+    payload.push_back(3); // ConstantRun
+    core::codec::putVarint(payload, 1);
+    core::codec::putVarint(payload, 1);
+    core::codec::putVarint(payload, entities);
+    core::codec::putVarint(payload, 2);
+    core::codec::putVarint(payload, 0);
+    for (std::uint64_t i = 0; i < entities; ++i)
+        payload.push_back(0);
+    const auto bytes = encodeFrame(MsgType::Delta, payload);
+
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(tryDecode(bytes.data(), bytes.size(), frame, consumed,
+                        error),
+              DecodeStatus::Ok)
+        << error;
 }
 
 } // namespace

@@ -1,24 +1,39 @@
 #!/usr/bin/env python3
-"""Compare two table_hotpath BENCH JSON files for throughput regressions.
+"""Compare two BENCH JSON files for metric regressions.
 
 Usage: bench_compare.py BASELINE_JSON CURRENT_JSON [--max-regress PCT]
 
-Fails (exit 1) when any suite-level geomean throughput in CURRENT is
-more than PCT percent (default 15) below BASELINE. Per-workload rows
-are only warned about: single workloads on a loaded CI box jitter well
-beyond what a geomean over the suite does, so rows inform, geomeans
-gate. Workloads present in only one file are ignored for comparison
-but reported, so a silently shrinking suite is visible.
+Each tracked bench declares its gated cells and whether bigger numbers
+are better (throughput) or worse (bytes per entity); both files must
+report the same bench. Fails (exit 1) when any suite-level geomean in
+CURRENT is more than PCT percent (default 15) worse than BASELINE.
+Per-workload rows are only warned about: single workloads on a loaded
+CI box jitter well beyond what a geomean over the suite does, so rows
+inform, geomeans gate. Workloads present in only one file are ignored
+for comparison but reported, so a silently shrinking suite is visible.
 
-The committed BENCH_hotpath.json is the baseline of record; CI runs a
-fresh --smoke measurement against it (smoke runs carry fewer workloads
-— the geomeans are then recomputed over the common subset).
+The committed BENCH_*.json files are the baselines of record; CI runs
+fresh --smoke measurements against them (smoke runs carry fewer or
+smaller workloads — the geomeans are then recomputed over the common
+subset, and byte-density cells are size-invariant by construction).
 """
 
 import argparse
 import json
 import math
 import sys
+
+# bench name -> (gated per-workload cells, True when bigger is better)
+BENCHES = {
+    "table_hotpath": (
+        ["native_ips", "attached_ips", "full_ips", "sampled_ips"],
+        True,
+    ),
+    "table_compression": (
+        ["snapshot_v2_bpe", "wire_v2_bpe"],
+        False,
+    ),
+}
 
 
 def geomean(values):
@@ -32,8 +47,9 @@ def load(path):
             data = json.load(f)
     except (OSError, ValueError) as err:
         sys.exit(f"bench_compare: cannot read {path}: {err}")
-    if data.get("bench") != "table_hotpath":
-        sys.exit(f"bench_compare: {path} is not a table_hotpath report")
+    if data.get("bench") not in BENCHES:
+        sys.exit(f"bench_compare: {path} is not a tracked bench report "
+                 f"(knows: {', '.join(sorted(BENCHES))})")
     return data
 
 
@@ -47,6 +63,10 @@ def main():
 
     base = load(args.baseline)
     cur = load(args.current)
+    if base["bench"] != cur["bench"]:
+        sys.exit(f"bench_compare: bench mismatch: {base['bench']} vs "
+                 f"{cur['bench']}")
+    cells, higher_is_better = BENCHES[base["bench"]]
 
     base_rows = {w["name"]: w for w in base["workloads"]}
     cur_rows = {w["name"]: w for w in cur["workloads"]}
@@ -57,16 +77,19 @@ def main():
         side = "baseline" if name in base_rows else "current"
         print(f"note: workload '{name}' only in {side}; skipped")
 
-    cells = ["native_ips", "attached_ips", "full_ips", "sampled_ips"]
+    def regression(baseline, current):
+        """Percent worse than baseline (positive = regressed)."""
+        delta = 100.0 * (current - baseline) / baseline
+        return -delta if higher_is_better else delta
 
     # Per-row deltas: informational only.
     for name in common:
         for cell in cells:
             b = base_rows[name][cell]
             c = cur_rows[name][cell]
-            delta = 100.0 * (c - b) / b
-            if delta < -args.max_regress:
-                print(f"warn: {name}.{cell} {delta:+.1f}% "
+            worse = regression(b, c)
+            if worse > args.max_regress:
+                print(f"warn: {name}.{cell} {worse:+.1f}% worse "
                       f"({b} -> {c})")
 
     # Suite gate: geomeans over the common subset.
@@ -74,17 +97,17 @@ def main():
     for cell in cells:
         b = geomean([base_rows[n][cell] for n in common])
         c = geomean([cur_rows[n][cell] for n in common])
-        delta = 100.0 * (c - b) / b
+        worse = regression(b, c)
         status = "ok"
-        if delta < -args.max_regress:
+        if worse > args.max_regress:
             status = "FAIL"
             failed = True
-        print(f"{status}: geomean {cell} {delta:+.1f}% "
+        print(f"{status}: geomean {cell} {worse:+.1f}% worse "
               f"({b:.3e} -> {c:.3e}, {len(common)} workloads)")
 
     if failed:
-        sys.exit(f"bench_compare: geomean throughput regressed more "
-                 f"than {args.max_regress:.0f}% vs {args.baseline}")
+        sys.exit(f"bench_compare: geomean regressed more than "
+                 f"{args.max_regress:.0f}% vs {args.baseline}")
     print("bench_compare: within budget")
 
 

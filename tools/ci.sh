@@ -21,7 +21,10 @@
 # memory and threading bugs, plus a vpd loopback smoke: vpprof --emit
 # streams a profile through a live vpd daemon over a unix socket and
 # the served snapshot must be byte-identical to a local --save (the
-# aggregation service's determinism contract under sanitizers).
+# aggregation service's determinism contract under sanitizers). The
+# ASan leg also runs a table_compression smoke gated against the
+# committed BENCH_compression.json — bytes/entity is deterministic,
+# so the density budget holds under the sanitizer too.
 #
 # Each configuration builds into build-ci-<name>/ so sanitized builds
 # never pollute the main build/ tree.
@@ -79,6 +82,20 @@ hotpath_sanitizer_smoke() {
     echo "=== [${dir}] hotpath smoke ==="
     "$dir/bench/table_hotpath" --smoke \
         --out "$dir/bench-hotpath-smoke.json" > /dev/null
+}
+
+# Drive both profile encodings end to end (encode, frame, decode
+# self-check) and gate bytes/entity against the committed baseline.
+# Unlike timing, byte counts are deterministic, so this gate holds
+# even under a sanitizer — which is exactly where the codec's pointer
+# arithmetic should be exercised.
+compression_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] compression bench compare ==="
+    "$dir/bench/table_compression" --smoke \
+        --out "$dir/bench-compression-smoke.json"
+    python3 tools/bench_compare.py BENCH_compression.json \
+        "$dir/bench-compression-smoke.json"
 }
 
 # Stream a profile through a live vpd daemon on a unix socket (no port
@@ -144,6 +161,9 @@ run_config() {
         vpcheck_smoke "$dir"
         vpd_loopback_smoke "$dir"
         hotpath_sanitizer_smoke "$dir"
+    fi
+    if [ "$san" = "address" ]; then
+        compression_smoke "$dir"
     fi
 }
 

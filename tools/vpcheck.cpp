@@ -30,7 +30,10 @@
  *                    bundled within the trial budget. KIND selects the
  *                    planted bug: `merge` breaks TnvTable::merge,
  *                    `record` makes the record() hot-path cache
- *                    double-count its hits, and `all` (the default)
+ *                    double-count its hits, `compress` makes the v2
+ *                    entity-block encoder off-by-one a count (caught
+ *                    by the snapshot fixed-point and serve
+ *                    byte-identity checkers), and `all` (the default)
  *                    runs one full phase per kind and requires every
  *                    one to be caught. Combines with --replay: a
  *                    bundle produced by a canary run reproduces its
@@ -53,6 +56,7 @@
 #include "check/generator.hpp"
 #include "check/seed.hpp"
 #include "check/shrink.hpp"
+#include "core/profile_codec.hpp"
 #include "core/tnv_table.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
@@ -69,7 +73,8 @@ struct Options
     std::string outDir = ".";
     unsigned shards = 3;
     unsigned jobs = 3;
-    /** Empty = no canary; else "merge", "record", or "all". */
+    /** Empty = no canary; else "merge", "record", "compress", or
+     *  "all". */
     std::string canaryKind;
     std::string replayFile;
     std::size_t shrinkBudget = 400;
@@ -81,7 +86,7 @@ usage()
     std::cerr <<
         "usage: vpcheck [--trials N] [--seed S] [--checker NAME]\n"
         "               [--out DIR] [--shards K] [--jobs N]\n"
-        "               [--canary[=merge|record|all]]\n"
+        "               [--canary[=merge|record|compress|all]]\n"
         "       vpcheck --replay FILE.vps [--checker NAME]\n"
         "checkers: all, oracle, merge, sampled, snapshot, serve\n";
     std::exit(2);
@@ -126,9 +131,11 @@ parseArgs(int argc, char **argv)
         } else if (a.rfind("--canary=", 0) == 0) {
             opt.canaryKind = a.substr(std::strlen("--canary="));
             if (opt.canaryKind != "merge" &&
-                opt.canaryKind != "record" && opt.canaryKind != "all")
-                vp_fatal("--canary wants merge, record, or all; got "
-                         "'%s'", opt.canaryKind.c_str());
+                opt.canaryKind != "record" &&
+                opt.canaryKind != "compress" &&
+                opt.canaryKind != "all")
+                vp_fatal("--canary wants merge, record, compress, or "
+                         "all; got '%s'", opt.canaryKind.c_str());
         } else if (a == "--replay") {
             opt.replayFile = next();
         } else if (a == "--shrink-budget") {
@@ -240,6 +247,8 @@ setCanaries(const std::string &kind, bool enabled)
         core::TnvTable::setMergeCanaryForTest(enabled);
     if (kind == "record" || kind == "all")
         core::TnvTable::setRecordCanaryForTest(enabled);
+    if (kind == "compress" || kind == "all")
+        core::codec::testing::setCompressCanaryForTest(enabled);
 }
 
 int
@@ -329,7 +338,8 @@ runTrials(const Options &opt)
     if (!opt.canaryKind.empty()) {
         const std::vector<std::string> kinds =
             opt.canaryKind == "all"
-                ? std::vector<std::string>{"merge", "record"}
+                ? std::vector<std::string>{"merge", "record",
+                                           "compress"}
                 : std::vector<std::string>{opt.canaryKind};
         for (const auto &kind : kinds)
             if (runCanaryPhase(opt, kind) != 0)
