@@ -1,0 +1,548 @@
+/**
+ * @file
+ * E19 — query-plane interference on the ingest path.
+ *
+ * The acceptance bar for vpd's HTTP query & metrics plane is that
+ * observability must not tax the thing being observed: with a large
+ * fleet of concurrent HTTP clients hammering /top and parking on
+ * /watch against a live-ingesting daemon, the ingest ack latency p99
+ * may regress only marginally, and the aggregate must stay
+ * byte-identical to the serial oracle merge.
+ *
+ * The bench runs the same ingest workload twice against an in-process
+ * daemon — once bare (baseline) and once under HTTP load — measuring
+ * client-observed per-delta ack round trips. It reports
+ *
+ *   ingest_p99_us_baseline  ack p99 with no HTTP clients
+ *   ingest_p99_us           ack p99 under HTTP load
+ *   ingest_p99_ratio        loaded / baseline  (the gated cell —
+ *                           self-normalizing, so it compares across
+ *                           machines and CI load)
+ *   http_rps                query responses served per second
+ *
+ * and writes BENCH_serve.json for tools/bench_compare.py. Both phases
+ * assert byte-identity of the served aggregate against a serial fold.
+ *
+ * Usage: table_serve [--out FILE] [--clients N] [--smoke]
+ *   --out FILE   where the JSON lands (default BENCH_serve.json)
+ *   --clients N  concurrent HTTP connections (default 1000)
+ *   --smoke      32 clients, short ingest — the sanitizer-leg smoke
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <poll.h>
+#include <sstream>
+#include <string>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "support/logging.hpp"
+#include "support/socket.hpp"
+
+namespace
+{
+
+using clock_type = std::chrono::steady_clock;
+
+struct Params
+{
+    unsigned producers = 4;
+    unsigned deltasPerProducer = 200;
+    unsigned entitiesPerDelta = 50;
+    std::size_t httpClients = 1000;
+    int loadThreads = 4;
+    /** Ingest repetitions per phase; the best p99 is kept, filtering
+     *  scheduler noise (decisive on small CI boxes where producers,
+     *  load drivers, and the daemon timeshare the cores). */
+    unsigned reps = 3;
+};
+
+/** Deterministic synthetic summary (same scheme the serve tests use). */
+core::EntitySummary
+makeSummary(std::uint64_t salt)
+{
+    core::EntitySummary s;
+    s.totalExecutions = 100 + salt * 13;
+    s.profiledExecutions = 90 + salt * 11;
+    s.invTop = 1.0 / static_cast<double>(salt % 9 + 2);
+    s.invAll = 0.25;
+    s.lvp = 0.5;
+    s.distinct = 1 + salt % 5;
+    s.topValues = {{salt * 17 + 1, 60 + salt}};
+    return s;
+}
+
+/** Producer k's delta d: entity keys overlap across producers and
+ *  deltas so the daemon genuinely merges. */
+core::ProfileSnapshot
+makeDelta(unsigned k, unsigned d, const Params &p)
+{
+    core::ProfileSnapshot snap;
+    for (unsigned e = 0; e < p.entitiesPerDelta; ++e) {
+        const std::uint64_t key = 1000 + (d % 16) * 64 + e;
+        snap.entities[key] = makeSummary(k * 7 + d * 3 + e);
+    }
+    return snap;
+}
+
+core::ProfileSnapshot
+serialReference(const Params &p)
+{
+    // Every rep streams under fresh producer ids (rep-major), so the
+    // canonical fold covers reps × producers shards in that order.
+    core::ProfileSnapshot reference;
+    for (unsigned g = 0; g < p.reps * p.producers; ++g)
+        for (unsigned d = 0; d < p.deltasPerProducer; ++d)
+            reference.merge(makeDelta(g, d, p));
+    return reference;
+}
+
+std::string
+snapshotText(const core::ProfileSnapshot &snap)
+{
+    std::ostringstream os;
+    snap.save(os);
+    return os.str();
+}
+
+bool
+sendAll(int fd, const std::uint8_t *data, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        const long n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * One producer's ingest stream over a raw blocking wire client,
+ * timing each delta's send-to-ack round trip. @return false when any
+ * delta went unacknowledged.
+ */
+bool
+runProducer(const std::string &addr, unsigned k, const Params &p,
+            std::vector<double> &rtts_us)
+{
+    vp::net::Address parsed;
+    std::string error;
+    if (!vp::net::parseAddress(addr, parsed, error))
+        vp_fatal("%s", error.c_str());
+    const int fd = vp::net::connectTo(parsed, error);
+    if (fd < 0)
+        vp_fatal("%s", error.c_str());
+    vp::net::FdGuard guard(fd);
+    vp::serve::FrameReader reader;
+
+    rtts_us.reserve(p.deltasPerProducer);
+    for (unsigned d = 0; d < p.deltasPerProducer; ++d) {
+        vp::serve::Delta delta;
+        delta.producerId = k + 1;
+        delta.seq = d + 1;
+        delta.entities = makeDelta(k, d, p);
+        const auto bytes = vp::serve::encodeDelta(delta);
+
+        const auto t0 = clock_type::now();
+        if (!sendAll(fd, bytes.data(), bytes.size()))
+            return false;
+        bool acked = false;
+        while (!acked) {
+            std::uint8_t buf[4096];
+            const long n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            reader.append(buf, static_cast<std::size_t>(n));
+            vp::serve::Frame frame;
+            std::string why;
+            while (reader.next(frame, why) ==
+                   vp::serve::DecodeStatus::Ok) {
+                if (frame.type != vp::serve::MsgType::Ack)
+                    return false;
+                acked = true;
+            }
+        }
+        rtts_us.push_back(
+            std::chrono::duration<double, std::micro>(
+                clock_type::now() - t0)
+                .count());
+    }
+    return true;
+}
+
+/**
+ * One driver thread's share of the HTTP fleet: `conns` keep-alive
+ * connections multiplexed over poll(2), each cycling GET /top (every
+ * eighth connection parks on GET /watch instead, so delta applies pay
+ * the wakeup path too). Clients are paced like a scrape fleet — a
+ * fixed think time between a response and the next request — rather
+ * than closed-loop at line rate: the acceptance question is whether
+ * 1000 concurrent dashboards perturb ingest, not whether a
+ * single-threaded daemon survives a deliberate query flood. Counts
+ * complete responses.
+ */
+constexpr auto kClientThinkTime = std::chrono::milliseconds(20);
+
+void
+runHttpLoad(const std::string &addr, std::size_t conns,
+            std::size_t first_index, const std::atomic<bool> &stop,
+            std::atomic<std::uint64_t> &responses,
+            std::atomic<std::size_t> &connected)
+{
+    struct Client
+    {
+        vp::net::FdGuard fd;
+        std::string in;
+        bool requestOut = false;
+        const char *target = nullptr;
+        clock_type::time_point nextAt{}; ///< earliest next request
+    };
+
+    vp::net::Address parsed;
+    std::string error;
+    if (!vp::net::parseAddress(addr, parsed, error))
+        vp_fatal("%s", error.c_str());
+
+    std::vector<Client> clients(conns);
+    for (std::size_t i = 0; i < conns; ++i) {
+        const int fd = vp::net::connectTo(parsed, error);
+        if (fd < 0)
+            vp_fatal("http client connect: %s", error.c_str());
+        if (!vp::net::setNonBlocking(fd, error))
+            vp_fatal("%s", error.c_str());
+        clients[i].fd.reset(fd);
+        clients[i].target = (first_index + i) % 8 == 7
+                                ? "GET /watch HTTP/1.1\r\n\r\n"
+                                : "GET /top?n=20 HTTP/1.1\r\n\r\n";
+    }
+    connected.fetch_add(conns, std::memory_order_release);
+
+    std::vector<pollfd> fds(conns);
+    while (!stop.load(std::memory_order_relaxed)) {
+        const auto now = clock_type::now();
+        for (std::size_t i = 0; i < conns; ++i) {
+            // A negative fd makes poll(2) skip the slot: clients in
+            // their think-time window ask for nothing.
+            const bool thinking =
+                !clients[i].requestOut && now < clients[i].nextAt;
+            fds[i].fd = thinking ? -1 : clients[i].fd.get();
+            fds[i].events = static_cast<short>(
+                clients[i].requestOut ? POLLIN : POLLOUT);
+            fds[i].revents = 0;
+        }
+        const int rc = ::poll(fds.data(),
+                              static_cast<nfds_t>(conns), 5);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            vp_fatal("poll: %s", std::strerror(errno));
+        }
+        for (std::size_t i = 0; i < conns; ++i) {
+            Client &c = clients[i];
+            if (fds[i].revents == 0)
+                continue;
+            if (!c.requestOut) {
+                // Issue the next request (short writes cannot happen
+                // at these sizes with an empty socket buffer).
+                if (!sendAll(c.fd.get(),
+                             reinterpret_cast<const std::uint8_t *>(
+                                 c.target),
+                             std::strlen(c.target)))
+                    vp_fatal("http client send failed");
+                c.requestOut = true;
+                continue;
+            }
+            char buf[8192];
+            const long n =
+                ::recv(c.fd.get(), buf, sizeof(buf), MSG_DONTWAIT);
+            if (n < 0 &&
+                (errno == EINTR || errno == EAGAIN ||
+                 errno == EWOULDBLOCK))
+                continue;
+            if (n <= 0)
+                vp_fatal("http server closed a keep-alive session");
+            c.in.append(buf, static_cast<std::size_t>(n));
+            // A complete response ends with a Content-Length-framed
+            // body; cheap check: headers present and body complete.
+            const auto head_end = c.in.find("\r\n\r\n");
+            if (head_end == std::string::npos)
+                continue;
+            const auto cl = c.in.find("Content-Length: ");
+            if (cl == std::string::npos || cl > head_end)
+                continue;
+            const std::size_t want =
+                head_end + 4 +
+                static_cast<std::size_t>(
+                    std::atol(c.in.c_str() + cl + 16));
+            if (c.in.size() < want)
+                continue;
+            c.in.erase(0, want);
+            c.requestOut = false;
+            c.nextAt = clock_type::now() + kClientThinkTime;
+            responses.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+double
+p99(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto idx = static_cast<std::size_t>(
+        0.99 * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+}
+
+/** One full ingest phase; returns ack p99 in microseconds. */
+double
+ingestPhase(const std::string &ingest_addr, const Params &p)
+{
+    double best = 0.0;
+    for (unsigned rep = 0; rep < p.reps; ++rep) {
+        std::vector<std::vector<double>> rtts(p.producers);
+        std::vector<std::thread> producers;
+        std::atomic<unsigned> failures{0};
+        for (unsigned k = 0; k < p.producers; ++k) {
+            const unsigned g = rep * p.producers + k;
+            producers.emplace_back([&, g, k] {
+                if (!runProducer(ingest_addr, g, p, rtts[k]))
+                    failures.fetch_add(1);
+            });
+        }
+        for (auto &t : producers)
+            t.join();
+        if (failures.load() != 0)
+            vp_fatal("%u producer(s) lost deltas", failures.load());
+        std::vector<double> all;
+        for (const auto &r : rtts)
+            all.insert(all.end(), r.begin(), r.end());
+        const double rep_p99 = p99(std::move(all));
+        if (rep == 0 || rep_p99 < best)
+            best = rep_p99;
+    }
+    return best;
+}
+
+void
+raiseFdLimit(std::size_t want)
+{
+    rlimit lim{};
+    if (::getrlimit(RLIMIT_NOFILE, &lim) != 0)
+        return;
+    if (lim.rlim_cur >= want + 512)
+        return;
+    lim.rlim_cur = std::min<rlim_t>(lim.rlim_max, want + 512);
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+void
+writeJson(const std::string &path, const Params &p, bool smoke,
+          double baseline_us, double loaded_us, double ratio,
+          double http_rps, std::uint64_t http_responses)
+{
+    std::ofstream out(path);
+    if (!out)
+        vp_fatal("cannot write '%s'", path.c_str());
+    char buf[512];
+    out << "{\n"
+        << "  \"bench\": \"table_serve\",\n"
+        << "  \"version\": 1,\n"
+        << "  \"unit\": \"microseconds\",\n"
+        << "  \"http_clients\": " << p.httpClients << ",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"workloads\": [\n";
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"ingest\", \"ingest_p99_us_baseline\": %.1f"
+        ", \"ingest_p99_us\": %.1f, \"ingest_p99_ratio\": %.4f"
+        ", \"http_rps\": %.0f, \"http_responses\": %llu}\n",
+        baseline_us, loaded_us, ratio, http_rps,
+        static_cast<unsigned long long>(http_responses));
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "  ],\n"
+                  "  \"suite\": {\"geomean_ingest_p99_ratio\": %.4f}\n"
+                  "}\n",
+                  ratio);
+    out << buf;
+}
+
+/** A daemon instance scoped to one phase. */
+struct Daemon
+{
+    std::unique_ptr<vp::serve::VpdServer> server;
+    std::thread loop;
+    std::string ingest;
+    std::string http;
+
+    Daemon()
+    {
+        vp::serve::ServerConfig cfg;
+        cfg.listenAddrs = {"127.0.0.1:0"};
+        cfg.httpAddrs = {"127.0.0.1:0"};
+        cfg.maxClients = 64;
+        server = std::make_unique<vp::serve::VpdServer>(cfg);
+        std::string error;
+        if (!server->start(error))
+            vp_fatal("%s", error.c_str());
+        ingest = server->boundAddresses().front().str();
+        http = server->boundHttpAddresses().front().str();
+        loop = std::thread([this] {
+            std::string run_error;
+            if (!server->run(run_error))
+                vp_fatal("vpd loop: %s", run_error.c_str());
+        });
+    }
+
+    ~Daemon()
+    {
+        if (loop.joinable()) {
+            server->requestStop();
+            loop.join();
+        }
+    }
+
+    void verifyAggregate(const std::string &want, const char *phase)
+    {
+        core::ProfileSnapshot served;
+        std::string error;
+        if (!vp::serve::requestSnapshot(ingest, served, error))
+            vp_fatal("SNAPSHOT failed (%s): %s", phase,
+                     error.c_str());
+        if (snapshotText(served) != want)
+            vp_fatal("aggregate diverged from the serial merge in "
+                     "the %s phase",
+                     phase);
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_serve.json";
+    Params p;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (a == "--clients" && i + 1 < argc) {
+            p.httpClients =
+                static_cast<std::size_t>(std::atol(argv[++i]));
+            if (p.httpClients == 0)
+                vp_fatal("--clients wants a positive integer");
+        } else if (a == "--smoke") {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: table_serve [--out FILE] "
+                                 "[--clients N] [--smoke]\n");
+            return 2;
+        }
+    }
+    if (smoke) {
+        p.httpClients = std::min<std::size_t>(p.httpClients, 32);
+        p.deltasPerProducer = 40;
+        p.loadThreads = 2;
+        p.reps = 2;
+    }
+    raiseFdLimit(p.httpClients);
+
+    std::printf("E19: ingest ack latency vs HTTP query load "
+                "(%zu clients)\n",
+                p.httpClients);
+    const std::string want = snapshotText(serialReference(p));
+
+    // Phase 1: bare ingest, no HTTP clients.
+    double baseline_us;
+    {
+        Daemon daemon;
+        baseline_us = ingestPhase(daemon.ingest, p);
+        daemon.verifyAggregate(want, "baseline");
+    }
+
+    // Phase 2: identical ingest under full HTTP query load.
+    double loaded_us;
+    double http_rps;
+    std::uint64_t served_responses;
+    {
+        Daemon daemon;
+        std::atomic<bool> stop{false};
+        std::atomic<std::uint64_t> responses{0};
+        std::atomic<std::size_t> connected{0};
+        std::vector<std::thread> drivers;
+        const std::size_t per =
+            (p.httpClients +
+             static_cast<std::size_t>(p.loadThreads) - 1) /
+            static_cast<std::size_t>(p.loadThreads);
+        for (int t = 0; t < p.loadThreads; ++t) {
+            const std::size_t first =
+                static_cast<std::size_t>(t) * per;
+            if (first >= p.httpClients)
+                break;
+            const std::size_t mine =
+                std::min(per, p.httpClients - first);
+            drivers.emplace_back([&, first, mine] {
+                runHttpLoad(daemon.http, mine, first, stop,
+                            responses, connected);
+            });
+        }
+        // The ratio only measures interference if the query load is
+        // actually up while ingest runs: wait for every client to be
+        // connected before the timed phase starts.
+        while (connected.load(std::memory_order_acquire) <
+               p.httpClients)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        // Clients start querying as soon as their own thread is up;
+        // only responses inside the timed window count toward rps.
+        responses.store(0);
+
+        const auto t0 = clock_type::now();
+        loaded_us = ingestPhase(daemon.ingest, p);
+        const double secs =
+            std::chrono::duration<double>(clock_type::now() - t0)
+                .count();
+        stop.store(true);
+        for (auto &t : drivers)
+            t.join();
+        served_responses = responses.load();
+        http_rps = secs > 0.0
+                       ? static_cast<double>(served_responses) / secs
+                       : 0.0;
+        daemon.verifyAggregate(want, "loaded");
+    }
+
+    const double ratio =
+        baseline_us > 0.0 ? loaded_us / baseline_us : 1.0;
+    std::printf("  ack p99: %.1f us bare, %.1f us under load "
+                "(ratio %.3f); %.0f http responses/sec\n",
+                baseline_us, loaded_us, ratio, http_rps);
+    writeJson(out_path, p, smoke, baseline_us, loaded_us, ratio,
+              http_rps, served_responses);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

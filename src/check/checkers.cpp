@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <sstream>
+#include <sys/socket.h>
 #include <thread>
 
 #include "check/oracle.hpp"
@@ -14,6 +18,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "support/logging.hpp"
+#include "support/socket.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 
@@ -596,6 +601,97 @@ checkSnapshotRoundTrip(const vpsim::Program &prog,
     return CheckResult::pass();
 }
 
+namespace
+{
+
+/**
+ * Minimal blocking HTTP GET against the vpd query plane. Speaks
+ * HTTP/1.0 on purpose: the server then never chunks and closes after
+ * the response, so "read to EOF" delimits the body.
+ */
+bool
+httpGet(const std::string &addr_text, const std::string &target,
+        int &status, std::string &body, std::string &error)
+{
+    net::Address addr;
+    if (!net::parseAddress(addr_text, addr, error))
+        return false;
+    const int fd = net::connectTo(addr, error);
+    if (fd < 0)
+        return false;
+    net::FdGuard guard(fd);
+    const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < req.size()) {
+        const long n = ::send(fd, req.data() + sent,
+                              req.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = vp::format("send: %s", std::strerror(errno));
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    char buf[4096];
+    while (true) {
+        const long n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = vp::format("recv: %s", std::strerror(errno));
+            return false;
+        }
+        if (n == 0)
+            break;
+        reply.append(buf, static_cast<std::size_t>(n));
+    }
+    if (reply.rfind("HTTP/1.", 0) != 0 || reply.size() < 12) {
+        error = "malformed HTTP reply";
+        return false;
+    }
+    status = std::atoi(reply.c_str() + 9);
+    const auto head_end = reply.find("\r\n\r\n");
+    body = head_end == std::string::npos ? ""
+                                         : reply.substr(head_end + 4);
+    return true;
+}
+
+/** Extract "key N" from a control QUERY reply. */
+bool
+queryField(const std::string &text, const std::string &key,
+           std::uint64_t &out)
+{
+    std::istringstream is(text);
+    std::string word;
+    while (is >> word) {
+        std::uint64_t value;
+        if (!(is >> value))
+            return false;
+        if (word == key) {
+            out = value;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Extract `"key":N` from a JSON body (first occurrence). */
+bool
+jsonField(const std::string &json, const std::string &key,
+          std::uint64_t &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto p = json.find(needle);
+    if (p == std::string::npos)
+        return false;
+    out = std::strtoull(json.c_str() + p + needle.size(), nullptr, 10);
+    return true;
+}
+
+} // namespace
+
 CheckResult
 checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
 {
@@ -628,15 +724,52 @@ checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
          wireVersion <= serve::kWireVersion; ++wireVersion) {
     serve::ServerConfig scfg;
     scfg.listenAddrs = {"127.0.0.1:0"};
+    scfg.httpAddrs = {"127.0.0.1:0"};
     serve::VpdServer server(scfg);
     std::string err;
     if (!server.start(err))
         return CheckResult::fail("vpd server failed to start: " + err);
     const std::string addr = server.boundAddresses().front().str();
+    const std::string http_addr =
+        server.boundHttpAddresses().front().str();
     std::string loop_err;
     std::thread loop([&] {
         if (!server.run(loop_err))
             vp_warn("vpd loop: %s", loop_err.c_str());
+    });
+
+    // While the emitters race, hammer the query plane from concurrent
+    // HTTP clients. Every reply must be 200 — and the queries must not
+    // perturb the aggregate: the byte-identity check below still has
+    // to hold with them running.
+    std::atomic<bool> emitting{true};
+    std::atomic<unsigned> http_failures{0};
+    static const char *const kTargets[] = {"/metrics", "/top?n=5",
+                                           "/producers",
+                                           "/stats.json"};
+    std::vector<std::thread> queriers;
+    for (unsigned q = 0; q < 3; ++q) {
+        queriers.emplace_back([&, q] {
+            unsigned i = q;
+            while (emitting.load(std::memory_order_relaxed)) {
+                int status = 0;
+                std::string body, qerr;
+                if (!httpGet(http_addr, kTargets[i++ % 4], status,
+                             body, qerr) ||
+                    status != 200)
+                    http_failures.fetch_add(1);
+            }
+        });
+    }
+    std::thread watcher([&] {
+        // Parks until the first delta applies, then must report change.
+        int status = 0;
+        std::string body, qerr;
+        if (!httpGet(http_addr, "/watch?since=0", status, body,
+                     qerr) ||
+            status != 200 ||
+            body.find("\"changed\":true") == std::string::npos)
+            http_failures.fetch_add(1);
     });
 
     // K concurrent emitters, each streaming its shard snapshot as
@@ -665,6 +798,47 @@ checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
     }
     for (auto &t : emitters)
         t.join();
+    emitting.store(false);
+    for (auto &t : queriers)
+        t.join();
+    watcher.join();
+
+    // Quiescent cross-check: the HTTP /stats.json server totals must
+    // agree with the control-protocol QUERY reply field for field.
+    std::string cross_err;
+    {
+        std::string qtext;
+        int status = 0;
+        std::string sjson, herr;
+        if (!serve::requestQuery(addr, qtext, err)) {
+            cross_err = "QUERY failed: " + err;
+        } else if (!httpGet(http_addr, "/stats.json", status, sjson,
+                            herr) ||
+                   status != 200) {
+            cross_err = "GET /stats.json failed: " + herr;
+        } else {
+            for (const char *key :
+                 {"producers", "deltas", "entities", "dropped_stores",
+                  "dropped_loads"}) {
+                std::uint64_t via_query = 0, via_http = 0;
+                if (!queryField(qtext, key, via_query) ||
+                    !jsonField(sjson, key, via_http)) {
+                    cross_err = vp::format(
+                        "field '%s' missing from a status reply", key);
+                    break;
+                }
+                if (via_query != via_http) {
+                    cross_err = vp::format(
+                        "'%s' disagrees: QUERY says %llu, "
+                        "/stats.json says %llu",
+                        key,
+                        static_cast<unsigned long long>(via_query),
+                        static_cast<unsigned long long>(via_http));
+                    break;
+                }
+            }
+        }
+    }
 
     core::ProfileSnapshot served;
     const bool fetched = serve::requestSnapshot(addr, served, err);
@@ -680,6 +854,14 @@ checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
         return CheckResult::fail(vp::format(
             "%u of %u wire-v%u emitters failed to deliver every delta",
             undelivered.load(), K, unsigned(wireVersion)));
+    if (http_failures.load() != 0)
+        return CheckResult::fail(vp::format(
+            "%u HTTP queries failed while wire-v%u emitters raced",
+            http_failures.load(), unsigned(wireVersion)));
+    if (!cross_err.empty())
+        return CheckResult::fail(
+            vp::format("wire v%u: ", unsigned(wireVersion)) +
+            cross_err);
     if (!fetched)
         return CheckResult::fail(vp::format(
             "SNAPSHOT request failed (wire v%u): %s",

@@ -1,6 +1,9 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
 
 #include "support/strings.hpp"
 #include "vpsim/disasm.hpp"
@@ -215,6 +218,44 @@ parameterReport(const ParameterProfiler &prof, std::size_t limit)
         }
     }
     return table;
+}
+
+void
+writeJsonDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    os << buf;
+}
+
+void
+writeEntityJson(std::ostream &os, std::uint64_t key,
+                const EntitySummary &summary)
+{
+    os << "{\"key\":" << key
+       << ",\"total\":" << summary.totalExecutions
+       << ",\"profiled\":" << summary.profiledExecutions
+       << ",\"inv_top\":";
+    writeJsonDouble(os, summary.invTop);
+    os << ",\"inv_all\":";
+    writeJsonDouble(os, summary.invAll);
+    os << ",\"lvp\":";
+    writeJsonDouble(os, summary.lvp);
+    os << ",\"zero_fraction\":";
+    writeJsonDouble(os, summary.zeroFraction);
+    os << ",\"distinct\":" << summary.distinct
+       << ",\"top_values\":[";
+    bool first = true;
+    for (const auto &[value, count] : summary.topValues) {
+        os << (first ? "" : ",") << "{\"value\":" << value
+           << ",\"count\":" << count << "}";
+        first = false;
+    }
+    os << "]}";
 }
 
 } // namespace core

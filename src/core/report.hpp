@@ -65,6 +65,23 @@ vp::TextTable memoryReport(const MemoryProfiler &prof,
 vp::TextTable parameterReport(const ParameterProfiler &prof,
                               std::size_t limit = 20);
 
+/**
+ * Deterministic JSON rendering of a double for query replies: "%.9g",
+ * non-finite values rendered as 0. Identical aggregates render to
+ * identical bytes, which is what the HTTP query plane's paging and
+ * the differential checks rely on.
+ */
+void writeJsonDouble(std::ostream &os, double v);
+
+/**
+ * Render one snapshot entity as a JSON object — the full TNV view a
+ * downstream consumer gets from `GET /entity/{id}`: every metric plus
+ * the complete (value, count) list, descending count. One line, no
+ * trailing newline, stable field order.
+ */
+void writeEntityJson(std::ostream &os, std::uint64_t key,
+                     const EntitySummary &summary);
+
 } // namespace core
 
 #endif // VP_CORE_REPORT_HPP

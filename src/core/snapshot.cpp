@@ -12,6 +12,7 @@
 
 #include "core/profile_codec.hpp"
 #include "support/crc32.hpp"
+#include "support/file.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
@@ -335,52 +336,17 @@ bool
 ProfileSnapshot::saveToFile(const std::string &path,
                             std::string &error) const
 {
-    error.clear();
     std::ostringstream body;
     save(body);
-    const std::string bytes = body.str();
-    const std::string tmp = path + ".tmp";
-
-    std::ofstream out(tmp,
-                      std::ios::binary | std::ios::trunc);
-    if (!out) {
-        error = vp::format("cannot open '%s' for writing",
-                           tmp.c_str());
-        return false;
-    }
-    if (testing::saveAbortAfterBytes != 0 &&
-        testing::saveAbortAfterBytes < bytes.size()) {
-        // Simulated crash: the torn prefix stays in the tmp file and
-        // the rename never happens, so `path` is untouched.
-        out.write(bytes.data(), static_cast<std::streamsize>(
-                                    testing::saveAbortAfterBytes));
-        out.flush();
-        error = vp::format("simulated crash after %zu bytes",
-                           testing::saveAbortAfterBytes);
-        return false;
-    }
-    if (!out.write(bytes.data(),
-                   static_cast<std::streamsize>(bytes.size()))) {
-        error = vp::format("short write to '%s'", tmp.c_str());
-        out.close();
-        std::remove(tmp.c_str());
-        return false;
-    }
-    out.flush();
-    if (!out) {
-        error = vp::format("flush of '%s' failed", tmp.c_str());
-        out.close();
-        std::remove(tmp.c_str());
-        return false;
-    }
-    out.close();
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        error = vp::format("rename '%s' -> '%s' failed", tmp.c_str(),
-                           path.c_str());
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    // Forward the snapshot-specific crash hook to the shared atomic
+    // writer's hook for the duration of this write only.
+    const std::size_t prev = vp::testing::atomicWriteAbortAfterBytes;
+    if (testing::saveAbortAfterBytes != 0)
+        vp::testing::atomicWriteAbortAfterBytes =
+            testing::saveAbortAfterBytes;
+    const bool ok = vp::atomicWriteFile(path, body.str(), error);
+    vp::testing::atomicWriteAbortAfterBytes = prev;
+    return ok;
 }
 
 bool

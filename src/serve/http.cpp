@@ -1,0 +1,281 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace vp::serve
+{
+
+namespace
+{
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    return out;
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Split "a=1&b=2" into decoded key/value pairs. */
+void
+parseQueryString(std::string_view qs,
+                 std::map<std::string, std::string> &out)
+{
+    for (std::string_view pair : vp::split(qs, '&')) {
+        if (pair.empty())
+            continue;
+        const auto eq = pair.find('=');
+        std::string key, value;
+        if (!percentDecode(pair.substr(0, eq), key, true))
+            continue; // a bad escape drops the pair, not the request
+        if (eq != std::string_view::npos &&
+            !percentDecode(pair.substr(eq + 1), value, true))
+            continue;
+        out[key] = value;
+    }
+}
+
+} // namespace
+
+bool
+percentDecode(std::string_view in, std::string &out, bool plusIsSpace)
+{
+    out.clear();
+    out.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        if (c == '%') {
+            if (i + 2 >= in.size())
+                return false;
+            const int hi = hexDigit(in[i + 1]);
+            const int lo = hexDigit(in[i + 2]);
+            if (hi < 0 || lo < 0)
+                return false;
+            out += static_cast<char>((hi << 4) | lo);
+            i += 2;
+        } else if (c == '+' && plusIsSpace) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    return true;
+}
+
+void
+HttpRequestParser::append(const std::uint8_t *data, std::size_t len)
+{
+    buf.append(reinterpret_cast<const char *>(data), len);
+    // Periodically drop the consumed prefix so a chatty keep-alive
+    // session does not grow the buffer without bound.
+    if (start > 4096 && start > buf.size() / 2) {
+        buf.erase(0, start);
+        start = 0;
+    }
+}
+
+HttpParseStatus
+HttpRequestParser::next(HttpRequest &out, std::string &error)
+{
+    if (deadVerdict) {
+        error = verdictError;
+        return verdict;
+    }
+    auto fail = [&](HttpParseStatus st, std::string why) {
+        deadVerdict = true;
+        verdict = st;
+        verdictError = std::move(why);
+        error = verdictError;
+        return st;
+    };
+
+    const std::string_view view =
+        std::string_view(buf).substr(start);
+    if (view.empty())
+        return HttpParseStatus::NeedMore;
+
+    // Find the end of the request head: CRLFCRLF (or bare LFLF —
+    // tolerated the way most servers do).
+    std::size_t head_end = std::string_view::npos;
+    std::size_t body_off = 0;
+    const auto p_crlf = view.find("\r\n\r\n");
+    const auto p_lf = view.find("\n\n");
+    if (p_lf != std::string_view::npos &&
+        (p_crlf == std::string_view::npos || p_lf < p_crlf)) {
+        head_end = p_lf;
+        body_off = p_lf + 2;
+    } else if (p_crlf != std::string_view::npos) {
+        head_end = p_crlf;
+        body_off = p_crlf + 4;
+    }
+    if (head_end == std::string_view::npos) {
+        if (view.size() > maxHeader)
+            return fail(HttpParseStatus::TooLarge,
+                        "request head exceeds the header cap");
+        return HttpParseStatus::NeedMore;
+    }
+    if (head_end > maxHeader)
+        return fail(HttpParseStatus::TooLarge,
+                    "request head exceeds the header cap");
+
+    const std::string_view head = view.substr(0, head_end);
+    HttpRequest req;
+
+    // --- request line --------------------------------------------------
+    const auto line_end = head.find('\n');
+    std::string_view request_line =
+        vp::trim(head.substr(0, line_end));
+    const auto words = vp::splitWhitespace(request_line);
+    if (words.size() != 3)
+        return fail(HttpParseStatus::Malformed,
+                    "malformed request line");
+    req.method = std::string(words[0]);
+    req.target = std::string(words[1]);
+    const std::string_view version = words[2];
+    if (version == "HTTP/1.1") {
+        req.minorVersion = 1;
+    } else if (version == "HTTP/1.0") {
+        req.minorVersion = 0;
+    } else {
+        return fail(HttpParseStatus::Malformed,
+                    "unsupported HTTP version");
+    }
+    if (req.target.empty() || req.target[0] != '/')
+        return fail(HttpParseStatus::Malformed,
+                    "request target must be an absolute path");
+
+    // --- header fields -------------------------------------------------
+    std::string_view rest =
+        line_end == std::string_view::npos ? std::string_view{}
+                                           : head.substr(line_end + 1);
+    while (!rest.empty()) {
+        const auto nl = rest.find('\n');
+        const std::string_view raw =
+            nl == std::string_view::npos ? rest : rest.substr(0, nl);
+        rest = nl == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(nl + 1);
+        const std::string_view line = vp::trim(raw);
+        if (line.empty())
+            continue;
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos)
+            return fail(HttpParseStatus::Malformed,
+                        "header field without a colon");
+        req.headers[toLower(vp::trim(line.substr(0, colon)))] =
+            std::string(vp::trim(line.substr(colon + 1)));
+    }
+
+    // --- bodies are rejected (this is a GET-only query plane) ---------
+    if (req.headers.count("transfer-encoding"))
+        return fail(HttpParseStatus::Malformed,
+                    "request bodies are not accepted");
+    if (const auto it = req.headers.find("content-length");
+        it != req.headers.end()) {
+        std::int64_t n = 0;
+        if (!vp::parseInt(it->second, n) || n != 0)
+            return fail(HttpParseStatus::Malformed,
+                        "request bodies are not accepted");
+    }
+
+    // --- keep-alive negotiation ---------------------------------------
+    req.keepAlive = req.minorVersion >= 1;
+    if (const auto it = req.headers.find("connection");
+        it != req.headers.end()) {
+        const std::string conn = toLower(it->second);
+        if (conn.find("close") != std::string::npos)
+            req.keepAlive = false;
+        else if (conn.find("keep-alive") != std::string::npos)
+            req.keepAlive = true;
+    }
+
+    // --- split the target into path + query ---------------------------
+    const std::string_view target = req.target;
+    const auto qmark = target.find('?');
+    if (!percentDecode(target.substr(0, qmark), req.path))
+        return fail(HttpParseStatus::Malformed,
+                    "bad percent-escape in request path");
+    if (qmark != std::string_view::npos)
+        parseQueryString(target.substr(qmark + 1), req.query);
+
+    start += body_off;
+    out = std::move(req);
+    return HttpParseStatus::Ok;
+}
+
+const char *
+httpStatusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 411: return "Length Required";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default: return "Unknown";
+    }
+}
+
+std::vector<std::uint8_t>
+serializeHttpResponse(const HttpRequest &req, const HttpResponse &resp,
+                      const HttpConfig &cfg)
+{
+    const bool head_only = req.method == "HEAD";
+    const bool keep_alive = req.keepAlive && !resp.closeConnection;
+    const bool chunked = !head_only && req.minorVersion >= 1 &&
+                         resp.body.size() >= cfg.chunkThreshold;
+
+    std::string out;
+    out.reserve(resp.body.size() + 256);
+    out += vp::format("HTTP/1.%d %d %s\r\n", req.minorVersion,
+                      resp.status, httpStatusReason(resp.status));
+    out += "Content-Type: " + resp.contentType + "\r\n";
+    out += "Cache-Control: no-store\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    if (chunked) {
+        out += "Transfer-Encoding: chunked\r\n\r\n";
+        std::size_t pos = 0;
+        while (pos < resp.body.size()) {
+            const std::size_t n = std::min(
+                cfg.chunkBytes == 0 ? resp.body.size() - pos
+                                    : cfg.chunkBytes,
+                resp.body.size() - pos);
+            out += vp::format("%zx\r\n", n);
+            out.append(resp.body, pos, n);
+            out += "\r\n";
+            pos += n;
+        }
+        out += "0\r\n\r\n";
+    } else {
+        out += vp::format("Content-Length: %zu\r\n\r\n",
+                          resp.body.size());
+        if (!head_only)
+            out += resp.body;
+    }
+    return std::vector<std::uint8_t>(out.begin(), out.end());
+}
+
+} // namespace vp::serve

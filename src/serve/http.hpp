@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Minimal event-driven HTTP/1.1 for the vpd query & metrics plane
+ * (pazpar2-style: many keep-alive client sessions multiplexed on the
+ * daemon's single poll(2) loop, zero threads).
+ *
+ * Scope is deliberately narrow — exactly what an observability plane
+ * needs and nothing more:
+ *
+ *  - GET and HEAD only; requests with bodies are rejected (411/400).
+ *  - Incremental request parsing: bytes arrive in arbitrary slices
+ *    (the tests feed one byte at a time); a request head larger than
+ *    HttpConfig::maxHeaderBytes is answered 431 and the session
+ *    closed; a session that dribbles its head slower than
+ *    headerTimeoutMs is answered 408 and closed (slowloris defense).
+ *  - Keep-alive by default for HTTP/1.1, honored `Connection:` for
+ *    both versions, pipelining supported (the parser yields queued
+ *    requests in order).
+ *  - Responses carry Content-Length, or Transfer-Encoding: chunked
+ *    once the body crosses HttpConfig::chunkThreshold on an HTTP/1.1
+ *    session — large /top pages stream without a copy of the whole
+ *    rendering being pinned per client.
+ *
+ * The parser and serializer here are pure (no sockets, no clocks), so
+ * they are unit-testable byte-for-byte; session lifecycle (timeouts,
+ * parking for /watch, flow control) lives with the poll loop in
+ * serve/server.cpp.
+ */
+
+#ifndef VP_SERVE_HTTP_HPP
+#define VP_SERVE_HTTP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vp::serve
+{
+
+/** Tunables of the HTTP plane (defaults suit production; tests
+ *  shrink the timeouts to milliseconds). */
+struct HttpConfig
+{
+    /** Cap on one request head (request line + headers); beyond it
+     *  the request is answered 431 and the session closed. */
+    std::size_t maxHeaderBytes = 8 * 1024;
+    /** A partial request head must complete within this window or the
+     *  session is answered 408 and closed — the slowloris defense. */
+    int headerTimeoutMs = 5000;
+    /** Idle keep-alive sessions are closed after this long. */
+    int keepAliveTimeoutMs = 30000;
+    /** A parked `GET /watch` long-poll is answered (unchanged) after
+     *  this long, so clients can re-arm and dead peers get flushed. */
+    int watchTimeoutMs = 30000;
+    /** Bodies at least this large stream as chunked transfer coding
+     *  (HTTP/1.1 requests only; 1.0 always gets Content-Length). */
+    std::size_t chunkThreshold = 64 * 1024;
+    /** Chunk size used when streaming chunked bodies. */
+    std::size_t chunkBytes = 32 * 1024;
+    /** Session cap; accepts beyond it are answered 503 and closed. */
+    std::size_t maxSessions = 1024;
+};
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method; ///< uppercase ("GET", "HEAD", ...)
+    std::string target; ///< raw request target ("/top?n=5")
+    std::string path;   ///< percent-decoded path, query stripped
+    /** Percent-decoded query parameters, last occurrence wins. */
+    std::map<std::string, std::string> query;
+    /** Header fields, keys lowercased, values trimmed. */
+    std::map<std::string, std::string> headers;
+    int minorVersion = 1;  ///< HTTP/1.<minorVersion>
+    bool keepAlive = true; ///< after Connection: handling
+
+    /**
+     * Query parameter lookup with a default. Returns by value: the
+     * fallback is usually a temporary at the call site, so returning
+     * a reference would dangle once the full expression ends.
+     */
+    std::string param(const std::string &key,
+                      const std::string &fallback) const
+    {
+        auto it = query.find(key);
+        return it == query.end() ? fallback : it->second;
+    }
+};
+
+/** Outcome of HttpRequestParser::next(). */
+enum class HttpParseStatus
+{
+    Ok,        ///< one request parsed and consumed
+    NeedMore,  ///< buffer holds only a partial request head
+    TooLarge,  ///< head exceeds maxHeaderBytes — answer 431, close
+    Malformed, ///< not HTTP — answer 400 (or 411/405), close
+};
+
+/**
+ * Incremental request parser for one session's byte stream. Feed
+ * whatever recv(2) produced with append(); drain complete requests
+ * with next() (several, when the client pipelined). After Malformed
+ * or TooLarge the stream is dead — every later next() repeats the
+ * verdict.
+ */
+class HttpRequestParser
+{
+  public:
+    explicit HttpRequestParser(std::size_t max_header_bytes = 8 * 1024)
+        : maxHeader(max_header_bytes)
+    {}
+
+    /** Append raw bytes received from the peer. */
+    void append(const std::uint8_t *data, std::size_t len);
+
+    /**
+     * Extract the next complete request. On Malformed, `error` holds
+     * a diagnosis suitable for the 400 body.
+     */
+    HttpParseStatus next(HttpRequest &out, std::string &error);
+
+    /** Bytes buffered but not yet consumed by a parsed request. */
+    std::size_t pending() const { return buf.size() - start; }
+
+    /**
+     * True while the buffer holds the beginning of a request whose
+     * head has not completed yet — the state the slowloris timer
+     * (HttpConfig::headerTimeoutMs) runs against.
+     */
+    bool midRequest() const { return pending() > 0 && !deadVerdict; }
+
+  private:
+    std::string buf;
+    std::size_t start = 0; ///< consumed-up-to offset into buf
+    std::size_t maxHeader;
+    bool deadVerdict = false; ///< Malformed/TooLarge is sticky
+    HttpParseStatus verdict = HttpParseStatus::NeedMore;
+    std::string verdictError;
+};
+
+/** One response to serialize. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+    /** Force Connection: close regardless of the request. */
+    bool closeConnection = false;
+};
+
+/** Canonical reason phrase ("OK", "Not Found", ...). */
+const char *httpStatusReason(int status);
+
+/**
+ * Serialize a response to wire bytes, honoring the request's version
+ * and method (HEAD gets headers only), keep-alive negotiation, and
+ * the chunked-streaming threshold. @return the exact bytes to queue.
+ */
+std::vector<std::uint8_t> serializeHttpResponse(
+    const HttpRequest &req, const HttpResponse &resp,
+    const HttpConfig &cfg);
+
+/**
+ * Decode %XX escapes (and '+' as space when `plusIsSpace`).
+ * @return false on a truncated or non-hex escape.
+ */
+bool percentDecode(std::string_view in, std::string &out,
+                   bool plusIsSpace = false);
+
+} // namespace vp::serve
+
+#endif // VP_SERVE_HTTP_HPP

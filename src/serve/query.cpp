@@ -1,0 +1,426 @@
+#include "serve/query.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "support/stats_registry.hpp"
+#include "support/strings.hpp"
+
+namespace vp::serve
+{
+
+namespace
+{
+
+/** Parse a full-range unsigned 64-bit value, decimal or 0x hex. */
+bool
+parseU64(std::string_view s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        base = 16;
+        s.remove_prefix(2);
+        if (s.empty())
+            return false;
+    }
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return false;
+        const std::uint64_t next =
+            v * static_cast<unsigned>(base) +
+            static_cast<unsigned>(digit);
+        if (next / static_cast<unsigned>(base) != v)
+            return false; // overflow
+        v = next;
+    }
+    out = v;
+    return true;
+}
+
+HttpResponse
+errorResponse(int status, const std::string &what)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.contentType = "application/json";
+    std::ostringstream os;
+    os << "{\"error\":\"" << what << "\"}\n";
+    resp.body = os.str();
+    return resp;
+}
+
+/**
+ * The /top ranking metric as an order-preserving u64: execution
+ * counts rank directly; Inv-Top is a non-negative double, whose
+ * IEEE-754 bit pattern orders the same way the value does — which
+ * lets one cursor format cover both axes.
+ */
+std::uint64_t
+rankMetric(const core::EntitySummary &s, bool by_invariance)
+{
+    if (!by_invariance)
+        return s.totalExecutions;
+    double inv = s.invTop;
+    if (!(inv >= 0.0))
+        inv = 0.0; // negatives/NaN cannot occur, but keep bits ordered
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof inv);
+    __builtin_memcpy(&bits, &inv, sizeof bits);
+    return bits;
+}
+
+/** Page-resume position: strictly after (metric desc, key asc). */
+struct Cursor
+{
+    std::uint64_t metric = 0;
+    std::uint64_t key = 0;
+};
+
+bool
+parseCursor(const std::string &text, Cursor &out)
+{
+    const auto dash = text.find('-');
+    if (dash == std::string::npos)
+        return false;
+    std::uint64_t m = 0, k = 0;
+    if (!parseU64("0x" + text.substr(0, dash), m) ||
+        !parseU64("0x" + text.substr(dash + 1), k))
+        return false;
+    out.metric = m;
+    out.key = k;
+    return true;
+}
+
+std::string
+formatCursor(std::uint64_t metric, std::uint64_t key)
+{
+    return vp::format("%016" PRIx64 "-%016" PRIx64, metric, key);
+}
+
+void
+writeProducerJson(std::ostream &os, const ProducerInfo &p)
+{
+    os << "{\"id\":" << p.id << ",\"last_seq\":" << p.lastSeq
+       << ",\"deltas\":" << p.deltas << ",\"bytes\":" << p.bytes
+       << ",\"duplicates\":" << p.duplicates
+       << ",\"entities\":" << p.entities << ",\"lag_seconds\":";
+    core::writeJsonDouble(os, p.lagSeconds);
+    os << "}";
+}
+
+/** The server-totals object shared by /stats.json and /watch — the
+ *  same numbers the control-protocol QUERY verb reports. */
+void
+writeServerTotals(std::ostream &os, const ServerView &view)
+{
+    os << "{\"producers\":" << view.producers.size()
+       << ",\"deltas\":" << view.deltasTotal
+       << ",\"entities\":" << view.aggregate->size()
+       << ",\"dropped_stores\":" << view.aggregate->droppedStores
+       << ",\"dropped_loads\":" << view.aggregate->droppedLoads
+       << ",\"apply_seq\":" << view.applySeq
+       << ",\"ingest_clients\":" << view.ingestClients
+       << ",\"http_sessions\":" << view.httpSessions
+       << ",\"uptime_seconds\":";
+    core::writeJsonDouble(os, view.uptimeSeconds);
+    os << "}";
+}
+
+HttpResponse
+handleMetrics(const ServerView &view)
+{
+    std::ostringstream os;
+    vp::stats::global().writeProm(os);
+
+    // Server-level gauges the registry cannot know about.
+    os << "# TYPE vp_serve_producers gauge\n"
+       << "vp_serve_producers " << view.producers.size() << "\n"
+       << "# TYPE vp_serve_entities gauge\n"
+       << "vp_serve_entities " << view.aggregate->size() << "\n"
+       << "# TYPE vp_serve_apply_seq gauge\n"
+       << "vp_serve_apply_seq " << view.applySeq << "\n"
+       << "# TYPE vp_serve_ingest_clients gauge\n"
+       << "vp_serve_ingest_clients " << view.ingestClients << "\n"
+       // The registry's serve.http.sessions is a high-water mark;
+       // this is the live session count at scrape time.
+       << "# TYPE vp_serve_http_open_sessions gauge\n"
+       << "vp_serve_http_open_sessions " << view.httpSessions << "\n"
+       << "# TYPE vp_serve_uptime_seconds gauge\n"
+       << "vp_serve_uptime_seconds ";
+    core::writeJsonDouble(os, view.uptimeSeconds);
+    os << "\n";
+
+    // Per-producer families: one TYPE line, one sample per producer.
+    if (!view.producers.empty()) {
+        os << "# TYPE vp_producer_last_seq gauge\n";
+        for (const auto &p : view.producers)
+            os << "vp_producer_last_seq{producer=\"" << p.id << "\"} "
+               << p.lastSeq << "\n";
+        os << "# TYPE vp_producer_bytes_total counter\n";
+        for (const auto &p : view.producers)
+            os << "vp_producer_bytes_total{producer=\"" << p.id
+               << "\"} " << p.bytes << "\n";
+        os << "# TYPE vp_producer_duplicates_total counter\n";
+        for (const auto &p : view.producers)
+            os << "vp_producer_duplicates_total{producer=\"" << p.id
+               << "\"} " << p.duplicates << "\n";
+        os << "# TYPE vp_producer_entities gauge\n";
+        for (const auto &p : view.producers)
+            os << "vp_producer_entities{producer=\"" << p.id << "\"} "
+               << p.entities << "\n";
+        os << "# TYPE vp_producer_lag_seconds gauge\n";
+        for (const auto &p : view.producers) {
+            os << "vp_producer_lag_seconds{producer=\"" << p.id
+               << "\"} ";
+            core::writeJsonDouble(os, p.lagSeconds);
+            os << "\n";
+        }
+    }
+
+    HttpResponse resp;
+    resp.contentType = "text/plain; version=0.0.4";
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+handleStatsJson(const ServerView &view)
+{
+    std::ostringstream os;
+    os << "{\"server\":";
+    writeServerTotals(os, view);
+    os << ",\"stats\":";
+    std::ostringstream stats;
+    vp::stats::global().writeJson(stats);
+    std::string body = stats.str();
+    while (!body.empty() &&
+           (body.back() == '\n' || body.back() == '\r'))
+        body.pop_back();
+    os << body << "}\n";
+
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+handleTop(const HttpRequest &req, const ServerView &view)
+{
+    std::int64_t n = 20;
+    if (const std::string &raw = req.param("n", ""); !raw.empty()) {
+        if (!vp::parseInt(raw, n) || n < 1 || n > 10000)
+            return errorResponse(400, "n must be in [1, 10000]");
+    }
+    const std::string &by = req.param("by", "count");
+    if (by != "count" && by != "invariance")
+        return errorResponse(400, "by must be count or invariance");
+    const bool by_inv = by == "invariance";
+    // `kind` is validated for forward compatibility but does not
+    // filter yet: the delta wire format carries no entity-kind tag
+    // (DESIGN.md, "Query & metrics plane").
+    const std::string &kind = req.param("kind", "any");
+    if (kind != "any" && kind != "inst" && kind != "load")
+        return errorResponse(400, "kind must be any, inst or load");
+
+    Cursor cursor;
+    bool have_cursor = false;
+    if (const std::string &raw = req.param("cursor", "");
+        !raw.empty()) {
+        if (!parseCursor(raw, cursor))
+            return errorResponse(400, "malformed cursor");
+        have_cursor = true;
+    }
+
+    // One pass over the aggregate: count the entities still ahead of
+    // the cursor and keep the best page of them. (metric desc, key
+    // asc) is a strict total order, so pages never duplicate or skip
+    // entities as long as the aggregate is unchanged between pages —
+    // and `seq` tells the client when it was not.
+    const auto after_cursor = [&](std::uint64_t metric,
+                                  std::uint64_t key) {
+        if (!have_cursor)
+            return true;
+        if (metric != cursor.metric)
+            return metric < cursor.metric;
+        return key > cursor.key;
+    };
+    const auto better = [](const std::pair<std::uint64_t,
+                                           std::uint64_t> &a,
+                           const std::pair<std::uint64_t,
+                                           std::uint64_t> &b) {
+        if (a.first != b.first)
+            return a.first > b.first;
+        return a.second < b.second;
+    };
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked;
+    ranked.reserve(view.aggregate->size());
+    std::size_t matched = 0;
+    for (const auto &[key, summary] : view.aggregate->entities) {
+        const std::uint64_t metric = rankMetric(summary, by_inv);
+        if (!after_cursor(metric, key))
+            continue;
+        ++matched;
+        ranked.emplace_back(metric, key);
+    }
+    const std::size_t page =
+        std::min(ranked.size(), static_cast<std::size_t>(n));
+    std::partial_sort(ranked.begin(), ranked.begin() + page,
+                      ranked.end(), better);
+    ranked.resize(page);
+
+    std::ostringstream os;
+    os << "{\"seq\":" << view.applySeq << ",\"by\":\"" << by
+       << "\",\"kind\":\"" << kind
+       << "\",\"total\":" << view.aggregate->size()
+       << ",\"matched\":" << matched << ",\"returned\":" << page
+       << ",\"entries\":[";
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        if (i)
+            os << ",";
+        const auto it = view.aggregate->entities.find(ranked[i].second);
+        core::writeEntityJson(os, it->first, it->second);
+    }
+    os << "]";
+    if (matched > page && page > 0)
+        os << ",\"next_cursor\":\""
+           << formatCursor(ranked.back().first, ranked.back().second)
+           << "\"";
+    os << "}\n";
+
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+handleEntity(const HttpRequest &req, const ServerView &view)
+{
+    const std::string id_text =
+        req.path.substr(std::string("/entity/").size());
+    std::uint64_t key = 0;
+    if (!parseU64(id_text, key))
+        return errorResponse(400, "entity id must be decimal or 0x hex");
+    const auto it = view.aggregate->entities.find(key);
+    if (it == view.aggregate->entities.end())
+        return errorResponse(404, "no such entity");
+
+    std::ostringstream os;
+    os << "{\"seq\":" << view.applySeq << ",\"entity\":";
+    core::writeEntityJson(os, it->first, it->second);
+    os << "}\n";
+
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+handleProducers(const ServerView &view)
+{
+    std::ostringstream os;
+    os << "{\"seq\":" << view.applySeq << ",\"producers\":[";
+    for (std::size_t i = 0; i < view.producers.size(); ++i) {
+        if (i)
+            os << ",";
+        writeProducerJson(os, view.producers[i]);
+    }
+    os << "]}\n";
+
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+HttpResponse
+handleIndex(const ServerView &view)
+{
+    std::ostringstream os;
+    os << "vpd query & metrics plane (apply_seq "
+       << view.applySeq << ")\n"
+       << "  GET /metrics       Prometheus text exposition\n"
+       << "  GET /stats.json    stats registry + server totals\n"
+       << "  GET /top?n=&by=count|invariance[&cursor=]  ranked entities\n"
+       << "  GET /entity/{id}   one entity, full TNV rendering\n"
+       << "  GET /producers     per-producer ingest health\n"
+       << "  GET /watch?since=  long-poll for change\n";
+    HttpResponse resp;
+    resp.contentType = "text/plain";
+    resp.body = os.str();
+    return resp;
+}
+
+} // namespace
+
+HttpResponse
+handleQuery(const HttpRequest &req, const ServerView &view)
+{
+    if (req.method != "GET" && req.method != "HEAD")
+        return errorResponse(405, "only GET and HEAD are supported");
+
+    if (req.path == "/metrics")
+        return handleMetrics(view);
+    if (req.path == "/stats.json")
+        return handleStatsJson(view);
+    if (req.path == "/top")
+        return handleTop(req, view);
+    if (req.path.rfind("/entity/", 0) == 0)
+        return handleEntity(req, view);
+    if (req.path == "/producers")
+        return handleProducers(view);
+    if (req.path == "/")
+        return handleIndex(view);
+    return errorResponse(404, "unknown path");
+}
+
+bool
+parseWatchSince(const HttpRequest &req, std::uint64_t current_seq,
+                std::uint64_t &since, HttpResponse &error_resp)
+{
+    since = current_seq;
+    if (const std::string &raw = req.param("since", "");
+        !raw.empty()) {
+        if (!parseU64(raw, since)) {
+            error_resp =
+                errorResponse(400, "since must be a sequence number");
+            return false;
+        }
+    }
+    return true;
+}
+
+HttpResponse
+renderWatch(const ServerView &view, std::uint64_t since)
+{
+    std::ostringstream os;
+    os << "{\"seq\":" << view.applySeq << ",\"since\":" << since
+       << ",\"changed\":"
+       << (view.applySeq > since ? "true" : "false") << ",\"server\":";
+    writeServerTotals(os, view);
+    os << ",\"producers\":[";
+    for (std::size_t i = 0; i < view.producers.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"id\":" << view.producers[i].id << ",\"last_seq\":"
+           << view.producers[i].lastSeq << "}";
+    }
+    os << "]}\n";
+
+    HttpResponse resp;
+    resp.body = os.str();
+    return resp;
+}
+
+} // namespace vp::serve

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Read-only query views over the vpd daemon's merged aggregate — the
+ * handlers behind the HTTP query & metrics plane (serve/http.hpp).
+ *
+ * Endpoints (all GET/HEAD, all side-effect free):
+ *
+ *   /metrics        Prometheus text exposition: the whole vp::stats
+ *                   registry plus server-level and per-producer gauges
+ *   /stats.json     the registry as JSON wrapped with server totals
+ *                   (the same numbers the control-protocol QUERY verb
+ *                   reports — CI asserts they agree)
+ *   /top            ranked entity list: ?n=&by=count|invariance
+ *                   [&kind=any|inst|load][&cursor=...]; pages link via
+ *                   an opaque `next_cursor`
+ *   /entity/{id}    one entity's full TNV rendering (id decimal/0x hex)
+ *   /producers      per-producer ingest health: seq, deltas, bytes,
+ *                   duplicate resends, entity count, lag
+ *   /watch          long-poll for change since a sequence number —
+ *                   parked by the server, rendered here on wakeup
+ *
+ * Handlers take a ServerView the poll loop assembles under its state
+ * lock: a borrowed reference to the *cached* aggregate fold plus
+ * scalar totals. Nothing here blocks, allocates per-entity state per
+ * session, or mutates server state — which is why a thousand
+ * concurrent queries cannot perturb the ingest path beyond the shared
+ * event loop's fairness (DESIGN.md, "Query & metrics plane").
+ */
+
+#ifndef VP_SERVE_QUERY_HPP
+#define VP_SERVE_QUERY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "serve/http.hpp"
+
+namespace vp::serve
+{
+
+/** One producer's ingest-health snapshot. */
+struct ProducerInfo
+{
+    std::uint64_t id = 0;
+    std::uint64_t lastSeq = 0;    ///< highest applied delta seq
+    std::uint64_t deltas = 0;     ///< deltas applied (== lastSeq)
+    std::uint64_t bytes = 0;      ///< delta payload bytes applied
+    std::uint64_t duplicates = 0; ///< resends re-acked, not merged —
+                                  ///< nonzero means the producer is
+                                  ///< retrying (lost acks, flaps)
+    std::size_t entities = 0;     ///< entities in its partial
+    double lagSeconds = 0.0;      ///< now minus last applied delta
+};
+
+/** What the poll loop exposes to the query handlers. */
+struct ServerView
+{
+    /** The cached canonical fold (never null while handling). */
+    const core::ProfileSnapshot *aggregate = nullptr;
+    /** Bumps once per applied delta — the /watch change clock. */
+    std::uint64_t applySeq = 0;
+    std::uint64_t deltasTotal = 0;
+    std::vector<ProducerInfo> producers;
+    std::size_t ingestClients = 0;
+    std::size_t httpSessions = 0;
+    double uptimeSeconds = 0.0;
+};
+
+/**
+ * Route one parsed request to its endpoint and render the reply.
+ * `/watch` is NOT handled here — the server parks those sessions and
+ * calls renderWatch() when the apply seq moves (or the park times
+ * out). Unknown paths get 404, non-GET/HEAD methods 405; every error
+ * body is JSON `{"error": ...}`.
+ */
+HttpResponse handleQuery(const HttpRequest &req,
+                         const ServerView &view);
+
+/**
+ * Validate a /watch request and extract its `since` parameter
+ * (default: the current apply seq, i.e. "wake me on the next
+ * change"). @return false with a ready 400 response in `error_resp`.
+ */
+bool parseWatchSince(const HttpRequest &req, std::uint64_t current_seq,
+                     std::uint64_t &since, HttpResponse &error_resp);
+
+/** Render the /watch reply for a client that watched `since`. */
+HttpResponse renderWatch(const ServerView &view, std::uint64_t since);
+
+} // namespace vp::serve
+
+#endif // VP_SERVE_QUERY_HPP

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <poll.h>
 #include <sstream>
@@ -15,6 +14,33 @@
 
 namespace vp::serve
 {
+
+namespace
+{
+
+/** Drain one socket's out buffer without blocking.
+ *  @return false when the peer is gone. */
+bool
+sendPending(int fd, std::vector<std::uint8_t> &out, std::size_t &pos)
+{
+    while (pos < out.size()) {
+        const long n = ::send(fd, out.data() + pos, out.size() - pos,
+                              MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true; // poll for POLLOUT
+            return false;
+        }
+        pos += static_cast<std::size_t>(n);
+    }
+    out.clear();
+    pos = 0;
+    return true;
+}
+
+} // namespace
 
 VpdServer::VpdServer(ServerConfig config) : cfg(std::move(config)) {}
 
@@ -41,6 +67,19 @@ VpdServer::start(std::string &error)
         listeners.emplace_back(fd);
         bound.push_back(addr);
     }
+    for (const auto &text : cfg.httpAddrs) {
+        net::Address addr;
+        if (!net::parseAddress(text, addr, error))
+            return false;
+        // Scrape fleets connect in bursts (the acceptance bench opens
+        // 1000 sessions at once); the default backlog of 16 would
+        // drop SYNs and stall such clients in kernel retry.
+        const int fd = net::listenOn(addr, error, 512);
+        if (fd < 0)
+            return false;
+        httpListeners.emplace_back(fd);
+        boundHttp.push_back(addr);
+    }
     if (::pipe(stopPipe) != 0) {
         error = vp::format("pipe: %s", std::strerror(errno));
         return false;
@@ -59,16 +98,27 @@ VpdServer::requestStop()
         ::write(stopPipe[1], &byte, 1);
 }
 
+const core::ProfileSnapshot &
+VpdServer::aggregateLocked() const
+{
+    if (cachedAtSeq != applySeq) {
+        core::ProfileSnapshot agg;
+        // std::map iterates in ascending producer id — the canonical
+        // fold order that makes the aggregate independent of frame
+        // arrival.
+        for (const auto &[producer, partial] : partials)
+            agg.merge(partial.snapshot);
+        cachedAgg = std::move(agg);
+        cachedAtSeq = applySeq;
+    }
+    return cachedAgg;
+}
+
 core::ProfileSnapshot
 VpdServer::aggregate() const
 {
     std::lock_guard<std::mutex> lock(stateMu);
-    core::ProfileSnapshot agg;
-    // std::map iterates in ascending producer id — the canonical fold
-    // order that makes the aggregate independent of frame arrival.
-    for (const auto &[producer, partial] : partials)
-        agg.merge(partial.snapshot);
-    return agg;
+    return aggregateLocked();
 }
 
 std::size_t
@@ -76,6 +126,37 @@ VpdServer::producerCount() const
 {
     std::lock_guard<std::mutex> lock(stateMu);
     return partials.size();
+}
+
+ServerView
+VpdServer::makeViewLocked(clock::time_point now) const
+{
+    ServerView view;
+    view.aggregate = &aggregateLocked();
+    view.applySeq = applySeq;
+    view.ingestClients = conns.size();
+    view.httpSessions = sessions.size();
+    view.uptimeSeconds =
+        std::chrono::duration<double>(now - startedAt).count();
+    view.producers.reserve(partials.size());
+    for (const auto &[producer, partial] : partials) {
+        ProducerInfo info;
+        info.id = producer;
+        info.lastSeq = partial.lastSeq;
+        info.deltas = partial.lastSeq;
+        info.bytes = partial.bytes;
+        info.duplicates = partial.duplicates;
+        info.entities = partial.snapshot.size();
+        info.lagSeconds =
+            partial.lastDeltaAt == clock::time_point{}
+                ? 0.0
+                : std::chrono::duration<double>(now -
+                                                partial.lastDeltaAt)
+                      .count();
+        view.producers.push_back(info);
+        view.deltasTotal += partial.lastSeq;
+    }
+    return view;
 }
 
 void
@@ -117,6 +198,9 @@ bool
 VpdServer::handleFrame(Connection &conn, const Frame &frame)
 {
     VP_STAT_INC(vp::stats::Cid::ServeFramesIn);
+    VP_STAT_INC(frame.version <= 1
+                    ? vp::stats::Cid::ServeFramesInV1
+                    : vp::stats::Cid::ServeFramesInV2);
     switch (frame.type) {
       case MsgType::Delta: {
         Delta delta;
@@ -137,7 +221,9 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
             if (delta.seq <= p.lastSeq) {
                 // A resend after a lost ack: acknowledge, don't merge.
                 VP_STAT_INC(vp::stats::Cid::ServeDeltaDuplicates);
+                p.duplicates += 1;
                 queueReply(conn, encodeAck(p.lastSeq, frame.version));
+                conn.pendingAcks.push_back(clock::now());
                 return true;
             }
             if (delta.seq != p.lastSeq + 1) {
@@ -160,10 +246,45 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
                 p.snapshot.merge(delta.entities);
             }
             p.lastSeq = delta.seq;
+            p.bytes += frame.payload.size();
+            p.lastDeltaAt = clock::now();
+            // Keep the fold cache warm incrementally: a delta only
+            // touches its own keys, and ProfileSnapshot::merge is
+            // per-entity with additive dropped counters, so
+            // re-folding just those keys across the partials (in the
+            // same ascending producer order) yields a byte-identical
+            // aggregate without the O(total entities) refold that a
+            // live query stream would otherwise trigger per delta.
+            if (cachedAtSeq == applySeq) {
+                cachedAgg.droppedStores +=
+                    delta.entities.droppedStores;
+                cachedAgg.droppedLoads += delta.entities.droppedLoads;
+                for (const auto &[key, ignored] :
+                     delta.entities.entities) {
+                    core::EntitySummary folded;
+                    bool have = false;
+                    for (const auto &[producer, part] : partials) {
+                        const auto it =
+                            part.snapshot.entities.find(key);
+                        if (it == part.snapshot.entities.end())
+                            continue;
+                        if (!have) {
+                            folded = it->second;
+                            have = true;
+                        } else {
+                            folded.merge(it->second);
+                        }
+                    }
+                    cachedAgg.entities[key] = std::move(folded);
+                }
+                cachedAtSeq = applySeq + 1;
+            }
+            applySeq += 1; // wakes parked /watch sessions this pass
             dirty = true;
         }
         VP_STAT_INC(vp::stats::Cid::ServeDeltasMerged);
         queueReply(conn, encodeAck(delta.seq, frame.version));
+        conn.pendingAcks.push_back(clock::now());
         return true;
       }
       case MsgType::Query: {
@@ -173,14 +294,14 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
             std::uint64_t deltas = 0;
             for (const auto &[producer, partial] : partials)
                 deltas += partial.lastSeq;
+            const core::ProfileSnapshot &agg = aggregateLocked();
             os << "producers " << partials.size() << "\n"
-               << "deltas " << deltas << "\n";
+               << "deltas " << deltas << "\n"
+               << "entities " << agg.size() << "\n"
+               << "dropped_stores " << agg.droppedStores << "\n"
+               << "dropped_loads " << agg.droppedLoads << "\n"
+               << "clients " << conns.size() << "\n";
         }
-        const core::ProfileSnapshot agg = aggregate();
-        os << "entities " << agg.size() << "\n"
-           << "dropped_stores " << agg.droppedStores << "\n"
-           << "dropped_loads " << agg.droppedLoads << "\n"
-           << "clients " << conns.size() << "\n";
         queueReply(conn, encodeText(MsgType::QueryReply, os.str(),
                                frame.version));
         return true;
@@ -219,22 +340,111 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
 bool
 VpdServer::flushWrites(Connection &conn)
 {
-    while (conn.outPos < conn.out.size()) {
-        const long n = ::send(conn.fd.get(), conn.out.data() + conn.outPos,
-                              conn.out.size() - conn.outPos,
-                              MSG_NOSIGNAL | MSG_DONTWAIT);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            if (errno == EAGAIN || errno == EWOULDBLOCK)
-                return true; // poll for POLLOUT
-            return false;
+    if (!sendPending(conn.fd.get(), conn.out, conn.outPos))
+        return false;
+    if (conn.out.empty() && !conn.pendingAcks.empty()) {
+        // The acks just left for the socket buffer: close the books on
+        // their server-side latency.
+        if (vp::stats::enabled()) {
+            const auto now = clock::now();
+            for (const auto &t : conn.pendingAcks)
+                vp::stats::current().observe(
+                    "serve.ack_us",
+                    std::chrono::duration<double, std::micro>(now - t)
+                        .count());
         }
-        conn.outPos += static_cast<std::size_t>(n);
+        conn.pendingAcks.clear();
     }
-    conn.out.clear();
-    conn.outPos = 0;
-    return !conn.closeAfterWrite;
+    if (conn.out.empty())
+        return !conn.closeAfterWrite;
+    return true;
+}
+
+bool
+VpdServer::serviceIngest(Connection &conn, short revents)
+{
+    bool alive = true;
+    if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        std::uint8_t buf[64 * 1024];
+        while (alive) {
+            const long n = ::recv(conn.fd.get(), buf, sizeof(buf),
+                                  MSG_DONTWAIT);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno != EAGAIN && errno != EWOULDBLOCK)
+                    alive = false;
+                break;
+            }
+            if (n == 0) { // orderly close
+                alive = false;
+                break;
+            }
+            VP_STAT_ADD(vp::stats::Cid::ServeBytesIn,
+                        static_cast<std::uint64_t>(n));
+            conn.reader.append(buf, static_cast<std::size_t>(n));
+            Frame frame;
+            std::string why;
+            DecodeStatus st;
+            while ((st = conn.reader.next(frame, why)) ==
+                   DecodeStatus::Ok) {
+                if (!handleFrame(conn, frame)) {
+                    alive = false;
+                    break;
+                }
+            }
+            if (st == DecodeStatus::Corrupt) {
+                VP_STAT_INC(vp::stats::Cid::ServeDecodeErrors);
+                vp_warn("vpd: corrupt frame stream: %s", why.c_str());
+                queueReply(conn,
+                           encodeText(MsgType::Error,
+                                      "corrupt frame: " + why));
+                conn.closeAfterWrite = true;
+                break;
+            }
+        }
+    }
+    if (alive && !conn.out.empty())
+        alive = flushWrites(conn);
+    else if (alive && conn.closeAfterWrite)
+        alive = false;
+    return alive;
+}
+
+void
+VpdServer::pollIngestNow()
+{
+    httpSinceIngestPoll = 0;
+    if (conns.empty())
+        return;
+    std::vector<pollfd> pfds;
+    pfds.reserve(conns.size());
+    for (const auto &c : conns) {
+        short events = POLLIN;
+        if (!c->out.empty())
+            events |= POLLOUT;
+        pfds.push_back({c->fd.get(), events, 0});
+    }
+    const int rc =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 0);
+    if (rc <= 0)
+        return;
+    std::vector<Connection *> dead;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents == 0)
+            continue;
+        if (!serviceIngest(*conns[i], pfds[i].revents))
+            dead.push_back(conns[i].get());
+    }
+    if (!dead.empty())
+        conns.erase(
+            std::remove_if(conns.begin(), conns.end(),
+                           [&](const auto &c) {
+                               return std::find(dead.begin(),
+                                                dead.end(), c.get()) !=
+                                      dead.end();
+                           }),
+            conns.end());
 }
 
 void
@@ -261,10 +471,193 @@ VpdServer::acceptClients(int listen_fd)
     }
 }
 
+void
+VpdServer::acceptHttpSessions(int listen_fd)
+{
+    while (true) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        VP_STAT_INC(vp::stats::Cid::ServeHttpAccepts);
+        auto s = std::make_unique<HttpSession>(cfg.http.maxHeaderBytes);
+        s->fd.reset(fd);
+        s->deadline = clock::now() + std::chrono::milliseconds(
+                                         cfg.http.keepAliveTimeoutMs);
+        if (sessions.size() >= cfg.http.maxSessions) {
+            HttpRequest synth;
+            synth.keepAlive = false;
+            HttpResponse resp;
+            resp.status = 503;
+            resp.body = "{\"error\":\"too many sessions\"}\n";
+            resp.closeConnection = true;
+            queueHttp(*s, synth, resp);
+            s->closeAfterWrite = true;
+        }
+        sessions.push_back(std::move(s));
+        VP_STAT_GAUGE_MAX("serve.http.sessions",
+                          static_cast<double>(sessions.size()));
+    }
+}
+
+void
+VpdServer::queueHttp(HttpSession &s, const HttpRequest &req,
+                     const HttpResponse &resp)
+{
+    if (resp.status >= 400)
+        VP_STAT_INC(vp::stats::Cid::ServeHttpErrors);
+    std::vector<std::uint8_t> bytes =
+        serializeHttpResponse(req, resp, cfg.http);
+    VP_STAT_ADD(vp::stats::Cid::ServeHttpBytesOut, bytes.size());
+    if (s.out.empty()) {
+        s.out = std::move(bytes);
+        s.outPos = 0;
+    } else {
+        s.out.insert(s.out.end(), bytes.begin(), bytes.end());
+    }
+}
+
+void
+VpdServer::drainHttpSession(HttpSession &s, clock::time_point now)
+{
+    while (!s.dead && !s.parked && !s.closeAfterWrite) {
+        HttpRequest req;
+        std::string why;
+        const HttpParseStatus st = s.parser.next(req, why);
+        if (st == HttpParseStatus::NeedMore) {
+            // Arm the applicable timer: a dribbling request head gets
+            // the slowloris window, an idle keep-alive session the
+            // idle window.
+            s.deadline =
+                now + std::chrono::milliseconds(
+                          s.parser.midRequest()
+                              ? cfg.http.headerTimeoutMs
+                              : cfg.http.keepAliveTimeoutMs);
+            return;
+        }
+        if (st == HttpParseStatus::TooLarge ||
+            st == HttpParseStatus::Malformed) {
+            HttpRequest synth;
+            synth.keepAlive = false;
+            HttpResponse resp;
+            resp.status =
+                st == HttpParseStatus::TooLarge ? 431 : 400;
+            resp.body = "{\"error\":\"" + why + "\"}\n";
+            resp.closeConnection = true;
+            queueHttp(s, synth, resp);
+            s.closeAfterWrite = true;
+            return;
+        }
+
+        VP_STAT_INC(vp::stats::Cid::ServeHttpRequests);
+        const bool is_watch =
+            req.path == "/watch" &&
+            (req.method == "GET" || req.method == "HEAD");
+        if (is_watch) {
+            std::lock_guard<std::mutex> lock(stateMu);
+            std::uint64_t since = 0;
+            HttpResponse bad;
+            if (!parseWatchSince(req, applySeq, since, bad)) {
+                queueHttp(s, req, bad);
+            } else if (applySeq > since) {
+                // Already changed: answer without parking.
+                queueHttp(s, req,
+                          renderWatch(makeViewLocked(now), since));
+            } else {
+                s.parked = true;
+                s.watchReq = req;
+                s.watchSince = since;
+                s.deadline =
+                    now + std::chrono::milliseconds(
+                              cfg.http.watchTimeoutMs);
+                return;
+            }
+        } else {
+            // /metrics and /stats.json expose registry counters that
+            // move with every request, so only aggregate-derived
+            // bodies are cacheable.
+            const bool cacheable = req.path != "/metrics" &&
+                                   req.path != "/stats.json";
+            HttpResponse resp;
+            {
+                std::lock_guard<std::mutex> lock(stateMu);
+                if (respCacheSeq != applySeq) {
+                    respCache.clear();
+                    respCacheSeq = applySeq;
+                }
+                const auto it = cacheable
+                                    ? respCache.find(req.target)
+                                    : respCache.end();
+                if (it != respCache.end() &&
+                    now - it->second.at <
+                        std::chrono::milliseconds(250)) {
+                    resp = it->second.resp;
+                } else {
+                    resp = handleQuery(req, makeViewLocked(now));
+                    if (cacheable && respCache.size() < 128)
+                        respCache[req.target] = {applySeq, now, resp};
+                }
+            }
+            queueHttp(s, req, resp);
+            if (resp.closeConnection) {
+                s.closeAfterWrite = true;
+                return;
+            }
+        }
+        if (!req.keepAlive) {
+            s.closeAfterWrite = true;
+            return;
+        }
+        // A query burst must not fence off the ingest sockets: give
+        // them a zero-timeout look every few served requests.
+        if (++httpSinceIngestPoll >= 4)
+            pollIngestNow();
+    }
+}
+
+void
+VpdServer::wakeWatchers(clock::time_point now, bool force)
+{
+    for (auto &sp : sessions) {
+        HttpSession &s = *sp;
+        if (s.dead || !s.parked)
+            continue;
+        bool changed;
+        {
+            std::lock_guard<std::mutex> lock(stateMu);
+            changed = applySeq > s.watchSince;
+        }
+        if (!force && !changed && now < s.deadline)
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(stateMu);
+            queueHttp(s, s.watchReq,
+                      renderWatch(makeViewLocked(now), s.watchSince));
+        }
+        VP_STAT_INC(vp::stats::Cid::ServeHttpWatchWakeups);
+        s.parked = false;
+        if (force || !s.watchReq.keepAlive)
+            s.closeAfterWrite = true;
+        else
+            drainHttpSession(s, now); // pipelined requests may wait
+    }
+}
+
+bool
+VpdServer::flushHttpWrites(HttpSession &s)
+{
+    if (!sendPending(s.fd.get(), s.out, s.outPos))
+        return false;
+    if (s.out.empty())
+        return !s.closeAfterWrite;
+    return true;
+}
+
 bool
 VpdServer::run(std::string &error)
 {
-    using clock = std::chrono::steady_clock;
     if (listeners.empty() || stopPipe[0] < 0) {
         error = "vpd loop started before start()";
         return false;
@@ -273,6 +666,11 @@ VpdServer::run(std::string &error)
         if (!net::setNonBlocking(l.get(), error))
             return false;
     }
+    for (auto &l : httpListeners) {
+        if (!net::setNonBlocking(l.get(), error))
+            return false;
+    }
+    startedAt = clock::now();
 
     auto next_persist = clock::now();
     const bool periodic = cfg.snapshotIntervalSec > 0.0;
@@ -287,11 +685,19 @@ VpdServer::run(std::string &error)
         // Exit once asked to stop and every goodbye reply is flushed
         // (or a stalled client has burned the shutdown grace period).
         if (stopping) {
+            // Parked long-polls are answered, not abandoned.
+            wakeWatchers(clock::now(), /*force=*/true);
             if (stop_deadline == clock::time_point{})
                 stop_deadline = clock::now() + std::chrono::seconds(2);
-            const bool drained = std::all_of(
-                conns.begin(), conns.end(),
-                [](const auto &c) { return c->out.empty(); });
+            const bool drained =
+                std::all_of(conns.begin(), conns.end(),
+                            [](const auto &c) {
+                                return c->out.empty();
+                            }) &&
+                std::all_of(sessions.begin(), sessions.end(),
+                            [](const auto &s) {
+                                return s->out.empty();
+                            });
             if (drained || clock::now() >= stop_deadline)
                 break;
         }
@@ -300,23 +706,42 @@ VpdServer::run(std::string &error)
         fds.push_back({stopPipe[0], POLLIN, 0});
         for (const auto &l : listeners)
             fds.push_back({l.get(), POLLIN, 0});
+        for (const auto &l : httpListeners)
+            fds.push_back({l.get(), POLLIN, 0});
+        const std::size_t polled_conns = conns.size();
         for (const auto &c : conns) {
             short events = POLLIN;
             if (!c->out.empty())
                 events |= POLLOUT;
             fds.push_back({c->fd.get(), events, 0});
         }
+        const std::size_t polled_sessions = sessions.size();
+        for (const auto &s : sessions) {
+            short events = POLLIN;
+            if (!s->out.empty())
+                events |= POLLOUT;
+            fds.push_back({s->fd.get(), events, 0});
+        }
 
         int timeout_ms = stopping ? 20 : -1;
-        if (periodic) {
+        const auto arm = [&](clock::time_point dl) {
             const auto now = clock::now();
-            timeout_ms = std::max<int>(
-                0, static_cast<int>(
-                       std::chrono::duration_cast<
-                           std::chrono::milliseconds>(next_persist -
-                                                      now)
-                           .count()));
-        }
+            long long wait =
+                dl <= now
+                    ? 0
+                    : std::chrono::duration_cast<
+                          std::chrono::milliseconds>(dl - now)
+                              .count() +
+                          1;
+            wait = std::min<long long>(wait, 3600 * 1000);
+            if (timeout_ms < 0 || wait < timeout_ms)
+                timeout_ms = static_cast<int>(wait);
+        };
+        if (periodic)
+            arm(next_persist);
+        for (const auto &s : sessions)
+            arm(s->deadline);
+
         const int rc = ::poll(fds.data(),
                               static_cast<nfds_t>(fds.size()),
                               timeout_ms);
@@ -346,68 +771,21 @@ VpdServer::run(std::string &error)
                 acceptClients(l.get());
             ++idx;
         }
+        for (const auto &l : httpListeners) {
+            if (fds[idx].revents & POLLIN)
+                acceptHttpSessions(l.get());
+            ++idx;
+        }
 
-        // Service clients; collect the dead for removal afterwards.
-        // Only the prefix of conns that had a poll slot this round —
-        // acceptClients above appends new connections past it, and
-        // those have no revents until the next poll pass.
-        const std::size_t polled = fds.size() - 1 - listeners.size();
+        // Service ingest clients; collect the dead for removal
+        // afterwards. Only the prefix of conns that had a poll slot
+        // this round — accepts above appended new connections past it,
+        // and those have no revents until the next poll pass.
         std::vector<Connection *> dead;
-        for (std::size_t ci = 0; ci < polled; ++ci) {
+        for (std::size_t ci = 0; ci < polled_conns; ++ci) {
             const short revents = fds[idx++].revents;
-            Connection &conn = *conns[ci];
-            bool alive = true;
-            if (revents & (POLLIN | POLLHUP | POLLERR)) {
-                std::uint8_t buf[64 * 1024];
-                while (alive) {
-                    const long n =
-                        ::recv(conn.fd.get(), buf, sizeof(buf),
-                               MSG_DONTWAIT);
-                    if (n < 0) {
-                        if (errno == EINTR)
-                            continue;
-                        if (errno != EAGAIN && errno != EWOULDBLOCK)
-                            alive = false;
-                        break;
-                    }
-                    if (n == 0) { // orderly close
-                        alive = false;
-                        break;
-                    }
-                    VP_STAT_ADD(vp::stats::Cid::ServeBytesIn,
-                                static_cast<std::uint64_t>(n));
-                    conn.reader.append(buf,
-                                       static_cast<std::size_t>(n));
-                    Frame frame;
-                    std::string why;
-                    DecodeStatus st;
-                    while ((st = conn.reader.next(frame, why)) ==
-                           DecodeStatus::Ok) {
-                        if (!handleFrame(conn, frame)) {
-                            alive = false;
-                            break;
-                        }
-                    }
-                    if (st == DecodeStatus::Corrupt) {
-                        VP_STAT_INC(
-                            vp::stats::Cid::ServeDecodeErrors);
-                        vp_warn("vpd: corrupt frame stream: %s",
-                                why.c_str());
-                        queueReply(conn,
-                                   encodeText(MsgType::Error,
-                                              "corrupt frame: " +
-                                                  why));
-                        conn.closeAfterWrite = true;
-                        break;
-                    }
-                }
-            }
-            if (alive && !conn.out.empty())
-                alive = flushWrites(conn);
-            else if (alive && conn.closeAfterWrite)
-                alive = false;
-            if (!alive)
-                dead.push_back(&conn);
+            if (!serviceIngest(*conns[ci], revents))
+                dead.push_back(conns[ci].get());
         }
         conns.erase(std::remove_if(conns.begin(), conns.end(),
                                    [&](const auto &c) {
@@ -417,11 +795,89 @@ VpdServer::run(std::string &error)
                                               dead.end();
                                    }),
                     conns.end());
+
+        // Service HTTP sessions: read + parse + answer. Writes are
+        // flushed in one pass at the end so responses queued outside a
+        // session's own poll slot (watch wakeups, timeouts, 503s on
+        // accept) go out this round too.
+        const auto now = clock::now();
+        for (std::size_t si = 0; si < polled_sessions; ++si) {
+            const short revents = fds[idx++].revents;
+            HttpSession &s = *sessions[si];
+            if (!(revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            while (!s.dead) {
+                std::uint8_t buf[16 * 1024];
+                const long n = ::recv(s.fd.get(), buf, sizeof(buf),
+                                      MSG_DONTWAIT);
+                if (n < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    if (errno != EAGAIN && errno != EWOULDBLOCK)
+                        s.dead = true;
+                    break;
+                }
+                if (n == 0) { // orderly close
+                    s.dead = true;
+                    break;
+                }
+                VP_STAT_ADD(vp::stats::Cid::ServeHttpBytesIn,
+                            static_cast<std::uint64_t>(n));
+                s.parser.append(buf, static_cast<std::size_t>(n));
+                drainHttpSession(s, now);
+            }
+        }
+
+        // Enforce session deadlines (parked ones are handled by
+        // wakeWatchers below).
+        for (auto &sp : sessions) {
+            HttpSession &s = *sp;
+            if (s.dead || s.parked || s.closeAfterWrite ||
+                now < s.deadline)
+                continue;
+            if (s.parser.midRequest()) {
+                // Slowloris: the head has been dribbling too long.
+                VP_STAT_INC(vp::stats::Cid::ServeHttpTimeouts);
+                HttpRequest synth;
+                synth.keepAlive = false;
+                HttpResponse resp;
+                resp.status = 408;
+                resp.body = "{\"error\":\"request head timed out\"}\n";
+                resp.closeConnection = true;
+                queueHttp(s, synth, resp);
+                s.closeAfterWrite = true;
+            } else {
+                s.dead = true; // idle keep-alive expired: just close
+            }
+        }
+
+        wakeWatchers(now, /*force=*/false);
+
+        // One write pass over every session with queued bytes.
+        for (auto &sp : sessions) {
+            HttpSession &s = *sp;
+            if (s.dead)
+                continue;
+            if (!s.out.empty()) {
+                if (!flushHttpWrites(s))
+                    s.dead = true;
+            } else if (s.closeAfterWrite) {
+                s.dead = true;
+            }
+        }
+        sessions.erase(
+            std::remove_if(sessions.begin(), sessions.end(),
+                           [](const auto &s) { return s->dead; }),
+            sessions.end());
     }
 
     persistIfConfigured();
     // Remove unix socket files so a restart never sees a stale one.
     for (const auto &addr : bound) {
+        if (addr.kind == net::Address::Kind::Unix)
+            ::unlink(addr.path.c_str());
+    }
+    for (const auto &addr : boundHttp) {
         if (addr.kind == net::Address::Kind::Unix)
             ::unlink(addr.path.c_str());
     }

@@ -27,11 +27,21 @@
  * on requestStop(), and every snapshotIntervalSec while dirty, so a
  * killed daemon leaves either the previous complete snapshot or the
  * new one, never a torn file.
+ *
+ * Query & metrics plane: when ServerConfig::httpAddrs is non-empty the
+ * same loop also serves HTTP/1.1 (serve/http.hpp) with the read-only
+ * views of serve/query.hpp — pazpar2-style single-threaded session
+ * dispatch, no extra threads. Queries render from a fold of the
+ * partials that is cached per applied-delta sequence number, so a
+ * burst of /top requests between two deltas folds the aggregate once.
+ * `GET /watch` long-polls park in the loop and are woken by the next
+ * delta apply.
  */
 
 #ifndef VP_SERVE_SERVER_HPP
 #define VP_SERVE_SERVER_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -40,6 +50,8 @@
 #include <vector>
 
 #include "core/snapshot.hpp"
+#include "serve/http.hpp"
+#include "serve/query.hpp"
 #include "serve/wire.hpp"
 #include "support/socket.hpp"
 
@@ -52,6 +64,10 @@ struct ServerConfig
     /** Listen endpoints: "host:port" and/or "unix:PATH" (at least
      *  one). TCP port 0 binds an ephemeral port. */
     std::vector<std::string> listenAddrs;
+    /** HTTP query-plane endpoints, same syntax (may be empty). */
+    std::vector<std::string> httpAddrs;
+    /** HTTP plane tunables (timeouts, caps, chunking). */
+    HttpConfig http;
     /** Persist target for the aggregate ("" = never persisted). */
     std::string snapshotPath;
     /** Persist-while-dirty interval in seconds (0 = only on
@@ -85,6 +101,12 @@ class VpdServer
         return bound;
     }
 
+    /** Resolved HTTP listen addresses. Valid after start(). */
+    const std::vector<net::Address> &boundHttpAddresses() const
+    {
+        return boundHttp;
+    }
+
     /**
      * Run the event loop on the calling thread until SHUTDOWN is
      * received or requestStop() is called. Persists the aggregate on
@@ -109,6 +131,8 @@ class VpdServer
     std::size_t producerCount() const;
 
   private:
+    using clock = std::chrono::steady_clock;
+
     struct Connection
     {
         net::FdGuard fd;
@@ -116,6 +140,30 @@ class VpdServer
         std::vector<std::uint8_t> out; ///< unwritten reply bytes
         std::size_t outPos = 0;
         bool closeAfterWrite = false;
+        /** Queue times of acks not yet drained to the socket — the
+         *  server-side half of the ack-latency distribution
+         *  ("serve.ack_us", observed when the buffer drains). */
+        std::vector<clock::time_point> pendingAcks;
+    };
+
+    /** One HTTP query session (keep-alive, possibly parked). */
+    struct HttpSession
+    {
+        net::FdGuard fd;
+        HttpRequestParser parser;
+        std::vector<std::uint8_t> out; ///< unwritten response bytes
+        std::size_t outPos = 0;
+        bool closeAfterWrite = false;
+        bool dead = false;
+        /** True while parked on `GET /watch` awaiting a delta. */
+        bool parked = false;
+        HttpRequest watchReq;        ///< the parked request
+        std::uint64_t watchSince = 0;
+        clock::time_point deadline;  ///< head/idle/park deadline
+
+        explicit HttpSession(std::size_t max_header)
+            : parser(max_header)
+        {}
     };
 
     /** One producer's live state. */
@@ -123,24 +171,86 @@ class VpdServer
     {
         core::ProfileSnapshot snapshot;
         std::uint64_t lastSeq = 0;
+        std::uint64_t bytes = 0;      ///< delta payload bytes applied
+        std::uint64_t duplicates = 0; ///< resends re-acked, not merged
+        clock::time_point lastDeltaAt{};
     };
 
     bool handleFrame(Connection &conn, const Frame &frame);
     void queueReply(Connection &conn, std::vector<std::uint8_t> bytes);
     bool flushWrites(Connection &conn);
     void acceptClients(int listen_fd);
+    /** Read, decode and answer one ready ingest connection. Returns
+     *  false when the connection is dead and must be removed. */
+    bool serviceIngest(Connection &conn, short revents);
+    /**
+     * Zero-timeout poll over the ingest connections, servicing any
+     * that are ready. Called between HTTP requests so a burst of
+     * query traffic cannot sit in front of inbound deltas for more
+     * than a few requests' worth of work — this is what keeps the
+     * ack-latency interference bounded (bench/table_serve).
+     */
+    void pollIngestNow();
     void persistIfConfigured();
+
+    /**
+     * The canonical fold of the partials, cached per apply seq.
+     * Requires stateMu held; the reference is valid only while it is.
+     */
+    const core::ProfileSnapshot &aggregateLocked() const;
+    /** Assemble the query-plane view. Requires stateMu held. */
+    ServerView makeViewLocked(clock::time_point now) const;
+
+    void acceptHttpSessions(int listen_fd);
+    /** Serialize `resp` onto the session's out buffer. */
+    void queueHttp(HttpSession &s, const HttpRequest &req,
+                   const HttpResponse &resp);
+    /** Parse-and-answer until the buffer runs dry or the session
+     *  parks, dies, or backs up. */
+    void drainHttpSession(HttpSession &s, clock::time_point now);
+    /** Answer parked /watch sessions whose seq moved (or timed out). */
+    void wakeWatchers(clock::time_point now, bool timed_out_only);
+    bool flushHttpWrites(HttpSession &s);
 
     ServerConfig cfg;
     std::vector<net::FdGuard> listeners;
+    std::vector<net::FdGuard> httpListeners;
     std::vector<net::Address> bound;
+    std::vector<net::Address> boundHttp;
     std::vector<std::unique_ptr<Connection>> conns;
+    std::vector<std::unique_ptr<HttpSession>> sessions;
     int stopPipe[2] = {-1, -1};
     bool stopping = false;
+    clock::time_point startedAt{};
 
     mutable std::mutex stateMu;
     std::map<std::uint64_t, Partial> partials;
+    /** Bumps once per applied delta — the /watch change clock and the
+     *  aggregate-cache key. */
+    std::uint64_t applySeq = 0;
     bool dirty = false; ///< aggregate changed since last persist
+    /** Fold cache: rebuilt lazily when applySeq moved past it. */
+    mutable core::ProfileSnapshot cachedAgg;
+    mutable std::uint64_t cachedAtSeq = ~0ull;
+
+    /**
+     * Rendered-response cache for the read endpoints whose body only
+     * depends on the aggregate: a scrape fleet asking the same /top
+     * question between two deltas costs one render, not N. Entries
+     * are keyed by raw request target, invalidated when applySeq
+     * moves, and additionally aged out so wall-clock fields (lag,
+     * uptime) cannot freeze on an idle daemon.
+     */
+    struct CachedResp
+    {
+        std::uint64_t seq = 0;
+        clock::time_point at{};
+        HttpResponse resp;
+    };
+    std::map<std::string, CachedResp> respCache;
+    std::uint64_t respCacheSeq = ~0ull;
+    /** Served-request count since the last ingest micro-poll. */
+    std::uint32_t httpSinceIngestPoll = 0;
 };
 
 } // namespace vp::serve

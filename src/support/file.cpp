@@ -1,0 +1,64 @@
+#include "support/file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/strings.hpp"
+
+namespace vp
+{
+
+namespace testing
+{
+std::size_t atomicWriteAbortAfterBytes = 0;
+} // namespace testing
+
+bool
+atomicWriteFile(const std::string &path, const std::string &bytes,
+                std::string &error)
+{
+    error.clear();
+    const std::string tmp = path + ".tmp";
+
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        error = vp::format("cannot open '%s' for writing", tmp.c_str());
+        return false;
+    }
+    if (testing::atomicWriteAbortAfterBytes != 0 &&
+        testing::atomicWriteAbortAfterBytes < bytes.size()) {
+        // Simulated crash: the torn prefix stays in the tmp file and
+        // the rename never happens, so `path` is untouched.
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(
+                      testing::atomicWriteAbortAfterBytes));
+        out.flush();
+        error = vp::format("simulated crash after %zu bytes",
+                           testing::atomicWriteAbortAfterBytes);
+        return false;
+    }
+    if (!out.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()))) {
+        error = vp::format("short write to '%s'", tmp.c_str());
+        out.close();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    out.flush();
+    if (!out) {
+        error = vp::format("flush of '%s' failed", tmp.c_str());
+        out.close();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    out.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = vp::format("rename '%s' -> '%s' failed", tmp.c_str(),
+                           path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace vp

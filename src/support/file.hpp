@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Atomic file writes: the tmp-then-rename pattern used by
+ * core::ProfileSnapshot::saveToFile, factored out so every artifact a
+ * crash could tear (stats sidecars, trace timelines, bench reports)
+ * can use it. A reader of `path` sees either the previous complete
+ * file or the new one — never a torn prefix — because rename(2) within
+ * a directory is atomic on POSIX.
+ */
+
+#ifndef VP_SUPPORT_FILE_HPP
+#define VP_SUPPORT_FILE_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace vp
+{
+
+/**
+ * Write `bytes` to `path` atomically: the contents go to `path.tmp`,
+ * are flushed, and the tmp file is renamed over `path` only once the
+ * write fully succeeded. On any failure the tmp file is removed (the
+ * simulated-crash test hook excepted) and `path` is untouched.
+ * @return true on success; false with a diagnosis in `error`.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &bytes,
+                     std::string &error);
+
+namespace testing
+{
+/**
+ * Crash-injection hook: when nonzero, atomicWriteFile aborts after
+ * writing this many bytes to the tmp file, before the rename — the
+ * torn prefix stays in the tmp file and the target is untouched.
+ * Always zero outside tests.
+ */
+extern std::size_t atomicWriteAbortAfterBytes;
+} // namespace testing
+
+} // namespace vp
+
+#endif // VP_SUPPORT_FILE_HPP

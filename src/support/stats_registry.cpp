@@ -58,6 +58,16 @@ counterName(Cid id)
       case Cid::ServeClientRetries: return "serve.client.retries";
       case Cid::ServeClientSpilledDeltas:
         return "serve.client.spilled_deltas";
+      case Cid::ServeFramesInV1: return "serve.frames_in_v1";
+      case Cid::ServeFramesInV2: return "serve.frames_in_v2";
+      case Cid::ServeHttpAccepts: return "serve.http.accepts";
+      case Cid::ServeHttpRequests: return "serve.http.requests";
+      case Cid::ServeHttpErrors: return "serve.http.errors";
+      case Cid::ServeHttpTimeouts: return "serve.http.timeouts";
+      case Cid::ServeHttpBytesIn: return "serve.http.bytes_in";
+      case Cid::ServeHttpBytesOut: return "serve.http.bytes_out";
+      case Cid::ServeHttpWatchWakeups:
+        return "serve.http.watch_wakeups";
       case Cid::NumCounters: break;
     }
     vp_panic("bad counter id %u", static_cast<unsigned>(id));
@@ -319,6 +329,57 @@ Registry::writeText(std::ostream &os) const
            << ", mean " << d.mean() << ", p50 " << d.quantile(0.5)
            << ", p99 " << d.quantile(0.99) << ", max " << d.max()
            << "\n";
+    }
+}
+
+namespace
+{
+
+/** "serve.http.bytes_in" -> "vp_serve_http_bytes_in". */
+std::string
+promName(const std::string &dotted)
+{
+    std::string out = "vp_";
+    for (const char c : dotted)
+        out += (c == '.' || c == '-') ? '_' : c;
+    return out;
+}
+
+void
+writePromNumber(std::ostream &os, double v)
+{
+    writeJsonNumber(os, v); // same rendering rules suit both formats
+}
+
+} // namespace
+
+void
+Registry::writeProm(std::ostream &os) const
+{
+    for (unsigned i = 0; i < counters.size(); ++i) {
+        const std::string name =
+            promName(counterName(static_cast<Cid>(i))) + "_total";
+        os << "# TYPE " << name << " counter\n"
+           << name << ' '
+           << counters[i].load(std::memory_order_relaxed) << '\n';
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[dotted, value] : gauges) {
+        const std::string name = promName(dotted);
+        os << "# TYPE " << name << " gauge\n" << name << ' ';
+        writePromNumber(os, value);
+        os << '\n';
+    }
+    for (const auto &[dotted, d] : dists) {
+        const std::string name = promName(dotted);
+        os << "# TYPE " << name << " summary\n";
+        os << name << "{quantile=\"0.5\"} ";
+        writePromNumber(os, d.quantile(0.5));
+        os << '\n' << name << "{quantile=\"0.99\"} ";
+        writePromNumber(os, d.quantile(0.99));
+        os << '\n' << name << "_sum ";
+        writePromNumber(os, d.mean() * static_cast<double>(d.count()));
+        os << '\n' << name << "_count " << d.count() << '\n';
     }
 }
 

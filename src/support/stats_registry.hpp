@@ -83,6 +83,15 @@ enum class Cid : unsigned
     ServeClientBytesSent,   ///< serve.client.bytes_sent
     ServeClientRetries,     ///< serve.client.retries — reconnect/backoff
     ServeClientSpilledDeltas,///< serve.client.spilled_deltas — local fallback
+    ServeFramesInV1,        ///< serve.frames_in_v1 — wire-v1 frames decoded
+    ServeFramesInV2,        ///< serve.frames_in_v2 — wire-v2 frames decoded
+    ServeHttpAccepts,       ///< serve.http.accepts — HTTP sessions accepted
+    ServeHttpRequests,      ///< serve.http.requests — HTTP requests served
+    ServeHttpErrors,        ///< serve.http.errors — 4xx/5xx responses
+    ServeHttpTimeouts,      ///< serve.http.timeouts — slowloris kills (408)
+    ServeHttpBytesIn,       ///< serve.http.bytes_in — request bytes read
+    ServeHttpBytesOut,      ///< serve.http.bytes_out — response bytes queued
+    ServeHttpWatchWakeups,  ///< serve.http.watch_wakeups — long-polls answered
 
     NumCounters
 };
@@ -189,6 +198,16 @@ class Registry
 
     /** Human-readable dump, nonzero metrics only. */
     void writeText(std::ostream &os) const;
+
+    /**
+     * Prometheus text exposition (format 0.0.4) of the whole registry:
+     * every counter as `vp_<name>_total` (dots become underscores, one
+     * `# TYPE` line each, zeros included so scrapes have a stable
+     * shape), every gauge as `vp_<name>`, every distribution as a
+     * summary (`{quantile="0.5"|"0.99"}`, `_sum`, `_count`). Callers
+     * append their own subsystem-specific gauge lines after it.
+     */
+    void writeProm(std::ostream &os) const;
 
   private:
     std::array<std::atomic<std::uint64_t>,

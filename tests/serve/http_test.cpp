@@ -1,0 +1,551 @@
+/**
+ * @file
+ * The HTTP query & metrics plane, both layers:
+ *
+ *  - HttpRequestParser / serializeHttpResponse as pure byte-level
+ *    units: byte-at-a-time feeding, pipelining, oversized and
+ *    malformed heads, percent-decoding, keep-alive negotiation,
+ *    Content-Length vs chunked framing;
+ *  - a live VpdServer with the plane enabled: paging cursors that
+ *    partition the aggregate exactly, /entity and /stats.json
+ *    contents, error statuses, the slowloris 408, /watch wakeup on
+ *    delta apply and /watch park timeout, keep-alive sessions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "serve/client.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+#include "support/socket.hpp"
+
+using namespace vp::serve;
+
+namespace
+{
+
+// --- parser-level helpers ------------------------------------------------
+
+HttpParseStatus
+feedAll(HttpRequestParser &parser, const std::string &bytes,
+        HttpRequest &req)
+{
+    parser.append(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                  bytes.size());
+    std::string error;
+    return parser.next(req, error);
+}
+
+// --- socket-level helpers ------------------------------------------------
+
+int
+connectTcp(const std::string &addr_text)
+{
+    vp::net::Address addr;
+    std::string error;
+    EXPECT_TRUE(vp::net::parseAddress(addr_text, addr, error)) << error;
+    const int fd = vp::net::connectTo(addr, error);
+    EXPECT_GE(fd, 0) << error;
+    return fd;
+}
+
+void
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const long n = ::send(fd, bytes.data() + sent,
+                              bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        ASSERT_GT(n, 0) << std::strerror(errno);
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+/** Read until the peer closes. */
+std::string
+recvToEof(int fd)
+{
+    std::string out;
+    char buf[4096];
+    while (true) {
+        const long n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+}
+
+/** Read exactly one Content-Length-framed response (keep-alive). */
+std::string
+recvOneResponse(int fd)
+{
+    std::string out;
+    char buf[4096];
+    std::size_t need = std::string::npos;
+    while (true) {
+        if (need == std::string::npos) {
+            const auto head_end = out.find("\r\n\r\n");
+            if (head_end != std::string::npos) {
+                const auto cl = out.find("Content-Length: ");
+                EXPECT_NE(cl, std::string::npos) << out;
+                need = head_end + 4 +
+                       static_cast<std::size_t>(
+                           std::atol(out.c_str() + cl + 16));
+            }
+        }
+        if (need != std::string::npos && out.size() >= need)
+            return out.substr(0, need);
+        const long n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return out;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+int
+statusOf(const std::string &reply)
+{
+    if (reply.rfind("HTTP/1.", 0) != 0 || reply.size() < 12)
+        return -1;
+    return std::atoi(reply.c_str() + 9);
+}
+
+std::string
+bodyOf(const std::string &reply)
+{
+    const auto p = reply.find("\r\n\r\n");
+    return p == std::string::npos ? "" : reply.substr(p + 4);
+}
+
+/** Blocking HTTP/1.0 GET (no chunking, close delimits the body). */
+std::string
+get(const std::string &addr, const std::string &target)
+{
+    const int fd = connectTcp(addr);
+    sendAll(fd, "GET " + target + " HTTP/1.0\r\n\r\n");
+    const std::string reply = recvToEof(fd);
+    vp::net::closeFd(fd);
+    return reply;
+}
+
+// --- a live daemon fixture ----------------------------------------------
+
+struct LiveVpd
+{
+    ServerConfig cfg;
+    std::unique_ptr<VpdServer> server;
+    std::thread loop;
+    std::string ingest;
+    std::string http;
+
+    explicit LiveVpd(HttpConfig http_cfg = HttpConfig{})
+    {
+        cfg.listenAddrs = {"127.0.0.1:0"};
+        cfg.httpAddrs = {"127.0.0.1:0"};
+        cfg.http = http_cfg;
+        server = std::make_unique<VpdServer>(cfg);
+        std::string error;
+        if (!server->start(error))
+            ADD_FAILURE() << error;
+        ingest = server->boundAddresses().front().str();
+        http = server->boundHttpAddresses().front().str();
+        loop = std::thread([this] {
+            std::string run_error;
+            if (!server->run(run_error))
+                ADD_FAILURE() << run_error;
+        });
+    }
+
+    ~LiveVpd()
+    {
+        server->requestStop();
+        loop.join();
+    }
+
+    /** Emit one snapshot as producer `id`, waiting for the ack. */
+    void emit(std::uint64_t id, core::ProfileSnapshot snap)
+    {
+        EmitterConfig ecfg;
+        ecfg.addr = ingest;
+        ecfg.producerId = id;
+        ProfileEmitter emitter(ecfg);
+        emitter.emit(std::move(snap));
+        EXPECT_TRUE(emitter.close());
+    }
+};
+
+core::EntitySummary
+makeSummary(std::uint64_t salt)
+{
+    core::EntitySummary s;
+    s.totalExecutions = 100 + salt * 13;
+    s.profiledExecutions = 90 + salt * 11;
+    s.invTop = 1.0 / static_cast<double>(salt % 7 + 2);
+    s.invAll = 0.25;
+    s.lvp = 0.5;
+    s.distinct = 1 + salt % 5;
+    s.topValues = {{salt * 17 + 1, 60 + salt}};
+    return s;
+}
+
+core::ProfileSnapshot
+makeSnapshot(std::uint64_t first_key, unsigned entities,
+             std::uint64_t salt)
+{
+    core::ProfileSnapshot snap;
+    for (unsigned e = 0; e < entities; ++e)
+        snap.entities[first_key + e] = makeSummary(salt + e);
+    return snap;
+}
+
+} // namespace
+
+// ---- parser units -------------------------------------------------------
+
+TEST(HttpParser, ParsesOneByteAtATime)
+{
+    const std::string raw = "GET /top?n=25&by=invariance HTTP/1.1\r\n"
+                            "Host: vpd\r\n"
+                            "X-Weird:   spaced value  \r\n"
+                            "\r\n";
+    HttpRequestParser parser;
+    HttpRequest req;
+    std::string error;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const auto byte = static_cast<std::uint8_t>(raw[i]);
+        parser.append(&byte, 1);
+        const auto st = parser.next(req, error);
+        if (i + 1 < raw.size())
+            ASSERT_EQ(st, HttpParseStatus::NeedMore) << i;
+        else
+            ASSERT_EQ(st, HttpParseStatus::Ok);
+    }
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.path, "/top");
+    EXPECT_EQ(req.param("n", ""), "25");
+    EXPECT_EQ(req.param("by", ""), "invariance");
+    EXPECT_EQ(req.headers.at("host"), "vpd");
+    EXPECT_EQ(req.headers.at("x-weird"), "spaced value");
+    EXPECT_TRUE(req.keepAlive);
+    EXPECT_FALSE(parser.midRequest());
+}
+
+TEST(HttpParser, YieldsPipelinedRequestsInOrder)
+{
+    HttpRequestParser parser;
+    HttpRequest req;
+    ASSERT_EQ(feedAll(parser,
+                      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n",
+                      req),
+              HttpParseStatus::Ok);
+    EXPECT_EQ(req.path, "/a");
+    std::string error;
+    ASSERT_EQ(parser.next(req, error), HttpParseStatus::Ok);
+    EXPECT_EQ(req.path, "/b");
+    ASSERT_EQ(parser.next(req, error), HttpParseStatus::NeedMore);
+}
+
+TEST(HttpParser, RejectsOversizedHeadAndStaysDead)
+{
+    HttpRequestParser parser(64);
+    HttpRequest req;
+    const std::string huge =
+        "GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'a');
+    ASSERT_EQ(feedAll(parser, huge, req), HttpParseStatus::TooLarge);
+    // The verdict is sticky even if a complete head arrives later.
+    ASSERT_EQ(feedAll(parser, "\r\n\r\n", req),
+              HttpParseStatus::TooLarge);
+}
+
+TEST(HttpParser, RejectsMalformedInput)
+{
+    {
+        HttpRequestParser parser;
+        HttpRequest req;
+        EXPECT_EQ(feedAll(parser, "NONSENSE\r\n\r\n", req),
+                  HttpParseStatus::Malformed);
+    }
+    {
+        HttpRequestParser parser;
+        HttpRequest req;
+        EXPECT_EQ(feedAll(parser, "GET / HTTP/2.0\r\n\r\n", req),
+                  HttpParseStatus::Malformed);
+    }
+    {
+        HttpRequestParser parser;
+        HttpRequest req; // bodies are not accepted on the query plane
+        EXPECT_EQ(feedAll(parser,
+                          "GET / HTTP/1.1\r\nContent-Length: 5\r\n"
+                          "\r\nhello",
+                          req),
+                  HttpParseStatus::Malformed);
+    }
+    {
+        HttpRequestParser parser;
+        HttpRequest req; // a bad escape in the path poisons the request
+        EXPECT_EQ(feedAll(parser, "GET /%zz HTTP/1.1\r\n\r\n", req),
+                  HttpParseStatus::Malformed);
+    }
+}
+
+TEST(HttpParser, NegotiatesKeepAlive)
+{
+    struct Case
+    {
+        const char *raw;
+        bool keepAlive;
+    };
+    const Case cases[] = {
+        {"GET / HTTP/1.1\r\n\r\n", true},
+        {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+        {"GET / HTTP/1.0\r\n\r\n", false},
+        {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+    };
+    for (const auto &c : cases) {
+        HttpRequestParser parser;
+        HttpRequest req;
+        ASSERT_EQ(feedAll(parser, c.raw, req), HttpParseStatus::Ok)
+            << c.raw;
+        EXPECT_EQ(req.keepAlive, c.keepAlive) << c.raw;
+    }
+}
+
+TEST(HttpParser, PercentDecodes)
+{
+    std::string out;
+    EXPECT_TRUE(percentDecode("/a%20b%2Fc", out));
+    EXPECT_EQ(out, "/a b/c");
+    EXPECT_TRUE(percentDecode("a+b", out, true));
+    EXPECT_EQ(out, "a b");
+    EXPECT_TRUE(percentDecode("a+b", out, false));
+    EXPECT_EQ(out, "a+b");
+    EXPECT_FALSE(percentDecode("bad%2", out));
+    EXPECT_FALSE(percentDecode("bad%zz", out));
+}
+
+TEST(HttpSerialize, FramesWithContentLengthAndChunks)
+{
+    HttpConfig cfg;
+    cfg.chunkThreshold = 16;
+    cfg.chunkBytes = 8;
+    HttpRequest req;
+    req.method = "GET";
+    req.minorVersion = 1;
+    req.keepAlive = true;
+
+    HttpResponse small;
+    small.body = "tiny";
+    const auto plain = serializeHttpResponse(req, small, cfg);
+    const std::string plain_text(plain.begin(), plain.end());
+    EXPECT_NE(plain_text.find("Content-Length: 4"), std::string::npos);
+    EXPECT_NE(plain_text.find("Connection: keep-alive"),
+              std::string::npos);
+    EXPECT_EQ(plain_text.substr(plain_text.size() - 4), "tiny");
+
+    HttpResponse big;
+    big.body = std::string(20, 'x');
+    const auto chunked = serializeHttpResponse(req, big, cfg);
+    const std::string chunk_text(chunked.begin(), chunked.end());
+    EXPECT_NE(chunk_text.find("Transfer-Encoding: chunked"),
+              std::string::npos);
+    EXPECT_NE(chunk_text.find("8\r\nxxxxxxxx\r\n"), std::string::npos);
+    EXPECT_NE(chunk_text.find("4\r\nxxxx\r\n"), std::string::npos);
+    EXPECT_NE(chunk_text.find("0\r\n\r\n"), std::string::npos);
+
+    // HTTP/1.0 requests never get chunked framing.
+    req.minorVersion = 0;
+    req.keepAlive = false;
+    const auto old = serializeHttpResponse(req, big, cfg);
+    const std::string old_text(old.begin(), old.end());
+    EXPECT_EQ(old_text.find("Transfer-Encoding"), std::string::npos);
+    EXPECT_NE(old_text.find("Content-Length: 20"), std::string::npos);
+
+    // HEAD gets the same headers and no body.
+    req.method = "HEAD";
+    req.minorVersion = 1;
+    const auto head = serializeHttpResponse(req, big, cfg);
+    const std::string head_text(head.begin(), head.end());
+    EXPECT_NE(head_text.find("Content-Length: 20"), std::string::npos);
+    EXPECT_EQ(head_text.find("xxxx"), std::string::npos);
+}
+
+// ---- end-to-end against a live daemon ----------------------------------
+
+TEST(HttpServe, ServesStatusAndErrors)
+{
+    LiveVpd vpd;
+    vpd.emit(1, makeSnapshot(100, 6, 1));
+
+    const std::string metrics = get(vpd.http, "/metrics");
+    EXPECT_EQ(statusOf(metrics), 200);
+    EXPECT_NE(bodyOf(metrics).find("vp_serve_entities 6"),
+              std::string::npos);
+    EXPECT_NE(bodyOf(metrics).find("vp_producer_last_seq{producer="
+                                   "\"1\"} 1"),
+              std::string::npos);
+
+    const std::string stats = get(vpd.http, "/stats.json");
+    EXPECT_EQ(statusOf(stats), 200);
+    EXPECT_NE(bodyOf(stats).find("\"entities\":6"), std::string::npos);
+    EXPECT_NE(bodyOf(stats).find("\"producers\":1"),
+              std::string::npos);
+
+    const std::string producers = get(vpd.http, "/producers");
+    EXPECT_EQ(statusOf(producers), 200);
+    EXPECT_NE(bodyOf(producers).find("\"last_seq\":1"),
+              std::string::npos);
+
+    const std::string entity = get(vpd.http, "/entity/100");
+    EXPECT_EQ(statusOf(entity), 200);
+    EXPECT_NE(bodyOf(entity).find("\"key\":100"), std::string::npos);
+    EXPECT_EQ(statusOf(get(vpd.http, "/entity/0x64")), 200);
+
+    EXPECT_EQ(statusOf(get(vpd.http, "/entity/999")), 404);
+    EXPECT_EQ(statusOf(get(vpd.http, "/entity/notakey")), 400);
+    EXPECT_EQ(statusOf(get(vpd.http, "/nosuch")), 404);
+    EXPECT_EQ(statusOf(get(vpd.http, "/top?n=0")), 400);
+    EXPECT_EQ(statusOf(get(vpd.http, "/top?by=magic")), 400);
+    EXPECT_EQ(statusOf(get(vpd.http, "/top?kind=banana")), 400);
+    EXPECT_EQ(statusOf(get(vpd.http, "/watch?since=bogus")), 400);
+
+    const int fd = connectTcp(vpd.http);
+    sendAll(fd, "POST /top HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+    EXPECT_EQ(statusOf(recvToEof(fd)), 405);
+    vp::net::closeFd(fd);
+}
+
+TEST(HttpServe, PagingCursorsPartitionTheAggregate)
+{
+    LiveVpd vpd;
+    vpd.emit(1, makeSnapshot(1000, 23, 3));
+    vpd.emit(2, makeSnapshot(1010, 23, 9)); // overlaps producer 1
+
+    const core::ProfileSnapshot agg = vpd.server->aggregate();
+    for (const char *by : {"count", "invariance"}) {
+        std::set<std::uint64_t> seen;
+        std::string cursor;
+        while (true) {
+            std::string target =
+                std::string("/top?n=7&by=") + by;
+            if (!cursor.empty())
+                target += "&cursor=" + cursor;
+            const std::string reply = get(vpd.http, target);
+            ASSERT_EQ(statusOf(reply), 200) << target;
+            const std::string body = bodyOf(reply);
+            // Collect every "key":N of the page; they must be new.
+            std::size_t pos = 0;
+            while ((pos = body.find("\"key\":", pos)) !=
+                   std::string::npos) {
+                const std::uint64_t key = std::strtoull(
+                    body.c_str() + pos + 6, nullptr, 10);
+                EXPECT_TRUE(seen.insert(key).second)
+                    << "duplicate key " << key << " (by=" << by << ")";
+                pos += 6;
+            }
+            const auto next = body.find("\"next_cursor\":\"");
+            if (next == std::string::npos)
+                break;
+            const auto start = next + 15;
+            cursor = body.substr(start,
+                                 body.find('"', start) - start);
+        }
+        // The union of all pages is exactly the aggregate.
+        EXPECT_EQ(seen.size(), agg.size()) << "by=" << by;
+        for (const auto &[key, summary] : agg.entities)
+            EXPECT_TRUE(seen.count(key)) << key << " by=" << by;
+    }
+}
+
+TEST(HttpServe, SlowlorisGets408)
+{
+    HttpConfig http;
+    http.headerTimeoutMs = 60;
+    LiveVpd vpd(http);
+
+    const int fd = connectTcp(vpd.http);
+    sendAll(fd, "GET /metrics HTTP/1.1\r\nX-Dribble: a"); // no end
+    const std::string reply = recvToEof(fd); // server must kill us
+    EXPECT_EQ(statusOf(reply), 408);
+    vp::net::closeFd(fd);
+}
+
+TEST(HttpServe, OversizedHeadGets431)
+{
+    HttpConfig http;
+    http.maxHeaderBytes = 256;
+    LiveVpd vpd(http);
+
+    const int fd = connectTcp(vpd.http);
+    sendAll(fd, "GET / HTTP/1.1\r\nX-Pad: " +
+                    std::string(1024, 'a') + "\r\n\r\n");
+    EXPECT_EQ(statusOf(recvToEof(fd)), 431);
+    vp::net::closeFd(fd);
+}
+
+TEST(HttpServe, WatchWakesOnDeltaApply)
+{
+    LiveVpd vpd;
+    std::string reply;
+    std::thread watcher([&] {
+        reply = get(vpd.http, "/watch?since=0");
+    });
+    // Give the long-poll time to park, then apply a delta.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    vpd.emit(7, makeSnapshot(500, 3, 2));
+    watcher.join();
+    EXPECT_EQ(statusOf(reply), 200);
+    EXPECT_NE(bodyOf(reply).find("\"changed\":true"),
+              std::string::npos);
+    EXPECT_NE(bodyOf(reply).find("\"id\":7"), std::string::npos);
+}
+
+TEST(HttpServe, WatchParkTimesOutUnchanged)
+{
+    HttpConfig http;
+    http.watchTimeoutMs = 60;
+    LiveVpd vpd(http);
+
+    const auto before = std::chrono::steady_clock::now();
+    const std::string reply = get(vpd.http, "/watch");
+    const auto waited = std::chrono::steady_clock::now() - before;
+    EXPECT_EQ(statusOf(reply), 200);
+    EXPECT_NE(bodyOf(reply).find("\"changed\":false"),
+              std::string::npos);
+    EXPECT_GE(waited, std::chrono::milliseconds(40));
+}
+
+TEST(HttpServe, KeepAliveSessionServesSequentialRequests)
+{
+    LiveVpd vpd;
+    vpd.emit(1, makeSnapshot(10, 2, 1));
+
+    const int fd = connectTcp(vpd.http);
+    sendAll(fd, "GET /producers HTTP/1.1\r\n\r\n");
+    const std::string first = recvOneResponse(fd);
+    EXPECT_EQ(statusOf(first), 200);
+    EXPECT_NE(first.find("Connection: keep-alive"), std::string::npos);
+
+    sendAll(fd, "GET /entity/10 HTTP/1.1\r\nConnection: close\r\n\r\n");
+    const std::string second = recvToEof(fd);
+    EXPECT_EQ(statusOf(second), 200);
+    EXPECT_NE(second.find("\"key\":10"), std::string::npos);
+    vp::net::closeFd(fd);
+}

@@ -1,20 +1,26 @@
 #!/usr/bin/env python3
 """Validate vpprof/vpd observability output in CI.
 
-Usage: check_stats_json.py [--profile NAME] STATS_JSON [TRACE_JSON]
+Usage: check_stats_json.py [--profile NAME] [--metrics PROM_TEXT]
+                           STATS_JSON [TRACE_JSON [WORKERS]]
 
 Checks the stats sidecar against the schema documented in DESIGN.md
 ("Observability") and, when given, the trace file against the Chrome
-trace-event shape Perfetto loads. Exits nonzero with a message on the
-first violation.
+trace-event shape Perfetto loads, and a Prometheus text exposition
+(`GET /metrics` capture) against the 0.0.4 format. Exits nonzero with
+a message on the first violation.
 
 Profiles select which counters the run under test must have actually
 exercised:
   suite  (default) — the `vpprof --workload all --mode sampled` smoke
   vpd              — the `vpd` loopback smoke (streaming aggregation)
+  vpd-http         — a `vpd --http` smoke probed over HTTP; STATS_JSON
+                     is a captured `GET /stats.json` body (the checker
+                     unwraps its {"server":..., "stats":...} envelope)
 """
 
 import json
+import re
 import sys
 
 # Counters each smoke run must actually exercise; everything else only
@@ -44,6 +50,18 @@ PROFILES = {
         ],
         "dists": ["serve.merge_us"],
     },
+    "vpd-http": {
+        "nonzero": [
+            "serve.accepts",
+            "serve.frames_in",
+            "serve.deltas_merged",
+            "serve.http.accepts",
+            "serve.http.requests",
+            "serve.http.bytes_in",
+            "serve.http.bytes_out",
+        ],
+        "dists": ["serve.merge_us", "serve.ack_us"],
+    },
 }
 
 DIST_FIELDS = ["count", "min", "max", "mean", "p50", "p99"]
@@ -57,6 +75,18 @@ def fail(msg):
 def check_stats(path, profile):
     with open(path) as f:
         stats = json.load(f)
+
+    if profile == "vpd-http":
+        # /stats.json wraps the registry dump in a server envelope.
+        for key in ["server", "stats"]:
+            if key not in stats:
+                fail(f"{path}: missing /stats.json key '{key}'")
+        server = stats["server"]
+        for key in ["producers", "deltas", "entities", "apply_seq",
+                    "uptime_seconds"]:
+            if key not in server:
+                fail(f"{path}: /stats.json server lacks '{key}'")
+        stats = stats["stats"]
 
     for key in ["version", "counters", "gauges", "distributions"]:
         if key not in stats:
@@ -89,7 +119,14 @@ def check_stats(path, profile):
             fail(f"{path}: shard_wall_us count "
                  f"{dists['runner.shard_wall_us']['count']} != "
                  f"runner.jobs {jobs}")
-    if profile == "vpd":
+    if profile == "vpd-http":
+        # A read-only probe must not trip error paths; anything else
+        # means the smoke's requests were mangled in flight.
+        for name in ["serve.http.errors", "serve.http.timeouts"]:
+            if counters.get(name, 0) != 0:
+                fail(f"{path}: counter {name} is {counters[name]} — "
+                     "the HTTP smoke sent only valid requests")
+    if profile in ("vpd", "vpd-http"):
         # The daemon counts one merge per accepted delta; every merged
         # delta arrived as an inbound frame.
         merged = counters["serve.deltas_merged"]
@@ -106,6 +143,77 @@ def check_stats(path, profile):
                  "smoke sent no corrupt frames")
     print(f"check_stats_json: {path} OK [{profile}] "
           f"({sum(1 for v in counters.values() if v)} nonzero counters)")
+
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[0-9.eE+-]+|nan|[+-]?inf)$")
+
+
+def check_metrics(path):
+    """Validate a Prometheus 0.0.4 text exposition (/metrics body)."""
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    types = {}       # family -> declared type
+    sampled = set()  # family names that actually carry samples
+    for lineno, line in enumerate(lines, 1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "summary", "histogram"):
+                fail(f"{path}:{lineno}: bad TYPE line: {line!r}")
+            if parts[2] in types:
+                fail(f"{path}:{lineno}: family {parts[2]} declared "
+                     "twice")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{path}:{lineno}: unparseable sample: {line!r}")
+        name = m.group("name")
+        # Summary quantile samples use the family name itself; _sum
+        # and _count suffixes belong to the family without them.
+        family = name
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                family = name[:-len(suffix)]
+        if family not in types:
+            fail(f"{path}:{lineno}: sample {name} has no TYPE line")
+        sampled.add(family)
+        float(m.group("value").replace("inf", "Infinity")
+              if "inf" in m.group("value") else m.group("value"))
+
+    for family, kind in types.items():
+        if family not in sampled:
+            fail(f"{path}: family {family} ({kind}) has no samples")
+
+    def value_of(sample_name):
+        for line in lines:
+            if line.startswith(sample_name + " "):
+                return float(line.rsplit(" ", 1)[1])
+        return None
+
+    # The scrape itself increments this counter, so a live /metrics
+    # body can never carry a zero here.
+    reqs = value_of("vp_serve_http_requests_total")
+    if reqs is None or reqs < 1:
+        fail(f"{path}: vp_serve_http_requests_total missing or zero")
+    for family, kind in types.items():
+        if kind != "summary":
+            continue
+        for suffix in ("_sum", "_count"):
+            if not any(line.startswith(family + suffix + " ")
+                       for line in lines):
+                fail(f"{path}: summary {family} lacks {suffix}")
+    print(f"check_stats_json: {path} OK ({len(types)} families, "
+          f"{sum(1 for k in types.values() if k == 'summary')} "
+          "summaries)")
 
 
 def check_trace(path, expect_workers=None):
@@ -140,16 +248,23 @@ def check_trace(path, expect_workers=None):
 def main(argv):
     args = argv[1:]
     profile = "suite"
-    if args and args[0] == "--profile":
-        if len(args) < 2 or args[1] not in PROFILES:
+    metrics = None
+    while args and args[0].startswith("--"):
+        if args[0] == "--profile" and len(args) >= 2 \
+                and args[1] in PROFILES:
+            profile = args[1]
+        elif args[0] == "--metrics" and len(args) >= 2:
+            metrics = args[1]
+        else:
             print(__doc__, file=sys.stderr)
             return 2
-        profile = args[1]
         args = args[2:]
     if len(args) < 1 or len(args) > 3:
         print(__doc__, file=sys.stderr)
         return 2
     check_stats(args[0], profile)
+    if metrics is not None:
+        check_metrics(metrics)
     if len(args) >= 2:
         workers = int(args[2]) if len(args) == 3 else None
         check_trace(args[1], workers)

@@ -21,10 +21,17 @@
 # memory and threading bugs, plus a vpd loopback smoke: vpprof --emit
 # streams a profile through a live vpd daemon over a unix socket and
 # the served snapshot must be byte-identical to a local --save (the
-# aggregation service's determinism contract under sanitizers). The
-# ASan leg also runs a table_compression smoke gated against the
-# committed BENCH_compression.json — bytes/entity is deterministic,
-# so the density budget holds under the sanitizer too.
+# aggregation service's determinism contract under sanitizers), and a
+# vpd HTTP smoke: curl probes of the query plane (/metrics, /top,
+# /producers, /watch, /stats.json) against a live daemon, with the
+# /stats.json totals cross-checked against a control-plane QUERY
+# reply and the captured bodies schema-checked by
+# tools/check_stats_json.py --profile vpd-http. The ASan leg also
+# runs a table_compression smoke gated against the committed
+# BENCH_compression.json — bytes/entity is deterministic, so the
+# density budget holds under the sanitizer too. The plain build gates
+# a table_serve smoke (ingest ack p99 under HTTP load over baseline)
+# against BENCH_serve.json.
 #
 # Each configuration builds into build-ci-<name>/ so sanitized builds
 # never pollute the main build/ tree.
@@ -62,16 +69,21 @@ vpcheck_smoke() {
 
 # Measure the profiled-execution hot path (smoke shape: three
 # workloads; 5 reps, best kept, so scheduler noise on a loaded CI box
-# is filtered out) and gate on the committed baseline: a suite-geomean
-# throughput drop beyond 15% fails the leg. Per-workload jitter only
-# warns — see tools/bench_compare.py.
+# is filtered out) and gate the *slowdown ratios*
+# (native/attached|full|sampled) on the committed baseline. Host
+# co-tenancy on the single-core CI VM swings the same binary's
+# absolute insts/s by 2x between runs, so bench_compare.py derives
+# the same-run ratios instead — machine speed cancels, and a hot-path
+# regression is exactly what moves them. Raw throughput drops only
+# warn. The 25% budget covers the ~10% residual ratio jitter measured
+# across co-tenancy extremes.
 hotpath_compare_smoke() {
     local dir="$1"
     echo "=== [${dir}] hotpath bench compare ==="
     "$dir/bench/table_hotpath" --smoke --reps 5 \
         --out "$dir/bench-hotpath-smoke.json"
     python3 tools/bench_compare.py BENCH_hotpath.json \
-        "$dir/bench-hotpath-smoke.json"
+        "$dir/bench-hotpath-smoke.json" --max-regress 25
 }
 
 # Sanitized legs just drive the hot path end to end (threaded dispatch,
@@ -131,6 +143,80 @@ vpd_loopback_smoke() {
     fi
 }
 
+# Probe the HTTP query plane of a live daemon: every read endpoint
+# must answer, /watch must report the applied delta, and the
+# /stats.json server totals must agree with what the binary
+# control-plane QUERY verb reports — one daemon, two front ends, one
+# truth. The captured /metrics and /stats.json bodies go through the
+# schema checker's vpd-http profile.
+vpd_http_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] vpd http smoke ==="
+    local sock="$dir/vpd-http-smoke.sock"
+    local log="$dir/vpd-http-smoke.log"
+    rm -f "$sock" "$log" "$dir"/vpd-http-*.json \
+        "$dir/vpd-http-metrics.txt" "$dir/vpd-http-query.txt"
+    "$dir/tools/vpd" --listen "unix:$sock" --http 127.0.0.1:0 \
+        > "$log" &
+    local vpd_pid=$!
+    local url=""
+    for _ in $(seq 100); do
+        url="$(sed -n 's/^vpd: http on //p' "$log" | head -n 1)"
+        [ -n "$url" ] && [ -S "$sock" ] && break
+        sleep 0.1
+    done
+    if [ -z "$url" ]; then
+        echo "vpd http smoke: daemon never bound an HTTP port" >&2
+        return 1
+    fi
+    "$dir/tools/vpprof" --workload crc --emit "unix:$sock" > /dev/null
+    curl -fsS "http://$url/metrics" > "$dir/vpd-http-metrics.txt"
+    curl -fsS "http://$url/top?n=5&by=invariance" \
+        > "$dir/vpd-http-top.json"
+    grep -q '"entries":\[' "$dir/vpd-http-top.json"
+    curl -fsS "http://$url/producers" > "$dir/vpd-http-producers.json"
+    grep -q '"producers":\[' "$dir/vpd-http-producers.json"
+    curl -fsS "http://$url/watch?since=0" > "$dir/vpd-http-watch.json"
+    grep -q '"changed":true' "$dir/vpd-http-watch.json"
+    curl -fsS "http://$url/stats.json" > "$dir/vpd-http-stats.json"
+    "$dir/tools/vpd" --connect "unix:$sock" --cmd query \
+        > "$dir/vpd-http-query.txt"
+    python3 - "$dir/vpd-http-stats.json" "$dir/vpd-http-query.txt" \
+        <<'PYEOF'
+import json, sys
+server = json.load(open(sys.argv[1]))["server"]
+control = dict(line.split() for line in open(sys.argv[2])
+               if line.strip())
+for key in ("producers", "deltas", "entities", "dropped_stores",
+            "dropped_loads"):
+    if server[key] != int(control[key]):
+        sys.exit(f"vpd http smoke: {key}: /stats.json {server[key]} "
+                 f"!= QUERY {control[key]}")
+print("vpd http smoke: /stats.json totals match the QUERY reply")
+PYEOF
+    python3 tools/check_stats_json.py --profile vpd-http \
+        --metrics "$dir/vpd-http-metrics.txt" "$dir/vpd-http-stats.json"
+    "$dir/tools/vpd" --connect "unix:$sock" --cmd shutdown
+    wait "$vpd_pid"
+}
+
+# Drive ingest with and without concurrent HTTP query load and gate
+# the ack-latency interference ratio against the committed baseline.
+# The ratio is loaded-over-bare p99, so it is machine-speed
+# invariant; only timing-meaningful (unsanitized) legs run it. The
+# budget is deliberately loose: on a small CI box the ratio's tail is
+# scheduler timeslices, so the gate is there to catch
+# order-of-magnitude interference regressions (a broken response
+# cache or fold), not single-digit drift.
+serve_compare_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] serve bench compare ==="
+    "$dir/bench/table_serve" --smoke \
+        --out "$dir/bench-serve-smoke.json"
+    python3 tools/bench_compare.py BENCH_serve.json \
+        "$dir/bench-serve-smoke.json" --max-regress 200
+}
+
 run_config() {
     local san="$1"
     local dir="build-ci-${san}"
@@ -147,19 +233,22 @@ run_config() {
     if [ "$san" = "thread" ]; then
         # TSan leg: the concurrency-sensitive suites — the
         # stats/trace/logging tests, the pool, the runner, and the
-        # streaming service (daemon loop + emitter threads).
+        # streaming service (daemon loop + emitter threads + HTTP
+        # query plane).
         ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
-            -R 'Stats|Trace|Logging|ThreadPool|ParallelRunner|Serve|Wire'
+            -R 'Stats|Trace|Logging|ThreadPool|ParallelRunner|Serve|Wire|Http'
     else
         ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
     fi
     if [ "$san" = "none" ]; then
         observability_smoke "$dir"
         hotpath_compare_smoke "$dir"
+        serve_compare_smoke "$dir"
     fi
     if [ "$san" = "address" ] || [ "$san" = "thread" ]; then
         vpcheck_smoke "$dir"
         vpd_loopback_smoke "$dir"
+        vpd_http_smoke "$dir"
         hotpath_sanitizer_smoke "$dir"
     fi
     if [ "$san" = "address" ]; then

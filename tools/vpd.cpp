@@ -3,16 +3,19 @@
  * vpd — the profile-aggregation daemon and its control client.
  *
  * Daemon mode:
- *   vpd --listen ADDR [--listen ADDR ...] [--snapshot-out FILE]
- *       [--snapshot-interval SEC] [--max-clients N]
- *       [--stats[=text|json]] [--stats-out FILE]
+ *   vpd --listen ADDR [--listen ADDR ...] [--http ADDR ...]
+ *       [--snapshot-out FILE] [--snapshot-interval SEC]
+ *       [--max-clients N] [--stats[=text|json]] [--stats-out FILE]
  *
  *   Runs the VpdServer event loop on the calling thread until a
  *   SHUTDOWN frame arrives or SIGINT/SIGTERM is delivered. ADDR is
  *   "host:port" (port 0 = ephemeral; the bound address is printed) or
  *   "unix:PATH". The aggregate is persisted atomically to
  *   --snapshot-out on FLUSH, on shutdown, and every
- *   --snapshot-interval seconds while dirty.
+ *   --snapshot-interval seconds while dirty. --http adds the live
+ *   query & metrics plane (GET /metrics, /stats.json, /top, /entity,
+ *   /producers, /watch) on the same event loop; it implies stats
+ *   collection so /metrics is never a page of zeros.
  *
  * Control mode:
  *   vpd --connect ADDR --cmd query|snapshot|flush|shutdown
@@ -27,13 +30,14 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "support/file.hpp"
 #include "support/logging.hpp"
 #include "support/stats_registry.hpp"
 
@@ -53,7 +57,7 @@ onSignal(int)
 usage()
 {
     std::cerr <<
-        "usage: vpd --listen ADDR [--listen ADDR ...]\n"
+        "usage: vpd --listen ADDR [--listen ADDR ...] [--http ADDR ...]\n"
         "           [--snapshot-out FILE] [--snapshot-interval SEC]\n"
         "           [--max-clients N] [--stats[=text|json]]\n"
         "           [--stats-out FILE]\n"
@@ -66,6 +70,7 @@ usage()
 struct Options
 {
     std::vector<std::string> listen;
+    std::vector<std::string> http;
     std::string snapshotOut;
     double snapshotInterval = 0.0;
     std::size_t maxClients = 64;
@@ -89,6 +94,8 @@ parse(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--listen")
             opt.listen.push_back(need(i));
+        else if (arg == "--http")
+            opt.http.push_back(need(i));
         else if (arg == "--snapshot-out")
             opt.snapshotOut = need(i);
         else if (arg == "--snapshot-interval")
@@ -125,11 +132,13 @@ parse(int argc, char **argv)
 int
 runDaemon(const Options &opt)
 {
-    if (!opt.statsFormat.empty() || !opt.statsOut.empty())
+    if (!opt.statsFormat.empty() || !opt.statsOut.empty() ||
+        !opt.http.empty())
         vp::stats::setEnabled(true);
 
     vp::serve::ServerConfig cfg;
     cfg.listenAddrs = opt.listen;
+    cfg.httpAddrs = opt.http;
     cfg.snapshotPath = opt.snapshotOut;
     cfg.snapshotIntervalSec = opt.snapshotInterval;
     cfg.maxClients = opt.maxClients;
@@ -140,6 +149,8 @@ runDaemon(const Options &opt)
         vp_fatal("%s", error.c_str());
     for (const auto &addr : server.boundAddresses())
         std::cout << "vpd: listening on " << addr.str() << std::endl;
+    for (const auto &addr : server.boundHttpAddresses())
+        std::cout << "vpd: http on " << addr.str() << std::endl;
 
     g_server = &server;
     std::signal(SIGINT, onSignal);
@@ -153,10 +164,10 @@ runDaemon(const Options &opt)
               << " producer(s) aggregated)" << std::endl;
 
     if (!opt.statsOut.empty()) {
-        std::ofstream out(opt.statsOut);
-        if (!out)
-            vp_fatal("cannot write '%s'", opt.statsOut.c_str());
-        vp::stats::global().writeJson(out);
+        std::ostringstream body;
+        vp::stats::global().writeJson(body);
+        if (!vp::atomicWriteFile(opt.statsOut, body.str(), error))
+            vp_fatal("%s", error.c_str());
     }
     if (opt.statsFormat == "json")
         vp::stats::global().writeJson(std::cout);

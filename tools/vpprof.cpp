@@ -61,6 +61,7 @@
 #include "core/report.hpp"
 #include "core/snapshot.hpp"
 #include "serve/client.hpp"
+#include "support/file.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
 #include "support/stats_registry.hpp"
@@ -382,13 +383,17 @@ runSuite(const Options &opt)
 void
 emitObservability(const Options &opt)
 {
+    // Both files are written atomically (tmp + rename): a vpprof run
+    // killed mid-dump leaves a consumer either the previous complete
+    // file or none, never a torn JSON document.
+    std::string error;
     if (opt.wantStats()) {
         const vp::stats::Registry &reg = vp::stats::global();
         if (!opt.statsOut.empty()) {
-            std::ofstream out(opt.statsOut);
-            if (!out)
-                vp_fatal("cannot write '%s'", opt.statsOut.c_str());
-            reg.writeJson(out);
+            std::ostringstream body;
+            reg.writeJson(body);
+            if (!vp::atomicWriteFile(opt.statsOut, body.str(), error))
+                vp_fatal("%s", error.c_str());
         }
         if (opt.statsFormat == "json")
             reg.writeJson(std::cout);
@@ -396,10 +401,10 @@ emitObservability(const Options &opt)
             reg.writeText(std::cout);
     }
     if (!opt.traceOut.empty()) {
-        std::ofstream out(opt.traceOut);
-        if (!out)
-            vp_fatal("cannot write '%s'", opt.traceOut.c_str());
-        vp::trace::TraceCollector::global().writeJson(out);
+        std::ostringstream body;
+        vp::trace::TraceCollector::global().writeJson(body);
+        if (!vp::atomicWriteFile(opt.traceOut, body.str(), error))
+            vp_fatal("%s", error.c_str());
     }
 }
 
