@@ -1,0 +1,766 @@
+#include "check/soak.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
+#include <map>
+#include <sstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "check/generator.hpp"
+#include "check/seed.hpp"
+#include "core/instruction_profiler.hpp"
+#include "core/snapshot.hpp"
+#include "instrument/image.hpp"
+#include "instrument/manager.hpp"
+#include "serve/client.hpp"
+#include "support/file.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/socket.hpp"
+#include "support/strings.hpp"
+#include "vpsim/cpu.hpp"
+
+namespace vp::check
+{
+
+namespace
+{
+
+using clock_t_ = std::chrono::steady_clock;
+
+void
+sleepMs(unsigned ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::string
+snapText(const core::ProfileSnapshot &snap)
+{
+    std::ostringstream os;
+    snap.save(os);
+    return os.str();
+}
+
+/** Fork + exec with stdout/stderr appended to a per-process log. */
+pid_t
+spawnProcess(const std::vector<std::string> &args,
+             const std::string &log_path)
+{
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    const int fd = ::open(log_path.c_str(),
+                          O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        if (fd > 2)
+            ::close(fd);
+    }
+    ::execv(argv[0], argv.data());
+    _exit(127);
+}
+
+/** Wait until `addr_text` accepts a connection (a freshly exec'd vpd
+ *  binding its unix socket). */
+bool
+probeAddr(const std::string &addr_text, unsigned timeout_ms)
+{
+    net::Address addr;
+    std::string err;
+    if (!net::parseAddress(addr_text, addr, err))
+        return false;
+    const auto deadline =
+        clock_t_::now() + std::chrono::milliseconds(timeout_ms);
+    while (clock_t_::now() < deadline) {
+        const int fd = net::connectTo(addr, err);
+        if (fd >= 0) {
+            net::closeFd(fd);
+            return true;
+        }
+        sleepMs(10);
+    }
+    return false;
+}
+
+/** What the daemon actually applies from a delta encoded in
+ *  `version`: the encode/decode round trip (v1 drops the
+ *  dropped-access counters; v2 is bit-exact). */
+core::ProfileSnapshot
+roundTripped(const serve::Delta &d, std::uint16_t version)
+{
+    const auto bytes = serve::encodeDelta(d, version);
+    serve::Frame frame;
+    std::size_t consumed = 0;
+    std::string err;
+    const auto st = serve::tryDecode(bytes.data(), bytes.size(),
+                                     frame, consumed, err);
+    vp_assert(st == serve::DecodeStatus::Ok,
+              "soak oracle: encoded delta failed to decode");
+    serve::Delta back;
+    const bool ok = serve::decodeDelta(frame, back, err);
+    vp_assert(ok, "soak oracle: delta payload failed to decode");
+    return std::move(back.entities);
+}
+
+/** Best-effort recursive removal of the flat scratch directory. */
+void
+removeWorkDir(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d != nullptr) {
+        while (const dirent *ent = ::readdir(d)) {
+            const std::string name = ent->d_name;
+            if (name == "." || name == "..")
+                continue;
+            ::unlink((dir + "/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
+} // namespace
+
+std::string
+SoakSchedule::text() const
+{
+    std::ostringstream os;
+    for (const auto &e : events) {
+        os << "after " << e.afterMs << "ms ";
+        switch (e.kind) {
+          case SoakEvent::Kind::KillProducer:
+            os << "kill-producer " << e.target;
+            break;
+          case SoakEvent::Kind::KillDaemon:
+            os << "kill-daemon " << e.target;
+            break;
+          case SoakEvent::Kind::CorruptFrame:
+            os << "corrupt-frame " << e.target;
+            break;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+SoakSchedule
+buildSoakSchedule(const SoakConfig &cfg)
+{
+    SoakSchedule sched;
+    std::vector<SoakEvent::Kind> kinds;
+    if (cfg.killProducers && cfg.producers > 0)
+        kinds.push_back(SoakEvent::Kind::KillProducer);
+    if (cfg.killDaemons)
+        kinds.push_back(SoakEvent::Kind::KillDaemon);
+    if (cfg.corruptFrames)
+        kinds.push_back(SoakEvent::Kind::CorruptFrame);
+    if (kinds.empty())
+        return sched;
+    const unsigned nonroot =
+        cfg.leaves + (cfg.levels >= 3 ? cfg.mids : 0);
+    vp::Rng rng(cfg.seed ^ 0x50414B5C4A0ull);
+    for (unsigned i = 0; i < cfg.faultEvents; ++i) {
+        SoakEvent e;
+        e.kind = kinds[rng.below(kinds.size())];
+        e.afterMs =
+            cfg.eventGapMs / 2 +
+            static_cast<unsigned>(
+                rng.below(std::max(1u, cfg.eventGapMs)));
+        switch (e.kind) {
+          case SoakEvent::Kind::KillProducer:
+            e.target = static_cast<unsigned>(
+                rng.below(cfg.producers));
+            break;
+          case SoakEvent::Kind::KillDaemon:
+            e.target = static_cast<unsigned>(
+                rng.below(std::max(1u, nonroot)));
+            break;
+          case SoakEvent::Kind::CorruptFrame:
+            // 0 targets the root, 1.. the non-root daemons.
+            e.target = static_cast<unsigned>(
+                rng.below(1 + nonroot));
+            break;
+        }
+        sched.events.push_back(e);
+    }
+    return sched;
+}
+
+std::vector<serve::Delta>
+soakProducerDeltas(std::uint64_t seed, unsigned index, unsigned count)
+{
+    std::vector<serve::Delta> out;
+    out.reserve(count);
+    for (unsigned k = 0; k < count; ++k) {
+        GenConfig gc;
+        gc.minProcs = 1;
+        gc.maxProcs = 2;
+        gc.minBlocks = 2;
+        gc.maxBlocks = 4;
+        gc.minInstsPerBlock = 2;
+        gc.maxInstsPerBlock = 5;
+        gc.calls = 8;
+        gc.dataWords = 8;
+        // Phase shift: the bound hot value moves every second delta,
+        // so a producer's value distribution changes mid-stream.
+        gc.bindValue = 7 + static_cast<long long>(k / 2);
+        const Generated gen = generate(
+            trialSeed(seed,
+                      static_cast<std::uint64_t>(index) * 1000 + k),
+            gc);
+        instr::Image image(gen.program);
+        instr::InstrumentManager mgr(image);
+        core::InstProfilerConfig pcfg;
+        pcfg.mode = core::ProfileMode::Full;
+        core::InstructionProfiler prof(image, pcfg);
+        prof.profileInsts(mgr, image.regWritingInsts());
+        vpsim::Cpu cpu(gen.program, vpsim::CpuConfig{});
+        mgr.attach(cpu);
+        cpu.run();
+        serve::Delta d;
+        d.producerId = index + 1;
+        d.seq = k + 1;
+        d.entities =
+            core::ProfileSnapshot::fromInstructionProfiler(prof);
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+int
+runSoakProducer(const SoakProducerOptions &opt)
+{
+    auto deltas = soakProducerDeltas(opt.seed, opt.index, opt.count);
+    // A previous incarnation may have left a spill: replay it first
+    // (original ids and seqs), then re-emit the whole deterministic
+    // stream — the daemon deduplicates whatever already landed.
+    std::vector<serve::Delta> replay;
+    if (!opt.spillPath.empty()) {
+        std::string why;
+        if (serve::readSpill(opt.spillPath, replay, why)) {
+            ::unlink(opt.spillPath.c_str());
+            if (!why.empty())
+                vp_warn("soak producer %u: spill tail: %s",
+                        opt.index, why.c_str());
+        }
+    }
+    serve::EmitterConfig ec;
+    ec.addr = opt.addr;
+    ec.producerId = opt.index + 1;
+    ec.spillPath = opt.spillPath;
+    ec.wireVersion = opt.wireVersion;
+    ec.maxRetries = opt.maxRetries;
+    ec.backoffBaseMs = 20;
+    ec.backoffMaxMs = 250;
+    ec.batchIntervalMs = 5;
+    serve::ProfileEmitter emitter(ec);
+    for (auto &d : replay)
+        emitter.emitDelta(std::move(d));
+    for (auto &d : deltas) {
+        emitter.emitDelta(std::move(d));
+        if (opt.dwellMs > 0)
+            sleepMs(opt.dwellMs); // leave a window for SIGKILL
+    }
+    return emitter.close() ? 0 : 3;
+}
+
+SoakResult
+runSoak(const SoakConfig &cfg)
+{
+    SoakResult res;
+    const SoakSchedule sched = buildSoakSchedule(cfg);
+    res.scheduleText = sched.text();
+
+    if (cfg.producers == 0 || cfg.leaves == 0 ||
+        cfg.deltasPerProducer == 0 || cfg.levels < 2 ||
+        cfg.levels > 3 || (cfg.levels == 3 && cfg.mids == 0)) {
+        res.detail = "bad soak config: producers/leaves/deltas must "
+                     "be >= 1 and levels 2 or 3 (with mids >= 1)";
+        return res;
+    }
+    if (cfg.vpdPath.empty() ||
+        ::access(cfg.vpdPath.c_str(), X_OK) != 0) {
+        res.detail = "vpd binary not executable: '" + cfg.vpdPath +
+                     "' (pass --vpd)";
+        return res;
+    }
+    if (cfg.vpcheckPath.empty() ||
+        ::access(cfg.vpcheckPath.c_str(), X_OK) != 0) {
+        res.detail =
+            "vpcheck binary not executable: '" + cfg.vpcheckPath + "'";
+        return res;
+    }
+
+    std::string wd = cfg.workDir;
+    if (wd.empty()) {
+        const char *tmp = std::getenv("TMPDIR");
+        std::string tmpl =
+            std::string(tmp && *tmp ? tmp : "/tmp") + "/vpsoak-XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (::mkdtemp(buf.data()) == nullptr) {
+            res.detail = vp::format("mkdtemp: %s",
+                                    std::strerror(errno));
+            return res;
+        }
+        wd.assign(buf.data());
+    } else {
+        ::mkdir(wd.c_str(), 0755);
+    }
+    res.workDir = wd;
+
+    const auto wireFor = [&](unsigned i) -> std::uint16_t {
+        return (cfg.mixedVersions && i % 2 == 1)
+                   ? 1
+                   : serve::kWireVersion;
+    };
+
+    // The serial oracle: per producer, fold the round-tripped deltas
+    // in seq order; then fold the producers in ascending-id order —
+    // exactly the merge tree the daemon hierarchy preserves.
+    core::ProfileSnapshot oracle;
+    for (unsigned i = 0; i < cfg.producers; ++i) {
+        core::ProfileSnapshot part;
+        for (const auto &d :
+             soakProducerDeltas(cfg.seed, i, cfg.deltasPerProducer))
+            part.merge(roundTripped(d, wireFor(i)));
+        oracle.merge(part);
+    }
+    const std::string want = snapText(oracle);
+
+    // --- process bookkeeping ------------------------------------
+    struct DaemonState
+    {
+        std::string name;
+        std::string addrText;
+        std::vector<std::string> args;
+        std::string logPath;
+        pid_t pid = -1;
+        bool running = false;
+        bool terminating = false; ///< we SIGTERMed it on purpose
+    };
+    struct ProducerState
+    {
+        unsigned index = 0;
+        std::vector<std::string> args;
+        std::string logPath;
+        pid_t pid = -1;
+        bool running = false;
+        bool done = false;
+        unsigned restarts = 0;
+        clock_t_::time_point respawnAt{};
+        bool needsRespawn = false;
+    };
+
+    const unsigned mids = cfg.levels >= 3 ? cfg.mids : 0;
+    const std::string root_addr = "unix:" + wd + "/root.sock";
+    const auto mid_addr = [&](unsigned k) {
+        return "unix:" + wd + "/mid" + std::to_string(k) + ".sock";
+    };
+    const auto leaf_addr = [&](unsigned j) {
+        return "unix:" + wd + "/leaf" + std::to_string(j) + ".sock";
+    };
+
+    // daemons[0] = root, [1..leaves] = leaves, then mids — the same
+    // indexing the schedule's corrupt-frame targets use.
+    std::vector<DaemonState> daemons;
+    {
+        DaemonState root;
+        root.name = "root";
+        root.addrText = root_addr;
+        root.args = {cfg.vpdPath,  "--listen",
+                     root_addr,    "--state",
+                     wd + "/root.state", "--snapshot-interval",
+                     "0.25"};
+        root.logPath = wd + "/root.log";
+        daemons.push_back(std::move(root));
+    }
+    for (unsigned j = 0; j < cfg.leaves; ++j) {
+        DaemonState d;
+        d.name = "leaf" + std::to_string(j);
+        d.addrText = leaf_addr(j);
+        const std::string upstream =
+            mids > 0 ? mid_addr(j % mids) : root_addr;
+        d.args = {cfg.vpdPath,
+                  "--listen",
+                  d.addrText,
+                  "--forward",
+                  upstream,
+                  "--forward-id",
+                  std::to_string(200 + j),
+                  "--forward-interval",
+                  "0.1",
+                  "--forward-spill",
+                  wd + "/" + d.name + ".fwdspill",
+                  "--state",
+                  wd + "/" + d.name + ".state",
+                  "--snapshot-interval",
+                  "0.25"};
+        d.logPath = wd + "/" + d.name + ".log";
+        daemons.push_back(std::move(d));
+    }
+    for (unsigned k = 0; k < mids; ++k) {
+        DaemonState d;
+        d.name = "mid" + std::to_string(k);
+        d.addrText = mid_addr(k);
+        d.args = {cfg.vpdPath,
+                  "--listen",
+                  d.addrText,
+                  "--forward",
+                  root_addr,
+                  "--forward-id",
+                  std::to_string(100 + k),
+                  "--forward-interval",
+                  "0.1",
+                  "--forward-spill",
+                  wd + "/" + d.name + ".fwdspill",
+                  "--state",
+                  wd + "/" + d.name + ".state",
+                  "--snapshot-interval",
+                  "0.25"};
+        d.logPath = wd + "/" + d.name + ".log";
+        daemons.push_back(std::move(d));
+    }
+
+    std::vector<ProducerState> producers(cfg.producers);
+    for (unsigned i = 0; i < cfg.producers; ++i) {
+        ProducerState &p = producers[i];
+        p.index = i;
+        p.args = {cfg.vpcheckPath,
+                  "--soak-producer",
+                  "--soak-seed",
+                  std::to_string(cfg.seed),
+                  "--soak-index",
+                  std::to_string(i),
+                  "--soak-deltas",
+                  std::to_string(cfg.deltasPerProducer),
+                  "--soak-addr",
+                  leaf_addr(i % cfg.leaves),
+                  "--soak-spill",
+                  wd + "/producer" + std::to_string(i) + ".spill",
+                  "--soak-wire",
+                  std::to_string(wireFor(i)),
+                  "--soak-dwell",
+                  std::to_string(cfg.producerDwellMs)};
+        p.logPath = wd + "/producer" + std::to_string(i) + ".log";
+    }
+
+    std::string abort_detail; ///< first unrecoverable driver failure
+    constexpr unsigned kMaxProducerRestarts = 200;
+
+    const auto note = [&](const std::string &msg) {
+        if (cfg.verbose)
+            std::fprintf(stderr, "soak: %s\n", msg.c_str());
+    };
+
+    const auto spawnDaemon = [&](DaemonState &d) {
+        d.pid = spawnProcess(d.args, d.logPath);
+        d.running = probeAddr(d.addrText, 8000);
+        if (!d.running && abort_detail.empty())
+            abort_detail = "daemon " + d.name +
+                           " never bound its socket (see " +
+                           d.logPath + ")";
+    };
+    const auto spawnProducer = [&](ProducerState &p) {
+        p.pid = spawnProcess(p.args, p.logPath);
+        p.running = true;
+        p.needsRespawn = false;
+    };
+
+    /** Reap exited children; respawn failed producers (after a short
+     *  cool-down) and unexpectedly dead daemons. */
+    const auto reap = [&] {
+        const auto now = clock_t_::now();
+        for (auto &p : producers) {
+            if (p.running) {
+                int st = 0;
+                if (::waitpid(p.pid, &st, WNOHANG) != p.pid)
+                    continue;
+                p.running = false;
+                if (WIFEXITED(st) && WEXITSTATUS(st) == 0) {
+                    p.done = true;
+                    continue;
+                }
+                note(vp::format(
+                    "producer %u exited %d (signal %d)", p.index,
+                    WIFEXITED(st) ? WEXITSTATUS(st) : -1,
+                    WIFSIGNALED(st) ? WTERMSIG(st) : 0));
+                p.needsRespawn = true;
+                p.respawnAt =
+                    now + std::chrono::milliseconds(100);
+            }
+            if (p.needsRespawn && now >= p.respawnAt) {
+                if (p.restarts >= kMaxProducerRestarts) {
+                    if (abort_detail.empty())
+                        abort_detail = vp::format(
+                            "producer %u burned %u restarts without "
+                            "full acknowledgement",
+                            p.index, p.restarts);
+                    p.needsRespawn = false;
+                    continue;
+                }
+                p.restarts += 1;
+                res.producerRestarts += 1;
+                spawnProducer(p);
+            }
+        }
+        for (auto &d : daemons) {
+            if (!d.running || d.terminating)
+                continue;
+            int st = 0;
+            if (::waitpid(d.pid, &st, WNOHANG) != d.pid)
+                continue;
+            d.running = false;
+            vp_warn("soak: daemon %s died unexpectedly; restoring",
+                    d.name.c_str());
+            res.daemonRestarts += 1;
+            spawnDaemon(d);
+        }
+    };
+
+    /** Sleep `ms` wall-clock while keeping the fleet reaped. */
+    const auto waitMs = [&](unsigned ms) {
+        const auto deadline =
+            clock_t_::now() + std::chrono::milliseconds(ms);
+        while (clock_t_::now() < deadline && abort_detail.empty()) {
+            reap();
+            sleepMs(5);
+        }
+    };
+
+    const auto teardown = [&] {
+        for (auto &p : producers) {
+            if (p.running)
+                ::kill(p.pid, SIGKILL);
+        }
+        for (auto &p : producers) {
+            if (p.running) {
+                ::waitpid(p.pid, nullptr, 0);
+                p.running = false;
+            }
+        }
+        for (auto &d : daemons) {
+            if (d.running)
+                ::kill(d.pid, SIGTERM);
+        }
+        for (auto &d : daemons) {
+            if (!d.running)
+                continue;
+            const auto deadline = clock_t_::now() +
+                                  std::chrono::milliseconds(5000);
+            int st = 0;
+            while (::waitpid(d.pid, &st, WNOHANG) != d.pid) {
+                if (clock_t_::now() >= deadline) {
+                    ::kill(d.pid, SIGKILL);
+                    ::waitpid(d.pid, nullptr, 0);
+                    break;
+                }
+                sleepMs(5);
+            }
+            d.running = false;
+        }
+    };
+
+    const auto finish = [&](bool ok,
+                            std::string detail) -> SoakResult {
+        teardown();
+        res.ok = ok;
+        res.detail = std::move(detail);
+        if (ok && !cfg.keepArtifacts)
+            removeWorkDir(wd);
+        return res;
+    };
+
+    // --- bring the tree up: root, mids, leaves, then producers ---
+    spawnDaemon(daemons[0]);
+    for (unsigned k = 0; k < mids; ++k)
+        spawnDaemon(daemons[1 + cfg.leaves + k]);
+    for (unsigned j = 0; j < cfg.leaves; ++j)
+        spawnDaemon(daemons[1 + j]);
+    if (!abort_detail.empty())
+        return finish(false, abort_detail);
+    for (auto &p : producers)
+        spawnProducer(p);
+    note(vp::format("tree up: %zu daemons, %u producers",
+                    daemons.size(), cfg.producers));
+
+    // --- run the fault schedule ----------------------------------
+    for (std::size_t ei = 0;
+         ei < sched.events.size() && abort_detail.empty(); ++ei) {
+        const SoakEvent &e = sched.events[ei];
+        waitMs(e.afterMs);
+        switch (e.kind) {
+          case SoakEvent::Kind::KillProducer: {
+            ProducerState &p = producers[e.target];
+            if (p.running) {
+                note(vp::format("SIGKILL producer %u", p.index));
+                ::kill(p.pid, SIGKILL);
+            }
+            break;
+          }
+          case SoakEvent::Kind::KillDaemon: {
+            DaemonState &d = daemons[1 + e.target];
+            if (!d.running)
+                break;
+            note("SIGTERM daemon " + d.name);
+            d.terminating = true;
+            ::kill(d.pid, SIGTERM);
+            const auto deadline = clock_t_::now() +
+                                  std::chrono::milliseconds(8000);
+            int st = 0;
+            bool exited = false;
+            while (clock_t_::now() < deadline) {
+                if (::waitpid(d.pid, &st, WNOHANG) == d.pid) {
+                    exited = true;
+                    break;
+                }
+                reap(); // keep producers flowing meanwhile
+                sleepMs(5);
+            }
+            if (!exited) {
+                // A hung shutdown is itself a daemon bug; killing it
+                // now would lose acked state and make the final
+                // comparison meaningless, so fail loudly instead.
+                abort_detail = "daemon " + d.name +
+                               " did not exit within 8s of SIGTERM";
+                break;
+            }
+            d.running = false;
+            d.terminating = false;
+            res.daemonRestarts += 1;
+            spawnDaemon(d); // restore from its persisted state
+            break;
+          }
+          case SoakEvent::Kind::CorruptFrame: {
+            const DaemonState &d = daemons[e.target];
+            net::Address addr;
+            std::string err;
+            if (!net::parseAddress(d.addrText, addr, err))
+                break;
+            const int fd = net::connectTo(addr, err);
+            if (fd < 0)
+                break; // daemon mid-restart: the splice just misses
+            // Alternate corruption shapes: a CRC-broken frame (the
+            // daemon must answer ERROR and drop the connection) and
+            // a truncated frame (the daemon must wait, then shrug
+            // off the close) — spliced from a real encoded delta.
+            vp::Rng crng(cfg.seed ^
+                         (0xC0447ull + static_cast<std::uint64_t>(ei)));
+            serve::Delta junk;
+            junk.producerId = 1 + crng.below(cfg.producers);
+            junk.seq = 1 + crng.below(5);
+            auto frame = serve::encodeDelta(junk);
+            std::size_t len = frame.size();
+            if (ei % 2 == 0)
+                frame[16 + crng.below(frame.size() - 16)] ^= 0x5A;
+            else
+                len = frame.size() / 2;
+            std::string serr;
+            net::sendAll(fd, frame.data(), len, serr);
+            net::closeFd(fd);
+            res.corruptInjected += 1;
+            note(std::string("spliced ") +
+                 (ei % 2 == 0 ? "corrupt" : "truncated") +
+                 " frame into " + d.name);
+            break;
+          }
+        }
+    }
+    if (!abort_detail.empty())
+        return finish(false, abort_detail);
+
+    // --- quiesce: every producer incarnation must fully ack -------
+    {
+        const auto deadline =
+            clock_t_::now() +
+            std::chrono::milliseconds(30000 + cfg.producers * 500);
+        while (abort_detail.empty()) {
+            reap();
+            bool all_done = true;
+            for (const auto &p : producers)
+                all_done = all_done && p.done;
+            if (all_done)
+                break;
+            if (clock_t_::now() >= deadline) {
+                std::string stuck;
+                for (const auto &p : producers)
+                    if (!p.done)
+                        stuck += (stuck.empty() ? "" : ",") +
+                                 std::to_string(p.index);
+                abort_detail = "producers {" + stuck +
+                               "} never reached full acknowledgement";
+                break;
+            }
+            sleepMs(10);
+        }
+        if (!abort_detail.empty())
+            return finish(false, abort_detail);
+    }
+    note(vp::format("quiesced after %u producer restart(s), %u "
+                    "daemon restore(s)",
+                    res.producerRestarts, res.daemonRestarts));
+
+    // --- converge: flush the relay hop by hop, poll the root ------
+    std::string got;
+    {
+        const auto deadline =
+            clock_t_::now() +
+            std::chrono::milliseconds(cfg.convergeTimeoutMs);
+        while (abort_detail.empty()) {
+            std::string err;
+            for (unsigned j = 0; j < cfg.leaves; ++j)
+                serve::requestFlush(leaf_addr(j), err);
+            if (mids > 0) {
+                sleepMs(50);
+                for (unsigned k = 0; k < mids; ++k)
+                    serve::requestFlush(mid_addr(k), err);
+            }
+            sleepMs(100);
+            core::ProfileSnapshot snap;
+            if (serve::requestSnapshot(root_addr, snap, err)) {
+                got = snapText(snap);
+                if (got == want)
+                    break;
+            }
+            if (clock_t_::now() >= deadline) {
+                abort_detail = "root did not converge to the oracle "
+                               "within the timeout";
+                break;
+            }
+            reap();
+        }
+    }
+    res.rootText = got;
+    if (!abort_detail.empty() || got != want) {
+        // Keep the evidence: both snapshots next to the daemon logs.
+        std::string werr;
+        vp::atomicWriteFile(wd + "/oracle.snap", want, werr);
+        vp::atomicWriteFile(wd + "/root-final.snap", got, werr);
+        return finish(
+            false,
+            (abort_detail.empty() ? std::string("root != oracle")
+                                  : abort_detail) +
+                vp::format(" (root %zu bytes, oracle %zu bytes; "
+                           "snapshots kept in %s)",
+                           got.size(), want.size(), wd.c_str()));
+    }
+    return finish(true, "");
+}
+
+} // namespace vp::check

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The hostile-world soak harness behind `vpcheck --checker soak`: a
+ * scenario driver that spawns a real 2–3 level vpd aggregation tree
+ * (separate `vpd` processes forwarding over unix sockets) plus a
+ * fleet of emitter child processes, injects faults from a seeded
+ * schedule — producers SIGKILLed mid-batch and respawned, corrupt and
+ * truncated frames spliced into daemon sockets, leaf/mid daemons
+ * SIGTERMed and restored from their persisted state files, wire v1
+ * and v2 emitters mixed — and then asserts the surviving root
+ * aggregate is byte-identical to a serial oracle merge of every
+ * producer's deltas.
+ *
+ * Everything is deterministic from the seed: producer content comes
+ * from the seeded program generator (soakProducerDeltas), and the
+ * fault schedule from buildSoakSchedule. Fault *timing* interacts
+ * with real process scheduling, so which faults actually land varies
+ * — but the final root aggregate cannot: the harness drives every
+ * producer incarnation to full acknowledgement before comparing, and
+ * the replace-relay keeps the root fold equal to the serial merge no
+ * matter how deliveries interleaved (serve/server.hpp, "Determinism
+ * contract"). Same seed, same root bytes, every run.
+ */
+
+#ifndef VP_CHECK_SOAK_HPP
+#define VP_CHECK_SOAK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace vp::check
+{
+
+/** Soak scenario shape. Defaults are CI-sized; the acceptance run
+ *  uses >= 16 producers with every fault class on. */
+struct SoakConfig
+{
+    std::uint64_t seed = 1;
+    /** Tree depth: 2 = producers -> leaves -> root, 3 inserts a mid
+     *  tier between the leaves and the root. */
+    unsigned levels = 2;
+    unsigned producers = 8;
+    unsigned leaves = 2;
+    /** Mid-tier daemons (levels == 3 only). */
+    unsigned mids = 1;
+    unsigned deltasPerProducer = 4;
+    /** Fault-schedule length. */
+    unsigned faultEvents = 8;
+    bool killProducers = true;
+    bool corruptFrames = true;
+    bool killDaemons = true;
+    /** Odd-indexed producers speak wire v1, the rest v2. */
+    bool mixedVersions = true;
+    /** Mean gap between schedule events (the schedule draws each gap
+     *  from [gap/2, gap*3/2)). */
+    unsigned eventGapMs = 60;
+    /** Producers sleep this long between deltas so kills can land
+     *  mid-stream. */
+    unsigned producerDwellMs = 30;
+    /** Root-vs-oracle convergence budget after quiesce. */
+    unsigned convergeTimeoutMs = 30000;
+    std::string vpdPath;     ///< vpd binary to exec
+    std::string vpcheckPath; ///< self, for --soak-producer children
+    /** Scratch directory ("" = mkdtemp under TMPDIR). Kept on
+     *  failure, or always with keepArtifacts. */
+    std::string workDir;
+    bool keepArtifacts = false;
+    bool verbose = false;
+};
+
+/** One scheduled fault. */
+struct SoakEvent
+{
+    enum class Kind
+    {
+        KillProducer, ///< SIGKILL producer `target` (respawned)
+        KillDaemon,   ///< SIGTERM non-root daemon `target` (restored)
+        CorruptFrame, ///< splice garbage into daemon `target`'s socket
+    };
+    Kind kind = Kind::KillProducer;
+    unsigned target = 0;  ///< producer index or daemon index
+    unsigned afterMs = 0; ///< delay after the previous event
+};
+
+/** The full seeded fault schedule. */
+struct SoakSchedule
+{
+    std::vector<SoakEvent> events;
+    /** One line per event, stable across runs of the same seed — the
+     *  determinism test compares this text. */
+    std::string text() const;
+};
+
+/** Derive the fault schedule from the config, deterministically. */
+SoakSchedule buildSoakSchedule(const SoakConfig &cfg);
+
+/** Soak outcome. */
+struct SoakResult
+{
+    bool ok = false;
+    std::string detail;       ///< first failure, human-readable
+    std::string scheduleText; ///< the schedule that ran
+    std::string rootText;     ///< final root aggregate (snapshot text)
+    std::string workDir;      ///< scratch dir (kept on failure)
+    unsigned producerRestarts = 0;
+    unsigned daemonRestarts = 0;
+    unsigned corruptInjected = 0;
+};
+
+/** Run one soak scenario end to end. */
+SoakResult runSoak(const SoakConfig &cfg);
+
+/**
+ * Producer `index`'s delta stream, derived purely from (seed, index):
+ * deltasPerProducer seeded generator programs — bindValue shifts
+ * every second delta, so the value distribution phase-changes
+ * mid-stream — each profiled in full mode and snapshotted. seq is
+ * stamped 1-based. A respawned producer regenerates the identical
+ * stream, which is what makes kill-anywhere safe: the daemon
+ * deduplicates the prefix it already applied.
+ */
+std::vector<serve::Delta> soakProducerDeltas(std::uint64_t seed,
+                                             unsigned index,
+                                             unsigned count);
+
+/** Options for the hidden `vpcheck --soak-producer` child mode. */
+struct SoakProducerOptions
+{
+    std::uint64_t seed = 1;
+    unsigned index = 0;
+    unsigned count = 4;
+    std::string addr;      ///< leaf daemon to emit to
+    std::string spillPath; ///< spill file (replayed+unlinked on start)
+    std::uint16_t wireVersion = serve::kWireVersion;
+    unsigned dwellMs = 30;
+    unsigned maxRetries = 4;
+};
+
+/**
+ * The child-process body: replay any spill left by a previous
+ * incarnation, then emit the full deterministic delta stream.
+ * @return the process exit code — 0 when every delta was
+ * acknowledged, 3 when any spilled (the driver respawns until 0).
+ */
+int runSoakProducer(const SoakProducerOptions &opt);
+
+} // namespace vp::check
+
+#endif // VP_CHECK_SOAK_HPP

@@ -57,6 +57,7 @@ ProfileEmitter::emit(core::ProfileSnapshot delta)
     d.seq = nextSeq++;
     d.entities = std::move(delta);
     queue.push_back(Pending{d.seq, encodeDelta(d, cfg.wireVersion)});
+    queuedTotal += 1;
     VP_STAT_GAUGE_MAX("serve.client.queue_depth",
                       static_cast<double>(queue.size()));
     hasWork.notify_one();
@@ -74,6 +75,43 @@ ProfileEmitter::tryEmit(core::ProfileSnapshot delta)
     d.seq = nextSeq++;
     d.entities = std::move(delta);
     queue.push_back(Pending{d.seq, encodeDelta(d, cfg.wireVersion)});
+    queuedTotal += 1;
+    VP_STAT_GAUGE_MAX("serve.client.queue_depth",
+                      static_cast<double>(queue.size()));
+    hasWork.notify_one();
+    return true;
+}
+
+void
+ProfileEmitter::emitDelta(Delta d)
+{
+    vp_assert(d.seq > 0, "delta sequence numbers are 1-based");
+    std::unique_lock<std::mutex> lock(mu);
+    vp_assert(!closing, "emitDelta() on a closed ProfileEmitter");
+    notFull.wait(lock, [this] {
+        return queue.size() < cfg.maxQueue || closing;
+    });
+    if (closing)
+        return;
+    nextSeq = std::max(nextSeq, d.seq + 1);
+    queue.push_back(Pending{d.seq, encodeDelta(d, cfg.wireVersion)});
+    queuedTotal += 1;
+    VP_STAT_GAUGE_MAX("serve.client.queue_depth",
+                      static_cast<double>(queue.size()));
+    hasWork.notify_one();
+}
+
+bool
+ProfileEmitter::tryEmitDelta(Delta d)
+{
+    vp_assert(d.seq > 0, "delta sequence numbers are 1-based");
+    std::unique_lock<std::mutex> lock(mu);
+    vp_assert(!closing, "tryEmitDelta() on a closed ProfileEmitter");
+    if (queue.size() >= cfg.maxQueue)
+        return false;
+    nextSeq = std::max(nextSeq, d.seq + 1);
+    queue.push_back(Pending{d.seq, encodeDelta(d, cfg.wireVersion)});
+    queuedTotal += 1;
     VP_STAT_GAUGE_MAX("serve.client.queue_depth",
                       static_cast<double>(queue.size()));
     hasWork.notify_one();
@@ -94,7 +132,7 @@ ProfileEmitter::close()
     if (sender.joinable())
         sender.join();
     std::unique_lock<std::mutex> lock(mu);
-    return spilledCount == 0 && acked + 1 == nextSeq;
+    return spilledCount == 0 && acked == queuedTotal;
 }
 
 std::uint64_t
@@ -109,6 +147,20 @@ ProfileEmitter::ackedDeltas() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return acked;
+}
+
+bool
+ProfileEmitter::permanentFailure() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return permFail;
+}
+
+std::string
+ProfileEmitter::permanentFailureReason() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return permFailReason;
 }
 
 void
@@ -181,16 +233,28 @@ ProfileEmitter::ensureConnected(std::string &error)
 }
 
 /**
- * Deliver one batch: send every frame, wait for the daemon to ack the
- * batch's last sequence number. Retries with exponential backoff and
- * full-batch resend (the daemon deduplicates by seq). On final
- * failure the batch is spilled. @return true iff acknowledged.
+ * Deliver one batch: send every frame (preceded by a fresh HELLO when
+ * a helloProvider is configured) and wait for the daemon to ack each
+ * of them — the daemon answers every Delta (and HELLO) with exactly
+ * one Ack on this connection, in order, so counting acks completes
+ * the batch even when its deltas carry unrelated producer ids and
+ * non-monotone seqs (the forwarding relay case). Retries with
+ * exponential backoff and full-batch resend (the daemon deduplicates
+ * by seq; every retry starts on a fresh connection, so stale acks
+ * from an abandoned attempt can never be miscounted). On final
+ * failure — or immediately, once the daemon has rejected this stream
+ * for good — the batch is spilled. @return true iff acknowledged.
  */
 bool
 ProfileEmitter::sendBatch(std::vector<Pending> &batch)
 {
-    const std::uint64_t last_seq = batch.back().seq;
-    for (unsigned attempt = 0; attempt <= cfg.maxRetries; ++attempt) {
+    bool perm;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        perm = permFail;
+    }
+    for (unsigned attempt = 0; !perm && attempt <= cfg.maxRetries;
+         ++attempt) {
         if (attempt > 0) {
             VP_STAT_INC(vp::stats::Cid::ServeClientRetries);
             const int shift = static_cast<int>(
@@ -207,38 +271,62 @@ ProfileEmitter::sendBatch(std::vector<Pending> &batch)
                     cfg.addr.c_str(), error.c_str());
             continue;
         }
+        // A fresh HELLO precedes every batch so downstream-path growth
+        // reaches the daemon without any connection juggling; the
+        // daemon re-checks the loop invariant on each one.
+        std::vector<std::uint8_t> hello;
+        std::size_t expected_acks = batch.size();
+        if (cfg.helloProvider) {
+            hello = cfg.helloProvider();
+            expected_acks += 1;
+        }
         bool sent = true;
+        const auto sendFrame =
+            [&](const std::vector<std::uint8_t> &frame) {
+                if (!net::sendAll(sock.get(), frame.data(),
+                                  frame.size(), error)) {
+                    vp_warn("vpd client: send failed: %s",
+                            error.c_str());
+                    sock.reset();
+                    sent = false;
+                    return false;
+                }
+                VP_STAT_INC(vp::stats::Cid::ServeClientFramesSent);
+                VP_STAT_ADD(vp::stats::Cid::ServeClientBytesSent,
+                            frame.size());
+                return true;
+            };
+        if (!hello.empty() && !sendFrame(hello))
+            continue;
         for (const auto &p : batch) {
-            if (!net::sendAll(sock.get(), p.frame.data(),
-                              p.frame.size(), error)) {
-                vp_warn("vpd client: send failed: %s", error.c_str());
-                sock.reset();
-                sent = false;
+            if (!sendFrame(p.frame))
                 break;
-            }
-            VP_STAT_INC(vp::stats::Cid::ServeClientFramesSent);
-            VP_STAT_ADD(vp::stats::Cid::ServeClientBytesSent,
-                        p.frame.size());
         }
         if (!sent)
             continue;
         VP_STAT_INC(vp::stats::Cid::ServeClientBatches);
 
-        // Await the ack for the last frame of the batch.
-        bool acked_batch = false, stream_ok = true;
-        while (stream_ok && !acked_batch) {
+        // Await one ack per frame sent.
+        std::size_t acks_seen = 0;
+        bool stream_ok = true;
+        while (stream_ok && acks_seen < expected_acks) {
             Frame frame;
             std::string why;
             const DecodeStatus st = reader.next(frame, why);
             if (st == DecodeStatus::Ok) {
                 if (frame.type == MsgType::Ack) {
-                    std::uint64_t seq = 0;
-                    if (decodeAck(frame.payload, seq, why) &&
-                        seq >= last_seq)
-                        acked_batch = true;
+                    ++acks_seen;
                 } else if (frame.type == MsgType::Error) {
+                    const std::string text =
+                        payloadText(frame.payload);
                     vp_warn("vpd client: daemon error: %s",
-                            payloadText(frame.payload).c_str());
+                            text.c_str());
+                    if (text.rfind("fatal:", 0) == 0) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        permFail = true;
+                        permFailReason = text;
+                        perm = true;
+                    }
                     stream_ok = false;
                 }
                 continue;
@@ -254,7 +342,8 @@ ProfileEmitter::sendBatch(std::vector<Pending> &batch)
             if (n <= 0) {
                 vp_warn("vpd client: daemon went away awaiting ack "
                         "of seq %llu%s%s",
-                        static_cast<unsigned long long>(last_seq),
+                        static_cast<unsigned long long>(
+                            batch.back().seq),
                         n < 0 ? ": " : "",
                         n < 0 ? why.c_str() : "");
                 stream_ok = false;
@@ -262,7 +351,7 @@ ProfileEmitter::sendBatch(std::vector<Pending> &batch)
             }
             reader.append(buf, static_cast<std::size_t>(n));
         }
-        if (acked_batch)
+        if (acks_seen >= expected_acks)
             return true;
         sock.reset();
     }

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -67,6 +68,18 @@ struct EmitterConfig
      *  the dropped-access counters — the v1 payload can't carry
      *  them). */
     std::uint16_t wireVersion = kWireVersion;
+    /**
+     * Forwarding handshake: when set, every batch is preceded by the
+     * frame this callback builds (a HELLO announcing the forwarding
+     * daemon and its downstream path — see serve/wire.hpp). The
+     * callback runs on the sender thread with no emitter lock held,
+     * so it may take its own locks. The daemon acknowledges the HELLO
+     * like a delta; a "fatal:"-prefixed ERROR reply (loop, id clash)
+     * puts the emitter into permanent failure: every remaining batch
+     * spills immediately instead of retrying against a daemon that
+     * will never accept it.
+     */
+    std::function<std::vector<std::uint8_t>()> helloProvider;
 };
 
 /**
@@ -96,6 +109,20 @@ class ProfileEmitter
     bool tryEmit(core::ProfileSnapshot delta);
 
     /**
+     * Queue a fully-formed delta — producer id and sequence number
+     * included — instead of stamping cfg.producerId and the next
+     * internal seq. This is how a forwarding daemon relays another
+     * producer's partial upstream, and how a restarted producer
+     * replays spilled deltas under their original identities. The
+     * internal sequence counter advances past d.seq so emit() calls
+     * mixed in afterwards stay strictly increasing.
+     */
+    void emitDelta(Delta d);
+
+    /** Non-blocking emitDelta. @return false if the queue was full. */
+    bool tryEmitDelta(Delta d);
+
+    /**
      * Flush everything, stop the sender thread, close the socket.
      * @return true when every delta was acknowledged by the daemon;
      * false when any were spilled (or dropped with no spill path).
@@ -108,6 +135,14 @@ class ProfileEmitter
 
     /** Deltas acknowledged by the daemon so far. */
     std::uint64_t ackedDeltas() const;
+
+    /** True once the daemon rejected this stream for good (a
+     *  "fatal:"-prefixed ERROR: forwarding loop, producer-id clash).
+     *  Subsequent batches spill without retrying. */
+    bool permanentFailure() const;
+
+    /** The daemon's fatal diagnosis ("" while healthy). */
+    std::string permanentFailureReason() const;
 
   private:
     struct Pending
@@ -131,10 +166,13 @@ class ProfileEmitter
     std::condition_variable drained;  ///< queue empty (close())
     std::deque<Pending> queue;
     std::uint64_t nextSeq = 1;
+    std::uint64_t queuedTotal = 0;
     std::uint64_t acked = 0;
     std::uint64_t spilledCount = 0;
     bool closing = false;
     bool senderDone = false;
+    bool permFail = false;
+    std::string permFailReason;
 
     std::thread sender;
 };

@@ -133,6 +133,10 @@ writeServerTotals(std::ostream &os, const ServerView &view)
        << ",\"apply_seq\":" << view.applySeq
        << ",\"ingest_clients\":" << view.ingestClients
        << ",\"http_sessions\":" << view.httpSessions
+       << ",\"forwarding\":" << (view.forwarding ? "true" : "false")
+       << ",\"forward_acked\":" << view.forwardAcked
+       << ",\"forward_spilled\":" << view.forwardSpilled
+       << ",\"forward_downstream\":" << view.forwardDownstream
        << ",\"uptime_seconds\":";
     core::writeJsonDouble(os, view.uptimeSeconds);
     os << "}";
@@ -157,6 +161,15 @@ handleMetrics(const ServerView &view)
        // this is the live session count at scrape time.
        << "# TYPE vp_serve_http_open_sessions gauge\n"
        << "vp_serve_http_open_sessions " << view.httpSessions << "\n"
+       << "# TYPE vp_serve_forwarding gauge\n"
+       << "vp_serve_forwarding " << (view.forwarding ? 1 : 0) << "\n"
+       << "# TYPE vp_serve_forward_acked gauge\n"
+       << "vp_serve_forward_acked " << view.forwardAcked << "\n"
+       << "# TYPE vp_serve_forward_spilled gauge\n"
+       << "vp_serve_forward_spilled " << view.forwardSpilled << "\n"
+       << "# TYPE vp_serve_forward_downstream gauge\n"
+       << "vp_serve_forward_downstream " << view.forwardDownstream
+       << "\n"
        << "# TYPE vp_serve_uptime_seconds gauge\n"
        << "vp_serve_uptime_seconds ";
     core::writeJsonDouble(os, view.uptimeSeconds);

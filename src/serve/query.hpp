@@ -66,6 +66,13 @@ struct ServerView
     std::size_t ingestClients = 0;
     std::size_t httpSessions = 0;
     double uptimeSeconds = 0.0;
+    /** True when this daemon relays its partials upstream
+     *  (--forward); the counts below then track that relay. */
+    bool forwarding = false;
+    std::uint64_t forwardAcked = 0;   ///< partials acked upstream
+    std::uint64_t forwardSpilled = 0; ///< partials spilled locally
+    /** Distinct daemon ids heard in downstream HELLO paths. */
+    std::size_t forwardDownstream = 0;
 };
 
 /**

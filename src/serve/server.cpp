@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <fstream>
 #include <poll.h>
 #include <sstream>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "support/file.hpp"
 #include "support/logging.hpp"
 #include "support/stats_registry.hpp"
 #include "support/strings.hpp"
@@ -84,6 +86,55 @@ VpdServer::start(std::string &error)
         error = vp::format("pipe: %s", std::strerror(errno));
         return false;
     }
+    if (!cfg.forwardAddr.empty()) {
+        if (cfg.forwardId == 0) {
+            error = "forwarding needs a non-zero --forward-id";
+            return false;
+        }
+        // A daemon forwarding to one of its own listen addresses
+        // would ack its own partials forever; catch the textual form
+        // here (the HELLO loop check catches the multi-hop cycles
+        // this can't see).
+        for (const auto &text : cfg.listenAddrs) {
+            if (text == cfg.forwardAddr) {
+                error = vp::format(
+                    "forward address %s is this daemon's own listen "
+                    "address",
+                    cfg.forwardAddr.c_str());
+                return false;
+            }
+        }
+    }
+    if (!loadState(error))
+        return false;
+    if (!replayForwardSpill(error))
+        return false;
+    if (!cfg.forwardAddr.empty()) {
+        EmitterConfig ec;
+        ec.addr = cfg.forwardAddr;
+        ec.producerId = cfg.forwardId;
+        ec.spillPath = cfg.forwardSpillPath;
+        // Short retry budget: a dead upstream should spill fast and
+        // let the periodic tick re-forward once it returns, not stall
+        // the sender thread in long backoffs.
+        ec.maxRetries = 2;
+        ec.backoffBaseMs = 10;
+        ec.backoffMaxMs = 200;
+        ec.helloProvider = [this] {
+            std::vector<std::uint64_t> path;
+            {
+                std::lock_guard<std::mutex> lock(stateMu);
+                path.reserve(downstreamIds.size() + 1);
+                path.push_back(cfg.forwardId);
+                for (const auto id : downstreamIds)
+                    if (id != cfg.forwardId)
+                        path.push_back(id);
+            }
+            return encodeHello(cfg.forwardId, path);
+        };
+        forwarder = std::make_unique<ProfileEmitter>(std::move(ec));
+        nextForward = clock::now();
+    }
     return true;
 }
 
@@ -138,6 +189,10 @@ VpdServer::makeViewLocked(clock::time_point now) const
     view.httpSessions = sessions.size();
     view.uptimeSeconds =
         std::chrono::duration<double>(now - startedAt).count();
+    view.forwarding = forwarder != nullptr;
+    view.forwardAcked = fwdAckedSeen;
+    view.forwardSpilled = fwdSpilledSeen;
+    view.forwardDownstream = downstreamIds.size();
     view.producers.reserve(partials.size());
     for (const auto &[producer, partial] : partials) {
         ProducerInfo info;
@@ -163,21 +218,310 @@ void
 VpdServer::persistIfConfigured()
 {
     bool was_dirty;
+    std::string state_bytes;
     {
         std::lock_guard<std::mutex> lock(stateMu);
         was_dirty = dirty;
         dirty = false;
+        // The state bytes must capture exactly the acked deltas at
+        // the moment `dirty` cleared, so build them under the same
+        // hold of stateMu.
+        if (was_dirty && !cfg.statePath.empty())
+            state_bytes = encodeStateLocked();
     }
-    if (cfg.snapshotPath.empty() || !was_dirty)
+    if (!was_dirty ||
+        (cfg.snapshotPath.empty() && cfg.statePath.empty()))
         return;
+    bool ok = true;
     std::string error;
-    if (!aggregate().saveToFile(cfg.snapshotPath, error)) {
-        vp_warn("vpd: persisting aggregate failed: %s", error.c_str());
+    if (!cfg.snapshotPath.empty()) {
+        if (aggregate().saveToFile(cfg.snapshotPath, error)) {
+            VP_STAT_INC(vp::stats::Cid::ServeSnapshotsSaved);
+        } else {
+            vp_warn("vpd: persisting aggregate failed: %s",
+                    error.c_str());
+            ok = false;
+        }
+    }
+    if (!cfg.statePath.empty() &&
+        !atomicWriteFile(cfg.statePath, state_bytes, error)) {
+        vp_warn("vpd: persisting state failed: %s", error.c_str());
+        ok = false;
+    }
+    if (!ok) {
         std::lock_guard<std::mutex> lock(stateMu);
         dirty = true; // retry on the next trigger
+    }
+}
+
+/**
+ * Durable-state file format: the text line "vpd-state v1\n" followed
+ * by CRC-framed wire frames — one QueryReply carrying a
+ * "producer <id> via <hop|?>" line per producer (the id-clash
+ * ownership map), then one v2 Delta frame per producer whose seq is
+ * the producer's last acked sequence number and whose entities are
+ * the whole partial. Reusing the wire codec gets CRC detection of
+ * torn/corrupt state for free.
+ */
+static const char kStateHeader[] = "vpd-state v1\n";
+
+std::string
+VpdServer::encodeStateLocked() const
+{
+    std::string out = kStateHeader;
+    std::ostringstream meta;
+    for (const auto &[producer, partial] : partials) {
+        meta << "producer " << producer << " via ";
+        if (partial.viaHopKnown)
+            meta << partial.viaHop;
+        else
+            meta << "?";
+        meta << "\n";
+    }
+    const auto append = [&out](const std::vector<std::uint8_t> &f) {
+        out.append(reinterpret_cast<const char *>(f.data()), f.size());
+    };
+    append(encodeText(MsgType::QueryReply, meta.str()));
+    for (const auto &[producer, partial] : partials) {
+        if (partial.lastSeq == 0)
+            continue;
+        Delta d;
+        d.producerId = producer;
+        d.seq = partial.lastSeq;
+        d.entities = partial.snapshot;
+        append(encodeDelta(d));
+    }
+    return out;
+}
+
+bool
+VpdServer::loadState(std::string &error)
+{
+    if (cfg.statePath.empty())
+        return true;
+    std::ifstream in(cfg.statePath, std::ios::binary);
+    if (!in.is_open())
+        return true; // first run: nothing to restore
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    const std::size_t header_len = sizeof(kStateHeader) - 1;
+    if (bytes.size() < header_len ||
+        bytes.compare(0, header_len, kStateHeader) != 0) {
+        error = vp::format("state file %s: bad header (not a "
+                           "vpd-state file?)",
+                           cfg.statePath.c_str());
+        return false;
+    }
+    FrameReader rd;
+    rd.append(reinterpret_cast<const std::uint8_t *>(bytes.data()) +
+                  header_len,
+              bytes.size() - header_len);
+    // hop value per producer; absent key = hop unknown.
+    std::map<std::uint64_t, std::uint64_t> hops;
+    bool saw_meta = false;
+    Frame frame;
+    std::string why;
+    DecodeStatus st;
+    std::map<std::uint64_t, Partial> restored;
+    while ((st = rd.next(frame, why)) == DecodeStatus::Ok) {
+        if (!saw_meta) {
+            if (frame.type != MsgType::QueryReply) {
+                error = vp::format("state file %s: expected metadata "
+                                   "frame, got %s",
+                                   cfg.statePath.c_str(),
+                                   msgTypeName(frame.type));
+                return false;
+            }
+            std::istringstream lines(payloadText(frame.payload));
+            std::string word, keyword, via;
+            std::uint64_t producer = 0;
+            while (lines >> word >> producer >> keyword >> via) {
+                std::int64_t hop = 0;
+                if (word != "producer" || keyword != "via" ||
+                    (via != "?" &&
+                     (!vp::parseInt(via, hop) || hop < 0))) {
+                    error = vp::format(
+                        "state file %s: bad metadata line",
+                        cfg.statePath.c_str());
+                    return false;
+                }
+                if (via != "?")
+                    hops[producer] =
+                        static_cast<std::uint64_t>(hop);
+            }
+            saw_meta = true;
+            continue;
+        }
+        if (frame.type != MsgType::Delta) {
+            error = vp::format("state file %s: unexpected %s frame",
+                               cfg.statePath.c_str(),
+                               msgTypeName(frame.type));
+            return false;
+        }
+        Delta d;
+        if (!decodeDelta(frame, d, why)) {
+            error = vp::format("state file %s: %s",
+                               cfg.statePath.c_str(), why.c_str());
+            return false;
+        }
+        Partial p;
+        p.snapshot = std::move(d.entities);
+        p.lastSeq = d.seq;
+        const auto it = hops.find(d.producerId);
+        if (it != hops.end()) {
+            p.viaHop = it->second;
+            p.viaHopKnown = true;
+        }
+        restored[d.producerId] = std::move(p);
+    }
+    if (st == DecodeStatus::Corrupt || rd.pending() != 0 ||
+        !saw_meta) {
+        // Refuse to run: a daemon that starts from half a state file
+        // would re-ack sequence numbers it no longer holds data for.
+        error = vp::format(
+            "state file %s is corrupt (%s) — refusing to start; "
+            "remove it to begin from scratch",
+            cfg.statePath.c_str(),
+            st == DecodeStatus::Corrupt ? why.c_str()
+                                        : "truncated");
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(stateMu);
+    partials = std::move(restored);
+    applySeq += 1; // queries must observe the restored aggregate
+    return true;
+}
+
+bool
+VpdServer::replayForwardSpill(std::string &error)
+{
+    if (cfg.forwardSpillPath.empty())
+        return true;
+    std::vector<Delta> spilled;
+    std::string why;
+    if (!readSpill(cfg.forwardSpillPath, spilled, why))
+        return true; // no spill left behind: nothing to replay
+    if (!why.empty())
+        vp_warn("vpd: forward spill %s: %s (replaying the intact "
+                "prefix)",
+                cfg.forwardSpillPath.c_str(), why.c_str());
+    std::uint64_t replayed = 0;
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        for (auto &d : spilled) {
+            Partial &p = partials[d.producerId];
+            if (d.seq <= p.lastSeq)
+                continue; // state file already holds newer data
+            p.snapshot = std::move(d.entities);
+            p.lastSeq = d.seq;
+            // The spill frame doesn't record which hop the partial
+            // came from; let the first live claimant adopt it.
+            p.viaHopKnown = false;
+            replayed += 1;
+        }
+        if (replayed > 0) {
+            applySeq += 1;
+            dirty = true;
+        }
+    }
+    VP_STAT_ADD(vp::stats::Cid::ServeForwardReplayed, replayed);
+    if (::unlink(cfg.forwardSpillPath.c_str()) != 0 &&
+        errno != ENOENT) {
+        error = vp::format("cannot remove replayed spill %s: %s",
+                           cfg.forwardSpillPath.c_str(),
+                           std::strerror(errno));
+        return false;
+    }
+    if (replayed > 0)
+        vp_warn("vpd: replayed %llu forward-spilled partial(s) from "
+                "%s",
+                static_cast<unsigned long long>(replayed),
+                cfg.forwardSpillPath.c_str());
+    return true;
+}
+
+void
+VpdServer::sampleForwarderLocked()
+{
+    if (!forwarder)
+        return;
+    const std::uint64_t acked = forwarder->ackedDeltas();
+    const std::uint64_t spilled = forwarder->spilledDeltas();
+    if (acked > fwdAckedSeen) {
+        VP_STAT_ADD(vp::stats::Cid::ServeForwardAcked,
+                    acked - fwdAckedSeen);
+        fwdAckedSeen = acked;
+    }
+    if (spilled > fwdSpilledSeen) {
+        VP_STAT_ADD(vp::stats::Cid::ServeForwardSpilled,
+                    spilled - fwdSpilledSeen);
+        fwdSpilledSeen = spilled;
+        // Some forwarded partials never arrived. We can't tell which,
+        // so forget all forwarding progress: every partial re-forwards
+        // on this tick. Harmless — the upstream replaces by seq and
+        // re-acks duplicates.
+        forwardedSeq.clear();
+    }
+}
+
+void
+VpdServer::forwardTick()
+{
+    if (!forwarder)
+        return;
+    if (forwarder->permanentFailure()) {
+        // The upstream diagnosed a topology error (loop, id clash);
+        // retrying would only grow the spill file. Stop relaying and
+        // say why, once.
+        if (!forwarderFailedWarned) {
+            forwarderFailedWarned = true;
+            vp_warn("vpd: upstream %s rejected this daemon for good "
+                    "(%s); forwarding disabled until restart",
+                    cfg.forwardAddr.c_str(),
+                    forwarder->permanentFailureReason().c_str());
+        }
         return;
     }
-    VP_STAT_INC(vp::stats::Cid::ServeSnapshotsSaved);
+    std::vector<Delta> out;
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        sampleForwarderLocked();
+        for (const auto &[producer, partial] : partials) {
+            if (partial.lastSeq == 0)
+                continue;
+            const auto it = forwardedSeq.find(producer);
+            if (it != forwardedSeq.end() &&
+                it->second >= partial.lastSeq)
+                continue;
+            Delta d;
+            d.producerId = producer;
+            d.seq = partial.lastSeq;
+            d.entities = partial.snapshot;
+            out.push_back(std::move(d));
+        }
+    }
+    if (out.empty())
+        return;
+    VP_STAT_INC(vp::stats::Cid::ServeForwardFlushes);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> queued;
+    queued.reserve(out.size());
+    for (auto &d : out) {
+        const std::uint64_t producer = d.producerId;
+        const std::uint64_t seq = d.seq;
+        // Non-blocking: the event loop must not stall on a slow
+        // upstream. Whatever doesn't fit retries next tick.
+        if (!forwarder->tryEmitDelta(std::move(d)))
+            break;
+        queued.emplace_back(producer, seq);
+    }
+    if (queued.empty())
+        return;
+    VP_STAT_ADD(vp::stats::Cid::ServeForwardPartials, queued.size());
+    std::lock_guard<std::mutex> lock(stateMu);
+    for (const auto &[producer, seq] : queued) {
+        std::uint64_t &forwarded = forwardedSeq[producer];
+        forwarded = std::max(forwarded, seq);
+    }
 }
 
 void
@@ -218,11 +562,65 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
         {
             std::lock_guard<std::mutex> lock(stateMu);
             Partial &p = partials[delta.producerId];
+            if (!p.viaHopKnown) {
+                // First claimant of this producer id (or of a partial
+                // restored from a forward-spill replay) owns it.
+                p.viaHop = conn.helloId;
+                p.viaHopKnown = true;
+            } else if (p.viaHop != conn.helloId) {
+                // Two sources claim one producer id: accepting both
+                // would silently corrupt the stream (direct deltas
+                // merge, forwarded partials replace — interleaving
+                // them loses data either way). Fatal so the loser
+                // spills instead of retrying forever.
+                VP_STAT_INC(vp::stats::Cid::ServeForwardIdClash);
+                const std::string owner =
+                    p.viaHop == 0
+                        ? std::string("a direct connection")
+                        : vp::format("forwarder %llu",
+                                     static_cast<unsigned long long>(
+                                         p.viaHop));
+                queueReply(conn, encodeText(
+                    MsgType::Error,
+                    vp::format("fatal: forward id clash: producer "
+                               "%llu already streams via %s",
+                               static_cast<unsigned long long>(
+                                   delta.producerId),
+                               owner.c_str()),
+                    frame.version));
+                conn.closeAfterWrite = true;
+                return true;
+            }
             if (delta.seq <= p.lastSeq) {
                 // A resend after a lost ack: acknowledge, don't merge.
-                VP_STAT_INC(vp::stats::Cid::ServeDeltaDuplicates);
+                VP_STAT_INC(conn.helloId != 0
+                                ? vp::stats::Cid::ServeForwardDuplicates
+                                : vp::stats::Cid::ServeDeltaDuplicates);
                 p.duplicates += 1;
                 queueReply(conn, encodeAck(p.lastSeq, frame.version));
+                conn.pendingAcks.push_back(clock::now());
+                return true;
+            }
+            if (conn.helloId != 0) {
+                // A forwarded partial: the downstream daemon re-sent
+                // the producer's *whole* merged prefix at seq =
+                // lastSeq-at-leaf. Replace — never merge — so the
+                // partial here equals the partial there and the root
+                // fold stays byte-identical to the serial oracle.
+                // Seq jumps are expected (one relay covers many
+                // deltas), so there is no gap check on this path.
+                p.snapshot = std::move(delta.entities);
+                p.lastSeq = delta.seq;
+                p.bytes += frame.payload.size();
+                p.lastDeltaAt = clock::now();
+                // Replacement can shrink or rewrite existing keys;
+                // the incremental fold-cache update below only
+                // handles additive merges, so drop the cache.
+                cachedAtSeq = ~0ull;
+                applySeq += 1;
+                dirty = true;
+                VP_STAT_INC(vp::stats::Cid::ServeForwardApplied);
+                queueReply(conn, encodeAck(delta.seq, frame.version));
                 conn.pendingAcks.push_back(clock::now());
                 return true;
             }
@@ -300,7 +698,12 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
                << "entities " << agg.size() << "\n"
                << "dropped_stores " << agg.droppedStores << "\n"
                << "dropped_loads " << agg.droppedLoads << "\n"
-               << "clients " << conns.size() << "\n";
+               << "clients " << conns.size() << "\n"
+               << "forwarding " << (forwarder ? 1 : 0) << "\n"
+               << "forward_acked " << fwdAckedSeen << "\n"
+               << "forward_spilled " << fwdSpilledSeen << "\n"
+               << "forward_downstream " << downstreamIds.size()
+               << "\n";
         }
         queueReply(conn, encodeText(MsgType::QueryReply, os.str(),
                                frame.version));
@@ -310,8 +713,53 @@ VpdServer::handleFrame(Connection &conn, const Frame &frame)
         queueReply(conn,
                    encodeSnapshotReply(aggregate(), frame.version));
         return true;
+      case MsgType::Hello: {
+        std::uint64_t fwd = 0;
+        std::vector<std::uint64_t> path;
+        std::string error;
+        if (!decodeHello(frame.payload, fwd, path, error)) {
+            VP_STAT_INC(vp::stats::Cid::ServeDecodeErrors);
+            vp_warn("vpd: bad hello frame: %s", error.c_str());
+            queueReply(conn,
+                       encodeText(MsgType::Error,
+                                  "bad hello: " + error,
+                                  frame.version));
+            conn.closeAfterWrite = true;
+            return true;
+        }
+        if (cfg.forwardId != 0 &&
+            (fwd == cfg.forwardId ||
+             std::find(path.begin(), path.end(), cfg.forwardId) !=
+                 path.end())) {
+            // Our own id is downstream of the sender: accepting its
+            // deltas would complete a forwarding cycle in which every
+            // daemon acks everything and the data orbits forever.
+            VP_STAT_INC(vp::stats::Cid::ServeForwardLoops);
+            queueReply(conn, encodeText(
+                MsgType::Error,
+                vp::format("fatal: forward loop: daemon %llu is "
+                           "already on the path below forwarder %llu",
+                           static_cast<unsigned long long>(
+                               cfg.forwardId),
+                           static_cast<unsigned long long>(fwd)),
+                frame.version));
+            conn.closeAfterWrite = true;
+            return true;
+        }
+        conn.helloId = fwd;
+        {
+            std::lock_guard<std::mutex> lock(stateMu);
+            downstreamIds.insert(fwd);
+            downstreamIds.insert(path.begin(), path.end());
+        }
+        VP_STAT_INC(vp::stats::Cid::ServeForwardHellos);
+        queueReply(conn, encodeAck(0, frame.version));
+        conn.pendingAcks.push_back(clock::now());
+        return true;
+      }
       case MsgType::Flush:
         persistIfConfigured();
+        forwardTick(); // push what was just persisted upstream too
         queueReply(conn, encodeAck(0, frame.version));
         return true;
       case MsgType::Shutdown:
@@ -678,6 +1126,9 @@ VpdServer::run(std::string &error)
         static_cast<long long>(cfg.snapshotIntervalSec * 1e6));
     if (periodic)
         next_persist += interval;
+    const auto fwd_interval = std::chrono::microseconds(
+        static_cast<long long>(
+            std::max(0.01, cfg.forwardIntervalSec) * 1e6));
 
     std::vector<pollfd> fds;
     clock::time_point stop_deadline{};
@@ -739,6 +1190,8 @@ VpdServer::run(std::string &error)
         };
         if (periodic)
             arm(next_persist);
+        if (forwarder)
+            arm(nextForward);
         for (const auto &s : sessions)
             arm(s->deadline);
 
@@ -756,6 +1209,10 @@ VpdServer::run(std::string &error)
         if (periodic && clock::now() >= next_persist) {
             persistIfConfigured();
             next_persist = clock::now() + interval;
+        }
+        if (forwarder && clock::now() >= nextForward) {
+            forwardTick();
+            nextForward = clock::now() + fwd_interval;
         }
 
         std::size_t idx = 0;
@@ -871,6 +1328,16 @@ VpdServer::run(std::string &error)
             sessions.end());
     }
 
+    if (forwarder) {
+        // Final relay: hand every still-dirty partial to the
+        // forwarder, drain it (close() blocks until each is acked or
+        // spilled for the next incarnation to replay), and fold the
+        // last counter movements into the stats.
+        forwardTick();
+        forwarder->close();
+        std::lock_guard<std::mutex> lock(stateMu);
+        sampleForwarderLocked();
+    }
     persistIfConfigured();
     // Remove unix socket files so a restart never sees a stale one.
     for (const auto &addr : bound) {

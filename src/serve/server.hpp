@@ -46,10 +46,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/snapshot.hpp"
+#include "serve/client.hpp"
 #include "serve/http.hpp"
 #include "serve/query.hpp"
 #include "serve/wire.hpp"
@@ -75,6 +77,39 @@ struct ServerConfig
     double snapshotIntervalSec = 0.0;
     /** Connection cap; accepts beyond it are refused with ERROR. */
     std::size_t maxClients = 64;
+
+    /**
+     * Hierarchical aggregation: when non-empty, this daemon is a
+     * *leaf/mid* of a vpd tree — it periodically re-emits every dirty
+     * producer partial upstream to this address (same syntax as
+     * listenAddrs entries). The relay carries each partial whole,
+     * under its original producer id, with seq = the producer's last
+     * acked seq here; the upstream daemon *replaces* its copy rather
+     * than merging, so the root's fold stays byte-identical to a
+     * serial merge of every acked delta at any tree depth (see
+     * DESIGN.md, "Hierarchical aggregation").
+     */
+    std::string forwardAddr;
+    /** This daemon's identity in the tree — announced in the HELLO
+     *  preceding every forwarded batch, used by upstream daemons to
+     *  reject forwarding loops. Required (non-zero) with forwardAddr;
+     *  must be unique among daemons *and* producer ids. */
+    std::uint64_t forwardId = 0;
+    /** Seconds between upstream re-emissions of dirty partials. */
+    double forwardIntervalSec = 1.0;
+    /** Spill file for partials the upstream never acked ("" disables
+     *  — upstream death then drops forwarded data with a warning).
+     *  Replayed (then unlinked) on the next start. */
+    std::string forwardSpillPath;
+    /**
+     * Durable per-producer state ("" = none): partials + last acked
+     * seqs, written atomically alongside the snapshot. A restarted
+     * daemon reloads it so producers can keep emitting *their* next
+     * seq instead of starting over — the soak harness's
+     * kill-and-restore path. A corrupt state file refuses start()
+     * rather than silently re-acking data it no longer holds.
+     */
+    std::string statePath;
 };
 
 /** The vpd daemon event loop. */
@@ -144,6 +179,10 @@ class VpdServer
          *  server-side half of the ack-latency distribution
          *  ("serve.ack_us", observed when the buffer drains). */
         std::vector<clock::time_point> pendingAcks;
+        /** Forwarder identity from the connection's last HELLO; 0 for
+         *  a direct producer. Deltas arriving on the connection are
+         *  attributed to this hop for the id-clash guard. */
+        std::uint64_t helloId = 0;
     };
 
     /** One HTTP query session (keep-alive, possibly parked). */
@@ -174,6 +213,17 @@ class VpdServer
         std::uint64_t bytes = 0;      ///< delta payload bytes applied
         std::uint64_t duplicates = 0; ///< resends re-acked, not merged
         clock::time_point lastDeltaAt{};
+        /**
+         * Which hop owns this producer id: 0 = a direct connection,
+         * else the forwarding daemon's hello id. The first claimant
+         * wins; a delta for the id from any *other* hop is a fatal
+         * id clash (two producers sharing an id would silently
+         * corrupt the replace-relay). viaHopKnown is false only for
+         * partials restored from a forward-spill replay, whose true
+         * hop is unknowable — the first live claimant adopts them.
+         */
+        std::uint64_t viaHop = 0;
+        bool viaHopKnown = false;
     };
 
     bool handleFrame(Connection &conn, const Frame &frame);
@@ -192,6 +242,25 @@ class VpdServer
      */
     void pollIngestNow();
     void persistIfConfigured();
+
+    /**
+     * One upstream relay pass: sample the forwarder's ack/spill
+     * counters (a spill clears forwardedSeq so everything re-forwards
+     * — replace semantics make that idempotent), then queue every
+     * partial whose lastSeq moved past its last forwarded seq as a
+     * full-partial Delta under the original producer id. Non-blocking:
+     * a full forwarder queue defers the rest to the next tick.
+     */
+    void forwardTick();
+    /** Fold forwarder ack/spill growth into the stats counters.
+     *  Requires stateMu held. */
+    void sampleForwarderLocked();
+    /** Serialize the durable per-producer state. Requires stateMu. */
+    std::string encodeStateLocked() const;
+    /** Load cfg.statePath (missing file is fine; corrupt refuses). */
+    bool loadState(std::string &error);
+    /** Replay + unlink the forward spill left by a previous run. */
+    bool replayForwardSpill(std::string &error);
 
     /**
      * The canonical fold of the partials, cached per apply seq.
@@ -223,8 +292,24 @@ class VpdServer
     bool stopping = false;
     clock::time_point startedAt{};
 
+    /** Upstream relay client (forwardAddr configured), else null. */
+    std::unique_ptr<ProfileEmitter> forwarder;
+    clock::time_point nextForward{};
+    bool forwarderFailedWarned = false;
+
     mutable std::mutex stateMu;
     std::map<std::uint64_t, Partial> partials;
+    /** Per-producer seq last handed to the forwarder. Not persisted:
+     *  a restart re-forwards every partial once (idempotent — the
+     *  upstream replaces, and equal seqs are re-acked as dups). */
+    std::map<std::uint64_t, std::uint64_t> forwardedSeq;
+    /** Every forwarder id heard in a HELLO path — our downstream
+     *  subtree, appended to our own upstream HELLOs so loop checks
+     *  see the whole path even across daemon restarts. */
+    std::set<std::uint64_t> downstreamIds;
+    /** Forwarder counter values already folded into stats. */
+    std::uint64_t fwdAckedSeen = 0;
+    std::uint64_t fwdSpilledSeen = 0;
     /** Bumps once per applied delta — the /watch change clock and the
      *  aggregate-cache key. */
     std::uint64_t applySeq = 0;

@@ -99,7 +99,7 @@ bool
 knownMsgType(std::uint8_t t)
 {
     return t >= static_cast<std::uint8_t>(MsgType::Delta) &&
-           t <= static_cast<std::uint8_t>(MsgType::Error);
+           t <= static_cast<std::uint8_t>(MsgType::Hello);
 }
 
 const char *
@@ -115,6 +115,7 @@ msgTypeName(MsgType t)
       case MsgType::Flush: return "FLUSH";
       case MsgType::Shutdown: return "SHUTDOWN";
       case MsgType::Error: return "ERROR";
+      case MsgType::Hello: return "HELLO";
     }
     return "?";
 }
@@ -510,6 +511,81 @@ std::vector<std::uint8_t>
 encodeEmpty(MsgType type, std::uint16_t version)
 {
     return encodeFrame(type, {}, version);
+}
+
+std::vector<std::uint8_t>
+encodeHello(std::uint64_t forwarder,
+            const std::vector<std::uint64_t> &path,
+            std::uint16_t version)
+{
+    std::string text = vp::format(
+        "forwarder %llu\npath ",
+        static_cast<unsigned long long>(forwarder));
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i)
+            text += ',';
+        text += vp::format("%llu",
+                           static_cast<unsigned long long>(path[i]));
+    }
+    text += '\n';
+    std::vector<std::uint8_t> payload(text.begin(), text.end());
+    return encodeFrame(MsgType::Hello, payload, version);
+}
+
+bool
+decodeHello(const std::vector<std::uint8_t> &payload,
+            std::uint64_t &forwarder, std::vector<std::uint64_t> &path,
+            std::string &error)
+{
+    forwarder = 0;
+    path.clear();
+    const std::string text = payloadText(payload);
+    bool have_forwarder = false, have_path = false;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.rfind("forwarder ", 0) == 0) {
+            std::int64_t v = 0;
+            if (!vp::parseInt(line.substr(10), v) || v <= 0) {
+                error = "hello: bad forwarder id";
+                return false;
+            }
+            forwarder = static_cast<std::uint64_t>(v);
+            have_forwarder = true;
+        } else if (line.rfind("path ", 0) == 0) {
+            const std::string list = line.substr(5);
+            std::size_t at = 0;
+            while (at <= list.size()) {
+                std::size_t comma = list.find(',', at);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                const std::string item =
+                    list.substr(at, comma - at);
+                if (!item.empty()) {
+                    std::int64_t v = 0;
+                    if (!vp::parseInt(item, v) || v <= 0) {
+                        error = "hello: bad path entry '" + item + "'";
+                        return false;
+                    }
+                    path.push_back(static_cast<std::uint64_t>(v));
+                }
+                at = comma + 1;
+            }
+            have_path = true;
+        } else if (!line.empty()) {
+            error = "hello: unknown line '" + line + "'";
+            return false;
+        }
+    }
+    if (!have_forwarder || !have_path) {
+        error = "hello: missing forwarder or path line";
+        return false;
+    }
+    return true;
 }
 
 } // namespace vp::serve

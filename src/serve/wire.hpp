@@ -33,6 +33,11 @@
  * Payloads:
  *   Delta         v1: producerId u64, seq u64, v1 snapshot payload
  *                 v2: producerId varint, seq varint, entity block
+ *   Hello         UTF-8 text: "forwarder <id>\npath <id>,<id>,...\n" —
+ *                 a forwarding daemon announces itself and the set of
+ *                 daemon ids at or below it, so the receiver can
+ *                 reject forwarding loops and treat the connection's
+ *                 deltas as forwarded partials (replace semantics)
  *   Ack           seq u64 (highest contiguously applied delta)
  *   SnapshotReply v1: v1 snapshot payload; v2: entity block
  *   QueryReply    UTF-8 text (key value lines)
@@ -102,6 +107,7 @@ enum class MsgType : std::uint8_t
     Flush = 7,         ///< client -> daemon: persist the aggregate now
     Shutdown = 8,      ///< client -> daemon: persist and exit
     Error = 9,         ///< daemon -> client: request failed, text says why
+    Hello = 10,        ///< forwarder -> daemon: downstream-tree announce
 };
 
 /** True if `t` is a known MsgType wire value. */
@@ -232,6 +238,21 @@ std::string payloadText(const std::vector<std::uint8_t> &payload);
 /** Build an empty-payload frame (Query/Snapshot/Flush/Shutdown). */
 std::vector<std::uint8_t> encodeEmpty(
     MsgType type, std::uint16_t version = kWireVersion);
+
+/**
+ * Build a Hello frame: `forwarder` is the sending daemon's id, `path`
+ * the ids of every daemon at or below it in the aggregation tree
+ * (itself included). A receiver that finds its own id in `path` is
+ * part of a forwarding cycle and must reject the connection.
+ */
+std::vector<std::uint8_t> encodeHello(
+    std::uint64_t forwarder, const std::vector<std::uint64_t> &path,
+    std::uint16_t version = kWireVersion);
+
+/** Decode a Hello payload. @return false with a diagnosis. */
+bool decodeHello(const std::vector<std::uint8_t> &payload,
+                 std::uint64_t &forwarder,
+                 std::vector<std::uint64_t> &path, std::string &error);
 
 } // namespace vp::serve
 

@@ -68,6 +68,17 @@ counterName(Cid id)
       case Cid::ServeHttpBytesOut: return "serve.http.bytes_out";
       case Cid::ServeHttpWatchWakeups:
         return "serve.http.watch_wakeups";
+      case Cid::ServeForwardPartials: return "serve.forward_partials";
+      case Cid::ServeForwardFlushes: return "serve.forward_flushes";
+      case Cid::ServeForwardAcked: return "serve.forward_acked";
+      case Cid::ServeForwardSpilled: return "serve.forward_spilled";
+      case Cid::ServeForwardReplayed: return "serve.forward_replayed";
+      case Cid::ServeForwardHellos: return "serve.forward_hellos";
+      case Cid::ServeForwardApplied: return "serve.forward_applied";
+      case Cid::ServeForwardDuplicates:
+        return "serve.forward_duplicates";
+      case Cid::ServeForwardLoops: return "serve.forward_loops";
+      case Cid::ServeForwardIdClash: return "serve.forward_id_clash";
       case Cid::NumCounters: break;
     }
     vp_panic("bad counter id %u", static_cast<unsigned>(id));

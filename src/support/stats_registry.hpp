@@ -92,6 +92,16 @@ enum class Cid : unsigned
     ServeHttpBytesIn,       ///< serve.http.bytes_in — request bytes read
     ServeHttpBytesOut,      ///< serve.http.bytes_out — response bytes queued
     ServeHttpWatchWakeups,  ///< serve.http.watch_wakeups — long-polls answered
+    ServeForwardPartials,   ///< serve.forward_partials — partials re-emitted upstream
+    ServeForwardFlushes,    ///< serve.forward_flushes — forward ticks that sent data
+    ServeForwardAcked,      ///< serve.forward_acked — forwarded deltas acked upstream
+    ServeForwardSpilled,    ///< serve.forward_spilled — forwarded deltas spilled
+    ServeForwardReplayed,   ///< serve.forward_replayed — spill frames replayed at start
+    ServeForwardHellos,     ///< serve.forward_hellos — HELLO frames accepted
+    ServeForwardApplied,    ///< serve.forward_applied — forwarded partials applied
+    ServeForwardDuplicates, ///< serve.forward_duplicates — stale forwards re-acked
+    ServeForwardLoops,      ///< serve.forward_loops — forwarding cycles rejected
+    ServeForwardIdClash,    ///< serve.forward_id_clash — producer-id ownership clashes
 
     NumCounters
 };

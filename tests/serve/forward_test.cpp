@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Hierarchical-aggregation tests: a two-level vpd tree must reproduce
+ * the serial merge byte for byte; a leaf that died with a spilled
+ * forward queue must replay it into the upstream after restart;
+ * forwarding loops and producer-id clashes (a forwarded partial
+ * colliding with a live direct producer, in either order) must be
+ * rejected with fatal error frames and counted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "support/socket.hpp"
+#include "support/stats_registry.hpp"
+
+using namespace vp::serve;
+
+namespace
+{
+
+std::string
+snapshotText(const core::ProfileSnapshot &snap)
+{
+    std::ostringstream os;
+    snap.save(os);
+    return os.str();
+}
+
+core::EntitySummary
+makeSummary(std::uint64_t salt)
+{
+    core::EntitySummary s;
+    s.totalExecutions = 100 + salt * 13;
+    s.profiledExecutions = 90 + salt * 11;
+    s.invTop = 1.0 / static_cast<double>(salt + 2);
+    s.invAll = 0.5 / static_cast<double>(salt + 1);
+    s.lvp = 0.25;
+    s.zeroFraction = static_cast<double>(salt % 3) / 7.0;
+    s.distinct = 1 + salt % 5;
+    s.topValues = {{salt * 17 + 1, 60 + salt}, {salt, 30}};
+    return s;
+}
+
+std::vector<core::ProfileSnapshot>
+producerDeltas(unsigned k, unsigned deltas)
+{
+    std::vector<core::ProfileSnapshot> out;
+    for (unsigned d = 0; d < deltas; ++d) {
+        core::ProfileSnapshot snap;
+        for (unsigned e = 0; e < 4; ++e) {
+            const std::uint64_t key = 100 * d + e; // shared across k
+            snap.entities[key] = makeSummary(k * 7 + d * 3 + e);
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+core::ProfileSnapshot
+serialReference(unsigned producers, unsigned deltas)
+{
+    core::ProfileSnapshot reference;
+    for (unsigned k = 0; k < producers; ++k) {
+        core::ProfileSnapshot partial;
+        for (const auto &delta : producerDeltas(k, deltas))
+            partial.merge(delta);
+        reference.merge(partial);
+    }
+    return reference;
+}
+
+struct RunningServer
+{
+    VpdServer server;
+    std::thread loop;
+    std::string addr;
+
+    explicit RunningServer(ServerConfig cfg)
+        : server(std::move(cfg))
+    {
+        std::string error;
+        if (!server.start(error)) {
+            ADD_FAILURE() << "server start failed: " << error;
+            return;
+        }
+        addr = server.boundAddresses().front().str();
+        loop = std::thread([this] {
+            std::string run_error;
+            if (!server.run(run_error))
+                ADD_FAILURE() << "server loop: " << run_error;
+        });
+    }
+
+    ~RunningServer()
+    {
+        if (loop.joinable()) {
+            server.requestStop();
+            loop.join();
+        }
+    }
+};
+
+ServerConfig
+basicConfig()
+{
+    ServerConfig cfg;
+    cfg.listenAddrs = {"127.0.0.1:0"};
+    return cfg;
+}
+
+/** Poll the daemon at `addr` until its aggregate matches `want` (or
+ *  the budget runs out); returns the last snapshot text seen. */
+std::string
+pollForAggregate(const std::string &addr, const std::string &want,
+                 unsigned budget_ms = 10000)
+{
+    std::string got, error;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(budget_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        core::ProfileSnapshot snap;
+        if (requestSnapshot(addr, snap, error)) {
+            got = snapshotText(snap);
+            if (got == want)
+                return got;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return got;
+}
+
+TEST(ServeForwardTest, TwoLevelTreeMatchesSerialMergeByteForByte)
+{
+    constexpr unsigned kProducers = 3, kDeltas = 3;
+    const std::string want =
+        snapshotText(serialReference(kProducers, kDeltas));
+
+    RunningServer root(basicConfig());
+    auto leaf_cfg = basicConfig();
+    leaf_cfg.forwardAddr = root.addr;
+    leaf_cfg.forwardId = 200;
+    leaf_cfg.forwardIntervalSec = 0.05;
+    RunningServer leaf(std::move(leaf_cfg));
+
+    for (unsigned k = 0; k < kProducers; ++k) {
+        EmitterConfig ecfg;
+        ecfg.addr = leaf.addr;
+        ecfg.producerId = k + 1;
+        ProfileEmitter emitter(ecfg);
+        for (auto &delta : producerDeltas(k, kDeltas))
+            emitter.emit(std::move(delta));
+        EXPECT_TRUE(emitter.close());
+    }
+
+    // The leaf aggregates immediately; the relay then re-emits each
+    // producer's merged partial upstream, where REPLACE (not merge)
+    // keeps the root byte-identical to the serial fold.
+    EXPECT_EQ(snapshotText(leaf.server.aggregate()), want);
+    EXPECT_EQ(pollForAggregate(root.addr, want), want)
+        << "root never converged to the serial merge";
+
+    // The root sees the original producer ids, not the forwarder's.
+    std::string status, error;
+    ASSERT_TRUE(requestQuery(root.addr, status, error)) << error;
+    EXPECT_NE(status.find("producers 3"), std::string::npos) << status;
+    EXPECT_NE(status.find("forwarding 0"), std::string::npos)
+        << status;
+    ASSERT_TRUE(requestQuery(leaf.addr, status, error)) << error;
+    EXPECT_NE(status.find("forwarding 1"), std::string::npos)
+        << status;
+}
+
+TEST(ServeForwardTest, LeafDeathSpillReplaysIntoUpstreamOnRestart)
+{
+    vp::stats::setEnabled(true);
+    const std::string spill =
+        ::testing::TempDir() + "fwd_leaf_restart.spill";
+    std::remove(spill.c_str());
+
+    constexpr unsigned kProducers = 2, kDeltas = 2;
+    const std::string want =
+        snapshotText(serialReference(kProducers, kDeltas));
+
+    // Incarnation 1: the upstream is dead, so every forwarded partial
+    // lands in the forward spill. (No state file — the restart must
+    // recover the partials from the spill alone.)
+    {
+        auto cfg = basicConfig();
+        cfg.forwardAddr = "127.0.0.1:1"; // nothing listens here
+        cfg.forwardId = 201;
+        cfg.forwardIntervalSec = 0.05;
+        cfg.forwardSpillPath = spill;
+        RunningServer leaf(std::move(cfg));
+        for (unsigned k = 0; k < kProducers; ++k) {
+            EmitterConfig ecfg;
+            ecfg.addr = leaf.addr;
+            ecfg.producerId = k + 1;
+            ProfileEmitter emitter(ecfg);
+            for (auto &delta : producerDeltas(k, kDeltas))
+                emitter.emit(std::move(delta));
+            EXPECT_TRUE(emitter.close());
+        }
+        // Destructor stops the leaf: the final forward tick queues
+        // the complete partials and the emitter drain spills them.
+    }
+    {
+        std::vector<Delta> spilled;
+        std::string error;
+        ASSERT_TRUE(readSpill(spill, spilled, error)) << error;
+        EXPECT_FALSE(spilled.empty());
+    }
+
+    // Incarnation 2: same spill path, but a live upstream. The
+    // restart replays the spill into its partials and the relay
+    // delivers everything the first life acknowledged.
+    const auto replayed_before =
+        vp::stats::global().counter(vp::stats::Cid::ServeForwardReplayed);
+    RunningServer root(basicConfig());
+    auto cfg = basicConfig();
+    cfg.forwardAddr = root.addr;
+    cfg.forwardId = 201;
+    cfg.forwardIntervalSec = 0.05;
+    cfg.forwardSpillPath = spill;
+    RunningServer leaf(std::move(cfg));
+    EXPECT_EQ(snapshotText(leaf.server.aggregate()), want)
+        << "restart lost acknowledged deltas";
+    EXPECT_GT(vp::stats::global().counter(
+                  vp::stats::Cid::ServeForwardReplayed),
+              replayed_before);
+    EXPECT_EQ(pollForAggregate(root.addr, want), want)
+        << "root never received the replayed partials";
+
+    std::remove(spill.c_str());
+    vp::stats::setEnabled(false);
+}
+
+TEST(ServeForwardTest, ForwardLoopIsRejectedFatally)
+{
+    vp::stats::setEnabled(true);
+    const auto loops_before =
+        vp::stats::global().counter(vp::stats::Cid::ServeForwardLoops);
+
+    // A is a mid-tier daemon (it has a tree identity, 301); B relays
+    // into it as forwarder 302. The legitimate hop B -> A must work;
+    // a hello whose downstream path already contains the receiver's
+    // own id must be rejected fatally.
+    auto cfg_a = basicConfig();
+    cfg_a.forwardId = 301; // identity only: A itself relays nowhere
+    RunningServer a(std::move(cfg_a));
+    auto cfg_b = basicConfig();
+    cfg_b.forwardId = 302;
+    cfg_b.forwardIntervalSec = 0.05;
+    cfg_b.forwardAddr = a.addr;
+    RunningServer b(std::move(cfg_b));
+
+    Delta d;
+    d.producerId = 9;
+    d.seq = 1;
+    d.entities.entities[1] = makeSummary(1);
+    {
+        EmitterConfig ecfg;
+        ecfg.addr = b.addr;
+        ecfg.producerId = 9;
+        ProfileEmitter emitter(ecfg);
+        emitter.emitDelta(std::move(d));
+        EXPECT_TRUE(emitter.close());
+    }
+    // B's relay forwards producer 9 to A (allowed: path {302}).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    bool a_has_it = false;
+    while (std::chrono::steady_clock::now() < deadline && !a_has_it) {
+        a_has_it = a.server.aggregate().size() > 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_TRUE(a_has_it) << "legitimate forward B->A never landed";
+
+    EmitterConfig ecfg;
+    ecfg.addr = b.addr;
+    ecfg.producerId = 302;
+    ecfg.helloProvider = [] {
+        return encodeHello(999, {999, 302});
+    };
+    ProfileEmitter looper(ecfg);
+    Delta d2;
+    d2.producerId = 77;
+    d2.seq = 1;
+    d2.entities.entities[2] = makeSummary(2);
+    looper.emitDelta(std::move(d2));
+    EXPECT_FALSE(looper.close());
+    EXPECT_TRUE(looper.permanentFailure());
+    EXPECT_NE(looper.permanentFailureReason().find("forward loop"),
+              std::string::npos)
+        << looper.permanentFailureReason();
+    EXPECT_GT(
+        vp::stats::global().counter(vp::stats::Cid::ServeForwardLoops),
+        loops_before);
+    vp::stats::setEnabled(false);
+}
+
+TEST(ServeForwardTest, SelfForwardRefusedAtStartup)
+{
+    const std::string sock =
+        ::testing::TempDir() + "fwd_self.sock";
+    std::remove(sock.c_str());
+    ServerConfig cfg;
+    cfg.listenAddrs = {"unix:" + sock};
+    cfg.forwardAddr = "unix:" + sock;
+    cfg.forwardId = 7;
+    VpdServer server(cfg);
+    std::string error;
+    EXPECT_FALSE(server.start(error));
+    EXPECT_NE(error.find("own listen"), std::string::npos) << error;
+    std::remove(sock.c_str());
+}
+
+TEST(ServeForwardTest, ForwardWithoutIdRefusedAtStartup)
+{
+    ServerConfig cfg = basicConfig();
+    cfg.forwardAddr = "127.0.0.1:1";
+    VpdServer server(cfg);
+    std::string error;
+    EXPECT_FALSE(server.start(error));
+    EXPECT_NE(error.find("forward-id"), std::string::npos) << error;
+}
+
+/** One raw exchange: send `frames`, collect replies until `want`
+ *  frames arrive or the peer closes. */
+std::vector<Frame>
+rawExchange(const std::string &addr,
+            const std::vector<std::vector<std::uint8_t>> &frames,
+            std::size_t want)
+{
+    std::vector<Frame> replies;
+    vp::net::Address parsed;
+    std::string error;
+    EXPECT_TRUE(vp::net::parseAddress(addr, parsed, error)) << error;
+    vp::net::FdGuard fd(vp::net::connectTo(parsed, error));
+    EXPECT_TRUE(fd.valid()) << error;
+    if (!fd.valid())
+        return replies;
+    for (const auto &f : frames)
+        EXPECT_TRUE(
+            vp::net::sendAll(fd.get(), f.data(), f.size(), error))
+            << error;
+    FrameReader reader;
+    while (replies.size() < want) {
+        Frame frame;
+        const DecodeStatus st = reader.next(frame, error);
+        if (st == DecodeStatus::Ok) {
+            replies.push_back(std::move(frame));
+            continue;
+        }
+        if (st == DecodeStatus::Corrupt) {
+            ADD_FAILURE() << "corrupt reply: " << error;
+            break;
+        }
+        std::uint8_t buf[4096];
+        const long n =
+            vp::net::recvSome(fd.get(), buf, sizeof(buf), error);
+        if (n <= 0)
+            break;
+        reader.append(buf, static_cast<std::size_t>(n));
+    }
+    return replies;
+}
+
+Delta
+clashDelta(std::uint64_t producer, std::uint64_t seq)
+{
+    Delta d;
+    d.producerId = producer;
+    d.seq = seq;
+    d.entities.entities[1] = makeSummary(producer + seq);
+    return d;
+}
+
+TEST(ServeForwardTest, ForwardedThenDirectIdClashRejected)
+{
+    vp::stats::setEnabled(true);
+    const auto clashes_before = vp::stats::global().counter(
+        vp::stats::Cid::ServeForwardIdClash);
+    RunningServer rs(basicConfig());
+
+    // Producer 7 arrives via forwarder 55 first...
+    auto via = rawExchange(
+        rs.addr,
+        {encodeHello(55, {55}), encodeDelta(clashDelta(7, 1))}, 2);
+    ASSERT_EQ(via.size(), 2u);
+    EXPECT_EQ(via[0].type, MsgType::Ack);
+    EXPECT_EQ(via[1].type, MsgType::Ack);
+
+    // ...then a direct connection claims the same producer id: fatal.
+    auto direct =
+        rawExchange(rs.addr, {encodeDelta(clashDelta(7, 2))}, 1);
+    ASSERT_EQ(direct.size(), 1u);
+    EXPECT_EQ(direct[0].type, MsgType::Error);
+    const std::string text = payloadText(direct[0].payload);
+    EXPECT_NE(text.find("fatal: forward id clash"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("forwarder 55"), std::string::npos) << text;
+    EXPECT_GT(vp::stats::global().counter(
+                  vp::stats::Cid::ServeForwardIdClash),
+              clashes_before);
+
+    // The daemon survives and the clashing delta was not applied.
+    std::string status, error;
+    ASSERT_TRUE(requestQuery(rs.addr, status, error)) << error;
+    EXPECT_NE(status.find("deltas 1"), std::string::npos) << status;
+    vp::stats::setEnabled(false);
+}
+
+TEST(ServeForwardTest, DirectThenForwardedIdClashRejected)
+{
+    vp::stats::setEnabled(true);
+    const auto clashes_before = vp::stats::global().counter(
+        vp::stats::Cid::ServeForwardIdClash);
+    RunningServer rs(basicConfig());
+
+    // Producer 8 streams directly first...
+    auto direct =
+        rawExchange(rs.addr, {encodeDelta(clashDelta(8, 1))}, 1);
+    ASSERT_EQ(direct.size(), 1u);
+    EXPECT_EQ(direct[0].type, MsgType::Ack);
+
+    // ...then a forwarder claims to relay the same producer: fatal.
+    auto via = rawExchange(
+        rs.addr,
+        {encodeHello(66, {66}), encodeDelta(clashDelta(8, 2))}, 2);
+    ASSERT_EQ(via.size(), 2u);
+    EXPECT_EQ(via[0].type, MsgType::Ack); // the hello itself is fine
+    EXPECT_EQ(via[1].type, MsgType::Error);
+    const std::string text = payloadText(via[1].payload);
+    EXPECT_NE(text.find("fatal: forward id clash"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("direct"), std::string::npos) << text;
+    EXPECT_GT(vp::stats::global().counter(
+                  vp::stats::Cid::ServeForwardIdClash),
+              clashes_before);
+    vp::stats::setEnabled(false);
+}
+
+} // namespace

@@ -17,6 +17,10 @@ exercised:
   vpd-http         — a `vpd --http` smoke probed over HTTP; STATS_JSON
                      is a captured `GET /stats.json` body (the checker
                      unwraps its {"server":..., "stats":...} envelope)
+  vpd-forward      — a mid-tier daemon in a vpd aggregation chain: it
+                     must have both received forwarded partials (hello,
+                     applied) and relayed its own upstream (partials,
+                     flushes, acked)
 """
 
 import json
@@ -61,6 +65,18 @@ PROFILES = {
             "serve.http.bytes_out",
         ],
         "dists": ["serve.merge_us", "serve.ack_us"],
+    },
+    "vpd-forward": {
+        "nonzero": [
+            "serve.accepts",
+            "serve.frames_in",
+            "serve.forward_hellos",
+            "serve.forward_applied",
+            "serve.forward_partials",
+            "serve.forward_flushes",
+            "serve.forward_acked",
+        ],
+        "dists": [],
     },
 }
 
@@ -141,6 +157,15 @@ def check_stats(path, profile):
             fail(f"{path}: serve.decode_errors is "
                  f"{counters['serve.decode_errors']} — the loopback "
                  "smoke sent no corrupt frames")
+    if profile == "vpd-forward":
+        # The forwarding chain carries only well-formed frames, and
+        # nothing in the smoke may loop, clash, or hit the spill.
+        for name in ["serve.decode_errors", "serve.forward_loops",
+                     "serve.forward_id_clash",
+                     "serve.forward_spilled"]:
+            if counters.get(name, 0) != 0:
+                fail(f"{path}: counter {name} is {counters[name]} — "
+                     "the forward smoke chain must relay cleanly")
     print(f"check_stats_json: {path} OK [{profile}] "
           f"({sum(1 for v in counters.values() if v)} nonzero counters)")
 

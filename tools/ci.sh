@@ -26,7 +26,13 @@
 # /producers, /watch, /stats.json) against a live daemon, with the
 # /stats.json totals cross-checked against a control-plane QUERY
 # reply and the captured bodies schema-checked by
-# tools/check_stats_json.py --profile vpd-http. The ASan leg also
+# tools/check_stats_json.py --profile vpd-http. The same legs run a
+# hierarchical-aggregation smoke (a 3-daemon leaf->mid->root forward
+# chain whose root must be byte-identical to a local save, the mid's
+# stats schema-checked with --profile vpd-forward) and a fixed-seed
+# hostile-world soak scenario (vpcheck --checker soak: producer
+# SIGKILLs, daemon kill/restore, corrupt frames, mixed wire versions,
+# root byte-compared to the serial oracle). The ASan leg also
 # runs a table_compression smoke gated against the committed
 # BENCH_compression.json — bytes/entity is deterministic, so the
 # density budget holds under the sanitizer too. The plain build gates
@@ -143,6 +149,82 @@ vpd_loopback_smoke() {
     fi
 }
 
+# Chain three daemons (leaf -> mid -> root) over unix sockets, stream
+# a profile into the leaf, and require the root aggregate to be
+# byte-identical to a local --save — the hierarchical-aggregation
+# determinism contract under the sanitizer. The mid daemon both
+# receives forwarded partials and relays its own, so its stats JSON
+# goes through the vpd-forward schema profile.
+vpd_forward_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] vpd forward smoke ==="
+    local root_sock="$dir/vpd-fwd-root.sock"
+    local mid_sock="$dir/vpd-fwd-mid.sock"
+    local leaf_sock="$dir/vpd-fwd-leaf.sock"
+    rm -f "$root_sock" "$mid_sock" "$leaf_sock" \
+        "$dir"/vpd-fwd-{root,local}.vprof "$dir/vpd-fwd-mid-stats.json"
+    "$dir/tools/vpd" --listen "unix:$root_sock" > /dev/null &
+    local root_pid=$!
+    "$dir/tools/vpd" --listen "unix:$mid_sock" \
+        --forward "unix:$root_sock" --forward-id 100 \
+        --forward-interval 0.1 \
+        --stats-out "$dir/vpd-fwd-mid-stats.json" > /dev/null &
+    local mid_pid=$!
+    "$dir/tools/vpd" --listen "unix:$leaf_sock" \
+        --forward "unix:$mid_sock" --forward-id 200 \
+        --forward-interval 0.1 > /dev/null &
+    local leaf_pid=$!
+    for _ in $(seq 100); do
+        [ -S "$root_sock" ] && [ -S "$mid_sock" ] && \
+            [ -S "$leaf_sock" ] && break
+        sleep 0.1
+    done
+    "$dir/tools/vpprof" --workload crc --emit "unix:$leaf_sock" \
+        > /dev/null
+    "$dir/tools/vpprof" --workload crc \
+        --save "$dir/vpd-fwd-local.vprof" > /dev/null
+    # FLUSH kicks the relay on each hop; then poll the root until the
+    # partials have climbed the tree (the relay acks asynchronously).
+    local converged=1
+    for _ in $(seq 100); do
+        "$dir/tools/vpd" --connect "unix:$leaf_sock" --cmd flush
+        "$dir/tools/vpd" --connect "unix:$mid_sock" --cmd flush
+        "$dir/tools/vpd" --connect "unix:$root_sock" --cmd snapshot \
+            --out "$dir/vpd-fwd-root.vprof"
+        if cmp -s "$dir/vpd-fwd-root.vprof" "$dir/vpd-fwd-local.vprof"
+        then
+            converged=0
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$converged" -ne 0 ]; then
+        echo "vpd forward smoke: root never converged to the local" \
+             "profile" >&2
+        return 1
+    fi
+    "$dir/tools/vpd" --connect "unix:$leaf_sock" --cmd shutdown
+    wait "$leaf_pid"
+    "$dir/tools/vpd" --connect "unix:$mid_sock" --cmd shutdown
+    wait "$mid_pid"
+    "$dir/tools/vpd" --connect "unix:$root_sock" --cmd shutdown
+    wait "$root_pid"
+    python3 tools/check_stats_json.py --profile vpd-forward \
+        "$dir/vpd-fwd-mid-stats.json"
+}
+
+# One fixed-seed hostile-world soak scenario (3-daemon tree, producer
+# SIGKILLs, daemon kill/restore, corrupt frames, mixed wire versions)
+# sized for a sanitized build: the fault machinery and the
+# byte-identity assertion run end to end, deterministically.
+soak_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] vpcheck soak smoke ==="
+    "$dir/tools/vpcheck" --checker soak --seed 7 \
+        --soak-producers 4 --soak-deltas 2 --soak-events 4 \
+        --soak-dir "$dir/soak-smoke"
+}
+
 # Probe the HTTP query plane of a live daemon: every read endpoint
 # must answer, /watch must report the applied delta, and the
 # /stats.json server totals must agree with what the binary
@@ -248,7 +330,9 @@ run_config() {
     if [ "$san" = "address" ] || [ "$san" = "thread" ]; then
         vpcheck_smoke "$dir"
         vpd_loopback_smoke "$dir"
+        vpd_forward_smoke "$dir"
         vpd_http_smoke "$dir"
+        soak_smoke "$dir"
         hotpath_sanitizer_smoke "$dir"
     fi
     if [ "$san" = "address" ]; then

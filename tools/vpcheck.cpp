@@ -13,6 +13,7 @@
  * Usage:
  *   vpcheck [--trials N] [--seed S] [--checker NAME] [options]
  *   vpcheck --replay FILE.vps [--checker NAME]
+ *   vpcheck --checker soak [--seed S] [soak options]
  *
  * Options:
  *   --trials N       seeded trials to run (default 100)
@@ -40,6 +41,28 @@
  *                    divergence only with the same canary re-enabled
  *   --replay FILE    re-run the checkers on a saved bundle
  *
+ * `--checker soak` is different in kind: instead of in-process
+ * differential trials it runs ONE hostile-world scenario (see
+ * src/check/soak.hpp) — a multi-process vpd aggregation tree plus an
+ * emitter fleet, faults injected from a seeded schedule, final root
+ * aggregate byte-compared against the serial oracle merge. Its knobs:
+ *   --soak-producers N        emitter processes (default 8)
+ *   --soak-levels 2|3         tree depth (default 2)
+ *   --soak-leaves N           leaf daemons (default 2)
+ *   --soak-mids N             mid daemons, levels=3 only (default 1)
+ *   --soak-deltas N           deltas per producer (default 4)
+ *   --soak-events N           fault-schedule length (default 8)
+ *   --soak-no-kill-producers  disable producer SIGKILLs
+ *   --soak-no-kill-daemons    disable daemon kill/restore
+ *   --soak-no-corrupt         disable corrupt-frame splicing
+ *   --soak-no-mixed           all producers speak wire v2
+ *   --vpd PATH                vpd binary (default: next to vpcheck)
+ *   --soak-dir DIR            scratch dir (default mkdtemp)
+ *   --soak-keep               keep scratch artifacts on success
+ *   --soak-verbose            narrate fault injection on stderr
+ * (`--soak-producer` is the hidden child-process mode the driver
+ * execs for each emitter; not for direct use.)
+ *
  * Exit status: 0 = no divergence (or, with --canary, the canary was
  * caught), 1 = divergence found (or canary missed), 2 = usage error.
  */
@@ -52,10 +75,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "check/checkers.hpp"
 #include "check/generator.hpp"
 #include "check/seed.hpp"
 #include "check/shrink.hpp"
+#include "check/soak.hpp"
 #include "core/profile_codec.hpp"
 #include "core/tnv_table.hpp"
 #include "support/logging.hpp"
@@ -78,6 +104,8 @@ struct Options
     std::string canaryKind;
     std::string replayFile;
     std::size_t shrinkBudget = 400;
+    /** `--checker soak` scenario shape (seed comes from --seed). */
+    vp::check::SoakConfig soak;
 };
 
 [[noreturn]] void
@@ -88,7 +116,14 @@ usage()
         "               [--out DIR] [--shards K] [--jobs N]\n"
         "               [--canary[=merge|record|compress|all]]\n"
         "       vpcheck --replay FILE.vps [--checker NAME]\n"
-        "checkers: all, oracle, merge, sampled, snapshot, serve\n";
+        "       vpcheck --checker soak [--seed S] [--soak-producers N]\n"
+        "               [--soak-levels 2|3] [--soak-leaves N]\n"
+        "               [--soak-mids N] [--soak-deltas N]\n"
+        "               [--soak-events N] [--soak-no-kill-producers]\n"
+        "               [--soak-no-kill-daemons] [--soak-no-corrupt]\n"
+        "               [--soak-no-mixed] [--vpd PATH] [--soak-dir DIR]\n"
+        "               [--soak-keep] [--soak-verbose]\n"
+        "checkers: all, oracle, merge, sampled, snapshot, serve, soak\n";
     std::exit(2);
 }
 
@@ -138,6 +173,40 @@ parseArgs(int argc, char **argv)
                          "all; got '%s'", opt.canaryKind.c_str());
         } else if (a == "--replay") {
             opt.replayFile = next();
+        } else if (a == "--soak-producers") {
+            opt.soak.producers = static_cast<unsigned>(
+                parseU64(next(), "soak-producers"));
+        } else if (a == "--soak-levels") {
+            opt.soak.levels = static_cast<unsigned>(
+                parseU64(next(), "soak-levels"));
+        } else if (a == "--soak-leaves") {
+            opt.soak.leaves = static_cast<unsigned>(
+                parseU64(next(), "soak-leaves"));
+        } else if (a == "--soak-mids") {
+            opt.soak.mids =
+                static_cast<unsigned>(parseU64(next(), "soak-mids"));
+        } else if (a == "--soak-deltas") {
+            opt.soak.deltasPerProducer = static_cast<unsigned>(
+                parseU64(next(), "soak-deltas"));
+        } else if (a == "--soak-events") {
+            opt.soak.faultEvents = static_cast<unsigned>(
+                parseU64(next(), "soak-events"));
+        } else if (a == "--soak-no-kill-producers") {
+            opt.soak.killProducers = false;
+        } else if (a == "--soak-no-kill-daemons") {
+            opt.soak.killDaemons = false;
+        } else if (a == "--soak-no-corrupt") {
+            opt.soak.corruptFrames = false;
+        } else if (a == "--soak-no-mixed") {
+            opt.soak.mixedVersions = false;
+        } else if (a == "--vpd") {
+            opt.soak.vpdPath = next();
+        } else if (a == "--soak-dir") {
+            opt.soak.workDir = next();
+        } else if (a == "--soak-keep") {
+            opt.soak.keepArtifacts = true;
+        } else if (a == "--soak-verbose") {
+            opt.soak.verbose = true;
         } else if (a == "--shrink-budget") {
             opt.shrinkBudget =
                 static_cast<std::size_t>(parseU64(next(),
@@ -375,13 +444,127 @@ runTrials(const Options &opt)
     return 0;
 }
 
+/** Absolute path of this vpcheck binary (best effort). */
+std::string
+selfPath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+/**
+ * The hidden `--soak-producer` child-process mode: parse the child
+ * flags and run the emitter body. Exits 0 when every delta was
+ * acknowledged, 3 when any spilled (the soak driver respawns us).
+ */
+int
+soakProducerMain(int argc, char **argv)
+{
+    vp::check::SoakProducerOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--soak-producer") {
+            continue;
+        } else if (a == "--soak-seed") {
+            opt.seed = parseU64(next(), "soak-seed");
+        } else if (a == "--soak-index") {
+            opt.index = static_cast<unsigned>(
+                parseU64(next(), "soak-index"));
+        } else if (a == "--soak-deltas") {
+            opt.count = static_cast<unsigned>(
+                parseU64(next(), "soak-deltas"));
+        } else if (a == "--soak-addr") {
+            opt.addr = next();
+        } else if (a == "--soak-spill") {
+            opt.spillPath = next();
+        } else if (a == "--soak-wire") {
+            opt.wireVersion = static_cast<std::uint16_t>(
+                parseU64(next(), "soak-wire"));
+        } else if (a == "--soak-dwell") {
+            opt.dwellMs = static_cast<unsigned>(
+                parseU64(next(), "soak-dwell"));
+        } else if (a == "--soak-retries") {
+            opt.maxRetries = static_cast<unsigned>(
+                parseU64(next(), "soak-retries"));
+        } else {
+            std::cerr << "vpcheck: unknown soak-producer option '"
+                      << a << "'\n";
+            usage();
+        }
+    }
+    if (opt.addr.empty())
+        vp_fatal("--soak-producer requires --soak-addr");
+    return vp::check::runSoakProducer(opt);
+}
+
+/** `--checker soak`: run one hostile-world scenario. */
+int
+runSoakMode(const Options &opt, const char *argv0)
+{
+    vp::check::SoakConfig cfg = opt.soak;
+    cfg.seed = opt.seed;
+    if (cfg.vpcheckPath.empty())
+        cfg.vpcheckPath = selfPath(argv0);
+    if (cfg.vpdPath.empty()) {
+        const auto slash = cfg.vpcheckPath.rfind('/');
+        cfg.vpdPath = slash == std::string::npos
+                          ? std::string("vpd")
+                          : cfg.vpcheckPath.substr(0, slash + 1) +
+                                "vpd";
+    }
+    std::cout << "vpcheck: soak seed " << cfg.seed << ": "
+              << cfg.levels << "-level tree, " << cfg.producers
+              << " producer(s), " << cfg.leaves << " leaf daemon(s)"
+              << (cfg.levels >= 3
+                      ? ", " + std::to_string(cfg.mids) + " mid(s)"
+                      : std::string())
+              << ", " << cfg.deltasPerProducer
+              << " delta(s)/producer\n";
+    std::cout << "vpcheck: fault schedule:\n"
+              << vp::check::buildSoakSchedule(cfg).text();
+    const auto res = vp::check::runSoak(cfg);
+    if (!res.ok) {
+        std::cerr << "vpcheck: SOAK FAILED: " << res.detail << "\n"
+                  << "vpcheck: "
+                  << vp::check::seedMessage(cfg.seed) << "\n";
+        if (!res.workDir.empty())
+            std::cerr << "vpcheck: artifacts kept in " << res.workDir
+                      << "\n";
+        return 1;
+    }
+    std::cout << "vpcheck: soak ok — root byte-identical to the "
+                 "serial oracle after "
+              << res.producerRestarts << " producer restart(s), "
+              << res.daemonRestarts << " daemon restore(s), "
+              << res.corruptInjected << " corrupt frame(s)\n";
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // The child mode bypasses normal option handling entirely: the
+    // soak driver execs us with only --soak-* flags.
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--soak-producer") == 0)
+            return soakProducerMain(argc, argv);
     const Options opt = parseArgs(argc, argv);
     if (!opt.replayFile.empty())
         return runReplay(opt);
+    if (opt.checker == "soak")
+        return runSoakMode(opt, argv[0]);
     return runTrials(opt);
 }

@@ -17,6 +17,21 @@
  *   /producers, /watch) on the same event loop; it implies stats
  *   collection so /metrics is never a page of zeros.
  *
+ * Hierarchical aggregation (daemon mode):
+ *   vpd --listen ADDR --forward ADDR --forward-id N
+ *       [--forward-interval SEC] [--forward-spill FILE]
+ *       [--state FILE]
+ *
+ *   --forward makes this daemon a leaf/mid of a vpd tree: every
+ *   --forward-interval seconds it re-emits each producer's merged
+ *   partial upstream (under the original producer id; the upstream
+ *   replaces by seq, keeping the root byte-identical to a serial
+ *   merge). --forward-id is this daemon's unique identity in the
+ *   tree, used to detect forwarding loops. --forward-spill catches
+ *   partials an unreachable upstream never acked (replayed on the
+ *   next start); --state persists the per-producer partials + acked
+ *   seqs so a restarted daemon resumes instead of starting over.
+ *
  * Control mode:
  *   vpd --connect ADDR --cmd query|snapshot|flush|shutdown
  *       [--out FILE]
@@ -61,6 +76,9 @@ usage()
         "           [--snapshot-out FILE] [--snapshot-interval SEC]\n"
         "           [--max-clients N] [--stats[=text|json]]\n"
         "           [--stats-out FILE]\n"
+        "           [--forward ADDR --forward-id N]\n"
+        "           [--forward-interval SEC] [--forward-spill FILE]\n"
+        "           [--state FILE]\n"
         "       vpd --connect ADDR --cmd query|snapshot|flush|shutdown\n"
         "           [--out FILE]\n"
         "ADDR is host:port (port 0 = ephemeral) or unix:PATH\n";
@@ -79,6 +97,11 @@ struct Options
     std::string out;
     std::string statsFormat; ///< "" = none, else "text" or "json"
     std::string statsOut;
+    std::string forwardAddr;
+    std::uint64_t forwardId = 0;
+    double forwardInterval = 1.0;
+    std::string forwardSpill;
+    std::string statePath;
 };
 
 Options
@@ -119,6 +142,21 @@ parse(int argc, char **argv)
                 usage();
         } else if (arg == "--stats-out")
             opt.statsOut = need(i);
+        else if (arg == "--forward")
+            opt.forwardAddr = need(i);
+        else if (arg == "--forward-id") {
+            const long long v = std::atoll(need(i));
+            if (v <= 0)
+                vp_fatal("--forward-id must be positive");
+            opt.forwardId = static_cast<std::uint64_t>(v);
+        } else if (arg == "--forward-interval") {
+            opt.forwardInterval = std::atof(need(i));
+            if (opt.forwardInterval < 0.0)
+                vp_fatal("--forward-interval must be >= 0");
+        } else if (arg == "--forward-spill")
+            opt.forwardSpill = need(i);
+        else if (arg == "--state")
+            opt.statePath = need(i);
         else
             usage();
     }
@@ -126,6 +164,8 @@ parse(int argc, char **argv)
         usage(); // exactly one mode
     if (!opt.connect.empty() && opt.cmd.empty())
         usage();
+    if (!opt.forwardAddr.empty() && opt.forwardId == 0)
+        vp_fatal("--forward requires --forward-id");
     return opt;
 }
 
@@ -142,6 +182,11 @@ runDaemon(const Options &opt)
     cfg.snapshotPath = opt.snapshotOut;
     cfg.snapshotIntervalSec = opt.snapshotInterval;
     cfg.maxClients = opt.maxClients;
+    cfg.forwardAddr = opt.forwardAddr;
+    cfg.forwardId = opt.forwardId;
+    cfg.forwardIntervalSec = opt.forwardInterval;
+    cfg.forwardSpillPath = opt.forwardSpill;
+    cfg.statePath = opt.statePath;
 
     vp::serve::VpdServer server(cfg);
     std::string error;
@@ -151,6 +196,9 @@ runDaemon(const Options &opt)
         std::cout << "vpd: listening on " << addr.str() << std::endl;
     for (const auto &addr : server.boundHttpAddresses())
         std::cout << "vpd: http on " << addr.str() << std::endl;
+    if (!opt.forwardAddr.empty())
+        std::cout << "vpd: forwarding to " << opt.forwardAddr
+                  << " as daemon " << opt.forwardId << std::endl;
 
     g_server = &server;
     std::signal(SIGINT, onSignal);
