@@ -1,0 +1,434 @@
+/**
+ * @file
+ * E20 — closing the PGO loop: dynamic-instruction speedup of the
+ * online adaptive specialization engine (src/adapt) over plain
+ * interpretation, on workloads whose hot procedure takes a
+ * semi-invariant argument.
+ *
+ * Three guest shapes, all built around a hot kernel called tens of
+ * thousands of times with a config word passed in a0:
+ *
+ *   checksum_gate  — the kernel re-validates the config through a long
+ *                    arithmetic chain before a never-taken slow path;
+ *                    with a0 bound the whole chain folds and dies.
+ *   dispatch_chain — a switch-style compare ladder picks one of eight
+ *                    arms from the config; the bound clone keeps the
+ *                    ladder's one surviving arm.
+ *   phase_shift    — checksum_gate whose config flips mid-run: the
+ *                    engine must deopt on the guard-miss window,
+ *                    re-profile, and re-specialize for the new phase.
+ *
+ * Both legs of each row run the same guest to completion and must
+ * print identical output — the engine's transparency contract — and
+ * the retired-instruction counts are deterministic, so the committed
+ * baseline (BENCH_adaptive.json) gates noise-free in CI
+ * (tools/bench_compare.py, --smoke in tools/ci.sh).
+ *
+ * Usage: table_adaptive [--out FILE] [--smoke]
+ *   --out FILE  where the JSON lands (default BENCH_adaptive.json)
+ *   --smoke     10x fewer kernel calls — the CI smoke shape
+ */
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "adapt/engine.hpp"
+#include "bench/common.hpp"
+#include "instrument/image.hpp"
+#include "instrument/manager.hpp"
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "vpsim/assembler.hpp"
+#include "vpsim/cpu.hpp"
+
+namespace
+{
+
+/**
+ * The shared main loop: call kernel(config, i) `calls` times,
+ * accumulating its return value into a printed checksum. `switch_at`
+ * past the trip count means the config word never changes; otherwise
+ * iteration `switch_at` rewrites it (the phase shift).
+ */
+std::string
+mainLoop(std::uint64_t calls, std::uint64_t config,
+         std::uint64_t switch_at, std::uint64_t config2)
+{
+    return vp::format(R"(
+    .data
+config: .word 0
+
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    li   s0, 0                 # i
+    li   s1, %llu              # calls
+    li   s4, %llu              # phase-switch iteration
+    la   s2, config
+    li   s3, 0                 # checksum accumulator
+    li   t0, %llu
+    st   t0, 0(s2)
+loop:
+    bge  s0, s1, done
+    bne  s0, s4, no_switch
+    li   t0, %llu              # second-phase config
+    st   t0, 0(s2)
+no_switch:
+    ld   a0, 0(s2)             # the semi-invariant argument
+    mov  a1, s0
+    call kernel
+    add  s3, s3, a0
+    addi s0, s0, 1
+    jmp  loop
+done:
+    mov  a0, s3
+    syscall puti
+    li   a0, 0
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+)",
+                      static_cast<unsigned long long>(calls),
+                      static_cast<unsigned long long>(switch_at),
+                      static_cast<unsigned long long>(config),
+                      static_cast<unsigned long long>(config2));
+}
+
+/**
+ * Kernel that re-derives the config checksum two ways and bails to a
+ * (never-taken) slow path if they disagree. The two routes agree for
+ * every a0, so the guest always takes the fast path; under a bound a0
+ * both chains fold to the same constant, the branch folds, the slow
+ * path becomes unreachable, and the chain temporaries die at the
+ * payload's redefinitions — the clone is the payload plus the guard.
+ */
+const char *const checksumKernel = R"(
+    .proc kernel args=2
+kernel:
+    # route one: mixed multiply/shift/xor chain over the config
+    mul  t0, a0, a0
+    xori t1, t0, 23130
+    srli t2, t1, 3
+    add  t0, t1, t2
+    muli t1, t0, 17
+    xor  t2, t1, a0
+    slli t3, t2, 2
+    add  t0, t3, t1
+    srli t1, t0, 5
+    xor  t2, t1, t3
+    muli t3, t2, 3
+    add  t4, t3, t0
+    # route two: the same value via distributed multiplies
+    muli t5, a0, 3
+    muli t6, a0, 5
+    add  t5, t5, t6
+    muli t6, a0, 8
+    sub  t5, t5, t6        # == 0 for every a0
+    add  t5, t5, t4        # == route one
+    bne  t4, t5, slow
+    # payload: real per-call work on the iteration index; redefines
+    # every chain temporary, so the folded chain is dead in the clone
+    mul  t0, a1, a1
+    xori t1, a1, 51
+    add  t2, t0, t1
+    andi t3, t2, 255
+    srli t4, t2, 2
+    add  t5, t3, t4
+    xor  t6, t5, a1
+    add  a0, t6, a0
+    ret
+slow:
+    # recovery path for a corrupt config: never reached (the two
+    # routes agree by construction), unreachable in the bound clone
+    li   t0, 0
+    muli t1, a0, 99
+    add  t0, t0, t1
+    xori t0, t0, 4095
+    mov  a0, t0
+    ret
+    .endp
+)";
+
+/**
+ * Kernel that walks a compare ladder on the config to pick one of
+ * eight arithmetic arms. Under a bound a0 the ladder folds to a
+ * direct jump and the seven dead arms disappear.
+ */
+const char *const dispatchKernel = R"(
+    .proc kernel args=2
+kernel:
+    andi t9, a0, 7
+    seqi t0, t9, 0
+    bnez t0, arm0
+    seqi t0, t9, 1
+    bnez t0, arm1
+    seqi t0, t9, 2
+    bnez t0, arm2
+    seqi t0, t9, 3
+    bnez t0, arm3
+    seqi t0, t9, 4
+    bnez t0, arm4
+    seqi t0, t9, 5
+    bnez t0, arm5
+    seqi t0, t9, 6
+    bnez t0, arm6
+arm7:
+    muli t1, a1, 7
+    xori t1, t1, 77
+    add  a0, t1, a0
+    ret
+arm0:
+    addi t1, a1, 11
+    slli t1, t1, 1
+    add  a0, t1, a0
+    ret
+arm1:
+    muli t1, a1, 3
+    srli t1, t1, 1
+    add  a0, t1, a0
+    ret
+arm2:
+    xori t1, a1, 29
+    muli t1, t1, 5
+    add  a0, t1, a0
+    ret
+arm3:
+    andi t1, a1, 63
+    muli t1, t1, 9
+    add  a0, t1, a0
+    ret
+arm4:
+    srli t1, a1, 2
+    xori t1, t1, 13
+    add  a0, t1, a0
+    ret
+arm5:
+    muli t1, a1, 11
+    andi t1, t1, 127
+    add  a0, t1, a0
+    ret
+arm6:
+    slli t1, a1, 3
+    sub  t1, t1, a1
+    add  a0, t1, a0
+    ret
+    .endp
+)";
+
+/** Engine shape for the bench: converge within ~200 calls so the
+ *  adaptation latency is a vanishing fraction at both scales (the
+ *  smoke run must measure the same steady state the full run does). */
+adapt::AdaptConfig
+benchAdaptConfig()
+{
+    adapt::AdaptConfig cfg;
+    cfg.invariance = 0.90;
+    cfg.minCalls = 32;
+    cfg.deoptWindow = 32;
+    cfg.deoptMissRate = 0.5;
+    cfg.blacklistAfter = 4;
+    cfg.sampler.burstSize = 16;
+    cfg.sampler.initialSkip = 16;
+    cfg.sampler.convergeRounds = 2;
+    cfg.sampler.maxSkip = 256;
+    return cfg;
+}
+
+struct Row
+{
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t plainInsts = 0;
+    std::uint64_t adaptiveInsts = 0;
+    std::uint64_t installs = 0;
+    std::uint64_t respecs = 0;
+    std::uint64_t deopts = 0;
+    std::uint64_t guardHits = 0;
+    std::uint64_t guardMisses = 0;
+
+    double
+    speedup() const
+    {
+        return adaptiveInsts
+                   ? static_cast<double>(plainInsts) /
+                         static_cast<double>(adaptiveInsts)
+                   : 0.0;
+    }
+};
+
+Row
+runShape(const std::string &name, const std::string &source,
+         std::uint64_t calls, bool expect_respec)
+{
+    Row row;
+    row.name = name;
+    row.calls = calls;
+
+    const vpsim::Program plain_prog = vpsim::assemble(source);
+    vpsim::Cpu plain_cpu(plain_prog, bench::cpuConfig());
+    const vpsim::RunResult plain = plain_cpu.run();
+    if (!plain.exited())
+        vp_fatal("%s: plain run did not exit (reason %d)",
+                 name.c_str(), static_cast<int>(plain.reason));
+    row.plainInsts = plain.dynamicInsts;
+
+    vpsim::Program aprog = vpsim::assemble(source);
+    instr::Image image(aprog);
+    instr::InstrumentManager manager(image);
+    vpsim::Cpu acpu(aprog, bench::cpuConfig());
+    adapt::AdaptiveEngine engine(aprog, manager, acpu,
+                                 benchAdaptConfig());
+    manager.attach(acpu);
+    const vpsim::RunResult adaptive = acpu.run();
+    if (!adaptive.exited())
+        vp_fatal("%s: adaptive run did not exit (reason %d)",
+                 name.c_str(), static_cast<int>(adaptive.reason));
+    row.adaptiveInsts = adaptive.dynamicInsts;
+    row.installs = engine.installs();
+    row.respecs = engine.respecializations();
+    row.deopts = engine.deopts();
+    row.guardHits = engine.guardHits();
+    row.guardMisses = engine.guardMisses();
+
+    // Transparency contract: the engine may never change what the
+    // guest computes, only how many instructions it retires.
+    if (plain_cpu.output() != acpu.output() ||
+        plain.exitCode != adaptive.exitCode)
+        vp_fatal("%s: adaptive output diverged from plain",
+                 name.c_str());
+    if (row.installs == 0)
+        vp_fatal("%s: engine never specialized", name.c_str());
+    if (expect_respec && row.respecs == 0)
+        vp_fatal("%s: phase shift never re-specialized", name.c_str());
+    return row;
+}
+
+double
+geomeanSpeedup(const std::vector<Row> &rows)
+{
+    double log_sum = 0.0;
+    for (const auto &r : rows)
+        log_sum += std::log(r.speedup());
+    return std::exp(log_sum / static_cast<double>(rows.size()));
+}
+
+void
+writeJson(const std::string &path, const std::vector<Row> &rows,
+          bool smoke)
+{
+    std::ofstream out(path);
+    if (!out)
+        vp_fatal("cannot write '%s'", path.c_str());
+    char buf[512];
+    out << "{\n"
+        << "  \"bench\": \"table_adaptive\",\n"
+        << "  \"version\": 1,\n"
+        << "  \"unit\": \"dynamic_instruction_speedup\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"calls\": %" PRIu64
+            ", \"plain_insts\": %" PRIu64
+            ", \"adaptive_insts\": %" PRIu64 ", \"speedup\": %.3f"
+            ", \"installs\": %" PRIu64 ", \"respecializations\": %" PRIu64
+            ", \"deopts\": %" PRIu64 ", \"guard_hits\": %" PRIu64
+            ", \"guard_misses\": %" PRIu64 "}%s\n",
+            r.name.c_str(), r.calls, r.plainInsts, r.adaptiveInsts,
+            r.speedup(), r.installs, r.respecs, r.deopts, r.guardHits,
+            r.guardMisses, i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    double min_speedup = 1e300;
+    for (const auto &r : rows)
+        min_speedup = std::min(min_speedup, r.speedup());
+    std::snprintf(buf, sizeof buf,
+                  "  ],\n"
+                  "  \"suite\": {\"geomean_speedup\": %.3f, "
+                  "\"min_speedup\": %.3f}\n"
+                  "}\n",
+                  geomeanSpeedup(rows), min_speedup);
+    out << buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_adaptive.json";
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (a == "--smoke") {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: table_adaptive [--out FILE] "
+                                 "[--smoke]\n");
+            return 2;
+        }
+    }
+    bench::StatsSession stats_session("table_adaptive");
+
+    const std::uint64_t calls = smoke ? 4'000 : 40'000;
+    // checksum_gate / dispatch_chain never switch phase (switch_at
+    // past the trip count); phase_shift flips the config halfway.
+    const std::uint64_t never = calls + 1;
+
+    std::printf("E20: online adaptive specialization "
+                "(dynamic-instruction speedup, %s scale)\n",
+                smoke ? "smoke" : "full");
+
+    std::vector<Row> rows;
+    rows.push_back(runShape(
+        "checksum_gate",
+        mainLoop(calls, 0x2b5d, never, 0x2b5d) + checksumKernel,
+        calls, false));
+    rows.push_back(runShape(
+        "dispatch_chain",
+        mainLoop(calls, 0x1267, never, 0x1267) + dispatchKernel,
+        calls, false));
+    rows.push_back(runShape(
+        "phase_shift",
+        mainLoop(calls, 0x2b5d, calls / 2, 0x77e1) + checksumKernel,
+        calls, true));
+
+    vp::TextTable table({"workload", "calls", "plain insts(M)",
+                         "adaptive insts(M)", "speedup", "installs",
+                         "respecs", "deopts", "guard hit/total"});
+    for (const auto &r : rows) {
+        table.row()
+            .cell(r.name)
+            .cell(r.calls)
+            .cell(static_cast<double>(r.plainInsts) / 1e6, 3)
+            .cell(static_cast<double>(r.adaptiveInsts) / 1e6, 3)
+            .cell(r.speedup(), 2)
+            .cell(r.installs)
+            .cell(r.respecs)
+            .cell(r.deopts)
+            .cell(vp::format("%llu/%llu",
+                             static_cast<unsigned long long>(
+                                 r.guardHits),
+                             static_cast<unsigned long long>(
+                                 r.guardHits + r.guardMisses)));
+    }
+    table.print(std::cout);
+    std::printf("geomean speedup: %.2fx\n", geomeanSpeedup(rows));
+
+    writeJson(out_path, rows, smoke);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -1,0 +1,356 @@
+#include "adapt/engine.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+#include "support/stats_registry.hpp"
+#include "support/strings.hpp"
+#include "support/trace.hpp"
+
+namespace adapt
+{
+
+namespace
+{
+bool g_staleGuardCanary = false;
+} // namespace
+
+void
+AdaptiveEngine::setStaleGuardCanaryForTest(bool enabled)
+{
+    g_staleGuardCanary = enabled;
+}
+
+AdaptiveEngine::AdaptiveEngine(vpsim::Program &program,
+                               instr::InstrumentManager &manager,
+                               vpsim::Cpu &cpu_ref,
+                               const AdaptConfig &config)
+    : prog(program), mgr(manager), cpu(cpu_ref), cfg(config)
+{
+    vp_assert(cfg.invariance > 0.0 && cfg.invariance <= 1.0,
+              "invariance threshold must be in (0,1]");
+    vp_assert(cfg.deoptWindow >= 1, "deopt window must be positive");
+    mgr.instrumentCalls(this);
+}
+
+AdaptiveEngine::Site &
+AdaptiveEngine::siteForProc(const vpsim::Procedure &proc)
+{
+    auto it = siteMap.find(proc.entry);
+    if (it == siteMap.end()) {
+        it = siteMap.emplace(proc.entry, Site(cfg.sampler)).first;
+        Site &s = it->second;
+        s.procName = proc.name;
+        s.entry = proc.entry;
+        s.numArgs = std::min(proc.numArgs, vpsim::maxArgRegs);
+        s.args.assign(s.numArgs, core::ValueProfile(cfg.profile));
+    }
+    return it->second;
+}
+
+const AdaptiveEngine::Site *
+AdaptiveEngine::siteAt(std::uint32_t entry) const
+{
+    auto it = siteMap.find(entry);
+    return it == siteMap.end() ? nullptr : &it->second;
+}
+
+const AdaptiveEngine::Site *
+AdaptiveEngine::siteFor(const std::string &proc_name) const
+{
+    for (const auto &[entry, site] : siteMap)
+        if (site.procName == proc_name)
+            return &site;
+    return nullptr;
+}
+
+void
+AdaptiveEngine::deoptimize(Site &site, const char *why)
+{
+    // Tearing out the redirect is safe mid-run (in-place write); it
+    // takes effect for the very call being reported, which has not
+    // been redirected yet.
+    cpu.clearCallRedirect(site.entry);
+    site.installed = false;
+    site.windowCalls = site.windowMisses = 0;
+    ++site.deopts;
+    ++nDeopts;
+    VP_STAT_INC(vp::stats::Cid::AdaptDeopts);
+
+    // Forget the stale phase and restart full-rate sampling so the
+    // new value distribution is learned from scratch.
+    for (auto &p : site.args)
+        p.reset();
+    site.sampler = core::SamplerState(cfg.sampler);
+
+    if (site.deopts >= cfg.blacklistAfter) {
+        site.blacklisted = true;
+        ++nBlacklists;
+        VP_STAT_INC(vp::stats::Cid::AdaptBlacklists);
+    }
+    (void)why;
+}
+
+void
+AdaptiveEngine::scheduleInstall(Site &site)
+{
+    // Bind every argument whose profile cleared the threshold; the
+    // guard tests them all, so more bindings mean a stronger clone at
+    // the price of a pickier guard.
+    std::vector<specialize::Binding> bindings;
+    for (unsigned i = 0; i < site.numArgs; ++i) {
+        const core::ValueProfile &p = site.args[i];
+        if (p.executions() == 0 || p.invTop() < cfg.invariance)
+            continue;
+        const auto top = p.tnv().top();
+        if (!top)
+            continue;
+        bindings.push_back(
+            {static_cast<std::uint8_t>(vpsim::regA0 + i),
+             top->value});
+    }
+    if (bindings.empty())
+        return;
+    site.bindings = std::move(bindings);
+    site.pendingInstall = true;
+    anyPending = true;
+    cpu.requestPatchPoint();
+}
+
+void
+AdaptiveEngine::installPending(vpsim::Cpu &patched)
+{
+    if (!anyPending)
+        return;
+    anyPending = false;
+    for (auto &[entry, site] : siteMap) {
+        if (!site.pendingInstall)
+            continue;
+        site.pendingInstall = false;
+        if (site.installed || site.blacklisted ||
+            clonesAppended >= cfg.maxClones)
+            continue;
+
+        vp::trace::ScopedSpan span("adapt.install");
+        span.arg("proc", site.procName);
+
+        // Each generation gets a unique label suffix: deoptimized
+        // clones stay in the program (pcs are immutable), so a
+        // re-specialization must not collide with its predecessors.
+        specialize::CloneOptions opts;
+        opts.retargetCalls = false;
+        // No ABI assumption online: the guest may pass values through
+        // scratch registers, so only provably dead code is removed.
+        opts.assumeAbi = false;
+        opts.labelSuffix = vp::format("$a%llu",
+                                      static_cast<unsigned long long>(
+                                          ++generation));
+        const specialize::GuardedClone clone =
+            specialize::appendGuardedClone(prog, site.procName,
+                                           site.bindings, opts);
+        ++clonesAppended;
+
+        // The program grew: widen the routing tables before the
+        // interpreter re-latches its per-pc filter.
+        mgr.growTo(prog.code.size());
+
+        site.guardEntry = clone.guardEntry;
+        site.cloneEntry = clone.specializedEntry;
+        patched.setCallRedirect(site.entry,
+                                g_staleGuardCanary
+                                    ? clone.specializedEntry
+                                    : clone.guardEntry);
+        site.installed = true;
+        site.windowCalls = site.windowMisses = 0;
+        ++site.installs;
+        ++nInstalls;
+        VP_STAT_INC(vp::stats::Cid::AdaptInstalls);
+        if (site.everInstalled) {
+            ++site.respecializations;
+            ++nRespecs;
+            VP_STAT_INC(vp::stats::Cid::AdaptRespecializations);
+        }
+        site.everInstalled = true;
+    }
+}
+
+void
+AdaptiveEngine::onPatchPoint(vpsim::Cpu &patched)
+{
+    installPending(patched);
+}
+
+void
+AdaptiveEngine::onProcCall(const vpsim::Procedure &proc,
+                           const std::uint64_t *args, std::uint32_t)
+{
+    if (proc.numArgs == 0)
+        return;
+    // A host-side Cpu::reset() (workload harnesses reset before
+    // injecting input) drops any pending patch-point request. Re-arm
+    // while installs are queued so pre-seeded specializations still
+    // land, instead of wedging the site in pendingInstall forever.
+    if (anyPending)
+        cpu.requestPatchPoint();
+    Site &site = siteForProc(proc);
+    ++site.calls;
+
+    // Guard accounting. The interpreter reports the *original* callee
+    // (redirects apply after the Call event), so the engine sees every
+    // call and can mirror the guard's register tests exactly.
+    if (site.installed) {
+        bool match = true;
+        for (const auto &b : site.bindings) {
+            if (args[b.reg - vpsim::regA0] != b.value) {
+                match = false;
+                break;
+            }
+        }
+        if (match) {
+            ++site.guardHits;
+            ++nGuardHits;
+            VP_STAT_INC(vp::stats::Cid::AdaptGuardHits);
+        } else {
+            ++site.guardMisses;
+            ++nGuardMisses;
+            VP_STAT_INC(vp::stats::Cid::AdaptGuardMisses);
+        }
+        ++site.windowCalls;
+        if (!match)
+            ++site.windowMisses;
+        if (site.windowCalls >= cfg.deoptWindow) {
+            const double miss_rate =
+                static_cast<double>(site.windowMisses) /
+                static_cast<double>(site.windowCalls);
+            if (miss_rate >= cfg.deoptMissRate) {
+                deoptimize(site, "miss-rate");
+                return;
+            }
+            site.windowCalls = site.windowMisses = 0;
+        }
+    }
+
+    if (site.blacklisted)
+        return;
+
+    // Convergent sampling over the argument values, one sampler step
+    // per call (the procedure is the entity, as in the paper's
+    // parameter profiling).
+    if (site.sampler.step()) {
+        for (unsigned i = 0; i < site.numArgs; ++i)
+            site.args[i].record(args[i]);
+    }
+    if (!site.sampler.burstJustEnded())
+        return;
+
+    double best_inv = 0.0;
+    for (const auto &p : site.args)
+        best_inv = std::max(best_inv, p.invTop());
+    switch (site.sampler.noteBurstEnd(best_inv)) {
+      case core::BurstEvent::Converged:
+        if (!site.installed && !site.pendingInstall &&
+            site.calls >= cfg.minCalls)
+            scheduleInstall(site);
+        break;
+      case core::BurstEvent::Retriggered:
+        // Phase change detected by the wake-up burst. If the miss-rate
+        // window has not already torn the redirect out, do it now and
+        // relearn; an uninstalled site just keeps re-profiling.
+        if (site.installed)
+            deoptimize(site, "phase-change");
+        break;
+      case core::BurstEvent::None:
+        break;
+    }
+}
+
+std::string
+AdaptiveEngine::report() const
+{
+    std::string out;
+    for (const auto &[entry, s] : siteMap) {
+        if (s.calls == 0)
+            continue;
+        out += vp::format(
+            "%-16s calls=%-8llu installs=%llu deopts=%u "
+            "guard=%llu/%llu%s%s\n",
+            s.procName.c_str(),
+            static_cast<unsigned long long>(s.calls),
+            static_cast<unsigned long long>(s.installs), s.deopts,
+            static_cast<unsigned long long>(s.guardHits),
+            static_cast<unsigned long long>(s.guardHits +
+                                            s.guardMisses),
+            s.installed ? " [installed]" : "",
+            s.blacklisted ? " [blacklisted]" : "");
+    }
+    return out;
+}
+
+void
+AdaptiveEngine::exportProfiles(core::ProfileSnapshot &snap) const
+{
+    for (const auto &[entry, s] : siteMap) {
+        for (unsigned i = 0; i < s.numArgs; ++i) {
+            if (s.args[i].executions() == 0)
+                continue;
+            snap.entities[entityKey(s.entry, i)] =
+                core::ProfileSnapshot::summarize(s.args[i], s.calls);
+        }
+    }
+}
+
+std::size_t
+AdaptiveEngine::preseedFrom(const core::ProfileSnapshot &snap)
+{
+    // Collect bindings per procedure entry from the tagged entities.
+    std::map<std::uint32_t, std::vector<specialize::Binding>> seeds;
+    for (const auto &[key, summary] : snap.entities) {
+        if (!(key >> 63))
+            continue;
+        const auto entry =
+            static_cast<std::uint32_t>((key >> 8) &
+                                       0xffffffffull);
+        const auto arg = static_cast<unsigned>(key & 0xff);
+        if (summary.invTop < cfg.invariance ||
+            summary.topValues.empty())
+            continue;
+        const vpsim::Procedure *proc = nullptr;
+        for (const auto &p : prog.procs)
+            if (p.entry == entry) {
+                proc = &p;
+                break;
+            }
+        if (!proc || arg >= std::min(proc->numArgs,
+                                     vpsim::maxArgRegs))
+            continue;
+        seeds[entry].push_back(
+            {static_cast<std::uint8_t>(vpsim::regA0 + arg),
+             summary.topValue()});
+    }
+
+    std::size_t seeded = 0;
+    for (auto &[entry, bindings] : seeds) {
+        const vpsim::Procedure *proc = nullptr;
+        for (const auto &p : prog.procs)
+            if (p.entry == entry) {
+                proc = &p;
+                break;
+            }
+        Site &site = siteForProc(*proc);
+        if (site.installed || site.pendingInstall || site.blacklisted)
+            continue;
+        site.bindings = std::move(bindings);
+        site.pendingInstall = true;
+        anyPending = true;
+        ++seeded;
+    }
+    if (seeded) {
+        // Seeding before run(): the request is serviced at the loop
+        // top, so the installs land before the first guest
+        // instruction.
+        cpu.requestPatchPoint();
+    }
+    return seeded;
+}
+
+} // namespace adapt

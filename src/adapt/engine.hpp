@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Online adaptive specialization — closing the PGO loop in the VM.
+ *
+ * The offline pipeline (profile → specialize → rerun) proves value-
+ * profile-driven specialization wins; this engine performs the same
+ * transformation *while the program runs*, the way the PGO survey and
+ * the adaptive-JIT literature frame profiling: as an input to online
+ * optimization, not an endpoint.
+ *
+ * The AdaptiveEngine is an instrumentation Tool that watches procedure
+ * calls. Per procedure it runs the paper's convergent sampler over the
+ * argument values; when the sampler reports convergence and the best
+ * argument's Inv-Top clears the invariance threshold, the engine asks
+ * the Cpu for a patch point, appends a guarded specialized clone
+ * (specialize::appendGuardedClone) to the live Program, and installs a
+ * call redirect steering future calls through the guard. The guard
+ * re-tests the bindings on every call, so the transformation stays
+ * architecturally transparent whatever values arrive.
+ *
+ * Lifecycle per site (see DESIGN.md, "Adaptive specialization"):
+ *
+ *   PROFILING --converged & Inv-Top >= threshold--> INSTALLED
+ *   INSTALLED --miss-rate window tripped--> deopt --> PROFILING
+ *   INSTALLED --sampler retrigger (phase change)--> deopt --> PROFILING
+ *   PROFILING --K deopts--> BLACKLISTED (terminal)
+ *
+ * Deoptimization is purely a *performance* decision: the guard already
+ * routes mismatching calls to the untouched original body, so a stale
+ * specialization is never incorrect, only useless. Clones are
+ * append-only — a deoptimized clone's code stays in the program (pcs
+ * are immutable once issued; the redirect just stops sending calls
+ * there) and a re-specialization appends a fresh generation under a
+ * unique label suffix.
+ */
+
+#ifndef VP_ADAPT_ENGINE_HPP
+#define VP_ADAPT_ENGINE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "core/snapshot.hpp"
+#include "core/value_profile.hpp"
+#include "instrument/manager.hpp"
+#include "specialize/specializer.hpp"
+#include "vpsim/cpu.hpp"
+
+namespace adapt
+{
+
+/** AdaptiveEngine tuning knobs. */
+struct AdaptConfig
+{
+    /** Inv-Top an argument must reach for its value to be bound. */
+    double invariance = 0.90;
+    /** Calls a procedure must accumulate before installing. */
+    std::uint64_t minCalls = 64;
+    /** Per-procedure convergent-sampling parameters. */
+    core::SamplerConfig sampler;
+    /** Per-argument value-profile parameters. */
+    core::ProfileConfig profile;
+    /** Calls per guard miss-rate accounting window. */
+    std::uint64_t deoptWindow = 64;
+    /** Window miss fraction at which the redirect is torn out. */
+    double deoptMissRate = 0.5;
+    /** Deopts after which a site is blacklisted for good. */
+    unsigned blacklistAfter = 4;
+    /** Cap on appended clones, bounding program growth. */
+    std::uint32_t maxClones = 64;
+};
+
+/** The online engine; one instance per (Program, Cpu, manager) shard. */
+class AdaptiveEngine final : public instr::Tool
+{
+  public:
+    /** Per-procedure adaptation state, exposed for tests/reports. */
+    struct Site
+    {
+        std::string procName;
+        std::uint32_t entry = 0;
+        unsigned numArgs = 0;
+
+        core::SamplerState sampler;
+        std::vector<core::ValueProfile> args;
+        std::uint64_t calls = 0;
+
+        bool installed = false;
+        bool pendingInstall = false;
+        bool everInstalled = false;
+        bool blacklisted = false;
+        std::vector<specialize::Binding> bindings;
+        std::uint32_t guardEntry = 0;
+        std::uint32_t cloneEntry = 0;
+
+        std::uint64_t windowCalls = 0;
+        std::uint64_t windowMisses = 0;
+        unsigned deopts = 0;
+        std::uint64_t guardHits = 0;
+        std::uint64_t guardMisses = 0;
+        std::uint64_t installs = 0;
+        std::uint64_t respecializations = 0;
+
+        explicit Site(const core::SamplerConfig &sc) : sampler(sc) {}
+    };
+
+    /**
+     * Bind the engine to the mutable program it may grow, the manager
+     * routing events to it, and the Cpu it patches. All three must
+     * outlive the engine; `prog` must be the same Program the Cpu and
+     * the manager's Image were built from. Registers itself for call
+     * events — the caller still attaches the manager to the Cpu.
+     */
+    AdaptiveEngine(vpsim::Program &prog, instr::InstrumentManager &mgr,
+                   vpsim::Cpu &cpu, const AdaptConfig &config = {});
+
+    // Tool interface ---------------------------------------------------
+    void onProcCall(const vpsim::Procedure &proc,
+                    const std::uint64_t *args,
+                    std::uint32_t caller_pc) override;
+    void onPatchPoint(vpsim::Cpu &cpu) override;
+
+    // Introspection ----------------------------------------------------
+
+    /** Site state for a procedure entry pc, or nullptr. */
+    const Site *siteAt(std::uint32_t entry) const;
+    /** Site state for a procedure name, or nullptr. */
+    const Site *siteFor(const std::string &proc_name) const;
+    /** All sites, by entry pc. */
+    const std::map<std::uint32_t, Site> &sites() const
+    {
+        return siteMap;
+    }
+
+    std::uint64_t installs() const { return nInstalls; }
+    std::uint64_t deopts() const { return nDeopts; }
+    std::uint64_t blacklists() const { return nBlacklists; }
+    std::uint64_t respecializations() const { return nRespecs; }
+    std::uint64_t guardHits() const { return nGuardHits; }
+    std::uint64_t guardMisses() const { return nGuardMisses; }
+
+    /** One-line per-site report for CLI output. */
+    std::string report() const;
+
+    // Fleet-wide PGO ---------------------------------------------------
+    //
+    // Adaptive parameter profiles travel through vpd under their own
+    // tagged entity keys, so one replica's convergence can pre-seed
+    // specialization on every other replica (ROADMAP stretch goal).
+
+    /** Snapshot entity key for (procedure entry, argument index). */
+    static std::uint64_t entityKey(std::uint32_t entry, unsigned arg)
+    {
+        return (std::uint64_t(1) << 63) |
+               (std::uint64_t(entry) << 8) | (arg & 0xff);
+    }
+
+    /** Export the per-argument profiles under tagged keys. */
+    void exportProfiles(core::ProfileSnapshot &snap) const;
+
+    /**
+     * Pre-seed installs from an aggregate snapshot (a vpd QUERY
+     * reply): every tagged entity whose Inv-Top clears the threshold
+     * and whose entry names a known procedure becomes a pending
+     * install, applied at the first patch point — which this call
+     * requests, so seeding before run() takes effect before the first
+     * guest instruction.
+     * @return number of sites seeded.
+     */
+    std::size_t preseedFrom(const core::ProfileSnapshot &snap);
+
+    // Test hooks -------------------------------------------------------
+
+    /**
+     * Mutation canary (vpcheck --canary=adapt): install redirects
+     * aimed straight at the clone entry, skipping the guard — a stale
+     * specialization that goes architecturally wrong the moment a
+     * bound value shifts. Never enable outside the harness.
+     */
+    static void setStaleGuardCanaryForTest(bool enabled);
+
+  private:
+    Site &siteForProc(const vpsim::Procedure &proc);
+    void deoptimize(Site &site, const char *why);
+    void scheduleInstall(Site &site);
+    void installPending(vpsim::Cpu &cpu);
+
+    vpsim::Program &prog;
+    instr::InstrumentManager &mgr;
+    vpsim::Cpu &cpu;
+    AdaptConfig cfg;
+
+    std::map<std::uint32_t, Site> siteMap;
+    std::uint32_t clonesAppended = 0;
+    std::uint64_t generation = 0;
+    bool anyPending = false;
+
+    std::uint64_t nInstalls = 0;
+    std::uint64_t nDeopts = 0;
+    std::uint64_t nBlacklists = 0;
+    std::uint64_t nRespecs = 0;
+    std::uint64_t nGuardHits = 0;
+    std::uint64_t nGuardMisses = 0;
+};
+
+} // namespace adapt
+
+#endif // VP_ADAPT_ENGINE_HPP

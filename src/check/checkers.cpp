@@ -96,6 +96,26 @@ snapshotText(const core::ProfileSnapshot &snap)
 
 } // namespace
 
+adapt::AdaptConfig
+CheckOptions::smallAdaptConfig()
+{
+    adapt::AdaptConfig cfg;
+    // A generated main issues a few dozen to a few hundred calls per
+    // procedure; size the sampler and windows so convergence, install,
+    // miss-rate deopt and retrigger can all happen inside one trial.
+    cfg.invariance = 0.55;
+    cfg.minCalls = 8;
+    cfg.deoptWindow = 8;
+    cfg.deoptMissRate = 0.5;
+    cfg.blacklistAfter = 3;
+    cfg.sampler.burstSize = 6;
+    cfg.sampler.initialSkip = 2;
+    cfg.sampler.convergeRounds = 2;
+    cfg.sampler.maxSkip = 32;
+    cfg.sampler.retriggerDelta = 0.05;
+    return cfg;
+}
+
 const char *
 checkerName(Checker c)
 {
@@ -105,6 +125,7 @@ checkerName(Checker c)
       case Checker::SampledVsFull: return "sampled";
       case Checker::SnapshotRoundTrip: return "snapshot";
       case Checker::ServeLoopback: return "serve";
+      case Checker::Adapt: return "adapt";
     }
     return "?";
 }
@@ -130,6 +151,7 @@ allCheckers()
         Checker::SampledVsFull,
         Checker::SnapshotRoundTrip,
         Checker::ServeLoopback,
+        Checker::Adapt,
     };
     return all;
 }
@@ -876,6 +898,109 @@ checkServeLoopback(const vpsim::Program &prog, const CheckOptions &opts)
     return CheckResult::pass();
 }
 
+namespace
+{
+
+const char *
+stopReasonName(vpsim::StopReason r)
+{
+    switch (r) {
+      case vpsim::StopReason::Exited: return "exited";
+      case vpsim::StopReason::MaxInsts: return "max-insts";
+      case vpsim::StopReason::MemFault: return "mem-fault";
+      case vpsim::StopReason::BadInst: return "bad-inst";
+    }
+    return "?";
+}
+
+} // namespace
+
+CheckResult
+checkAdaptive(const vpsim::Program &prog, const CheckOptions &opts)
+{
+    // Plain architectural reference: no instrumentation at all.
+    vpsim::Cpu plain(prog, opts.cpu);
+    const vpsim::RunResult pref = plain.run();
+    if (pref.reason == vpsim::StopReason::MaxInsts)
+        // The reference never finished; the adaptive leg would stop at
+        // a different architectural point (guards cost instructions),
+        // so there is nothing sound to compare.
+        return CheckResult::pass();
+
+    // Adaptive leg. Its own mutable program copy — the engine appends
+    // guarded clones to it — and generous instruction headroom: the
+    // guard blocks add work, and a too-small budget would turn that
+    // overhead into a spurious stop-reason divergence. A redirect loop,
+    // by contrast, blows through even this budget and is reported.
+    vpsim::Program aprog = prog;
+    instr::Image aimg(aprog);
+    instr::InstrumentManager amgr(aimg);
+    vpsim::CpuConfig acpu = opts.cpu;
+    acpu.maxInsts = opts.cpu.maxInsts * 4;
+    vpsim::Cpu cpu(aprog, acpu);
+    adapt::AdaptiveEngine engine(aprog, amgr, cpu, opts.adapt);
+    amgr.attach(cpu);
+    const vpsim::RunResult ares = cpu.run();
+
+    // Architectural transparency: everything the guest can observe
+    // about itself must match. dynamicInsts is *expected* to differ —
+    // that difference is the speedup.
+    if (ares.reason != pref.reason)
+        return CheckResult::fail(vp::format(
+            "adaptive run stopped with %s, plain run with %s "
+            "(installs=%llu deopts=%llu)",
+            stopReasonName(ares.reason), stopReasonName(pref.reason),
+            static_cast<unsigned long long>(engine.installs()),
+            static_cast<unsigned long long>(engine.deopts())));
+    if (ares.exitCode != pref.exitCode)
+        return CheckResult::fail(vp::format(
+            "adaptive exit code %lld != plain %lld (installs=%llu "
+            "guard=%llu/%llu deopts=%llu)",
+            static_cast<long long>(ares.exitCode),
+            static_cast<long long>(pref.exitCode),
+            static_cast<unsigned long long>(engine.installs()),
+            static_cast<unsigned long long>(engine.guardHits()),
+            static_cast<unsigned long long>(engine.guardHits() +
+                                            engine.guardMisses()),
+            static_cast<unsigned long long>(engine.deopts())));
+    if (cpu.output() != plain.output())
+        return CheckResult::fail(vp::format(
+            "adaptive guest output (%zu bytes) differs from plain "
+            "(%zu bytes) after %llu installs",
+            cpu.output().size(), plain.output().size(),
+            static_cast<unsigned long long>(engine.installs())));
+    if (cpu.outputValues() != plain.outputValues())
+        return CheckResult::fail(vp::format(
+            "adaptive guest printed %zu values, plain %zu, or the "
+            "sequences diverge (installs=%llu)",
+            cpu.outputValues().size(), plain.outputValues().size(),
+            static_cast<unsigned long long>(engine.installs())));
+
+    // Engine self-consistency: guard accounting only exists while a
+    // redirect is installed, and every respecialization implies both a
+    // prior install and a deopt.
+    if (engine.installs() == 0 &&
+        (engine.guardHits() + engine.guardMisses()) != 0)
+        return CheckResult::fail(
+            "guard hits/misses recorded without any install");
+    if (engine.respecializations() > 0 && engine.deopts() == 0)
+        return CheckResult::fail(
+            "respecialization recorded without a deopt");
+    for (const auto &[entry, site] : engine.sites()) {
+        if (site.blacklisted &&
+            site.deopts < opts.adapt.blacklistAfter)
+            return CheckResult::fail(vp::format(
+                "site %s blacklisted after only %u deopts (K=%u)",
+                site.procName.c_str(), site.deopts,
+                opts.adapt.blacklistAfter));
+        if (site.installed && site.blacklisted)
+            return CheckResult::fail(vp::format(
+                "site %s both installed and blacklisted",
+                site.procName.c_str()));
+    }
+    return CheckResult::pass();
+}
+
 CheckResult
 runChecker(Checker c, const vpsim::Program &prog,
            const CheckOptions &opts)
@@ -891,6 +1016,8 @@ runChecker(Checker c, const vpsim::Program &prog,
         return checkSnapshotRoundTrip(prog, opts);
       case Checker::ServeLoopback:
         return checkServeLoopback(prog, opts);
+      case Checker::Adapt:
+        return checkAdaptive(prog, opts);
     }
     vp_panic("unknown checker %d", static_cast<int>(c));
 }

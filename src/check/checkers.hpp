@@ -26,6 +26,14 @@
  *                      served aggregate must be byte-identical (the
  *                      streaming service's determinism contract, see
  *                      serve/server.hpp).
+ *  - Adapt             the same program run plain and under the online
+ *                      adaptive specialization engine (src/adapt),
+ *                      tuned so tiny generated programs still install,
+ *                      deopt and re-specialize: stop reason, exit code
+ *                      and all guest output must be identical —
+ *                      specialization is architecturally transparent
+ *                      (dynamic instruction counts legitimately
+ *                      differ; that is the point).
  *
  * Checkers return structured failures instead of asserting so the
  * vpcheck harness can shrink the offending program and emit a replay
@@ -39,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/engine.hpp"
 #include "core/instruction_profiler.hpp"
 #include "vpsim/cpu.hpp"
 #include "vpsim/program.hpp"
@@ -82,9 +91,19 @@ struct CheckOptions
     double sampledInvTolerance = 0.35;
     std::uint64_t sampledMinExecs = 1024;
     vpsim::CpuConfig cpu{1u << 20, 16'000'000};
+    /**
+     * Engine knobs for the `adapt` checker, scaled down so the few
+     * hundred calls a generated program makes are enough to converge,
+     * install, trip the miss-rate window, and re-specialize — the
+     * production defaults would never fire inside one trial.
+     */
+    adapt::AdaptConfig adapt = smallAdaptConfig();
+
+    /** The scaled-down adaptive envelope used as the default above. */
+    static adapt::AdaptConfig smallAdaptConfig();
 };
 
-/** The five differential checkers, in canonical order. */
+/** The six differential checkers, in canonical order. */
 enum class Checker
 {
     FullVsOracle,
@@ -92,10 +111,11 @@ enum class Checker
     SampledVsFull,
     SnapshotRoundTrip,
     ServeLoopback,
+    Adapt,
 };
 
 /** Short CLI name: "oracle", "merge", "sampled", "snapshot",
- *  "serve". */
+ *  "serve", "adapt". */
 const char *checkerName(Checker c);
 
 /** Parse a CLI name; returns false on unknown names. */
@@ -114,6 +134,8 @@ CheckResult checkSnapshotRoundTrip(const vpsim::Program &prog,
                                    const CheckOptions &opts = {});
 CheckResult checkServeLoopback(const vpsim::Program &prog,
                                const CheckOptions &opts = {});
+CheckResult checkAdaptive(const vpsim::Program &prog,
+                          const CheckOptions &opts = {});
 
 /** Dispatch by enum. */
 CheckResult runChecker(Checker c, const vpsim::Program &prog,

@@ -219,6 +219,7 @@ generateSource(std::uint64_t seed, const GenConfig &cfg)
               "bad instruction bounds");
     vp_assert(cfg.dataWords >= 1, "data segment must be non-empty");
     vp_assert(cfg.maxLoopTrip >= 1, "loop trip bound must be positive");
+    vp_assert(cfg.bindPhases >= 1, "bindPhases must be positive");
 
     vp::Rng rng(seed);
     const unsigned num_procs =
@@ -242,8 +243,14 @@ generateSource(std::uint64_t seed, const GenConfig &cfg)
     out += "    .proc main args=0\nmain:\n";
     for (unsigned c = 0; c < cfg.calls; ++c) {
         const long long a0 = rng.range(-50, 50);
+        // The bound value steps to a new constant each phase (a no-op
+        // at the default bindPhases = 1, keeping golden sources
+        // byte-identical). The RNG draw order never changes.
+        const long long phase = static_cast<long long>(
+            static_cast<unsigned long long>(c) * cfg.bindPhases /
+            cfg.calls);
         const long long a1 = rng.chance(cfg.bindChance)
-                                 ? cfg.bindValue
+                                 ? cfg.bindValue + 1001 * phase
                                  : rng.range(-50, 50);
         const long long a2 = rng.range(-50, 50);
         // Half of main's calls hit f0 (the procedure the specializer

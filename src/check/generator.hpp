@@ -60,6 +60,14 @@ struct GenConfig
      */
     long long bindValue = 7;
     double bindChance = 0.5;
+    /**
+     * Phases the bound value moves through across main's call
+     * sequence: phase p (0-based) binds bindValue + 1001*p, switching
+     * every calls/bindPhases calls. 1 (the default) keeps the classic
+     * single invariant value; >1 produces the phase-shifting programs
+     * the adaptive checker uses to force deopt + re-specialization.
+     */
+    unsigned bindPhases = 1;
 
     /** The old specializer-fuzz envelope: one straight-line procedure,
      *  no loops, no memory traffic. */

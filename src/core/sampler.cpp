@@ -36,13 +36,14 @@ SamplerState::step()
     return false;
 }
 
-void
+BurstEvent
 SamplerState::noteBurstEnd(double inv_estimate)
 {
     vp_assert(burstEnded, "no burst has just ended");
     burstEnded = false;
     VP_STAT_INC(vp::stats::Cid::SamplerBursts);
 
+    BurstEvent event = BurstEvent::None;
     bool retriggered = false;
     if (lastInv >= 0.0) {
         const double delta = std::fabs(inv_estimate - lastInv);
@@ -53,6 +54,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
                 stableRounds = 0;
                 curSkip = cfg.initialSkip;
                 retriggered = true;
+                event = BurstEvent::Retriggered;
                 VP_STAT_INC(vp::stats::Cid::SamplerRetriggers);
             } else {
                 // Still converged: keep backing off.
@@ -66,6 +68,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
         } else if (delta < cfg.convergenceDelta) {
             if (++stableRounds >= cfg.convergeRounds) {
                 isConverged = true;
+                event = BurstEvent::Converged;
                 curSkip = std::min<std::uint64_t>(
                     cfg.maxSkip,
                     static_cast<std::uint64_t>(
@@ -89,7 +92,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
     if (retriggered) {
         inBurst = true;
         phaseLeft = cfg.burstSize;
-        return;
+        return event;
     }
 
     // Enter the skip phase (possibly zero-length).
@@ -100,6 +103,7 @@ SamplerState::noteBurstEnd(double inv_estimate)
         inBurst = false;
         phaseLeft = curSkip;
     }
+    return event;
 }
 
 } // namespace core

@@ -57,6 +57,17 @@ struct SamplerConfig
     double retriggerDelta = 0.08;
 };
 
+/**
+ * What a burst report meant for the state machine — the notification
+ * hook online consumers (the adaptive specialization engine) key off.
+ */
+enum class BurstEvent
+{
+    None,         ///< burst absorbed; no state transition
+    Converged,    ///< this burst completed convergence
+    Retriggered,  ///< phase change detected; back to full-rate sampling
+};
+
 /** Per-entity sampling state machine. */
 class SamplerState
 {
@@ -76,8 +87,13 @@ class SamplerState
      */
     bool burstJustEnded() const { return burstEnded; }
 
-    /** Report the invariance estimate at the end of a burst. */
-    void noteBurstEnd(double inv_estimate);
+    /**
+     * Report the invariance estimate at the end of a burst.
+     * @return the transition this burst caused, so callers that react
+     *         to convergence or phase changes (src/adapt) need not
+     *         diff converged() around the call.
+     */
+    BurstEvent noteBurstEnd(double inv_estimate);
 
     bool converged() const { return isConverged; }
     std::uint64_t totalExecutions() const { return total; }

@@ -3,17 +3,19 @@
 namespace instr
 {
 
-Image::Image(const vpsim::Program &program) : prog(program)
-{
-    for (const auto &p : prog.procs)
-        entryToProc[p.entry] = &p;
-}
+Image::Image(const vpsim::Program &program) : prog(program) {}
 
 const vpsim::Procedure *
 Image::procAtEntry(std::uint32_t pc) const
 {
+    if (indexedProcs != prog.procs.size()) {
+        entryToProc.clear();
+        for (std::size_t i = 0; i < prog.procs.size(); ++i)
+            entryToProc[prog.procs[i].entry] = i;
+        indexedProcs = prog.procs.size();
+    }
     auto it = entryToProc.find(pc);
-    return it == entryToProc.end() ? nullptr : it->second;
+    return it == entryToProc.end() ? nullptr : &prog.procs[it->second];
 }
 
 const vpsim::Cfg &

@@ -68,8 +68,13 @@ class Image
 
   private:
     const vpsim::Program &prog;
-    std::unordered_map<std::uint32_t, const vpsim::Procedure *>
-        entryToProc;
+    // Entry pc -> index into prog.procs. Indices (not pointers): the
+    // adaptive engine appends clone procedures at run time, and a
+    // push_back may reallocate the procs vector. The map is rebuilt
+    // lazily whenever the procedure count changed (growth only happens
+    // at patch points, never during a lookup).
+    mutable std::unordered_map<std::uint32_t, std::size_t> entryToProc;
+    mutable std::size_t indexedProcs = 0;
     // Cache keyed by procedure entry pc.
     mutable std::unordered_map<std::uint32_t, vpsim::Cfg> cfgCache;
 };

@@ -64,6 +64,22 @@ InstrumentManager::instrumentCalls(Tool *tool)
 }
 
 void
+InstrumentManager::growTo(std::size_t num_insts)
+{
+    if (num_insts <= instTools.size())
+        return;
+    instTools.resize(num_insts);
+    instMask.resize(num_insts, 0);
+}
+
+void
+InstrumentManager::onPatchPoint(vpsim::Cpu &cpu)
+{
+    for (auto *t : allTools)
+        t->onPatchPoint(cpu);
+}
+
+void
 InstrumentManager::removeTool(Tool *tool)
 {
     auto scrub = [tool](std::vector<Tool *> &v) {

@@ -108,6 +108,15 @@ class Tool
     {
         (void)events; (void)n; (void)arg_regs;
     }
+
+    /**
+     * The Cpu parked at a patch point (see
+     * vpsim::ExecListener::onPatchPoint) — the only moment a tool may
+     * grow the Program or install call redirects. A tool that does
+     * grow the program must also call InstrumentManager::growTo so the
+     * routing tables cover the new instructions.
+     */
+    virtual void onPatchPoint(vpsim::Cpu &cpu) { (void)cpu; }
 };
 
 /** Routes Cpu events to registered tools. */
@@ -130,6 +139,15 @@ class InstrumentManager : public vpsim::ExecListener
 
     /** Remove a tool from every routing table. */
     void removeTool(Tool *tool);
+
+    /**
+     * Grow the per-pc routing tables to cover a program that gained
+     * instructions (adaptive specialization appends guarded clones at
+     * run time). New pcs start uninstrumented. Only call at a patch
+     * point: the interpreter latches instEventFilter()'s pointer per
+     * entry, and growth may reallocate it.
+     */
+    void growTo(std::size_t num_insts);
 
     /** Attach to / detach from a Cpu as its listener. */
     void attach(vpsim::Cpu &cpu) { cpu.addListener(this); }
@@ -173,6 +191,9 @@ class InstrumentManager : public vpsim::ExecListener
                  std::uint64_t value) override;
     void onCall(std::uint32_t caller_pc, std::uint32_t callee_entry,
                 const std::uint64_t *arg_regs) override;
+
+    /** Forward the patch point to every registered tool. */
+    void onPatchPoint(vpsim::Cpu &cpu) override;
 
   private:
     /** Track a registration for the sole-tool fast path. */

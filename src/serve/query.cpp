@@ -240,12 +240,13 @@ handleTop(const HttpRequest &req, const ServerView &view)
     if (by != "count" && by != "invariance")
         return errorResponse(400, "by must be count or invariance");
     const bool by_inv = by == "invariance";
-    // `kind` is validated for forward compatibility but does not
-    // filter yet: the delta wire format carries no entity-kind tag
-    // (DESIGN.md, "Query & metrics plane").
+    // The delta wire format carries no entity-kind tag yet, so a kind
+    // filter cannot be honored. Anything but the do-nothing default is
+    // rejected outright — silently returning unfiltered entries to a
+    // caller who asked for `kind=load` would be a lie with a 200 on it.
     const std::string &kind = req.param("kind", "any");
-    if (kind != "any" && kind != "inst" && kind != "load")
-        return errorResponse(400, "kind must be any, inst or load");
+    if (kind != "any")
+        return errorResponse(400, "kind filtering requires wire v3");
 
     Cursor cursor;
     bool have_cursor = false;

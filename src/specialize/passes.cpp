@@ -383,15 +383,16 @@ useDef(const Inst &inst, LiveSet &use, LiveSet &def)
 
 PassStats
 deadCodeEliminate(vpsim::Program &prog, std::uint32_t begin,
-                  std::uint32_t end)
+                  std::uint32_t end, bool conservative_exit)
 {
     PassStats stats;
     if (begin >= end)
         return stats;
     const vpsim::Cfg cfg(prog, begin, end);
     const auto &blocks = cfg.blocks();
-    const LiveSet exit_live = exitLiveSet();
     const LiveSet all_live = ~LiveSet(0);
+    const LiveSet exit_live =
+        conservative_exit ? all_live : exitLiveSet();
 
     // Backward liveness to fixpoint at block granularity.
     std::vector<LiveSet> live_in(blocks.size(), 0);
@@ -564,12 +565,13 @@ compactNops(vpsim::Program &prog, std::uint32_t begin, std::uint32_t end)
 PassStats
 optimizeRegion(vpsim::Program &prog, std::uint32_t begin,
                std::uint32_t end, const std::vector<Binding> &bindings,
-               bool single_entry)
+               bool single_entry, bool conservative_exit)
 {
     PassStats total;
     for (int iter = 0; iter < 10; ++iter) {
         const PassStats cf = constantFold(prog, begin, end, bindings);
-        const PassStats dce = deadCodeEliminate(prog, begin, end);
+        const PassStats dce =
+            deadCodeEliminate(prog, begin, end, conservative_exit);
         total.foldedToConst += cf.foldedToConst;
         total.immediated += cf.immediated;
         total.branchesFolded += cf.branchesFolded;

@@ -71,9 +71,17 @@ PassStats constantFold(vpsim::Program &prog, std::uint32_t begin,
  * caller-visible registers {a0-a5, s0-s7, gp, sp, fp, ra} are live and
  * temporaries are dead. Pure computations whose destination is dead
  * are replaced with NOP.
+ *
+ * With `conservative_exit` every register is live at region exits: the
+ * ABI assumption is dropped entirely. Required whenever the code being
+ * specialized is not known to follow the convention — a running guest
+ * may pass values to its caller through scratch registers, and the
+ * online adaptive engine must stay architecturally transparent on such
+ * programs (the `adapt` differential checker found exactly this).
  */
 PassStats deadCodeEliminate(vpsim::Program &prog, std::uint32_t begin,
-                            std::uint32_t end);
+                            std::uint32_t end,
+                            bool conservative_exit = false);
 
 /**
  * Replace instructions unreachable from the region entry (via static
@@ -106,7 +114,8 @@ PassStats compactNops(vpsim::Program &prog, std::uint32_t begin,
 PassStats optimizeRegion(vpsim::Program &prog, std::uint32_t begin,
                          std::uint32_t end,
                          const std::vector<Binding> &bindings,
-                         bool single_entry = false);
+                         bool single_entry = false,
+                         bool conservative_exit = false);
 
 } // namespace specialize
 

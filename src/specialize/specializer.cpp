@@ -46,12 +46,12 @@ class GuardWatch final : public vpsim::ExecListener
 
 } // namespace
 
-SpecializeResult
-specializeProcedure(const vpsim::Program &prog,
-                    const std::string &proc_name,
-                    const std::vector<Binding> &bindings)
+GuardedClone
+appendGuardedClone(vpsim::Program &out, const std::string &proc_name,
+                   const std::vector<Binding> &bindings,
+                   const CloneOptions &opts)
 {
-    const vpsim::Procedure *proc = prog.findProc(proc_name);
+    const vpsim::Procedure *proc = out.findProc(proc_name);
     if (!proc)
         vp_fatal("cannot specialize unknown procedure '%s'",
                  proc_name.c_str());
@@ -64,9 +64,7 @@ specializeProcedure(const vpsim::Program &prog,
             vp_fatal("binding register r%u is not specializable", b.reg);
     }
 
-    SpecializeResult result;
-    vpsim::Program &out = result.program;
-    out = prog;
+    GuardedClone result;
 
     // ------------------------------------------------------------------
     // 1. Clone the body to the end of the program.
@@ -78,15 +76,21 @@ specializeProcedure(const vpsim::Program &prog,
     // guard, which step 3 arranges by retargeting every call to the
     // procedure.
     // ------------------------------------------------------------------
+    // The Procedure pointer aims into out.procs, which step 4 grows;
+    // copy what we need first.
+    const std::uint32_t proc_entry = proc->entry;
+    const std::uint32_t proc_end = proc->end;
+    const unsigned proc_args = proc->numArgs;
+
     const auto clone_begin = static_cast<std::uint32_t>(out.code.size());
-    const std::uint32_t body_len = proc->end - proc->entry;
-    for (std::uint32_t pc = proc->entry; pc < proc->end; ++pc) {
+    const std::uint32_t body_len = proc_end - proc_entry;
+    for (std::uint32_t pc = proc_entry; pc < proc_end; ++pc) {
         Inst inst = out.code[pc];
         if (vpsim::isControl(inst.op) && inst.op != Opcode::JALR &&
             inst.op != Opcode::JAL) {
             const auto target = static_cast<std::uint32_t>(inst.imm);
-            if (target >= proc->entry && target < proc->end)
-                inst.imm = clone_begin + (target - proc->entry);
+            if (target >= proc_entry && target < proc_end)
+                inst.imm = clone_begin + (target - proc_entry);
         }
         out.code.push_back(inst);
     }
@@ -99,7 +103,8 @@ specializeProcedure(const vpsim::Program &prog,
     // cut off by branch folding can be deleted outright.
     result.stats = optimizeRegion(out, clone_begin,
                                   clone_begin + body_len, bindings,
-                                  /*single_entry=*/true);
+                                  /*single_entry=*/true,
+                                  /*conservative_exit=*/!opts.assumeAbi);
     const auto clone_end = static_cast<std::uint32_t>(out.code.size());
 
     // ------------------------------------------------------------------
@@ -116,7 +121,7 @@ specializeProcedure(const vpsim::Program &prog,
                                 static_cast<std::int64_t>(b.value)});
         out.code.push_back(
             Inst{Opcode::BNE, 0, b.reg, vpsim::regT0 + 9,
-                 static_cast<std::int64_t>(proc->entry)});
+                 static_cast<std::int64_t>(proc_entry)});
     }
     out.code.push_back(
         Inst{Opcode::JMP, 0, 0, 0,
@@ -127,24 +132,27 @@ specializeProcedure(const vpsim::Program &prog,
     // other procedures, the clone's own recursion). Indirect calls and
     // function-pointer tables keep reaching the original entry, which
     // stays fully functional.
-    for (std::uint32_t pc = 0; pc < guard_begin; ++pc) {
-        Inst &inst = out.code[pc];
-        if (inst.op == Opcode::JAL &&
-            static_cast<std::uint32_t>(inst.imm) == proc->entry)
-            inst.imm = guard_begin;
+    if (opts.retargetCalls) {
+        for (std::uint32_t pc = 0; pc < guard_begin; ++pc) {
+            Inst &inst = out.code[pc];
+            if (inst.op == Opcode::JAL &&
+                static_cast<std::uint32_t>(inst.imm) == proc_entry)
+                inst.imm = guard_begin;
+        }
     }
 
     // ------------------------------------------------------------------
     // 4. Bookkeeping: procedure records and labels for the new code.
     // ------------------------------------------------------------------
     vpsim::Procedure spec_proc;
-    spec_proc.name = proc_name + "$spec";
+    spec_proc.name = proc_name + "$spec" + opts.labelSuffix;
     spec_proc.entry = clone_begin;
     spec_proc.end = clone_end;
-    spec_proc.numArgs = proc->numArgs;
+    spec_proc.numArgs = proc_args;
     out.procs.push_back(spec_proc);
-    out.codeLabels[proc_name + "$spec"] = clone_begin;
-    out.codeLabels[proc_name + "$guard"] = guard_begin;
+    out.codeLabels[spec_proc.name] = clone_begin;
+    out.codeLabels[proc_name + "$guard" + opts.labelSuffix] =
+        guard_begin;
 
     result.guardEntry = guard_begin;
     result.specializedEntry = clone_begin;
@@ -155,6 +163,23 @@ specializeProcedure(const vpsim::Program &prog,
     const std::string err = out.validate();
     if (!err.empty())
         vp_fatal("specialized program invalid: %s", err.c_str());
+    return result;
+}
+
+SpecializeResult
+specializeProcedure(const vpsim::Program &prog,
+                    const std::string &proc_name,
+                    const std::vector<Binding> &bindings)
+{
+    SpecializeResult result;
+    result.program = prog;
+    const GuardedClone clone =
+        appendGuardedClone(result.program, proc_name, bindings);
+    result.guardEntry = clone.guardEntry;
+    result.specializedEntry = clone.specializedEntry;
+    result.specializedEnd = clone.specializedEnd;
+    result.guardLength = clone.guardLength;
+    result.stats = clone.stats;
     return result;
 }
 

@@ -36,6 +36,56 @@
 namespace specialize
 {
 
+/** Outcome of appending one guarded clone in place. */
+struct GuardedClone
+{
+    std::uint32_t guardEntry = 0;       ///< first instruction of the guard
+    std::uint32_t specializedEntry = 0; ///< entry of the optimized clone
+    std::uint32_t specializedEnd = 0;   ///< one past the clone
+    std::uint32_t guardLength = 0;      ///< instructions in the guard block
+    PassStats stats;                    ///< optimization counters
+};
+
+/** Options for appendGuardedClone. */
+struct CloneOptions
+{
+    /**
+     * Rewrite every direct JAL to the procedure so it enters through
+     * the guard (the offline transformation). The adaptive engine
+     * turns this off and steers calls through the Cpu's redirect
+     * table instead, which it can revert at run time.
+     */
+    bool retargetCalls = true;
+    /**
+     * Appended to the "$spec"/"$guard" procedure and label names.
+     * Program::validate() rejects duplicate procedures, so online
+     * re-specialization must pass a fresh suffix per generation.
+     */
+    std::string labelSuffix;
+    /**
+     * Assume the documented calling convention when eliminating dead
+     * code in the clone (temporaries dead at procedure exit). The
+     * offline CLI transformation keeps this on; the adaptive engine
+     * turns it off, because a running guest is free to pass values to
+     * its caller through scratch registers and the online clone must
+     * stay architecturally transparent regardless.
+     */
+    bool assumeAbi = true;
+};
+
+/**
+ * Append a guarded specialized clone of `proc_name` to `prog` in
+ * place: steps 1–3 of the pipeline above, minus the call retargeting
+ * when opts.retargetCalls is off. The original body is never touched,
+ * and existing instructions keep their pcs — the property the online
+ * engine relies on to grow a program mid-run. fatal() on an unknown/
+ * empty procedure or invalid bindings.
+ */
+GuardedClone appendGuardedClone(vpsim::Program &prog,
+                                const std::string &proc_name,
+                                const std::vector<Binding> &bindings,
+                                const CloneOptions &opts = {});
+
 /** Outcome of specializing one procedure. */
 struct SpecializeResult
 {

@@ -79,6 +79,13 @@ counterName(Cid id)
         return "serve.forward_duplicates";
       case Cid::ServeForwardLoops: return "serve.forward_loops";
       case Cid::ServeForwardIdClash: return "serve.forward_id_clash";
+      case Cid::AdaptInstalls: return "adapt.installs";
+      case Cid::AdaptGuardHits: return "adapt.guard_hits";
+      case Cid::AdaptGuardMisses: return "adapt.guard_misses";
+      case Cid::AdaptDeopts: return "adapt.deopts";
+      case Cid::AdaptBlacklists: return "adapt.blacklists";
+      case Cid::AdaptRespecializations:
+        return "adapt.respecializations";
       case Cid::NumCounters: break;
     }
     vp_panic("bad counter id %u", static_cast<unsigned>(id));

@@ -102,6 +102,12 @@ enum class Cid : unsigned
     ServeForwardDuplicates, ///< serve.forward_duplicates — stale forwards re-acked
     ServeForwardLoops,      ///< serve.forward_loops — forwarding cycles rejected
     ServeForwardIdClash,    ///< serve.forward_id_clash — producer-id ownership clashes
+    AdaptInstalls,          ///< adapt.installs — specializations hot-patched in
+    AdaptGuardHits,         ///< adapt.guard_hits — calls matching the bindings
+    AdaptGuardMisses,       ///< adapt.guard_misses — calls taking the fallback
+    AdaptDeopts,            ///< adapt.deopts — redirects torn out (miss rate)
+    AdaptBlacklists,        ///< adapt.blacklists — sites given up on
+    AdaptRespecializations, ///< adapt.respecializations — re-installs after phase change
 
     NumCounters
 };

@@ -68,6 +68,10 @@ Cpu::reset()
     outputText.clear();
     outputInts.clear();
     evCount = 0;
+    // Host-side patch state: a pending patch point dies with the run
+    // it was requested in; installed redirects survive (like
+    // listeners, they are host configuration, not guest state).
+    patchRequested = false;
 }
 
 void
@@ -102,10 +106,53 @@ Cpu::flushEvents()
 }
 
 void
+Cpu::requestPatchPoint()
+{
+    patchRequested = true;
+    // Zeroing the soft stop pulls a running interpret() out at its
+    // next instruction boundary; run() services the request and
+    // resumes. Harmless when the loop is not running.
+    softStop = 0;
+}
+
+void
+Cpu::setCallRedirect(std::uint32_t entry, std::uint32_t target)
+{
+    if (redirects.size() < prog.code.size())
+        redirects.resize(prog.code.size(), 0);
+    vp_assert(entry < redirects.size(),
+              "redirect entry out of program bounds");
+    redirects[entry] = target;
+}
+
+void
+Cpu::clearCallRedirect(std::uint32_t entry)
+{
+    if (entry < redirects.size())
+        redirects[entry] = 0;
+}
+
+std::uint32_t
+Cpu::callRedirect(std::uint32_t entry) const
+{
+    return entry < redirects.size() ? redirects[entry] : 0;
+}
+
+void
+Cpu::servicePatchPoint()
+{
+    patchRequested = false;
+    for (auto *l : listeners)
+        l->onPatchPoint(*this);
+}
+
+void
 Cpu::step()
 {
     if (halted())
         return;
+    if (patchRequested)
+        servicePatchPoint();
     interpret(icount + 1);
 }
 
@@ -116,7 +163,16 @@ Cpu::run()
     [[maybe_unused]] const std::uint64_t start_loads = loadCount;
     [[maybe_unused]] const std::uint64_t start_stores = storeCount;
 
-    interpret(std::numeric_limits<std::uint64_t>::max());
+    // interpret() exits early, without halting, when a listener
+    // requests a patch point; the request is serviced here, where no
+    // latched code pointer is live, and the loop re-entered.
+    for (;;) {
+        if (patchRequested)
+            servicePatchPoint();
+        interpret(std::numeric_limits<std::uint64_t>::max());
+        if (halted())
+            break;
+    }
 
     // Simulator work is accounted in one shot at run end so the hot
     // loop never touches a counter.
@@ -334,6 +390,22 @@ Cpu::interpret(std::uint64_t stop_after)
         listeners.size() == 1 ? listeners[0]->instEventFilter()
                               : nullptr;
 
+    // The soft stop lives in a member so requestPatchPoint() can zero
+    // it from a listener callback mid-loop. A request already pending
+    // at entry keeps the stop at "now": the caller must service it
+    // before any instruction executes.
+    softStop = patchRequested ? icount : stop_after;
+
+    // Call-redirect table (empty = feature off). Latched as a raw
+    // pointer for the whole entry: installs/resizes happen only at
+    // patch points, and mid-run clears write in place, so the pointer
+    // cannot dangle. Resize here covers a program grown since the
+    // table was installed.
+    if (!redirects.empty() && redirects.size() < prog.code.size())
+        redirects.resize(prog.code.size(), 0);
+    const std::uint32_t *const redirect =
+        redirects.empty() ? nullptr : redirects.data();
+
     // Architectural position and counters live in locals for the
     // duration of the loop and are written back at `done`. Every exit
     // path goes through `done`.
@@ -345,11 +417,13 @@ Cpu::interpret(std::uint64_t stop_after)
     std::uint64_t n_stores = storeCount;
 
     // Loop-top checks, in the order the pre-batching interpreter
-    // applied them: the caller's soft stop (no halt), then a pc
-    // outside the code (BadInst), then the runaway budget (MaxInsts).
+    // applied them: the soft stop (no halt — covers both step()'s
+    // stop_after and a patch-point request zeroing the member), then a
+    // pc outside the code (BadInst), then the runaway budget
+    // (MaxInsts).
 #define VM_CHECKS()                                                    \
     do {                                                               \
-        if (n_insts >= stop_after)                                     \
+        if (n_insts >= softStop)                                       \
             goto done;                                                 \
         if (pc >= code_size)                                           \
             goto bad_pc;                                               \
@@ -477,6 +551,11 @@ Cpu::interpret(std::uint64_t stop_after)
         } else if (evCount >= kEventFlushMark) {
             flushEvents();
         }
+        // Redirect installed *after* the Call event, so profilers
+        // always see the original callee — and a listener clearing
+        // the redirect during the flush reverts even this call.
+        if (redirect && next_pc < code_size && redirect[next_pc])
+            next_pc = redirect[next_pc];
         pc = next_pc;
     }
     VM_NEXT();
@@ -507,6 +586,10 @@ Cpu::interpret(std::uint64_t stop_after)
         } else if (evCount >= kEventFlushMark) {
             flushEvents();
         }
+        // Calls only (a JALR return must go where ra points), and
+        // after the Call event — same contract as JAL above.
+        if (redirect && wrote_ && redirect[next_pc])
+            next_pc = redirect[next_pc];
         pc = next_pc;
     }
     VM_NEXT();

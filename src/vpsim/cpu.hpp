@@ -52,6 +52,8 @@ struct ExecEvent
     std::uint64_t value;  ///< result / loaded / stored value
 };
 
+class Cpu;
+
 /**
  * Observer of architectural events during interpretation.
  *
@@ -194,6 +196,17 @@ class ExecListener
     {
         (void)caller_pc; (void)callee_entry; (void)arg_regs;
     }
+
+    /**
+     * The interpreter reached a patch point: it is parked between
+     * instructions with no latched code pointer live, in response to a
+     * Cpu::requestPatchPoint(). This is the only moment the bound
+     * Program may be mutated (grown — existing instructions are
+     * immutable forever) and call redirects installed; interpret()
+     * re-latches everything when execution resumes. All pending events
+     * have been flushed before this fires.
+     */
+    virtual void onPatchPoint(Cpu &cpu) { (void)cpu; }
 };
 
 /** Why run() stopped. */
@@ -279,6 +292,44 @@ class Cpu
 
     std::uint64_t dynamicInsts() const { return icount; }
 
+    // --- online patching ----------------------------------------------
+    //
+    // The adaptive specialization engine (src/adapt) hot-patches a
+    // running guest: it appends guarded clones to the Program and
+    // steers calls into them. Both mutations are only legal at a patch
+    // point, because interpret() latches the code pointer for a whole
+    // entry; the protocol is requestPatchPoint() → the loop exits at
+    // the next instruction boundary → run() fires
+    // ExecListener::onPatchPoint on every listener → resume.
+
+    /**
+     * Ask the interpreter to stop at the next instruction boundary and
+     * deliver ExecListener::onPatchPoint before resuming. Safe to call
+     * from inside a listener callback while the loop is running (this
+     * is the intended use: decide during an event flush, mutate at the
+     * patch point).
+     */
+    void requestPatchPoint();
+
+    /**
+     * Redirect calls (JAL, and JALR used as a call) that target
+     * procedure entry `entry` to `target` instead. The redirect is
+     * applied *after* the Call event is reported, so listeners always
+     * observe the original callee entry. May reallocate the table:
+     * only call at a patch point (or before run()).
+     */
+    void setCallRedirect(std::uint32_t entry, std::uint32_t target);
+
+    /**
+     * Remove a call redirect. Writes in place and never reallocates,
+     * so this is safe to call from inside a listener callback mid-run:
+     * the next call to `entry` already takes the original path.
+     */
+    void clearCallRedirect(std::uint32_t entry);
+
+    /** Current redirect target for `entry` (0 = none installed). */
+    std::uint32_t callRedirect(std::uint32_t entry) const;
+
   private:
     /**
      * The interpreter loop: execute until halt or until `stop_after`
@@ -288,6 +339,9 @@ class Cpu
     void interpret(std::uint64_t stop_after);
 
     void halt(StopReason reason);
+
+    /** Deliver a pending patch point to every listener. */
+    void servicePatchPoint();
 
     // --- event batching ------------------------------------------------
     //
@@ -356,6 +410,23 @@ class Cpu
     std::vector<std::int64_t> outputInts;
 
     std::vector<ExecListener *> listeners;
+
+    /**
+     * Soft-stop mark for the interpreter loop: the loop exits, without
+     * setting a halt reason, once the retired-instruction count
+     * reaches it. A member (not a parameter) so requestPatchPoint()
+     * can pull a running loop out early by zeroing it from inside a
+     * listener callback; interpret() re-derives it at every entry.
+     */
+    std::uint64_t softStop = 0;
+    /** A patch point was requested and not yet delivered. */
+    bool patchRequested = false;
+    /**
+     * Call-redirect table indexed by callee entry pc; 0 = no redirect.
+     * Empty means the feature is unused — the common case, and the
+     * one the hot path tests with a single pointer comparison.
+     */
+    std::vector<std::uint32_t> redirects;
 
     ExecEvent evbuf[kEventCap];
     std::size_t evCount = 0;

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The online adaptive specialization engine: convergence-driven
+ * install, guard accounting, phase-change deoptimization and
+ * re-specialization, blacklisting after repeated deopts, and the
+ * fleet-PGO export/preseed round trip. Every test also asserts the
+ * transparency contract — the adaptive leg must print exactly what
+ * plain interpretation prints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "adapt/engine.hpp"
+#include "instrument/image.hpp"
+#include "instrument/manager.hpp"
+#include "support/strings.hpp"
+#include "vpsim/assembler.hpp"
+#include "vpsim/cpu.hpp"
+
+namespace
+{
+
+/**
+ * A guest whose hot kernel(a0=config, a1=i) re-validates its config
+ * argument through a foldable arithmetic chain before a never-taken
+ * slow path, then does per-call payload work that clobbers the chain
+ * temporaries (so the bound clone keeps only the payload).
+ *
+ * The config value is a function of the call index: phase
+ * `i / phase_len`, cycling through `cycle` distinct values. cycle=1
+ * is a perfectly invariant argument; larger cycles shift phase every
+ * `phase_len` calls.
+ */
+std::string
+phasedProgram(unsigned calls, unsigned phase_len, unsigned cycle)
+{
+    return vp::format(R"(
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    li   s0, 0                 # i
+    li   s1, %u                # calls
+    li   s5, %u                # phase length
+    li   s6, %u                # value cycle
+    li   s3, 0                 # checksum
+loop:
+    bge  s0, s1, done
+    div  t0, s0, s5
+    rem  t1, t0, s6
+    muli t2, t1, 1001
+    addi a0, t2, 7             # config for this phase
+    mov  a1, s0
+    call kernel
+    add  s3, s3, a0
+    addi s0, s0, 1
+    jmp  loop
+done:
+    mov  a0, s3
+    syscall puti
+    li   a0, 0
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+
+    .proc kernel args=2
+kernel:
+    # config re-validation: two routes to the same value, compared
+    mul  t0, a0, a0
+    xori t1, t0, 85
+    add  t2, t1, a0
+    muli t3, t2, 3
+    srli t4, t3, 2
+    muli t5, a0, 3
+    muli t6, a0, 5
+    add  t5, t5, t6
+    muli t6, a0, 8
+    sub  t5, t5, t6            # == 0 for every a0
+    add  t5, t5, t4
+    bne  t4, t5, slow
+    # payload on the call index; redefines every chain temporary
+    mul  t0, a1, a1
+    xori t1, a1, 9
+    add  t2, t0, t1
+    andi t3, t2, 63
+    add  t4, t3, a1
+    xor  t5, t4, a1
+    mov  t6, t5
+    add  a0, t5, a0
+    ret
+slow:
+    muli t0, a0, 13
+    mov  a0, t0
+    ret
+    .endp
+)",
+                      calls, phase_len, cycle);
+}
+
+/** Aggressive test shape: converge within ~30 calls, deopt within 8
+ *  misses, so short programs exercise the whole state machine. */
+adapt::AdaptConfig
+smallConfig(unsigned blacklist_after = 100)
+{
+    adapt::AdaptConfig cfg;
+    cfg.invariance = 0.60;
+    cfg.minCalls = 8;
+    cfg.deoptWindow = 8;
+    cfg.deoptMissRate = 0.5;
+    cfg.blacklistAfter = blacklist_after;
+    cfg.sampler.burstSize = 6;
+    cfg.sampler.initialSkip = 2;
+    cfg.sampler.convergeRounds = 2;
+    cfg.sampler.maxSkip = 32;
+    cfg.sampler.retriggerDelta = 0.05;
+    return cfg;
+}
+
+struct Outcome
+{
+    std::string plainOut;
+    std::string adaptOut;
+    std::uint64_t installs = 0;
+    std::uint64_t deopts = 0;
+    std::uint64_t blacklists = 0;
+    std::uint64_t respecs = 0;
+    std::uint64_t guardHits = 0;
+    std::uint64_t guardMisses = 0;
+    std::uint64_t plainInsts = 0;
+    std::uint64_t adaptInsts = 0;
+    bool kernelBlacklisted = false;
+    bool kernelEverInstalled = false;
+};
+
+Outcome
+runBoth(const std::string &source, const adapt::AdaptConfig &cfg)
+{
+    Outcome out;
+
+    vpsim::Program plain = vpsim::assemble(source);
+    vpsim::Cpu pcpu(plain);
+    const auto pres = pcpu.run();
+    EXPECT_TRUE(pres.exited());
+    out.plainOut = pcpu.output();
+    out.plainInsts = pres.dynamicInsts;
+
+    vpsim::Program aprog = vpsim::assemble(source);
+    instr::Image image(aprog);
+    instr::InstrumentManager manager(image);
+    vpsim::Cpu acpu(aprog);
+    adapt::AdaptiveEngine engine(aprog, manager, acpu, cfg);
+    manager.attach(acpu);
+    const auto ares = acpu.run();
+    EXPECT_TRUE(ares.exited());
+    out.adaptOut = acpu.output();
+    out.adaptInsts = ares.dynamicInsts;
+
+    out.installs = engine.installs();
+    out.deopts = engine.deopts();
+    out.blacklists = engine.blacklists();
+    out.respecs = engine.respecializations();
+    out.guardHits = engine.guardHits();
+    out.guardMisses = engine.guardMisses();
+    if (const auto *site = engine.siteFor("kernel")) {
+        out.kernelBlacklisted = site->blacklisted;
+        out.kernelEverInstalled = site->everInstalled;
+    }
+    return out;
+}
+
+TEST(AdaptiveEngine, InstallsOnInvariantArgumentAndStaysTransparent)
+{
+    const Outcome out =
+        runBoth(phasedProgram(400, 400, 1), smallConfig());
+    EXPECT_EQ(out.adaptOut, out.plainOut);
+    EXPECT_EQ(out.installs, 1u);
+    EXPECT_EQ(out.deopts, 0u);
+    EXPECT_EQ(out.guardMisses, 0u);
+    EXPECT_GT(out.guardHits, 300u);
+    // The specialized calls must actually be cheaper.
+    EXPECT_LT(out.adaptInsts, out.plainInsts);
+}
+
+TEST(AdaptiveEngine, PhaseShiftDeoptsReprofilesAndRespecializes)
+{
+    // Three phases, two value changes. The sampler's retrigger (or
+    // the guard miss-rate window, whichever notices first) must tear
+    // the stale clone out, re-profile, and re-install for the new
+    // value — and do it once per change, not once per miss: a deopt
+    // storm would show up as deopts far above the change count.
+    const Outcome out =
+        runBoth(phasedProgram(1200, 400, 3), smallConfig());
+    EXPECT_EQ(out.adaptOut, out.plainOut);
+    EXPECT_GE(out.installs, 2u);
+    EXPECT_GE(out.respecs, 1u);
+    EXPECT_GE(out.deopts, 1u);
+    EXPECT_LE(out.deopts, 2u); // bounded: at most one per phase change
+    EXPECT_EQ(out.blacklists, 0u);
+    // Most calls in each phase still run specialized.
+    EXPECT_GT(out.guardHits, 900u);
+    EXPECT_LT(out.adaptInsts, out.plainInsts);
+}
+
+TEST(AdaptiveEngine, RepeatedFlappingHitsTheBlacklist)
+{
+    // The value flips every 100 calls, far faster than specialization
+    // pays off. After K=2 deopts the site must be blacklisted: no
+    // further installs, no further deopts, guard gone for good.
+    const Outcome out =
+        runBoth(phasedProgram(1500, 100, 2), smallConfig(2));
+    EXPECT_EQ(out.adaptOut, out.plainOut);
+    EXPECT_EQ(out.deopts, 2u);
+    EXPECT_EQ(out.blacklists, 1u);
+    EXPECT_EQ(out.installs, 2u);
+    EXPECT_EQ(out.respecs, 1u);
+    EXPECT_TRUE(out.kernelBlacklisted);
+}
+
+TEST(AdaptiveEngine, ExportedProfilesPreseedAFreshEngine)
+{
+    const std::string source = phasedProgram(400, 400, 1);
+    const adapt::AdaptConfig cfg = smallConfig();
+
+    // First replica: learn online and export the tagged aggregate.
+    core::ProfileSnapshot snap;
+    {
+        vpsim::Program prog = vpsim::assemble(source);
+        instr::Image image(prog);
+        instr::InstrumentManager manager(image);
+        vpsim::Cpu cpu(prog);
+        adapt::AdaptiveEngine engine(prog, manager, cpu, cfg);
+        manager.attach(cpu);
+        ASSERT_TRUE(cpu.run().exited());
+        ASSERT_GE(engine.installs(), 1u);
+        engine.exportProfiles(snap);
+    }
+    ASSERT_GE(snap.size(), 1u);
+    for (const auto &[key, summary] : snap.entities)
+        EXPECT_TRUE(key >> 63) << "exported key is not kind-tagged";
+
+    // Second replica: pre-seed before the first guest instruction.
+    vpsim::Program prog = vpsim::assemble(source);
+    instr::Image image(prog);
+    instr::InstrumentManager manager(image);
+    vpsim::Cpu cpu(prog);
+    adapt::AdaptiveEngine engine(prog, manager, cpu, cfg);
+    EXPECT_EQ(engine.preseedFrom(snap), 1u);
+    manager.attach(cpu);
+    ASSERT_TRUE(cpu.run().exited());
+
+    // The install landed up front: every kernel call went through the
+    // guard, with none spent waiting for the sampler to converge.
+    EXPECT_GE(engine.installs(), 1u);
+    EXPECT_EQ(engine.guardHits() + engine.guardMisses(), 400u);
+    EXPECT_EQ(engine.guardMisses(), 0u);
+
+    vpsim::Program plain = vpsim::assemble(source);
+    vpsim::Cpu pcpu(plain);
+    ASSERT_TRUE(pcpu.run().exited());
+    EXPECT_EQ(cpu.output(), pcpu.output());
+}
+
+TEST(AdaptiveEngine, EntityKeysAreTaggedAndRoundTrip)
+{
+    const std::uint64_t key =
+        adapt::AdaptiveEngine::entityKey(0x1234, 3);
+    EXPECT_EQ(key >> 63, 1u);
+    EXPECT_EQ((key >> 8) & 0xffffffffull, 0x1234u);
+    EXPECT_EQ(key & 0xff, 3u);
+    // Distinct args and entries yield distinct keys.
+    EXPECT_NE(key, adapt::AdaptiveEngine::entityKey(0x1234, 4));
+    EXPECT_NE(key, adapt::AdaptiveEngine::entityKey(0x1235, 3));
+}
+
+} // namespace

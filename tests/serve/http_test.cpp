@@ -424,6 +424,17 @@ TEST(HttpServe, ServesStatusAndErrors)
     EXPECT_EQ(statusOf(get(vpd.http, "/top?n=0")), 400);
     EXPECT_EQ(statusOf(get(vpd.http, "/top?by=magic")), 400);
     EXPECT_EQ(statusOf(get(vpd.http, "/top?kind=banana")), 400);
+    // The wire format has no entity-kind tag yet, so even well-formed
+    // kind filters must be refused loudly instead of silently ignored
+    // (a 200 carrying unfiltered entries would look like a filtered
+    // reply to the caller).
+    const std::string kinded = get(vpd.http, "/top?kind=load");
+    EXPECT_EQ(statusOf(kinded), 400);
+    EXPECT_NE(bodyOf(kinded).find("kind filtering requires wire v3"),
+              std::string::npos);
+    EXPECT_EQ(statusOf(get(vpd.http, "/top?kind=inst")), 400);
+    // The do-nothing default stays accepted, spelled out or implied.
+    EXPECT_EQ(statusOf(get(vpd.http, "/top?kind=any")), 200);
     EXPECT_EQ(statusOf(get(vpd.http, "/watch?since=bogus")), 400);
 
     const int fd = connectTcp(vpd.http);

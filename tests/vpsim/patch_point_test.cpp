@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The online-patching protocol: requestPatchPoint() parks the
+ * interpreter between instructions, onPatchPoint is the one legal
+ * moment to install call redirects, and redirects steer procedure
+ * entry without the guest noticing anything but a different callee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vpsim/assembler.hpp"
+#include "vpsim/cpu.hpp"
+
+namespace
+{
+
+// main prints f() three times; f and g return distinguishable values,
+// so the output spells out exactly which entry each call reached.
+const char *const twoProcs = R"(
+    .text
+    .proc main args=0
+main:
+    addi sp, sp, -16
+    st   ra, 0(sp)
+    st   s0, 8(sp)
+    li   s0, 3
+again:
+    beqz s0, done
+    call f
+    syscall puti
+    addi s0, s0, -1
+    jmp  again
+done:
+    li   a0, 0
+    ld   s0, 8(sp)
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    syscall exit
+    .endp
+
+    .proc f args=0
+f:
+    li   a0, 111
+    ret
+    .endp
+
+    .proc g args=0
+g:
+    li   a0, 222
+    ret
+    .endp
+)";
+
+struct Procs
+{
+    vpsim::Program prog;
+    std::uint32_t f = 0;
+    std::uint32_t g = 0;
+};
+
+Procs
+assembleTwoProcs()
+{
+    Procs p;
+    p.prog = vpsim::assemble(twoProcs);
+    p.f = p.prog.findProc("f")->entry;
+    p.g = p.prog.findProc("g")->entry;
+    return p;
+}
+
+/** Records the interleaving of instruction retire and patch events. */
+struct PatchRecorder final : vpsim::ExecListener
+{
+    std::uint64_t instsBeforePatch = 0;
+    std::uint64_t instsSeen = 0;
+    int patches = 0;
+
+    void
+    onInst(std::uint32_t, const vpsim::Inst &, bool,
+           std::uint64_t) override
+    {
+        ++instsSeen;
+    }
+
+    void
+    onPatchPoint(vpsim::Cpu &) override
+    {
+        ++patches;
+        instsBeforePatch = instsSeen;
+    }
+};
+
+TEST(PatchPoint, RedirectSteersCallsToAnotherEntry)
+{
+    Procs p = assembleTwoProcs();
+    vpsim::Cpu cpu(p.prog);
+    cpu.setCallRedirect(p.f, p.g);
+    const auto res = cpu.run();
+    ASSERT_TRUE(res.exited());
+    EXPECT_EQ(cpu.output(), "222222222");
+}
+
+TEST(PatchPoint, ClearCallRedirectRestoresTheOriginalCallee)
+{
+    Procs p = assembleTwoProcs();
+    vpsim::Cpu cpu(p.prog);
+    cpu.setCallRedirect(p.f, p.g);
+    cpu.clearCallRedirect(p.f);
+    const auto res = cpu.run();
+    ASSERT_TRUE(res.exited());
+    EXPECT_EQ(cpu.output(), "111111111");
+}
+
+TEST(PatchPoint, RedirectsSurviveResetAsHostConfiguration)
+{
+    Procs p = assembleTwoProcs();
+    vpsim::Cpu cpu(p.prog);
+    cpu.setCallRedirect(p.f, p.g);
+    cpu.reset();
+    const auto res = cpu.run();
+    ASSERT_TRUE(res.exited());
+    EXPECT_EQ(cpu.output(), "222222222");
+}
+
+TEST(PatchPoint, PreRunRequestIsServicedBeforeTheFirstInstruction)
+{
+    Procs p = assembleTwoProcs();
+    vpsim::Cpu cpu(p.prog);
+    PatchRecorder rec;
+    cpu.addListener(&rec);
+    cpu.requestPatchPoint();
+    const auto res = cpu.run();
+    ASSERT_TRUE(res.exited());
+    EXPECT_EQ(rec.patches, 1);
+    EXPECT_EQ(rec.instsBeforePatch, 0u);
+}
+
+TEST(PatchPoint, ResetDropsAPendingRequest)
+{
+    // A pending patch point dies with the run it was requested in;
+    // only installed redirects are durable host configuration.
+    Procs p = assembleTwoProcs();
+    vpsim::Cpu cpu(p.prog);
+    PatchRecorder rec;
+    cpu.addListener(&rec);
+    cpu.requestPatchPoint();
+    cpu.reset();
+    const auto res = cpu.run();
+    ASSERT_TRUE(res.exited());
+    EXPECT_EQ(rec.patches, 0);
+}
+
+/** Requests a patch point from inside an event callback and installs
+ *  a redirect when it is serviced — the adaptive engine's exact
+ *  sequence, minus the profiling. */
+struct MidRunPatcher final : vpsim::ExecListener
+{
+    vpsim::Cpu &cpu;
+    std::uint32_t from, to;
+    bool requested = false;
+    int patches = 0;
+
+    MidRunPatcher(vpsim::Cpu &c, std::uint32_t f, std::uint32_t g)
+        : cpu(c), from(f), to(g)
+    {
+    }
+
+    void
+    onInst(std::uint32_t, const vpsim::Inst &, bool,
+           std::uint64_t) override
+    {
+        // Ask once the first call has produced output, so the run
+        // demonstrably switches callee mid-stream.
+        if (!requested && !cpu.output().empty()) {
+            requested = true;
+            cpu.requestPatchPoint();
+        }
+    }
+
+    void
+    onPatchPoint(vpsim::Cpu &patched) override
+    {
+        ++patches;
+        patched.setCallRedirect(from, to);
+    }
+};
+
+TEST(PatchPoint, MidRunRequestPatchesTheRemainingCalls)
+{
+    Procs p = assembleTwoProcs();
+    vpsim::Cpu cpu(p.prog);
+    MidRunPatcher patcher(cpu, p.f, p.g);
+    cpu.addListener(&patcher);
+    const auto res = cpu.run();
+    ASSERT_TRUE(res.exited());
+    EXPECT_EQ(patcher.patches, 1);
+    // The request lands during the event flush inside call #2's JAL,
+    // whose target is already latched — so call #2 still reaches f,
+    // and the redirect installed at the patch point takes effect from
+    // call #3 on. One in-flight call of latency, never a torn call.
+    EXPECT_EQ(cpu.output(), "111111222");
+}
+
+} // namespace

@@ -63,6 +63,16 @@ BENCHES = {
         False,
         None,
     ),
+    # Dynamic-instruction speedup of the online adaptive engine over
+    # plain interpretation. Retired counts are deterministic and the
+    # engine converges within a fixed few hundred calls, so the
+    # speedup is scale-invariant — smoke runs gate against the
+    # full-scale committed baseline at the default budget.
+    "table_adaptive": (
+        ["speedup"],
+        True,
+        None,
+    ),
 }
 
 

@@ -21,6 +21,10 @@ exercised:
                      must have both received forwarded partials (hello,
                      applied) and relayed its own upstream (partials,
                      flushes, acked)
+  vpprof-adapt     — a `vpprof --workload ... --adapt` smoke: the
+                     online engine must have converged, hot-patched at
+                     least one guarded clone in, and dispatched calls
+                     through its guard
 """
 
 import json
@@ -75,6 +79,16 @@ PROFILES = {
             "serve.forward_partials",
             "serve.forward_flushes",
             "serve.forward_acked",
+        ],
+        "dists": [],
+    },
+    "vpprof-adapt": {
+        "nonzero": [
+            "core.sampler.bursts",
+            "core.sampler.convergences",
+            "adapt.installs",
+            "adapt.guard_hits",
+            "vpsim.insts",
         ],
         "dists": [],
     },
@@ -157,6 +171,19 @@ def check_stats(path, profile):
             fail(f"{path}: serve.decode_errors is "
                  f"{counters['serve.decode_errors']} — the loopback "
                  "smoke sent no corrupt frames")
+    if profile == "vpprof-adapt":
+        # Engine self-consistency: a re-specialization is an install
+        # that followed a deopt, and a blacklist is only declared after
+        # repeated deopts — the counters must respect both orderings.
+        if counters.get("adapt.respecializations", 0) > \
+                counters["adapt.installs"]:
+            fail(f"{path}: adapt.respecializations "
+                 f"{counters['adapt.respecializations']} > adapt.installs "
+                 f"{counters['adapt.installs']}")
+        if counters.get("adapt.blacklists", 0) > \
+                counters.get("adapt.deopts", 0):
+            fail(f"{path}: adapt.blacklists {counters['adapt.blacklists']}"
+                 f" > adapt.deopts {counters.get('adapt.deopts', 0)}")
     if profile == "vpd-forward":
         # The forwarding chain carries only well-formed frames, and
         # nothing in the smoke may loop, clash, or hit the spill.

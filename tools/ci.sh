@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI driver: build and run the test suite under sanitizers.
 #
-# Usage: tools/ci.sh [sanitizer...]
+# Usage: tools/ci.sh [--nightly] [sanitizer...]
 #
 # With no arguments, runs the default CI matrix: a plain build plus
 # AddressSanitizer and UndefinedBehaviorSanitizer builds running the
@@ -37,7 +37,18 @@
 # BENCH_compression.json — bytes/entity is deterministic, so the
 # density budget holds under the sanitizer too. The plain build gates
 # a table_serve smoke (ingest ack p99 under HTTP load over baseline)
-# against BENCH_serve.json.
+# against BENCH_serve.json, and a table_adaptive smoke (online
+# adaptive specialization dynamic-instruction speedup) against
+# BENCH_adaptive.json. The ASan and TSan legs also run an adaptive
+# smoke: a short fixed-seed `vpcheck --checker adapt` differential run
+# plus a `vpprof --adapt` workload whose stats JSON is checked with
+# --profile vpprof-adapt.
+#
+# `--nightly` additionally runs the nightly-scale hostile-world soak
+# (a 3-level vpd tree under hundreds of producer processes and a long
+# fault schedule) on each selected leg. It takes minutes, so the
+# default matrix skips it; the nightly pipeline invokes
+# `tools/ci.sh --nightly none address`.
 #
 # Each configuration builds into build-ci-<name>/ so sanitized builds
 # never pollute the main build/ tree.
@@ -47,6 +58,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${VP_CI_JOBS:-$(nproc)}"
+NIGHTLY=0
+if [ "${1:-}" = "--nightly" ]; then
+    NIGHTLY=1
+    shift
+fi
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
     CONFIGS=(none address undefined thread)
@@ -225,6 +241,37 @@ soak_smoke() {
         --soak-dir "$dir/soak-smoke"
 }
 
+# Nightly-scale soak: a full 3-level tree fed by hundreds of producer
+# processes under a long fault schedule (producer SIGKILLs, daemon
+# kill/restore, corrupt frames, mixed wire versions). Still
+# deterministic per seed, but minutes long — only the --nightly
+# pipeline runs it.
+nightly_soak() {
+    local dir="$1"
+    echo "=== [${dir}] vpcheck nightly soak ==="
+    "$dir/tools/vpcheck" --checker soak --seed 11 \
+        --soak-producers 200 --soak-levels 3 --soak-leaves 3 \
+        --soak-deltas 3 --soak-events 64 \
+        --soak-dir "$dir/soak-nightly"
+}
+
+# Online adaptive specialization under the sanitizer: a short
+# fixed-seed differential run (adaptive engine vs plain interpretation
+# on phase-shifting programs), then a real workload under --adapt
+# whose adapt.* counters are schema-checked. The engine grows the
+# program and patches dispatch mid-run, which is exactly the pointer
+# traffic ASan/TSan should see.
+adapt_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] adapt smoke ==="
+    "$dir/tools/vpcheck" --checker adapt --trials 10 --seed 1 \
+        --out "$dir"
+    "$dir/tools/vpprof" --workload matmul --adapt \
+        --stats-out "$dir/adapt-stats.json" > /dev/null
+    python3 tools/check_stats_json.py --profile vpprof-adapt \
+        "$dir/adapt-stats.json"
+}
+
 # Probe the HTTP query plane of a live daemon: every read endpoint
 # must answer, /watch must report the applied delta, and the
 # /stats.json server totals must agree with what the binary
@@ -299,6 +346,19 @@ serve_compare_smoke() {
         "$dir/bench-serve-smoke.json" --max-regress 200
 }
 
+# Gate the online adaptive engine's dynamic-instruction speedup on an
+# invariant-heavy workload against the committed baseline. Retired
+# instruction counts are deterministic (like the compression byte
+# counts), so the gate is noise-free even on a loaded box.
+adaptive_compare_smoke() {
+    local dir="$1"
+    echo "=== [${dir}] adaptive bench compare ==="
+    "$dir/bench/table_adaptive" --smoke \
+        --out "$dir/bench-adaptive-smoke.json"
+    python3 tools/bench_compare.py BENCH_adaptive.json \
+        "$dir/bench-adaptive-smoke.json"
+}
+
 run_config() {
     local san="$1"
     local dir="build-ci-${san}"
@@ -326,6 +386,7 @@ run_config() {
         observability_smoke "$dir"
         hotpath_compare_smoke "$dir"
         serve_compare_smoke "$dir"
+        adaptive_compare_smoke "$dir"
     fi
     if [ "$san" = "address" ] || [ "$san" = "thread" ]; then
         vpcheck_smoke "$dir"
@@ -333,10 +394,14 @@ run_config() {
         vpd_forward_smoke "$dir"
         vpd_http_smoke "$dir"
         soak_smoke "$dir"
+        adapt_smoke "$dir"
         hotpath_sanitizer_smoke "$dir"
     fi
     if [ "$san" = "address" ]; then
         compression_smoke "$dir"
+    fi
+    if [ "$NIGHTLY" -eq 1 ]; then
+        nightly_soak "$dir"
     fi
 }
 

@@ -4,11 +4,18 @@
  *
  * Generates seeded random VPSim programs and runs each through the
  * differential checkers (full-vs-oracle, shard merge, sampled-vs-full,
- * snapshot round-trip, serve loopback; see src/check/checkers.hpp). On a divergence it
+ * snapshot round-trip, serve loopback, adaptive specialization; see
+ * src/check/checkers.hpp). On a divergence it
  * greedily shrinks the program to a minimal still-failing reproducer
  * and writes a replay bundle — an assembly file whose comment header
  * records the checker, the seed, and the exact commands that replay
  * the failure.
+ *
+ * The `adapt` checker draws its programs from a phase-shifting
+ * generator shape (GenConfig::bindPhases > 1): a mostly-invariant
+ * argument steps to a new value partway through the run, so online
+ * install, guard misses, deoptimization and re-specialization all
+ * happen inside a single trial.
  *
  * Usage:
  *   vpcheck [--trials N] [--seed S] [--checker NAME] [options]
@@ -19,7 +26,7 @@
  *   --trials N       seeded trials to run (default 100)
  *   --seed S         base seed; trial i uses base seed S+i, so any
  *                    trial replays as --trials 1 --seed S+i (default 1)
- *   --checker NAME   all|oracle|merge|sampled|snapshot|serve
+ *   --checker NAME   all|oracle|merge|sampled|snapshot|serve|adapt
  *                    (default all)
  *   --out DIR        where replay bundles are written (default ".")
  *   --shards K       shards for the merge checker (default 3)
@@ -34,11 +41,16 @@
  *                    double-count its hits, `compress` makes the v2
  *                    entity-block encoder off-by-one a count (caught
  *                    by the snapshot fixed-point and serve
- *                    byte-identity checkers), and `all` (the default)
- *                    runs one full phase per kind and requires every
- *                    one to be caught. Combines with --replay: a
- *                    bundle produced by a canary run reproduces its
- *                    divergence only with the same canary re-enabled
+ *                    byte-identity checkers), `adapt` makes the
+ *                    adaptive engine install redirects that skip the
+ *                    guard — a stale specialization that goes
+ *                    architecturally wrong when the bound value shifts
+ *                    (caught by the adapt checker) — and `all` (the
+ *                    default) runs one full phase per kind and
+ *                    requires every one to be caught. Combines with
+ *                    --replay: a bundle produced by a canary run
+ *                    reproduces its divergence only with the same
+ *                    canary re-enabled
  *   --replay FILE    re-run the checkers on a saved bundle
  *
  * `--checker soak` is different in kind: instead of in-process
@@ -71,6 +83,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -114,7 +127,7 @@ usage()
     std::cerr <<
         "usage: vpcheck [--trials N] [--seed S] [--checker NAME]\n"
         "               [--out DIR] [--shards K] [--jobs N]\n"
-        "               [--canary[=merge|record|compress|all]]\n"
+        "               [--canary[=merge|record|compress|adapt|all]]\n"
         "       vpcheck --replay FILE.vps [--checker NAME]\n"
         "       vpcheck --checker soak [--seed S] [--soak-producers N]\n"
         "               [--soak-levels 2|3] [--soak-leaves N]\n"
@@ -123,7 +136,8 @@ usage()
         "               [--soak-no-kill-daemons] [--soak-no-corrupt]\n"
         "               [--soak-no-mixed] [--vpd PATH] [--soak-dir DIR]\n"
         "               [--soak-keep] [--soak-verbose]\n"
-        "checkers: all, oracle, merge, sampled, snapshot, serve, soak\n";
+        "checkers: all, oracle, merge, sampled, snapshot, serve, "
+        "adapt, soak\n";
     std::exit(2);
 }
 
@@ -168,9 +182,11 @@ parseArgs(int argc, char **argv)
             if (opt.canaryKind != "merge" &&
                 opt.canaryKind != "record" &&
                 opt.canaryKind != "compress" &&
+                opt.canaryKind != "adapt" &&
                 opt.canaryKind != "all")
-                vp_fatal("--canary wants merge, record, compress, or "
-                         "all; got '%s'", opt.canaryKind.c_str());
+                vp_fatal("--canary wants merge, record, compress, "
+                         "adapt, or all; got '%s'",
+                         opt.canaryKind.c_str());
         } else if (a == "--replay") {
             opt.replayFile = next();
         } else if (a == "--soak-producers") {
@@ -318,6 +334,42 @@ setCanaries(const std::string &kind, bool enabled)
         core::TnvTable::setRecordCanaryForTest(enabled);
     if (kind == "compress" || kind == "all")
         core::codec::testing::setCompressCanaryForTest(enabled);
+    if (kind == "adapt" || kind == "all")
+        adapt::AdaptiveEngine::setStaleGuardCanaryForTest(enabled);
+}
+
+/**
+ * Generator shape for adapt-checker trials: lots of calls, a strongly
+ * bound a1 that steps to a new value twice across the run — enough
+ * dynamic behaviour to drive install, guard misses, deopt and
+ * re-specialization inside one trial.
+ */
+vp::check::GenConfig
+adaptGenConfig()
+{
+    vp::check::GenConfig cfg;
+    cfg.calls = 240;
+    cfg.bindChance = 0.85;
+    cfg.bindPhases = 3;
+    return cfg;
+}
+
+/**
+ * The program a checker sees in trial `base`: most checkers share the
+ * plain generated program, the adapt checker gets the phase-shifting
+ * variant (same seed, different shape; lazily generated once).
+ */
+const vp::check::Generated &
+programFor(vp::check::Checker checker, std::uint64_t base,
+           const vp::check::Generated &plain,
+           std::optional<vp::check::Generated> &adaptive)
+{
+    if (checker != vp::check::Checker::Adapt)
+        return plain;
+    if (!adaptive)
+        adaptive = vp::check::generate(vp::check::trialSeed(base, 0),
+                                       adaptGenConfig());
+    return *adaptive;
 }
 
 int
@@ -380,12 +432,14 @@ runCanaryPhase(const Options &opt, const std::string &kind)
         const std::uint64_t base = opt.seed + i;
         const auto gen =
             vp::check::generate(vp::check::trialSeed(base, 0));
+        std::optional<vp::check::Generated> agen;
         for (const auto checker : checkers) {
+            const auto &g = programFor(checker, base, gen, agen);
             const auto res =
-                vp::check::runChecker(checker, gen.program, copts);
+                vp::check::runChecker(checker, g.program, copts);
             if (res.ok)
                 continue;
-            reportDivergence(phase, checker, copts, base, gen.source,
+            reportDivergence(phase, checker, copts, base, g.source,
                              res.detail);
             std::cout << "vpcheck: canary '" << kind
                       << "' caught after " << (i + 1) << " trial(s)\n";
@@ -408,7 +462,7 @@ runTrials(const Options &opt)
         const std::vector<std::string> kinds =
             opt.canaryKind == "all"
                 ? std::vector<std::string>{"merge", "record",
-                                           "compress"}
+                                           "compress", "adapt"}
                 : std::vector<std::string>{opt.canaryKind};
         for (const auto &kind : kinds)
             if (runCanaryPhase(opt, kind) != 0)
@@ -426,12 +480,14 @@ runTrials(const Options &opt)
         const std::uint64_t base = opt.seed + i;
         const auto gen =
             vp::check::generate(vp::check::trialSeed(base, 0));
+        std::optional<vp::check::Generated> agen;
         for (const auto checker : checkers) {
+            const auto &g = programFor(checker, base, gen, agen);
             const auto res =
-                vp::check::runChecker(checker, gen.program, copts);
+                vp::check::runChecker(checker, g.program, copts);
             if (res.ok)
                 continue;
-            reportDivergence(opt, checker, copts, base, gen.source,
+            reportDivergence(opt, checker, copts, base, g.source,
                              res.detail);
             return 1;
         }

@@ -40,6 +40,20 @@
  *                                concurrent emitters need distinct ids
  *   --emit-spill FILE            local fallback for unacknowledged
  *                                deltas (default vpprof.spill)
+ *   --adapt[=F]                  run under the online adaptive
+ *                                specialization engine (src/adapt):
+ *                                procedures whose profiled arguments
+ *                                converge with Inv-Top >= F (default
+ *                                0.90) are specialized mid-run behind
+ *                                a guard; prints the per-site report.
+ *                                With --save/--emit the per-argument
+ *                                profiles travel under tagged entity
+ *                                keys, so a vpd aggregate can pre-seed
+ *                                other replicas (fleet-wide PGO)
+ *   --adapt-from ADDR            fetch a vpd aggregate snapshot and
+ *                                pre-seed specialization from its
+ *                                tagged entities before the first
+ *                                instruction (implies --adapt)
  *
  * `--workload all` profiles every bundled workload, one independent
  * shard per (workload, dataset) job, fanned out over `--jobs` worker
@@ -51,9 +65,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "adapt/engine.hpp"
 #include "core/instruction_profiler.hpp"
 #include "core/memory_profiler.hpp"
 #include "core/parameter_profiler.hpp"
@@ -100,6 +116,9 @@ struct Options
     std::string emitAddr;
     std::uint64_t emitId = 1;
     std::string emitSpill = "vpprof.spill";
+    bool adapt = false;
+    double adaptThreshold = 0.90;
+    std::string adaptFrom;
 
     bool
     wantStats() const
@@ -121,7 +140,8 @@ usage()
         "         --params, --strides, --regs, --top N, --min-inv F,\n"
         "         --save FILE, --disasm, --stats[=text|json],\n"
         "         --stats-out FILE, --trace-out FILE,\n"
-        "         --emit ADDR, --emit-id N, --emit-spill FILE\n";
+        "         --emit ADDR, --emit-id N, --emit-spill FILE,\n"
+        "         --adapt[=THRESHOLD], --adapt-from ADDR\n";
     std::exit(2);
 }
 
@@ -214,7 +234,18 @@ parse(int argc, char **argv)
             opt.emitId = static_cast<std::uint64_t>(v);
         } else if (arg == "--emit-spill")
             opt.emitSpill = need(i);
-        else
+        else if (arg == "--adapt")
+            opt.adapt = true;
+        else if (arg.rfind("--adapt=", 0) == 0) {
+            opt.adapt = true;
+            opt.adaptThreshold = std::atof(arg.c_str() + 8);
+            if (opt.adaptThreshold <= 0.0 || opt.adaptThreshold > 1.0)
+                vp_fatal("--adapt threshold must be in (0,1], got "
+                         "'%s'", arg.c_str() + 8);
+        } else if (arg == "--adapt-from") {
+            opt.adaptFrom = need(i);
+            opt.adapt = true;
+        } else
             usage();
     }
     return opt;
@@ -315,7 +346,7 @@ int
 runSuite(const Options &opt)
 {
     if (opt.mem || opt.params || opt.regs || opt.strides ||
-        opt.disasm || !opt.saveFile.empty())
+        opt.disasm || opt.adapt || !opt.saveFile.empty())
         vp_fatal("--workload all supports only --mode/--rate/--target/"
                  "--jobs/--dataset/--top/--min-inv");
     if (opt.target != "writes" && opt.target != "loads")
@@ -454,6 +485,14 @@ main(int argc, char **argv)
         prog = &own_program;
     }
 
+    // The adaptive engine grows the program mid-run, so it needs its
+    // own mutable copy (bundled workloads hand out a shared const
+    // program).
+    if (opt.adapt && workload) {
+        own_program = *prog;
+        prog = &own_program;
+    }
+
     if (opt.disasm) {
         std::cout << vpsim::disassembleRange(
                          *prog, 0,
@@ -488,6 +527,24 @@ main(int argc, char **argv)
     // --- run -------------------------------------------------------------
     vpsim::Cpu cpu(*prog,
                    {.memBytes = 16u << 20, .maxInsts = 500'000'000});
+    std::optional<adapt::AdaptiveEngine> engine;
+    if (opt.adapt) {
+        adapt::AdaptConfig acfg;
+        acfg.invariance = opt.adaptThreshold;
+        engine.emplace(own_program, manager, cpu, acfg);
+        if (!opt.adaptFrom.empty()) {
+            core::ProfileSnapshot seed;
+            std::string err;
+            if (!vp::serve::requestSnapshot(opt.adaptFrom, seed, err))
+                vp_fatal("--adapt-from %s: %s", opt.adaptFrom.c_str(),
+                         err.c_str());
+            const std::size_t seeded = engine->preseedFrom(seed);
+            std::cout << "pre-seeded " << seeded << " specialization"
+                      << (seeded == 1 ? "" : "s") << " from "
+                      << opt.adaptFrom << " (" << seed.size()
+                      << " aggregate entities)\n";
+        }
+    }
     manager.attach(cpu);
     vpsim::RunResult result;
     {
@@ -576,17 +633,40 @@ main(int argc, char **argv)
         reg_table.print(std::cout, "architectural registers");
     }
 
+    if (engine) {
+        std::cout << "\nadaptive specialization: "
+                  << engine->installs() << " install(s), "
+                  << engine->respecializations()
+                  << " respecialization(s), " << engine->deopts()
+                  << " deopt(s), " << engine->blacklists()
+                  << " blacklist(s), guard " << engine->guardHits()
+                  << "/"
+                  << (engine->guardHits() + engine->guardMisses())
+                  << " hit(s)\n";
+        const std::string report = engine->report();
+        if (!report.empty())
+            std::cout << report;
+    }
+
+    // Adaptive parameter profiles ride along under tagged entity keys
+    // (bit 63 set), disjoint from the per-pc instruction keys, so one
+    // replica's convergence can pre-seed another via --adapt-from.
+    auto snapshotWithAdapt = [&] {
+        auto snap = core::ProfileSnapshot::fromInstructionProfiler(iprof);
+        if (engine)
+            engine->exportProfiles(snap);
+        return snap;
+    };
     if (!opt.saveFile.empty()) {
         std::ofstream out(opt.saveFile);
         if (!out)
             vp_fatal("cannot write '%s'", opt.saveFile.c_str());
-        core::ProfileSnapshot::fromInstructionProfiler(iprof).save(out);
+        snapshotWithAdapt().save(out);
         std::cout << "\nsnapshot written to " << opt.saveFile << "\n";
     }
     if (!opt.emitAddr.empty()) {
         std::vector<core::ProfileSnapshot> deltas;
-        deltas.push_back(
-            core::ProfileSnapshot::fromInstructionProfiler(iprof));
+        deltas.push_back(snapshotWithAdapt());
         emitSnapshots(opt, std::move(deltas));
     }
     emitObservability(opt);
